@@ -1,0 +1,142 @@
+// Ablations for the design choices DESIGN.md calls out (not in the paper,
+// but justifying its architecture on our substrate):
+//
+//  (1) Distance-oracle microbenchmarks: hub-label query vs contraction-
+//      hierarchy query vs point-to-point Dijkstra. The paper builds its NN
+//      machinery on hub labels because the core query must be microsecond-
+//      scale; this quantifies the gap.
+//  (2) Hub-order ablation: degree order vs grid dissection order — label
+//      size, construction time, and SK query time.
+//  (3) Search-strategy ablation: examined routes for KPNE (no pruning, no
+//      A*), PK (dominance only), SK (dominance + A*) on one workload, i.e.
+//      the incremental value of each idea of the paper.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench/bench_common.h"
+#include "src/ch/contraction_hierarchy.h"
+
+namespace kosr::bench {
+namespace {
+
+struct OracleContext {
+  Graph graph;
+  HubLabeling labels_dissection;
+  HubLabeling labels_degree;
+  ContractionHierarchy ch;
+  double build_dissection_s, build_degree_s, build_ch_s;
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+};
+
+OracleContext& Context() {
+  static OracleContext* ctx = [] {
+    auto* c = new OracleContext();
+    uint32_t side = 64;
+    c->graph = MakeGridRoadNetwork(side, side, 11, 10, 100, 0);
+    WallTimer t1;
+    c->labels_dissection.Build(c->graph, GridDissectionOrder(side, side));
+    c->build_dissection_s = t1.ElapsedSeconds();
+    WallTimer t2;
+    c->labels_degree.Build(c->graph);
+    c->build_degree_s = t2.ElapsedSeconds();
+    WallTimer t3;
+    c->ch = ContractionHierarchy::Build(c->graph);
+    c->build_ch_s = t3.ElapsedSeconds();
+    std::mt19937_64 rng(5);
+    std::uniform_int_distribution<VertexId> pick(0, c->graph.num_vertices() - 1);
+    for (int i = 0; i < 1024; ++i) c->pairs.emplace_back(pick(rng), pick(rng));
+    return c;
+  }();
+  return *ctx;
+}
+
+void BM_OracleHubLabel(benchmark::State& state) {
+  auto& ctx = Context();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [s, t] = ctx.pairs[i++ & 1023];
+    benchmark::DoNotOptimize(ctx.labels_dissection.Query(s, t));
+  }
+}
+BENCHMARK(BM_OracleHubLabel);
+
+void BM_OracleHubLabelDegreeOrder(benchmark::State& state) {
+  auto& ctx = Context();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [s, t] = ctx.pairs[i++ & 1023];
+    benchmark::DoNotOptimize(ctx.labels_degree.Query(s, t));
+  }
+}
+BENCHMARK(BM_OracleHubLabelDegreeOrder);
+
+void BM_OracleContractionHierarchy(benchmark::State& state) {
+  auto& ctx = Context();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [s, t] = ctx.pairs[i++ & 1023];
+    benchmark::DoNotOptimize(ctx.ch.Query(s, t));
+  }
+}
+BENCHMARK(BM_OracleContractionHierarchy);
+
+void BM_OracleDijkstra(benchmark::State& state) {
+  auto& ctx = Context();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [s, t] = ctx.pairs[i++ & 1023];
+    benchmark::DoNotOptimize(DijkstraDistance(ctx.graph, s, t));
+  }
+}
+BENCHMARK(BM_OracleDijkstra);
+
+void PrintOrderAblation() {
+  auto& ctx = Context();
+  PrintHeader("Ablation: hub-label vertex order (64x64 grid)",
+              "construction cost and label size per order");
+  PrintRowHeader("order", {"build(s)", "avg|Lin|", "size(MB)"});
+  char b1[32], b2[32], b3[32];
+  std::snprintf(b1, 32, "%.2f", ctx.build_dissection_s);
+  std::snprintf(b2, 32, "%.1f", ctx.labels_dissection.AvgInLabelSize());
+  std::snprintf(b3, 32, "%.1f", ctx.labels_dissection.IndexBytes() / 1048576.0);
+  PrintRow("dissection", {b1, b2, b3});
+  std::snprintf(b1, 32, "%.2f", ctx.build_degree_s);
+  std::snprintf(b2, 32, "%.1f", ctx.labels_degree.AvgInLabelSize());
+  std::snprintf(b3, 32, "%.1f", ctx.labels_degree.IndexBytes() / 1048576.0);
+  PrintRow("degree", {b1, b2, b3});
+  std::snprintf(b1, 32, "%.2f", ctx.build_ch_s);
+  std::snprintf(b2, 32, "%lu", (unsigned long)ctx.ch.num_shortcuts());
+  PrintRow("(CH)", {b1, std::string("shortcuts=") + b2, "-"});
+}
+
+void PrintStrategyAblation() {
+  Workload w = MakeGridWorkload("COL", 128, 160, 103);
+  auto queries = MakeQueries(w, 6, 30, QueriesPerPoint(), w.seed + 3);
+  PrintHeader("Ablation: incremental value of dominance and A*",
+              "COL analog, |C|=6, k=30; KPNE = neither, PK = dominance, "
+              "SK = dominance + target-directed estimates");
+  PrintRowHeader("method", {"time(ms)", "examined", "nn_queries"});
+  const MethodSpec methods[] = {
+      {"KPNE", Algorithm::kKpne, NnMode::kHopLabel},
+      {"PK", Algorithm::kPruning, NnMode::kHopLabel},
+      {"SK", Algorithm::kStar, NnMode::kHopLabel},
+  };
+  for (const MethodSpec& m : methods) {
+    CellResult cell = RunMethodCell(w, queries, m);
+    PrintRow(m.name, {cell.TimeString(), cell.CountString(cell.avg_examined),
+                      cell.CountString(cell.avg_nn_queries)});
+  }
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  kosr::bench::PrintOrderAblation();
+  kosr::bench::PrintStrategyAblation();
+  return 0;
+}

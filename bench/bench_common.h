@@ -1,0 +1,358 @@
+#ifndef KOSR_BENCH_BENCH_COMMON_H_
+#define KOSR_BENCH_BENCH_COMMON_H_
+
+// Shared workload construction and measurement harness for the per-figure /
+// per-table bench binaries. Scaled-down analogs of the paper's five graphs
+// (see DESIGN.md, "Substitutions"): grid road networks with asymmetric
+// perturbed weights stand in for CAL/NYC/COL/FLA, a unit-weight small-world
+// graph stands in for G+.
+//
+// Environment knobs:
+//   KOSR_BENCH_QUERIES   queries per sweep point (default 20; paper uses 50)
+//   KOSR_BENCH_BUDGET_S  per-query time budget in seconds (default 3;
+//                        exceeding it marks the configuration INF, the
+//                        paper's convention for >3600 s)
+//   KOSR_BENCH_SCALE     workload scale multiplier (default 1.0; 0.5 for a
+//                        quick smoke run)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/query.h"
+#include "src/graph/generators.h"
+#include "src/labeling/disk_store.h"
+#include "src/util/timer.h"
+
+namespace kosr::bench {
+
+inline uint32_t QueriesPerPoint() {
+  const char* env = std::getenv("KOSR_BENCH_QUERIES");
+  return env != nullptr ? static_cast<uint32_t>(std::atoi(env)) : 20;
+}
+
+inline double PerQueryBudgetSeconds() {
+  const char* env = std::getenv("KOSR_BENCH_BUDGET_S");
+  return env != nullptr ? std::atof(env) : 3.0;
+}
+
+inline double WorkloadScale() {
+  const char* env = std::getenv("KOSR_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+
+/// One benchmark graph with built indexes.
+struct Workload {
+  std::string name;
+  std::unique_ptr<KosrEngine> engine;
+  uint64_t seed = 0;
+};
+
+/// Grid road-network workload with uniform categories of size
+/// `category_size` (the paper's |Ci|), indexed with the dissection order.
+inline Workload MakeGridWorkload(const std::string& name, uint32_t side,
+                                 uint32_t category_size, uint64_t seed) {
+  double scale = std::sqrt(WorkloadScale());
+  side = std::max<uint32_t>(16, static_cast<uint32_t>(side * scale));
+  category_size = std::max<uint32_t>(
+      4, static_cast<uint32_t>(category_size * WorkloadScale()));
+  Workload w;
+  w.name = name;
+  w.seed = seed;
+  Graph graph =
+      MakeGridRoadNetwork(side, side, seed, 10, 100, /*highway_fraction=*/0);
+  CategoryTable cats =
+      CategoryTable::Uniform(graph.num_vertices(), category_size, seed + 1);
+  w.engine = std::make_unique<KosrEngine>(std::move(graph), std::move(cats));
+  w.engine->BuildIndexes(GridDissectionOrder(side, side));
+  return w;
+}
+
+/// Same, but with a Zipfian category-size distribution (Figure 6).
+inline Workload MakeZipfGridWorkload(const std::string& name, uint32_t side,
+                                     uint32_t num_categories, double f,
+                                     uint64_t seed) {
+  double scale = std::sqrt(WorkloadScale());
+  side = std::max<uint32_t>(16, static_cast<uint32_t>(side * scale));
+  Workload w;
+  w.name = name;
+  w.seed = seed;
+  Graph graph =
+      MakeGridRoadNetwork(side, side, seed, 10, 100, /*highway_fraction=*/0);
+  CategoryTable cats = CategoryTable::Zipfian(graph.num_vertices(),
+                                              num_categories, f, seed + 1);
+  w.engine = std::make_unique<KosrEngine>(std::move(graph), std::move(cats));
+  w.engine->BuildIndexes(GridDissectionOrder(side, side));
+  return w;
+}
+
+/// Small-world workload (G+ analog): unit weights, tiny diameter.
+inline Workload MakeSmallWorldWorkload(const std::string& name, uint32_t n,
+                                       double chords_per_vertex,
+                                       uint32_t category_size, uint64_t seed) {
+  n = std::max<uint32_t>(200, static_cast<uint32_t>(n * WorkloadScale()));
+  category_size = std::max<uint32_t>(
+      4, static_cast<uint32_t>(category_size * WorkloadScale()));
+  Workload w;
+  w.name = name;
+  w.seed = seed;
+  Graph graph = MakeSmallWorld(n, 2, chords_per_vertex, seed);
+  CategoryTable cats =
+      CategoryTable::Uniform(graph.num_vertices(), category_size, seed + 1);
+  w.engine = std::make_unique<KosrEngine>(std::move(graph), std::move(cats));
+  w.engine->BuildIndexes();
+  return w;
+}
+
+/// The paper's five graphs, scaled (Table VII analogs). |Ci| is ~1% of |V|,
+/// mirroring the relative category density of the paper's defaults.
+inline std::vector<Workload> MakeAllGraphWorkloads() {
+  std::vector<Workload> w;
+  w.push_back(MakeGridWorkload("CAL", 64, 48, 101));
+  w.push_back(MakeGridWorkload("NYC", 96, 92, 102));
+  w.push_back(MakeGridWorkload("COL", 128, 160, 103));
+  w.push_back(MakeGridWorkload("FLA", 160, 256, 104));
+  w.push_back(MakeSmallWorldWorkload("G+", 3000, 6.0, 48, 105));
+  return w;
+}
+
+/// FLA / CAL analogs only (parameter-sweep figures).
+inline Workload MakeFlaWorkload(uint32_t category_size = 256) {
+  return MakeGridWorkload("FLA", 160, category_size, 104);
+}
+inline Workload MakeCalWorkload() { return MakeGridWorkload("CAL", 64, 48, 101); }
+
+/// Deterministic random query batch.
+inline std::vector<KosrQuery> MakeQueries(const Workload& w, uint32_t seq_len,
+                                          uint32_t k, uint32_t count,
+                                          uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto& cats = w.engine->categories();
+  std::uniform_int_distribution<VertexId> pick(
+      0, w.engine->graph().num_vertices() - 1);
+  std::vector<KosrQuery> queries;
+  queries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    KosrQuery q;
+    q.source = pick(rng);
+    q.target = pick(rng);
+    q.sequence = RandomCategorySequence(cats, seq_len, rng);
+    q.k = k;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+/// One evaluated method (the paper's seven, Sec. V-A "Methods").
+struct MethodSpec {
+  const char* name;
+  Algorithm algorithm;
+  NnMode nn_mode;
+  bool disk = false;
+};
+
+inline const std::vector<MethodSpec>& PaperMethods() {
+  static const std::vector<MethodSpec> methods = {
+      {"KPNE-Dij", Algorithm::kKpne, NnMode::kDijkstra},
+      {"PK-Dij", Algorithm::kPruning, NnMode::kDijkstra},
+      {"SK-Dij", Algorithm::kStar, NnMode::kDijkstra},
+      {"KPNE", Algorithm::kKpne, NnMode::kHopLabel},
+      {"PK", Algorithm::kPruning, NnMode::kHopLabel},
+      {"SK", Algorithm::kStar, NnMode::kHopLabel},
+      {"SK-DB", Algorithm::kStar, NnMode::kHopLabel, /*disk=*/true},
+  };
+  return methods;
+}
+
+/// Aggregated outcome of one (workload, method, query batch) cell.
+struct CellResult {
+  double avg_ms = 0;
+  double avg_examined = 0;
+  double avg_nn_queries = 0;
+  QueryStats accumulated;
+  uint32_t queries_run = 0;
+  bool inf = false;  ///< Budget exceeded — the paper prints INF.
+
+  std::string TimeString() const {
+    if (inf) return "INF";
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.2f", avg_ms);
+    return buffer;
+  }
+  std::string CountString(double value) const {
+    if (inf) return "INF";
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+};
+
+/// Runs a method over a query batch. Marks the cell INF and stops early as
+/// soon as one query exceeds the per-query budget (the paper's 3600 s rule,
+/// scaled down).
+inline CellResult RunMethodCell(const Workload& w,
+                                const std::vector<KosrQuery>& queries,
+                                const MethodSpec& method,
+                                bool collect_phase_times = false,
+                                const DiskLabelStore* store = nullptr) {
+  CellResult cell;
+  KosrOptions options;
+  options.algorithm = method.algorithm;
+  options.nn_mode = method.nn_mode;
+  options.time_budget_s = PerQueryBudgetSeconds();
+  options.collect_phase_times = collect_phase_times;
+  double total_ms = 0;
+  for (const KosrQuery& q : queries) {
+    KosrResult result;
+    if (method.disk) {
+      if (store == nullptr) {
+        cell.inf = true;  // no store provided: cannot run
+        break;
+      }
+      result = KosrEngine::QueryFromDisk(*store, q, options);
+    } else {
+      result = w.engine->Query(q, options);
+    }
+    if (result.stats.timed_out) {
+      cell.inf = true;
+      break;
+    }
+    total_ms += result.stats.total_time_s * 1e3;
+    cell.accumulated.Accumulate(result.stats);
+    ++cell.queries_run;
+  }
+  if (!cell.inf && cell.queries_run > 0) {
+    cell.avg_ms = total_ms / cell.queries_run;
+    cell.avg_examined =
+        static_cast<double>(cell.accumulated.examined_routes) / cell.queries_run;
+    cell.avg_nn_queries =
+        static_cast<double>(cell.accumulated.nn_queries) / cell.queries_run;
+  }
+  return cell;
+}
+
+/// Writes the workload's disk store into a temp directory (SK-DB) and opens
+/// it. Returns nullopt on failure.
+class ScopedDiskStore {
+ public:
+  explicit ScopedDiskStore(const Workload& w) {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kosr_bench_store_" + w.name + "_" + std::to_string(::getpid()));
+    w.engine->WriteDiskStore(dir_.string());
+    store_ = std::make_unique<DiskLabelStore>(dir_.string());
+  }
+  ~ScopedDiskStore() { std::filesystem::remove_all(dir_); }
+  const DiskLabelStore& get() const { return *store_; }
+
+ private:
+  std::filesystem::path dir_;
+  std::unique_ptr<DiskLabelStore> store_;
+};
+
+// ---------------------------------------------------------------------------
+// Paper-style table printing.
+// ---------------------------------------------------------------------------
+
+inline void PrintHeader(const char* title, const char* detail) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", title, detail);
+  std::printf("================================================================\n");
+}
+
+inline void PrintRowHeader(const char* axis,
+                           const std::vector<std::string>& columns) {
+  std::printf("%-12s", axis);
+  for (const auto& c : columns) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::string& label,
+                     const std::vector<std::string>& cells) {
+  std::printf("%-12s", label.c_str());
+  for (const auto& c : cells) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark integration: each (row, column) cell of a paper artifact
+// runs as one registered benchmark (single iteration, manual time = average
+// query latency, counters = the paper's other evaluation criteria), and the
+// collected cells are printed as a paper-shaped table at exit.
+// ---------------------------------------------------------------------------
+
+struct TableCell {
+  std::string row;
+  std::string column;
+  CellResult result;
+};
+
+class CellTable {
+ public:
+  explicit CellTable(std::string title, std::string detail)
+      : title_(std::move(title)), detail_(std::move(detail)) {}
+
+  void Record(const std::string& row, const std::string& column,
+              CellResult result) {
+    cells_.push_back({row, column, std::move(result)});
+    if (std::find(rows_.begin(), rows_.end(), row) == rows_.end()) {
+      rows_.push_back(row);
+    }
+    if (std::find(columns_.begin(), columns_.end(), column) ==
+        columns_.end()) {
+      columns_.push_back(column);
+    }
+  }
+
+  const CellResult* Find(const std::string& row,
+                         const std::string& column) const {
+    for (const auto& c : cells_) {
+      if (c.row == row && c.column == column) return &c.result;
+    }
+    return nullptr;
+  }
+
+  enum class Metric { kTimeMs, kExamined, kNnQueries };
+
+  void Print(Metric metric, const char* metric_name) const {
+    PrintHeader(title_.c_str(),
+                (detail_ + std::string(" — ") + metric_name).c_str());
+    PrintRowHeader("", columns_);
+    for (const auto& row : rows_) {
+      std::vector<std::string> cells;
+      for (const auto& column : columns_) {
+        const CellResult* r = Find(row, column);
+        if (r == nullptr) {
+          cells.push_back("-");
+        } else if (metric == Metric::kTimeMs) {
+          cells.push_back(r->TimeString());
+        } else if (metric == Metric::kExamined) {
+          cells.push_back(r->CountString(r->avg_examined));
+        } else {
+          cells.push_back(r->CountString(r->avg_nn_queries));
+        }
+      }
+      PrintRow(row, cells);
+    }
+  }
+
+ private:
+  std::string title_;
+  std::string detail_;
+  std::vector<TableCell> cells_;
+  std::vector<std::string> rows_;
+  std::vector<std::string> columns_;
+};
+
+}  // namespace kosr::bench
+
+#endif  // KOSR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Figure 3(h): effect of category size |Ci| on the FLA analog (|C| = 6,
+// k = 30). The paper sweeps {5000, 10000, 15000, 20000} on the 1.07M-vertex
+// FLA; we sweep the proportionally scaled {128, 256, 384, 512} on the 25.6k
+// analog. Expected shape: both PK and SK degrade as |Ci| grows (Lemma 3's
+// |Ci|*|Ci+1| term), SK more slowly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace kosr::bench {
+namespace {
+
+const uint32_t kSizes[] = {128, 256, 384, 512};
+
+CellTable& Table() {
+  static CellTable t("Figure 3(h): effect of |Ci| on FLA",
+                     "|C|=6, k=30; rows are |Ci| (scaled from the paper's "
+                     "5k/10k/15k/20k), columns are methods");
+  return t;
+}
+
+void RunAll() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  for (uint32_t size : kSizes) {
+    Workload w = MakeFlaWorkload(size);
+    auto queries = MakeQueries(w, 6, 30, QueriesPerPoint(), w.seed + size);
+    std::optional<ScopedDiskStore> store;
+    for (const MethodSpec& m : PaperMethods()) {
+      const DiskLabelStore* disk = nullptr;
+      if (m.disk) {
+        if (!store.has_value()) store.emplace(w);
+        disk = &store->get();
+      }
+      Table().Record("|Ci|=" + std::to_string(size), m.name,
+                     RunMethodCell(w, queries, m, false, disk));
+    }
+  }
+}
+
+void BM_Cell(benchmark::State& state, uint32_t size, std::string method) {
+  RunAll();
+  const CellResult* cell = Table().Find("|Ci|=" + std::to_string(size), method);
+  for (auto _ : state) {
+  }
+  if (cell != nullptr && !cell->inf) {
+    state.SetIterationTime(cell->avg_ms / 1e3);
+    state.counters["examined"] = cell->avg_examined;
+    state.counters["nn_queries"] = cell->avg_nn_queries;
+  } else {
+    state.SetIterationTime(PerQueryBudgetSeconds());
+    state.counters["INF"] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (uint32_t size : kosr::bench::kSizes) {
+    for (const auto& m : kosr::bench::PaperMethods()) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig3_catsize/Ci=") + std::to_string(size) + "/" +
+           m.name)
+              .c_str(),
+          kosr::bench::BM_Cell, size, m.name)
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  using CT = kosr::bench::CellTable;
+  kosr::bench::Table().Print(CT::Metric::kTimeMs, "query time (ms)");
+  kosr::bench::Table().Print(CT::Metric::kExamined, "# examined routes");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 3(d) and 3(e): effect of k in {10, 20, 30, 40, 50} on the FLA and
+// CAL analogs (|C| = 6). The paper's observation to reproduce: all methods
+// are nearly flat in k — once the first optimal route is found, the
+// remaining ones are largely covered by its search space.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace kosr::bench {
+namespace {
+
+const uint32_t kKs[] = {10, 20, 30, 40, 50};
+
+CellTable& FlaTable() {
+  static CellTable t("Figure 3(d): effect of k on FLA",
+                     "|C|=6; rows are k values, columns are methods");
+  return t;
+}
+CellTable& CalTable() {
+  static CellTable t("Figure 3(e): effect of k on CAL",
+                     "|C|=6; rows are k values, columns are methods");
+  return t;
+}
+
+void RunAll() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  struct Target {
+    Workload workload;
+    CellTable* table;
+  };
+  std::vector<Target> targets;
+  targets.push_back({MakeFlaWorkload(), &FlaTable()});
+  targets.push_back({MakeCalWorkload(), &CalTable()});
+  for (const Target& target : targets) {
+    std::optional<ScopedDiskStore> store;
+    for (uint32_t k : kKs) {
+      auto queries = MakeQueries(target.workload, 6, k, QueriesPerPoint(),
+                                 target.workload.seed + k);
+      for (const MethodSpec& m : PaperMethods()) {
+        const DiskLabelStore* disk = nullptr;
+        if (m.disk) {
+          if (!store.has_value()) store.emplace(target.workload);
+          disk = &store->get();
+        }
+        target.table->Record("k=" + std::to_string(k), m.name,
+                             RunMethodCell(target.workload, queries, m, false,
+                                           disk));
+      }
+    }
+  }
+}
+
+void BM_Cell(benchmark::State& state, std::string graph, uint32_t k,
+             std::string method) {
+  RunAll();
+  CellTable& table = graph == "FLA" ? FlaTable() : CalTable();
+  const CellResult* cell = table.Find("k=" + std::to_string(k), method);
+  for (auto _ : state) {
+  }
+  if (cell != nullptr && !cell->inf) {
+    state.SetIterationTime(cell->avg_ms / 1e3);
+    state.counters["examined"] = cell->avg_examined;
+    state.counters["nn_queries"] = cell->avg_nn_queries;
+  } else {
+    state.SetIterationTime(PerQueryBudgetSeconds());
+    state.counters["INF"] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const char* g : {"FLA", "CAL"}) {
+    for (uint32_t k : kosr::bench::kKs) {
+      for (const auto& m : kosr::bench::PaperMethods()) {
+        benchmark::RegisterBenchmark(
+            (std::string("fig3_k/") + g + "/k=" + std::to_string(k) + "/" +
+             m.name)
+                .c_str(),
+            kosr::bench::BM_Cell, g, k, m.name)
+            ->Iterations(1)
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  using CT = kosr::bench::CellTable;
+  kosr::bench::FlaTable().Print(CT::Metric::kTimeMs, "query time (ms)");
+  kosr::bench::CalTable().Print(CT::Metric::kTimeMs, "query time (ms)");
+  return 0;
+}

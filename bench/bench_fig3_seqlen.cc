@@ -1,0 +1,97 @@
+// Figure 3(f) and 3(g): effect of the category-sequence length |C| in
+// {2, 4, 6, 8, 10} on the FLA and CAL analogs (k = 30). The paper's shape:
+// KPNE's search space grows exponentially with |C| and hits INF early; PK
+// and SK grow polynomially, with SK growing the slowest.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace kosr::bench {
+namespace {
+
+const uint32_t kLens[] = {2, 4, 6, 8, 10};
+
+CellTable& FlaTable() {
+  static CellTable t("Figure 3(f): effect of |C| on FLA",
+                     "k=30; rows are |C| values, columns are methods");
+  return t;
+}
+CellTable& CalTable() {
+  static CellTable t("Figure 3(g): effect of |C| on CAL",
+                     "k=30; rows are |C| values, columns are methods");
+  return t;
+}
+
+void RunAll() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  struct Target {
+    Workload workload;
+    CellTable* table;
+  };
+  std::vector<Target> targets;
+  targets.push_back({MakeFlaWorkload(), &FlaTable()});
+  targets.push_back({MakeCalWorkload(), &CalTable()});
+  for (const Target& target : targets) {
+    std::optional<ScopedDiskStore> store;
+    for (uint32_t len : kLens) {
+      auto queries = MakeQueries(target.workload, len, 30, QueriesPerPoint(),
+                                 target.workload.seed + len * 31);
+      for (const MethodSpec& m : PaperMethods()) {
+        const DiskLabelStore* disk = nullptr;
+        if (m.disk) {
+          if (!store.has_value()) store.emplace(target.workload);
+          disk = &store->get();
+        }
+        target.table->Record("|C|=" + std::to_string(len), m.name,
+                             RunMethodCell(target.workload, queries, m, false,
+                                           disk));
+      }
+    }
+  }
+}
+
+void BM_Cell(benchmark::State& state, std::string graph, uint32_t len,
+             std::string method) {
+  RunAll();
+  CellTable& table = graph == "FLA" ? FlaTable() : CalTable();
+  const CellResult* cell = table.Find("|C|=" + std::to_string(len), method);
+  for (auto _ : state) {
+  }
+  if (cell != nullptr && !cell->inf) {
+    state.SetIterationTime(cell->avg_ms / 1e3);
+    state.counters["examined"] = cell->avg_examined;
+    state.counters["nn_queries"] = cell->avg_nn_queries;
+  } else {
+    state.SetIterationTime(PerQueryBudgetSeconds());
+    state.counters["INF"] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const char* g : {"FLA", "CAL"}) {
+    for (uint32_t len : kosr::bench::kLens) {
+      for (const auto& m : kosr::bench::PaperMethods()) {
+        benchmark::RegisterBenchmark(
+            (std::string("fig3_seqlen/") + g + "/C=" + std::to_string(len) +
+             "/" + m.name)
+                .c_str(),
+            kosr::bench::BM_Cell, g, len, m.name)
+            ->Iterations(1)
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  using CT = kosr::bench::CellTable;
+  kosr::bench::FlaTable().Print(CT::Metric::kTimeMs, "query time (ms)");
+  kosr::bench::CalTable().Print(CT::Metric::kTimeMs, "query time (ms)");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 4: performance with small k in {1, 2, 3, 4, 5, 10} on the CAL and
+// FLA analogs (|C| = 6). The paper's shape: query time changes only slightly
+// as k grows, and the proposed methods dominate at every k.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace kosr::bench {
+namespace {
+
+const uint32_t kKs[] = {1, 2, 3, 4, 5, 10};
+
+CellTable& CalTable() {
+  static CellTable t("Figure 4(a): small k on CAL",
+                     "|C|=6; rows are k values, columns are methods");
+  return t;
+}
+CellTable& FlaTable() {
+  static CellTable t("Figure 4(b): small k on FLA",
+                     "|C|=6; rows are k values, columns are methods");
+  return t;
+}
+
+void RunAll() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  struct Target {
+    Workload workload;
+    CellTable* table;
+  };
+  std::vector<Target> targets;
+  targets.push_back({MakeCalWorkload(), &CalTable()});
+  targets.push_back({MakeFlaWorkload(), &FlaTable()});
+  for (const Target& target : targets) {
+    std::optional<ScopedDiskStore> store;
+    for (uint32_t k : kKs) {
+      auto queries = MakeQueries(target.workload, 6, k, QueriesPerPoint(),
+                                 target.workload.seed + 1000 + k);
+      for (const MethodSpec& m : PaperMethods()) {
+        const DiskLabelStore* disk = nullptr;
+        if (m.disk) {
+          if (!store.has_value()) store.emplace(target.workload);
+          disk = &store->get();
+        }
+        target.table->Record("k=" + std::to_string(k), m.name,
+                             RunMethodCell(target.workload, queries, m, false,
+                                           disk));
+      }
+    }
+  }
+}
+
+void BM_Cell(benchmark::State& state, std::string graph, uint32_t k,
+             std::string method) {
+  RunAll();
+  CellTable& table = graph == "CAL" ? CalTable() : FlaTable();
+  const CellResult* cell = table.Find("k=" + std::to_string(k), method);
+  for (auto _ : state) {
+  }
+  if (cell != nullptr && !cell->inf) {
+    state.SetIterationTime(cell->avg_ms / 1e3);
+    state.counters["examined"] = cell->avg_examined;
+  } else {
+    state.SetIterationTime(PerQueryBudgetSeconds());
+    state.counters["INF"] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const char* g : {"CAL", "FLA"}) {
+    for (uint32_t k : kosr::bench::kKs) {
+      for (const auto& m : kosr::bench::PaperMethods()) {
+        benchmark::RegisterBenchmark(
+            (std::string("fig4/") + g + "/k=" + std::to_string(k) + "/" +
+             m.name)
+                .c_str(),
+            kosr::bench::BM_Cell, g, k, m.name)
+            ->Iterations(1)
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  using CT = kosr::bench::CellTable;
+  kosr::bench::CalTable().Print(CT::Metric::kTimeMs, "query time (ms)");
+  kosr::bench::FlaTable().Print(CT::Metric::kTimeMs, "query time (ms)");
+  return 0;
+}

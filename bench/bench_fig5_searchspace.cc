@@ -1,0 +1,96 @@
+// Figure 5: the searching space of SK (StarKOSR) along the category
+// sequence — average number of examined witnesses per category depth on each
+// graph (defaults |C| = 6, k = 30). The paper's shape: one route at depth 0,
+// a rise while the A* estimates are loose, then a sharp shrink as estimates
+// tighten, ending with ~k routes at the destination depth.
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "bench/bench_common.h"
+
+namespace kosr::bench {
+namespace {
+
+constexpr uint32_t kSeqLen = 6;
+constexpr uint32_t kK = 30;
+
+struct Series {
+  std::string graph;
+  std::vector<double> per_depth;  // avg examined per category index
+};
+
+std::vector<Series>& AllSeries() {
+  static std::vector<Series> series;
+  return series;
+}
+
+void RunAll() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  auto workloads = MakeAllGraphWorkloads();
+  MethodSpec sk{"SK", Algorithm::kStar, NnMode::kHopLabel};
+  for (const Workload& w : workloads) {
+    auto queries = MakeQueries(w, kSeqLen, kK, QueriesPerPoint(), w.seed + 5);
+    CellResult cell = RunMethodCell(w, queries, sk);
+    Series s;
+    s.graph = w.name;
+    for (size_t depth = 0; depth < cell.accumulated.examined_per_depth.size();
+         ++depth) {
+      s.per_depth.push_back(
+          static_cast<double>(cell.accumulated.examined_per_depth[depth]) /
+          std::max(1u, cell.queries_run));
+    }
+    AllSeries().push_back(std::move(s));
+  }
+}
+
+void BM_Series(benchmark::State& state, std::string graph) {
+  RunAll();
+  for (auto _ : state) {
+  }
+  for (const Series& s : AllSeries()) {
+    if (s.graph != graph) continue;
+    for (size_t d = 0; d < s.per_depth.size(); ++d) {
+      state.counters["depth_" + std::to_string(d)] = s.per_depth[d];
+    }
+  }
+  state.SetIterationTime(1e-9);
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const char* g : {"CAL", "NYC", "COL", "FLA", "G+"}) {
+    benchmark::RegisterBenchmark((std::string("fig5/") + g).c_str(),
+                                 kosr::bench::BM_Series, g)
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+  benchmark::RunSpecifiedBenchmarks();
+
+  kosr::bench::PrintHeader(
+      "Figure 5: searching space of SK at each category depth",
+      "avg # examined witnesses per depth (0 = source, 7 = destination); "
+      "|C|=6, k=30");
+  std::vector<std::string> columns;
+  for (uint32_t d = 0; d <= kosr::bench::kSeqLen + 1; ++d) {
+    columns.push_back("d=" + std::to_string(d));
+  }
+  kosr::bench::PrintRowHeader("graph", columns);
+  for (const auto& s : kosr::bench::AllSeries()) {
+    std::vector<std::string> cells;
+    for (uint32_t d = 0; d <= kosr::bench::kSeqLen + 1; ++d) {
+      char buffer[32];
+      double v = d < s.per_depth.size() ? s.per_depth[d] : 0;
+      std::snprintf(buffer, sizeof(buffer), "%.1f", v);
+      cells.push_back(buffer);
+    }
+    kosr::bench::PrintRow(s.graph, cells);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 6: Zipfian category-size distributions on the FLA analog, skew
+// factor f in {1.2, 1.4, 1.6, 1.8} with |C| = 6, k = 30 (the paper's exact
+// configuration, 100 categories). Expected shape: PK's time grows with f
+// (less skew = more similar |Ci|*|Ci+1| products = more candidates), KPNE
+// hits INF once distributions flatten, SK stays fastest throughout.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace kosr::bench {
+namespace {
+
+const double kFactors[] = {1.2, 1.4, 1.6, 1.8};
+constexpr uint32_t kNumCategories = 100;
+
+CellTable& Table() {
+  static CellTable t("Figure 6: Zipfian category distribution on FLA",
+                     "|C|=6, k=30, 100 categories; rows are skew factor f");
+  return t;
+}
+
+std::string RowName(double f) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "f=%.1f", f);
+  return buffer;
+}
+
+void RunAll() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  const MethodSpec methods[] = {
+      {"KPNE", Algorithm::kKpne, NnMode::kHopLabel},
+      {"PK", Algorithm::kPruning, NnMode::kHopLabel},
+      {"SK", Algorithm::kStar, NnMode::kHopLabel},
+  };
+  for (double f : kFactors) {
+    Workload w = MakeZipfGridWorkload("FLA-zipf", 160, kNumCategories, f,
+                                      104 + static_cast<uint64_t>(f * 10));
+    auto queries = MakeQueries(w, 6, 30, QueriesPerPoint(), w.seed + 77);
+    for (const MethodSpec& m : methods) {
+      Table().Record(RowName(f), m.name, RunMethodCell(w, queries, m));
+    }
+  }
+}
+
+void BM_Cell(benchmark::State& state, double f, std::string method) {
+  RunAll();
+  const CellResult* cell = Table().Find(RowName(f), method);
+  for (auto _ : state) {
+  }
+  if (cell != nullptr && !cell->inf) {
+    state.SetIterationTime(cell->avg_ms / 1e3);
+    state.counters["examined"] = cell->avg_examined;
+  } else {
+    state.SetIterationTime(PerQueryBudgetSeconds());
+    state.counters["INF"] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (double f : kosr::bench::kFactors) {
+    for (const char* m : {"KPNE", "PK", "SK"}) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig6/") + kosr::bench::RowName(f) + "/" + m).c_str(),
+          kosr::bench::BM_Cell, f, m)
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  using CT = kosr::bench::CellTable;
+  kosr::bench::Table().Print(CT::Metric::kTimeMs, "query time (ms)");
+  kosr::bench::Table().Print(CT::Metric::kExamined, "# examined routes");
+  return 0;
+}

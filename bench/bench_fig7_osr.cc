@@ -1,0 +1,102 @@
+// Figure 7: OSR queries (k = 1) — the proposed methods against GSP, the
+// state-of-the-art optimal-sequenced-route algorithm [29]. Expected shape:
+// GSP beats KPNE and the Dijkstra-backed variants everywhere and beats PK on
+// the large-category graphs (COL, FLA), but SK and SK-DB beat GSP on every
+// graph; GSP's time grows with graph size while SK's does not.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace kosr::bench {
+namespace {
+
+constexpr uint32_t kSeqLen = 6;
+
+CellTable& Table() {
+  static CellTable t("Figure 7: OSR (k=1) — proposed methods vs GSP",
+                     "|C|=6, k=1; columns are methods, rows are graphs");
+  return t;
+}
+
+CellResult RunGspCell(const Workload& w, const std::vector<KosrQuery>& qs) {
+  CellResult cell;
+  double total_ms = 0;
+  WallTimer budget_timer;
+  for (const KosrQuery& q : qs) {
+    QueryStats stats;
+    WallTimer t;
+    w.engine->QueryGsp(q.source, q.target, q.sequence, &stats);
+    double ms = t.ElapsedMillis();
+    total_ms += ms;
+    cell.accumulated.Accumulate(stats);
+    ++cell.queries_run;
+    if (ms / 1e3 > PerQueryBudgetSeconds()) {
+      cell.inf = true;
+      break;
+    }
+  }
+  if (!cell.inf && cell.queries_run > 0) {
+    cell.avg_ms = total_ms / cell.queries_run;
+  }
+  return cell;
+}
+
+void RunAll() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  auto workloads = MakeAllGraphWorkloads();
+  for (const Workload& w : workloads) {
+    auto queries = MakeQueries(w, kSeqLen, 1, QueriesPerPoint(), w.seed + 9);
+    std::optional<ScopedDiskStore> store;
+    for (const MethodSpec& m : PaperMethods()) {
+      const DiskLabelStore* disk = nullptr;
+      if (m.disk) {
+        if (!store.has_value()) store.emplace(w);
+        disk = &store->get();
+      }
+      Table().Record(w.name, m.name, RunMethodCell(w, queries, m, false, disk));
+    }
+    Table().Record(w.name, "GSP", RunGspCell(w, queries));
+  }
+}
+
+void BM_Cell(benchmark::State& state, std::string graph, std::string method) {
+  RunAll();
+  const CellResult* cell = Table().Find(graph, method);
+  for (auto _ : state) {
+  }
+  if (cell != nullptr && !cell->inf) {
+    state.SetIterationTime(cell->avg_ms / 1e3);
+  } else {
+    state.SetIterationTime(PerQueryBudgetSeconds());
+    state.counters["INF"] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const char* g : {"CAL", "NYC", "COL", "FLA", "G+"}) {
+    for (const auto& m : kosr::bench::PaperMethods()) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig7/") + g + "/" + m.name).c_str(),
+          kosr::bench::BM_Cell, g, m.name)
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark((std::string("fig7/") + g + "/GSP").c_str(),
+                                 kosr::bench::BM_Cell, g, "GSP")
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  using CT = kosr::bench::CellTable;
+  kosr::bench::Table().Print(CT::Metric::kTimeMs, "query time (ms)");
+  return 0;
+}

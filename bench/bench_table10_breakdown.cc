@@ -1,0 +1,105 @@
+// Table X: distribution of query run-time on the FLA analog for PK and SK —
+// NN query time, priority-queue maintenance time, estimation time, and the
+// unattributed remainder. Expected shape: NN queries dominate both methods;
+// PK spends far more total time (and more queue time) than SK; only SK pays
+// an estimation cost and it is a small share of its total.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace kosr::bench {
+namespace {
+
+struct BreakdownRow {
+  std::string method;
+  double overall_ms = 0;
+  double nn_ms = 0;
+  double queue_ms = 0;
+  double estimation_ms = 0;
+  double other_ms = 0;
+};
+
+std::vector<BreakdownRow>& Rows() {
+  static std::vector<BreakdownRow> rows;
+  return rows;
+}
+
+void RunAll() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  Workload w = MakeFlaWorkload();
+  auto queries = MakeQueries(w, 6, 30, QueriesPerPoint(), w.seed + 10);
+  const MethodSpec methods[] = {
+      {"PK", Algorithm::kPruning, NnMode::kHopLabel},
+      {"SK", Algorithm::kStar, NnMode::kHopLabel},
+  };
+  for (const MethodSpec& m : methods) {
+    CellResult cell =
+        RunMethodCell(w, queries, m, /*collect_phase_times=*/true);
+    BreakdownRow row;
+    row.method = m.name;
+    uint32_t n = std::max(1u, cell.queries_run);
+    row.overall_ms = cell.accumulated.total_time_s * 1e3 / n;
+    row.nn_ms = cell.accumulated.nn_time_s * 1e3 / n;
+    row.queue_ms = cell.accumulated.queue_time_s * 1e3 / n;
+    row.estimation_ms = cell.accumulated.estimation_time_s * 1e3 / n;
+    row.other_ms = cell.accumulated.OtherTimeSeconds() * 1e3 / n;
+    Rows().push_back(row);
+  }
+}
+
+void BM_Breakdown(benchmark::State& state, std::string method) {
+  RunAll();
+  for (auto _ : state) {
+  }
+  for (const BreakdownRow& row : Rows()) {
+    if (row.method != method) continue;
+    state.SetIterationTime(row.overall_ms / 1e3);
+    state.counters["nn_ms"] = row.nn_ms;
+    state.counters["queue_ms"] = row.queue_ms;
+    state.counters["estimation_ms"] = row.estimation_ms;
+    state.counters["other_ms"] = row.other_ms;
+  }
+}
+
+std::string Fmt(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+  return buffer;
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const char* m : {"PK", "SK"}) {
+    benchmark::RegisterBenchmark((std::string("table10/") + m).c_str(),
+                                 kosr::bench::BM_Breakdown, m)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+
+  using kosr::bench::Fmt;
+  kosr::bench::PrintHeader(
+      "Table X: distribution of the query time (ms) on FLA",
+      "per-query averages; |C|=6, k=30");
+  kosr::bench::PrintRowHeader("phase", {"PK", "SK"});
+  auto& rows = kosr::bench::Rows();
+  if (rows.size() == 2) {
+    kosr::bench::PrintRow("Overall", {Fmt(rows[0].overall_ms),
+                                      Fmt(rows[1].overall_ms)});
+    kosr::bench::PrintRow("NN query", {Fmt(rows[0].nn_ms), Fmt(rows[1].nn_ms)});
+    kosr::bench::PrintRow("PQ maint.",
+                          {Fmt(rows[0].queue_ms), Fmt(rows[1].queue_ms)});
+    kosr::bench::PrintRow("Estimation", {Fmt(rows[0].estimation_ms),
+                                         Fmt(rows[1].estimation_ms)});
+    kosr::bench::PrintRow("Others",
+                          {Fmt(rows[0].other_ms), Fmt(rows[1].other_ms)});
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Table IX: preprocessing results on all graphs — hub-label construction
+// time, average Lin/Lout label sizes, and index size, plus the same for the
+// inverted label indexes (build time, avg |IL(Ci)| entries per category,
+// avg |IL(v)| entries per inverted list, index size).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace kosr::bench {
+namespace {
+
+struct PreprocRow {
+  std::string graph;
+  uint32_t vertices;
+  uint64_t edges;
+  double label_seconds;
+  double avg_in, avg_out;
+  double label_mb;
+  double inverted_seconds;
+  double avg_il_per_category;
+  double avg_il_per_list;
+  double inverted_mb;
+};
+
+std::vector<PreprocRow>& Rows() {
+  static std::vector<PreprocRow> rows;
+  return rows;
+}
+
+void RunAll() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  auto workloads = MakeAllGraphWorkloads();
+  for (const Workload& w : workloads) {
+    const KosrEngine& engine = *w.engine;
+    PreprocRow row;
+    row.graph = w.name;
+    row.vertices = engine.graph().num_vertices();
+    row.edges = engine.graph().num_edges();
+    row.label_seconds = engine.label_build_seconds();
+    row.avg_in = engine.labeling().AvgInLabelSize();
+    row.avg_out = engine.labeling().AvgOutLabelSize();
+    row.label_mb = engine.labeling().IndexBytes() / 1048576.0;
+    row.inverted_seconds = engine.inverted_build_seconds();
+    uint64_t total_entries = 0, total_lists = 0, bytes = 0;
+    uint32_t num_categories = engine.categories().num_categories();
+    for (CategoryId c = 0; c < num_categories; ++c) {
+      total_entries += engine.inverted(c).total_entries();
+      total_lists += engine.inverted(c).num_lists();
+      bytes += engine.inverted(c).IndexBytes();
+    }
+    row.avg_il_per_category =
+        num_categories > 0 ? static_cast<double>(total_entries) / num_categories
+                           : 0;
+    row.avg_il_per_list =
+        total_lists > 0 ? static_cast<double>(total_entries) / total_lists : 0;
+    row.inverted_mb = bytes / 1048576.0;
+    Rows().push_back(row);
+  }
+}
+
+void BM_Preprocessing(benchmark::State& state, std::string graph) {
+  RunAll();
+  for (auto _ : state) {
+  }
+  for (const PreprocRow& row : Rows()) {
+    if (row.graph != graph) continue;
+    state.SetIterationTime(row.label_seconds + row.inverted_seconds);
+    state.counters["avg_Lin"] = row.avg_in;
+    state.counters["avg_Lout"] = row.avg_out;
+    state.counters["label_MB"] = row.label_mb;
+    state.counters["inv_MB"] = row.inverted_mb;
+  }
+}
+
+std::string Fmt(double v, const char* format = "%.2f") {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), format, v);
+  return buffer;
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const char* g : {"CAL", "NYC", "COL", "FLA", "G+"}) {
+    benchmark::RegisterBenchmark((std::string("table9/") + g).c_str(),
+                                 kosr::bench::BM_Preprocessing, g)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+
+  using kosr::bench::Fmt;
+  kosr::bench::PrintHeader("Table IX: preprocessing results",
+                           "hub label indexes (top) and inverted label "
+                           "indexes (bottom)");
+  kosr::bench::PrintRowHeader(
+      "graph", {"|V|", "|E|", "time(s)", "avg|Lin|", "avg|Lout|", "size(MB)"});
+  for (const auto& row : kosr::bench::Rows()) {
+    kosr::bench::PrintRow(
+        row.graph,
+        {std::to_string(row.vertices), std::to_string(row.edges),
+         Fmt(row.label_seconds), Fmt(row.avg_in, "%.1f"),
+         Fmt(row.avg_out, "%.1f"), Fmt(row.label_mb)});
+  }
+  std::printf("\n");
+  kosr::bench::PrintRowHeader(
+      "graph", {"time(s)", "avg|IL(Ci)|", "avg|IL(v)|", "size(MB)"});
+  for (const auto& row : kosr::bench::Rows()) {
+    kosr::bench::PrintRow(row.graph, {Fmt(row.inverted_seconds),
+                                      Fmt(row.avg_il_per_category, "%.1f"),
+                                      Fmt(row.avg_il_per_list, "%.1f"),
+                                      Fmt(row.inverted_mb)});
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: the paper's running example (Figure 1).
+//
+// Alice starts at s, wants to pass a shopping mall (MA), then a restaurant
+// (RE), then a cinema (CI), and finally reach t. This asks the KOSR query
+// (s, t, <MA, RE, CI>, 3) and prints the top-3 optimal sequenced routes —
+// costs 20, 21 and 22, exactly Example 1 of the paper.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/engine.h"
+#include "src/graph/generators.h"
+
+int main() {
+  using namespace kosr;
+
+  // 1. Build (or load) a graph and its category table.
+  Figure1 fig = MakeFigure1();
+
+  // 2. Hand them to the engine and build the hub-label + inverted indexes.
+  KosrEngine engine(fig.graph, fig.categories);
+  engine.BuildIndexes();
+
+  // 3. Ask for the top-3 optimal sequenced routes.
+  KosrQuery query;
+  query.source = Figure1::s;
+  query.target = Figure1::t;
+  query.sequence = {Figure1::MA, Figure1::RE, Figure1::CI};
+  query.k = 3;
+
+  KosrOptions options;
+  options.algorithm = Algorithm::kStar;  // StarKOSR (default, fastest)
+  options.reconstruct_paths = true;      // expand witnesses to real paths
+
+  KosrResult result = engine.Query(query, options);
+
+  std::printf("Top-%u optimal sequenced routes for <MA, RE, CI>:\n\n",
+              query.k);
+  for (size_t i = 0; i < result.routes.size(); ++i) {
+    const SequencedRoute& route = result.routes[i];
+    std::printf("#%zu  cost=%lld  witness:", i + 1,
+                static_cast<long long>(route.cost));
+    for (VertexId v : route.witness) {
+      std::printf(" %s", Figure1::VertexName(v).c_str());
+    }
+    std::printf("\n     full path:");
+    for (VertexId v : route.path) {
+      std::printf(" %s", Figure1::VertexName(v).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nSearch statistics: %s\n", result.stats.ToString().c_str());
+  return 0;
+}

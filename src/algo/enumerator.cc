@@ -1,0 +1,126 @@
+#include "src/algo/enumerator.h"
+
+#include "src/util/timer.h"
+
+namespace kosr {
+
+PruningKosrEnumerator::PruningKosrEnumerator(const AlgoConfig& config,
+                                             NnProvider* nn)
+    : config_(config), nn_(nn), complete_depth_(config.CompleteDepth()) {
+  stats_.timing_enabled = config.collect_phase_times;
+  if (config_.seeds.empty()) {
+    Push(0, pool_.Add(config_.source, 0, 0, kNoWitness, 1));
+  } else {
+    for (const Seed& s : config_.seeds) {
+      Push(s.cost, pool_.Add(s.vertex, s.depth, s.cost, kNoWitness, kNoX));
+    }
+  }
+}
+
+std::optional<NnResult> PruningKosrEnumerator::TimedNn(VertexId v,
+                                                       uint32_t slot,
+                                                       uint32_t x) {
+  if (!stats_.timing_enabled) return nn_->FindNN(v, slot, x, &stats_);
+  double est_before = stats_.estimation_time_s;
+  WallTimer t;
+  auto r = nn_->FindNN(v, slot, x, &stats_);
+  stats_.nn_time_s +=
+      t.ElapsedSeconds() - (stats_.estimation_time_s - est_before);
+  return r;
+}
+
+void PruningKosrEnumerator::Push(Cost priority, uint32_t id) {
+  if (stats_.timing_enabled) {
+    WallTimer t;
+    queue_.emplace(priority, id);
+    stats_.queue_time_s += t.ElapsedSeconds();
+  } else {
+    queue_.emplace(priority, id);
+  }
+}
+
+bool PruningKosrEnumerator::BudgetExceeded() {
+  if (config_.max_examined != 0 &&
+      stats_.examined_routes >= config_.max_examined) {
+    return true;
+  }
+  // The clock is only consulted periodically; it is the expensive check.
+  if ((stats_.examined_routes & 1023) != 0) return false;
+  return config_.time_budget_s != 0 && stats_.total_time_s > config_.time_budget_s;
+}
+
+std::optional<SequencedRoute> PruningKosrEnumerator::Next() {
+  WallTimer timer;
+  auto charge_time = [&] { stats_.total_time_s += timer.ElapsedSeconds(); };
+
+  while (!queue_.empty()) {
+    stats_.total_time_s += timer.ElapsedSeconds();
+    timer.Reset();
+    if (BudgetExceeded()) {
+      stats_.timed_out = true;
+      return std::nullopt;
+    }
+    auto [cost, id] = queue_.top();
+    queue_.pop();
+    const WitnessNode node = pool_[id];
+    stats_.RecordExamined(node.depth);
+
+    // Sibling candidate (Algorithm 2 lines 20-22); also runs for complete
+    // and dominated witnesses — a no-op with a destination slot, required
+    // in the no-destination variant.
+    if (node.depth > 0 && node.x != kNoX) {
+      const WitnessNode& parent = pool_[node.parent];
+      if (auto r = TimedNn(parent.vertex, node.depth, node.x + 1)) {
+        uint32_t sibling = pool_.Add(r->vertex, node.depth,
+                                     parent.cost + r->dist, node.parent,
+                                     node.x + 1);
+        Push(pool_[sibling].cost, sibling);
+      }
+    }
+
+    if (node.depth == complete_depth_) {
+      // Reconsider dominated routes along this result's prefix.
+      uint32_t ancestor = node.parent;
+      while (ancestor != kNoWitness && pool_[ancestor].depth >= 1) {
+        const WitnessNode& anc = pool_[ancestor];
+        uint64_t key = KeyOf(anc.vertex, anc.depth);
+        auto it = dominator_.find(key);
+        if (it != dominator_.end() && it->second == ancestor) {
+          auto sub = dominated_.find(key);
+          if (sub != dominated_.end() && !sub->second.empty()) {
+            auto [rcost, rid] = sub->second.top();
+            sub->second.pop();
+            pool_[rid].x = kNoX;
+            Push(rcost, rid);
+            ++stats_.reconsidered_routes;
+          }
+          dominator_.erase(it);
+        }
+        ancestor = anc.parent;
+      }
+      ++emitted_;
+      SequencedRoute route;
+      route.cost = node.cost;
+      route.witness = pool_.Vertices(id);
+      charge_time();
+      return route;
+    }
+
+    uint64_t key = KeyOf(node.vertex, node.depth);
+    auto [it, inserted] = dominator_.try_emplace(key, id);
+    if (inserted) {
+      if (auto r = TimedNn(node.vertex, node.depth + 1, 1)) {
+        uint32_t child = pool_.Add(r->vertex, node.depth + 1,
+                                   node.cost + r->dist, id, 1);
+        Push(pool_[child].cost, child);
+      }
+    } else {
+      dominated_[key].emplace(cost, id);
+      ++stats_.dominated_routes;
+    }
+  }
+  charge_time();
+  return std::nullopt;
+}
+
+}  // namespace kosr

@@ -1,0 +1,69 @@
+#ifndef KOSR_ALGO_ENUMERATOR_H_
+#define KOSR_ALGO_ENUMERATOR_H_
+
+#include <optional>
+#include <queue>
+#include <unordered_map>
+
+#include "src/algo/run_config.h"
+#include "src/algo/witness_pool.h"
+#include "src/core/query.h"
+#include "src/nn/nn_provider.h"
+
+namespace kosr {
+
+/// Resumable PruningKOSR search (Algorithm 2) exposed as a route stream.
+///
+/// KOSR's search is inherently progressive — the k-th route is found by
+/// continuing exactly where the (k-1)-th stopped (this is what lets the
+/// paper bound the marginal cost of each additional route by (k-1)·Σ|Ci|).
+/// The enumerator makes that a public API: call Next() until nullopt; asking
+/// for one more route never repeats work. RunPruningKosr() is a thin loop
+/// over this class.
+///
+/// The `k` in the config is ignored here; budgets (max examined routes /
+/// time) still apply across the whole enumeration.
+class PruningKosrEnumerator {
+ public:
+  /// `nn` must outlive the enumerator.
+  PruningKosrEnumerator(const AlgoConfig& config, NnProvider* nn);
+
+  /// Returns the next-cheapest feasible route, or nullopt when the search
+  /// space is exhausted or a budget was hit (stats().timed_out tells which).
+  std::optional<SequencedRoute> Next();
+
+  /// Counters accumulated so far.
+  const QueryStats& stats() const { return stats_; }
+  QueryStats& stats() { return stats_; }
+
+  /// Number of routes emitted so far.
+  uint32_t emitted() const { return emitted_; }
+
+ private:
+  using QueueEntry = std::pair<Cost, uint32_t>;
+  using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                       std::greater<>>;
+
+  uint64_t KeyOf(VertexId v, uint32_t depth) const {
+    return static_cast<uint64_t>(v) * (complete_depth_ + 1) + depth;
+  }
+  std::optional<NnResult> TimedNn(VertexId v, uint32_t slot, uint32_t x);
+  void Push(Cost priority, uint32_t id);
+  bool BudgetExceeded();
+
+  AlgoConfig config_;
+  NnProvider* nn_;
+  uint32_t complete_depth_;
+
+  WitnessPool pool_;
+  MinQueue queue_;
+  std::unordered_map<uint64_t, uint32_t> dominator_;
+  std::unordered_map<uint64_t, MinQueue> dominated_;
+  QueryStats stats_;
+  uint32_t emitted_ = 0;
+  double start_seconds_ = 0;  // wall time consumed by earlier Next() calls
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_ALGO_ENUMERATOR_H_

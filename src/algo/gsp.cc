@@ -1,0 +1,104 @@
+#include "src/algo/gsp.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/min_heap.h"
+#include "src/util/timer.h"
+
+namespace kosr {
+
+std::optional<SequencedRoute> RunGsp(const Graph& graph,
+                                     const CategoryTable& categories,
+                                     const CategorySequence& sequence,
+                                     VertexId source, VertexId target,
+                                     QueryStats* stats) {
+  WallTimer timer;
+  const uint32_t n = graph.num_vertices();
+  uint64_t settled_total = 0;
+
+  // Per-layer results: cost of the best partial route ending at each layer
+  // vertex, and the previous-layer vertex it came through (for witness
+  // reconstruction).
+  struct LayerEntry {
+    Cost cost;
+    VertexId via;
+  };
+  std::vector<std::unordered_map<VertexId, LayerEntry>> layers;
+  layers.push_back({{source, {0, kInvalidVertex}}});
+
+  // Scratch for the multi-source Dijkstra.
+  std::vector<Cost> dist(n, kInfCost);
+  std::vector<VertexId> origin(n, kInvalidVertex);
+  std::vector<VertexId> touched;
+  IndexedMinHeap heap(n);
+
+  auto run_layer =
+      [&](const std::unordered_map<VertexId, LayerEntry>& seeds,
+          const std::vector<VertexId>& goals, bool stop_at_single_goal)
+      -> std::unordered_map<VertexId, LayerEntry> {
+    for (const auto& [v, entry] : seeds) {
+      dist[v] = entry.cost;
+      origin[v] = v;
+      touched.push_back(v);
+      heap.InsertOrDecrease(v, entry.cost);
+    }
+    std::unordered_map<VertexId, LayerEntry> out;
+    while (!heap.Empty()) {
+      auto [d, u] = heap.ExtractMin();
+      ++settled_total;
+      if (stop_at_single_goal && u == goals.front()) break;
+      for (const Arc& a : graph.OutArcs(u)) {
+        Cost nd = d + a.weight;
+        if (nd < dist[a.head]) {
+          if (dist[a.head] == kInfCost) touched.push_back(a.head);
+          dist[a.head] = nd;
+          origin[a.head] = origin[u];
+          heap.InsertOrDecrease(a.head, nd);
+        }
+      }
+    }
+    for (VertexId g : goals) {
+      if (dist[g] != kInfCost) out[g] = {dist[g], origin[g]};
+    }
+    for (VertexId v : touched) {
+      dist[v] = kInfCost;
+      origin[v] = kInvalidVertex;
+    }
+    touched.clear();
+    heap.Clear();
+    return out;
+  };
+
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    auto members = categories.Members(sequence[i]);
+    std::vector<VertexId> goals(members.begin(), members.end());
+    layers.push_back(run_layer(layers.back(), goals, false));
+    if (layers.back().empty()) return std::nullopt;  // layer unreachable
+  }
+  layers.push_back(run_layer(layers.back(), {target}, true));
+
+  if (stats != nullptr) {
+    stats->examined_routes += settled_total;
+    stats->total_time_s += timer.ElapsedSeconds();
+  }
+
+  auto final_it = layers.back().find(target);
+  if (final_it == layers.back().end()) return std::nullopt;
+
+  SequencedRoute route;
+  route.cost = final_it->second.cost;
+  // Walk the via-chain backward through the layers.
+  std::vector<VertexId> witness;
+  VertexId cur = target;
+  for (size_t layer = layers.size() - 1; layer > 0; --layer) {
+    witness.push_back(cur);
+    cur = layers[layer].at(cur).via;
+  }
+  witness.push_back(cur);  // the source
+  std::reverse(witness.begin(), witness.end());
+  route.witness = std::move(witness);
+  return route;
+}
+
+}  // namespace kosr

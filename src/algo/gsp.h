@@ -1,0 +1,34 @@
+#ifndef KOSR_ALGO_GSP_H_
+#define KOSR_ALGO_GSP_H_
+
+#include <optional>
+
+#include "src/core/query.h"
+#include "src/graph/categories.h"
+#include "src/graph/graph.h"
+
+namespace kosr {
+
+/// GSP — the state-of-the-art *optimal sequenced route* (k = 1) method of
+/// Rice & Tsotras [29], reproduced as the Figure-7 comparator.
+///
+/// Dynamic program over category layers:
+///   X[i][v] = min over u in C_{i-1} of X[i-1][u] + dis(u, v),  v in C_i,
+/// with X[0][s] = 0 and the answer X[|C|+1][t]. Each transition is computed
+/// with one multi-source Dijkstra seeded by the previous layer's costs —
+/// O(|C|) graph searches in total, the property the paper's analysis of GSP
+/// relies on (the original uses contraction-hierarchy searches; see
+/// DESIGN.md for the substitution note). The recurrence only carries least
+/// costs, which is exactly why GSP cannot be extended to k > 1 (Sec. III-B).
+///
+/// Returns nullopt if no feasible route exists. `stats` (optional) receives
+/// settled-vertex counts in examined_routes and the wall time.
+std::optional<SequencedRoute> RunGsp(const Graph& graph,
+                                     const CategoryTable& categories,
+                                     const CategorySequence& sequence,
+                                     VertexId source, VertexId target,
+                                     QueryStats* stats = nullptr);
+
+}  // namespace kosr
+
+#endif  // KOSR_ALGO_GSP_H_

@@ -1,0 +1,101 @@
+#include "src/algo/kpne.h"
+
+#include <queue>
+
+#include "src/algo/witness_pool.h"
+#include "src/util/timer.h"
+
+namespace kosr {
+
+KosrResult RunKpne(const AlgoConfig& config, NnProvider& nn) {
+  KosrResult result;
+  QueryStats& stats = result.stats;
+  stats.timing_enabled = config.collect_phase_times;
+  WallTimer total_timer;
+
+  WitnessPool pool;
+  using QueueEntry = std::pair<Cost, uint32_t>;  // (cost, node id)
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+
+  auto timed_nn = [&](VertexId v, uint32_t slot, uint32_t x) {
+    if (!stats.timing_enabled) return nn.FindNN(v, slot, x, &stats);
+    double est_before = stats.estimation_time_s;
+    WallTimer t;
+    auto r = nn.FindNN(v, slot, x, &stats);
+    stats.nn_time_s +=
+        t.ElapsedSeconds() - (stats.estimation_time_s - est_before);
+    return r;
+  };
+  auto push = [&](Cost priority, uint32_t id) {
+    if (stats.timing_enabled) {
+      WallTimer t;
+      queue.emplace(priority, id);
+      stats.queue_time_s += t.ElapsedSeconds();
+    } else {
+      queue.emplace(priority, id);
+    }
+  };
+
+  if (config.seeds.empty()) {
+    push(0, pool.Add(config.source, 0, 0, kNoWitness, 1));
+  } else {
+    for (const Seed& s : config.seeds) {
+      push(s.cost, pool.Add(s.vertex, s.depth, s.cost, kNoWitness, kNoX));
+    }
+  }
+
+  const uint32_t complete_depth = config.CompleteDepth();
+  std::vector<uint32_t> found;
+
+  while (!queue.empty() && found.size() < config.k) {
+    if ((config.max_examined != 0 &&
+         stats.examined_routes >= config.max_examined) ||
+        ((stats.examined_routes & 1023) == 0 && config.time_budget_s != 0 &&
+         total_timer.ElapsedSeconds() > config.time_budget_s)) {
+      stats.timed_out = true;
+      break;
+    }
+    auto [cost, id] = queue.top();
+    queue.pop();
+    const WitnessNode node = pool[id];
+    stats.RecordExamined(node.depth);
+
+    // Sibling candidate: parent's next nearest neighbor at this depth. Also
+    // runs for complete routes — a no-op when a destination slot exists (the
+    // dummy category {t} has no 2nd neighbor) but required in the
+    // no-destination variant, where complete routes still have siblings.
+    if (node.depth > 0 && node.x != kNoX) {
+      const WitnessNode& parent = pool[node.parent];
+      if (auto r = timed_nn(parent.vertex, node.depth, node.x + 1)) {
+        uint32_t sibling = pool.Add(r->vertex, node.depth,
+                                    parent.cost + r->dist, node.parent,
+                                    node.x + 1);
+        push(pool[sibling].cost, sibling);
+      }
+    }
+
+    if (node.depth == complete_depth) {
+      found.push_back(id);
+      continue;
+    }
+
+    // Extend via the nearest neighbor in the next slot.
+    if (auto r = timed_nn(node.vertex, node.depth + 1, 1)) {
+      uint32_t child =
+          pool.Add(r->vertex, node.depth + 1, node.cost + r->dist, id, 1);
+      push(pool[child].cost, child);
+    }
+  }
+
+  for (uint32_t id : found) {
+    SequencedRoute route;
+    route.cost = pool[id].cost;
+    route.witness = pool.Vertices(id);
+    result.routes.push_back(std::move(route));
+  }
+  stats.total_time_s = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kosr

@@ -1,0 +1,18 @@
+#ifndef KOSR_ALGO_KPNE_H_
+#define KOSR_ALGO_KPNE_H_
+
+#include "src/algo/run_config.h"
+#include "src/core/query.h"
+#include "src/nn/nn_provider.h"
+
+namespace kosr {
+
+/// KPNE — the baseline: progressive neighbor exploration (PNE [32],
+/// Algorithm 1 of the paper) extended to top-k (Sec. III-B). Examines every
+/// partially explored candidate whose cost is below the k-th optimal route;
+/// worst-case route count is exponential in |C|.
+KosrResult RunKpne(const AlgoConfig& config, NnProvider& nn);
+
+}  // namespace kosr
+
+#endif  // KOSR_ALGO_KPNE_H_

@@ -1,0 +1,19 @@
+#include "src/algo/pruning_kosr.h"
+
+#include "src/algo/enumerator.h"
+
+namespace kosr {
+
+KosrResult RunPruningKosr(const AlgoConfig& config, NnProvider& nn) {
+  PruningKosrEnumerator enumerator(config, &nn);
+  KosrResult result;
+  while (enumerator.emitted() < config.k) {
+    auto route = enumerator.Next();
+    if (!route.has_value()) break;
+    result.routes.push_back(std::move(*route));
+  }
+  result.stats = enumerator.stats();
+  return result;
+}
+
+}  // namespace kosr

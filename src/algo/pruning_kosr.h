@@ -1,0 +1,24 @@
+#ifndef KOSR_ALGO_PRUNING_KOSR_H_
+#define KOSR_ALGO_PRUNING_KOSR_H_
+
+#include "src/algo/run_config.h"
+#include "src/core/query.h"
+#include "src/nn/nn_provider.h"
+
+namespace kosr {
+
+/// PruningKOSR (Algorithm 2 of the paper).
+///
+/// A partially explored witness P2 is *dominated* by P1 (P1 ≺C P2,
+/// Definition 6) when both end at the same vertex with the same size and
+/// w(P1) <= w(P2). Dominated witnesses are parked in per-(vertex, depth)
+/// queues (HT≻C) instead of being extended, and are reconsidered only when
+/// the route extended from their dominator enters the result set — at which
+/// point the cheapest parked route is released with x = '-'. This reduces
+/// the examined-route bound from exponential (KPNE) to
+/// sum |Ci|*|Ci+1| + (k-1) * sum |Ci|.
+KosrResult RunPruningKosr(const AlgoConfig& config, NnProvider& nn);
+
+}  // namespace kosr
+
+#endif  // KOSR_ALGO_PRUNING_KOSR_H_

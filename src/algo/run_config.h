@@ -1,0 +1,48 @@
+#ifndef KOSR_ALGO_RUN_CONFIG_H_
+#define KOSR_ALGO_RUN_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace kosr {
+
+/// A search root. The standard query has a single seed (source, depth 0,
+/// cost 0); the no-source variant of Sec. IV-C seeds every member of the
+/// first category at depth 1.
+struct Seed {
+  VertexId vertex;
+  uint32_t depth;
+  Cost cost;
+};
+
+/// Execution parameters shared by the KOSR search algorithms. This is a
+/// lower-level mirror of KosrQuery/KosrOptions that the engine assembles;
+/// it exists so the algorithms stay independent of index choices.
+struct AlgoConfig {
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+  uint32_t num_categories = 0;  ///< |C|.
+  uint32_t k = 1;
+
+  /// False for the no-destination variant: routes complete at the last
+  /// category instead of the destination slot.
+  bool has_destination = true;
+
+  uint64_t max_examined = 0;  ///< 0 = unlimited.
+  double time_budget_s = 0;   ///< 0 = unlimited.
+  bool collect_phase_times = false;
+
+  /// Search roots; empty means {(source, 0, 0)}.
+  std::vector<Seed> seeds;
+
+  /// Depth at which a witness is complete.
+  uint32_t CompleteDepth() const {
+    return has_destination ? num_categories + 1 : num_categories;
+  }
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_ALGO_RUN_CONFIG_H_

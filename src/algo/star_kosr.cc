@@ -1,0 +1,154 @@
+#include "src/algo/star_kosr.h"
+
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+
+#include "src/algo/witness_pool.h"
+#include "src/util/timer.h"
+
+namespace kosr {
+namespace {
+
+using QueueEntry = std::pair<Cost, uint32_t>;  // (estimated cost, node id)
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+}  // namespace
+
+KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen) {
+  assert(config.has_destination && "StarKOSR requires a destination");
+  KosrResult result;
+  QueryStats& stats = result.stats;
+  stats.timing_enabled = config.collect_phase_times;
+  WallTimer total_timer;
+
+  WitnessPool pool;
+  // Estimated total cost per pool node (w(p) + dis(last, t)); complete
+  // witnesses carry their real cost.
+  std::vector<Cost> priority;
+  MinQueue queue;
+
+  const uint32_t complete_depth = config.CompleteDepth();
+  auto key_of = [complete_depth](VertexId v, uint32_t depth) {
+    return static_cast<uint64_t>(v) * (complete_depth + 1) + depth;
+  };
+  std::unordered_map<uint64_t, uint32_t> dominator;
+  std::unordered_map<uint64_t, MinQueue> dominated;  // parked, by estimate
+
+  auto timed_nen = [&](VertexId v, uint32_t slot, uint32_t x) {
+    if (!stats.timing_enabled) return nen.FindNEN(v, slot, x, &stats);
+    double est_before = stats.estimation_time_s;
+    WallTimer t;
+    auto r = nen.FindNEN(v, slot, x, &stats);
+    stats.nn_time_s +=
+        t.ElapsedSeconds() - (stats.estimation_time_s - est_before);
+    return r;
+  };
+  auto push = [&](uint32_t id) {
+    if (stats.timing_enabled) {
+      WallTimer t;
+      queue.emplace(priority[id], id);
+      stats.queue_time_s += t.ElapsedSeconds();
+    } else {
+      queue.emplace(priority[id], id);
+    }
+  };
+  auto add_node = [&](VertexId v, uint32_t depth, Cost cost, uint32_t parent,
+                      uint32_t x, Cost prio) {
+    uint32_t id = pool.Add(v, depth, cost, parent, x);
+    priority.push_back(prio);
+    return id;
+  };
+
+  if (config.seeds.empty()) {
+    Cost h = nen.EstimateToTarget(config.source, &stats);
+    if (h < kInfCost) {
+      push(add_node(config.source, 0, 0, kNoWitness, 1, h));
+    }
+  } else {
+    for (const Seed& s : config.seeds) {
+      Cost h = nen.EstimateToTarget(s.vertex, &stats);
+      if (h < kInfCost) {
+        push(add_node(s.vertex, s.depth, s.cost, kNoWitness, kNoX,
+                      s.cost + h));
+      }
+    }
+  }
+
+  std::vector<uint32_t> found;
+
+  while (!queue.empty() && found.size() < config.k) {
+    if ((config.max_examined != 0 &&
+         stats.examined_routes >= config.max_examined) ||
+        ((stats.examined_routes & 1023) == 0 && config.time_budget_s != 0 &&
+         total_timer.ElapsedSeconds() > config.time_budget_s)) {
+      stats.timed_out = true;
+      break;
+    }
+    auto [est, id] = queue.top();
+    queue.pop();
+    const WitnessNode node = pool[id];
+    stats.RecordExamined(node.depth);
+
+    // Sibling candidate; see PruningKOSR for why this also runs for
+    // complete and dominated witnesses.
+    if (node.depth > 0 && node.x != kNoX) {
+      const WitnessNode& parent = pool[node.parent];
+      if (auto r = timed_nen(parent.vertex, node.depth, node.x + 1)) {
+        uint32_t sibling = add_node(r->vertex, node.depth,
+                                    parent.cost + r->dist, node.parent,
+                                    node.x + 1, parent.cost + r->est);
+        push(sibling);
+      }
+    }
+
+    if (node.depth == complete_depth) {
+      found.push_back(id);
+      uint32_t ancestor = node.parent;
+      while (ancestor != kNoWitness && pool[ancestor].depth >= 1) {
+        const WitnessNode& anc = pool[ancestor];
+        uint64_t k2 = key_of(anc.vertex, anc.depth);
+        auto it = dominator.find(k2);
+        if (it != dominator.end() && it->second == ancestor) {
+          auto sub = dominated.find(k2);
+          if (sub != dominated.end() && !sub->second.empty()) {
+            auto [rest, rid] = sub->second.top();
+            sub->second.pop();
+            pool[rid].x = kNoX;
+            push(rid);
+            ++stats.reconsidered_routes;
+          }
+          dominator.erase(it);
+        }
+        ancestor = anc.parent;
+      }
+      continue;
+    }
+
+    uint64_t k2 = key_of(node.vertex, node.depth);
+    auto [it, inserted] = dominator.try_emplace(k2, id);
+    if (inserted) {
+      if (auto r = timed_nen(node.vertex, node.depth + 1, 1)) {
+        uint32_t child = add_node(r->vertex, node.depth + 1,
+                                  node.cost + r->dist, id, 1,
+                                  node.cost + r->est);
+        push(child);
+      }
+    } else {
+      dominated[k2].emplace(priority[id], id);
+      ++stats.dominated_routes;
+    }
+  }
+
+  for (uint32_t id : found) {
+    SequencedRoute route;
+    route.cost = pool[id].cost;
+    route.witness = pool.Vertices(id);
+    result.routes.push_back(std::move(route));
+  }
+  stats.total_time_s = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kosr

@@ -1,0 +1,23 @@
+#ifndef KOSR_ALGO_STAR_KOSR_H_
+#define KOSR_ALGO_STAR_KOSR_H_
+
+#include "src/algo/run_config.h"
+#include "src/core/query.h"
+#include "src/nn/nn_provider.h"
+
+namespace kosr {
+
+/// StarKOSR (Sec. IV-B of the paper).
+///
+/// PruningKOSR's skeleton driven A*-style: witnesses are ordered by the
+/// admissible estimate w(p) + dis(last(p), t) instead of the real cost, and
+/// extension uses the x-th nearest *estimated* neighbor (FindNEN,
+/// Algorithm 4) so candidates that are cheap to reach but far from the
+/// destination are postponed. Requires a destination
+/// (config.has_destination) — the no-destination variant must use
+/// PruningKOSR.
+KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen);
+
+}  // namespace kosr
+
+#endif  // KOSR_ALGO_STAR_KOSR_H_

@@ -1,0 +1,27 @@
+#include "src/algo/witness_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kosr {
+
+std::vector<VertexId> WitnessPool::Vertices(uint32_t id) const {
+  std::vector<VertexId> out;
+  for (uint32_t cur = id; cur != kNoWitness; cur = nodes_[cur].parent) {
+    out.push_back(nodes_[cur].vertex);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+uint32_t WitnessPool::AncestorAt(uint32_t id, uint32_t depth) const {
+  uint32_t cur = id;
+  while (nodes_[cur].depth > depth) {
+    cur = nodes_[cur].parent;
+    assert(cur != kNoWitness);
+  }
+  assert(nodes_[cur].depth == depth);
+  return cur;
+}
+
+}  // namespace kosr

@@ -1,0 +1,58 @@
+#ifndef KOSR_ALGO_WITNESS_POOL_H_
+#define KOSR_ALGO_WITNESS_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace kosr {
+
+/// Sentinel witness-node index.
+inline constexpr uint32_t kNoWitness = UINT32_MAX;
+
+/// Sentinel for the paper's x = '-' marker: a reconsidered route must not
+/// spawn further sibling candidates.
+inline constexpr uint32_t kNoX = UINT32_MAX;
+
+/// One partially explored witness <v0, ..., v_depth>, stored as a node in a
+/// persistent tree: extending a route is an O(1) append, and popped routes
+/// share their prefixes. `depth` indexes the extended category sequence:
+/// 0 = source (or a first-category seed in the no-source variant), i in
+/// [1, |C|] = i-th category, |C|+1 = destination.
+struct WitnessNode {
+  VertexId vertex;
+  uint32_t depth;
+  Cost cost;        ///< Real accumulated witness cost w(p).
+  uint32_t parent;  ///< Pool index of the prefix, kNoWitness for roots.
+  uint32_t x;       ///< vertex is the x-th NN of the parent's vertex, or kNoX.
+};
+
+/// Arena of witness nodes for one query.
+class WitnessPool {
+ public:
+  uint32_t Add(VertexId vertex, uint32_t depth, Cost cost, uint32_t parent,
+               uint32_t x) {
+    nodes_.push_back({vertex, depth, cost, parent, x});
+    return static_cast<uint32_t>(nodes_.size() - 1);
+  }
+
+  const WitnessNode& operator[](uint32_t id) const { return nodes_[id]; }
+  WitnessNode& operator[](uint32_t id) { return nodes_[id]; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Materializes the vertex sequence <v0, ..., v_depth> of a node.
+  std::vector<VertexId> Vertices(uint32_t id) const;
+
+  /// Pool index of the ancestor of `id` at the given depth (id itself if
+  /// depths match). Requires depth <= node.depth.
+  uint32_t AncestorAt(uint32_t id, uint32_t depth) const;
+
+ private:
+  std::vector<WitnessNode> nodes_;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_ALGO_WITNESS_POOL_H_

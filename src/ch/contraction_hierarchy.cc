@@ -1,0 +1,308 @@
+#include "src/ch/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "src/util/min_heap.h"
+#include "src/util/timer.h"
+
+namespace kosr {
+namespace {
+
+// Dynamic adjacency for the remaining (not yet contracted) graph; keeps the
+// minimum weight per vertex pair.
+using AdjMap = std::vector<std::unordered_map<VertexId, Weight>>;
+
+void AddOrRelax(AdjMap& adj, VertexId u, VertexId v, Weight w) {
+  auto [it, inserted] = adj[u].try_emplace(v, w);
+  if (!inserted && w < it->second) it->second = w;
+}
+
+// Local witness search: is there a u -> w path of cost <= limit in the
+// remaining graph that avoids `banned`? Bounded by a settle budget; an
+// inconclusive search returns false (caller adds a shortcut, which is safe).
+// Dense scratch arrays (reset via a touched list) keep this allocation-free;
+// it is the inner loop of the whole construction.
+bool HasWitness(const AdjMap& fwd, const std::vector<bool>& contracted,
+                VertexId source, VertexId target, VertexId banned,
+                Cost limit, uint32_t settle_budget) {
+  static thread_local std::vector<Cost> dist;
+  static thread_local std::vector<VertexId> touched;
+  static thread_local IndexedMinHeap heap;
+  if (dist.size() < fwd.size()) {
+    dist.assign(fwd.size(), kInfCost);
+    heap.Resize(static_cast<uint32_t>(fwd.size()));
+  }
+  auto cleanup = [&] {
+    for (VertexId v : touched) dist[v] = kInfCost;
+    touched.clear();
+    heap.Clear();
+  };
+  dist[source] = 0;
+  touched.push_back(source);
+  heap.InsertOrDecrease(source, 0);
+  uint32_t settled = 0;
+  bool found = false;
+  while (!heap.Empty() && settled < settle_budget) {
+    auto [d, u] = heap.ExtractMin();
+    ++settled;
+    if (u == target) {
+      found = d <= limit;
+      break;
+    }
+    if (d > limit) break;
+    for (const auto& [v, w] : fwd[u]) {
+      if (v == banned || contracted[v]) continue;
+      Cost nd = d + w;
+      if (nd < dist[v]) {
+        if (dist[v] == kInfCost) touched.push_back(v);
+        dist[v] = nd;
+        heap.InsertOrDecrease(v, nd);
+      }
+    }
+  }
+  cleanup();
+  return found;
+}
+
+}  // namespace
+
+ContractionHierarchy ContractionHierarchy::Build(const Graph& graph,
+                                                 uint32_t witness_settle_limit) {
+  WallTimer timer;
+  const uint32_t n = graph.num_vertices();
+  AdjMap fwd(n), bwd(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Arc& a : graph.OutArcs(u)) {
+      AddOrRelax(fwd, u, a.head, a.weight);
+      AddOrRelax(bwd, a.head, u, a.weight);
+    }
+  }
+
+  std::vector<bool> contracted(n, false);
+  std::vector<uint32_t> contracted_neighbors(n, 0);
+  ContractionHierarchy ch;
+  ch.rank_.assign(n, 0);
+  ch.forward_up_.assign(n, {});
+  ch.backward_up_.assign(n, {});
+
+  struct Shortcut {
+    VertexId from, to;
+    Weight weight;
+  };
+
+  // Simulates contracting v; returns the shortcuts it would (or does) add.
+  auto shortcuts_for = [&](VertexId v) {
+    std::vector<Shortcut> result;
+    for (const auto& [u, wu] : bwd[v]) {
+      if (contracted[u] || u == v) continue;
+      // Upper bound for witness searches from u.
+      Cost max_need = 0;
+      for (const auto& [w, ww] : fwd[v]) {
+        if (contracted[w] || w == u || w == v) continue;
+        max_need = std::max(max_need, static_cast<Cost>(wu) + ww);
+      }
+      if (max_need == 0) continue;
+      for (const auto& [w, ww] : fwd[v]) {
+        if (contracted[w] || w == u || w == v) continue;
+        Cost through = static_cast<Cost>(wu) + ww;
+        if (!HasWitness(fwd, contracted, u, w, v, through,
+                        witness_settle_limit)) {
+          Weight sw = static_cast<Weight>(through);
+          result.push_back({u, w, sw});
+        }
+      }
+    }
+    return result;
+  };
+
+  // Shortcut simulation doubles as the priority function; the computed list
+  // is reused when the pop wins, so each contraction simulates exactly once.
+  std::vector<Shortcut> scratch_shortcuts;
+  auto priority_of = [&](VertexId v) -> int64_t {
+    scratch_shortcuts = shortcuts_for(v);
+    int64_t removed = static_cast<int64_t>(fwd[v].size() + bwd[v].size());
+    int64_t added = static_cast<int64_t>(scratch_shortcuts.size());
+    return added - removed + 2 * contracted_neighbors[v];
+  };
+
+  // Lazy priority queue of contraction candidates.
+  std::priority_queue<std::pair<int64_t, VertexId>,
+                      std::vector<std::pair<int64_t, VertexId>>,
+                      std::greater<>>
+      order_queue;
+  for (VertexId v = 0; v < n; ++v) order_queue.emplace(priority_of(v), v);
+
+  uint32_t next_rank = 0;
+  while (!order_queue.empty()) {
+    auto [prio, v] = order_queue.top();
+    order_queue.pop();
+    if (contracted[v]) continue;
+    int64_t fresh = priority_of(v);
+    if (!order_queue.empty() && fresh > order_queue.top().first) {
+      order_queue.emplace(fresh, v);
+      continue;
+    }
+    // Contract v, reusing the shortcut list the priority check computed.
+    ch.rank_[v] = next_rank++;
+    auto shortcuts = std::move(scratch_shortcuts);
+    contracted[v] = true;
+    for (const auto& [u, w] : bwd[v]) {
+      if (!contracted[u]) ++contracted_neighbors[u];
+    }
+    for (const auto& [w, ww] : fwd[v]) {
+      if (!contracted[w]) ++contracted_neighbors[w];
+    }
+    for (const Shortcut& sc : shortcuts) {
+      // Record the middle only when this shortcut actually improves (or
+      // creates) the arc, so expansion always follows the cheapest version.
+      auto existing = fwd[sc.from].find(sc.to);
+      if (existing == fwd[sc.from].end() || sc.weight < existing->second) {
+        ch.shortcut_middle_[(static_cast<uint64_t>(sc.from) << 32) | sc.to] =
+            v;
+      }
+      AddOrRelax(fwd, sc.from, sc.to, sc.weight);
+      AddOrRelax(bwd, sc.to, sc.from, sc.weight);
+      ++ch.num_shortcuts_;
+    }
+  }
+
+  // Assemble upward adjacencies from the final augmented graph.
+  for (VertexId u = 0; u < n; ++u) {
+    for (const auto& [v, w] : fwd[u]) {
+      if (ch.rank_[v] > ch.rank_[u]) ch.forward_up_[u].push_back({v, w});
+      if (ch.rank_[v] < ch.rank_[u]) ch.backward_up_[v].push_back({u, w});
+    }
+  }
+  ch.build_seconds_ = timer.ElapsedSeconds();
+  return ch;
+}
+
+Cost ContractionHierarchy::Query(VertexId s, VertexId t) const {
+  if (s == t) return 0;
+  // Bidirectional upward Dijkstra with best-bound termination.
+  auto run = [](const std::vector<std::vector<Arc>>& up, VertexId start,
+                std::unordered_map<VertexId, Cost>& dist) {
+    std::priority_queue<std::pair<Cost, VertexId>,
+                        std::vector<std::pair<Cost, VertexId>>,
+                        std::greater<>>
+        heap;
+    dist[start] = 0;
+    heap.emplace(0, start);
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (const Arc& a : up[u]) {
+        Cost nd = d + a.weight;
+        auto it = dist.find(a.head);
+        if (it == dist.end() || nd < it->second) {
+          dist[a.head] = nd;
+          heap.emplace(nd, a.head);
+        }
+      }
+    }
+  };
+  std::unordered_map<VertexId, Cost> fwd_dist, bwd_dist;
+  run(forward_up_, s, fwd_dist);
+  run(backward_up_, t, bwd_dist);
+  Cost best = kInfCost;
+  const auto& small = fwd_dist.size() <= bwd_dist.size() ? fwd_dist : bwd_dist;
+  const auto& large = fwd_dist.size() <= bwd_dist.size() ? bwd_dist : fwd_dist;
+  for (const auto& [v, d] : small) {
+    auto it = large.find(v);
+    if (it != large.end()) best = std::min(best, d + it->second);
+  }
+  return best;
+}
+
+void ContractionHierarchy::ExpandArc(VertexId u, VertexId v,
+                                     std::vector<VertexId>& out) const {
+  auto it = shortcut_middle_.find((static_cast<uint64_t>(u) << 32) | v);
+  if (it == shortcut_middle_.end()) {
+    out.push_back(v);  // original edge
+    return;
+  }
+  ExpandArc(u, it->second, out);
+  ExpandArc(it->second, v, out);
+}
+
+std::vector<VertexId> ContractionHierarchy::QueryPath(VertexId s,
+                                                      VertexId t) const {
+  if (s == t) return {s};
+  auto run = [](const std::vector<std::vector<Arc>>& up, VertexId start,
+                std::unordered_map<VertexId, Cost>& dist,
+                std::unordered_map<VertexId, VertexId>& parent) {
+    std::priority_queue<std::pair<Cost, VertexId>,
+                        std::vector<std::pair<Cost, VertexId>>,
+                        std::greater<>>
+        heap;
+    dist[start] = 0;
+    heap.emplace(0, start);
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (const Arc& a : up[u]) {
+        Cost nd = d + a.weight;
+        auto it = dist.find(a.head);
+        if (it == dist.end() || nd < it->second) {
+          dist[a.head] = nd;
+          parent[a.head] = u;
+          heap.emplace(nd, a.head);
+        }
+      }
+    }
+  };
+  std::unordered_map<VertexId, Cost> fwd_dist, bwd_dist;
+  std::unordered_map<VertexId, VertexId> fwd_parent, bwd_parent;
+  run(forward_up_, s, fwd_dist, fwd_parent);
+  run(backward_up_, t, bwd_dist, bwd_parent);
+
+  Cost best = kInfCost;
+  VertexId meeting = kInvalidVertex;
+  for (const auto& [v, d] : fwd_dist) {
+    auto it = bwd_dist.find(v);
+    if (it != bwd_dist.end() && d + it->second < best) {
+      best = d + it->second;
+      meeting = v;
+    }
+  }
+  if (meeting == kInvalidVertex) return {};
+
+  // Upward chain s -> meeting in the forward graph.
+  std::vector<VertexId> fwd_chain;
+  for (VertexId cur = meeting; cur != s; cur = fwd_parent.at(cur)) {
+    fwd_chain.push_back(cur);
+  }
+  fwd_chain.push_back(s);
+  std::reverse(fwd_chain.begin(), fwd_chain.end());
+
+  // Chain meeting -> t: the backward search walked t -> ... -> meeting over
+  // reversed arcs, so the original-direction arcs run meeting -> t.
+  std::vector<VertexId> bwd_chain;  // meeting first
+  for (VertexId cur = meeting; cur != t; cur = bwd_parent.at(cur)) {
+    bwd_chain.push_back(cur);
+  }
+  bwd_chain.push_back(t);
+
+  std::vector<VertexId> path{s};
+  for (size_t i = 0; i + 1 < fwd_chain.size(); ++i) {
+    ExpandArc(fwd_chain[i], fwd_chain[i + 1], path);
+  }
+  for (size_t i = 0; i + 1 < bwd_chain.size(); ++i) {
+    ExpandArc(bwd_chain[i], bwd_chain[i + 1], path);
+  }
+  return path;
+}
+
+std::vector<VertexId> ContractionHierarchy::ImportanceOrder() const {
+  std::vector<VertexId> order(rank_.size());
+  for (VertexId v = 0; v < rank_.size(); ++v) {
+    order[rank_.size() - 1 - rank_[v]] = v;
+  }
+  return order;
+}
+
+}  // namespace kosr

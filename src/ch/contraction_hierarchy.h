@@ -1,0 +1,70 @@
+#ifndef KOSR_CH_CONTRACTION_HIERARCHY_H_
+#define KOSR_CH_CONTRACTION_HIERARCHY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/types.h"
+
+namespace kosr {
+
+/// Contraction Hierarchies [Geisberger et al., WEA 2008] — the shortest-path
+/// acceleration the paper's GSP comparator [29] builds on (reference [15]).
+///
+/// Vertices are contracted in importance order (lazy edge-difference +
+/// contracted-neighbors heuristic); shortcuts preserve all shortest
+/// distances among the remaining vertices. Point-to-point queries run a
+/// bidirectional upward Dijkstra that only relaxes arcs toward
+/// higher-ranked vertices.
+///
+/// Used here as (a) a validated alternative distance oracle benchmarked
+/// against hub labeling and Dijkstra (bench_ablation), and (b) a source of
+/// a high-quality hub-labeling vertex order: the reverse contraction order
+/// ranks important vertices first.
+class ContractionHierarchy {
+ public:
+  ContractionHierarchy() = default;
+
+  /// Builds the hierarchy. `witness_hop_limit` caps each local witness
+  /// search (larger = fewer shortcuts, slower build).
+  static ContractionHierarchy Build(const Graph& graph,
+                                    uint32_t witness_settle_limit = 64);
+
+  /// dis(s, t) or kInfCost.
+  Cost Query(VertexId s, VertexId t) const;
+
+  /// Shortest s-t path as a full vertex sequence (empty if unreachable,
+  /// {s} if s == t). Shortcuts are expanded recursively through their
+  /// middle vertices.
+  std::vector<VertexId> QueryPath(VertexId s, VertexId t) const;
+
+  /// Contraction order, most important (contracted last) first. Suitable
+  /// as a HubLabeling build order.
+  std::vector<VertexId> ImportanceOrder() const;
+
+  uint32_t num_vertices() const { return static_cast<uint32_t>(rank_.size()); }
+  uint64_t num_shortcuts() const { return num_shortcuts_; }
+  double BuildSeconds() const { return build_seconds_; }
+
+ private:
+  // Expands the augmented-graph arc (u, v) into original vertices,
+  // appending everything after `u` to `out`.
+  void ExpandArc(VertexId u, VertexId v, std::vector<VertexId>& out) const;
+
+  // Upward arcs for the forward search and (reversed) upward arcs for the
+  // backward search.
+  std::vector<std::vector<Arc>> forward_up_;
+  std::vector<std::vector<Arc>> backward_up_;
+  std::vector<uint32_t> rank_;  // contraction position, higher = later.
+  // Middle vertex of each shortcut arc, keyed by (tail << 32) | head; arcs
+  // absent from the map are original edges.
+  std::unordered_map<uint64_t, VertexId> shortcut_middle_;
+  uint64_t num_shortcuts_ = 0;
+  double build_seconds_ = 0;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_CH_CONTRACTION_HIERARCHY_H_

@@ -1,0 +1,334 @@
+#include "src/cli/cli.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/core/engine.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/labeling/compressed_io.h"
+#include "src/util/timer.h"
+
+namespace kosr::cli {
+namespace {
+
+constexpr const char* kUsage = R"(kosr command-line interface
+
+Usage: kosr_cli <command> [--flag value ...]
+
+Commands:
+  generate     --type grid|smallworld|random --out graph.gr
+               --categories-out cats.txt [--rows R --cols C] [--vertices N]
+               [--edges M] [--seed S] [--category-size K]
+               [--zipf F --num-categories N]
+  stats        --graph graph.gr [--categories cats.txt --num-categories N]
+  build-index  --graph graph.gr --categories cats.txt --num-categories N
+               --out store_dir [--order degree|dissection --rows R --cols C]
+               [--compressed-out labels.bin]
+  query        --graph graph.gr --categories cats.txt --num-categories N
+               --source S --target T --sequence c1,c2,... [--k K]
+               [--algorithm kpne|pk|sk] [--nn hoplabel|dijkstra] [--paths 1]
+  help         this text
+)";
+
+uint32_t CountCategories(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string line;
+  uint32_t max_cat = 0;
+  bool any = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t v, c;
+    ls >> v >> c;
+    if (!ls) continue;
+    max_cat = std::max(max_cat, static_cast<uint32_t>(c));
+    any = true;
+  }
+  return any ? max_cat + 1 : 0;
+}
+
+int CmdGenerate(const Args& args, std::ostream& out) {
+  std::string type = args.GetOr("type", "grid");
+  uint64_t seed = args.GetIntOr("seed", 42);
+  Graph graph;
+  uint32_t rows = 0, cols = 0;
+  if (type == "grid") {
+    rows = static_cast<uint32_t>(args.GetIntOr("rows", 64));
+    cols = static_cast<uint32_t>(args.GetIntOr("cols", 64));
+    graph = MakeGridRoadNetwork(rows, cols, seed);
+  } else if (type == "smallworld") {
+    uint32_t n = static_cast<uint32_t>(args.GetIntOr("vertices", 2000));
+    graph = MakeSmallWorld(n, 2, 6.0, seed);
+  } else if (type == "random") {
+    uint32_t n = static_cast<uint32_t>(args.GetIntOr("vertices", 1000));
+    uint64_t m = static_cast<uint64_t>(args.GetIntOr("edges", 5000));
+    graph = MakeRandomGraph(n, m, seed);
+  } else {
+    throw std::invalid_argument("unknown --type " + type);
+  }
+
+  std::string graph_out = args.GetOr("out", "graph.gr");
+  SaveDimacsGraph(graph, graph_out);
+  out << "wrote " << graph_out << ": " << graph.num_vertices()
+      << " vertices, " << graph.num_edges() << " arcs\n";
+
+  if (auto cats_out = args.Get("categories-out")) {
+    CategoryTable cats;
+    if (auto zipf = args.Get("zipf")) {
+      uint32_t num_categories =
+          static_cast<uint32_t>(args.GetIntOr("num-categories", 100));
+      cats = CategoryTable::Zipfian(graph.num_vertices(), num_categories,
+                                    std::stod(*zipf), seed + 1);
+    } else {
+      uint32_t size = static_cast<uint32_t>(args.GetIntOr("category-size", 64));
+      cats = CategoryTable::Uniform(graph.num_vertices(), size, seed + 1);
+    }
+    SaveCategories(cats, *cats_out);
+    out << "wrote " << *cats_out << ": " << cats.num_categories()
+        << " categories\n";
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args, std::ostream& out) {
+  Graph graph = LoadDimacsGraph(args.GetOr("graph", "graph.gr"));
+  out << "vertices: " << graph.num_vertices() << "\n";
+  out << "arcs: " << graph.num_edges() << "\n";
+  uint64_t degree_sum = 0;
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    degree_sum += graph.OutDegree(v);
+    max_degree = std::max(max_degree, graph.OutDegree(v));
+  }
+  out << "avg out-degree: "
+      << static_cast<double>(degree_sum) / graph.num_vertices() << "\n";
+  out << "max out-degree: " << max_degree << "\n";
+  out << "symmetric: " << (graph.IsSymmetric() ? "yes" : "no") << "\n";
+  if (auto cats_path = args.Get("categories")) {
+    uint32_t num_categories = args.Get("num-categories")
+                                  ? static_cast<uint32_t>(args.GetInt("num-categories"))
+                                  : CountCategories(*cats_path);
+    CategoryTable cats =
+        LoadCategories(*cats_path, graph.num_vertices(), num_categories);
+    out << "categories: " << cats.num_categories() << "\n";
+    uint32_t min_size = UINT32_MAX, max_size = 0;
+    uint64_t total = 0;
+    for (CategoryId c = 0; c < cats.num_categories(); ++c) {
+      uint32_t size = cats.CategorySize(c);
+      min_size = std::min(min_size, size);
+      max_size = std::max(max_size, size);
+      total += size;
+    }
+    out << "category sizes: min " << min_size << ", max " << max_size
+        << ", avg "
+        << static_cast<double>(total) / std::max(1u, cats.num_categories())
+        << "\n";
+  }
+  return 0;
+}
+
+KosrEngine LoadEngine(const Args& args) {
+  Graph graph = LoadDimacsGraph(args.GetOr("graph", "graph.gr"));
+  std::string cats_path = args.GetOr("categories", "cats.txt");
+  uint32_t num_categories = args.Get("num-categories")
+                                ? static_cast<uint32_t>(args.GetInt("num-categories"))
+                                : CountCategories(cats_path);
+  CategoryTable cats =
+      LoadCategories(cats_path, graph.num_vertices(), num_categories);
+  return KosrEngine(std::move(graph), std::move(cats));
+}
+
+void BuildWithRequestedOrder(const Args& args, KosrEngine& engine) {
+  std::string order = args.GetOr("order", "degree");
+  if (order == "dissection") {
+    uint32_t rows = static_cast<uint32_t>(args.GetInt("rows"));
+    uint32_t cols = static_cast<uint32_t>(args.GetInt("cols"));
+    if (static_cast<uint64_t>(rows) * cols !=
+        engine.graph().num_vertices()) {
+      throw std::invalid_argument("--rows * --cols must equal |V|");
+    }
+    engine.BuildIndexes(GridDissectionOrder(rows, cols));
+  } else if (order == "degree") {
+    engine.BuildIndexes();
+  } else {
+    throw std::invalid_argument("unknown --order " + order);
+  }
+}
+
+int CmdBuildIndex(const Args& args, std::ostream& out) {
+  KosrEngine engine = LoadEngine(args);
+  WallTimer timer;
+  BuildWithRequestedOrder(args, engine);
+  out << "built indexes in " << timer.ElapsedSeconds() << " s (labels "
+      << engine.label_build_seconds() << " s, inverted "
+      << engine.inverted_build_seconds() << " s)\n";
+  out << "avg |Lin| " << engine.labeling().AvgInLabelSize() << ", avg |Lout| "
+      << engine.labeling().AvgOutLabelSize() << ", size "
+      << engine.labeling().IndexBytes() / 1048576.0 << " MB\n";
+
+  if (auto dir = args.Get("out")) {
+    engine.WriteDiskStore(*dir);
+    out << "wrote disk store to " << *dir << "\n";
+  }
+  if (auto compressed = args.Get("compressed-out")) {
+    std::ofstream file(*compressed, std::ios::binary);
+    if (!file) throw std::runtime_error("cannot write " + *compressed);
+    SerializeCompressed(engine.labeling(), file);
+    out << "wrote compressed labeling to " << *compressed << " ("
+        << CompressedSizeBytes(engine.labeling()) / 1048576.0 << " MB, "
+        << "plain would be "
+        << engine.labeling().IndexBytes() / 1048576.0 << " MB)\n";
+  }
+  return 0;
+}
+
+int CmdQuery(const Args& args, std::ostream& out) {
+  KosrEngine engine = LoadEngine(args);
+
+  KosrQuery query;
+  query.source = static_cast<VertexId>(args.GetInt("source"));
+  query.target = static_cast<VertexId>(args.GetInt("target"));
+  for (uint32_t c : ParseSequence(args.GetOr("sequence", ""))) {
+    query.sequence.push_back(c);
+  }
+  query.k = static_cast<uint32_t>(args.GetIntOr("k", 1));
+
+  KosrOptions options;
+  std::string algo = args.GetOr("algorithm", "sk");
+  if (algo == "kpne") {
+    options.algorithm = Algorithm::kKpne;
+  } else if (algo == "pk") {
+    options.algorithm = Algorithm::kPruning;
+  } else if (algo == "sk") {
+    options.algorithm = Algorithm::kStar;
+  } else {
+    throw std::invalid_argument("unknown --algorithm " + algo);
+  }
+  std::string nn = args.GetOr("nn", "hoplabel");
+  if (nn == "hoplabel") {
+    options.nn_mode = NnMode::kHopLabel;
+  } else if (nn == "dijkstra") {
+    options.nn_mode = NnMode::kDijkstra;
+  } else {
+    throw std::invalid_argument("unknown --nn " + nn);
+  }
+  options.reconstruct_paths = args.GetIntOr("paths", 0) != 0;
+
+  if (options.nn_mode == NnMode::kHopLabel) {
+    BuildWithRequestedOrder(args, engine);
+  }
+
+  KosrResult result = engine.Query(query, options);
+  out << "routes: " << result.routes.size() << "\n";
+  for (size_t i = 0; i < result.routes.size(); ++i) {
+    const auto& route = result.routes[i];
+    out << "#" << i + 1 << " cost " << route.cost << " witness";
+    for (VertexId v : route.witness) out << ' ' << v;
+    out << "\n";
+    if (options.reconstruct_paths) {
+      out << "   path";
+      for (VertexId v : route.path) out << ' ' << v;
+      out << "\n";
+    }
+  }
+  out << "stats: " << result.stats.ToString() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+std::optional<std::string> Args::Get(const std::string& key) const {
+  auto it = flags.find(key);
+  if (it == flags.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::GetOr(const std::string& key,
+                        const std::string& fallback) const {
+  auto v = Get(key);
+  return v ? *v : fallback;
+}
+
+long long Args::GetInt(const std::string& key) const {
+  auto v = Get(key);
+  if (!v) throw std::invalid_argument("missing required flag --" + key);
+  try {
+    size_t consumed = 0;
+    long long parsed = std::stoll(*v, &consumed);
+    if (consumed != v->size()) throw std::invalid_argument("trailing");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " is not an integer: " + *v);
+  }
+}
+
+long long Args::GetIntOr(const std::string& key, long long fallback) const {
+  return Get(key) ? GetInt(key) : fallback;
+}
+
+Args ParseArgs(const std::vector<std::string>& argv) {
+  Args args;
+  if (argv.empty()) {
+    args.command = "help";
+    return args;
+  }
+  args.command = argv[0];
+  size_t i = 1;
+  while (i < argv.size()) {
+    const std::string& token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw std::invalid_argument("expected --flag, got: " + token);
+    }
+    if (i + 1 >= argv.size()) {
+      throw std::invalid_argument("flag " + token + " needs a value");
+    }
+    args.flags[token.substr(2)] = argv[i + 1];
+    i += 2;
+  }
+  return args;
+}
+
+std::vector<uint32_t> ParseSequence(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("empty --sequence");
+  std::vector<uint32_t> out;
+  std::istringstream in(text);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    if (part.empty()) throw std::invalid_argument("bad --sequence: " + text);
+    out.push_back(static_cast<uint32_t>(std::stoul(part)));
+  }
+  return out;
+}
+
+int RunCli(const std::vector<std::string>& argv, std::ostream& out) {
+  Args args;
+  try {
+    args = ParseArgs(argv);
+  } catch (const std::invalid_argument& e) {
+    out << "error: " << e.what() << "\n" << kUsage;
+    return 1;
+  }
+  try {
+    if (args.command == "help" || args.command == "--help") {
+      out << kUsage;
+      return 0;
+    }
+    if (args.command == "generate") return CmdGenerate(args, out);
+    if (args.command == "stats") return CmdStats(args, out);
+    if (args.command == "build-index") return CmdBuildIndex(args, out);
+    if (args.command == "query") return CmdQuery(args, out);
+    out << "error: unknown command '" << args.command << "'\n" << kUsage;
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    out << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    out << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace kosr::cli

@@ -1,0 +1,58 @@
+#include "src/core/batch.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "src/util/timer.h"
+
+namespace kosr {
+
+BatchResult RunQueryBatch(const KosrEngine& engine,
+                          const std::vector<KosrQuery>& queries,
+                          const KosrOptions& options, uint32_t num_threads) {
+  BatchResult batch;
+  batch.results.resize(queries.size());
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min<uint32_t>(
+      num_threads, std::max<size_t>(1, queries.size()));
+
+  WallTimer timer;
+  if (num_threads == 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      batch.results[i] = engine.Query(queries[i], options);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&] {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= queries.size()) return;
+        try {
+          batch.results[i] = engine.Query(queries[i], options);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  batch.wall_seconds = timer.ElapsedSeconds();
+  for (const KosrResult& r : batch.results) {
+    batch.aggregate.Accumulate(r.stats);
+  }
+  return batch;
+}
+
+}  // namespace kosr

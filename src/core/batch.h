@@ -1,0 +1,38 @@
+#ifndef KOSR_CORE_BATCH_H_
+#define KOSR_CORE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/query.h"
+
+namespace kosr {
+
+/// Aggregate outcome of a query batch (the unit the paper's evaluation
+/// reports: 50 random query instances, average query time).
+struct BatchResult {
+  std::vector<KosrResult> results;  ///< One per query, input order.
+  double wall_seconds = 0;          ///< End-to-end batch wall time.
+  QueryStats aggregate;             ///< Element-wise sum over all queries.
+
+  double AvgQueryMillis() const {
+    return results.empty() ? 0
+                           : aggregate.total_time_s * 1e3 / results.size();
+  }
+};
+
+/// Answers a batch of KOSR queries, optionally in parallel.
+///
+/// KosrEngine::Query is const and each query builds its own provider state,
+/// so concurrent queries share only the immutable graph and indexes; this
+/// executor simply shards the batch over `num_threads` workers.
+/// `num_threads` = 0 picks the hardware concurrency; 1 runs inline.
+BatchResult RunQueryBatch(const KosrEngine& engine,
+                          const std::vector<KosrQuery>& queries,
+                          const KosrOptions& options = {},
+                          uint32_t num_threads = 0);
+
+}  // namespace kosr
+
+#endif  // KOSR_CORE_BATCH_H_

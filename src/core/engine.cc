@@ -1,0 +1,259 @@
+#include "src/core/engine.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/algo/gsp.h"
+#include "src/algo/kpne.h"
+#include "src/algo/pruning_kosr.h"
+#include "src/algo/star_kosr.h"
+#include "src/nn/dijkstra_nn.h"
+#include "src/nn/find_nen.h"
+#include "src/nn/find_nn.h"
+#include "src/util/timer.h"
+
+namespace kosr {
+namespace {
+
+AlgoConfig MakeConfig(const KosrQuery& query, const KosrOptions& options) {
+  AlgoConfig config;
+  config.source = query.source;
+  config.target = query.target;
+  config.num_categories = static_cast<uint32_t>(query.sequence.size());
+  config.k = query.k;
+  config.max_examined = options.max_examined_routes;
+  config.time_budget_s = options.time_budget_s;
+  config.collect_phase_times = options.collect_phase_times;
+  return config;
+}
+
+void ValidateQuery(const KosrQuery& query, const CategoryTable& categories) {
+  if (query.source == kInvalidVertex || query.target == kInvalidVertex) {
+    throw std::invalid_argument("query needs a source and a target");
+  }
+  if (query.k == 0) throw std::invalid_argument("k must be positive");
+  for (CategoryId c : query.sequence) {
+    if (c >= categories.num_categories()) {
+      throw std::invalid_argument("unknown category in sequence");
+    }
+  }
+}
+
+}  // namespace
+
+/// Shared driver used by the in-memory and disk-resident paths.
+KosrResult RunQueryWithIndexes(
+    const Graph& graph, const CategoryTable& categories,
+    const HubLabeling& labeling,
+    const std::vector<const InvertedLabelIndex*>& slot_indexes,
+    const KosrQuery& query, const KosrOptions& options) {
+  AlgoConfig config = MakeConfig(query, options);
+  KosrResult result;
+  switch (options.algorithm) {
+    case Algorithm::kKpne: {
+      if (options.nn_mode == NnMode::kHopLabel) {
+        HopLabelNnProvider nn(&labeling, slot_indexes, query.target,
+                              options.filter);
+        result = RunKpne(config, nn);
+      } else {
+        DijkstraNnProvider nn(&graph, &categories, query.sequence,
+                              query.target, options.filter);
+        result = RunKpne(config, nn);
+      }
+      break;
+    }
+    case Algorithm::kPruning: {
+      if (options.nn_mode == NnMode::kHopLabel) {
+        HopLabelNnProvider nn(&labeling, slot_indexes, query.target,
+                              options.filter);
+        result = RunPruningKosr(config, nn);
+      } else {
+        DijkstraNnProvider nn(&graph, &categories, query.sequence,
+                              query.target, options.filter);
+        result = RunPruningKosr(config, nn);
+      }
+      break;
+    }
+    case Algorithm::kStar: {
+      if (options.nn_mode == NnMode::kHopLabel) {
+        HopLabelNenProvider nen(&labeling, slot_indexes, query.target,
+                                options.filter);
+        result = RunStarKosr(config, nen);
+      } else {
+        DijkstraNenProvider nen(&graph, &categories, query.sequence,
+                                query.target, options.filter);
+        result = RunStarKosr(config, nen);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+KosrEngine::KosrEngine(Graph graph, CategoryTable categories)
+    : graph_(std::move(graph)), categories_(std::move(categories)) {
+  if (categories_.num_vertices() != graph_.num_vertices()) {
+    throw std::invalid_argument(
+        "category table and graph disagree on the vertex universe");
+  }
+}
+
+void KosrEngine::BuildIndexes() { BuildIndexes(HubLabeling::DegreeOrder(graph_)); }
+
+void KosrEngine::BuildIndexes(const std::vector<VertexId>& order) {
+  labeling_.Build(graph_, order);
+  label_build_seconds_ = labeling_.BuildSeconds();
+  WallTimer timer;
+  inverted_.clear();
+  inverted_.reserve(categories_.num_categories());
+  for (CategoryId c = 0; c < categories_.num_categories(); ++c) {
+    inverted_.push_back(
+        InvertedLabelIndex::Build(labeling_, categories_.Members(c)));
+  }
+  inverted_build_seconds_ = timer.ElapsedSeconds();
+  indexes_built_ = true;
+}
+
+KosrResult KosrEngine::Query(const KosrQuery& query,
+                             const KosrOptions& options) const {
+  ValidateQuery(query, categories_);
+  if (options.nn_mode == NnMode::kHopLabel && !indexes_built_) {
+    throw std::logic_error("BuildIndexes() must run before hop-label queries");
+  }
+  std::vector<const InvertedLabelIndex*> slot_indexes;
+  for (CategoryId c : query.sequence) slot_indexes.push_back(&inverted_[c]);
+  KosrResult result = RunQueryWithIndexes(graph_, categories_, labeling_,
+                                          slot_indexes, query, options);
+  if (options.reconstruct_paths) {
+    for (SequencedRoute& route : result.routes) {
+      route.path = ReconstructPath(route.witness);
+    }
+  }
+  return result;
+}
+
+std::optional<SequencedRoute> KosrEngine::QueryGsp(
+    VertexId source, VertexId target, const CategorySequence& sequence,
+    QueryStats* stats) const {
+  return RunGsp(graph_, categories_, sequence, source, target, stats);
+}
+
+std::vector<VertexId> KosrEngine::ReconstructPath(
+    const std::vector<VertexId>& witness) const {
+  std::vector<VertexId> path;
+  for (size_t i = 0; i + 1 < witness.size(); ++i) {
+    std::vector<VertexId> leg;
+    if (indexes_built_) {
+      leg = labeling_.UnpackPath(witness[i], witness[i + 1]);
+    } else {
+      leg = DijkstraPath(graph_, witness[i], witness[i + 1]);
+    }
+    if (leg.empty()) return {};  // disconnected witness (shouldn't happen)
+    if (!path.empty()) path.pop_back();  // drop duplicated junction vertex
+    path.insert(path.end(), leg.begin(), leg.end());
+  }
+  if (witness.size() == 1) path = witness;
+  return path;
+}
+
+void KosrEngine::AddVertexCategory(VertexId v, CategoryId c) {
+  categories_.Add(v, c);
+  if (indexes_built_) inverted_[c].AddMember(labeling_, v);
+}
+
+void KosrEngine::RemoveVertexCategory(VertexId v, CategoryId c) {
+  if (indexes_built_) inverted_[c].RemoveMember(labeling_, v);
+  categories_.Remove(v, c);
+}
+
+void KosrEngine::AddOrDecreaseEdge(VertexId u, VertexId v, Weight w) {
+  auto edges = graph_.ToEdges();
+  edges.emplace_back(u, v, w);
+  graph_ = Graph::FromEdges(graph_.num_vertices(), edges);
+  if (indexes_built_) {
+    labeling_.OnEdgeDecreased(graph_, u, v, w);
+    // Inverted lists hold Lin distances, which the incremental repair may
+    // have lowered; rebuild the affected category lists. (Cheap relative to
+    // label construction; a production system would patch in place.)
+    for (CategoryId c = 0; c < categories_.num_categories(); ++c) {
+      inverted_[c] = InvertedLabelIndex::Build(labeling_, categories_.Members(c));
+    }
+  }
+}
+
+void KosrEngine::SaveIndexes(std::ostream& out) const {
+  if (!indexes_built_) {
+    throw std::logic_error("BuildIndexes() must run before SaveIndexes()");
+  }
+  labeling_.Serialize(out);
+  uint32_t num_categories = categories_.num_categories();
+  out.write(reinterpret_cast<const char*>(&num_categories),
+            sizeof(num_categories));
+  for (const InvertedLabelIndex& index : inverted_) index.Serialize(out);
+}
+
+void KosrEngine::LoadIndexes(std::istream& in) {
+  labeling_ = HubLabeling::Deserialize(in);
+  if (labeling_.num_vertices() != graph_.num_vertices()) {
+    throw std::runtime_error("index snapshot is for a different graph");
+  }
+  uint32_t num_categories = 0;
+  in.read(reinterpret_cast<char*>(&num_categories), sizeof(num_categories));
+  if (!in || num_categories != categories_.num_categories()) {
+    throw std::runtime_error("index snapshot is for different categories");
+  }
+  inverted_.clear();
+  inverted_.reserve(num_categories);
+  for (uint32_t c = 0; c < num_categories; ++c) {
+    inverted_.push_back(InvertedLabelIndex::Deserialize(in));
+  }
+  indexes_built_ = true;
+}
+
+void KosrEngine::WriteDiskStore(const std::string& dir) const {
+  if (!indexes_built_) {
+    throw std::logic_error("BuildIndexes() must run before WriteDiskStore()");
+  }
+  DiskLabelStore::Write(dir, labeling_, categories_);
+}
+
+KosrResult KosrEngine::QueryFromDisk(const DiskLabelStore& store,
+                                     const KosrQuery& query,
+                                     const KosrOptions& options) {
+  if (options.nn_mode != NnMode::kHopLabel) {
+    throw std::invalid_argument("disk-resident queries are hop-label only");
+  }
+  DiskLabelStore::QueryContext ctx =
+      store.Load(query.source, query.target, query.sequence);
+  std::vector<const InvertedLabelIndex*> slot_indexes;
+  for (const InvertedLabelIndex& idx : ctx.slot_indexes) {
+    slot_indexes.push_back(&idx);
+  }
+  AlgoConfig config = MakeConfig(query, options);
+  KosrResult result;
+  switch (options.algorithm) {
+    case Algorithm::kStar: {
+      HopLabelNenProvider nen(&ctx.labeling, slot_indexes, query.target,
+                              options.filter);
+      result = RunStarKosr(config, nen);
+      break;
+    }
+    case Algorithm::kKpne: {
+      HopLabelNnProvider nn(&ctx.labeling, slot_indexes, query.target,
+                            options.filter);
+      result = RunKpne(config, nn);
+      break;
+    }
+    case Algorithm::kPruning: {
+      HopLabelNnProvider nn(&ctx.labeling, slot_indexes, query.target,
+                            options.filter);
+      result = RunPruningKosr(config, nn);
+      break;
+    }
+  }
+  result.stats.total_time_s += ctx.load_seconds;
+  return result;
+}
+
+}  // namespace kosr

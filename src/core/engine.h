@@ -1,0 +1,117 @@
+#ifndef KOSR_CORE_ENGINE_H_
+#define KOSR_CORE_ENGINE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/graph/categories.h"
+#include "src/graph/graph.h"
+#include "src/labeling/disk_store.h"
+#include "src/labeling/hub_labeling.h"
+#include "src/nn/inverted_label_index.h"
+
+namespace kosr {
+
+/// Facade that owns a graph, its category assignment, and the query indexes
+/// (hub labeling + one inverted label index per category), and answers KOSR
+/// queries with any of the paper's methods.
+///
+/// Typical use:
+///
+///   KosrEngine engine(std::move(graph), std::move(categories));
+///   engine.BuildIndexes();
+///   KosrResult r = engine.Query({s, t, {MA, RE, CI}, 3});
+///
+class KosrEngine {
+ public:
+  KosrEngine(Graph graph, CategoryTable categories);
+
+  /// Builds the hub labeling (degree order) and all inverted label indexes.
+  void BuildIndexes();
+  /// Same with an explicit hub order (e.g. a grid dissection order or a CH
+  /// importance order — see DESIGN.md on ordering quality).
+  void BuildIndexes(const std::vector<VertexId>& order);
+
+  /// Answers a KOSR query. Categories referenced by the sequence must be
+  /// non-empty; an unreachable query yields fewer than k (possibly zero)
+  /// routes. Requires BuildIndexes() unless options.nn_mode == kDijkstra.
+  KosrResult Query(const KosrQuery& query,
+                   const KosrOptions& options = {}) const;
+
+  /// Answers an OSR (k = 1) query with the GSP comparator.
+  std::optional<SequencedRoute> QueryGsp(VertexId source, VertexId target,
+                                         const CategorySequence& sequence,
+                                         QueryStats* stats = nullptr) const;
+
+  /// Expands a witness into a full vertex path using label parent pointers.
+  std::vector<VertexId> ReconstructPath(
+      const std::vector<VertexId>& witness) const;
+
+  // --- Dynamic updates (Sec. IV-C) ----------------------------------------
+
+  /// Category update: vertex gains a category; label + inverted indexes stay
+  /// consistent. O(|Lin(v)| log |Ci|).
+  void AddVertexCategory(VertexId v, CategoryId c);
+  /// Category update: vertex loses a category.
+  void RemoveVertexCategory(VertexId v, CategoryId c);
+  /// Graph update: inserts arc (u, v, w) or lowers an existing arc's weight,
+  /// and incrementally repairs the labeling (resumed pruned searches).
+  /// Weight increases/deletions require a rebuild.
+  void AddOrDecreaseEdge(VertexId u, VertexId v, Weight w);
+
+  // --- Index persistence ----------------------------------------------------
+
+  /// Saves the built indexes (hub labeling + all inverted label indexes) so
+  /// a later process can LoadIndexes() instead of rebuilding. Orthogonal to
+  /// the per-query disk store: this is a bulk snapshot for in-memory use.
+  void SaveIndexes(std::ostream& out) const;
+  /// Restores indexes saved by SaveIndexes. The graph and category table
+  /// must be the ones the snapshot was built from.
+  void LoadIndexes(std::istream& in);
+
+  // --- Disk-resident mode (SK-DB) -----------------------------------------
+
+  /// Persists indexes to a directory for SK-DB queries.
+  void WriteDiskStore(const std::string& dir) const;
+  /// Answers a StarKOSR query loading the working set from a disk store
+  /// written by WriteDiskStore. The load time is added to stats.total_time_s
+  /// (and reported in stats.estimation_time_s = 0; see QueryStats).
+  static KosrResult QueryFromDisk(const DiskLabelStore& store,
+                                  const KosrQuery& query,
+                                  const KosrOptions& options = {});
+
+  // --- Accessors -----------------------------------------------------------
+
+  const Graph& graph() const { return graph_; }
+  const CategoryTable& categories() const { return categories_; }
+  const HubLabeling& labeling() const { return labeling_; }
+  const InvertedLabelIndex& inverted(CategoryId c) const {
+    return inverted_[c];
+  }
+  bool indexes_built() const { return indexes_built_; }
+  double label_build_seconds() const { return label_build_seconds_; }
+  double inverted_build_seconds() const { return inverted_build_seconds_; }
+
+ private:
+  friend KosrResult RunQueryWithIndexes(
+      const Graph& graph, const CategoryTable& categories,
+      const HubLabeling& labeling,
+      const std::vector<const InvertedLabelIndex*>& slot_indexes,
+      const KosrQuery& query, const KosrOptions& options);
+
+  Graph graph_;
+  CategoryTable categories_;
+  HubLabeling labeling_;
+  std::vector<InvertedLabelIndex> inverted_;
+  bool indexes_built_ = false;
+  double label_build_seconds_ = 0;
+  double inverted_build_seconds_ = 0;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_CORE_ENGINE_H_

@@ -1,0 +1,79 @@
+#ifndef KOSR_CORE_QUERY_H_
+#define KOSR_CORE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/categories.h"
+#include "src/nn/nn_provider.h"
+#include "src/util/stats.h"
+#include "src/util/types.h"
+
+namespace kosr {
+
+/// KOSR query (Definition 5): find the k least-cost feasible routes from
+/// `source` to `target` visiting one vertex of each category of `sequence`
+/// in order.
+struct KosrQuery {
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+  CategorySequence sequence;
+  uint32_t k = 1;
+};
+
+/// Which KOSR algorithm answers the query.
+enum class Algorithm {
+  kKpne,     ///< Baseline: PNE [32] extended to top-k (Sec. III-B).
+  kPruning,  ///< PruningKOSR — dominance-based (Algorithm 2).
+  kStar,     ///< StarKOSR — A*-style target-directed (Sec. IV-B).
+};
+
+/// How nearest neighbors inside categories are found.
+enum class NnMode {
+  kHopLabel,  ///< FindNN/FindNEN over inverted label indexes (Alg. 3/4).
+  kDijkstra,  ///< Resumable Dijkstra searches (the "-Dij" method family).
+};
+
+/// Per-query execution options.
+struct KosrOptions {
+  Algorithm algorithm = Algorithm::kStar;
+  NnMode nn_mode = NnMode::kHopLabel;
+
+  /// Reconstruct the full vertex path of each result, not just its witness.
+  bool reconstruct_paths = false;
+
+  /// Collect the Table-X phase timing breakdown (adds clock overhead).
+  bool collect_phase_times = false;
+
+  /// Abort after examining this many witnesses (0 = unlimited). The paper
+  /// reports aborted configurations as INF.
+  uint64_t max_examined_routes = 0;
+
+  /// Abort after this many seconds (0 = unlimited).
+  double time_budget_s = 0;
+
+  /// Optional per-slot candidate predicate (personal-preference extension,
+  /// Sec. IV-C): slot i (1-based) only admits vertices the filter accepts.
+  SlotFilter filter;
+};
+
+/// One result route.
+struct SequencedRoute {
+  /// Total route cost w(P) — the sum of shortest-path legs of the witness.
+  Cost cost = 0;
+  /// The witness <s, v1, ..., vj, t> (Definition 4).
+  std::vector<VertexId> witness;
+  /// Full vertex path, if reconstruction was requested (consecutive
+  /// vertices are graph neighbors).
+  std::vector<VertexId> path;
+};
+
+/// Query answer: up to k routes in nondecreasing cost order, plus counters.
+struct KosrResult {
+  std::vector<SequencedRoute> routes;
+  QueryStats stats;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_CORE_QUERY_H_

@@ -1,0 +1,96 @@
+#include "src/core/variants.h"
+
+#include <stdexcept>
+
+#include "src/algo/kpne.h"
+#include "src/algo/pruning_kosr.h"
+#include "src/algo/star_kosr.h"
+#include "src/nn/dijkstra_nn.h"
+#include "src/nn/find_nen.h"
+#include "src/nn/find_nn.h"
+
+namespace kosr {
+namespace {
+
+AlgoConfig VariantConfig(const KosrEngine& engine, VertexId source,
+                         VertexId target, const CategorySequence& sequence,
+                         uint32_t k, const KosrOptions& options) {
+  (void)engine;
+  AlgoConfig config;
+  config.source = source;
+  config.target = target;
+  config.num_categories = static_cast<uint32_t>(sequence.size());
+  config.k = k;
+  config.max_examined = options.max_examined_routes;
+  config.time_budget_s = options.time_budget_s;
+  config.collect_phase_times = options.collect_phase_times;
+  return config;
+}
+
+std::vector<const InvertedLabelIndex*> SlotIndexes(
+    const KosrEngine& engine, const CategorySequence& sequence) {
+  std::vector<const InvertedLabelIndex*> out;
+  for (CategoryId c : sequence) out.push_back(&engine.inverted(c));
+  return out;
+}
+
+}  // namespace
+
+KosrResult QueryNoSource(const KosrEngine& engine, VertexId target,
+                         const CategorySequence& sequence, uint32_t k,
+                         const KosrOptions& options) {
+  if (sequence.empty()) throw std::invalid_argument("empty sequence");
+  AlgoConfig config =
+      VariantConfig(engine, kInvalidVertex, target, sequence, k, options);
+  for (VertexId v : engine.categories().Members(sequence.front())) {
+    if (options.filter && !options.filter(1, v)) continue;
+    config.seeds.push_back({v, 1, 0});
+  }
+
+  if (options.nn_mode == NnMode::kDijkstra) {
+    if (options.algorithm == Algorithm::kStar) {
+      DijkstraNenProvider nen(&engine.graph(), &engine.categories(), sequence,
+                              target, options.filter);
+      return RunStarKosr(config, nen);
+    }
+    DijkstraNnProvider nn(&engine.graph(), &engine.categories(), sequence,
+                          target, options.filter);
+    return options.algorithm == Algorithm::kKpne ? RunKpne(config, nn)
+                                                 : RunPruningKosr(config, nn);
+  }
+  auto slots = SlotIndexes(engine, sequence);
+  if (options.algorithm == Algorithm::kStar) {
+    HopLabelNenProvider nen(&engine.labeling(), slots, target, options.filter);
+    return RunStarKosr(config, nen);
+  }
+  HopLabelNnProvider nn(&engine.labeling(), slots, target, options.filter);
+  return options.algorithm == Algorithm::kKpne ? RunKpne(config, nn)
+                                               : RunPruningKosr(config, nn);
+}
+
+KosrResult QueryNoDestination(const KosrEngine& engine, VertexId source,
+                              const CategorySequence& sequence, uint32_t k,
+                              const KosrOptions& options) {
+  if (sequence.empty()) throw std::invalid_argument("empty sequence");
+  if (options.algorithm == Algorithm::kStar) {
+    throw std::invalid_argument(
+        "StarKOSR needs a destination; use kPruning for this variant");
+  }
+  AlgoConfig config =
+      VariantConfig(engine, source, kInvalidVertex, sequence, k, options);
+  config.has_destination = false;
+
+  if (options.nn_mode == NnMode::kDijkstra) {
+    DijkstraNnProvider nn(&engine.graph(), &engine.categories(), sequence,
+                          kInvalidVertex, options.filter);
+    return options.algorithm == Algorithm::kKpne ? RunKpne(config, nn)
+                                                 : RunPruningKosr(config, nn);
+  }
+  auto slots = SlotIndexes(engine, sequence);
+  HopLabelNnProvider nn(&engine.labeling(), slots, kInvalidVertex,
+                        options.filter);
+  return options.algorithm == Algorithm::kKpne ? RunKpne(config, nn)
+                                               : RunPruningKosr(config, nn);
+}
+
+}  // namespace kosr

@@ -1,0 +1,28 @@
+#ifndef KOSR_CORE_VARIANTS_H_
+#define KOSR_CORE_VARIANTS_H_
+
+#include "src/core/engine.h"
+#include "src/core/query.h"
+
+namespace kosr {
+
+/// KOSR variant without a fixed source (Sec. IV-C): the route may begin at
+/// any vertex of the first sequence category. Implemented by seeding the
+/// search with every member of C1 at depth 1 and cost 0 (the paper's
+/// "initially add all vertices in the first category instead of the source
+/// to the priority queue"). Both PruningKOSR and StarKOSR work here.
+KosrResult QueryNoSource(const KosrEngine& engine, VertexId target,
+                         const CategorySequence& sequence, uint32_t k,
+                         const KosrOptions& options = {});
+
+/// KOSR variant without a fixed destination (Sec. IV-C): the route ends at
+/// its last category vertex. The A* estimate needs a destination, so
+/// StarKOSR is rejected (std::invalid_argument) — use kPruning or kKpne,
+/// exactly as the paper prescribes.
+KosrResult QueryNoDestination(const KosrEngine& engine, VertexId source,
+                              const CategorySequence& sequence, uint32_t k,
+                              const KosrOptions& options = {});
+
+}  // namespace kosr
+
+#endif  // KOSR_CORE_VARIANTS_H_

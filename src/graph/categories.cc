@@ -1,0 +1,79 @@
+#include "src/graph/categories.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/zipf.h"
+
+namespace kosr {
+
+CategoryTable::CategoryTable(uint32_t num_vertices, uint32_t num_categories)
+    : vertex_cats_(num_vertices), members_(num_categories) {}
+
+void CategoryTable::Add(VertexId v, CategoryId category) {
+  assert(v < num_vertices() && category < num_categories());
+  auto& cats = vertex_cats_[v];
+  if (std::find(cats.begin(), cats.end(), category) != cats.end()) return;
+  cats.push_back(category);
+  members_[category].push_back(v);
+}
+
+bool CategoryTable::Remove(VertexId v, CategoryId category) {
+  auto& cats = vertex_cats_[v];
+  auto it = std::find(cats.begin(), cats.end(), category);
+  if (it == cats.end()) return false;
+  cats.erase(it);
+  auto& mem = members_[category];
+  mem.erase(std::find(mem.begin(), mem.end(), v));
+  return true;
+}
+
+bool CategoryTable::Has(VertexId v, CategoryId category) const {
+  const auto& cats = vertex_cats_[v];
+  return std::find(cats.begin(), cats.end(), category) != cats.end();
+}
+
+CategoryTable CategoryTable::Uniform(uint32_t num_vertices,
+                                     uint32_t category_size, uint64_t seed) {
+  if (category_size == 0 || category_size > num_vertices) {
+    throw std::invalid_argument("category_size out of range");
+  }
+  uint32_t num_categories = std::max(1u, num_vertices / category_size);
+  CategoryTable table(num_vertices, num_categories);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> pick(0, num_categories - 1);
+  for (VertexId v = 0; v < num_vertices; ++v) table.Add(v, pick(rng));
+  return table;
+}
+
+CategoryTable CategoryTable::Zipfian(uint32_t num_vertices,
+                                     uint32_t num_categories, double f,
+                                     uint64_t seed) {
+  if (f < 1.0) throw std::invalid_argument("zipf factor f must be >= 1");
+  CategoryTable table(num_vertices, num_categories);
+  // Paper convention: larger f = less skew. Exponent 1/f keeps f = 1 very
+  // skewed and f -> inf uniform.
+  ZipfSampler zipf(num_categories, 1.0 / f);
+  std::mt19937_64 rng(seed);
+  for (VertexId v = 0; v < num_vertices; ++v) table.Add(v, zipf.Sample(rng));
+  return table;
+}
+
+CategorySequence RandomCategorySequence(const CategoryTable& table,
+                                        uint32_t length,
+                                        std::mt19937_64& rng) {
+  std::vector<CategoryId> nonempty;
+  for (CategoryId c = 0; c < table.num_categories(); ++c) {
+    if (table.CategorySize(c) > 0) nonempty.push_back(c);
+  }
+  if (nonempty.size() < length) {
+    throw std::invalid_argument("not enough non-empty categories");
+  }
+  std::shuffle(nonempty.begin(), nonempty.end(), rng);
+  nonempty.resize(length);
+  return nonempty;
+}
+
+}  // namespace kosr

@@ -1,0 +1,85 @@
+#ifndef KOSR_GRAPH_CATEGORIES_H_
+#define KOSR_GRAPH_CATEGORIES_H_
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace kosr {
+
+class Graph;
+
+/// The category function F : V -> 2^S of Definition 1, stored both ways:
+/// per vertex (the set of categories it carries) and per category (the
+/// member vertex set V_Ci). A vertex may belong to any number of categories,
+/// including none.
+class CategoryTable {
+ public:
+  CategoryTable() = default;
+
+  /// @param num_vertices     vertex universe.
+  /// @param num_categories   category universe.
+  CategoryTable(uint32_t num_vertices, uint32_t num_categories);
+
+  uint32_t num_vertices() const { return static_cast<uint32_t>(vertex_cats_.size()); }
+  uint32_t num_categories() const { return static_cast<uint32_t>(members_.size()); }
+
+  /// Adds `category` to F(v). No-op if already present.
+  void Add(VertexId v, CategoryId category);
+
+  /// Removes `category` from F(v). Returns false if it was not present.
+  bool Remove(VertexId v, CategoryId category);
+
+  bool Has(VertexId v, CategoryId category) const;
+
+  /// F(v): categories carried by vertex v (unsorted).
+  std::span<const CategoryId> CategoriesOf(VertexId v) const {
+    return vertex_cats_[v];
+  }
+
+  /// V_Ci: member vertices of a category (unsorted).
+  std::span<const VertexId> Members(CategoryId category) const {
+    return members_[category];
+  }
+
+  /// |Ci|.
+  uint32_t CategorySize(CategoryId category) const {
+    return static_cast<uint32_t>(members_[category].size());
+  }
+
+  /// Assigns every vertex to exactly one category uniformly at random so
+  /// each category has (on expectation) `category_size` members:
+  /// num_categories = floor(num_vertices / category_size), as in Sec. V-A
+  /// of the paper (uniform distribution, following [29]).
+  static CategoryTable Uniform(uint32_t num_vertices, uint32_t category_size,
+                               uint64_t seed);
+
+  /// Assigns every vertex to one of `num_categories` categories with a
+  /// Zipfian size distribution; `f >= 1` is the paper's skew factor (greater
+  /// f = less skew), following [32].
+  static CategoryTable Zipfian(uint32_t num_vertices, uint32_t num_categories,
+                               double f, uint64_t seed);
+
+ private:
+  std::vector<std::vector<CategoryId>> vertex_cats_;
+  std::vector<std::vector<VertexId>> members_;
+};
+
+/// A KOSR category sequence <C1, ..., Cj> (Definition 3). The dummy
+/// categories C0 = {s} and C_{|C|+1} = {t} of the paper are *not* part of
+/// this sequence; algorithms add them implicitly.
+using CategorySequence = std::vector<CategoryId>;
+
+/// Draws a random category sequence of the given length with all-distinct
+/// categories, each of which must be non-empty in `table`.
+CategorySequence RandomCategorySequence(const CategoryTable& table,
+                                        uint32_t length,
+                                        std::mt19937_64& rng);
+
+}  // namespace kosr
+
+#endif  // KOSR_GRAPH_CATEGORIES_H_

@@ -1,0 +1,157 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace kosr {
+
+std::string Figure1::VertexName(VertexId v) {
+  static constexpr const char* kNames[] = {"s", "a", "b", "c",
+                                           "d", "e", "f", "t"};
+  if (v < 8) return kNames[v];
+  return "?" + std::to_string(v);
+}
+
+Figure1 MakeFigure1() {
+  using F = Figure1;
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges = {
+      {F::s, F::a, 8},  {F::s, F::c, 10}, {F::a, F::b, 5}, {F::a, F::e, 6},
+      {F::b, F::d, 3},  {F::b, F::s, 5},  {F::c, F::b, 5}, {F::c, F::d, 3},
+      {F::d, F::t, 4},  {F::e, F::d, 3},  {F::e, F::f, 10}, {F::f, F::t, 3},
+      {F::t, F::c, 15}, {F::t, F::e, 10},
+  };
+  Figure1 fig;
+  fig.graph = Graph::FromEdges(8, edges);
+  fig.categories = CategoryTable(8, 3);
+  fig.categories.Add(F::a, F::MA);
+  fig.categories.Add(F::c, F::MA);
+  fig.categories.Add(F::b, F::RE);
+  fig.categories.Add(F::e, F::RE);
+  fig.categories.Add(F::d, F::CI);
+  fig.categories.Add(F::f, F::CI);
+  return fig;
+}
+
+Graph MakeGridRoadNetwork(uint32_t rows, uint32_t cols, uint64_t seed,
+                          Weight min_weight, Weight max_weight,
+                          double highway_fraction) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("empty grid");
+  if (min_weight > max_weight) throw std::invalid_argument("bad weights");
+  uint32_t n = rows * cols;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Weight> w(min_weight, max_weight);
+  auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+  edges.reserve(static_cast<size_t>(n) * 4);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      VertexId u = id(r, c);
+      if (c + 1 < cols) {
+        // Two independently drawn directions: asymmetric travel times.
+        edges.emplace_back(u, id(r, c + 1), w(rng));
+        edges.emplace_back(id(r, c + 1), u, w(rng));
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(u, id(r + 1, c), w(rng));
+        edges.emplace_back(id(r + 1, c), u, w(rng));
+      }
+    }
+  }
+  // Highway chords: long-range shortcuts whose weight is *less* than the sum
+  // of grid hops they replace, further violating the triangle inequality in
+  // interesting ways (fast ring-roads).
+  uint64_t num_chords = static_cast<uint64_t>(highway_fraction * n);
+  std::uniform_int_distribution<uint32_t> pick(0, n - 1);
+  for (uint64_t i = 0; i < num_chords; ++i) {
+    VertexId u = pick(rng), v = pick(rng);
+    if (u == v) continue;
+    Weight chord = static_cast<Weight>(
+        std::uniform_int_distribution<Weight>(min_weight, 3 * max_weight)(rng));
+    edges.emplace_back(u, v, chord);
+    edges.emplace_back(v, u, chord);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph MakeSmallWorld(uint32_t num_vertices, uint32_t ring_degree,
+                     double chords_per_vertex, uint64_t seed) {
+  if (num_vertices < 3) throw std::invalid_argument("graph too small");
+  std::mt19937_64 rng(seed);
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (uint32_t k = 1; k <= ring_degree; ++k) {
+      VertexId v = (u + k) % num_vertices;
+      edges.emplace_back(u, v, 1);
+      edges.emplace_back(v, u, 1);
+    }
+  }
+  uint64_t num_chords =
+      static_cast<uint64_t>(chords_per_vertex * num_vertices);
+  std::uniform_int_distribution<uint32_t> pick(0, num_vertices - 1);
+  for (uint64_t i = 0; i < num_chords; ++i) {
+    VertexId u = pick(rng), v = pick(rng);
+    if (u == v) continue;
+    edges.emplace_back(u, v, 1);
+    edges.emplace_back(v, u, 1);
+  }
+  return Graph::FromEdges(num_vertices, edges);
+}
+
+Graph MakeRandomGraph(uint32_t num_vertices, uint64_t num_edges,
+                      uint64_t seed, Weight min_weight, Weight max_weight) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> pick(0, num_vertices - 1);
+  std::uniform_int_distribution<Weight> w(min_weight, max_weight);
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+  edges.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    VertexId u = pick(rng), v = pick(rng);
+    if (u == v) continue;
+    edges.emplace_back(u, v, w(rng));
+  }
+  return Graph::FromEdges(num_vertices, edges);
+}
+
+std::vector<VertexId> GridDissectionOrder(uint32_t rows, uint32_t cols) {
+  // Collect (recursion level, vertex) pairs: each region emits its middle
+  // row or column (whichever dimension is longer) as a separator, then
+  // recurses into the two halves.
+  std::vector<std::pair<uint32_t, VertexId>> levels;
+  levels.reserve(static_cast<size_t>(rows) * cols);
+  auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+
+  auto rec = [&](auto&& self, uint32_t r0, uint32_t r1, uint32_t c0,
+                 uint32_t c1, uint32_t level) -> void {
+    if (r0 >= r1 || c0 >= c1) return;
+    uint32_t height = r1 - r0, width = c1 - c0;
+    if (height <= 2 && width <= 2) {
+      for (uint32_t r = r0; r < r1; ++r) {
+        for (uint32_t c = c0; c < c1; ++c) levels.emplace_back(level, id(r, c));
+      }
+      return;
+    }
+    if (height >= width) {
+      uint32_t mid = r0 + height / 2;
+      for (uint32_t c = c0; c < c1; ++c) levels.emplace_back(level, id(mid, c));
+      self(self, r0, mid, c0, c1, level + 1);
+      self(self, mid + 1, r1, c0, c1, level + 1);
+    } else {
+      uint32_t mid = c0 + width / 2;
+      for (uint32_t r = r0; r < r1; ++r) levels.emplace_back(level, id(r, mid));
+      self(self, r0, r1, c0, mid, level + 1);
+      self(self, r0, r1, mid + 1, c1, level + 1);
+    }
+  };
+  rec(rec, 0, rows, 0, cols, 0);
+
+  std::stable_sort(levels.begin(), levels.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<VertexId> order;
+  order.reserve(levels.size());
+  for (const auto& [level, v] : levels) order.push_back(v);
+  return order;
+}
+
+}  // namespace kosr

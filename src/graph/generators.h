@@ -1,0 +1,65 @@
+#ifndef KOSR_GRAPH_GENERATORS_H_
+#define KOSR_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/graph/categories.h"
+#include "src/graph/graph.h"
+
+namespace kosr {
+
+/// The worked example of the paper (Figure 1): 8 vertices s,a,b,c,d,e,f,t,
+/// 14 directed arcs, and categories MA = {a, c}, RE = {b, e}, CI = {d, f}.
+/// The KOSR query (s, t, <MA, RE, CI>, 3) has results with costs 20, 21, 22.
+struct Figure1 {
+  Graph graph;
+  CategoryTable categories;
+
+  // Vertex ids.
+  static constexpr VertexId s = 0, a = 1, b = 2, c = 3, d = 4, e = 5, f = 6,
+                            t = 7;
+  // Category ids.
+  static constexpr CategoryId MA = 0, RE = 1, CI = 2;
+
+  /// Name of a vertex id, e.g. "s", "a".
+  static std::string VertexName(VertexId v);
+};
+
+/// Builds the Figure 1 instance.
+Figure1 MakeFigure1();
+
+/// Synthetic road network: an r x c grid where each vertex connects to its
+/// 4-neighborhood with two *independently* perturbed directed arcs (weights
+/// uniform in [min_weight, max_weight]). Independent perturbation makes the
+/// graph asymmetric and breaks the triangle inequality, which is exactly the
+/// "general graph" regime of the paper (travel-time-like weights).
+/// Additionally, a small fraction of long-range "highway" chords is added.
+///
+/// Stands in for the paper's CAL/NYC/COL/FLA road networks (see DESIGN.md).
+Graph MakeGridRoadNetwork(uint32_t rows, uint32_t cols, uint64_t seed,
+                          Weight min_weight = 10, Weight max_weight = 100,
+                          double highway_fraction = 0.005);
+
+/// Small-world graph: a bidirectional ring with `ring_degree` neighbors per
+/// side plus `chords_per_vertex` random chords, all unit weight. Tiny
+/// diameter, unweighted — the paper's G+ (Google+) analog.
+Graph MakeSmallWorld(uint32_t num_vertices, uint32_t ring_degree,
+                     double chords_per_vertex, uint64_t seed);
+
+/// Erdos-Renyi-style random sparse directed graph with uniform weights.
+/// Used by property tests (not an experiment workload).
+Graph MakeRandomGraph(uint32_t num_vertices, uint64_t num_edges,
+                      uint64_t seed, Weight min_weight = 1,
+                      Weight max_weight = 1000);
+
+/// Hub-labeling vertex order for an r x c grid by recursive separator
+/// dissection: vertices on high-level separators (middle rows/columns) come
+/// first. On grid road networks this yields labels of size ~O(sqrt(n))
+/// versus the much larger degree-order labels — the ordering-quality point
+/// of hierarchical hub labelings (paper reference [1]).
+std::vector<VertexId> GridDissectionOrder(uint32_t rows, uint32_t cols);
+
+}  // namespace kosr
+
+#endif  // KOSR_GRAPH_GENERATORS_H_

@@ -1,0 +1,148 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/min_heap.h"
+
+namespace kosr {
+
+Graph Graph::FromEdges(
+    uint32_t num_vertices,
+    const std::vector<std::tuple<VertexId, VertexId, Weight>>& edges) {
+  Graph g;
+  g.out_begin_.assign(num_vertices + 1, 0);
+  g.in_begin_.assign(num_vertices + 1, 0);
+
+  for (const auto& [tail, head, weight] : edges) {
+    (void)weight;
+    assert(tail < num_vertices && head < num_vertices);
+    if (tail == head) continue;
+    ++g.out_begin_[tail + 1];
+    ++g.in_begin_[head + 1];
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    g.out_begin_[v + 1] += g.out_begin_[v];
+    g.in_begin_[v + 1] += g.in_begin_[v];
+  }
+  g.out_arcs_.resize(g.out_begin_.back());
+  g.in_arcs_.resize(g.in_begin_.back());
+
+  std::vector<uint32_t> out_fill(num_vertices, 0), in_fill(num_vertices, 0);
+  for (const auto& [tail, head, weight] : edges) {
+    if (tail == head) continue;
+    g.out_arcs_[g.out_begin_[tail] + out_fill[tail]++] = {head, weight};
+    g.in_arcs_[g.in_begin_[head] + in_fill[head]++] = {tail, weight};
+  }
+
+  // Sort adjacency by head id for deterministic iteration and binary search.
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    auto cmp = [](const Arc& a, const Arc& b) {
+      return a.head != b.head ? a.head < b.head : a.weight < b.weight;
+    };
+    std::sort(g.out_arcs_.begin() + g.out_begin_[v],
+              g.out_arcs_.begin() + g.out_begin_[v + 1], cmp);
+    std::sort(g.in_arcs_.begin() + g.in_begin_[v],
+              g.in_arcs_.begin() + g.in_begin_[v + 1], cmp);
+  }
+  return g;
+}
+
+Cost Graph::ArcWeight(VertexId u, VertexId v) const {
+  Cost best = kInfCost;
+  for (const Arc& a : OutArcs(u)) {
+    if (a.head == v) best = std::min(best, static_cast<Cost>(a.weight));
+  }
+  return best;
+}
+
+bool Graph::IsSymmetric() const {
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (const Arc& a : OutArcs(u)) {
+      if (ArcWeight(a.head, u) != static_cast<Cost>(a.weight)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::tuple<VertexId, VertexId, Weight>> Graph::ToEdges() const {
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+  edges.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (const Arc& a : OutArcs(u)) edges.emplace_back(u, a.head, a.weight);
+  }
+  return edges;
+}
+
+std::vector<Cost> DijkstraAllDistances(const Graph& graph, VertexId source,
+                                       bool reverse) {
+  std::vector<Cost> dist(graph.num_vertices(), kInfCost);
+  IndexedMinHeap heap(graph.num_vertices());
+  dist[source] = 0;
+  heap.InsertOrDecrease(source, 0);
+  while (!heap.Empty()) {
+    auto [d, u] = heap.ExtractMin();
+    auto arcs = reverse ? graph.InArcs(u) : graph.OutArcs(u);
+    for (const Arc& a : arcs) {
+      Cost nd = d + a.weight;
+      if (nd < dist[a.head]) {
+        dist[a.head] = nd;
+        heap.InsertOrDecrease(a.head, nd);
+      }
+    }
+  }
+  return dist;
+}
+
+Cost DijkstraDistance(const Graph& graph, VertexId source, VertexId target) {
+  if (source == target) return 0;
+  std::vector<Cost> dist(graph.num_vertices(), kInfCost);
+  IndexedMinHeap heap(graph.num_vertices());
+  dist[source] = 0;
+  heap.InsertOrDecrease(source, 0);
+  while (!heap.Empty()) {
+    auto [d, u] = heap.ExtractMin();
+    if (u == target) return d;
+    for (const Arc& a : graph.OutArcs(u)) {
+      Cost nd = d + a.weight;
+      if (nd < dist[a.head]) {
+        dist[a.head] = nd;
+        heap.InsertOrDecrease(a.head, nd);
+      }
+    }
+  }
+  return kInfCost;
+}
+
+std::vector<VertexId> DijkstraPath(const Graph& graph, VertexId source,
+                                   VertexId target) {
+  std::vector<Cost> dist(graph.num_vertices(), kInfCost);
+  std::vector<VertexId> parent(graph.num_vertices(), kInvalidVertex);
+  IndexedMinHeap heap(graph.num_vertices());
+  dist[source] = 0;
+  heap.InsertOrDecrease(source, 0);
+  bool found = source == target;
+  while (!heap.Empty() && !found) {
+    auto [d, u] = heap.ExtractMin();
+    if (u == target) { found = true; break; }
+    for (const Arc& a : graph.OutArcs(u)) {
+      Cost nd = d + a.weight;
+      if (nd < dist[a.head]) {
+        dist[a.head] = nd;
+        parent[a.head] = u;
+        heap.InsertOrDecrease(a.head, nd);
+      }
+    }
+  }
+  if (!found && dist[target] == kInfCost) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = target; v != kInvalidVertex; v = parent[v]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.empty() || path.front() != source) return {};
+  return path;
+}
+
+}  // namespace kosr

@@ -1,0 +1,94 @@
+#ifndef KOSR_GRAPH_GRAPH_H_
+#define KOSR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace kosr {
+
+/// One outgoing (or incoming) arc in CSR storage.
+struct Arc {
+  VertexId head;   ///< Target vertex (or source, in the reverse graph).
+  Weight weight;   ///< Non-negative cost of traversing the arc.
+};
+
+/// Immutable directed weighted graph in compressed-sparse-row form, with a
+/// materialized reverse adjacency for backward searches.
+///
+/// This is Definition 1 of the paper minus the category function, which
+/// lives in CategoryTable so one graph can carry many category assignments.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph from an arbitrary-order edge list. Parallel edges are
+  /// kept (the cheaper one naturally dominates in searches); self loops are
+  /// dropped.
+  ///
+  /// @param num_vertices  vertex universe [0, num_vertices).
+  /// @param edges         (tail, head, weight) triples.
+  static Graph FromEdges(
+      uint32_t num_vertices,
+      const std::vector<std::tuple<VertexId, VertexId, Weight>>& edges);
+
+  uint32_t num_vertices() const { return static_cast<uint32_t>(out_begin_.size()) - 1; }
+  uint64_t num_edges() const { return out_arcs_.size(); }
+
+  /// Outgoing arcs of `v`.
+  std::span<const Arc> OutArcs(VertexId v) const {
+    return {out_arcs_.data() + out_begin_[v],
+            out_arcs_.data() + out_begin_[v + 1]};
+  }
+
+  /// Incoming arcs of `v` (each Arc::head is the *tail* of the original arc).
+  std::span<const Arc> InArcs(VertexId v) const {
+    return {in_arcs_.data() + in_begin_[v],
+            in_arcs_.data() + in_begin_[v + 1]};
+  }
+
+  uint32_t OutDegree(VertexId v) const {
+    return out_begin_[v + 1] - out_begin_[v];
+  }
+  uint32_t InDegree(VertexId v) const {
+    return in_begin_[v + 1] - in_begin_[v];
+  }
+
+  /// Weight of arc (u, v), or kInfCost if absent (minimum over parallels).
+  Cost ArcWeight(VertexId u, VertexId v) const;
+
+  /// True if every arc (u, v) has a twin (v, u) of equal weight.
+  bool IsSymmetric() const;
+
+  /// Exports all arcs as (tail, head, weight) triples, in tail order.
+  std::vector<std::tuple<VertexId, VertexId, Weight>> ToEdges() const;
+
+ private:
+  std::vector<uint32_t> out_begin_{0};
+  std::vector<Arc> out_arcs_;
+  std::vector<uint32_t> in_begin_{0};
+  std::vector<Arc> in_arcs_;
+};
+
+/// Single-source shortest-path distances by textbook Dijkstra. Reference
+/// implementation used to validate labelings and NN structures; O(m log n).
+///
+/// @param reverse  if true, searches the reverse graph (distances *to*
+///                 `source` in the original graph).
+std::vector<Cost> DijkstraAllDistances(const Graph& graph, VertexId source,
+                                       bool reverse = false);
+
+/// Point-to-point Dijkstra with early termination at `target`.
+Cost DijkstraDistance(const Graph& graph, VertexId source, VertexId target);
+
+/// Shortest s-t path as a vertex sequence (empty if unreachable).
+std::vector<VertexId> DijkstraPath(const Graph& graph, VertexId source,
+                                   VertexId target);
+
+}  // namespace kosr
+
+#endif  // KOSR_GRAPH_GRAPH_H_

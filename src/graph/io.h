@@ -1,0 +1,37 @@
+#ifndef KOSR_GRAPH_IO_H_
+#define KOSR_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/categories.h"
+#include "src/graph/graph.h"
+
+namespace kosr {
+
+/// Loads a 9th DIMACS Implementation Challenge `.gr` file, the format of the
+/// paper's COL/FLA road networks:
+///   c <comment>
+///   p sp <n> <m>
+///   a <tail> <head> <weight>      (1-based vertex ids)
+/// Throws std::runtime_error on malformed input.
+Graph LoadDimacsGraph(const std::string& path);
+
+/// Writes a graph in DIMACS `.gr` format.
+void SaveDimacsGraph(const Graph& graph, const std::string& path);
+
+/// Loads a whitespace-separated edge list "tail head weight" per line with
+/// 0-based ids; lines starting with '#' are comments. `num_vertices` of the
+/// result is 1 + max id seen.
+Graph LoadEdgeList(const std::string& path);
+
+/// Loads a category file with one "vertex category" pair per line (0-based
+/// ids, '#' comments). Vertices may appear multiple times (multi-category).
+CategoryTable LoadCategories(const std::string& path, uint32_t num_vertices,
+                             uint32_t num_categories);
+
+/// Writes a category table in the LoadCategories format.
+void SaveCategories(const CategoryTable& table, const std::string& path);
+
+}  // namespace kosr
+
+#endif  // KOSR_GRAPH_IO_H_

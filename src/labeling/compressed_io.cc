@@ -1,0 +1,133 @@
+#include "src/labeling/compressed_io.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace kosr {
+namespace {
+
+constexpr uint64_t kMagic = 0x4b4f53525a4c4231ull;  // "KOSRZLB1"
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("truncated compressed labeling");
+  return value;
+}
+
+}  // namespace
+
+void AppendVarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+uint64_t ReadVarint(const std::vector<uint8_t>& data, size_t& pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (pos >= data.size()) throw std::runtime_error("truncated varint");
+    uint8_t byte = data[pos++];
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  throw std::runtime_error("overlong varint");
+}
+
+std::vector<uint8_t> EncodeLabelVector(std::span<const LabelEntry> labels) {
+  std::vector<uint8_t> out;
+  AppendVarint(out, labels.size());
+  uint32_t prev_rank = 0;
+  for (const LabelEntry& e : labels) {
+    AppendVarint(out, e.hub_rank - prev_rank);
+    prev_rank = e.hub_rank;
+    AppendVarint(out, e.dist);
+    // Shift parents so the kInvalidVertex sentinel encodes as a single 0.
+    AppendVarint(out, e.parent == kInvalidVertex
+                          ? 0
+                          : static_cast<uint64_t>(e.parent) + 1);
+  }
+  return out;
+}
+
+std::vector<LabelEntry> DecodeLabelVector(const std::vector<uint8_t>& data) {
+  size_t pos = 0;
+  uint64_t count = ReadVarint(data, pos);
+  std::vector<LabelEntry> labels;
+  labels.reserve(count);
+  uint32_t rank = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    rank += static_cast<uint32_t>(ReadVarint(data, pos));
+    uint32_t dist = static_cast<uint32_t>(ReadVarint(data, pos));
+    uint64_t parent_raw = ReadVarint(data, pos);
+    VertexId parent = parent_raw == 0
+                          ? kInvalidVertex
+                          : static_cast<VertexId>(parent_raw - 1);
+    labels.push_back({rank, dist, parent});
+  }
+  if (pos != data.size()) throw std::runtime_error("trailing label bytes");
+  return labels;
+}
+
+void SerializeCompressed(const HubLabeling& labeling, std::ostream& out) {
+  WritePod(out, kMagic);
+  uint32_t n = labeling.num_vertices();
+  WritePod(out, n);
+  for (uint32_t r = 0; r < n; ++r) WritePod(out, labeling.HubVertex(r));
+  for (uint32_t side = 0; side < 2; ++side) {
+    for (VertexId v = 0; v < n; ++v) {
+      auto labels = side == 0 ? labeling.Lin(v) : labeling.Lout(v);
+      std::vector<uint8_t> encoded = EncodeLabelVector(labels);
+      WritePod<uint64_t>(out, encoded.size());
+      out.write(reinterpret_cast<const char*>(encoded.data()),
+                static_cast<std::streamsize>(encoded.size()));
+    }
+  }
+}
+
+HubLabeling DeserializeCompressed(std::istream& in) {
+  if (ReadPod<uint64_t>(in) != kMagic) {
+    throw std::runtime_error("bad compressed labeling magic");
+  }
+  uint32_t n = ReadPod<uint32_t>(in);
+  std::vector<VertexId> order(n);
+  for (uint32_t r = 0; r < n; ++r) order[r] = ReadPod<VertexId>(in);
+  std::vector<std::vector<LabelEntry>> in_labels(n), out_labels(n);
+  for (uint32_t side = 0; side < 2; ++side) {
+    for (VertexId v = 0; v < n; ++v) {
+      uint64_t size = ReadPod<uint64_t>(in);
+      std::vector<uint8_t> encoded(size);
+      in.read(reinterpret_cast<char*>(encoded.data()),
+              static_cast<std::streamsize>(size));
+      if (!in) throw std::runtime_error("truncated compressed labeling");
+      auto labels = DecodeLabelVector(encoded);
+      (side == 0 ? in_labels : out_labels)[v] = std::move(labels);
+    }
+  }
+  return HubLabeling::FromParts(std::move(order), std::move(in_labels),
+                                std::move(out_labels));
+}
+
+uint64_t CompressedSizeBytes(const HubLabeling& labeling) {
+  uint64_t total = sizeof(kMagic) + sizeof(uint32_t) +
+                   static_cast<uint64_t>(labeling.num_vertices()) *
+                       sizeof(VertexId);
+  for (VertexId v = 0; v < labeling.num_vertices(); ++v) {
+    total += sizeof(uint64_t) + EncodeLabelVector(labeling.Lin(v)).size();
+    total += sizeof(uint64_t) + EncodeLabelVector(labeling.Lout(v)).size();
+  }
+  return total;
+}
+
+}  // namespace kosr

@@ -1,0 +1,59 @@
+#ifndef KOSR_LABELING_DISK_STORE_H_
+#define KOSR_LABELING_DISK_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/categories.h"
+#include "src/labeling/hub_labeling.h"
+#include "src/nn/inverted_label_index.h"
+
+namespace kosr {
+
+/// Disk-resident label storage (Sec. IV-C "Disk-based query answering" — the
+/// SK-DB method of the evaluation).
+///
+/// Indexes are laid out by category: each category file bundles the member
+/// vertices' Lout labels together with the category's inverted label index,
+/// so a KOSR query touches one contiguous region per sequence category plus
+/// the source's Lout and the destination's Lin — |C| + 2 seeks here (the
+/// paper counts |C| + 4 including its B+-tree locator lookups; our offset
+/// table is held in memory, playing the B+ tree's role).
+class DiskLabelStore {
+ public:
+  /// Writes the store under `dir` (created if absent).
+  static void Write(const std::string& dir, const HubLabeling& labeling,
+                    const CategoryTable& categories);
+
+  /// Opens a store and reads its offset tables.
+  explicit DiskLabelStore(const std::string& dir);
+
+  /// Everything needed to answer one query from the loaded working set.
+  struct QueryContext {
+    HubLabeling labeling;  ///< Partial: only loaded vertices are populated.
+    std::vector<InvertedLabelIndex> slot_indexes;  ///< One per category.
+    double load_seconds = 0;
+    uint32_t disk_seeks = 0;
+  };
+
+  /// Loads the working set of the query (s, t, sequence).
+  QueryContext Load(VertexId s, VertexId t,
+                    const CategorySequence& sequence) const;
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  uint32_t num_categories() const { return static_cast<uint32_t>(category_offsets_.size()); }
+
+ private:
+  std::string dir_;
+  uint32_t num_vertices_ = 0;
+  std::vector<VertexId> order_;
+  // Byte offsets into labels.bin: [2v] = Lin(v), [2v+1] = Lout(v).
+  std::vector<uint64_t> label_offsets_;
+  // Byte offsets into categories.bin, one per category.
+  std::vector<uint64_t> category_offsets_;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_LABELING_DISK_STORE_H_

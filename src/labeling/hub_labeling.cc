@@ -1,0 +1,365 @@
+#include "src/labeling/hub_labeling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/util/min_heap.h"
+#include "src/util/timer.h"
+
+namespace kosr {
+namespace {
+
+// Binary search for a rank in a rank-sorted label vector. Returns nullptr if
+// absent.
+const LabelEntry* FindRank(std::span<const LabelEntry> labels, uint32_t rank) {
+  auto it = std::lower_bound(
+      labels.begin(), labels.end(), rank,
+      [](const LabelEntry& e, uint32_t r) { return e.hub_rank < r; });
+  if (it == labels.end() || it->hub_rank != rank) return nullptr;
+  return &*it;
+}
+
+// Inserts or updates an entry, keeping the vector sorted by rank.
+void InsertOrUpdate(std::vector<LabelEntry>& labels, const LabelEntry& entry) {
+  if (labels.empty() || labels.back().hub_rank < entry.hub_rank) {
+    labels.push_back(entry);
+    return;
+  }
+  auto it = std::lower_bound(labels.begin(), labels.end(), entry.hub_rank,
+                             [](const LabelEntry& e, uint32_t r) {
+                               return e.hub_rank < r;
+                             });
+  if (it != labels.end() && it->hub_rank == entry.hub_rank) {
+    if (entry.dist < it->dist) *it = entry;
+  } else {
+    labels.insert(it, entry);
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> HubLabeling::DegreeOrder(const Graph& graph) {
+  std::vector<VertexId> order(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    uint64_t pa = static_cast<uint64_t>(graph.InDegree(a) + 1) *
+                  (graph.OutDegree(a) + 1);
+    uint64_t pb = static_cast<uint64_t>(graph.InDegree(b) + 1) *
+                  (graph.OutDegree(b) + 1);
+    return pa != pb ? pa > pb : a < b;
+  });
+  return order;
+}
+
+void HubLabeling::Build(const Graph& graph) { Build(graph, DegreeOrder(graph)); }
+
+void HubLabeling::Build(const Graph& graph, const std::vector<VertexId>& order) {
+  if (order.size() != graph.num_vertices()) {
+    throw std::invalid_argument("order must be a permutation of the vertices");
+  }
+  WallTimer timer;
+  uint32_t n = graph.num_vertices();
+  in_labels_.assign(n, {});
+  out_labels_.assign(n, {});
+  order_ = order;
+  rank_.assign(n, 0);
+  for (uint32_t r = 0; r < n; ++r) rank_[order_[r]] = r;
+  scratch_.assign(n, kInfCost);
+  scratch_touched_.clear();
+
+  for (uint32_t r = 0; r < n; ++r) {
+    VertexId hub = order_[r];
+    PrunedSearch(graph, r, /*forward=*/true, {{hub, 0}});
+    PrunedSearch(graph, r, /*forward=*/false, {{hub, 0}});
+  }
+  build_seconds_ = timer.ElapsedSeconds();
+}
+
+void HubLabeling::PrunedSearch(
+    const Graph& graph, uint32_t rank, bool forward,
+    const std::vector<std::pair<VertexId, Cost>>& seeds) {
+  VertexId hub = order_[rank];
+
+  // Load the hub's own opposite-side labels (ranks < `rank`) into the dense
+  // scratch table: query(hub, x) (forward) is then a scan of Lin(x).
+  const auto& hub_labels = forward ? out_labels_[hub] : in_labels_[hub];
+  for (const LabelEntry& e : hub_labels) {
+    if (e.hub_rank >= rank) break;
+    scratch_[e.hub_rank] = e.dist;
+    scratch_touched_.push_back(e.hub_rank);
+  }
+
+  // Local Dijkstra state. dist/parent are kept in hash-free dense arrays that
+  // are reset via the touched list (cheap for small search spaces).
+  static thread_local std::vector<Cost> dist;
+  static thread_local std::vector<VertexId> parent;
+  static thread_local std::vector<VertexId> touched;
+  static thread_local IndexedMinHeap heap;
+  if (dist.size() < graph.num_vertices()) {
+    dist.assign(graph.num_vertices(), kInfCost);
+    parent.assign(graph.num_vertices(), kInvalidVertex);
+    heap.Resize(graph.num_vertices());
+  }
+
+  for (const auto& [v, d] : seeds) {
+    if (d < dist[v]) {
+      if (dist[v] == kInfCost) touched.push_back(v);
+      dist[v] = d;
+      // Seed parents for resumed searches are patched by the caller via the
+      // existing labels; for construction the seed is the hub itself.
+      parent[v] = (v == hub) ? kInvalidVertex : kInvalidVertex;
+      heap.InsertOrDecrease(v, d);
+    }
+  }
+
+  while (!heap.Empty()) {
+    auto [d, x] = heap.ExtractMin();
+    // Prune if hubs of strictly smaller rank already certify dis <= d.
+    const auto& x_labels = forward ? in_labels_[x] : out_labels_[x];
+    Cost covered = kInfCost;
+    for (const LabelEntry& e : x_labels) {
+      if (e.hub_rank >= rank) break;
+      Cost via = scratch_[e.hub_rank];
+      if (via != kInfCost) covered = std::min(covered, via + e.dist);
+    }
+    if (covered <= d) continue;
+
+    auto& target_labels = forward ? in_labels_[x] : out_labels_[x];
+    InsertOrUpdate(target_labels,
+                   {rank, static_cast<uint32_t>(d), parent[x]});
+
+    auto arcs = forward ? graph.OutArcs(x) : graph.InArcs(x);
+    for (const Arc& a : arcs) {
+      Cost nd = d + a.weight;
+      if (nd < dist[a.head]) {
+        if (dist[a.head] == kInfCost) touched.push_back(a.head);
+        dist[a.head] = nd;
+        parent[a.head] = x;
+        heap.InsertOrDecrease(a.head, nd);
+      }
+    }
+  }
+
+  for (VertexId v : touched) {
+    dist[v] = kInfCost;
+    parent[v] = kInvalidVertex;
+  }
+  touched.clear();
+  heap.Clear();
+  for (uint32_t r : scratch_touched_) scratch_[r] = kInfCost;
+  scratch_touched_.clear();
+}
+
+Cost HubLabeling::Query(VertexId s, VertexId t) const {
+  auto r = QueryWithHub(s, t);
+  return r ? r->first : kInfCost;
+}
+
+std::optional<std::pair<Cost, uint32_t>> HubLabeling::QueryWithHub(
+    VertexId s, VertexId t) const {
+  const auto& a = out_labels_[s];
+  const auto& b = in_labels_[t];
+  Cost best = kInfCost;
+  uint32_t best_rank = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].hub_rank == b[j].hub_rank) {
+      Cost d = static_cast<Cost>(a[i].dist) + b[j].dist;
+      if (d < best) {
+        best = d;
+        best_rank = a[i].hub_rank;
+      }
+      ++i;
+      ++j;
+    } else if (a[i].hub_rank < b[j].hub_rank) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  if (best == kInfCost) return std::nullopt;
+  return std::make_pair(best, best_rank);
+}
+
+std::vector<VertexId> HubLabeling::UnpackPath(VertexId s, VertexId t) const {
+  if (s == t) return {s};
+  auto q = QueryWithHub(s, t);
+  if (!q) return {};
+  uint32_t rank = q->second;
+  VertexId hub = order_[rank];
+
+  // s -> hub along Lout parent chain (each step moves to the next vertex on
+  // the path toward the hub).
+  std::vector<VertexId> path;
+  VertexId cur = s;
+  while (cur != hub) {
+    path.push_back(cur);
+    const LabelEntry* e = FindRank(out_labels_[cur], rank);
+    assert(e != nullptr && e->parent != kInvalidVertex);
+    cur = e->parent;
+  }
+  path.push_back(hub);
+
+  // hub -> t along Lin parent chain, collected backward.
+  std::vector<VertexId> tail;
+  cur = t;
+  while (cur != hub) {
+    tail.push_back(cur);
+    const LabelEntry* e = FindRank(in_labels_[cur], rank);
+    assert(e != nullptr && e->parent != kInvalidVertex);
+    cur = e->parent;
+  }
+  path.insert(path.end(), tail.rbegin(), tail.rend());
+  return path;
+}
+
+void HubLabeling::OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v,
+                                  Weight w) {
+  // Forward side: every hub h that reaches u may now reach v (and beyond)
+  // more cheaply through the new edge. Resume h's forward search from v.
+  // Iterating in rank order keeps pruning effective.
+  auto lin_u = in_labels_[u];  // copy: PrunedSearch mutates labels
+  std::vector<LabelEntry> lin_copy(lin_u.begin(), lin_u.end());
+  for (const LabelEntry& e : lin_copy) {
+    Cost seed = static_cast<Cost>(e.dist) + w;
+    PrunedSearch(graph, e.hub_rank, /*forward=*/true, {{v, seed}});
+    // Patch the parent of the seed entry: it came through u.
+    auto& labels = in_labels_[v];
+    auto it = std::lower_bound(labels.begin(), labels.end(), e.hub_rank,
+                               [](const LabelEntry& le, uint32_t r) {
+                                 return le.hub_rank < r;
+                               });
+    if (it != labels.end() && it->hub_rank == e.hub_rank &&
+        it->dist == seed && it->parent == kInvalidVertex) {
+      it->parent = u;
+    }
+  }
+  // Backward side symmetric.
+  auto lout_v = out_labels_[v];
+  std::vector<LabelEntry> lout_copy(lout_v.begin(), lout_v.end());
+  for (const LabelEntry& e : lout_copy) {
+    Cost seed = static_cast<Cost>(e.dist) + w;
+    PrunedSearch(graph, e.hub_rank, /*forward=*/false, {{u, seed}});
+    auto& labels = out_labels_[u];
+    auto it = std::lower_bound(labels.begin(), labels.end(), e.hub_rank,
+                               [](const LabelEntry& le, uint32_t r) {
+                                 return le.hub_rank < r;
+                               });
+    if (it != labels.end() && it->hub_rank == e.hub_rank &&
+        it->dist == seed && it->parent == kInvalidVertex) {
+      it->parent = v;
+    }
+  }
+}
+
+double HubLabeling::AvgInLabelSize() const {
+  uint64_t total = 0;
+  for (const auto& l : in_labels_) total += l.size();
+  return in_labels_.empty() ? 0 : static_cast<double>(total) / in_labels_.size();
+}
+
+double HubLabeling::AvgOutLabelSize() const {
+  uint64_t total = 0;
+  for (const auto& l : out_labels_) total += l.size();
+  return out_labels_.empty() ? 0
+                             : static_cast<double>(total) / out_labels_.size();
+}
+
+uint64_t HubLabeling::IndexBytes() const {
+  uint64_t entries = 0;
+  for (const auto& l : in_labels_) entries += l.size();
+  for (const auto& l : out_labels_) entries += l.size();
+  return entries * sizeof(LabelEntry);
+}
+
+namespace {
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("truncated hub labeling stream");
+  return value;
+}
+
+void WriteLabelVector(std::ostream& out, const std::vector<LabelEntry>& l) {
+  WritePod<uint64_t>(out, l.size());
+  out.write(reinterpret_cast<const char*>(l.data()),
+            static_cast<std::streamsize>(l.size() * sizeof(LabelEntry)));
+}
+
+std::vector<LabelEntry> ReadLabelVector(std::istream& in) {
+  uint64_t size = ReadPod<uint64_t>(in);
+  std::vector<LabelEntry> l(size);
+  in.read(reinterpret_cast<char*>(l.data()),
+          static_cast<std::streamsize>(size * sizeof(LabelEntry)));
+  if (!in) throw std::runtime_error("truncated hub labeling stream");
+  return l;
+}
+
+}  // namespace
+
+void HubLabeling::Serialize(std::ostream& out) const {
+  WritePod<uint64_t>(out, 0x4b4f53524c424c31ull);  // "KOSRLBL1"
+  WritePod<uint32_t>(out, num_vertices());
+  out.write(reinterpret_cast<const char*>(order_.data()),
+            static_cast<std::streamsize>(order_.size() * sizeof(VertexId)));
+  for (const auto& l : in_labels_) WriteLabelVector(out, l);
+  for (const auto& l : out_labels_) WriteLabelVector(out, l);
+}
+
+HubLabeling HubLabeling::Deserialize(std::istream& in) {
+  if (ReadPod<uint64_t>(in) != 0x4b4f53524c424c31ull) {
+    throw std::runtime_error("bad hub labeling magic");
+  }
+  uint32_t n = ReadPod<uint32_t>(in);
+  HubLabeling hl;
+  hl.order_.resize(n);
+  in.read(reinterpret_cast<char*>(hl.order_.data()),
+          static_cast<std::streamsize>(n * sizeof(VertexId)));
+  if (!in) throw std::runtime_error("truncated hub labeling stream");
+  hl.rank_.assign(n, 0);
+  for (uint32_t r = 0; r < n; ++r) hl.rank_[hl.order_[r]] = r;
+  hl.in_labels_.resize(n);
+  hl.out_labels_.resize(n);
+  for (uint32_t v = 0; v < n; ++v) hl.in_labels_[v] = ReadLabelVector(in);
+  for (uint32_t v = 0; v < n; ++v) hl.out_labels_[v] = ReadLabelVector(in);
+  hl.scratch_.assign(n, kInfCost);
+  return hl;
+}
+
+HubLabeling HubLabeling::FromParts(
+    std::vector<VertexId> order,
+    std::vector<std::vector<LabelEntry>> in_labels,
+    std::vector<std::vector<LabelEntry>> out_labels) {
+  HubLabeling hl;
+  hl.order_ = std::move(order);
+  hl.in_labels_ = std::move(in_labels);
+  hl.out_labels_ = std::move(out_labels);
+  uint32_t n = static_cast<uint32_t>(hl.order_.size());
+  hl.rank_.assign(n, 0);
+  for (uint32_t r = 0; r < n; ++r) hl.rank_[hl.order_[r]] = r;
+  hl.scratch_.assign(n, kInfCost);
+  return hl;
+}
+
+Cost HubLabeling::QueryUpTo(VertexId t, uint32_t max_rank) const {
+  Cost best = kInfCost;
+  for (const LabelEntry& e : in_labels_[t]) {
+    if (e.hub_rank >= max_rank) break;
+    if (scratch_[e.hub_rank] != kInfCost) {
+      best = std::min(best, scratch_[e.hub_rank] + e.dist);
+    }
+  }
+  return best;
+}
+
+}  // namespace kosr

@@ -1,0 +1,130 @@
+#ifndef KOSR_LABELING_HUB_LABELING_H_
+#define KOSR_LABELING_HUB_LABELING_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/types.h"
+
+namespace kosr {
+
+/// One 2-hop label entry. Hubs are identified by their *rank* in the
+/// construction order (rank 0 = most important); both label sets of a vertex
+/// are sorted by rank, so distance queries are a linear merge-join, exactly
+/// as in Sec. IV-A of the paper.
+///
+/// `parent` is the Dijkstra-tree neighbor of the labeled vertex on the
+/// shortest path between hub and vertex. It allows reconstructing actual
+/// routes from witnesses ("by adding a parent vertex in each label entry of
+/// the hop labeling, it is easy to construct the actual route" — Sec. IV-A).
+struct LabelEntry {
+  uint32_t hub_rank;
+  uint32_t dist;
+  VertexId parent;  ///< kInvalidVertex for the hub's own self-entry.
+};
+
+/// Sentinel for unreachable in 32-bit label distances.
+inline constexpr uint32_t kInfLabelDist = UINT32_MAX;
+
+/// 2-hop labeling (a.k.a. hub labeling) for directed weighted graphs, built
+/// with Pruned Landmark Labeling [Akiba et al., SIGMOD 2013] generalized to
+/// weighted graphs (pruned Dijkstra instead of pruned BFS).
+///
+/// For every vertex v the index keeps:
+///   Lin(v)  — hubs that reach v, with dis(hub, v);
+///   Lout(v) — hubs reachable from v, with dis(v, hub);
+/// satisfying the cover property: for any s, t some hub on a shortest s-t
+/// path appears in both Lout(s) and Lin(t).
+class HubLabeling {
+ public:
+  HubLabeling() = default;
+
+  /// Builds the index. `order[r]` is the vertex with rank r; it must be a
+  /// permutation of [0, n). Higher-ranked (smaller r) vertices become hubs
+  /// of more label entries; a good order is crucial for index size.
+  void Build(const Graph& graph, const std::vector<VertexId>& order);
+
+  /// Convenience: Build with the degree-product order.
+  void Build(const Graph& graph);
+
+  /// Vertices sorted by (in+1)*(out+1) degree product, descending. A decent
+  /// general-purpose PLL order.
+  static std::vector<VertexId> DegreeOrder(const Graph& graph);
+
+  /// dis(s, t), or kInfCost if t is unreachable from s.
+  Cost Query(VertexId s, VertexId t) const;
+
+  /// dis(s, t) together with the witnessing hub rank.
+  std::optional<std::pair<Cost, uint32_t>> QueryWithHub(VertexId s,
+                                                        VertexId t) const;
+
+  /// Shortest s-t path as a full vertex sequence (empty if unreachable,
+  /// {s} if s == t). Cost of the returned path equals Query(s, t).
+  std::vector<VertexId> UnpackPath(VertexId s, VertexId t) const;
+
+  std::span<const LabelEntry> Lin(VertexId v) const { return in_labels_[v]; }
+  std::span<const LabelEntry> Lout(VertexId v) const { return out_labels_[v]; }
+
+  uint32_t num_vertices() const { return static_cast<uint32_t>(in_labels_.size()); }
+  VertexId HubVertex(uint32_t rank) const { return order_[rank]; }
+  uint32_t RankOf(VertexId v) const { return rank_[v]; }
+
+  /// Incremental maintenance for an edge insertion or weight decrease
+  /// (u, v, w), following the resumed-search strategy of dynamic PLL
+  /// [Akiba et al., WWW 2014]. Distances can only decrease, so it suffices
+  /// to resume the pruned searches of the hubs that cover u (backward side)
+  /// and v (forward side). Edge deletions / weight increases require a
+  /// rebuild (see DESIGN.md).
+  ///
+  /// The underlying graph object must already contain the new edge when the
+  /// index is used for path unpacking afterwards.
+  void OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v, Weight w);
+
+  // --- Introspection (Table IX) -------------------------------------------
+
+  double AvgInLabelSize() const;
+  double AvgOutLabelSize() const;
+  uint64_t IndexBytes() const;
+  double BuildSeconds() const { return build_seconds_; }
+
+  // --- Serialization (disk-resident variant, Sec. IV-C) -------------------
+
+  void Serialize(std::ostream& out) const;
+  static HubLabeling Deserialize(std::istream& in);
+
+  /// Assembles a (possibly partial) labeling from raw parts. Vertices whose
+  /// label vectors are empty simply answer "unreachable"; the disk-resident
+  /// store uses this to materialize exactly the per-query working set.
+  static HubLabeling FromParts(std::vector<VertexId> order,
+                               std::vector<std::vector<LabelEntry>> in_labels,
+                               std::vector<std::vector<LabelEntry>> out_labels);
+
+ private:
+  // Runs one pruned Dijkstra from hub `h` (rank `r`) in the given direction,
+  // appending labels. `seeds` is {(h, 0)} during construction, or resumed
+  // frontiers during incremental updates.
+  void PrunedSearch(const Graph& graph, uint32_t rank, bool forward,
+                    const std::vector<std::pair<VertexId, Cost>>& seeds);
+
+  // Distance query evaluated through a scratch table holding Lout(s) (for
+  // pruning during construction).
+  Cost QueryUpTo(VertexId t, uint32_t max_rank) const;
+
+  std::vector<std::vector<LabelEntry>> in_labels_;
+  std::vector<std::vector<LabelEntry>> out_labels_;
+  std::vector<VertexId> order_;
+  std::vector<uint32_t> rank_;
+  double build_seconds_ = 0;
+
+  // Construction scratch: dense distance table keyed by hub rank.
+  std::vector<Cost> scratch_;
+  std::vector<uint32_t> scratch_touched_;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_LABELING_HUB_LABELING_H_

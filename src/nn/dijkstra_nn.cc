@@ -1,0 +1,126 @@
+#include "src/nn/dijkstra_nn.h"
+
+#include "src/util/timer.h"
+
+namespace kosr {
+
+DijkstraKnnCursor::DijkstraKnnCursor(const Graph* graph,
+                                     const CategoryTable* categories,
+                                     CategoryId category, VertexId v,
+                                     uint32_t slot, const SlotFilter* filter)
+    : graph_(graph), categories_(categories), category_(category), v_(v),
+      slot_(slot), filter_(filter) {}
+
+std::optional<NnResult> DijkstraKnnCursor::Get(uint32_t x,
+                                               QueryStats* stats) {
+  if (found_.size() >= x) return found_[x - 1];
+  if (stats != nullptr) ++stats->nn_queries;
+  if (!initialized_) {
+    initialized_ = true;
+    dist_[v_] = 0;
+    heap_.emplace(0, v_);
+  }
+  while (found_.size() < x) {
+    if (heap_.empty()) return std::nullopt;
+    auto [d, u] = heap_.top();
+    heap_.pop();
+    if (settled_.contains(u)) continue;
+    settled_.insert(u);
+    if (categories_->Has(u, category_) &&
+        (filter_ == nullptr || !*filter_ || (*filter_)(slot_, u))) {
+      found_.push_back({u, d});
+    }
+    for (const Arc& a : graph_->OutArcs(u)) {
+      Cost nd = d + a.weight;
+      auto it = dist_.find(a.head);
+      if (it == dist_.end() || nd < it->second) {
+        dist_[a.head] = nd;
+        heap_.emplace(nd, a.head);
+      }
+    }
+  }
+  return found_[x - 1];
+}
+
+DijkstraNnProvider::DijkstraNnProvider(const Graph* graph,
+                                       const CategoryTable* categories,
+                                       CategorySequence sequence,
+                                       VertexId target, SlotFilter filter)
+    : graph_(graph), categories_(categories), sequence_(std::move(sequence)),
+      target_(target), filter_(std::move(filter)) {}
+
+const std::vector<Cost>& DijkstraNnProvider::DistToTarget() {
+  if (dist_to_target_.empty() && target_ != kInvalidVertex) {
+    dist_to_target_ = DijkstraAllDistances(*graph_, target_, /*reverse=*/true);
+  }
+  return dist_to_target_;
+}
+
+std::optional<NnResult> DijkstraNnProvider::FindNN(VertexId v, uint32_t slot,
+                                                   uint32_t x,
+                                                   QueryStats* stats) {
+  if (slot == sequence_.size() + 1) {
+    if (x > 1 || target_ == kInvalidVertex) return std::nullopt;
+    if (stats != nullptr) ++stats->nn_queries;
+    Cost d = DistToTarget()[v];
+    if (d >= kInfCost) return std::nullopt;
+    return NnResult{target_, d};
+  }
+  uint64_t key = (static_cast<uint64_t>(v) << 16) | slot;
+  auto it = cursors_.find(key);
+  if (it == cursors_.end()) {
+    it = cursors_
+             .emplace(key, DijkstraKnnCursor(graph_, categories_,
+                                             sequence_[slot - 1], v, slot,
+                                             filter_ ? &filter_ : nullptr))
+             .first;
+  }
+  return it->second.Get(x, stats);
+}
+
+DijkstraNenProvider::DijkstraNenProvider(const Graph* graph,
+                                         const CategoryTable* categories,
+                                         CategorySequence sequence,
+                                         VertexId target, SlotFilter filter)
+    : graph_(graph),
+      target_(target),
+      num_slots_(static_cast<uint32_t>(sequence.size())),
+      nn_(graph, categories, std::move(sequence), target, std::move(filter)) {}
+
+Cost DijkstraNenProvider::EstimateToTarget(VertexId v, QueryStats* stats) {
+  if (!dist_ready_) {
+    WallTimer timer;
+    dist_to_target_ = DijkstraAllDistances(*graph_, target_, /*reverse=*/true);
+    dist_ready_ = true;
+    if (stats != nullptr && stats->timing_enabled) {
+      stats->estimation_time_s += timer.ElapsedSeconds();
+    }
+  }
+  return dist_to_target_[v];
+}
+
+std::optional<NenResult> DijkstraNenProvider::FindNEN(VertexId v,
+                                                      uint32_t slot,
+                                                      uint32_t x,
+                                                      QueryStats* stats) {
+  if (slot == num_slots_ + 1) {
+    if (x > 1 || target_ == kInvalidVertex) return std::nullopt;
+    if (stats != nullptr) ++stats->nn_queries;
+    Cost d = EstimateToTarget(v, stats);
+    if (d >= kInfCost) return std::nullopt;
+    return NenResult{target_, d, d};
+  }
+  uint64_t key = (static_cast<uint64_t>(v) << 16) | slot;
+  auto it = cursors_.find(key);
+  if (it == cursors_.end()) {
+    FindNenCursor cursor(
+        [this, v, slot](uint32_t nx, QueryStats* s) {
+          return nn_.FindNN(v, slot, nx, s);
+        },
+        [this](VertexId u, QueryStats* s) { return EstimateToTarget(u, s); });
+    it = cursors_.emplace(key, std::move(cursor)).first;
+  }
+  return it->second.Get(x, stats);
+}
+
+}  // namespace kosr

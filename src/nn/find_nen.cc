@@ -1,0 +1,82 @@
+#include "src/nn/find_nen.h"
+
+#include "src/util/timer.h"
+
+namespace kosr {
+
+void FindNenCursor::EnsureLn(QueryStats* stats) {
+  if (ln_.has_value() || exhausted_) return;
+  ln_ = fetch_(++fetched_, stats);
+  if (!ln_.has_value()) exhausted_ = true;
+}
+
+std::optional<NenResult> FindNenCursor::Get(uint32_t x, QueryStats* stats) {
+  if (found_.size() >= x) return found_[x - 1];
+  while (found_.size() < x) {
+    EnsureLn(stats);
+    // Buffer plain NNs until the cheapest buffered estimate is provably
+    // final: every unpulled neighbor is at least ln away.
+    while (!exhausted_ &&
+           (queue_.empty() || ln_->dist < queue_.top().est)) {
+      Cost h = heuristic_(ln_->vertex, stats);
+      Cost est = (h >= kInfCost) ? kInfCost : ln_->dist + h;
+      queue_.push({ln_->vertex, ln_->dist, est});
+      ln_.reset();
+      EnsureLn(stats);
+    }
+    if (queue_.empty()) return std::nullopt;
+    NenResult top = queue_.top();
+    queue_.pop();
+    // A minimum estimate of infinity means no remaining member reaches the
+    // destination (the frontier is exhausted by construction here).
+    if (top.est >= kInfCost) return std::nullopt;
+    found_.push_back(top);
+  }
+  return found_[x - 1];
+}
+
+HopLabelNenProvider::HopLabelNenProvider(
+    const HubLabeling* labeling,
+    std::vector<const InvertedLabelIndex*> slot_indexes, VertexId target,
+    SlotFilter filter)
+    : labeling_(labeling),
+      target_(target),
+      nn_(labeling, slot_indexes, target, std::move(filter)),
+      num_slots_(static_cast<uint32_t>(slot_indexes.size())) {}
+
+Cost HopLabelNenProvider::EstimateToTarget(VertexId v, QueryStats* stats) {
+  if (stats != nullptr && stats->timing_enabled) {
+    WallTimer timer;
+    Cost d = labeling_->Query(v, target_);
+    stats->estimation_time_s += timer.ElapsedSeconds();
+    return d;
+  }
+  return labeling_->Query(v, target_);
+}
+
+std::optional<NenResult> HopLabelNenProvider::FindNEN(VertexId v,
+                                                      uint32_t slot,
+                                                      uint32_t x,
+                                                      QueryStats* stats) {
+  if (slot == num_slots_ + 1) {
+    // Destination slot: only t itself, estimate equals the real leg.
+    if (x > 1 || target_ == kInvalidVertex) return std::nullopt;
+    if (stats != nullptr) ++stats->nn_queries;
+    Cost d = labeling_->Query(v, target_);
+    if (d >= kInfCost) return std::nullopt;
+    return NenResult{target_, d, d};
+  }
+  uint64_t key = (static_cast<uint64_t>(v) << 16) | slot;
+  auto it = cursors_.find(key);
+  if (it == cursors_.end()) {
+    FindNenCursor cursor(
+        [this, v, slot](uint32_t nx, QueryStats* s) {
+          return nn_.FindNN(v, slot, nx, s);
+        },
+        [this](VertexId u, QueryStats* s) { return EstimateToTarget(u, s); });
+    it = cursors_.emplace(key, std::move(cursor)).first;
+  }
+  return it->second.Get(x, stats);
+}
+
+}  // namespace kosr

@@ -1,0 +1,84 @@
+#ifndef KOSR_NN_FIND_NEN_H_
+#define KOSR_NN_FIND_NEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/labeling/hub_labeling.h"
+#include "src/nn/find_nn.h"
+#include "src/nn/nn_provider.h"
+
+namespace kosr {
+
+/// Algorithm 4 of the paper: incremental x-th nearest *estimated* neighbor.
+///
+/// Members u of a category are ranked by dis(v, u) + dis(u, t). The cursor
+/// pulls plain nearest neighbors (in dis(v, u) order) from an underlying
+/// FindNN source and buffers them in a priority queue by estimated cost
+/// (ENQ); a buffered candidate may be emitted once its estimate is no larger
+/// than the plain distance of the next unpulled neighbor — every unpulled
+/// u' has dis(v, u') >= dis(v, ln) and thus estimate >= dis(v, ln).
+///
+/// The cursor is generic over the NN source and the heuristic, so it serves
+/// both the hub-labeling backend (SK) and the Dijkstra backend (SK-Dij).
+class FindNenCursor {
+ public:
+  /// Fetches the x-th plain nearest neighbor (1-based, monotone calls).
+  using FetchNn = std::function<std::optional<NnResult>(uint32_t x,
+                                                        QueryStats* stats)>;
+  /// Admissible estimate dis(u, t); kInfCost when t is unreachable from u.
+  using Heuristic = std::function<Cost(VertexId u, QueryStats* stats)>;
+
+  FindNenCursor(FetchNn fetch, Heuristic heuristic)
+      : fetch_(std::move(fetch)), heuristic_(std::move(heuristic)) {}
+
+  /// The x-th nearest estimated neighbor, or nullopt when no further
+  /// category member can reach the destination.
+  std::optional<NenResult> Get(uint32_t x, QueryStats* stats);
+
+ private:
+  struct ByEst {
+    bool operator()(const NenResult& a, const NenResult& b) const {
+      return a.est != b.est ? a.est > b.est : a.vertex > b.vertex;
+    }
+  };
+
+  void EnsureLn(QueryStats* stats);
+
+  FetchNn fetch_;
+  Heuristic heuristic_;
+  std::vector<NenResult> found_;  // ENL
+  std::priority_queue<NenResult, std::vector<NenResult>, ByEst> queue_;  // ENQ
+  std::optional<NnResult> ln_;    // last fetched NN, not yet buffered
+  uint32_t fetched_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Hub-labeling-backed NenProvider: FindNN through inverted label indexes,
+/// heuristic through label distance queries (Sec. IV-B).
+class HopLabelNenProvider : public NenProvider {
+ public:
+  HopLabelNenProvider(const HubLabeling* labeling,
+                      std::vector<const InvertedLabelIndex*> slot_indexes,
+                      VertexId target, SlotFilter filter = nullptr);
+
+  std::optional<NenResult> FindNEN(VertexId v, uint32_t slot, uint32_t x,
+                                   QueryStats* stats) override;
+
+  Cost EstimateToTarget(VertexId v, QueryStats* stats) override;
+
+ private:
+  const HubLabeling* labeling_;
+  VertexId target_;
+  HopLabelNnProvider nn_;
+  std::unordered_map<uint64_t, FindNenCursor> cursors_;
+  uint32_t num_slots_;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_NN_FIND_NEN_H_

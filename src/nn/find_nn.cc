@@ -1,0 +1,82 @@
+#include "src/nn/find_nn.h"
+
+namespace kosr {
+
+FindNnCursor::FindNnCursor(const HubLabeling* labeling,
+                           const InvertedLabelIndex* index, VertexId v,
+                           uint32_t slot, const SlotFilter* filter)
+    : labeling_(labeling), index_(index), v_(v), slot_(slot),
+      filter_(filter) {}
+
+bool FindNnCursor::Eligible(VertexId member) const {
+  return filter_ == nullptr || !*filter_ || (*filter_)(slot_, member);
+}
+
+void FindNnCursor::PushNext(Cost base, uint32_t rank, uint32_t pos) {
+  auto entries = index_->Entries(rank);
+  while (pos < entries.size()) {
+    const InvertedEntry& e = entries[pos];
+    if (Eligible(e.member) && !found_set_.contains(e.member)) {
+      queue_.push({base + e.dist, base, rank, pos});
+      return;
+    }
+    ++pos;
+  }
+}
+
+std::optional<NnResult> FindNnCursor::Get(uint32_t x, QueryStats* stats) {
+  if (found_.size() >= x) return found_[x - 1];  // NL hit: not counted.
+  if (stats != nullptr) ++stats->nn_queries;
+  if (!initialized_) {
+    initialized_ = true;
+    for (const LabelEntry& e : labeling_->Lout(v_)) {
+      PushNext(e.dist, e.hub_rank, 0);
+    }
+  }
+  while (found_.size() < x) {
+    if (queue_.empty()) return std::nullopt;
+    Candidate top = queue_.top();
+    queue_.pop();
+    VertexId member = index_->Entries(top.rank)[top.pos].member;
+    // Keep this inverted list flowing regardless of whether the popped
+    // candidate is fresh.
+    PushNext(top.base, top.rank, top.pos + 1);
+    if (found_set_.contains(member)) continue;  // duplicate via another hub
+    found_.push_back({member, top.total});
+    found_set_.insert(member);
+  }
+  return found_[x - 1];
+}
+
+HopLabelNnProvider::HopLabelNnProvider(
+    const HubLabeling* labeling,
+    std::vector<const InvertedLabelIndex*> slot_indexes, VertexId target,
+    SlotFilter filter)
+    : labeling_(labeling),
+      slot_indexes_(std::move(slot_indexes)),
+      target_(target),
+      filter_(std::move(filter)) {}
+
+std::optional<NnResult> HopLabelNnProvider::FindNN(VertexId v, uint32_t slot,
+                                                   uint32_t x,
+                                                   QueryStats* stats) {
+  if (slot == slot_indexes_.size() + 1) {
+    // Destination slot: the dummy category {t}.
+    if (x > 1 || target_ == kInvalidVertex) return std::nullopt;
+    if (stats != nullptr) ++stats->nn_queries;
+    Cost d = labeling_->Query(v, target_);
+    if (d >= kInfCost) return std::nullopt;
+    return NnResult{target_, d};
+  }
+  uint64_t key = (static_cast<uint64_t>(v) << 16) | slot;
+  auto it = cursors_.find(key);
+  if (it == cursors_.end()) {
+    it = cursors_
+             .emplace(key, FindNnCursor(labeling_, slot_indexes_[slot - 1], v,
+                                        slot, filter_ ? &filter_ : nullptr))
+             .first;
+  }
+  return it->second.Get(x, stats);
+}
+
+}  // namespace kosr

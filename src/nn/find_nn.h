@@ -1,0 +1,92 @@
+#ifndef KOSR_NN_FIND_NN_H_
+#define KOSR_NN_FIND_NN_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/graph/categories.h"
+#include "src/labeling/hub_labeling.h"
+#include "src/nn/inverted_label_index.h"
+#include "src/nn/nn_provider.h"
+
+namespace kosr {
+
+/// Algorithm 3 of the paper: incremental x-th nearest neighbor of a fixed
+/// vertex `v` within a fixed category, via the inverted label index.
+///
+/// State mirrors the paper's globals: NL = `found_` (nearest neighbors in
+/// discovery order), NQ = `queue_` (frontier: at most one candidate entry
+/// per matching inverted label list), KV = the per-list positions carried
+/// inside the queue entries. Re-asking for an already-found x is O(1).
+class FindNnCursor {
+ public:
+  /// @param filter  optional vertex predicate; ineligible members are
+  ///                transparently skipped (preference extension, Sec. IV-C).
+  FindNnCursor(const HubLabeling* labeling, const InvertedLabelIndex* index,
+               VertexId v, uint32_t slot, const SlotFilter* filter);
+
+  /// The x-th nearest neighbor (1-based), or nullopt if fewer than x
+  /// category members are reachable from v.
+  std::optional<NnResult> Get(uint32_t x, QueryStats* stats);
+
+ private:
+  struct Candidate {
+    Cost total;     ///< dis(v, hub) + dis(hub, member).
+    Cost base;      ///< dis(v, hub).
+    uint32_t rank;  ///< hub rank.
+    uint32_t pos;   ///< position within IL(hub).
+    bool operator>(const Candidate& other) const {
+      return total != other.total ? total > other.total : rank > other.rank;
+    }
+  };
+
+  bool Eligible(VertexId member) const;
+  // Pushes the next eligible, not-yet-found entry of list `rank` at
+  // position >= `pos`.
+  void PushNext(Cost base, uint32_t rank, uint32_t pos);
+
+  const HubLabeling* labeling_;
+  const InvertedLabelIndex* index_;
+  VertexId v_;
+  uint32_t slot_;
+  const SlotFilter* filter_;
+
+  std::vector<NnResult> found_;
+  std::unordered_set<VertexId> found_set_;
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      queue_;
+  bool initialized_ = false;
+};
+
+/// Hub-labeling-backed NnProvider for one KOSR query: slot i in [1, |C|]
+/// resolves against the inverted label index of category Ci; slot |C|+1 is
+/// the destination singleton answered directly from the labeling.
+class HopLabelNnProvider : public NnProvider {
+ public:
+  /// @param slot_indexes  inverted label index per sequence position
+  ///                      (size |C|); element i serves slot i+1.
+  /// @param target        destination vertex (kInvalidVertex if the query
+  ///                      has no destination — variant of Sec. IV-C).
+  HopLabelNnProvider(const HubLabeling* labeling,
+                     std::vector<const InvertedLabelIndex*> slot_indexes,
+                     VertexId target, SlotFilter filter = nullptr);
+
+  std::optional<NnResult> FindNN(VertexId v, uint32_t slot, uint32_t x,
+                                 QueryStats* stats) override;
+
+ private:
+  const HubLabeling* labeling_;
+  std::vector<const InvertedLabelIndex*> slot_indexes_;
+  VertexId target_;
+  SlotFilter filter_;
+  std::unordered_map<uint64_t, FindNnCursor> cursors_;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_NN_FIND_NN_H_

@@ -1,0 +1,103 @@
+#include "src/nn/inverted_label_index.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace kosr {
+namespace {
+
+bool EntryLess(const InvertedEntry& a, const InvertedEntry& b) {
+  return a.dist != b.dist ? a.dist < b.dist : a.member < b.member;
+}
+
+}  // namespace
+
+InvertedLabelIndex InvertedLabelIndex::Build(
+    const HubLabeling& labeling, std::span<const VertexId> members) {
+  InvertedLabelIndex index;
+  for (VertexId u : members) {
+    for (const LabelEntry& e : labeling.Lin(u)) {
+      index.lists_[e.hub_rank].push_back({u, e.dist});
+    }
+  }
+  for (auto& [rank, list] : index.lists_) {
+    std::sort(list.begin(), list.end(), EntryLess);
+  }
+  return index;
+}
+
+void InvertedLabelIndex::AddMember(const HubLabeling& labeling, VertexId v) {
+  for (const LabelEntry& e : labeling.Lin(v)) {
+    auto& list = lists_[e.hub_rank];
+    InvertedEntry entry{v, e.dist};
+    auto it = std::lower_bound(list.begin(), list.end(), entry, EntryLess);
+    list.insert(it, entry);
+  }
+}
+
+void InvertedLabelIndex::RemoveMember(const HubLabeling& labeling, VertexId v) {
+  for (const LabelEntry& e : labeling.Lin(v)) {
+    auto it = lists_.find(e.hub_rank);
+    if (it == lists_.end()) continue;
+    auto& list = it->second;
+    InvertedEntry entry{v, e.dist};
+    auto pos = std::lower_bound(list.begin(), list.end(), entry, EntryLess);
+    while (pos != list.end() && pos->dist == e.dist && pos->member != v) ++pos;
+    if (pos != list.end() && pos->member == v && pos->dist == e.dist) {
+      list.erase(pos);
+      if (list.empty()) lists_.erase(it);
+    }
+  }
+}
+
+uint64_t InvertedLabelIndex::total_entries() const {
+  uint64_t total = 0;
+  for (const auto& [rank, list] : lists_) total += list.size();
+  return total;
+}
+
+double InvertedLabelIndex::AvgListSize() const {
+  if (lists_.empty()) return 0;
+  return static_cast<double>(total_entries()) / lists_.size();
+}
+
+uint64_t InvertedLabelIndex::IndexBytes() const {
+  return total_entries() * sizeof(InvertedEntry) +
+         lists_.size() * (sizeof(uint32_t) + sizeof(void*));
+}
+
+void InvertedLabelIndex::Serialize(std::ostream& out) const {
+  uint64_t n = lists_.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& [rank, list] : lists_) {
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    uint64_t size = list.size();
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(reinterpret_cast<const char*>(list.data()),
+              static_cast<std::streamsize>(size * sizeof(InvertedEntry)));
+  }
+}
+
+InvertedLabelIndex InvertedLabelIndex::Deserialize(std::istream& in) {
+  InvertedLabelIndex index;
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) throw std::runtime_error("truncated inverted label stream");
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t rank;
+    uint64_t size;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    in.read(reinterpret_cast<char*>(&size), sizeof(size));
+    if (!in) throw std::runtime_error("truncated inverted label stream");
+    std::vector<InvertedEntry> list(size);
+    in.read(reinterpret_cast<char*>(list.data()),
+            static_cast<std::streamsize>(size * sizeof(InvertedEntry)));
+    if (!in) throw std::runtime_error("truncated inverted label stream");
+    index.lists_[rank] = std::move(list);
+  }
+  return index;
+}
+
+}  // namespace kosr

@@ -1,0 +1,66 @@
+#ifndef KOSR_NN_NN_PROVIDER_H_
+#define KOSR_NN_NN_PROVIDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/util/stats.h"
+#include "src/util/types.h"
+
+namespace kosr {
+
+/// Result of a FindNN query: the x-th nearest member of a category slot.
+struct NnResult {
+  VertexId vertex;
+  Cost dist;  ///< dis(query vertex, vertex).
+};
+
+/// Result of a FindNEN query (Algorithm 4): the x-th nearest *estimated*
+/// neighbor, i.e. ranked by dis(v, u) + dis(u, t).
+struct NenResult {
+  VertexId vertex;
+  Cost dist;  ///< dis(query vertex, vertex) — the real leg cost.
+  Cost est;   ///< dist + dis(vertex, target).
+};
+
+/// Optional per-slot vertex predicate ("only Italian restaurants" — the
+/// personal-preference extension of Sec. IV-C). A candidate is eligible for
+/// slot `slot` only if the filter returns true.
+using SlotFilter = std::function<bool(uint32_t slot, VertexId v)>;
+
+/// Incremental nearest-neighbor oracle over the slots of one KOSR query.
+///
+/// Slots are 1-based positions in the extended category sequence:
+/// slot i in [1, |C|] is category Ci; slot |C|+1 is the dummy destination
+/// category {t}. Implementations keep per-(vertex, slot) cursors so that
+/// successive x = 1, 2, 3, ... queries never repeat work (the paper's NL /
+/// NQ / KV state).
+class NnProvider {
+ public:
+  virtual ~NnProvider() = default;
+
+  /// The x-th (1-based) nearest neighbor of `v` among slot members, or
+  /// nullopt if fewer than x members are reachable. `stats` (optional)
+  /// accumulates the NN-query counter per the paper's convention: cached
+  /// answers (NL hits) are not counted.
+  virtual std::optional<NnResult> FindNN(VertexId v, uint32_t slot,
+                                         uint32_t x, QueryStats* stats) = 0;
+};
+
+/// Incremental nearest *estimated* neighbor oracle (StarKOSR).
+class NenProvider {
+ public:
+  virtual ~NenProvider() = default;
+
+  /// The x-th member u of the slot ranked by dis(v, u) + dis(u, t).
+  virtual std::optional<NenResult> FindNEN(VertexId v, uint32_t slot,
+                                           uint32_t x, QueryStats* stats) = 0;
+
+  /// Admissible heuristic h(v) = dis(v, t); kInfCost if v cannot reach t.
+  virtual Cost EstimateToTarget(VertexId v, QueryStats* stats) = 0;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_NN_NN_PROVIDER_H_

@@ -1,0 +1,116 @@
+#ifndef KOSR_UTIL_MIN_HEAP_H_
+#define KOSR_UTIL_MIN_HEAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace kosr {
+
+/// Addressable 4-ary min-heap over dense uint32 keys, specialized for
+/// Dijkstra-style searches. Supports Insert, DecreaseKey (via Update) and
+/// ExtractMin in O(log n); membership is tracked with a position array that
+/// is lazily sized to the key universe.
+///
+/// The heap is reusable: Clear() resets it in O(#touched) rather than
+/// O(universe), which matters when many small searches run on a big graph.
+class IndexedMinHeap {
+ public:
+  explicit IndexedMinHeap(uint32_t universe = 0) { Resize(universe); }
+
+  void Resize(uint32_t universe) { pos_.resize(universe, kAbsent); }
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  bool Contains(uint32_t key) const {
+    return key < pos_.size() && pos_[key] != kAbsent;
+  }
+
+  Cost PriorityOf(uint32_t key) const {
+    assert(Contains(key));
+    return heap_[pos_[key]].priority;
+  }
+
+  /// Inserts `key`, or lowers its priority if already present with a higher
+  /// one. Returns true if the heap changed.
+  bool InsertOrDecrease(uint32_t key, Cost priority) {
+    assert(key < pos_.size());
+    if (pos_[key] == kAbsent) {
+      pos_[key] = static_cast<uint32_t>(heap_.size());
+      heap_.push_back({priority, key});
+      touched_.push_back(key);
+      SiftUp(pos_[key]);
+      return true;
+    }
+    uint32_t i = pos_[key];
+    if (heap_[i].priority <= priority) return false;
+    heap_[i].priority = priority;
+    SiftUp(i);
+    return true;
+  }
+
+  /// Removes and returns the (priority, key) pair with minimal priority.
+  std::pair<Cost, uint32_t> ExtractMin() {
+    assert(!heap_.empty());
+    Entry top = heap_[0];
+    SwapEntries(0, static_cast<uint32_t>(heap_.size() - 1));
+    heap_.pop_back();
+    pos_[top.key] = kAbsent;
+    if (!heap_.empty()) SiftDown(0);
+    return {top.priority, top.key};
+  }
+
+  /// Empties the heap and resets position bookkeeping for touched keys only.
+  void Clear() {
+    for (uint32_t k : touched_) pos_[k] = kAbsent;
+    touched_.clear();
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    Cost priority;
+    uint32_t key;
+  };
+  static constexpr uint32_t kAbsent = UINT32_MAX;
+
+  void SwapEntries(uint32_t a, uint32_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].key] = a;
+    pos_[heap_[b].key] = b;
+  }
+
+  void SiftUp(uint32_t i) {
+    while (i > 0) {
+      uint32_t parent = (i - 1) / 4;
+      if (heap_[parent].priority <= heap_[i].priority) break;
+      SwapEntries(parent, i);
+      i = parent;
+    }
+  }
+
+  void SiftDown(uint32_t i) {
+    for (;;) {
+      uint32_t best = i;
+      uint32_t first_child = 4 * i + 1;
+      for (uint32_t c = first_child;
+           c < first_child + 4 && c < heap_.size(); ++c) {
+        if (heap_[c].priority < heap_[best].priority) best = c;
+      }
+      if (best == i) return;
+      SwapEntries(best, i);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<uint32_t> pos_;
+  std::vector<uint32_t> touched_;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_UTIL_MIN_HEAP_H_

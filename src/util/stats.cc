@@ -1,0 +1,45 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kosr {
+
+double QueryStats::OtherTimeSeconds() const {
+  double other = total_time_s - nn_time_s - queue_time_s - estimation_time_s;
+  return other > 0 ? other : 0;
+}
+
+void QueryStats::RecordExamined(size_t depth) {
+  ++examined_routes;
+  if (examined_per_depth.size() <= depth) examined_per_depth.resize(depth + 1);
+  ++examined_per_depth[depth];
+}
+
+void QueryStats::Accumulate(const QueryStats& other) {
+  examined_routes += other.examined_routes;
+  nn_queries += other.nn_queries;
+  dominated_routes += other.dominated_routes;
+  reconsidered_routes += other.reconsidered_routes;
+  if (examined_per_depth.size() < other.examined_per_depth.size()) {
+    examined_per_depth.resize(other.examined_per_depth.size());
+  }
+  for (size_t i = 0; i < other.examined_per_depth.size(); ++i) {
+    examined_per_depth[i] += other.examined_per_depth[i];
+  }
+  nn_time_s += other.nn_time_s;
+  queue_time_s += other.queue_time_s;
+  estimation_time_s += other.estimation_time_s;
+  total_time_s += other.total_time_s;
+}
+
+std::string QueryStats::ToString() const {
+  std::ostringstream os;
+  os << "examined=" << examined_routes << " nn_queries=" << nn_queries
+     << " dominated=" << dominated_routes
+     << " reconsidered=" << reconsidered_routes
+     << " total_ms=" << total_time_s * 1e3;
+  return os.str();
+}
+
+}  // namespace kosr

@@ -1,0 +1,55 @@
+#ifndef KOSR_UTIL_STATS_H_
+#define KOSR_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kosr {
+
+/// Counters collected while answering one KOSR query. These are the
+/// evaluation criteria of the paper (Sec. V-A): the number of examined
+/// routes (witnesses popped from the global priority queue) and the number
+/// of (next) nearest-neighbor queries actually executed (cache hits in the
+/// NL list are not counted, matching the paper).
+struct QueryStats {
+  /// Witnesses extracted from the global priority queue.
+  uint64_t examined_routes = 0;
+  /// FindNN invocations that performed work (NL cache hits excluded).
+  uint64_t nn_queries = 0;
+  /// Witnesses pruned by the dominance relationship (PruningKOSR/StarKOSR).
+  uint64_t dominated_routes = 0;
+  /// Dominated witnesses re-added after a result was emitted.
+  uint64_t reconsidered_routes = 0;
+  /// Examined witnesses per category depth (Figure 5). Index = depth, i.e.
+  /// 0 for the source, |C|+1 for the destination.
+  std::vector<uint64_t> examined_per_depth;
+
+  /// Phase timings in seconds (Table X). Collected only when
+  /// `timing_enabled` is set before the query runs.
+  double nn_time_s = 0;
+  double queue_time_s = 0;
+  double estimation_time_s = 0;
+  double total_time_s = 0;
+
+  /// Enables per-phase timing (adds clock overhead; off by default).
+  bool timing_enabled = false;
+  /// Set when the search was cut off by a budget (examined-route cap or
+  /// time budget) before finding k routes; the paper reports such runs
+  /// as INF.
+  bool timed_out = false;
+
+  /// Remaining (unattributed) time: total - nn - queue - estimation.
+  double OtherTimeSeconds() const;
+
+  void RecordExamined(size_t depth);
+
+  /// Element-wise accumulation, for averaging over query batches.
+  void Accumulate(const QueryStats& other);
+
+  std::string ToString() const;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_UTIL_STATS_H_

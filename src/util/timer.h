@@ -1,0 +1,53 @@
+#ifndef KOSR_UTIL_TIMER_H_
+#define KOSR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace kosr {
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time across disjoint intervals, e.g. to attribute query
+/// time to phases (Table X of the paper).
+class StopwatchAccumulator {
+ public:
+  void Start() { timer_.Reset(); running_ = true; }
+  void Stop() {
+    if (running_) total_ += timer_.ElapsedSeconds();
+    running_ = false;
+  }
+  void Clear() { total_ = 0; running_ = false; }
+  double TotalSeconds() const { return total_; }
+  double TotalMillis() const { return total_ * 1e3; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_UTIL_TIMER_H_

@@ -1,0 +1,35 @@
+#ifndef KOSR_UTIL_TYPES_H_
+#define KOSR_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace kosr {
+
+/// Vertex identifier. Vertices are dense integers in [0, num_vertices).
+using VertexId = uint32_t;
+
+/// Edge weight. Non-negative; need not satisfy the triangle inequality.
+using Weight = uint32_t;
+
+/// Accumulated route cost. 64-bit so that sums of 32-bit weights cannot
+/// overflow on any realistic route.
+using Cost = int64_t;
+
+/// Category identifier. Categories are dense integers in [0, num_categories).
+using CategoryId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "unreachable". Chosen so that kInfCost + any Weight does not
+/// overflow Cost.
+inline constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+/// Sentinel for "no category".
+inline constexpr CategoryId kInvalidCategory =
+    std::numeric_limits<CategoryId>::max();
+
+}  // namespace kosr
+
+#endif  // KOSR_UTIL_TYPES_H_

@@ -1,0 +1,35 @@
+#include "src/util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace kosr {
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) : n_(n) {
+  assert(n > 0);
+  pmf_.resize(n);
+  double norm = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    pmf_[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    norm += pmf_[i];
+  }
+  cdf_.resize(n);
+  double acc = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    pmf_[i] /= norm;
+    acc += pmf_[i];
+    cdf_[i] = acc;
+  }
+  cdf_[n - 1] = 1.0;
+}
+
+uint32_t ZipfSampler::Sample(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  double u = uni(rng);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace kosr

@@ -1,0 +1,40 @@
+#ifndef KOSR_UTIL_ZIPF_H_
+#define KOSR_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace kosr {
+
+/// Samples ranks 0..n-1 with probability proportional to 1 / (rank+1)^s.
+///
+/// Used to assign vertices to categories with a skewed (Zipfian) size
+/// distribution, as in Sec. V-A of the paper. The paper's skew parameter
+/// `f >= 1` controls skewness the same way: larger `f` means *less* skew in
+/// category sizes; we map it to the exponent via s = 1/f so the smallest/
+/// largest category-size ratio shrinks as f grows, matching the paper's
+/// example (f = 1.2 -> sizes 23 .. 139,717 on FLA).
+class ZipfSampler {
+ public:
+  /// @param n      number of distinct ranks.
+  /// @param s      exponent (> 0). Larger = more skew.
+  ZipfSampler(uint32_t n, double s);
+
+  /// Draws one rank in [0, n).
+  uint32_t Sample(std::mt19937_64& rng) const;
+
+  uint32_t n() const { return n_; }
+
+  /// Probability mass of each rank (sums to 1).
+  const std::vector<double>& pmf() const { return pmf_; }
+
+ private:
+  uint32_t n_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_UTIL_ZIPF_H_

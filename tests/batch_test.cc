@@ -1,0 +1,93 @@
+#include "src/core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+class BatchTest : public ::testing::Test {
+ protected:
+  BatchTest() {
+    auto inst = testing::MakeRandomInstance(60, 320, 4, 4242);
+    engine_ = std::make_unique<KosrEngine>(inst.graph, inst.categories);
+    engine_->BuildIndexes();
+    std::mt19937_64 rng(11);
+    std::uniform_int_distribution<VertexId> pick(0, 59);
+    for (int i = 0; i < 24; ++i) {
+      KosrQuery q;
+      q.source = pick(rng);
+      q.target = pick(rng);
+      q.sequence = RandomCategorySequence(engine_->categories(), 2, rng);
+      q.k = 4;
+      queries_.push_back(q);
+    }
+  }
+  std::unique_ptr<KosrEngine> engine_;
+  std::vector<KosrQuery> queries_;
+};
+
+TEST_F(BatchTest, ParallelMatchesSequential) {
+  auto sequential = RunQueryBatch(*engine_, queries_, {}, 1);
+  auto parallel = RunQueryBatch(*engine_, queries_, {}, 4);
+  ASSERT_EQ(sequential.results.size(), parallel.results.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const auto& a = sequential.results[i].routes;
+    const auto& b = parallel.results[i].routes;
+    ASSERT_EQ(a.size(), b.size()) << "query " << i;
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].cost, b[j].cost);
+      EXPECT_EQ(a[j].witness, b[j].witness);
+    }
+  }
+}
+
+TEST_F(BatchTest, AggregateSumsQueryStats) {
+  auto batch = RunQueryBatch(*engine_, queries_, {}, 2);
+  uint64_t examined = 0;
+  for (const auto& r : batch.results) examined += r.stats.examined_routes;
+  EXPECT_EQ(batch.aggregate.examined_routes, examined);
+  EXPECT_GE(batch.wall_seconds, 0.0);
+  EXPECT_GT(batch.AvgQueryMillis(), 0.0);
+}
+
+TEST_F(BatchTest, DefaultThreadsRun) {
+  auto batch = RunQueryBatch(*engine_, queries_);
+  EXPECT_EQ(batch.results.size(), queries_.size());
+}
+
+TEST_F(BatchTest, EmptyBatch) {
+  auto batch = RunQueryBatch(*engine_, {});
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.AvgQueryMillis(), 0.0);
+}
+
+TEST_F(BatchTest, WorkerExceptionPropagates) {
+  std::vector<KosrQuery> bad = queries_;
+  bad[5].k = 0;  // invalid: engine throws
+  EXPECT_THROW(RunQueryBatch(*engine_, bad, {}, 4), std::invalid_argument);
+}
+
+TEST_F(BatchTest, AllAlgorithmsAgreeUnderParallelism) {
+  std::vector<std::vector<Cost>> per_algo;
+  for (Algorithm algo :
+       {Algorithm::kKpne, Algorithm::kPruning, Algorithm::kStar}) {
+    KosrOptions options;
+    options.algorithm = algo;
+    auto batch = RunQueryBatch(*engine_, queries_, options, 4);
+    std::vector<Cost> costs;
+    for (const auto& r : batch.results) {
+      for (const auto& route : r.routes) costs.push_back(route.cost);
+    }
+    per_algo.push_back(std::move(costs));
+  }
+  EXPECT_EQ(per_algo[0], per_algo[1]);
+  EXPECT_EQ(per_algo[0], per_algo[2]);
+}
+
+}  // namespace
+}  // namespace kosr

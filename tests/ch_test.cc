@@ -1,0 +1,120 @@
+#include "src/ch/contraction_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "src/labeling/hub_labeling.h"
+
+namespace kosr {
+namespace {
+
+void ExpectAllPairsMatch(const Graph& graph, const ContractionHierarchy& ch,
+                         uint32_t stride_s = 1, uint32_t stride_t = 1) {
+  for (VertexId s = 0; s < graph.num_vertices(); s += stride_s) {
+    auto dist = DijkstraAllDistances(graph, s);
+    for (VertexId t = 0; t < graph.num_vertices(); t += stride_t) {
+      EXPECT_EQ(ch.Query(s, t), dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(ContractionHierarchyTest, Figure1AllPairs) {
+  Figure1 fig = MakeFigure1();
+  auto ch = ContractionHierarchy::Build(fig.graph);
+  ExpectAllPairsMatch(fig.graph, ch);
+}
+
+TEST(ContractionHierarchyTest, RandomGraphsAllPairs) {
+  for (uint64_t seed : {41u, 42u, 43u}) {
+    Graph g = MakeRandomGraph(50, 200, seed);
+    auto ch = ContractionHierarchy::Build(g);
+    ExpectAllPairsMatch(g, ch);
+  }
+}
+
+TEST(ContractionHierarchyTest, GridSample) {
+  Graph g = MakeGridRoadNetwork(8, 8, /*seed=*/9);
+  auto ch = ContractionHierarchy::Build(g);
+  ExpectAllPairsMatch(g, ch, 5, 3);
+}
+
+TEST(ContractionHierarchyTest, DisconnectedPairsAreInf) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 1}, {2, 3, 1}});
+  auto ch = ContractionHierarchy::Build(g);
+  EXPECT_EQ(ch.Query(0, 3), kInfCost);
+  EXPECT_EQ(ch.Query(0, 1), 1);
+  EXPECT_EQ(ch.Query(1, 1), 0);
+}
+
+TEST(ContractionHierarchyTest, QueryPathIsValidShortestPath) {
+  for (uint64_t seed : {61u, 62u}) {
+    Graph g = MakeRandomGraph(50, 220, seed);
+    auto ch = ContractionHierarchy::Build(g);
+    for (VertexId s = 0; s < 50; s += 7) {
+      auto dist = DijkstraAllDistances(g, s);
+      for (VertexId t = 0; t < 50; t += 5) {
+        auto path = ch.QueryPath(s, t);
+        if (dist[t] == kInfCost) {
+          EXPECT_TRUE(path.empty());
+          continue;
+        }
+        ASSERT_FALSE(path.empty()) << s << "->" << t;
+        EXPECT_EQ(path.front(), s);
+        EXPECT_EQ(path.back(), t);
+        Cost total = 0;
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          Cost w = g.ArcWeight(path[i], path[i + 1]);
+          ASSERT_LT(w, kInfCost)
+              << "missing arc " << path[i] << "->" << path[i + 1];
+          total += w;
+        }
+        EXPECT_EQ(total, dist[t]) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(ContractionHierarchyTest, QueryPathOnGridExpandsShortcuts) {
+  Graph g = MakeGridRoadNetwork(9, 9, /*seed=*/23);
+  auto ch = ContractionHierarchy::Build(g);
+  ASSERT_GT(ch.num_shortcuts(), 0u);  // shortcuts exist, so expansion runs
+  auto dist = DijkstraAllDistances(g, 0);
+  auto path = ch.QueryPath(0, 80);
+  ASSERT_FALSE(path.empty());
+  Cost total = 0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    total += g.ArcWeight(path[i], path[i + 1]);
+  }
+  EXPECT_EQ(total, dist[80]);
+  EXPECT_EQ(ch.QueryPath(4, 4), std::vector<VertexId>{4});
+}
+
+TEST(ContractionHierarchyTest, ImportanceOrderIsPermutation) {
+  Graph g = MakeRandomGraph(30, 120, 3);
+  auto ch = ContractionHierarchy::Build(g);
+  auto order = ch.ImportanceOrder();
+  ASSERT_EQ(order.size(), 30u);
+  std::vector<bool> seen(30, false);
+  for (VertexId v : order) {
+    ASSERT_LT(v, 30u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(ContractionHierarchyTest, ImportanceOrderWorksAsHubOrder) {
+  Graph g = MakeGridRoadNetwork(7, 7, /*seed=*/13);
+  auto ch = ContractionHierarchy::Build(g);
+  HubLabeling hl;
+  hl.Build(g, ch.ImportanceOrder());
+  for (VertexId s = 0; s < g.num_vertices(); s += 6) {
+    auto dist = DijkstraAllDistances(g, s);
+    for (VertexId t = 0; t < g.num_vertices(); t += 4) {
+      EXPECT_EQ(hl.Query(s, t), dist[t]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kosr

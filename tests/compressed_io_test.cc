@@ -1,0 +1,108 @@
+#include "src/labeling/compressed_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  for (uint64_t value :
+       {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+        uint64_t{16383}, uint64_t{16384}, uint64_t{UINT64_MAX / 2},
+        uint64_t{UINT64_MAX}}) {
+    std::vector<uint8_t> buffer;
+    AppendVarint(buffer, value);
+    size_t pos = 0;
+    EXPECT_EQ(ReadVarint(buffer, pos), value);
+    EXPECT_EQ(pos, buffer.size());
+  }
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  std::vector<uint8_t> buffer;
+  AppendVarint(buffer, 100);
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(VarintTest, TruncationThrows) {
+  std::vector<uint8_t> buffer;
+  AppendVarint(buffer, 1u << 20);
+  buffer.pop_back();
+  size_t pos = 0;
+  EXPECT_THROW(ReadVarint(buffer, pos), std::runtime_error);
+}
+
+TEST(LabelVectorCodecTest, RoundTrip) {
+  std::vector<LabelEntry> labels = {
+      {0, 0, kInvalidVertex}, {3, 17, 4}, {10, 250000, 0}, {4000000, 1, 99}};
+  auto encoded = EncodeLabelVector(labels);
+  auto decoded = DecodeLabelVector(encoded);
+  ASSERT_EQ(decoded.size(), labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(decoded[i].hub_rank, labels[i].hub_rank);
+    EXPECT_EQ(decoded[i].dist, labels[i].dist);
+    EXPECT_EQ(decoded[i].parent, labels[i].parent);
+  }
+}
+
+TEST(LabelVectorCodecTest, EmptyVector) {
+  auto encoded = EncodeLabelVector({});
+  EXPECT_EQ(DecodeLabelVector(encoded).size(), 0u);
+}
+
+TEST(LabelVectorCodecTest, TrailingBytesRejected) {
+  std::vector<LabelEntry> labels = {{1, 2, 3}};
+  auto encoded = EncodeLabelVector(labels);
+  encoded.push_back(0);
+  EXPECT_THROW(DecodeLabelVector(encoded), std::runtime_error);
+}
+
+TEST(CompressedLabelingTest, RoundTripPreservesAllQueries) {
+  Graph g = MakeGridRoadNetwork(10, 10, /*seed=*/31);
+  HubLabeling hl;
+  hl.Build(g, GridDissectionOrder(10, 10));
+  std::stringstream buffer;
+  SerializeCompressed(hl, buffer);
+  HubLabeling copy = DeserializeCompressed(buffer);
+  for (VertexId s = 0; s < g.num_vertices(); s += 3) {
+    for (VertexId t = 0; t < g.num_vertices(); t += 7) {
+      EXPECT_EQ(copy.Query(s, t), hl.Query(s, t));
+    }
+  }
+  // Path unpacking survives too (parents are preserved).
+  auto path = copy.UnpackPath(0, 99);
+  EXPECT_EQ(path, hl.UnpackPath(0, 99));
+}
+
+TEST(CompressedLabelingTest, CompressesMeaningfully) {
+  Graph g = MakeGridRoadNetwork(24, 24, /*seed=*/32);
+  HubLabeling hl;
+  hl.Build(g, GridDissectionOrder(24, 24));
+  uint64_t plain = hl.IndexBytes();
+  uint64_t compressed = CompressedSizeBytes(hl);
+  // Delta + varint coding must at least halve road-network labelings.
+  EXPECT_LT(compressed, plain / 2);
+}
+
+TEST(CompressedLabelingTest, RejectsBadMagic) {
+  std::stringstream buffer("definitely not a labeling blob");
+  EXPECT_THROW(DeserializeCompressed(buffer), std::runtime_error);
+}
+
+TEST(CompressedLabelingTest, SizeAccountingMatchesStream) {
+  auto inst = testing::MakeRandomInstance(40, 200, 3, 33);
+  HubLabeling hl;
+  hl.Build(inst.graph);
+  std::stringstream buffer;
+  SerializeCompressed(hl, buffer);
+  EXPECT_EQ(static_cast<uint64_t>(buffer.str().size()),
+            CompressedSizeBytes(hl));
+}
+
+}  // namespace
+}  // namespace kosr

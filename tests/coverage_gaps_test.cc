@@ -1,0 +1,193 @@
+// Cross-cutting combinations not covered by the per-module suites:
+// variants under the Dijkstra NN backend, disk-resident queries with
+// preference filters, GSP corner cases, and option plumbing.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+
+#include "src/algo/gsp.h"
+#include "src/core/variants.h"
+#include "src/graph/generators.h"
+#include "src/labeling/disk_store.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+std::vector<Cost> Costs(const KosrResult& r) {
+  std::vector<Cost> out;
+  for (const auto& route : r.routes) out.push_back(route.cost);
+  return out;
+}
+
+TEST(VariantBackendTest, NoSourceDijkstraMatchesHopLabel) {
+  auto inst = testing::MakeRandomInstance(40, 220, 4, 700);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  CategorySequence seq = {0, 3};
+  for (Algorithm algo :
+       {Algorithm::kKpne, Algorithm::kPruning, Algorithm::kStar}) {
+    KosrOptions hop, dij;
+    hop.algorithm = dij.algorithm = algo;
+    dij.nn_mode = NnMode::kDijkstra;
+    auto a = QueryNoSource(engine, 35, seq, 5, hop);
+    auto b = QueryNoSource(engine, 35, seq, 5, dij);
+    EXPECT_EQ(Costs(a), Costs(b)) << static_cast<int>(algo);
+  }
+}
+
+TEST(VariantBackendTest, NoDestinationDijkstraMatchesHopLabel) {
+  auto inst = testing::MakeRandomInstance(40, 220, 4, 701);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  CategorySequence seq = {1, 2};
+  for (Algorithm algo : {Algorithm::kKpne, Algorithm::kPruning}) {
+    KosrOptions hop, dij;
+    hop.algorithm = dij.algorithm = algo;
+    dij.nn_mode = NnMode::kDijkstra;
+    auto a = QueryNoDestination(engine, 3, seq, 5, hop);
+    auto b = QueryNoDestination(engine, 3, seq, 5, dij);
+    EXPECT_EQ(Costs(a), Costs(b)) << static_cast<int>(algo);
+  }
+}
+
+TEST(VariantBackendTest, NoSourceFilterAppliesToSeeds) {
+  // The filter must also exclude *seed* vertices of the first category.
+  Figure1 fig = MakeFigure1();
+  KosrEngine engine(fig.graph, fig.categories);
+  engine.BuildIndexes();
+  KosrOptions options;
+  options.algorithm = Algorithm::kPruning;
+  options.filter = [](uint32_t slot, VertexId v) {
+    return slot != 1 || v == Figure1::c;  // only mall c may start the route
+  };
+  auto result = QueryNoSource(engine, Figure1::t,
+                              {Figure1::MA, Figure1::RE, Figure1::CI}, 5,
+                              options);
+  for (const auto& route : result.routes) {
+    EXPECT_EQ(route.witness.front(), Figure1::c);
+  }
+  ASSERT_FALSE(result.routes.empty());
+  // c -> b(5) -> d(3) -> t(4) = 12.
+  EXPECT_EQ(result.routes[0].cost, 12);
+}
+
+class DiskFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kosr_gap_test_" + std::to_string(::getpid()));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DiskFilterTest, QueryFromDiskHonorsPreferenceFilter) {
+  Figure1 fig = MakeFigure1();
+  KosrEngine engine(fig.graph, fig.categories);
+  engine.BuildIndexes();
+  engine.WriteDiskStore(dir_.string());
+  DiskLabelStore store(dir_.string());
+
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 3};
+  KosrOptions options;
+  options.filter = [](uint32_t slot, VertexId v) {
+    return slot != 2 || v == Figure1::e;  // only restaurant e
+  };
+  auto disk = KosrEngine::QueryFromDisk(store, query, options);
+  auto mem = engine.Query(query, options);
+  ASSERT_EQ(disk.routes.size(), mem.routes.size());
+  ASSERT_FALSE(disk.routes.empty());
+  EXPECT_EQ(disk.routes[0].cost, 21);  // <s,a,e,d,t>
+  for (size_t i = 0; i < disk.routes.size(); ++i) {
+    EXPECT_EQ(disk.routes[i].witness, mem.routes[i].witness);
+  }
+}
+
+TEST(GspEdgeCaseTest, RepeatedCategoryAndSelfService) {
+  // The same category twice in a row: one vertex may serve both visits.
+  Figure1 fig = MakeFigure1();
+  auto route = RunGsp(fig.graph, fig.categories, {Figure1::MA, Figure1::MA},
+                      Figure1::s, Figure1::t);
+  ASSERT_TRUE(route.has_value());
+  // Best double-mall visit: s->c (10), stay at c, c->d->t (7) = 17.
+  EXPECT_EQ(route->cost, 17);
+  EXPECT_EQ(route->witness.size(), 4u);
+  EXPECT_EQ(route->witness[1], Figure1::c);
+  EXPECT_EQ(route->witness[1], route->witness[2]);
+}
+
+TEST(GspEdgeCaseTest, SourceInFirstCategory) {
+  // Source vertex that itself carries the first category still needs to
+  // "visit" it — which it can do at zero cost (r1 can equal the source
+  // position boundary case: paper requires 0 < r1, so the visit vertex is
+  // distinct in position but may be the same vertex only if revisited).
+  Figure1 fig = MakeFigure1();
+  auto route = RunGsp(fig.graph, fig.categories, {Figure1::MA}, Figure1::a,
+                      Figure1::t);
+  ASSERT_TRUE(route.has_value());
+  // a is itself a mall: dis(a,a)=0 + dis(a,t)=12.
+  EXPECT_EQ(route->cost, 12);
+}
+
+TEST(GspEdgeCaseTest, AgreesWithEngineOnGrids) {
+  Graph g = MakeGridRoadNetwork(15, 15, /*seed=*/55);
+  CategoryTable cats = CategoryTable::Uniform(g.num_vertices(), 20, 56);
+  KosrEngine engine(g, cats);
+  engine.BuildIndexes();
+  std::mt19937_64 rng(57);
+  std::uniform_int_distribution<VertexId> pick(0, g.num_vertices() - 1);
+  for (int round = 0; round < 8; ++round) {
+    VertexId s = pick(rng), t = pick(rng);
+    CategorySequence seq = RandomCategorySequence(cats, 3, rng);
+    auto gsp = engine.QueryGsp(s, t, seq);
+    auto kosr = engine.Query({s, t, seq, 1});
+    if (kosr.routes.empty()) {
+      EXPECT_FALSE(gsp.has_value());
+    } else {
+      ASSERT_TRUE(gsp.has_value());
+      EXPECT_EQ(gsp->cost, kosr.routes[0].cost) << "round " << round;
+    }
+  }
+}
+
+TEST(OptionPlumbingTest, TimeBudgetReportsTimeout) {
+  // A zero-ish time budget must abort and flag, not crash or loop.
+  auto inst = testing::MakeRandomInstance(60, 320, 3, 702);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  KosrQuery query{0, 59, {0, 1, 2}, 500};
+  for (Algorithm algo :
+       {Algorithm::kKpne, Algorithm::kPruning, Algorithm::kStar}) {
+    KosrOptions options;
+    options.algorithm = algo;
+    options.max_examined_routes = 64;
+    auto result = engine.Query(query, options);
+    EXPECT_TRUE(result.stats.timed_out || result.routes.size() == 500)
+        << static_cast<int>(algo);
+    EXPECT_LE(result.stats.examined_routes, 64u + 1)
+        << static_cast<int>(algo);
+  }
+}
+
+TEST(OptionPlumbingTest, ReconstructionWorksInDijkstraMode) {
+  // Without built indexes, paths fall back to Dijkstra unpacking.
+  Figure1 fig = MakeFigure1();
+  KosrEngine engine(fig.graph, fig.categories);
+  KosrOptions options;
+  options.nn_mode = NnMode::kDijkstra;
+  options.reconstruct_paths = true;
+  auto result = engine.Query(
+      {Figure1::s, Figure1::t, {Figure1::MA, Figure1::RE, Figure1::CI}, 1},
+      options);
+  ASSERT_EQ(result.routes.size(), 1u);
+  EXPECT_EQ(result.routes[0].path,
+            (std::vector<VertexId>{Figure1::s, Figure1::a, Figure1::b,
+                                   Figure1::d, Figure1::t}));
+}
+
+}  // namespace
+}  // namespace kosr

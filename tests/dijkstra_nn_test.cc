@@ -1,0 +1,88 @@
+#include "src/nn/dijkstra_nn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+std::vector<Cost> BruteForceNnDists(const Graph& graph,
+                                    const CategoryTable& cats, CategoryId c,
+                                    VertexId v) {
+  auto dist = DijkstraAllDistances(graph, v);
+  std::vector<Cost> out;
+  for (VertexId m : cats.Members(c)) {
+    if (dist[m] < kInfCost) out.push_back(dist[m]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DijkstraKnnCursorTest, MatchesBruteForce) {
+  for (uint64_t seed : {21u, 22u}) {
+    auto inst = testing::MakeRandomInstance(50, 200, 4, seed);
+    for (CategoryId c = 0; c < 4; ++c) {
+      for (VertexId v = 0; v < 50; v += 13) {
+        auto expected = BruteForceNnDists(inst.graph, inst.categories, c, v);
+        DijkstraKnnCursor cursor(&inst.graph, &inst.categories, c, v, 1,
+                                 nullptr);
+        QueryStats stats;
+        for (size_t x = 1; x <= expected.size(); ++x) {
+          auto got = cursor.Get(static_cast<uint32_t>(x), &stats);
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(got->dist, expected[x - 1]);
+        }
+        EXPECT_FALSE(
+            cursor.Get(static_cast<uint32_t>(expected.size()) + 1, &stats)
+                .has_value());
+      }
+    }
+  }
+}
+
+TEST(DijkstraKnnCursorTest, ResumesWithoutRecomputing) {
+  auto inst = testing::MakeRandomInstance(40, 180, 2, 30);
+  DijkstraKnnCursor cursor(&inst.graph, &inst.categories, 0, 5, 1, nullptr);
+  QueryStats stats;
+  auto first = cursor.Get(1, &stats);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(stats.nn_queries, 1u);
+  // Cached re-read costs nothing.
+  auto again = cursor.Get(1, &stats);
+  EXPECT_EQ(stats.nn_queries, 1u);
+  EXPECT_EQ(again->vertex, first->vertex);
+}
+
+TEST(DijkstraNnProviderTest, DestinationSlotAndCursorReuse) {
+  Figure1 fig = MakeFigure1();
+  CategorySequence seq = {Figure1::MA, Figure1::RE, Figure1::CI};
+  DijkstraNnProvider provider(&fig.graph, &fig.categories, seq, Figure1::t);
+  QueryStats stats;
+  auto nn = provider.FindNN(Figure1::s, 1, 1, &stats);
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(nn->vertex, Figure1::a);
+  EXPECT_EQ(nn->dist, 8);
+  auto dest = provider.FindNN(Figure1::d, 4, 1, &stats);
+  ASSERT_TRUE(dest.has_value());
+  EXPECT_EQ(dest->vertex, Figure1::t);
+  EXPECT_EQ(dest->dist, 4);
+  EXPECT_FALSE(provider.FindNN(Figure1::d, 4, 2, &stats).has_value());
+}
+
+TEST(DijkstraNnProviderTest, FilterRespected) {
+  Figure1 fig = MakeFigure1();
+  CategorySequence seq = {Figure1::MA};
+  SlotFilter only_c = [](uint32_t, VertexId v) { return v == Figure1::c; };
+  DijkstraNnProvider provider(&fig.graph, &fig.categories, seq, Figure1::t,
+                              only_c);
+  auto nn = provider.FindNN(Figure1::s, 1, 1, nullptr);
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(nn->vertex, Figure1::c);
+}
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,101 @@
+#include "src/labeling/disk_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/core/engine.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+class DiskStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kosr_disk_test_" + std::to_string(::getpid()));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DiskStoreTest, SkDbMatchesInMemorySk) {
+  auto inst = testing::MakeRandomInstance(50, 260, 4, 600);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  engine.WriteDiskStore(dir_.string());
+
+  DiskLabelStore store(dir_.string());
+  EXPECT_EQ(store.num_vertices(), 50u);
+  EXPECT_EQ(store.num_categories(), 4u);
+
+  for (uint64_t qseed = 0; qseed < 4; ++qseed) {
+    KosrQuery query{static_cast<VertexId>(qseed), 49, {0, 1, 2}, 4};
+    auto mem = engine.Query(query);
+    auto disk = KosrEngine::QueryFromDisk(store, query);
+    ASSERT_EQ(disk.routes.size(), mem.routes.size()) << "q=" << qseed;
+    for (size_t i = 0; i < mem.routes.size(); ++i) {
+      EXPECT_EQ(disk.routes[i].cost, mem.routes[i].cost);
+      EXPECT_EQ(disk.routes[i].witness, mem.routes[i].witness);
+    }
+    // Same search trajectory: identical examined-route counts (the paper
+    // notes SK and SK-DB share these counters).
+    EXPECT_EQ(disk.stats.examined_routes, mem.stats.examined_routes);
+    EXPECT_EQ(disk.stats.nn_queries, mem.stats.nn_queries);
+  }
+}
+
+TEST_F(DiskStoreTest, SeekCountMatchesLayout) {
+  auto inst = testing::MakeRandomInstance(30, 150, 5, 601);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  engine.WriteDiskStore(dir_.string());
+  DiskLabelStore store(dir_.string());
+  auto ctx = store.Load(0, 29, {0, 1, 2});
+  // |C| category loads + Lout(s) + Lin(t).
+  EXPECT_EQ(ctx.disk_seeks, 5u);
+  EXPECT_EQ(ctx.slot_indexes.size(), 3u);
+  EXPECT_GE(ctx.load_seconds, 0.0);
+}
+
+TEST_F(DiskStoreTest, KpneAndPruningAlsoRunFromDisk) {
+  auto inst = testing::MakeRandomInstance(40, 200, 3, 602);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  engine.WriteDiskStore(dir_.string());
+  DiskLabelStore store(dir_.string());
+  KosrQuery query{1, 38, {0, 2}, 3};
+  auto mem = engine.Query(query);
+  for (Algorithm algo : {Algorithm::kKpne, Algorithm::kPruning}) {
+    KosrOptions options;
+    options.algorithm = algo;
+    auto disk = KosrEngine::QueryFromDisk(store, query, options);
+    ASSERT_EQ(disk.routes.size(), mem.routes.size());
+    for (size_t i = 0; i < mem.routes.size(); ++i) {
+      EXPECT_EQ(disk.routes[i].cost, mem.routes[i].cost);
+    }
+  }
+}
+
+TEST_F(DiskStoreTest, OpenMissingDirectoryThrows) {
+  EXPECT_THROW(DiskLabelStore("/nonexistent/kosr_store"), std::runtime_error);
+}
+
+TEST_F(DiskStoreTest, RejectsDijkstraMode) {
+  auto inst = testing::MakeRandomInstance(20, 80, 2, 603);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  engine.WriteDiskStore(dir_.string());
+  DiskLabelStore store(dir_.string());
+  KosrOptions options;
+  options.nn_mode = NnMode::kDijkstra;
+  EXPECT_THROW(
+      KosrEngine::QueryFromDisk(store, {0, 19, {0}, 1}, options),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,106 @@
+#include "src/algo/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/graph/generators.h"
+#include "src/nn/find_nn.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+// Builds a hop-label provider over an engine's indexes for a query.
+std::unique_ptr<HopLabelNnProvider> MakeProvider(const KosrEngine& engine,
+                                                 const KosrQuery& query) {
+  std::vector<const InvertedLabelIndex*> slots;
+  for (CategoryId c : query.sequence) slots.push_back(&engine.inverted(c));
+  return std::make_unique<HopLabelNnProvider>(&engine.labeling(), slots,
+                                              query.target);
+}
+
+AlgoConfig MakeConfig(const KosrQuery& query) {
+  AlgoConfig config;
+  config.source = query.source;
+  config.target = query.target;
+  config.num_categories = static_cast<uint32_t>(query.sequence.size());
+  config.k = query.k;
+  return config;
+}
+
+TEST(EnumeratorTest, StreamsFigure1RoutesInOrder) {
+  Figure1 fig = MakeFigure1();
+  KosrEngine engine(fig.graph, fig.categories);
+  engine.BuildIndexes();
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 1};
+  auto nn = MakeProvider(engine, query);
+  PruningKosrEnumerator enumerator(MakeConfig(query), nn.get());
+
+  std::vector<Cost> costs;
+  while (auto route = enumerator.Next()) costs.push_back(route->cost);
+  // All 8 feasible witnesses, cheapest first.
+  ASSERT_EQ(costs.size(), 8u);
+  EXPECT_EQ(costs[0], 20);
+  EXPECT_EQ(costs[1], 21);
+  EXPECT_EQ(costs[2], 22);
+  EXPECT_TRUE(std::is_sorted(costs.begin(), costs.end()));
+  // Exhausted stream stays exhausted.
+  EXPECT_FALSE(enumerator.Next().has_value());
+  EXPECT_FALSE(enumerator.stats().timed_out);
+}
+
+TEST(EnumeratorTest, IncrementalMatchesBatchQuery) {
+  auto inst = testing::MakeRandomInstance(50, 260, 4, 404);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  KosrQuery query{2, 47, {0, 1, 3}, 10};
+  KosrOptions options;
+  options.algorithm = Algorithm::kPruning;  // same tie-breaking as the stream
+  auto batch = engine.Query(query, options);
+
+  auto nn = MakeProvider(engine, query);
+  PruningKosrEnumerator enumerator(MakeConfig(query), nn.get());
+  for (size_t i = 0; i < batch.routes.size(); ++i) {
+    auto route = enumerator.Next();
+    ASSERT_TRUE(route.has_value()) << i;
+    EXPECT_EQ(route->cost, batch.routes[i].cost);
+    EXPECT_EQ(route->witness, batch.routes[i].witness);
+  }
+}
+
+TEST(EnumeratorTest, MarginalCostOfExtraRoutesIsSmall) {
+  // The paper's scalability-in-k argument: after the first route, each
+  // additional route examines only a handful more witnesses.
+  auto inst = testing::MakeRandomInstance(60, 320, 4, 405);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  KosrQuery query{0, 59, {0, 1, 2}, 1};
+  auto nn = MakeProvider(engine, query);
+  PruningKosrEnumerator enumerator(MakeConfig(query), nn.get());
+
+  ASSERT_TRUE(enumerator.Next().has_value());
+  uint64_t after_first = enumerator.stats().examined_routes;
+  for (int i = 0; i < 5; ++i) {
+    if (!enumerator.Next().has_value()) break;
+  }
+  uint64_t after_six = enumerator.stats().examined_routes;
+  // Five more routes must cost less than the initial search did.
+  EXPECT_LT(after_six - after_first, after_first + 50);
+}
+
+TEST(EnumeratorTest, BudgetStopsStream) {
+  auto inst = testing::MakeRandomInstance(60, 320, 4, 406);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  KosrQuery query{0, 59, {0, 1, 2}, 1000};
+  AlgoConfig config = MakeConfig(query);
+  config.max_examined = 1;
+  auto nn = MakeProvider(engine, query);
+  PruningKosrEnumerator enumerator(config, nn.get());
+  EXPECT_FALSE(enumerator.Next().has_value());
+  EXPECT_TRUE(enumerator.stats().timed_out);
+}
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,137 @@
+#include "src/nn/find_nen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/generators.h"
+#include "src/nn/dijkstra_nn.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+// Reference: members sorted by dis(v, u) + dis(u, t); members that cannot
+// reach t excluded.
+std::vector<Cost> BruteForceNenEstimates(const Graph& graph,
+                                         const CategoryTable& cats,
+                                         CategoryId c, VertexId v,
+                                         VertexId t) {
+  auto from_v = DijkstraAllDistances(graph, v);
+  auto to_t = DijkstraAllDistances(graph, t, /*reverse=*/true);
+  std::vector<Cost> ests;
+  for (VertexId m : cats.Members(c)) {
+    if (from_v[m] < kInfCost && to_t[m] < kInfCost) {
+      ests.push_back(from_v[m] + to_t[m]);
+    }
+  }
+  std::sort(ests.begin(), ests.end());
+  return ests;
+}
+
+TEST(FindNenTest, Figure1Example6) {
+  // Paper Example 6: for s in MA with destination t, the 1st nearest
+  // estimated neighbor is c (8->12 for a = 20 vs 10->7 for c = 17), the 2nd
+  // is a.
+  Figure1 fig = MakeFigure1();
+  HubLabeling hl;
+  hl.Build(fig.graph);
+  auto il = InvertedLabelIndex::Build(hl, fig.categories.Members(Figure1::MA));
+  HopLabelNenProvider provider(&hl, {&il}, Figure1::t);
+  QueryStats stats;
+  auto first = provider.FindNEN(Figure1::s, 1, 1, &stats);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->vertex, Figure1::c);
+  EXPECT_EQ(first->dist, 10);
+  EXPECT_EQ(first->est, 17);
+  auto second = provider.FindNEN(Figure1::s, 1, 2, &stats);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->vertex, Figure1::a);
+  EXPECT_EQ(second->est, 20);
+  EXPECT_FALSE(provider.FindNEN(Figure1::s, 1, 3, &stats).has_value());
+}
+
+TEST(FindNenTest, HopLabelMatchesBruteForce) {
+  for (uint64_t seed : {4u, 5u, 6u}) {
+    auto inst = testing::MakeRandomInstance(50, 220, 3, seed);
+    HubLabeling hl;
+    hl.Build(inst.graph);
+    VertexId t = 41;
+    for (CategoryId c = 0; c < 3; ++c) {
+      auto il = InvertedLabelIndex::Build(hl, inst.categories.Members(c));
+      HopLabelNenProvider provider(&hl, {&il}, t);
+      for (VertexId v = 0; v < 50; v += 11) {
+        auto expected =
+            BruteForceNenEstimates(inst.graph, inst.categories, c, v, t);
+        for (size_t x = 1; x <= expected.size(); ++x) {
+          auto got = provider.FindNEN(v, 1, static_cast<uint32_t>(x), nullptr);
+          ASSERT_TRUE(got.has_value())
+              << "seed=" << seed << " c=" << c << " v=" << v << " x=" << x;
+          EXPECT_EQ(got->est, expected[x - 1]);
+        }
+        EXPECT_FALSE(
+            provider.FindNEN(v, 1, static_cast<uint32_t>(expected.size()) + 1,
+                             nullptr)
+                .has_value());
+      }
+    }
+  }
+}
+
+TEST(FindNenTest, DijkstraBackendAgreesWithHopLabelBackend) {
+  auto inst = testing::MakeRandomInstance(40, 170, 3, 8);
+  HubLabeling hl;
+  hl.Build(inst.graph);
+  VertexId t = 33;
+  CategorySequence seq = {0, 1};
+  auto il0 = InvertedLabelIndex::Build(hl, inst.categories.Members(0));
+  auto il1 = InvertedLabelIndex::Build(hl, inst.categories.Members(1));
+  HopLabelNenProvider hop(&hl, {&il0, &il1}, t);
+  DijkstraNenProvider dij(&inst.graph, &inst.categories, seq, t);
+  for (VertexId v = 0; v < 40; v += 9) {
+    for (uint32_t slot = 1; slot <= 2; ++slot) {
+      for (uint32_t x = 1; x <= 5; ++x) {
+        auto a = hop.FindNEN(v, slot, x, nullptr);
+        auto b = dij.FindNEN(v, slot, x, nullptr);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a) {
+          EXPECT_EQ(a->est, b->est) << "v=" << v << " slot=" << slot;
+          EXPECT_EQ(a->dist, b->dist);
+        }
+      }
+    }
+  }
+}
+
+TEST(FindNenTest, EstimateToTargetMatchesTrueDistance) {
+  auto inst = testing::MakeRandomInstance(30, 140, 2, 10);
+  HubLabeling hl;
+  hl.Build(inst.graph);
+  VertexId t = 22;
+  auto il = InvertedLabelIndex::Build(hl, inst.categories.Members(0));
+  HopLabelNenProvider provider(&hl, {&il}, t);
+  auto to_t = DijkstraAllDistances(inst.graph, t, /*reverse=*/true);
+  for (VertexId v = 0; v < 30; ++v) {
+    EXPECT_EQ(provider.EstimateToTarget(v, nullptr), to_t[v]);
+  }
+}
+
+TEST(FindNenTest, MembersUnableToReachTargetAreSkipped) {
+  // 0 -> {1, 2}, 1 -> 3, but 2 is a dead end: NEN of 0 must only yield 1.
+  Graph g = Graph::FromEdges(4, {{0, 1, 5}, {0, 2, 1}, {1, 3, 1}});
+  CategoryTable cats(4, 1);
+  cats.Add(1, 0);
+  cats.Add(2, 0);
+  HubLabeling hl;
+  hl.Build(g);
+  auto il = InvertedLabelIndex::Build(hl, cats.Members(0));
+  HopLabelNenProvider provider(&hl, {&il}, /*target=*/3);
+  auto first = provider.FindNEN(0, 1, 1, nullptr);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->vertex, 1u);
+  EXPECT_EQ(first->est, 6);
+  EXPECT_FALSE(provider.FindNEN(0, 1, 2, nullptr).has_value());
+}
+
+}  // namespace
+}  // namespace kosr

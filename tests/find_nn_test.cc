@@ -1,0 +1,203 @@
+#include "src/nn/find_nn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/generators.h"
+#include "src/nn/inverted_label_index.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+// Reference: category members sorted by dis(v, .), unreachable excluded.
+std::vector<NnResult> BruteForceNn(const Graph& graph,
+                                   const CategoryTable& cats, CategoryId c,
+                                   VertexId v) {
+  auto dist = DijkstraAllDistances(graph, v);
+  std::vector<NnResult> out;
+  for (VertexId m : cats.Members(c)) {
+    if (dist[m] < kInfCost) out.push_back({m, dist[m]});
+  }
+  std::sort(out.begin(), out.end(), [](const NnResult& a, const NnResult& b) {
+    return a.dist != b.dist ? a.dist < b.dist : a.vertex < b.vertex;
+  });
+  return out;
+}
+
+TEST(FindNnTest, Figure1Example4And5) {
+  // Paper Example 4: NN of s in MA is a at cost 8. Example 5: the 2nd
+  // nearest neighbor of s in MA is c at cost 10.
+  Figure1 fig = MakeFigure1();
+  HubLabeling hl;
+  hl.Build(fig.graph);
+  auto il = InvertedLabelIndex::Build(hl, fig.categories.Members(Figure1::MA));
+  FindNnCursor cursor(&hl, &il, Figure1::s, 1, nullptr);
+  QueryStats stats;
+  auto first = cursor.Get(1, &stats);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->vertex, Figure1::a);
+  EXPECT_EQ(first->dist, 8);
+  auto second = cursor.Get(2, &stats);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->vertex, Figure1::c);
+  EXPECT_EQ(second->dist, 10);
+  EXPECT_FALSE(cursor.Get(3, &stats).has_value());
+}
+
+TEST(FindNnTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto inst = testing::MakeRandomInstance(60, 240, 4, seed);
+    HubLabeling hl;
+    hl.Build(inst.graph);
+    for (CategoryId c = 0; c < 4; ++c) {
+      auto il = InvertedLabelIndex::Build(hl, inst.categories.Members(c));
+      for (VertexId v = 0; v < 60; v += 7) {
+        auto expected = BruteForceNn(inst.graph, inst.categories, c, v);
+        FindNnCursor cursor(&hl, &il, v, 1, nullptr);
+        QueryStats stats;
+        for (size_t x = 1; x <= expected.size(); ++x) {
+          auto got = cursor.Get(static_cast<uint32_t>(x), &stats);
+          ASSERT_TRUE(got.has_value()) << "x=" << x;
+          EXPECT_EQ(got->dist, expected[x - 1].dist)
+              << "seed=" << seed << " c=" << c << " v=" << v << " x=" << x;
+        }
+        EXPECT_FALSE(
+            cursor.Get(static_cast<uint32_t>(expected.size()) + 1, &stats)
+                .has_value());
+      }
+    }
+  }
+}
+
+TEST(FindNnTest, CachedHitsAreNotCounted) {
+  Figure1 fig = MakeFigure1();
+  HubLabeling hl;
+  hl.Build(fig.graph);
+  auto il = InvertedLabelIndex::Build(hl, fig.categories.Members(Figure1::MA));
+  FindNnCursor cursor(&hl, &il, Figure1::s, 1, nullptr);
+  QueryStats stats;
+  cursor.Get(1, &stats);
+  uint64_t after_first = stats.nn_queries;
+  EXPECT_EQ(after_first, 1u);
+  cursor.Get(1, &stats);  // NL hit
+  EXPECT_EQ(stats.nn_queries, after_first);
+  cursor.Get(2, &stats);
+  EXPECT_EQ(stats.nn_queries, after_first + 1);
+}
+
+TEST(FindNnTest, SelfMembershipAtDistanceZero) {
+  // A vertex that belongs to the category is its own nearest neighbor.
+  auto inst = testing::MakeRandomInstance(30, 150, 3, 7);
+  HubLabeling hl;
+  hl.Build(inst.graph);
+  VertexId v = 11;
+  CategoryId c = inst.categories.CategoriesOf(v)[0];
+  auto il = InvertedLabelIndex::Build(hl, inst.categories.Members(c));
+  FindNnCursor cursor(&hl, &il, v, 1, nullptr);
+  auto first = cursor.Get(1, nullptr);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->vertex, v);
+  EXPECT_EQ(first->dist, 0);
+}
+
+TEST(FindNnTest, FilterSkipsIneligibleMembers) {
+  Figure1 fig = MakeFigure1();
+  HubLabeling hl;
+  hl.Build(fig.graph);
+  auto il = InvertedLabelIndex::Build(hl, fig.categories.Members(Figure1::MA));
+  SlotFilter only_c = [](uint32_t, VertexId v) { return v == Figure1::c; };
+  FindNnCursor cursor(&hl, &il, Figure1::s, 1, &only_c);
+  auto first = cursor.Get(1, nullptr);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->vertex, Figure1::c);
+  EXPECT_FALSE(cursor.Get(2, nullptr).has_value());
+}
+
+TEST(HopLabelNnProviderTest, DestinationSlot) {
+  Figure1 fig = MakeFigure1();
+  HubLabeling hl;
+  hl.Build(fig.graph);
+  auto il_ma =
+      InvertedLabelIndex::Build(hl, fig.categories.Members(Figure1::MA));
+  HopLabelNnProvider provider(&hl, {&il_ma}, Figure1::t);
+  QueryStats stats;
+  // Slot 2 = destination (|C| = 1 here).
+  auto r = provider.FindNN(Figure1::d, 2, 1, &stats);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->vertex, Figure1::t);
+  EXPECT_EQ(r->dist, 4);
+  EXPECT_FALSE(provider.FindNN(Figure1::d, 2, 2, &stats).has_value());
+}
+
+TEST(InvertedLabelIndexTest, Figure1TableVShape) {
+  // Table V: IL(MA) lists category members a and c through matching hubs;
+  // looking up s's out-hubs must reveal a at 8 and c at 10.
+  Figure1 fig = MakeFigure1();
+  HubLabeling hl;
+  hl.Build(fig.graph);
+  auto il = InvertedLabelIndex::Build(hl, fig.categories.Members(Figure1::MA));
+  EXPECT_GT(il.num_lists(), 0u);
+  EXPECT_GT(il.total_entries(), 0u);
+  // Every list is sorted by distance.
+  for (uint32_t rank = 0; rank < hl.num_vertices(); ++rank) {
+    auto entries = il.Entries(rank);
+    for (size_t i = 1; i < entries.size(); ++i) {
+      EXPECT_LE(entries[i - 1].dist, entries[i].dist);
+    }
+  }
+}
+
+TEST(InvertedLabelIndexTest, AddRemoveMemberKeepsAnswersExact) {
+  auto inst = testing::MakeRandomInstance(40, 180, 2, 12);
+  HubLabeling hl;
+  hl.Build(inst.graph);
+  CategoryId c = 0;
+  auto il = InvertedLabelIndex::Build(hl, inst.categories.Members(c));
+
+  // Move vertex 17 into category 0 dynamically.
+  VertexId joined = 17;
+  if (!inst.categories.Has(joined, c)) {
+    inst.categories.Add(joined, c);
+    il.AddMember(hl, joined);
+  }
+  for (VertexId v : {0u, 9u, 23u}) {
+    auto expected = BruteForceNn(inst.graph, inst.categories, c, v);
+    FindNnCursor cursor(&hl, &il, v, 1, nullptr);
+    for (size_t x = 1; x <= expected.size(); ++x) {
+      auto got = cursor.Get(static_cast<uint32_t>(x), nullptr);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->dist, expected[x - 1].dist);
+    }
+  }
+
+  // And back out.
+  inst.categories.Remove(joined, c);
+  il.RemoveMember(hl, joined);
+  for (VertexId v : {0u, 9u}) {
+    auto expected = BruteForceNn(inst.graph, inst.categories, c, v);
+    FindNnCursor cursor(&hl, &il, v, 1, nullptr);
+    for (size_t x = 1; x <= expected.size(); ++x) {
+      auto got = cursor.Get(static_cast<uint32_t>(x), nullptr);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->dist, expected[x - 1].dist);
+      EXPECT_NE(got->vertex, joined);
+    }
+  }
+}
+
+TEST(InvertedLabelIndexTest, SerializeRoundTrip) {
+  auto inst = testing::MakeRandomInstance(30, 120, 2, 3);
+  HubLabeling hl;
+  hl.Build(inst.graph);
+  auto il = InvertedLabelIndex::Build(hl, inst.categories.Members(0));
+  std::stringstream buffer;
+  il.Serialize(buffer);
+  auto copy = InvertedLabelIndex::Deserialize(buffer);
+  EXPECT_EQ(copy.total_entries(), il.total_entries());
+  EXPECT_EQ(copy.num_lists(), il.num_lists());
+}
+
+}  // namespace
+}  // namespace kosr

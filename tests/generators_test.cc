@@ -1,0 +1,157 @@
+#include "src/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/graph.h"
+
+namespace kosr {
+namespace {
+
+// Table IV of the paper pins down several exact shortest distances for the
+// Figure 1 graph; these validate our edge reconstruction.
+TEST(Figure1Test, PaperDistances) {
+  Figure1 fig = MakeFigure1();
+  using F = Figure1;
+  auto dis = [&](VertexId a, VertexId b) {
+    return DijkstraDistance(fig.graph, a, b);
+  };
+  EXPECT_EQ(dis(F::s, F::a), 8);
+  EXPECT_EQ(dis(F::s, F::c), 10);
+  EXPECT_EQ(dis(F::s, F::b), 13);
+  EXPECT_EQ(dis(F::s, F::e), 14);
+  EXPECT_EQ(dis(F::s, F::d), 13);
+  EXPECT_EQ(dis(F::s, F::t), 17);
+  EXPECT_EQ(dis(F::a, F::b), 5);
+  EXPECT_EQ(dis(F::a, F::e), 6);
+  EXPECT_EQ(dis(F::a, F::t), 12);
+  EXPECT_EQ(dis(F::a, F::s), 10);
+  EXPECT_EQ(dis(F::a, F::c), 20);  // Example 3 of the paper
+  EXPECT_EQ(dis(F::b, F::d), 3);
+  EXPECT_EQ(dis(F::b, F::t), 7);
+  EXPECT_EQ(dis(F::b, F::f), 27);
+  EXPECT_EQ(dis(F::c, F::b), 5);
+  EXPECT_EQ(dis(F::c, F::e), 17);
+  EXPECT_EQ(dis(F::c, F::t), 7);
+  EXPECT_EQ(dis(F::d, F::t), 4);
+  EXPECT_EQ(dis(F::e, F::d), 3);
+  EXPECT_EQ(dis(F::e, F::f), 10);
+  EXPECT_EQ(dis(F::t, F::c), 15);
+  EXPECT_EQ(dis(F::t, F::e), 10);
+  EXPECT_EQ(dis(F::t, F::d), 13);
+  EXPECT_EQ(dis(F::t, F::s), 25);
+  EXPECT_EQ(dis(F::t, F::a), 33);
+  EXPECT_EQ(dis(F::t, F::f), 20);
+}
+
+TEST(Figure1Test, Categories) {
+  Figure1 fig = MakeFigure1();
+  using F = Figure1;
+  EXPECT_TRUE(fig.categories.Has(F::a, F::MA));
+  EXPECT_TRUE(fig.categories.Has(F::c, F::MA));
+  EXPECT_TRUE(fig.categories.Has(F::b, F::RE));
+  EXPECT_TRUE(fig.categories.Has(F::e, F::RE));
+  EXPECT_TRUE(fig.categories.Has(F::d, F::CI));
+  EXPECT_TRUE(fig.categories.Has(F::f, F::CI));
+  EXPECT_FALSE(fig.categories.Has(F::s, F::MA));
+  EXPECT_EQ(fig.categories.CategorySize(F::MA), 2u);
+  EXPECT_EQ(Figure1::VertexName(F::s), "s");
+  EXPECT_EQ(Figure1::VertexName(F::t), "t");
+}
+
+TEST(GridRoadNetworkTest, SizeAndStrongConnectivity) {
+  Graph g = MakeGridRoadNetwork(10, 12, /*seed=*/3);
+  EXPECT_EQ(g.num_vertices(), 120u);
+  // Every vertex reachable from corner 0 and vice versa.
+  auto fwd = DijkstraAllDistances(g, 0);
+  auto bwd = DijkstraAllDistances(g, 0, /*reverse=*/true);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LT(fwd[v], kInfCost) << v;
+    EXPECT_LT(bwd[v], kInfCost) << v;
+  }
+}
+
+TEST(GridRoadNetworkTest, AsymmetricWeights) {
+  Graph g = MakeGridRoadNetwork(16, 16, /*seed=*/4, 10, 100,
+                                /*highway_fraction=*/0);
+  EXPECT_FALSE(g.IsSymmetric());
+}
+
+TEST(GridRoadNetworkTest, DeterministicForFixedSeed) {
+  Graph a = MakeGridRoadNetwork(6, 6, 99);
+  Graph b = MakeGridRoadNetwork(6, 6, 99);
+  EXPECT_EQ(a.ToEdges(), b.ToEdges());
+}
+
+TEST(GridRoadNetworkTest, RejectsEmptyGrid) {
+  EXPECT_THROW(MakeGridRoadNetwork(0, 5, 1), std::invalid_argument);
+}
+
+TEST(SmallWorldTest, UnitWeightsAndSmallDiameter) {
+  Graph g = MakeSmallWorld(500, 2, 3.0, /*seed=*/1);
+  for (const auto& [u, v, w] : g.ToEdges()) EXPECT_EQ(w, 1u);
+  auto dist = DijkstraAllDistances(g, 0);
+  Cost diameter = 0;
+  for (Cost d : dist) {
+    ASSERT_LT(d, kInfCost);
+    diameter = std::max(diameter, d);
+  }
+  // Chords shrink the 500-cycle's radius (125 hops) dramatically.
+  EXPECT_LE(diameter, 20);
+}
+
+TEST(RandomGraphTest, RespectsWeightBounds) {
+  Graph g = MakeRandomGraph(100, 500, 8, 5, 9);
+  for (const auto& [u, v, w] : g.ToEdges()) {
+    EXPECT_GE(w, 5u);
+    EXPECT_LE(w, 9u);
+  }
+}
+
+TEST(CategoryTableTest, UniformAssignsEveryVertexOnce) {
+  CategoryTable t = CategoryTable::Uniform(1000, 100, /*seed=*/5);
+  EXPECT_EQ(t.num_categories(), 10u);
+  uint64_t total = 0;
+  for (CategoryId c = 0; c < t.num_categories(); ++c) {
+    total += t.CategorySize(c);
+  }
+  EXPECT_EQ(total, 1000u);
+  for (VertexId v = 0; v < 1000; ++v) {
+    EXPECT_EQ(t.CategoriesOf(v).size(), 1u);
+  }
+}
+
+TEST(CategoryTableTest, ZipfianIsSkewedAndLessSkewForLargerF) {
+  auto spread = [](double f) {
+    CategoryTable t = CategoryTable::Zipfian(20000, 50, f, /*seed=*/2);
+    uint32_t min_size = UINT32_MAX, max_size = 0;
+    for (CategoryId c = 0; c < t.num_categories(); ++c) {
+      min_size = std::min(min_size, t.CategorySize(c));
+      max_size = std::max(max_size, t.CategorySize(c));
+    }
+    return static_cast<double>(max_size) / std::max(1u, min_size);
+  };
+  EXPECT_GT(spread(1.0), spread(1.8));  // paper: larger f = less skew
+}
+
+TEST(CategoryTableTest, AddRemove) {
+  CategoryTable t(5, 2);
+  t.Add(3, 1);
+  t.Add(3, 1);  // idempotent
+  EXPECT_EQ(t.CategorySize(1), 1u);
+  EXPECT_TRUE(t.Remove(3, 1));
+  EXPECT_FALSE(t.Remove(3, 1));
+  EXPECT_EQ(t.CategorySize(1), 0u);
+}
+
+TEST(CategoryTableTest, RandomSequenceDistinctNonEmpty) {
+  CategoryTable t = CategoryTable::Uniform(500, 50, 3);
+  std::mt19937_64 rng(4);
+  auto seq = RandomCategorySequence(t, 5, rng);
+  ASSERT_EQ(seq.size(), 5u);
+  std::set<CategoryId> unique(seq.begin(), seq.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (CategoryId c : seq) EXPECT_GT(t.CategorySize(c), 0u);
+}
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,118 @@
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace kosr {
+namespace {
+
+Graph Diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3, plus the slow direct arc 0 -> 3.
+  return Graph::FromEdges(4, {{0, 1, 1},
+                              {1, 3, 1},
+                              {0, 2, 5},
+                              {2, 3, 1},
+                              {0, 3, 100}});
+}
+
+TEST(GraphTest, CsrDegreesAndArcs) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.OutDegree(0), 3u);
+  EXPECT_EQ(g.InDegree(3), 3u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  // Adjacency sorted by head.
+  auto arcs = g.OutArcs(0);
+  ASSERT_EQ(arcs.size(), 3u);
+  EXPECT_EQ(arcs[0].head, 1u);
+  EXPECT_EQ(arcs[1].head, 2u);
+  EXPECT_EQ(arcs[2].head, 3u);
+}
+
+TEST(GraphTest, InArcsMirrorOutArcs) {
+  Graph g = Diamond();
+  auto in = g.InArcs(3);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_EQ(in[0].head, 0u);  // tail of arc 0->3
+  EXPECT_EQ(in[0].weight, 100u);
+}
+
+TEST(GraphTest, SelfLoopsDropped) {
+  Graph g = Graph::FromEdges(2, {{0, 0, 7}, {0, 1, 3}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphTest, ParallelEdgesKeptAndArcWeightTakesMin) {
+  Graph g = Graph::FromEdges(2, {{0, 1, 9}, {0, 1, 4}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.ArcWeight(0, 1), 4);
+  EXPECT_EQ(g.ArcWeight(1, 0), kInfCost);
+}
+
+TEST(GraphTest, ToEdgesRoundTrip) {
+  Graph g = Diamond();
+  Graph g2 = Graph::FromEdges(4, g.ToEdges());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g2.OutDegree(v), g.OutDegree(v));
+  }
+}
+
+TEST(GraphTest, IsSymmetricDetectsAsymmetry) {
+  Graph sym = Graph::FromEdges(2, {{0, 1, 2}, {1, 0, 2}});
+  EXPECT_TRUE(sym.IsSymmetric());
+  Graph asym = Graph::FromEdges(2, {{0, 1, 2}, {1, 0, 3}});
+  EXPECT_FALSE(asym.IsSymmetric());
+}
+
+TEST(DijkstraTest, DiamondDistances) {
+  Graph g = Diamond();
+  auto dist = DijkstraAllDistances(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 5);
+  EXPECT_EQ(dist[3], 2);
+}
+
+TEST(DijkstraTest, ReverseDistances) {
+  Graph g = Diamond();
+  auto dist = DijkstraAllDistances(g, 3, /*reverse=*/true);
+  EXPECT_EQ(dist[0], 2);  // cost *to* 3
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 1);
+}
+
+TEST(DijkstraTest, UnreachableIsInf) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 1}});
+  EXPECT_EQ(DijkstraDistance(g, 0, 2), kInfCost);
+  EXPECT_TRUE(DijkstraPath(g, 0, 2).empty());
+}
+
+TEST(DijkstraTest, PathMatchesDistance) {
+  Graph g = MakeGridRoadNetwork(8, 8, /*seed=*/11);
+  auto dist = DijkstraAllDistances(g, 0);
+  auto path = DijkstraPath(g, 0, 63);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 63u);
+  Cost total = 0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    Cost w = g.ArcWeight(path[i], path[i + 1]);
+    ASSERT_LT(w, kInfCost);
+    total += w;
+  }
+  EXPECT_EQ(total, dist[63]);
+}
+
+TEST(DijkstraTest, PointToPointAgreesWithFullSearch) {
+  Graph g = MakeRandomGraph(60, 300, /*seed=*/5);
+  auto dist = DijkstraAllDistances(g, 7);
+  for (VertexId t = 0; t < 60; ++t) {
+    EXPECT_EQ(DijkstraDistance(g, 7, t), dist[t]);
+  }
+}
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,77 @@
+#include "src/algo/gsp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+TEST(GspTest, Figure1OptimalRoute) {
+  Figure1 fig = MakeFigure1();
+  auto route = RunGsp(fig.graph, fig.categories,
+                      {Figure1::MA, Figure1::RE, Figure1::CI}, Figure1::s,
+                      Figure1::t);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->cost, 20);
+  EXPECT_EQ(route->witness, (std::vector<VertexId>{Figure1::s, Figure1::a,
+                                                   Figure1::b, Figure1::d,
+                                                   Figure1::t}));
+}
+
+TEST(GspTest, MatchesKosrK1OnRandomInstances) {
+  for (uint64_t seed : {300u, 301u, 302u, 303u, 304u}) {
+    auto inst = testing::MakeRandomInstance(50, 280, 4, seed);
+    KosrEngine engine(inst.graph, inst.categories);
+    engine.BuildIndexes();
+    CategorySequence seq = {1, 3, 0};
+    KosrQuery query{4, 47, seq, 1};
+    auto kosr = engine.Query(query);
+    auto gsp = RunGsp(inst.graph, inst.categories, seq, 4, 47);
+    if (kosr.routes.empty()) {
+      EXPECT_FALSE(gsp.has_value()) << "seed=" << seed;
+    } else {
+      ASSERT_TRUE(gsp.has_value()) << "seed=" << seed;
+      EXPECT_EQ(gsp->cost, kosr.routes[0].cost) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(GspTest, WitnessIsFeasible) {
+  auto inst = testing::MakeRandomInstance(40, 220, 3, 310);
+  CategorySequence seq = {0, 1, 2};
+  auto route = RunGsp(inst.graph, inst.categories, seq, 0, 39);
+  if (route) {
+    EXPECT_TRUE(testing::WitnessFeasible(inst.graph, inst.categories, 0, 39,
+                                         seq, route->witness, route->cost));
+  }
+}
+
+TEST(GspTest, UnreachableReturnsNullopt) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 1}, {2, 3, 1}});
+  CategoryTable cats(4, 1);
+  cats.Add(1, 0);
+  auto route = RunGsp(g, cats, {0}, 0, 3);
+  EXPECT_FALSE(route.has_value());
+}
+
+TEST(GspTest, EmptySequenceIsPlainShortestPath) {
+  Figure1 fig = MakeFigure1();
+  auto route = RunGsp(fig.graph, fig.categories, {}, Figure1::s, Figure1::t);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->cost, 17);  // dis(s, t) in Table IV
+}
+
+TEST(GspTest, StatsReportSettledVertices) {
+  Figure1 fig = MakeFigure1();
+  QueryStats stats;
+  RunGsp(fig.graph, fig.categories, {Figure1::MA, Figure1::RE}, Figure1::s,
+         Figure1::t, &stats);
+  EXPECT_GT(stats.examined_routes, 0u);
+  EXPECT_GE(stats.total_time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,189 @@
+#include "src/labeling/hub_labeling.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+void ExpectAllPairsMatch(const Graph& graph, const HubLabeling& hl) {
+  for (VertexId s = 0; s < graph.num_vertices(); ++s) {
+    auto dist = DijkstraAllDistances(graph, s);
+    for (VertexId t = 0; t < graph.num_vertices(); ++t) {
+      EXPECT_EQ(hl.Query(s, t), dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(HubLabelingTest, Figure1AllPairs) {
+  Figure1 fig = MakeFigure1();
+  HubLabeling hl;
+  hl.Build(fig.graph);
+  ExpectAllPairsMatch(fig.graph, hl);
+}
+
+TEST(HubLabelingTest, RandomGraphsAllPairs) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Graph g = MakeRandomGraph(60, 240, seed);
+    HubLabeling hl;
+    hl.Build(g);
+    ExpectAllPairsMatch(g, hl);
+  }
+}
+
+TEST(HubLabelingTest, GridAllPairsSample) {
+  Graph g = MakeGridRoadNetwork(9, 9, /*seed=*/17);
+  HubLabeling hl;
+  hl.Build(g);
+  for (VertexId s = 0; s < g.num_vertices(); s += 7) {
+    auto dist = DijkstraAllDistances(g, s);
+    for (VertexId t = 0; t < g.num_vertices(); t += 3) {
+      EXPECT_EQ(hl.Query(s, t), dist[t]);
+    }
+  }
+}
+
+TEST(HubLabelingTest, SelfDistanceIsZero) {
+  Graph g = MakeRandomGraph(30, 100, 9);
+  HubLabeling hl;
+  hl.Build(g);
+  for (VertexId v = 0; v < 30; ++v) EXPECT_EQ(hl.Query(v, v), 0);
+}
+
+TEST(HubLabelingTest, UnreachableIsInf) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 1}, {2, 3, 1}});
+  HubLabeling hl;
+  hl.Build(g);
+  EXPECT_EQ(hl.Query(0, 2), kInfCost);
+  EXPECT_EQ(hl.Query(1, 3), kInfCost);
+  EXPECT_EQ(hl.Query(0, 1), 1);
+}
+
+TEST(HubLabelingTest, UnpackPathIsValidShortestPath) {
+  for (uint64_t seed : {11u, 12u}) {
+    Graph g = MakeRandomGraph(50, 220, seed);
+    HubLabeling hl;
+    hl.Build(g);
+    for (VertexId s = 0; s < 50; s += 5) {
+      auto dist = DijkstraAllDistances(g, s);
+      for (VertexId t = 0; t < 50; t += 3) {
+        auto path = hl.UnpackPath(s, t);
+        if (dist[t] == kInfCost) {
+          EXPECT_TRUE(path.empty());
+          continue;
+        }
+        ASSERT_FALSE(path.empty());
+        EXPECT_EQ(path.front(), s);
+        EXPECT_EQ(path.back(), t);
+        Cost total = 0;
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          Cost w = g.ArcWeight(path[i], path[i + 1]);
+          ASSERT_LT(w, kInfCost)
+              << "missing arc " << path[i] << "->" << path[i + 1];
+          total += w;
+        }
+        EXPECT_EQ(total, dist[t]);
+      }
+    }
+  }
+}
+
+TEST(HubLabelingTest, UnpackPathSelf) {
+  Graph g = MakeRandomGraph(10, 30, 1);
+  HubLabeling hl;
+  hl.Build(g);
+  EXPECT_EQ(hl.UnpackPath(4, 4), std::vector<VertexId>{4});
+}
+
+TEST(HubLabelingTest, SerializeRoundTrip) {
+  Graph g = MakeRandomGraph(40, 160, 21);
+  HubLabeling hl;
+  hl.Build(g);
+  std::stringstream buffer;
+  hl.Serialize(buffer);
+  HubLabeling copy = HubLabeling::Deserialize(buffer);
+  EXPECT_EQ(copy.num_vertices(), hl.num_vertices());
+  for (VertexId s = 0; s < 40; s += 3) {
+    for (VertexId t = 0; t < 40; t += 2) {
+      EXPECT_EQ(copy.Query(s, t), hl.Query(s, t));
+    }
+  }
+}
+
+TEST(HubLabelingTest, DeserializeRejectsGarbage) {
+  std::stringstream buffer("not a labeling");
+  EXPECT_THROW(HubLabeling::Deserialize(buffer), std::runtime_error);
+}
+
+TEST(HubLabelingTest, CustomOrderStillCorrect) {
+  Graph g = MakeRandomGraph(40, 150, 33);
+  // Worst-case-ish order: identity.
+  std::vector<VertexId> order(40);
+  for (VertexId v = 0; v < 40; ++v) order[v] = v;
+  HubLabeling hl;
+  hl.Build(g, order);
+  ExpectAllPairsMatch(g, hl);
+}
+
+TEST(HubLabelingTest, RejectsBadOrder) {
+  Graph g = MakeRandomGraph(10, 20, 1);
+  HubLabeling hl;
+  EXPECT_THROW(hl.Build(g, std::vector<VertexId>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(HubLabelingTest, IntrospectionIsConsistent) {
+  Graph g = MakeRandomGraph(50, 200, 2);
+  HubLabeling hl;
+  hl.Build(g);
+  EXPECT_GT(hl.AvgInLabelSize(), 0.0);
+  EXPECT_GT(hl.AvgOutLabelSize(), 0.0);
+  EXPECT_GT(hl.IndexBytes(), 0u);
+  EXPECT_EQ(hl.IndexBytes() % sizeof(LabelEntry), 0u);
+  EXPECT_GE(hl.BuildSeconds(), 0.0);
+}
+
+TEST(HubLabelingTest, OnEdgeDecreasedRepairsDistances) {
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    Graph g = MakeRandomGraph(40, 140, seed);
+    HubLabeling hl;
+    hl.Build(g);
+    // Insert a cheap new arc and repair incrementally.
+    auto edges = g.ToEdges();
+    VertexId u = 3, v = 29;
+    Weight w = 1;
+    edges.emplace_back(u, v, w);
+    Graph g2 = Graph::FromEdges(40, edges);
+    hl.OnEdgeDecreased(g2, u, v, w);
+    for (VertexId s = 0; s < 40; s += 3) {
+      auto dist = DijkstraAllDistances(g2, s);
+      for (VertexId t = 0; t < 40; t += 2) {
+        EXPECT_EQ(hl.Query(s, t), dist[t])
+            << "seed=" << seed << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(HubLabelingTest, FromPartsPartialAnswersLoadedPairs) {
+  Graph g = MakeRandomGraph(30, 120, 44);
+  HubLabeling full;
+  full.Build(g);
+  std::vector<VertexId> order;
+  for (uint32_t r = 0; r < 30; ++r) order.push_back(full.HubVertex(r));
+  std::vector<std::vector<LabelEntry>> in(30), out(30);
+  // Load only vertex 5's out-label and vertex 9's in-label.
+  out[5].assign(full.Lout(5).begin(), full.Lout(5).end());
+  in[9].assign(full.Lin(9).begin(), full.Lin(9).end());
+  HubLabeling partial = HubLabeling::FromParts(order, in, out);
+  EXPECT_EQ(partial.Query(5, 9), full.Query(5, 9));
+  EXPECT_EQ(partial.Query(9, 5), kInfCost);  // not loaded
+}
+
+}  // namespace
+}  // namespace kosr

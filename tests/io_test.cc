@@ -1,0 +1,86 @@
+#include "src/graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/graph/generators.h"
+
+namespace kosr {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kosr_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, DimacsRoundTrip) {
+  Graph g = MakeGridRoadNetwork(6, 7, /*seed=*/5);
+  SaveDimacsGraph(g, Path("g.gr"));
+  Graph loaded = LoadDimacsGraph(Path("g.gr"));
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_EQ(loaded.ToEdges(), g.ToEdges());
+}
+
+TEST_F(IoTest, DimacsParsesCommentsAndOneBasedIds) {
+  std::ofstream out(Path("tiny.gr"));
+  out << "c tiny test graph\n"
+      << "p sp 3 2\n"
+      << "a 1 2 5\n"
+      << "c interior comment\n"
+      << "a 2 3 7\n";
+  out.close();
+  Graph g = LoadDimacsGraph(Path("tiny.gr"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.ArcWeight(0, 1), 5);
+  EXPECT_EQ(g.ArcWeight(1, 2), 7);
+}
+
+TEST_F(IoTest, DimacsRejectsMalformedInput) {
+  std::ofstream(Path("bad1.gr")) << "a 1 2 3\n";  // arc before problem line
+  EXPECT_THROW(LoadDimacsGraph(Path("bad1.gr")), std::runtime_error);
+  std::ofstream(Path("bad2.gr")) << "p sp 2 1\na 0 1 3\n";  // 0-based id
+  EXPECT_THROW(LoadDimacsGraph(Path("bad2.gr")), std::runtime_error);
+  EXPECT_THROW(LoadDimacsGraph(Path("missing.gr")), std::runtime_error);
+}
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  std::ofstream out(Path("edges.txt"));
+  out << "# comment\n0 1 10\n1 2 20\n2 0 30\n";
+  out.close();
+  Graph g = LoadEdgeList(Path("edges.txt"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.ArcWeight(2, 0), 30);
+}
+
+TEST_F(IoTest, CategoriesRoundTrip) {
+  CategoryTable table(10, 4);
+  table.Add(0, 1);
+  table.Add(0, 2);  // multi-category vertex
+  table.Add(5, 3);
+  SaveCategories(table, Path("cats.txt"));
+  CategoryTable loaded = LoadCategories(Path("cats.txt"), 10, 4);
+  EXPECT_TRUE(loaded.Has(0, 1));
+  EXPECT_TRUE(loaded.Has(0, 2));
+  EXPECT_TRUE(loaded.Has(5, 3));
+  EXPECT_EQ(loaded.CategorySize(3), 1u);
+}
+
+TEST_F(IoTest, CategoriesRejectOutOfRange) {
+  std::ofstream(Path("bad_cats.txt")) << "11 0\n";
+  EXPECT_THROW(LoadCategories(Path("bad_cats.txt"), 10, 4),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kosr

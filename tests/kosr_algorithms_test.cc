@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/engine.h"
+#include "src/core/query.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+using ::kosr::testing::BruteForceTopK;
+using ::kosr::testing::WitnessFeasible;
+
+std::vector<Cost> Costs(const KosrResult& result) {
+  std::vector<Cost> out;
+  for (const auto& r : result.routes) out.push_back(r.cost);
+  return out;
+}
+
+struct MethodSpec {
+  Algorithm algorithm;
+  NnMode nn_mode;
+  const char* name;
+};
+
+const MethodSpec kAllMethods[] = {
+    {Algorithm::kKpne, NnMode::kHopLabel, "KPNE"},
+    {Algorithm::kKpne, NnMode::kDijkstra, "KPNE-Dij"},
+    {Algorithm::kPruning, NnMode::kHopLabel, "PK"},
+    {Algorithm::kPruning, NnMode::kDijkstra, "PK-Dij"},
+    {Algorithm::kStar, NnMode::kHopLabel, "SK"},
+    {Algorithm::kStar, NnMode::kDijkstra, "SK-Dij"},
+};
+
+class Figure1Fixture : public ::testing::Test {
+ protected:
+  Figure1Fixture() : fig_(MakeFigure1()), engine_(fig_.graph, fig_.categories) {
+    engine_.BuildIndexes();
+  }
+  Figure1 fig_;
+  KosrEngine engine_;
+};
+
+TEST_F(Figure1Fixture, PaperExample1Top3AllMethods) {
+  // Example 1: (s, t, <MA, RE, CI>, 3) returns routes with costs 20, 21, 22:
+  // <s,a,b,d,t>, <s,a,e,d,t>, <s,c,b,d,t>.
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 3};
+  for (const MethodSpec& m : kAllMethods) {
+    KosrOptions options;
+    options.algorithm = m.algorithm;
+    options.nn_mode = m.nn_mode;
+    KosrResult result = engine_.Query(query, options);
+    ASSERT_EQ(result.routes.size(), 3u) << m.name;
+    EXPECT_EQ(Costs(result), (std::vector<Cost>{20, 21, 22})) << m.name;
+  }
+}
+
+TEST_F(Figure1Fixture, PaperExample1Witnesses) {
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 3};
+  KosrResult result = engine_.Query(query);
+  using F = Figure1;
+  ASSERT_EQ(result.routes.size(), 3u);
+  EXPECT_EQ(result.routes[0].witness,
+            (std::vector<VertexId>{F::s, F::a, F::b, F::d, F::t}));
+  EXPECT_EQ(result.routes[1].witness,
+            (std::vector<VertexId>{F::s, F::a, F::e, F::d, F::t}));
+  EXPECT_EQ(result.routes[2].witness,
+            (std::vector<VertexId>{F::s, F::c, F::b, F::d, F::t}));
+}
+
+TEST_F(Figure1Fixture, Top2MatchesPaperExample2) {
+  // Example 2 / 6: top-2 routes are <s,a,b,d,t>(20) and <s,a,e,d,t>(21).
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 2};
+  for (Algorithm algo : {Algorithm::kPruning, Algorithm::kStar}) {
+    KosrOptions options;
+    options.algorithm = algo;
+    KosrResult result = engine_.Query(query, options);
+    ASSERT_EQ(result.routes.size(), 2u);
+    EXPECT_EQ(Costs(result), (std::vector<Cost>{20, 21}));
+  }
+}
+
+TEST_F(Figure1Fixture, StarExaminesFewerRoutesThanPruning) {
+  // The paper's Example 6 observes SK examining fewer witnesses than PK
+  // (9 steps vs 13 on the k = 2 query).
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 2};
+  KosrOptions pk, sk;
+  pk.algorithm = Algorithm::kPruning;
+  sk.algorithm = Algorithm::kStar;
+  auto pk_result = engine_.Query(query, pk);
+  auto sk_result = engine_.Query(query, sk);
+  EXPECT_LT(sk_result.stats.examined_routes, pk_result.stats.examined_routes);
+  EXPECT_EQ(pk_result.stats.examined_routes, 13u);  // Table III
+  EXPECT_EQ(sk_result.stats.examined_routes, 9u);   // Table VI
+}
+
+TEST_F(Figure1Fixture, KMuchLargerThanFeasibleRouteCount) {
+  // Only 2*2*2 = 8 witnesses exist; all are feasible here.
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 100};
+  for (const MethodSpec& m : kAllMethods) {
+    KosrOptions options;
+    options.algorithm = m.algorithm;
+    options.nn_mode = m.nn_mode;
+    KosrResult result = engine_.Query(query, options);
+    EXPECT_EQ(result.routes.size(), 8u) << m.name;
+    auto expected = BruteForceTopK(fig_.graph, fig_.categories, Figure1::s,
+                                   Figure1::t,
+                                   {Figure1::MA, Figure1::RE, Figure1::CI},
+                                   100);
+    EXPECT_EQ(Costs(result), expected) << m.name;
+  }
+}
+
+TEST_F(Figure1Fixture, RepeatedCategoryInSequence) {
+  // <MA, MA>: the same category twice; the same vertex may serve both.
+  KosrQuery query{Figure1::s, Figure1::t, {Figure1::MA, Figure1::MA}, 4};
+  auto expected = BruteForceTopK(fig_.graph, fig_.categories, Figure1::s,
+                                 Figure1::t, {Figure1::MA, Figure1::MA}, 4);
+  for (const MethodSpec& m : kAllMethods) {
+    KosrOptions options;
+    options.algorithm = m.algorithm;
+    options.nn_mode = m.nn_mode;
+    EXPECT_EQ(Costs(engine_.Query(query, options)), expected) << m.name;
+  }
+}
+
+TEST_F(Figure1Fixture, SingleCategorySequence) {
+  KosrQuery query{Figure1::s, Figure1::t, {Figure1::RE}, 2};
+  auto expected = BruteForceTopK(fig_.graph, fig_.categories, Figure1::s,
+                                 Figure1::t, {Figure1::RE}, 2);
+  for (const MethodSpec& m : kAllMethods) {
+    KosrOptions options;
+    options.algorithm = m.algorithm;
+    options.nn_mode = m.nn_mode;
+    EXPECT_EQ(Costs(engine_.Query(query, options)), expected) << m.name;
+  }
+}
+
+TEST_F(Figure1Fixture, ResultsSortedAndFeasible) {
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 5};
+  KosrResult result = engine_.Query(query);
+  for (size_t i = 1; i < result.routes.size(); ++i) {
+    EXPECT_LE(result.routes[i - 1].cost, result.routes[i].cost);
+  }
+  for (const auto& route : result.routes) {
+    EXPECT_TRUE(WitnessFeasible(fig_.graph, fig_.categories, Figure1::s,
+                                Figure1::t,
+                                {Figure1::MA, Figure1::RE, Figure1::CI},
+                                route.witness, route.cost));
+  }
+}
+
+TEST(KosrAlgorithmsTest, AgreementWithBruteForceOnRandomInstances) {
+  for (uint64_t seed : {100u, 101u, 102u, 103u}) {
+    auto inst = testing::MakeRandomInstance(45, 260, 5, seed);
+    KosrEngine engine(inst.graph, inst.categories);
+    engine.BuildIndexes();
+    CategorySequence seq = {0, 2, 4};
+    VertexId s = 1, t = 44;
+    uint32_t k = 6;
+    auto expected =
+        BruteForceTopK(inst.graph, inst.categories, s, t, seq, k);
+    KosrQuery query{s, t, seq, k};
+    for (const MethodSpec& m : kAllMethods) {
+      KosrOptions options;
+      options.algorithm = m.algorithm;
+      options.nn_mode = m.nn_mode;
+      KosrResult result = engine.Query(query, options);
+      EXPECT_EQ(Costs(result), expected) << m.name << " seed=" << seed;
+    }
+  }
+}
+
+TEST(KosrAlgorithmsTest, PruningNeverExaminesMoreThanKpne) {
+  for (uint64_t seed : {200u, 201u}) {
+    auto inst = testing::MakeRandomInstance(60, 330, 4, seed);
+    KosrEngine engine(inst.graph, inst.categories);
+    engine.BuildIndexes();
+    KosrQuery query{0, 59, {0, 1, 2}, 4};
+    KosrOptions kpne, pk, sk;
+    kpne.algorithm = Algorithm::kKpne;
+    pk.algorithm = Algorithm::kPruning;
+    sk.algorithm = Algorithm::kStar;
+    auto r_kpne = engine.Query(query, kpne);
+    auto r_pk = engine.Query(query, pk);
+    auto r_sk = engine.Query(query, sk);
+    EXPECT_EQ(Costs(r_kpne), Costs(r_pk));
+    EXPECT_EQ(Costs(r_kpne), Costs(r_sk));
+    EXPECT_LE(r_pk.stats.examined_routes, r_kpne.stats.examined_routes);
+    EXPECT_LE(r_sk.stats.examined_routes, r_kpne.stats.examined_routes);
+  }
+}
+
+TEST(KosrAlgorithmsTest, UnreachableDestinationYieldsNoRoutes) {
+  // Two disjoint components.
+  Graph g = Graph::FromEdges(6, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {4, 5, 1}});
+  CategoryTable cats(6, 1);
+  cats.Add(1, 0);
+  cats.Add(4, 0);
+  KosrEngine engine(g, cats);
+  engine.BuildIndexes();
+  KosrQuery query{0, 5, {0}, 3};
+  for (const MethodSpec& m : kAllMethods) {
+    KosrOptions options;
+    options.algorithm = m.algorithm;
+    options.nn_mode = m.nn_mode;
+    EXPECT_TRUE(engine.Query(query, options).routes.empty()) << m.name;
+  }
+}
+
+TEST(KosrAlgorithmsTest, SourceEqualsTarget) {
+  Figure1 fig = MakeFigure1();
+  KosrEngine engine(fig.graph, fig.categories);
+  engine.BuildIndexes();
+  KosrQuery query{Figure1::s, Figure1::s, {Figure1::MA}, 2};
+  auto expected = BruteForceTopK(fig.graph, fig.categories, Figure1::s,
+                                 Figure1::s, {Figure1::MA}, 2);
+  for (const MethodSpec& m : kAllMethods) {
+    KosrOptions options;
+    options.algorithm = m.algorithm;
+    options.nn_mode = m.nn_mode;
+    EXPECT_EQ(Costs(engine.Query(query, options)), expected) << m.name;
+  }
+}
+
+TEST(KosrAlgorithmsTest, ExaminedBudgetTriggersTimeout) {
+  auto inst = testing::MakeRandomInstance(60, 300, 3, 77);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  KosrQuery query{0, 59, {0, 1, 2}, 50};
+  KosrOptions options;
+  options.algorithm = Algorithm::kKpne;
+  options.max_examined_routes = 1;  // absurdly small
+  KosrResult result = engine.Query(query, options);
+  EXPECT_TRUE(result.stats.timed_out);
+  EXPECT_LT(result.routes.size(), 50u);
+}
+
+TEST(KosrAlgorithmsTest, PhaseTimingsSumBelowTotal) {
+  auto inst = testing::MakeRandomInstance(60, 300, 3, 78);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  KosrQuery query{0, 59, {0, 1, 2}, 10};
+  KosrOptions options;
+  options.algorithm = Algorithm::kStar;
+  options.collect_phase_times = true;
+  KosrResult result = engine.Query(query, options);
+  const QueryStats& s = result.stats;
+  EXPECT_GT(s.total_time_s, 0.0);
+  EXPECT_GE(s.OtherTimeSeconds(), 0.0);
+}
+
+TEST(KosrAlgorithmsTest, PerDepthCountsSumToExamined) {
+  auto inst = testing::MakeRandomInstance(60, 320, 4, 79);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  KosrQuery query{2, 57, {0, 1, 2, 3}, 8};
+  KosrOptions options;
+  options.algorithm = Algorithm::kStar;
+  KosrResult result = engine.Query(query, options);
+  uint64_t sum = 0;
+  for (uint64_t c : result.stats.examined_per_depth) sum += c;
+  EXPECT_EQ(sum, result.stats.examined_routes);
+  ASSERT_FALSE(result.stats.examined_per_depth.empty());
+}
+
+}  // namespace
+}  // namespace kosr

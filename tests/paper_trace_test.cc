@@ -1,0 +1,116 @@
+// Fine-grained checks against the paper's worked traces (Tables III-VI and
+// Examples 2-6), beyond the end-to-end results: dominance and
+// reconsideration counters, and the hub-label index behaviour the examples
+// rely on.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/graph/generators.h"
+#include "src/labeling/hub_labeling.h"
+
+namespace kosr {
+namespace {
+
+class PaperTraceTest : public ::testing::Test {
+ protected:
+  PaperTraceTest()
+      : fig_(MakeFigure1()), engine_(fig_.graph, fig_.categories) {
+    engine_.BuildIndexes();
+  }
+  Figure1 fig_;
+  KosrEngine engine_;
+};
+
+TEST_F(PaperTraceTest, PruningTraceCountersMatchTableIII) {
+  // Table III, query (s, t, <MA,RE,CI>, 2): 13 examined witnesses, exactly
+  // matching the paper's 13 steps. Dominated/reconsidered counters are 3/3
+  // rather than the 2/2 visible in Table III's queue column: after the
+  // released <s,a,e,d> re-claims the dominator slot at d (the same
+  // re-claiming Table III(b) shows for <s,c,b> at b in step 10),
+  // Algorithm 2's lines 14-19 dominate <s,c,b,d> at step 12, and the second
+  // result's reconsideration releases it. (The paper's step-13 queue shows
+  // <s,c,b,d,t> instead, which contradicts its own pseudocode; we follow
+  // the pseudocode. Examined counts and results are unaffected.)
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 2};
+  KosrOptions options;
+  options.algorithm = Algorithm::kPruning;
+  KosrResult result = engine_.Query(query, options);
+  EXPECT_EQ(result.stats.examined_routes, 13u);
+  EXPECT_EQ(result.stats.dominated_routes, 3u);
+  EXPECT_EQ(result.stats.reconsidered_routes, 3u);
+}
+
+TEST_F(PaperTraceTest, StarTraceMatchesTableVI) {
+  // Table VI: StarKOSR finds both routes in 9 steps, with no dominated
+  // routes ("the first optimal sequenced route is found and no dominated
+  // routes exist").
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 2};
+  KosrOptions options;
+  options.algorithm = Algorithm::kStar;
+  KosrResult result = engine_.Query(query, options);
+  EXPECT_EQ(result.stats.examined_routes, 9u);
+  EXPECT_EQ(result.stats.dominated_routes, 0u);
+  EXPECT_EQ(result.stats.reconsidered_routes, 0u);
+}
+
+TEST_F(PaperTraceTest, HubLabelQueriesMatchTableIVExamples) {
+  // Example 3: dis(a, c) = 20 through matching label entries.
+  const HubLabeling& hl = engine_.labeling();
+  EXPECT_EQ(hl.Query(Figure1::a, Figure1::c), 20);
+  // The distances used throughout Table III's costs.
+  EXPECT_EQ(hl.Query(Figure1::s, Figure1::t), 17);
+  EXPECT_EQ(hl.Query(Figure1::c, Figure1::e), 17);
+  EXPECT_EQ(hl.Query(Figure1::b, Figure1::f), 27);
+}
+
+TEST_F(PaperTraceTest, EstimatedCostsOfTableVI) {
+  // Table VI step 3: <s,a> has estimated cost 20, <s,c,b> has 22.
+  const HubLabeling& hl = engine_.labeling();
+  Cost est_sa = hl.Query(Figure1::s, Figure1::a) +
+                hl.Query(Figure1::a, Figure1::t);
+  EXPECT_EQ(est_sa, 20);
+  Cost est_scb = hl.Query(Figure1::s, Figure1::c) +
+                 hl.Query(Figure1::c, Figure1::b) +
+                 hl.Query(Figure1::b, Figure1::t);
+  EXPECT_EQ(est_scb, 22);
+}
+
+TEST_F(PaperTraceTest, FirstResultIdenticalAcrossK) {
+  // The k-th result prefix property: enlarging k must not change earlier
+  // results (the result set is a prefix of the full ranking).
+  KosrQuery q1{Figure1::s, Figure1::t,
+               {Figure1::MA, Figure1::RE, Figure1::CI}, 1};
+  KosrQuery q3 = q1;
+  q3.k = 3;
+  for (Algorithm algo :
+       {Algorithm::kKpne, Algorithm::kPruning, Algorithm::kStar}) {
+    KosrOptions options;
+    options.algorithm = algo;
+    auto r1 = engine_.Query(q1, options);
+    auto r3 = engine_.Query(q3, options);
+    ASSERT_GE(r3.routes.size(), r1.routes.size());
+    EXPECT_EQ(r1.routes[0].witness, r3.routes[0].witness);
+    EXPECT_EQ(r1.routes[0].cost, r3.routes[0].cost);
+  }
+}
+
+TEST_F(PaperTraceTest, ExaminedPerDepthBellShapeOnFigure1) {
+  // Figure 5's qualitative property at toy scale: depth 0 examines exactly
+  // one witness (the source).
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 2};
+  KosrOptions options;
+  options.algorithm = Algorithm::kStar;
+  KosrResult result = engine_.Query(query, options);
+  ASSERT_GE(result.stats.examined_per_depth.size(), 1u);
+  EXPECT_EQ(result.stats.examined_per_depth[0], 1u);
+  // Destination depth examines exactly the k found routes here.
+  ASSERT_EQ(result.stats.examined_per_depth.size(), 5u);
+  EXPECT_EQ(result.stats.examined_per_depth[4], 2u);
+}
+
+}  // namespace
+}  // namespace kosr

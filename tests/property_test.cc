@@ -1,0 +1,151 @@
+// Parameterized property tests: for a sweep of random instances and query
+// shapes, all three algorithms (under both NN backends) must agree with the
+// brute-force reference, and structural invariants must hold.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/engine.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+struct PropertyCase {
+  uint32_t n;
+  uint64_t m;
+  uint32_t num_categories;
+  uint32_t seq_len;
+  uint32_t k;
+  uint64_t seed;
+};
+
+void PrintTo(const PropertyCase& c, std::ostream* os) {
+  *os << "n=" << c.n << " m=" << c.m << " cats=" << c.num_categories
+      << " |C|=" << c.seq_len << " k=" << c.k << " seed=" << c.seed;
+}
+
+class KosrPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(KosrPropertyTest, AllMethodsMatchBruteForceAndInvariantsHold) {
+  const PropertyCase& p = GetParam();
+  auto inst = testing::MakeRandomInstance(p.n, p.m, p.num_categories, p.seed);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+
+  std::mt19937_64 rng(p.seed * 7919 + 13);
+  CategorySequence seq =
+      RandomCategorySequence(inst.categories, p.seq_len, rng);
+  std::uniform_int_distribution<VertexId> pick(0, p.n - 1);
+  VertexId s = pick(rng), t = pick(rng);
+
+  auto expected =
+      testing::BruteForceTopK(inst.graph, inst.categories, s, t, seq, p.k);
+
+  KosrQuery query{s, t, seq, p.k};
+  struct Method {
+    Algorithm algorithm;
+    NnMode nn;
+    const char* name;
+  };
+  const Method methods[] = {
+      {Algorithm::kKpne, NnMode::kHopLabel, "KPNE"},
+      {Algorithm::kPruning, NnMode::kHopLabel, "PK"},
+      {Algorithm::kStar, NnMode::kHopLabel, "SK"},
+      {Algorithm::kKpne, NnMode::kDijkstra, "KPNE-Dij"},
+      {Algorithm::kPruning, NnMode::kDijkstra, "PK-Dij"},
+      {Algorithm::kStar, NnMode::kDijkstra, "SK-Dij"},
+  };
+
+  for (const Method& m : methods) {
+    KosrOptions options;
+    options.algorithm = m.algorithm;
+    options.nn_mode = m.nn;
+    KosrResult result = engine.Query(query, options);
+
+    std::vector<Cost> costs;
+    for (const auto& r : result.routes) costs.push_back(r.cost);
+    EXPECT_EQ(costs, expected) << m.name;
+
+    // Invariants: sorted, feasible witnesses, distinct witnesses.
+    EXPECT_TRUE(std::is_sorted(costs.begin(), costs.end())) << m.name;
+    std::set<std::vector<VertexId>> witnesses;
+    for (const auto& r : result.routes) {
+      EXPECT_TRUE(testing::WitnessFeasible(inst.graph, inst.categories, s, t,
+                                           seq, r.witness, r.cost))
+          << m.name;
+      EXPECT_TRUE(witnesses.insert(r.witness).second)
+          << m.name << ": duplicate witness";
+    }
+    // StarKOSR legitimately examines nothing when t is unreachable from s
+    // (the seed itself is filtered by an infinite estimate).
+    if (!expected.empty()) {
+      EXPECT_GT(result.stats.examined_routes, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KosrPropertyTest,
+    ::testing::Values(
+        // Vary graph size.
+        PropertyCase{20, 80, 3, 2, 3, 1},
+        PropertyCase{40, 200, 3, 2, 3, 2},
+        PropertyCase{70, 400, 3, 2, 3, 3},
+        // Vary sequence length.
+        PropertyCase{40, 240, 6, 1, 4, 4},
+        PropertyCase{40, 240, 6, 3, 4, 5},
+        PropertyCase{40, 240, 6, 4, 4, 6},
+        // Vary k.
+        PropertyCase{35, 210, 4, 2, 1, 7},
+        PropertyCase{35, 210, 4, 2, 8, 8},
+        PropertyCase{35, 210, 4, 2, 20, 9},
+        // Vary category count (bigger = smaller categories).
+        PropertyCase{50, 300, 2, 2, 5, 10},
+        PropertyCase{50, 300, 10, 3, 5, 11},
+        // Sparse, likely-disconnected graphs.
+        PropertyCase{60, 90, 4, 2, 4, 12},
+        PropertyCase{60, 70, 4, 3, 4, 13},
+        // Dense small graph.
+        PropertyCase{15, 160, 3, 3, 10, 14},
+        // More random seeds on a middle shape.
+        PropertyCase{45, 260, 5, 3, 6, 15},
+        PropertyCase{45, 260, 5, 3, 6, 16},
+        PropertyCase{45, 260, 5, 3, 6, 17},
+        PropertyCase{45, 260, 5, 3, 6, 18}));
+
+// Property: on unit-weight graphs (the unweighted variant of Sec. IV-C),
+// costs equal hop counts of the witness legs.
+class UnweightedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnweightedPropertyTest, MethodsAgreeOnSmallWorld) {
+  uint64_t seed = GetParam();
+  Graph g = MakeSmallWorld(80, 2, 2.0, seed);
+  CategoryTable cats(80, 4);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> pick(0, 3);
+  for (VertexId v = 0; v < 80; ++v) cats.Add(v, pick(rng));
+  KosrEngine engine(g, cats);
+  engine.BuildIndexes();
+  CategorySequence seq = {0, 2};
+  auto expected = testing::BruteForceTopK(g, cats, 0, 79, seq, 5);
+  KosrQuery query{0, 79, seq, 5};
+  for (Algorithm algo :
+       {Algorithm::kKpne, Algorithm::kPruning, Algorithm::kStar}) {
+    KosrOptions options;
+    options.algorithm = algo;
+    std::vector<Cost> costs;
+    for (const auto& r : engine.Query(query, options).routes) {
+      costs.push_back(r.cost);
+    }
+    EXPECT_EQ(costs, expected) << static_cast<int>(algo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnweightedPropertyTest,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,178 @@
+// Medium-scale cross-validation on bench-shaped workloads (no brute force:
+// the methods validate each other, which is also how the paper argues
+// correctness of PK/SK against KPNE in Sec. V-B).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/engine.h"
+#include "src/graph/generators.h"
+
+namespace kosr {
+namespace {
+
+class GridStressTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kSide = 40;
+
+  GridStressTest() {
+    Graph graph = MakeGridRoadNetwork(kSide, kSide, /*seed=*/777);
+    CategoryTable cats =
+        CategoryTable::Uniform(graph.num_vertices(), 40, /*seed=*/778);
+    engine_ = std::make_unique<KosrEngine>(std::move(graph), std::move(cats));
+    engine_->BuildIndexes(GridDissectionOrder(kSide, kSide));
+  }
+
+  std::unique_ptr<KosrEngine> engine_;
+};
+
+TEST_F(GridStressTest, MethodsAgreeOnManyRandomQueries) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<VertexId> pick(0, kSide * kSide - 1);
+  uint64_t kpne_total = 0, pk_total = 0, sk_total = 0;
+  for (int round = 0; round < 12; ++round) {
+    KosrQuery query;
+    query.source = pick(rng);
+    query.target = pick(rng);
+    query.sequence =
+        RandomCategorySequence(engine_->categories(), 2 + round % 4, rng);
+    query.k = 1 + round * 2;
+
+    KosrOptions kpne_opt, pk_opt, sk_opt;
+    kpne_opt.algorithm = Algorithm::kKpne;
+    pk_opt.algorithm = Algorithm::kPruning;
+    sk_opt.algorithm = Algorithm::kStar;
+
+    auto kpne = engine_->Query(query, kpne_opt);
+    auto pk = engine_->Query(query, pk_opt);
+    auto sk = engine_->Query(query, sk_opt);
+
+    ASSERT_EQ(pk.routes.size(), kpne.routes.size()) << "round " << round;
+    ASSERT_EQ(sk.routes.size(), kpne.routes.size()) << "round " << round;
+    for (size_t i = 0; i < kpne.routes.size(); ++i) {
+      EXPECT_EQ(pk.routes[i].cost, kpne.routes[i].cost)
+          << "round " << round << " i=" << i;
+      EXPECT_EQ(sk.routes[i].cost, kpne.routes[i].cost)
+          << "round " << round << " i=" << i;
+    }
+    // Per query, PK can examine a handful more witnesses than KPNE because
+    // released dominated routes are examined twice (parked, then re-popped
+    // after a result). The bound that must hold per query includes that
+    // re-examination allowance.
+    EXPECT_LE(pk.stats.examined_routes,
+              kpne.stats.examined_routes + pk.stats.reconsidered_routes +
+                  pk.stats.dominated_routes);
+    kpne_total += kpne.stats.examined_routes;
+    pk_total += pk.stats.examined_routes;
+    sk_total += sk.stats.examined_routes;
+  }
+  // In aggregate the paper's search-space ordering SK < PK <= KPNE holds.
+  EXPECT_LE(pk_total, kpne_total);
+  EXPECT_LT(sk_total, pk_total);
+  EXPECT_LT(sk_total, kpne_total);
+}
+
+TEST_F(GridStressTest, PathReconstructionOnGrid) {
+  std::mt19937_64 rng(123);
+  std::uniform_int_distribution<VertexId> pick(0, kSide * kSide - 1);
+  KosrQuery query;
+  query.source = pick(rng);
+  query.target = pick(rng);
+  query.sequence = RandomCategorySequence(engine_->categories(), 3, rng);
+  query.k = 5;
+  KosrOptions options;
+  options.reconstruct_paths = true;
+  auto result = engine_->Query(query, options);
+  ASSERT_FALSE(result.routes.empty());
+  for (const auto& route : result.routes) {
+    Cost total = 0;
+    for (size_t i = 0; i + 1 < route.path.size(); ++i) {
+      Cost w = engine_->graph().ArcWeight(route.path[i], route.path[i + 1]);
+      ASSERT_LT(w, kInfCost);
+      total += w;
+    }
+    EXPECT_EQ(total, route.cost);
+  }
+}
+
+TEST_F(GridStressTest, DeepSequenceLargeK) {
+  std::mt19937_64 rng(321);
+  KosrQuery query;
+  query.source = 0;
+  query.target = kSide * kSide - 1;
+  query.sequence = RandomCategorySequence(engine_->categories(), 8, rng);
+  query.k = 50;
+  KosrOptions pk_opt, sk_opt;
+  pk_opt.algorithm = Algorithm::kPruning;
+  sk_opt.algorithm = Algorithm::kStar;
+  auto pk = engine_->Query(query, pk_opt);
+  auto sk = engine_->Query(query, sk_opt);
+  ASSERT_EQ(pk.routes.size(), sk.routes.size());
+  ASSERT_EQ(pk.routes.size(), 50u);
+  for (size_t i = 0; i < pk.routes.size(); ++i) {
+    EXPECT_EQ(pk.routes[i].cost, sk.routes[i].cost);
+  }
+}
+
+TEST_F(GridStressTest, DissectionOrderIsPermutation) {
+  auto order = GridDissectionOrder(kSide, kSide);
+  ASSERT_EQ(order.size(), static_cast<size_t>(kSide) * kSide);
+  std::vector<bool> seen(order.size(), false);
+  for (VertexId v : order) {
+    ASSERT_LT(v, order.size());
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  // The first vertex is on the top-level separator (middle row or column).
+  uint32_t mid = kSide / 2;
+  EXPECT_EQ(order[0] / kSide, mid);
+}
+
+TEST_F(GridStressTest, DissectionOrderBeatsDegreeOrderOnLabels) {
+  Graph graph = MakeGridRoadNetwork(24, 24, /*seed=*/5);
+  HubLabeling dissection, degree;
+  dissection.Build(graph, GridDissectionOrder(24, 24));
+  degree.Build(graph);
+  EXPECT_LT(dissection.AvgInLabelSize(), degree.AvgInLabelSize());
+}
+
+class SmallWorldStressTest : public ::testing::Test {
+ protected:
+  SmallWorldStressTest() {
+    Graph graph = MakeSmallWorld(600, 2, 4.0, /*seed=*/888);
+    CategoryTable cats =
+        CategoryTable::Uniform(graph.num_vertices(), 30, /*seed=*/889);
+    engine_ = std::make_unique<KosrEngine>(std::move(graph), std::move(cats));
+    engine_->BuildIndexes();
+  }
+  std::unique_ptr<KosrEngine> engine_;
+};
+
+TEST_F(SmallWorldStressTest, UnitWeightAgreementAcrossMethods) {
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<VertexId> pick(0, 599);
+  for (int round = 0; round < 6; ++round) {
+    KosrQuery query;
+    query.source = pick(rng);
+    query.target = pick(rng);
+    query.sequence = RandomCategorySequence(engine_->categories(), 3, rng);
+    query.k = 10;
+    std::vector<std::vector<Cost>> all;
+    for (Algorithm algo :
+         {Algorithm::kKpne, Algorithm::kPruning, Algorithm::kStar}) {
+      KosrOptions options;
+      options.algorithm = algo;
+      std::vector<Cost> costs;
+      for (const auto& r : engine_->Query(query, options).routes) {
+        costs.push_back(r.cost);
+      }
+      all.push_back(std::move(costs));
+    }
+    EXPECT_EQ(all[0], all[1]) << "round " << round;
+    EXPECT_EQ(all[0], all[2]) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/util/min_heap.h"
+#include "src/util/stats.h"
+#include "src/util/timer.h"
+#include "src/util/zipf.h"
+
+namespace kosr {
+namespace {
+
+TEST(IndexedMinHeapTest, ExtractsInPriorityOrder) {
+  IndexedMinHeap heap(10);
+  heap.InsertOrDecrease(3, 30);
+  heap.InsertOrDecrease(1, 10);
+  heap.InsertOrDecrease(7, 20);
+  EXPECT_EQ(heap.Size(), 3u);
+  EXPECT_EQ(heap.ExtractMin(), (std::pair<Cost, uint32_t>{10, 1}));
+  EXPECT_EQ(heap.ExtractMin(), (std::pair<Cost, uint32_t>{20, 7}));
+  EXPECT_EQ(heap.ExtractMin(), (std::pair<Cost, uint32_t>{30, 3}));
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(IndexedMinHeapTest, DecreaseKeyMovesElementUp) {
+  IndexedMinHeap heap(10);
+  heap.InsertOrDecrease(0, 100);
+  heap.InsertOrDecrease(1, 50);
+  EXPECT_TRUE(heap.InsertOrDecrease(0, 10));
+  EXPECT_EQ(heap.ExtractMin().second, 0u);
+}
+
+TEST(IndexedMinHeapTest, IncreaseIsIgnored) {
+  IndexedMinHeap heap(4);
+  heap.InsertOrDecrease(2, 5);
+  EXPECT_FALSE(heap.InsertOrDecrease(2, 50));
+  EXPECT_EQ(heap.PriorityOf(2), 5);
+}
+
+TEST(IndexedMinHeapTest, ClearResetsMembership) {
+  IndexedMinHeap heap(8);
+  heap.InsertOrDecrease(5, 1);
+  heap.Clear();
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_FALSE(heap.Contains(5));
+  heap.InsertOrDecrease(5, 2);
+  EXPECT_EQ(heap.ExtractMin(), (std::pair<Cost, uint32_t>{2, 5u}));
+}
+
+TEST(IndexedMinHeapTest, RandomizedAgainstStdSort) {
+  std::mt19937_64 rng(42);
+  for (int round = 0; round < 20; ++round) {
+    IndexedMinHeap heap(1000);
+    std::vector<std::pair<Cost, uint32_t>> expected;
+    std::uniform_int_distribution<Cost> cost(0, 1'000'000);
+    for (uint32_t key = 0; key < 200; ++key) {
+      Cost c = cost(rng);
+      heap.InsertOrDecrease(key, c);
+      expected.emplace_back(c, key);
+    }
+    std::sort(expected.begin(), expected.end());
+    for (const auto& [c, key] : expected) {
+      auto [hc, hk] = heap.ExtractMin();
+      EXPECT_EQ(hc, c);
+    }
+    EXPECT_TRUE(heap.Empty());
+  }
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOneAndIsMonotone) {
+  ZipfSampler zipf(100, 0.8);
+  double sum = 0;
+  for (size_t i = 0; i < zipf.pmf().size(); ++i) {
+    sum += zipf.pmf()[i];
+    if (i > 0) {
+      EXPECT_LE(zipf.pmf()[i], zipf.pmf()[i - 1]);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, SkewGrowsWithExponent) {
+  std::mt19937_64 rng(7);
+  auto top_share = [&](double s) {
+    ZipfSampler zipf(50, s);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+      if (zipf.Sample(rng) == 0) ++hits;
+    }
+    return hits / 20000.0;
+  };
+  EXPECT_GT(top_share(1.5), top_share(0.3));
+}
+
+TEST(ZipfSamplerTest, SamplesWithinRange) {
+  ZipfSampler zipf(10, 1.0);
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 10u);
+}
+
+TEST(QueryStatsTest, AccumulateAddsFieldsAndDepths) {
+  QueryStats a, b;
+  a.RecordExamined(0);
+  a.RecordExamined(2);
+  a.nn_queries = 5;
+  b.RecordExamined(2);
+  b.RecordExamined(3);
+  b.nn_queries = 7;
+  a.Accumulate(b);
+  EXPECT_EQ(a.examined_routes, 4u);
+  EXPECT_EQ(a.nn_queries, 12u);
+  ASSERT_EQ(a.examined_per_depth.size(), 4u);
+  EXPECT_EQ(a.examined_per_depth[2], 2u);
+  EXPECT_EQ(a.examined_per_depth[3], 1u);
+}
+
+TEST(QueryStatsTest, OtherTimeNeverNegative) {
+  QueryStats s;
+  s.total_time_s = 1.0;
+  s.nn_time_s = 2.0;  // over-attributed
+  EXPECT_GE(s.OtherTimeSeconds(), 0.0);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sink, 0.0);  // also keeps the loop from being optimized away
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
+}
+
+TEST(StopwatchAccumulatorTest, AccumulatesDisjointIntervals) {
+  StopwatchAccumulator acc;
+  acc.Start();
+  acc.Stop();
+  acc.Start();
+  acc.Stop();
+  EXPECT_GE(acc.TotalSeconds(), 0.0);
+  acc.Clear();
+  EXPECT_EQ(acc.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace kosr

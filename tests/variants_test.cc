@@ -1,0 +1,170 @@
+#include "src/core/variants.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+// Reference for the no-source variant: best costs over all first-category
+// start vertices.
+std::vector<Cost> BruteForceNoSource(const Graph& graph,
+                                     const CategoryTable& cats, VertexId t,
+                                     const CategorySequence& seq, uint32_t k) {
+  testing::DistanceOracle dis(graph);
+  std::vector<Cost> costs;
+  CategorySequence rest(seq.begin() + 1, seq.end());
+  for (VertexId v : cats.Members(seq.front())) {
+    // Reuse the standard brute force with source = v and prepend nothing.
+    auto sub = testing::BruteForceKosrCosts(graph, cats, v, t, rest);
+    costs.insert(costs.end(), sub.begin(), sub.end());
+  }
+  std::sort(costs.begin(), costs.end());
+  if (costs.size() > k) costs.resize(k);
+  return costs;
+}
+
+// Reference for the no-destination variant: route ends at the last category.
+std::vector<Cost> BruteForceNoDestination(const Graph& graph,
+                                          const CategoryTable& cats,
+                                          VertexId s,
+                                          const CategorySequence& seq,
+                                          uint32_t k) {
+  testing::DistanceOracle dis(graph);
+  std::vector<Cost> costs;
+  CategorySequence front(seq.begin(), seq.end() - 1);
+  for (VertexId v : cats.Members(seq.back())) {
+    // Route s -> ... -> v where v covers the last category: equivalent to a
+    // standard query with target v over the remaining prefix.
+    auto sub = testing::BruteForceKosrCosts(graph, cats, s, v, front);
+    costs.insert(costs.end(), sub.begin(), sub.end());
+  }
+  std::sort(costs.begin(), costs.end());
+  if (costs.size() > k) costs.resize(k);
+  return costs;
+}
+
+std::vector<Cost> Costs(const KosrResult& r) {
+  std::vector<Cost> out;
+  for (const auto& route : r.routes) out.push_back(route.cost);
+  return out;
+}
+
+TEST(NoSourceVariantTest, MatchesBruteForceAllAlgorithms) {
+  for (uint64_t seed : {500u, 501u}) {
+    auto inst = testing::MakeRandomInstance(40, 220, 4, seed);
+    KosrEngine engine(inst.graph, inst.categories);
+    engine.BuildIndexes();
+    CategorySequence seq = {0, 2, 3};
+    VertexId t = 37;
+    uint32_t k = 5;
+    auto expected =
+        BruteForceNoSource(inst.graph, inst.categories, t, seq, k);
+    for (Algorithm algo :
+         {Algorithm::kKpne, Algorithm::kPruning, Algorithm::kStar}) {
+      KosrOptions options;
+      options.algorithm = algo;
+      auto result = QueryNoSource(engine, t, seq, k, options);
+      EXPECT_EQ(Costs(result), expected)
+          << "seed=" << seed << " algo=" << static_cast<int>(algo);
+    }
+  }
+}
+
+TEST(NoSourceVariantTest, WitnessStartsInFirstCategory) {
+  auto inst = testing::MakeRandomInstance(30, 160, 3, 502);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  CategorySequence seq = {1, 2};
+  auto result = QueryNoSource(engine, 25, seq, 3);
+  for (const auto& route : result.routes) {
+    ASSERT_EQ(route.witness.size(), seq.size() + 1);  // no source vertex
+    EXPECT_TRUE(inst.categories.Has(route.witness.front(), seq.front()));
+    EXPECT_EQ(route.witness.back(), 25u);
+  }
+}
+
+TEST(NoDestinationVariantTest, MatchesBruteForce) {
+  for (uint64_t seed : {510u, 511u}) {
+    auto inst = testing::MakeRandomInstance(40, 220, 4, seed);
+    KosrEngine engine(inst.graph, inst.categories);
+    engine.BuildIndexes();
+    CategorySequence seq = {1, 0, 3};
+    VertexId s = 2;
+    uint32_t k = 5;
+    auto expected =
+        BruteForceNoDestination(inst.graph, inst.categories, s, seq, k);
+    for (Algorithm algo : {Algorithm::kKpne, Algorithm::kPruning}) {
+      KosrOptions options;
+      options.algorithm = algo;
+      auto result = QueryNoDestination(engine, s, seq, k, options);
+      EXPECT_EQ(Costs(result), expected) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(NoDestinationVariantTest, RejectsStarKosr) {
+  Figure1 fig = MakeFigure1();
+  KosrEngine engine(fig.graph, fig.categories);
+  engine.BuildIndexes();
+  KosrOptions options;
+  options.algorithm = Algorithm::kStar;
+  EXPECT_THROW(
+      QueryNoDestination(engine, Figure1::s, {Figure1::MA}, 1, options),
+      std::invalid_argument);
+}
+
+TEST(NoDestinationVariantTest, Figure1Example) {
+  // Best <MA, RE> route from s without destination:
+  // s->a(8)->b(5) = 13, s->a->e = 14, ...
+  Figure1 fig = MakeFigure1();
+  KosrEngine engine(fig.graph, fig.categories);
+  engine.BuildIndexes();
+  KosrOptions options;
+  options.algorithm = Algorithm::kPruning;
+  auto result = QueryNoDestination(engine, Figure1::s,
+                                   {Figure1::MA, Figure1::RE}, 2, options);
+  ASSERT_EQ(result.routes.size(), 2u);
+  EXPECT_EQ(result.routes[0].cost, 13);
+  EXPECT_EQ(result.routes[1].cost, 14);
+}
+
+TEST(PreferenceFilterTest, RestrictsCategoryMembers) {
+  // "Only restaurant e": routes through b are excluded.
+  Figure1 fig = MakeFigure1();
+  KosrEngine engine(fig.graph, fig.categories);
+  engine.BuildIndexes();
+  KosrQuery query{Figure1::s, Figure1::t,
+                  {Figure1::MA, Figure1::RE, Figure1::CI}, 3};
+  KosrOptions options;
+  options.filter = [](uint32_t slot, VertexId v) {
+    return slot != 2 || v == Figure1::e;  // slot 2 = RE
+  };
+  for (Algorithm algo :
+       {Algorithm::kKpne, Algorithm::kPruning, Algorithm::kStar}) {
+    options.algorithm = algo;
+    auto result = engine.Query(query, options);
+    ASSERT_FALSE(result.routes.empty());
+    EXPECT_EQ(result.routes[0].cost, 21);  // <s,a,e,d,t>
+    for (const auto& route : result.routes) {
+      EXPECT_EQ(route.witness[2], Figure1::e);
+    }
+  }
+}
+
+TEST(PreferenceFilterTest, UnsatisfiableFilterYieldsNothing) {
+  Figure1 fig = MakeFigure1();
+  KosrEngine engine(fig.graph, fig.categories);
+  engine.BuildIndexes();
+  KosrQuery query{Figure1::s, Figure1::t, {Figure1::MA}, 1};
+  KosrOptions options;
+  options.filter = [](uint32_t, VertexId) { return false; };
+  EXPECT_TRUE(engine.Query(query, options).routes.empty());
+}
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,49 @@
+#include "src/algo/witness_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace kosr {
+namespace {
+
+TEST(WitnessPoolTest, AddAndMaterialize) {
+  WitnessPool pool;
+  uint32_t root = pool.Add(10, 0, 0, kNoWitness, 1);
+  uint32_t child = pool.Add(20, 1, 5, root, 1);
+  uint32_t grand = pool.Add(30, 2, 9, child, 2);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.Vertices(grand), (std::vector<VertexId>{10, 20, 30}));
+  EXPECT_EQ(pool.Vertices(root), (std::vector<VertexId>{10}));
+  EXPECT_EQ(pool[grand].cost, 9);
+  EXPECT_EQ(pool[grand].x, 2u);
+}
+
+TEST(WitnessPoolTest, SharedPrefixes) {
+  WitnessPool pool;
+  uint32_t root = pool.Add(1, 0, 0, kNoWitness, 1);
+  uint32_t a = pool.Add(2, 1, 3, root, 1);
+  uint32_t b = pool.Add(3, 1, 4, root, 2);  // sibling shares the root
+  EXPECT_EQ(pool.Vertices(a), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(pool.Vertices(b), (std::vector<VertexId>{1, 3}));
+}
+
+TEST(WitnessPoolTest, AncestorAt) {
+  WitnessPool pool;
+  uint32_t n0 = pool.Add(5, 0, 0, kNoWitness, 1);
+  uint32_t n1 = pool.Add(6, 1, 2, n0, 1);
+  uint32_t n2 = pool.Add(7, 2, 4, n1, 1);
+  uint32_t n3 = pool.Add(8, 3, 6, n2, 1);
+  EXPECT_EQ(pool.AncestorAt(n3, 3), n3);
+  EXPECT_EQ(pool.AncestorAt(n3, 2), n2);
+  EXPECT_EQ(pool.AncestorAt(n3, 1), n1);
+  EXPECT_EQ(pool.AncestorAt(n3, 0), n0);
+}
+
+TEST(WitnessPoolTest, MutableXForReconsideration) {
+  WitnessPool pool;
+  uint32_t id = pool.Add(4, 1, 7, kNoWitness, 3);
+  pool[id].x = kNoX;
+  EXPECT_EQ(pool[id].x, kNoX);
+}
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,14 @@
+// kosr_cli — command-line front end for the library: generate synthetic
+// instances, inspect graphs, build/persist indexes, and answer KOSR queries.
+// Run `kosr_cli help` for usage.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return kosr::cli::RunCli(args, std::cout);
+}
