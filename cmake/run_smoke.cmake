@@ -1,0 +1,21 @@
+# Runs CMD (plus optional ARGS) and fails unless it exits 0 AND its stdout
+# contains the literal MARKER string. Used by the smoke CTest entries.
+if(NOT DEFINED CMD OR NOT DEFINED MARKER)
+  message(FATAL_ERROR "run_smoke.cmake needs -DCMD=... and -DMARKER=...")
+endif()
+
+execute_process(COMMAND ${CMD} ${ARGS}
+  OUTPUT_VARIABLE _stdout
+  ERROR_VARIABLE _stderr
+  RESULT_VARIABLE _exit)
+
+if(NOT _exit EQUAL 0)
+  message(FATAL_ERROR
+    "smoke command '${CMD}' exited with ${_exit}\nstdout:\n${_stdout}\nstderr:\n${_stderr}")
+endif()
+string(FIND "${_stdout}" "${MARKER}" _pos)
+if(_pos EQUAL -1)
+  message(FATAL_ERROR
+    "smoke command '${CMD}' exited 0 but stdout lacks marker '${MARKER}'\nstdout:\n${_stdout}")
+endif()
+message(STATUS "smoke OK: '${MARKER}' found, exit 0")

@@ -1,0 +1,39 @@
+# End-to-end CLI smoke: generate a small grid instance, then answer a KOSR
+# query on it. Each step must exit 0 and print its expected marker.
+if(NOT DEFINED CLI OR NOT DEFINED SCRATCH)
+  message(FATAL_ERROR "smoke_cli_roundtrip.cmake needs -DCLI=... and -DSCRATCH=...")
+endif()
+
+file(REMOVE_RECURSE ${SCRATCH})
+file(MAKE_DIRECTORY ${SCRATCH})
+
+function(run_step marker)
+  execute_process(COMMAND ${CLI} ${ARGN}
+    WORKING_DIRECTORY ${SCRATCH}
+    OUTPUT_VARIABLE _stdout
+    ERROR_VARIABLE _stderr
+    RESULT_VARIABLE _exit)
+  if(NOT _exit EQUAL 0)
+    message(FATAL_ERROR
+      "kosr_cli ${ARGN} exited with ${_exit}\nstdout:\n${_stdout}\nstderr:\n${_stderr}")
+  endif()
+  string(FIND "${_stdout}" "${marker}" _pos)
+  if(_pos EQUAL -1)
+    message(FATAL_ERROR
+      "kosr_cli ${ARGN} exited 0 but stdout lacks marker '${marker}'\nstdout:\n${_stdout}")
+  endif()
+endfunction()
+
+run_step("wrote graph.gr"
+  generate --type grid --rows 16 --cols 16 --seed 7
+  --out graph.gr --categories-out cats.txt --category-size 12)
+
+run_step("vertices: 256"
+  stats --graph graph.gr --categories cats.txt)
+
+run_step("routes:"
+  query --graph graph.gr --categories cats.txt
+  --source 0 --target 255 --sequence 0,1,2 --k 3
+  --algorithm sk --nn hoplabel --paths 1)
+
+message(STATUS "smoke OK: CLI generate -> stats -> query round trip")

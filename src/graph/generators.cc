@@ -10,7 +10,11 @@ std::string Figure1::VertexName(VertexId v) {
   static constexpr const char* kNames[] = {"s", "a", "b", "c",
                                            "d", "e", "f", "t"};
   if (v < 8) return kNames[v];
-  return "?" + std::to_string(v);
+  // Built via insert rather than `"?" + std::to_string(v)`, which trips a
+  // GCC 12 -Wrestrict false positive at -O3 (libstdc++ PR105651).
+  std::string name = std::to_string(v);
+  name.insert(name.begin(), '?');
+  return name;
 }
 
 Figure1 MakeFigure1() {
