@@ -32,6 +32,7 @@
 #include "src/core/query.h"
 #include "src/graph/generators.h"
 #include "src/labeling/disk_store.h"
+#include "src/util/stats.h"
 #include "src/util/timer.h"
 
 namespace kosr::bench {
@@ -180,6 +181,9 @@ struct CellResult {
   double avg_examined = 0;
   double avg_nn_queries = 0;
   QueryStats accumulated;
+  /// Per-query latency distribution — tail percentiles, not just the mean
+  /// (see LatencyHistogram; the serving-layer metrics use the same type).
+  LatencyHistogram latency;
   uint32_t queries_run = 0;
   bool inf = false;  ///< Budget exceeded — the paper prints INF.
 
@@ -187,6 +191,15 @@ struct CellResult {
     if (inf) return "INF";
     char buffer[32];
     std::snprintf(buffer, sizeof(buffer), "%.2f", avg_ms);
+    return buffer;
+  }
+  /// "p50/p95/p99 ms" cell, e.g. "1.21/3.02/3.44".
+  std::string PercentileString() const {
+    if (inf) return "INF";
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.2f/%.2f/%.2f",
+                  latency.P50Millis(), latency.P95Millis(),
+                  latency.P99Millis());
     return buffer;
   }
   std::string CountString(double value) const {
@@ -229,6 +242,7 @@ inline CellResult RunMethodCell(const Workload& w,
     }
     total_ms += result.stats.total_time_s * 1e3;
     cell.accumulated.Accumulate(result.stats);
+    cell.latency.Record(result.stats.total_time_s);
     ++cell.queries_run;
   }
   if (!cell.inf && cell.queries_run > 0) {
@@ -321,7 +335,7 @@ class CellTable {
     return nullptr;
   }
 
-  enum class Metric { kTimeMs, kExamined, kNnQueries };
+  enum class Metric { kTimeMs, kExamined, kNnQueries, kPercentiles };
 
   void Print(Metric metric, const char* metric_name) const {
     PrintHeader(title_.c_str(),
@@ -337,8 +351,10 @@ class CellTable {
           cells.push_back(r->TimeString());
         } else if (metric == Metric::kExamined) {
           cells.push_back(r->CountString(r->avg_examined));
-        } else {
+        } else if (metric == Metric::kNnQueries) {
           cells.push_back(r->CountString(r->avg_nn_queries));
+        } else {
+          cells.push_back(r->PercentileString());
         }
       }
       PrintRow(row, cells);

@@ -80,5 +80,9 @@ int main(int argc, char** argv) {
                              "Fig 3(b) # examined routes");
   kosr::bench::Table().Print(CT::Metric::kNnQueries,
                              "Fig 3(c) # NN queries");
+  // Tail behavior per cell (not a paper artifact — the mean in Fig 3(a)
+  // hides stragglers; the serving layer cares about the tail).
+  kosr::bench::Table().Print(CT::Metric::kPercentiles,
+                             "query time p50/p95/p99 (ms)");
   return 0;
 }

@@ -1,0 +1,238 @@
+// Open-loop throughput benchmark for the serving layer (ISSUE 2).
+//
+// Replays a Zipf-skewed mix of KOSR queries against a KosrService at a
+// fixed offered rate (open loop: arrivals do not wait for completions, so
+// queue growth and backpressure are visible), twice over the same request
+// stream — a cold-cache phase and a warm-cache phase — and emits a JSON
+// report with achieved QPS, per-method p50/p95/p99, and cache hit rates.
+//
+// Standalone binary (no google-benchmark dependency): the open-loop clock
+// is the experiment, not iteration timing.
+//
+// Flags (all optional):
+//   --requests N   requests per phase      (default 600 * KOSR_BENCH_SCALE)
+//   --rate QPS     offered arrival rate    (default 200)
+//   --pool P       distinct queries        (default = --requests, so the
+//                  cold phase has a real miss stream to measure against)
+//   --zipf S       Zipf exponent over the pool (default 0.8)
+//   --workers W    service worker threads  (default 4)
+//   --queue Q      queue capacity          (default 512)
+//   --cache C      cache capacity          (default 1024; 0 disables)
+//   --seed X       workload/mix seed       (default 7)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/service/metrics.h"
+#include "src/service/service.h"
+#include "src/util/stats.h"
+#include "src/util/zipf.h"
+
+namespace kosr::bench {
+namespace {
+
+using service::KosrService;
+using service::ServiceConfig;
+using service::ServiceRequest;
+using service::ServiceResponse;
+using service::ResponseStatus;
+
+struct Options {
+  uint32_t requests = 0;
+  double rate = 200;
+  uint32_t pool = 0;  ///< 0 = match `requests`.
+  double zipf_s = 0.8;
+  uint32_t workers = 4;
+  size_t queue_capacity = 512;
+  size_t cache_capacity = 1024;
+  uint64_t seed = 7;
+};
+
+// std::stoul would silently wrap "-1" to a huge count (and --workers -1
+// would then try to spawn ~4 billion threads); parse signed and reject.
+uint64_t ParseCount(const std::string& value, const std::string& flag) {
+  long long parsed = 0;
+  try {
+    parsed = std::stoll(value);
+  } catch (const std::exception&) {
+    parsed = -1;
+  }
+  if (parsed < 0) {
+    std::fprintf(stderr, "%s wants a non-negative integer, got %s\n",
+                 flag.c_str(), value.c_str());
+    std::exit(1);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  double scale = WorkloadScale();
+  opt.requests = std::max(50u, static_cast<uint32_t>(600 * scale));
+  opt.pool = 0;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    std::string value = argv[i + 1];
+    if (flag == "--requests") {
+      opt.requests = static_cast<uint32_t>(ParseCount(value, flag));
+    } else if (flag == "--rate") {
+      opt.rate = std::stod(value);
+    } else if (flag == "--pool") {
+      opt.pool = static_cast<uint32_t>(ParseCount(value, flag));
+    } else if (flag == "--zipf") {
+      opt.zipf_s = std::stod(value);
+    } else if (flag == "--workers") {
+      opt.workers = static_cast<uint32_t>(ParseCount(value, flag));
+    } else if (flag == "--queue") {
+      opt.queue_capacity = ParseCount(value, flag);
+    } else if (flag == "--cache") {
+      opt.cache_capacity = ParseCount(value, flag);
+    } else if (flag == "--seed") {
+      opt.seed = ParseCount(value, flag);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      std::exit(1);
+    }
+  }
+  if (opt.requests == 0 || opt.rate <= 0) {
+    std::fprintf(stderr, "--requests and --rate must be positive\n");
+    std::exit(1);
+  }
+  if (opt.pool == 0) opt.pool = opt.requests;
+  return opt;
+}
+
+struct PhaseReport {
+  double wall_s = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  std::map<std::string, LatencyHistogram> per_method;
+
+  std::string ToJson() const {
+    std::ostringstream os;
+    double qps = wall_s > 0 ? completed / wall_s : 0;
+    double hit_rate =
+        completed > 0 ? static_cast<double>(cache_hits) / completed : 0;
+    os << "{\"wall_s\":" << wall_s << ",\"achieved_qps\":" << qps
+       << ",\"completed\":" << completed << ",\"rejected\":" << rejected
+       << ",\"errors\":" << errors << ",\"cache_hits\":" << cache_hits
+       << ",\"cache_hit_rate\":" << hit_rate << ",\"methods\":{";
+    bool first = true;
+    for (const auto& [name, histogram] : per_method) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << name << "\":" << histogram.SummaryJson();
+    }
+    os << "}}";
+    return os.str();
+  }
+};
+
+/// Replays the request stream open-loop: request i is submitted at
+/// start + i/rate regardless of earlier completions.
+PhaseReport RunPhase(KosrService& service,
+                     const std::vector<ServiceRequest>& stream, double rate) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(stream.size());
+  auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / rate));
+  WallTimer wall;
+  Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    std::this_thread::sleep_until(start + period * i);
+    futures.push_back(service.SubmitAsync(stream[i]));
+  }
+  PhaseReport report;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ServiceResponse response = futures[i].get();
+    switch (response.status) {
+      case ResponseStatus::kOk: {
+        ++report.completed;
+        if (response.cache_hit) ++report.cache_hits;
+        const KosrOptions& options = stream[i].options;
+        report.per_method[service::MethodName(options.algorithm,
+                                              options.nn_mode)]
+            .Record(response.latency_s);
+        break;
+      }
+      case ResponseStatus::kRejected:
+        ++report.rejected;
+        break;
+      default:
+        ++report.errors;
+        break;
+    }
+  }
+  report.wall_s = wall.ElapsedSeconds();
+  return report;
+}
+
+int Main(int argc, char** argv) {
+  Options opt = ParseOptions(argc, argv);
+
+  // CAL-analog grid workload; pool of distinct queries replayed with
+  // Zipf-skewed popularity (popular queries repeat -> cacheable traffic).
+  Workload workload = MakeGridWorkload("CAL", 64, 48, opt.seed + 100);
+  std::vector<KosrQuery> pool =
+      MakeQueries(workload, /*seq_len=*/3, /*k=*/4, opt.pool, opt.seed + 1);
+
+  std::mt19937_64 rng(opt.seed);
+  ZipfSampler sampler(opt.pool, opt.zipf_s);
+  std::uniform_real_distribution<double> method_pick(0.0, 1.0);
+  std::vector<ServiceRequest> stream;
+  stream.reserve(opt.requests);
+  for (uint32_t i = 0; i < opt.requests; ++i) {
+    ServiceRequest request;
+    request.query = pool[sampler.Sample(rng)];
+    // 80/20 StarKOSR/PruningKOSR mix, both over hop labels.
+    request.options.algorithm = method_pick(rng) < 0.8 ? Algorithm::kStar
+                                                       : Algorithm::kPruning;
+    stream.push_back(std::move(request));
+  }
+
+  ServiceConfig config;
+  config.num_workers = opt.workers;
+  config.queue_capacity = opt.queue_capacity;
+  config.cache_capacity = opt.cache_capacity;
+  KosrService service(std::move(*workload.engine), config);
+
+  PhaseReport cold = RunPhase(service, stream, opt.rate);
+  std::string cold_metrics = service.MetricsJson();
+  service.ResetMetrics();  // Phase boundary: keep the warm snapshot pure.
+  PhaseReport warm = RunPhase(service, stream, opt.rate);
+  std::string warm_metrics = service.MetricsJson();
+
+  std::ostringstream os;
+  os << "{\"bench\":\"service_throughput\",\"workload\":{\"graph\":\""
+     << workload.name << "\",\"pool\":" << opt.pool
+     << ",\"zipf_s\":" << opt.zipf_s << ",\"seq_len\":3,\"k\":4"
+     << ",\"requests_per_phase\":" << opt.requests
+     << ",\"offered_qps\":" << opt.rate << "},\"service\":{\"workers\":"
+     << service.num_workers() << ",\"queue_capacity\":" << opt.queue_capacity
+     << ",\"cache_capacity\":" << opt.cache_capacity
+     << "},\"phases\":{\"cold\":" << cold.ToJson()
+     << ",\"warm\":" << warm.ToJson()
+     // Server-side view per phase (cache counters are cumulative — the
+     // cache itself is deliberately not reset at the boundary).
+     << "},\"service_metrics\":{\"cold\":" << cold_metrics
+     << ",\"warm\":" << warm_metrics << "}}";
+  std::printf("%s\n", os.str().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace kosr::bench
+
+int main(int argc, char** argv) { return kosr::bench::Main(argc, argv); }

@@ -1,0 +1,81 @@
+# End-to-end serving-layer smoke: generate a grid instance, persist an
+# index snapshot with build-index, then pipe a protocol script through
+# `kosr_cli serve` and check the response markers (ISSUE 2 satellite).
+if(NOT DEFINED CLI OR NOT DEFINED SCRATCH)
+  message(FATAL_ERROR "smoke_serve.cmake needs -DCLI=... and -DSCRATCH=...")
+endif()
+
+file(REMOVE_RECURSE ${SCRATCH})
+file(MAKE_DIRECTORY ${SCRATCH})
+
+function(run_step marker)
+  execute_process(COMMAND ${CLI} ${ARGN}
+    WORKING_DIRECTORY ${SCRATCH}
+    OUTPUT_VARIABLE _stdout
+    ERROR_VARIABLE _stderr
+    RESULT_VARIABLE _exit)
+  if(NOT _exit EQUAL 0)
+    message(FATAL_ERROR
+      "kosr_cli ${ARGN} exited with ${_exit}\nstdout:\n${_stdout}\nstderr:\n${_stderr}")
+  endif()
+  string(FIND "${_stdout}" "${marker}" _pos)
+  if(_pos EQUAL -1)
+    message(FATAL_ERROR
+      "kosr_cli ${ARGN} exited 0 but stdout lacks marker '${marker}'\nstdout:\n${_stdout}")
+  endif()
+endfunction()
+
+run_step("wrote graph.gr"
+  generate --type grid --rows 16 --cols 16 --seed 7
+  --out graph.gr --categories-out cats.txt --category-size 12)
+
+run_step("wrote index snapshot"
+  build-index --graph graph.gr --categories cats.txt --indexes-out idx.bin)
+
+# Protocol script: two identical queries (the second must be a cache hit),
+# a different method, each dynamic-update entry point, metrics, and QUIT.
+file(WRITE ${SCRATCH}/requests.txt
+"# smoke_serve protocol script
+PING
+QUERY 0 255 0,1,2 3
+QUERY 0 255 0,1,2 3
+QUERY 0 255 0,1,2 3 pk
+ADD_CAT 5 0
+REMOVE_CAT 5 0
+ADD_EDGE 0 255 1
+QUERY 0 255 0,1,2 3
+METRICS
+QUIT
+")
+
+execute_process(
+  COMMAND ${CLI} serve --graph graph.gr --categories cats.txt
+    --indexes idx.bin --workers 2 --queue-capacity 16 --cache-capacity 64
+  WORKING_DIRECTORY ${SCRATCH}
+  INPUT_FILE ${SCRATCH}/requests.txt
+  OUTPUT_VARIABLE _stdout
+  ERROR_VARIABLE _stderr
+  RESULT_VARIABLE _exit)
+if(NOT _exit EQUAL 0)
+  message(FATAL_ERROR
+    "kosr_cli serve exited with ${_exit}\nstdout:\n${_stdout}\nstderr:\n${_stderr}")
+endif()
+
+foreach(_marker
+    "ready workers=2"
+    "OK PONG"
+    "OK ROUTES n=3"
+    "cached=1"
+    "OK UPDATED"
+    "OK METRICS {\"uptime_s\""
+    "\"hits\":"
+    "OK BYE"
+    "served 10 requests")
+  string(FIND "${_stdout}" "${_marker}" _pos)
+  if(_pos EQUAL -1)
+    message(FATAL_ERROR
+      "serve output lacks marker '${_marker}'\nstdout:\n${_stdout}")
+  endif()
+endforeach()
+
+message(STATUS "smoke OK: generate -> build-index -> serve protocol round trip")

@@ -1,6 +1,8 @@
 #include "src/cli/cli.h"
 
+#include <cmath>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,6 +10,8 @@
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
 #include "src/labeling/compressed_io.h"
+#include "src/service/protocol.h"
+#include "src/service/service.h"
 #include "src/util/timer.h"
 
 namespace kosr::cli {
@@ -25,10 +29,18 @@ Commands:
   stats        --graph graph.gr [--categories cats.txt --num-categories N]
   build-index  --graph graph.gr --categories cats.txt --num-categories N
                --out store_dir [--order degree|dissection --rows R --cols C]
-               [--compressed-out labels.bin]
+               [--compressed-out labels.bin] [--indexes-out snapshot.bin]
   query        --graph graph.gr --categories cats.txt --num-categories N
                --source S --target T --sequence c1,c2,... [--k K]
                [--algorithm kpne|pk|sk] [--nn hoplabel|dijkstra] [--paths 1]
+  serve        --graph graph.gr --categories cats.txt [--num-categories N]
+               [--indexes snapshot.bin] [--order degree|dissection
+               --rows R --cols C] [--workers W] [--queue-capacity Q]
+               [--cache-capacity C] [--cache-shards S]
+               [--time-budget S (per-query seconds, default 30, 0=unlimited)]
+               then speaks the newline request/response protocol on
+               stdin/stdout (QUERY/ADD_CAT/REMOVE_CAT/ADD_EDGE/METRICS/
+               PING/QUIT; see README.md for the grammar)
   help         this text
 )";
 
@@ -182,6 +194,74 @@ int CmdBuildIndex(const Args& args, std::ostream& out) {
         << "plain would be "
         << engine.labeling().IndexBytes() / 1048576.0 << " MB)\n";
   }
+  if (auto snapshot = args.Get("indexes-out")) {
+    std::ofstream file(*snapshot, std::ios::binary);
+    if (!file) throw std::runtime_error("cannot write " + *snapshot);
+    engine.SaveIndexes(file);
+    out << "wrote index snapshot to " << *snapshot << "\n";
+  }
+  return 0;
+}
+
+int CmdServe(const Args& args, std::istream& in, std::ostream& out) {
+  KosrEngine engine = LoadEngine(args);
+  if (auto snapshot = args.Get("indexes")) {
+    std::ifstream file(*snapshot, std::ios::binary);
+    if (!file) throw std::runtime_error("cannot open " + *snapshot);
+    engine.LoadIndexes(file);
+  } else {
+    BuildWithRequestedOrder(args, engine);
+  }
+
+  // Reject negatives before the unsigned casts: --workers -1 would
+  // otherwise ask for ~4 billion threads, --queue-capacity -1 would make
+  // the "bounded" queue unbounded.
+  long long workers = args.GetIntOr("workers", 0);
+  long long queue_capacity = args.GetIntOr("queue-capacity", 256);
+  long long cache_capacity = args.GetIntOr("cache-capacity", 1024);
+  long long cache_shards = args.GetIntOr("cache-shards", 8);
+  if (workers < 0) throw std::invalid_argument("--workers must be >= 0");
+  if (queue_capacity <= 0) {
+    throw std::invalid_argument("--queue-capacity must be positive");
+  }
+  if (cache_capacity < 0) {
+    throw std::invalid_argument("--cache-capacity must be >= 0 (0 disables)");
+  }
+  if (cache_shards <= 0) {
+    throw std::invalid_argument("--cache-shards must be positive");
+  }
+  // Untrusted stdin can ask for arbitrarily expensive queries; cap each by
+  // default so one pathological request cannot wedge the process. Strict
+  // parse: "nan" would sail past the < 0 check and silently disable the
+  // cap (NaN comparisons are false), "30x" would silently drop the tail.
+  std::string budget_text = args.GetOr("time-budget", "30");
+  double time_budget = 0;
+  size_t consumed = 0;
+  try {
+    time_budget = std::stod(budget_text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != budget_text.size() || !std::isfinite(time_budget) ||
+      time_budget < 0) {
+    throw std::invalid_argument(
+        "--time-budget must be a finite number >= 0 (0 = unlimited), got " +
+        budget_text);
+  }
+  service::ServiceConfig config;
+  config.num_workers = static_cast<uint32_t>(workers);
+  config.queue_capacity = static_cast<size_t>(queue_capacity);
+  config.cache_capacity = static_cast<size_t>(cache_capacity);
+  config.cache_shards = static_cast<size_t>(cache_shards);
+  config.default_time_budget_s = time_budget;
+
+  service::KosrService service(std::move(engine), config);
+  out << "ready workers=" << service.num_workers()
+      << " queue=" << config.queue_capacity
+      << " cache=" << service.cache().capacity() << "\n"
+      << std::flush;
+  uint64_t handled = service::RunServeLoop(service, in, out);
+  out << "served " << handled << " requests\n";
   return 0;
 }
 
@@ -292,18 +372,13 @@ Args ParseArgs(const std::vector<std::string>& argv) {
 }
 
 std::vector<uint32_t> ParseSequence(const std::string& text) {
-  if (text.empty()) throw std::invalid_argument("empty --sequence");
-  std::vector<uint32_t> out;
-  std::istringstream in(text);
-  std::string part;
-  while (std::getline(in, part, ',')) {
-    if (part.empty()) throw std::invalid_argument("bad --sequence: " + text);
-    out.push_back(static_cast<uint32_t>(std::stoul(part)));
-  }
-  return out;
+  // One strict parser for both front-ends: digits only, so "-1" is
+  // rejected instead of wrapping to 4294967295.
+  return service::ParseCategorySequence(text);
 }
 
-int RunCli(const std::vector<std::string>& argv, std::ostream& out) {
+int RunCli(const std::vector<std::string>& argv, std::istream& in,
+           std::ostream& out) {
   Args args;
   try {
     args = ParseArgs(argv);
@@ -320,6 +395,7 @@ int RunCli(const std::vector<std::string>& argv, std::ostream& out) {
     if (args.command == "stats") return CmdStats(args, out);
     if (args.command == "build-index") return CmdBuildIndex(args, out);
     if (args.command == "query") return CmdQuery(args, out);
+    if (args.command == "serve") return CmdServe(args, in, out);
     out << "error: unknown command '" << args.command << "'\n" << kUsage;
     return 1;
   } catch (const std::invalid_argument& e) {
@@ -329,6 +405,10 @@ int RunCli(const std::vector<std::string>& argv, std::ostream& out) {
     out << "error: " << e.what() << "\n";
     return 2;
   }
+}
+
+int RunCli(const std::vector<std::string>& argv, std::ostream& out) {
+  return RunCli(argv, std::cin, out);
 }
 
 }  // namespace kosr::cli

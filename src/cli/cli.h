@@ -1,9 +1,9 @@
 #ifndef KOSR_CLI_CLI_H_
 #define KOSR_CLI_CLI_H_
 
+#include <iosfwd>
 #include <map>
 #include <optional>
-#include <ostream>
 #include <string>
 #include <vector>
 
@@ -30,16 +30,24 @@ Args ParseArgs(const std::vector<std::string>& argv);
 /// Parses a comma-separated category sequence, e.g. "3,1,4".
 std::vector<uint32_t> ParseSequence(const std::string& text);
 
-/// Runs a CLI invocation, writing human-readable output to `out`.
+/// Runs a CLI invocation, writing human-readable output to `out` and (for
+/// the `serve` subcommand) reading protocol requests from `in`.
 /// Returns a process exit code (0 success, 1 usage error, 2 runtime error).
 ///
 /// Subcommands:
 ///   generate     synthesize a graph + categories to files
 ///   stats        print graph/category statistics
 ///   build-index  build hub-label indexes and persist them (plain disk
-///                store layout and/or compressed labeling)
+///                store layout, compressed labeling, and/or a bulk
+///                snapshot for `serve --indexes`)
 ///   query        answer a KOSR query (optionally from a prebuilt store)
+///   serve        long-lived query service speaking the newline protocol
+///                of src/service/protocol.h over in/out
 ///   help         usage text
+int RunCli(const std::vector<std::string>& argv, std::istream& in,
+           std::ostream& out);
+
+/// Convenience overload: `serve` reads from std::cin.
 int RunCli(const std::vector<std::string>& argv, std::ostream& out);
 
 }  // namespace kosr::cli

@@ -27,15 +27,18 @@ BatchResult RunQueryBatch(const KosrEngine& engine,
     }
   } else {
     std::atomic<size_t> next{0};
+    std::atomic<bool> stop{false};
     std::exception_ptr first_error;
     std::mutex error_mutex;
     auto worker = [&] {
       for (;;) {
+        if (stop.load(std::memory_order_relaxed)) return;
         size_t i = next.fetch_add(1);
         if (i >= queries.size()) return;
         try {
           batch.results[i] = engine.Query(queries[i], options);
         } catch (...) {
+          stop.store(true, std::memory_order_relaxed);
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
           return;
@@ -51,6 +54,7 @@ BatchResult RunQueryBatch(const KosrEngine& engine,
   batch.wall_seconds = timer.ElapsedSeconds();
   for (const KosrResult& r : batch.results) {
     batch.aggregate.Accumulate(r.stats);
+    batch.latencies.Record(r.stats.total_time_s);
   }
   return batch;
 }

@@ -15,11 +15,18 @@ struct BatchResult {
   std::vector<KosrResult> results;  ///< One per query, input order.
   double wall_seconds = 0;          ///< End-to-end batch wall time.
   QueryStats aggregate;             ///< Element-wise sum over all queries.
+  /// Per-query total-time distribution, so callers can report p50/p95/p99
+  /// and not just the mean (tail latency is what a serving layer cares
+  /// about; the mean hides stragglers).
+  LatencyHistogram latencies;
 
   double AvgQueryMillis() const {
     return results.empty() ? 0
                            : aggregate.total_time_s * 1e3 / results.size();
   }
+  double P50QueryMillis() const { return latencies.P50Millis(); }
+  double P95QueryMillis() const { return latencies.P95Millis(); }
+  double P99QueryMillis() const { return latencies.P99Millis(); }
 };
 
 /// Answers a batch of KOSR queries, optionally in parallel.
@@ -28,6 +35,11 @@ struct BatchResult {
 /// so concurrent queries share only the immutable graph and indexes; this
 /// executor simply shards the batch over `num_threads` workers.
 /// `num_threads` = 0 picks the hardware concurrency; 1 runs inline.
+///
+/// If any query throws, the first exception is rethrown after all workers
+/// stop; a shared stop flag makes the remaining workers abandon the batch
+/// promptly instead of draining it. Slots the workers never reached are
+/// left default-constructed (empty routes, zeroed stats).
 BatchResult RunQueryBatch(const KosrEngine& engine,
                           const std::vector<KosrQuery>& queries,
                           const KosrOptions& options = {},

@@ -32,6 +32,10 @@ void ValidateQuery(const KosrQuery& query, const CategoryTable& categories) {
   if (query.source == kInvalidVertex || query.target == kInvalidVertex) {
     throw std::invalid_argument("query needs a source and a target");
   }
+  if (query.source >= categories.num_vertices() ||
+      query.target >= categories.num_vertices()) {
+    throw std::invalid_argument("source/target outside the vertex universe");
+  }
   if (query.k == 0) throw std::invalid_argument("k must be positive");
   for (CategoryId c : query.sequence) {
     if (c >= categories.num_categories()) {
@@ -122,7 +126,12 @@ KosrResult KosrEngine::Query(const KosrQuery& query,
     throw std::logic_error("BuildIndexes() must run before hop-label queries");
   }
   std::vector<const InvertedLabelIndex*> slot_indexes;
-  for (CategoryId c : query.sequence) slot_indexes.push_back(&inverted_[c]);
+  if (options.nn_mode == NnMode::kHopLabel) {
+    // Dijkstra-mode providers never read the slot indexes, and inverted_
+    // may be empty (indexes not built) — taking &inverted_[c] there would
+    // bind a reference into an empty vector.
+    for (CategoryId c : query.sequence) slot_indexes.push_back(&inverted_[c]);
+  }
   KosrResult result = RunQueryWithIndexes(graph_, categories_, labeling_,
                                           slot_indexes, query, options);
   if (options.reconstruct_paths) {

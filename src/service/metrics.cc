@@ -1,0 +1,76 @@
+#include "src/service/metrics.h"
+
+#include <sstream>
+
+namespace kosr::service {
+
+const char* MethodName(Algorithm algorithm, NnMode nn_mode) {
+  bool dij = nn_mode == NnMode::kDijkstra;
+  switch (algorithm) {
+    case Algorithm::kKpne:
+      return dij ? "KPNE-Dij" : "KPNE";
+    case Algorithm::kPruning:
+      return dij ? "PK-Dij" : "PK";
+    case Algorithm::kStar:
+      return dij ? "SK-Dij" : "SK";
+  }
+  return "?";
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"uptime_s\":" << uptime_s << ",\"submitted\":" << submitted
+     << ",\"completed\":" << completed << ",\"rejected\":" << rejected
+     << ",\"errors\":" << errors << ",\"qps\":" << qps << ",\"cache\":{"
+     << "\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
+     << ",\"insertions\":" << cache.insertions
+     << ",\"evictions\":" << cache.evictions
+     << ",\"invalidations\":" << cache.invalidations
+     << ",\"hit_rate\":" << cache.HitRate() << "},\"methods\":{";
+  bool first = true;
+  for (const auto& [name, histogram] : per_method) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << histogram.SummaryJson();
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::RecordCompleted(Algorithm algorithm, NnMode nn_mode,
+                                      double latency_seconds) {
+  completed_.fetch_add(1, kRelaxed);
+  std::lock_guard<std::mutex> lock(histogram_mutex_);
+  per_method_
+      .try_emplace(MethodName(algorithm, nn_mode),
+                   LatencyHistogram(kMaxSamplesPerMethod))
+      .first->second.Record(latency_seconds);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(const CacheStats& cache) const {
+  MetricsSnapshot snap;
+  // The uptime clock is restarted by Reset() under the same mutex; read it
+  // inside the lock so a concurrent Metrics()/Reset() pair does not race.
+  std::lock_guard<std::mutex> lock(histogram_mutex_);
+  snap.uptime_s = uptime_.ElapsedSeconds();
+  snap.submitted = submitted_.load(kRelaxed);
+  snap.completed = completed_.load(kRelaxed);
+  snap.rejected = rejected_.load(kRelaxed);
+  snap.errors = errors_.load(kRelaxed);
+  snap.qps = snap.uptime_s > 0 ? snap.completed / snap.uptime_s : 0;
+  snap.cache = cache;
+  snap.per_method = per_method_;
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  submitted_.store(0, kRelaxed);
+  completed_.store(0, kRelaxed);
+  rejected_.store(0, kRelaxed);
+  errors_.store(0, kRelaxed);
+  std::lock_guard<std::mutex> lock(histogram_mutex_);
+  per_method_.clear();
+  uptime_.Reset();
+}
+
+}  // namespace kosr::service

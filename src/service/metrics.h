@@ -1,0 +1,77 @@
+#ifndef KOSR_SERVICE_METRICS_H_
+#define KOSR_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/core/query.h"
+#include "src/service/result_cache.h"
+#include "src/util/stats.h"
+#include "src/util/timer.h"
+
+namespace kosr::service {
+
+/// Canonical method name for an (algorithm, NN mode) pair, matching the
+/// paper's naming used across the benches: SK, PK, KPNE, SK-Dij, ...
+const char* MethodName(Algorithm algorithm, NnMode nn_mode);
+
+/// Frozen view of the registry, taken under the lock.
+struct MetricsSnapshot {
+  double uptime_s = 0;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t errors = 0;
+  double qps = 0;  ///< completed / uptime.
+  CacheStats cache;
+  /// End-to-end (enqueue -> response) latency per method name. Cache hits
+  /// are included: the service-level percentiles are what a client sees.
+  std::map<std::string, LatencyHistogram> per_method;
+
+  std::string ToJson() const;
+};
+
+/// Aggregates service-level counters and per-method latency histograms.
+/// Counter bumps are atomic; histogram writes take a mutex (they are off
+/// the query's critical path — recorded once per completed request).
+/// Memory is bounded for arbitrarily long uptimes: each per-method
+/// histogram caps its retained samples at kMaxSamplesPerMethod (uniform
+/// reservoir — count/mean stay exact, percentiles become estimates once a
+/// method exceeds the cap).
+class MetricsRegistry {
+ public:
+  /// 64Ki doubles = 512 KiB per method; also bounds the sort cost of a
+  /// METRICS snapshot.
+  static constexpr size_t kMaxSamplesPerMethod = 1 << 16;
+  void RecordSubmitted() { submitted_.fetch_add(1, kRelaxed); }
+  void RecordRejected() { rejected_.fetch_add(1, kRelaxed); }
+  void RecordError() { errors_.fetch_add(1, kRelaxed); }
+  void RecordCompleted(Algorithm algorithm, NnMode nn_mode,
+                       double latency_seconds);
+
+  /// Snapshot including the cache's counters (the cache lives beside the
+  /// registry in the service; passing it in keeps this class standalone).
+  MetricsSnapshot Snapshot(const CacheStats& cache) const;
+
+  /// Zeroes counters and histograms and restarts the uptime clock; the
+  /// throughput bench uses this between its cold and warm phases.
+  void Reset();
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> errors_{0};
+  mutable std::mutex histogram_mutex_;
+  std::map<std::string, LatencyHistogram> per_method_;
+  WallTimer uptime_;
+};
+
+}  // namespace kosr::service
+
+#endif  // KOSR_SERVICE_METRICS_H_

@@ -1,0 +1,183 @@
+#include "src/service/protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace kosr::service {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+// Every numeric protocol field is a 32-bit id/count. Digits only: signs
+// would otherwise wrap through std::stoull and execute (e.g. a weight of
+// "-5" becoming ~4 billion) instead of being rejected.
+uint32_t ParseU32(const std::string& token, const char* what) {
+  bool digits = !token.empty() &&
+                std::all_of(token.begin(), token.end(), [](unsigned char ch) {
+                  return std::isdigit(ch) != 0;
+                });
+  unsigned long long value = 0;
+  if (digits) {
+    try {
+      value = std::stoull(token);
+    } catch (const std::exception&) {
+      digits = false;  // Out of range for unsigned long long.
+    }
+  }
+  if (!digits || value > std::numeric_limits<uint32_t>::max()) {
+    throw std::invalid_argument(std::string("bad ") + what + ": " + token);
+  }
+  return static_cast<uint32_t>(value);
+}
+
+std::string HandleQuery(KosrService& service,
+                        const std::vector<std::string>& tokens) {
+  if (tokens.size() < 5 || tokens.size() > 6) {
+    return "ERR QUERY wants: QUERY <source> <target> <c1,c2,...> <k> "
+           "[<method>]";
+  }
+  ServiceRequest request;
+  request.query.source = ParseU32(tokens[1], "source");
+  request.query.target = ParseU32(tokens[2], "target");
+  request.query.sequence = ParseCategorySequence(tokens[3]);
+  request.query.k = ParseU32(tokens[4], "k");
+  if (tokens.size() == 6 &&
+      !ParseMethod(tokens[5], &request.options.algorithm,
+                   &request.options.nn_mode)) {
+    return "ERR unknown method: " + tokens[5];
+  }
+
+  ServiceResponse response = service.Submit(request);
+  switch (response.status) {
+    case ResponseStatus::kRejected:
+      return "REJECTED " + response.error;
+    case ResponseStatus::kShutdown:
+      return "ERR service stopped";
+    case ResponseStatus::kError:
+      return "ERR " + response.error;
+    case ResponseStatus::kOk:
+      break;
+  }
+  std::ostringstream os;
+  os << "OK ROUTES n=" << response.result.routes.size() << " costs=";
+  for (size_t i = 0; i < response.result.routes.size(); ++i) {
+    if (i > 0) os << ',';
+    os << response.result.routes[i].cost;
+  }
+  os << " cached=" << (response.cache_hit ? 1 : 0)
+     << " ms=" << response.latency_s * 1e3;
+  // A budget-truncated answer may be partial/suboptimal; the client must
+  // be able to tell it from a complete one (the cache already refuses it).
+  if (response.result.stats.timed_out) os << " truncated=1";
+  return os.str();
+}
+
+std::string HandleUpdate(KosrService& service,
+                         const std::vector<std::string>& tokens) {
+  const std::string& cmd = tokens[0];
+  if (cmd == "ADD_EDGE") {
+    if (tokens.size() != 4) return "ERR ADD_EDGE wants: ADD_EDGE <u> <v> <w>";
+    service.AddOrDecreaseEdge(ParseU32(tokens[1], "u"),
+                              ParseU32(tokens[2], "v"),
+                              ParseU32(tokens[3], "w"));
+    return "OK UPDATED";
+  }
+  if (tokens.size() != 3) {
+    return "ERR " + cmd + " wants: " + cmd + " <vertex> <category>";
+  }
+  VertexId v = ParseU32(tokens[1], "vertex");
+  CategoryId c = ParseU32(tokens[2], "category");
+  if (cmd == "ADD_CAT") {
+    service.AddVertexCategory(v, c);
+  } else {
+    service.RemoveVertexCategory(v, c);
+  }
+  return "OK UPDATED";
+}
+
+}  // namespace
+
+CategorySequence ParseCategorySequence(const std::string& token) {
+  CategorySequence sequence;
+  size_t start = 0;
+  for (;;) {
+    size_t comma = token.find(',', start);
+    sequence.push_back(ParseU32(
+        token.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start),
+        "category"));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return sequence;
+}
+
+bool ParseMethod(const std::string& token, Algorithm* algorithm,
+                 NnMode* nn_mode) {
+  std::string base = token;
+  *nn_mode = NnMode::kHopLabel;
+  if (base.size() > 4 && base.substr(base.size() - 4) == "-dij") {
+    *nn_mode = NnMode::kDijkstra;
+    base = base.substr(0, base.size() - 4);
+  }
+  if (base == "sk") {
+    *algorithm = Algorithm::kStar;
+  } else if (base == "pk") {
+    *algorithm = Algorithm::kPruning;
+  } else if (base == "kpne") {
+    *algorithm = Algorithm::kKpne;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string HandleRequestLine(KosrService& service, const std::string& line) {
+  try {
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) return "ERR empty request";
+    const std::string& cmd = tokens[0];
+    if (cmd == "QUERY") return HandleQuery(service, tokens);
+    if (cmd == "ADD_CAT" || cmd == "REMOVE_CAT" || cmd == "ADD_EDGE") {
+      return HandleUpdate(service, tokens);
+    }
+    if (cmd == "METRICS") return "OK METRICS " + service.MetricsJson();
+    if (cmd == "PING") return "OK PONG";
+    if (cmd == "QUIT") return "OK BYE";
+    return "ERR unknown command: " + cmd;
+  } catch (const std::exception& e) {
+    return std::string("ERR ") + e.what();
+  }
+}
+
+uint64_t RunServeLoop(KosrService& service, std::istream& in,
+                      std::ostream& out) {
+  uint64_t handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Skip blank lines and comments so request files can be annotated.
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::string response = HandleRequestLine(service, line);
+    out << response << "\n" << std::flush;
+    ++handled;
+    if (response == "OK BYE") break;
+  }
+  return handled;
+}
+
+}  // namespace kosr::service

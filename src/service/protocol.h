@@ -1,0 +1,68 @@
+#ifndef KOSR_SERVICE_PROTOCOL_H_
+#define KOSR_SERVICE_PROTOCOL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/service/service.h"
+
+namespace kosr::service {
+
+/// Newline-delimited request/response protocol spoken by `kosr_cli serve`
+/// over stdin/stdout: one request line in, exactly one response line out,
+/// in order. Scriptable from a shell pipe and testable under CTest.
+///
+/// Request grammar (tokens separated by spaces; blank lines and lines
+/// starting with '#' are ignored; README.md has the full grammar):
+///
+///   QUERY <source> <target> <c1,c2,...> <k> [<method>]
+///   ADD_CAT <vertex> <category>
+///   REMOVE_CAT <vertex> <category>
+///   ADD_EDGE <u> <v> <weight>
+///   METRICS
+///   PING
+///   QUIT
+///
+/// <method> is one of sk | pk | kpne | sk-dij | pk-dij | kpne-dij
+/// (default sk). Responses:
+///
+///   OK ROUTES n=<n> costs=<c1,c2,...> cached=<0|1> ms=<latency>
+///             [truncated=1]                (time budget hit; partial answer)
+///   OK UPDATED
+///   OK METRICS <json>
+///   OK PONG
+///   OK BYE
+///   REJECTED <reason>
+///   ERR <message>
+///
+/// Parses one request line and executes it against the service, returning
+/// the response line (no trailing newline). Never throws: malformed input
+/// and engine errors become "ERR ..." responses.
+std::string HandleRequestLine(KosrService& service, const std::string& line);
+
+/// Reads request lines from `in` until EOF or QUIT, writing one response
+/// line per request to `out` (flushed per line, so a pipe peer can
+/// request/response in lockstep). Returns the number of requests handled.
+///
+/// Deliberately one request in flight at a time: an interactive peer waits
+/// for response i before sending line i+1, so reading ahead to pipeline
+/// would deadlock it. Consequently the worker pool's parallelism and the
+/// queue's REJECTED backpressure don't surface through this front-end —
+/// they belong to the concurrent C++ API (Submit/SubmitAsync), which the
+/// throughput bench drives.
+uint64_t RunServeLoop(KosrService& service, std::istream& in,
+                      std::ostream& out);
+
+/// Parses a method token (sk, pk-dij, ...) into options; returns false on
+/// unknown token.
+bool ParseMethod(const std::string& token, Algorithm* algorithm,
+                 NnMode* nn_mode);
+
+/// Strict "c1,c2,..." parser shared with the CLI front-end: digits only
+/// (signs are rejected, not wrapped through unsigned conversion), no empty
+/// parts. Throws std::invalid_argument on malformed input.
+CategorySequence ParseCategorySequence(const std::string& token);
+
+}  // namespace kosr::service
+
+#endif  // KOSR_SERVICE_PROTOCOL_H_

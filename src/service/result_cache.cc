@@ -1,0 +1,119 @@
+#include "src/service/result_cache.h"
+
+#include <algorithm>
+
+namespace kosr::service {
+namespace {
+
+inline void HashCombine(size_t& seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  size_t seed = std::hash<uint64_t>{}(
+      (static_cast<uint64_t>(key.source) << 32) | key.target);
+  for (CategoryId c : key.sequence) {
+    HashCombine(seed, std::hash<uint32_t>{}(c));
+  }
+  HashCombine(seed, std::hash<uint32_t>{}(key.k));
+  HashCombine(seed, static_cast<size_t>(key.algorithm));
+  HashCombine(seed, static_cast<size_t>(key.nn_mode) * 2 +
+                        (key.with_paths ? 1 : 0));
+  return seed;
+}
+
+ShardedResultCache::ShardedResultCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity),
+      shards_(std::max<size_t>(1, std::min(num_shards, std::max<size_t>(
+                                                           1, capacity)))) {
+  // Floor, never ceil: total residency must stay within `capacity` (the
+  // shard clamp above guarantees at least 1 per shard when enabled).
+  per_shard_capacity_ = capacity_ / shards_.size();
+}
+
+ShardedResultCache::Shard& ShardedResultCache::ShardFor(const CacheKey& key) {
+  return shards_[CacheKeyHash{}(key) % shards_.size()];
+}
+
+std::optional<KosrResult> ShardedResultCache::Lookup(const CacheKey& key) {
+  if (!enabled()) return std::nullopt;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
+void ShardedResultCache::Insert(const CacheKey& key,
+                                const KosrResult& result) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->result = result;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front({key, result});
+  shard.index[key] = shard.lru.begin();
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedResultCache::InvalidateAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    invalidations_.fetch_add(shard.lru.size(), std::memory_order_relaxed);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+void ShardedResultCache::InvalidateCategory(CategoryId c) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      const CategorySequence& seq = it->key.sequence;
+      if (std::find(seq.begin(), seq.end(), c) != seq.end()) {
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+CacheStats ShardedResultCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t ShardedResultCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace kosr::service

@@ -1,0 +1,114 @@
+#ifndef KOSR_SERVICE_RESULT_CACHE_H_
+#define KOSR_SERVICE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/util/types.h"
+
+namespace kosr::service {
+
+/// Identity of a cacheable query: the full query plus everything about the
+/// execution method that changes the answer's *content*. Execution knobs
+/// that only change counters (phase timing, budgets) are deliberately not
+/// part of the key; queries with a slot filter are never cached (the
+/// std::function has no identity to key on).
+struct CacheKey {
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+  CategorySequence sequence;
+  uint32_t k = 1;
+  Algorithm algorithm = Algorithm::kStar;
+  NnMode nn_mode = NnMode::kHopLabel;
+  bool with_paths = false;
+
+  bool operator==(const CacheKey& other) const = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const;
+};
+
+/// Monotonic counters, readable while the cache is in use.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;  ///< Entries dropped by invalidation calls.
+
+  double HitRate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// Sharded LRU cache of completed query results.
+///
+/// The key space is split over `num_shards` independently locked shards so
+/// concurrent workers rarely contend; each shard keeps its own LRU list and
+/// evicts at `capacity / num_shards` entries. Invalidation supports the two
+/// granularities the engine's dynamic updates need (DESIGN.md, "Serving
+/// layer"): a category update only stales results whose sequence mentions
+/// that category; an edge update changes shortest-path distances and stales
+/// everything.
+class ShardedResultCache {
+ public:
+  /// `capacity` = total entries across shards (0 disables caching);
+  /// `num_shards` is rounded up to at least 1.
+  explicit ShardedResultCache(size_t capacity, size_t num_shards = 8);
+
+  /// Returns the cached result and promotes the entry to most-recent, or
+  /// nullopt (counting a miss).
+  std::optional<KosrResult> Lookup(const CacheKey& key);
+
+  /// Inserts or refreshes an entry, evicting the shard's least-recent
+  /// entries beyond its capacity share.
+  void Insert(const CacheKey& key, const KosrResult& result);
+
+  /// Drops every entry (edge-weight updates: all distances may change).
+  void InvalidateAll();
+  /// Drops entries whose sequence contains `c` (category membership
+  /// updates only affect queries that visit that category).
+  void InvalidateCategory(CategoryId c);
+
+  CacheStats stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+  bool enabled() const { return capacity_ > 0; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    KosrResult result;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< Front = most recent.
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+
+  size_t capacity_ = 0;
+  size_t per_shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace kosr::service
+
+#endif  // KOSR_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,216 @@
+#include "src/service/service.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace kosr::service {
+namespace {
+
+// The engine's update entry points index internal tables unchecked; the
+// service fronts untrusted callers (the serve protocol), so range-check
+// here and throw — the worker/protocol layers turn this into an error
+// response instead of corrupting the long-lived process.
+void CheckVertex(const KosrEngine& engine, VertexId v, const char* what) {
+  if (v >= engine.graph().num_vertices()) {
+    throw std::invalid_argument(std::string(what) + " " + std::to_string(v) +
+                                " outside the vertex universe");
+  }
+}
+
+void CheckCategory(const KosrEngine& engine, CategoryId c) {
+  if (c >= engine.categories().num_categories()) {
+    throw std::invalid_argument("unknown category " + std::to_string(c));
+  }
+}
+
+}  // namespace
+
+KosrService::KosrService(KosrEngine engine, const ServiceConfig& config)
+    : engine_(std::move(engine)),
+      cache_(config.cache_capacity, config.cache_shards),
+      num_workers_(config.num_workers != 0
+                       ? config.num_workers
+                       : std::max(1u, std::thread::hardware_concurrency())),
+      queue_capacity_(std::max<size_t>(1, config.queue_capacity)),
+      default_time_budget_s_(config.default_time_budget_s) {
+  if (config.start_workers) Start();
+}
+
+KosrService::~KosrService() { Stop(); }
+
+void KosrService::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (!workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = false;
+  }
+  workers_.reserve(num_workers_);
+  for (uint32_t i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back(&KosrService::WorkerLoop, this);
+  }
+}
+
+void KosrService::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  std::deque<Pending> drained;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    drained.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  for (Pending& pending : drained) {
+    ServiceResponse response;
+    response.status = ResponseStatus::kShutdown;
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+std::future<ServiceResponse> KosrService::SubmitAsync(
+    const ServiceRequest& request) {
+  std::promise<ServiceResponse> promise;
+  std::future<ServiceResponse> future = promise.get_future();
+  metrics_.RecordSubmitted();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      ServiceResponse response;
+      response.status = ResponseStatus::kShutdown;
+      promise.set_value(std::move(response));
+      return future;
+    }
+    if (queue_.size() >= queue_capacity_) {
+      metrics_.RecordRejected();
+      ServiceResponse response;
+      response.status = ResponseStatus::kRejected;
+      response.error = "queue full";
+      promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back(Pending{request, std::move(promise), WallTimer()});
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+ServiceResponse KosrService::Submit(const ServiceRequest& request) {
+  return SubmitAsync(request).get();
+}
+
+void KosrService::WorkerLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ServiceResponse response;
+    try {
+      response = Process(pending.request);
+    } catch (const std::exception& e) {
+      response.status = ResponseStatus::kError;
+      response.error = e.what();
+    } catch (...) {
+      response.status = ResponseStatus::kError;
+      response.error = "unknown error";
+    }
+    response.latency_s = pending.queued.ElapsedSeconds();
+    if (response.ok()) {
+      metrics_.RecordCompleted(pending.request.options.algorithm,
+                               pending.request.options.nn_mode,
+                               response.latency_s);
+    } else {
+      metrics_.RecordError();
+    }
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+bool KosrService::Cacheable(const ServiceRequest& request) {
+  // A slot filter is an opaque std::function — no identity to key on.
+  return !request.options.filter;
+}
+
+CacheKey KosrService::KeyFor(const ServiceRequest& request) {
+  CacheKey key;
+  key.source = request.query.source;
+  key.target = request.query.target;
+  key.sequence = request.query.sequence;
+  key.k = request.query.k;
+  key.algorithm = request.options.algorithm;
+  key.nn_mode = request.options.nn_mode;
+  key.with_paths = request.options.reconstruct_paths;
+  return key;
+}
+
+ServiceResponse KosrService::Process(const ServiceRequest& request) {
+  ServiceResponse response;
+  const bool cacheable = cache_.enabled() && Cacheable(request);
+  CacheKey key;
+  if (cacheable) key = KeyFor(request);
+
+  // Shared lock: queries run concurrently with each other but exclusively
+  // with dynamic updates; cache lookup/insert stay inside the lock so an
+  // update's invalidation cannot be interleaved with a stale insert.
+  std::shared_lock<std::shared_mutex> lock(engine_mutex_);
+  if (cacheable) {
+    if (std::optional<KosrResult> cached = cache_.Lookup(key)) {
+      response.result = std::move(*cached);
+      response.cache_hit = true;
+      return response;
+    }
+  }
+  KosrOptions options = request.options;
+  if (options.time_budget_s == 0) {
+    options.time_budget_s = default_time_budget_s_;
+  }
+  response.result = engine_.Query(request.query, options);
+  // Budget-truncated results are incomplete; serving them from cache would
+  // turn one slow query into many wrong answers.
+  if (cacheable && !response.result.stats.timed_out) {
+    cache_.Insert(key, response.result);
+  }
+  return response;
+}
+
+void KosrService::AddVertexCategory(VertexId v, CategoryId c) {
+  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  CheckVertex(engine_, v, "vertex");
+  CheckCategory(engine_, c);
+  engine_.AddVertexCategory(v, c);
+  cache_.InvalidateCategory(c);
+}
+
+void KosrService::RemoveVertexCategory(VertexId v, CategoryId c) {
+  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  CheckVertex(engine_, v, "vertex");
+  CheckCategory(engine_, c);
+  engine_.RemoveVertexCategory(v, c);
+  cache_.InvalidateCategory(c);
+}
+
+void KosrService::AddOrDecreaseEdge(VertexId u, VertexId v, Weight w) {
+  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  CheckVertex(engine_, u, "tail");
+  CheckVertex(engine_, v, "head");
+  engine_.AddOrDecreaseEdge(u, v, w);
+  // Shortest-path distances may drop anywhere; every cached route is
+  // potentially no longer optimal.
+  cache_.InvalidateAll();
+}
+
+size_t KosrService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+}  // namespace kosr::service

@@ -1,0 +1,159 @@
+#ifndef KOSR_SERVICE_SERVICE_H_
+#define KOSR_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/query.h"
+#include "src/service/metrics.h"
+#include "src/service/result_cache.h"
+
+namespace kosr::service {
+
+struct ServiceConfig {
+  /// Worker threads answering queries. 0 picks hardware concurrency.
+  uint32_t num_workers = 0;
+  /// Bounded request queue; SubmitAsync rejects beyond this depth.
+  size_t queue_capacity = 256;
+  /// Total result-cache entries across shards (0 disables caching).
+  size_t cache_capacity = 1024;
+  size_t cache_shards = 8;
+  /// Per-query time budget applied when a request does not set its own
+  /// (0 = unlimited). Admission control only rejects at the door; this
+  /// bounds the damage of a pathological query that already got in —
+  /// essential for the serve front-end, which accepts untrusted queries.
+  double default_time_budget_s = 0;
+  /// Spawn workers in the constructor. Tests set false to fill the queue
+  /// deterministically, then call Start().
+  bool start_workers = true;
+};
+
+struct ServiceRequest {
+  KosrQuery query;
+  KosrOptions options;
+};
+
+enum class ResponseStatus {
+  kOk,
+  kRejected,  ///< Backpressure: queue at capacity, request never enqueued.
+  kError,     ///< The engine threw; `error` has the message.
+  kShutdown,  ///< Service stopped before the request was processed.
+};
+
+struct ServiceResponse {
+  ResponseStatus status = ResponseStatus::kOk;
+  KosrResult result;
+  bool cache_hit = false;
+  double latency_s = 0;  ///< Enqueue -> completion (includes queue wait).
+  std::string error;
+
+  bool ok() const { return status == ResponseStatus::kOk; }
+};
+
+/// Long-lived serving layer over a built KosrEngine (ISSUE 2 tentpole; see
+/// DESIGN.md, "Serving layer").
+///
+/// Requests enter a bounded FIFO queue and are answered by a persistent
+/// worker pool; when the queue is full SubmitAsync resolves immediately
+/// with kRejected (reject-with-status backpressure — the caller sheds load,
+/// the service never buffers unboundedly). Completed results are cached in
+/// a sharded LRU keyed on (source, target, sequence, k, method).
+///
+/// Concurrency contract: workers answer queries under a shared lock on the
+/// engine; the dynamic-update entry points take the lock exclusively, apply
+/// the engine mutation, and invalidate the affected cache entries *before*
+/// releasing it. Since cache inserts also happen under the shared lock, a
+/// result computed against the pre-update engine can never be inserted
+/// after the invalidation — no stale-entry race.
+class KosrService {
+ public:
+  /// Takes ownership of a built engine (BuildIndexes()/LoadIndexes() must
+  /// already have run unless every query uses NnMode::kDijkstra).
+  explicit KosrService(KosrEngine engine, const ServiceConfig& config = {});
+  ~KosrService();
+
+  KosrService(const KosrService&) = delete;
+  KosrService& operator=(const KosrService&) = delete;
+
+  /// Starts the worker pool (no-op when already running). Start/Stop are
+  /// serialized against each other by a lifecycle mutex, so concurrent
+  /// calls (or Stop racing the destructor) are safe.
+  void Start();
+  /// Drains nothing: pending requests resolve with kShutdown, workers join.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Enqueues a request. The future resolves when a worker answers it (or
+  /// immediately with kRejected / kShutdown).
+  std::future<ServiceResponse> SubmitAsync(const ServiceRequest& request);
+  /// Blocking convenience wrapper.
+  ServiceResponse Submit(const ServiceRequest& request);
+
+  // --- Dynamic updates (cache-invalidation hooks) --------------------------
+  // Mirror KosrEngine's update entry points; each applies the engine update
+  // under the exclusive lock and drops the cache entries it can stale.
+  // Out-of-range vertices/categories throw std::invalid_argument (the
+  // engine itself does not range-check; the service fronts untrusted
+  // input, so it must).
+
+  void AddVertexCategory(VertexId v, CategoryId c);
+  void RemoveVertexCategory(VertexId v, CategoryId c);
+  void AddOrDecreaseEdge(VertexId u, VertexId v, Weight w);
+
+  // --- Introspection -------------------------------------------------------
+
+  MetricsSnapshot Metrics() const {
+    return metrics_.Snapshot(cache_.stats());
+  }
+  std::string MetricsJson() const { return Metrics().ToJson(); }
+  /// Clears counters/histograms (not the cache) — phase boundaries in the
+  /// throughput bench.
+  void ResetMetrics() { metrics_.Reset(); }
+
+  const KosrEngine& engine() const { return engine_; }
+  const ShardedResultCache& cache() const { return cache_; }
+  size_t queue_depth() const;
+  uint32_t num_workers() const { return num_workers_; }
+
+ private:
+  struct Pending {
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
+    WallTimer queued;  ///< Started at enqueue; read at completion.
+  };
+
+  void WorkerLoop();
+  ServiceResponse Process(const ServiceRequest& request);
+  static bool Cacheable(const ServiceRequest& request);
+  static CacheKey KeyFor(const ServiceRequest& request);
+
+  KosrEngine engine_;
+  mutable std::shared_mutex engine_mutex_;
+  ShardedResultCache cache_;
+  MetricsRegistry metrics_;
+
+  uint32_t num_workers_;
+  size_t queue_capacity_;
+  double default_time_budget_s_;
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  /// Serializes Start/Stop (which mutate and join workers_); never taken
+  /// by the workers themselves, so there is no ordering against
+  /// queue_mutex_ to get wrong.
+  std::mutex lifecycle_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kosr::service
+
+#endif  // KOSR_SERVICE_SERVICE_H_

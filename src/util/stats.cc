@@ -1,9 +1,102 @@
 #include "src/util/stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace kosr {
+
+uint32_t LatencyHistogram::NextRandom() {
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 17;
+  rng_state_ ^= rng_state_ << 5;
+  return rng_state_;
+}
+
+void LatencyHistogram::ReservoirRecord(double seconds) {
+  if (max_samples_ == 0 || samples_.size() < max_samples_) {
+    samples_.push_back(seconds);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: keep each of the `total_` samples seen so far with equal
+  // probability max_samples_/total_.
+  uint64_t slot = NextRandom() % total_;
+  if (slot < max_samples_) {
+    samples_[slot] = seconds;
+    sorted_ = false;
+  }
+}
+
+void LatencyHistogram::Record(double seconds) {
+  ++total_;
+  sum_ += seconds;
+  min_ = total_ == 1 ? seconds : std::min(min_, seconds);
+  max_ = total_ == 1 ? seconds : std::max(max_, seconds);
+  ReservoirRecord(seconds);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.total_ == 0) return;
+  min_ = total_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = total_ == 0 ? other.max_ : std::max(max_, other.max_);
+  for (double s : other.samples_) {
+    ++total_;  // Approximate when `other` was itself capped; see header.
+    ReservoirRecord(s);
+  }
+  total_ += other.total_ - other.samples_.size();
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+  total_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+void LatencyHistogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double LatencyHistogram::MeanSeconds() const {
+  return total_ == 0 ? 0 : sum_ / static_cast<double>(total_);
+}
+
+double LatencyHistogram::MinSeconds() const { return min_; }
+
+double LatencyHistogram::MaxSeconds() const { return max_; }
+
+double LatencyHistogram::PercentileSeconds(double pct) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  pct = std::clamp(pct, 0.0, 100.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(samples_.size())));
+  if (rank > 0) --rank;  // nearest-rank is 1-based; clamp p0 to the minimum
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+std::string LatencyHistogram::SummaryString() const {
+  std::ostringstream os;
+  os << "count=" << count() << " mean_ms=" << MeanSeconds() * 1e3
+     << " p50_ms=" << P50Millis() << " p95_ms=" << P95Millis()
+     << " p99_ms=" << P99Millis();
+  return os.str();
+}
+
+std::string LatencyHistogram::SummaryJson() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count() << ",\"mean_ms\":" << MeanSeconds() * 1e3
+     << ",\"p50_ms\":" << P50Millis() << ",\"p95_ms\":" << P95Millis()
+     << ",\"p99_ms\":" << P99Millis() << "}";
+  return os.str();
+}
 
 double QueryStats::OtherTimeSeconds() const {
   double other = total_time_s - nn_time_s - queue_time_s - estimation_time_s;

@@ -7,6 +7,59 @@
 
 namespace kosr {
 
+/// Latency sample collector reporting count, mean, and percentiles.
+///
+/// By default keeps every sample (exact percentiles, no bucketing error);
+/// sorting is deferred until a percentile is asked for. Constructed with a
+/// `max_samples` cap it bounds memory for long-lived collectors (the
+/// service metrics registry): count/mean/min/max stay exact, while
+/// percentiles are computed over a uniform reservoir of the capped size.
+/// Not thread-safe — concurrent writers guard it externally.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  /// `max_samples` = 0 keeps every sample (exact percentiles).
+  explicit LatencyHistogram(size_t max_samples) : max_samples_(max_samples) {}
+
+  void Record(double seconds);
+  /// Folds `other` in: count/mean/min/max exactly; percentile samples are
+  /// appended (reservoir-replaced beyond a cap).
+  void Merge(const LatencyHistogram& other);
+  void Clear();
+
+  uint64_t count() const { return total_; }
+  double MeanSeconds() const;
+  double MinSeconds() const;
+  double MaxSeconds() const;
+  /// Nearest-rank percentile; `pct` in [0, 100]. Returns 0 when empty.
+  /// Exact while count() <= max_samples (or uncapped), reservoir-estimated
+  /// beyond.
+  double PercentileSeconds(double pct) const;
+
+  double P50Millis() const { return PercentileSeconds(50) * 1e3; }
+  double P95Millis() const { return PercentileSeconds(95) * 1e3; }
+  double P99Millis() const { return PercentileSeconds(99) * 1e3; }
+
+  /// "count=8 mean_ms=1.2 p50_ms=1.0 p95_ms=3.1 p99_ms=3.4"
+  std::string SummaryString() const;
+  /// {"count":8,"mean_ms":1.2,"p50_ms":1.0,"p95_ms":3.1,"p99_ms":3.4}
+  std::string SummaryJson() const;
+
+ private:
+  void EnsureSorted() const;
+  void ReservoirRecord(double seconds);
+  uint32_t NextRandom();
+
+  size_t max_samples_ = 0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  uint64_t total_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  uint32_t rng_state_ = 0x9e3779b9u;  ///< xorshift32; deterministic.
+};
+
 /// Counters collected while answering one KOSR query. These are the
 /// evaluation criteria of the paper (Sec. V-A): the number of examined
 /// routes (witnesses popped from the global priority queue) and the number

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <random>
+#include <thread>
 
 #include "src/graph/generators.h"
 #include "tests/test_util.h"
@@ -66,10 +69,52 @@ TEST_F(BatchTest, EmptyBatch) {
   EXPECT_EQ(batch.AvgQueryMillis(), 0.0);
 }
 
+TEST_F(BatchTest, ReportsLatencyPercentilesNotJustMean) {
+  auto batch = RunQueryBatch(*engine_, queries_, {}, 2);
+  EXPECT_EQ(batch.latencies.count(), queries_.size());
+  EXPECT_GT(batch.P50QueryMillis(), 0.0);
+  EXPECT_LE(batch.P50QueryMillis(), batch.P95QueryMillis());
+  EXPECT_LE(batch.P95QueryMillis(), batch.P99QueryMillis());
+  EXPECT_LE(batch.P99QueryMillis(), batch.latencies.MaxSeconds() * 1e3);
+  // The mean lies between min and max of the same distribution.
+  EXPECT_GE(batch.AvgQueryMillis(), batch.latencies.MinSeconds() * 1e3);
+  EXPECT_LE(batch.AvgQueryMillis(), batch.latencies.MaxSeconds() * 1e3);
+}
+
 TEST_F(BatchTest, WorkerExceptionPropagates) {
   std::vector<KosrQuery> bad = queries_;
   bad[5].k = 0;  // invalid: engine throws
   EXPECT_THROW(RunQueryBatch(*engine_, bad, {}, 4), std::invalid_argument);
+}
+
+TEST_F(BatchTest, WorkerExceptionAbortsBatchPromptly) {
+  // A poisoned query at the front (throws in validation, before any search
+  // work) plus a 48-query tail. The reject-all filter makes each tail
+  // query's work observable and bounded: the NN search consults the filter
+  // once per member of the query's first category (~15 here) and then
+  // gives up, and each call sleeps 1 ms — so the worker that draws the
+  // poison is scheduled (and sets the shared stop flag) while the survivor
+  // is still inside its first query. With the stop flag the survivor
+  // abandons the tail after a query or two (~35 calls; the 400 threshold
+  // tolerates the poison thread being descheduled for ~400 ms on a loaded
+  // CI machine); without the flag the survivor drains all 48 tail queries
+  // (measured ~3300 calls), which is what this threshold catches.
+  std::atomic<uint64_t> filter_calls{0};
+  KosrOptions options;
+  options.filter = [&filter_calls](uint32_t, VertexId) {
+    filter_calls.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return false;
+  };
+  std::vector<KosrQuery> bad;
+  bad.push_back(queries_[0]);
+  bad[0].k = 0;  // invalid: engine throws
+  for (int copy = 0; copy < 2; ++copy) {
+    bad.insert(bad.end(), queries_.begin(), queries_.end());
+  }
+  EXPECT_THROW(RunQueryBatch(*engine_, bad, options, 2),
+               std::invalid_argument);
+  EXPECT_LT(filter_calls.load(), 400u);
 }
 
 TEST_F(BatchTest, AllAlgorithmsAgreeUnderParallelism) {

@@ -1,0 +1,159 @@
+#include "src/service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace kosr::service {
+namespace {
+
+CacheKey MakeKey(VertexId source, CategorySequence sequence = {0},
+                 uint32_t k = 2) {
+  CacheKey key;
+  key.source = source;
+  key.target = source + 1;
+  key.sequence = std::move(sequence);
+  key.k = k;
+  return key;
+}
+
+KosrResult MakeResult(Cost cost) {
+  KosrResult result;
+  SequencedRoute route;
+  route.cost = cost;
+  result.routes.push_back(route);
+  return result;
+}
+
+Cost CachedCost(const KosrResult& result) { return result.routes[0].cost; }
+
+TEST(ResultCacheTest, LookupReturnsInsertedResult) {
+  ShardedResultCache cache(/*capacity=*/8, /*num_shards=*/2);
+  EXPECT_FALSE(cache.Lookup(MakeKey(1)).has_value());
+  cache.Insert(MakeKey(1), MakeResult(42));
+  auto hit = cache.Lookup(MakeKey(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(CachedCost(*hit), 42);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, DistinctMethodsAndKAreDistinctEntries) {
+  ShardedResultCache cache(/*capacity=*/16, /*num_shards=*/1);
+  CacheKey sk = MakeKey(1);
+  CacheKey pk = sk;
+  pk.algorithm = Algorithm::kPruning;
+  CacheKey k5 = sk;
+  k5.k = 5;
+  cache.Insert(sk, MakeResult(1));
+  cache.Insert(pk, MakeResult(2));
+  cache.Insert(k5, MakeResult(3));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(CachedCost(*cache.Lookup(sk)), 1);
+  EXPECT_EQ(CachedCost(*cache.Lookup(pk)), 2);
+  EXPECT_EQ(CachedCost(*cache.Lookup(k5)), 3);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  // Single shard so the LRU order is global and deterministic.
+  ShardedResultCache cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Insert(MakeKey(1), MakeResult(1));
+  cache.Insert(MakeKey(2), MakeResult(2));
+  cache.Insert(MakeKey(3), MakeResult(3));
+  // Touch 1: recency order becomes 1, 3, 2.
+  EXPECT_TRUE(cache.Lookup(MakeKey(1)).has_value());
+  // Inserting 4 must evict 2 (the least recent), not 1 or 3.
+  cache.Insert(MakeKey(4), MakeResult(4));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.Lookup(MakeKey(2)).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(1)).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(3)).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(4)).has_value());
+  // Next eviction order: 3 is now least recent after the lookups above.
+  cache.Insert(MakeKey(5), MakeResult(5));
+  EXPECT_FALSE(cache.Lookup(MakeKey(1)).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(3)).has_value());
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesValueWithoutGrowth) {
+  ShardedResultCache cache(/*capacity=*/4, /*num_shards=*/1);
+  cache.Insert(MakeKey(1), MakeResult(10));
+  cache.Insert(MakeKey(1), MakeResult(20));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(CachedCost(*cache.Lookup(MakeKey(1))), 20);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ShardedResultCache cache(/*capacity=*/0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(MakeKey(1), MakeResult(1));
+  EXPECT_FALSE(cache.Lookup(MakeKey(1)).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);  // Disabled lookups are not counted.
+}
+
+TEST(ResultCacheTest, InvalidateCategoryDropsOnlyMatchingSequences) {
+  ShardedResultCache cache(/*capacity=*/16, /*num_shards=*/4);
+  cache.Insert(MakeKey(1, {0, 1}), MakeResult(1));
+  cache.Insert(MakeKey(2, {2}), MakeResult(2));
+  cache.Insert(MakeKey(3, {1}), MakeResult(3));
+  cache.InvalidateCategory(1);
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, {0, 1})).has_value());
+  EXPECT_FALSE(cache.Lookup(MakeKey(3, {1})).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(2, {2})).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(ResultCacheTest, InvalidateAllEmptiesEveryShard) {
+  ShardedResultCache cache(/*capacity=*/32, /*num_shards=*/4);
+  for (VertexId v = 0; v < 12; ++v) {
+    cache.Insert(MakeKey(v), MakeResult(v));
+  }
+  EXPECT_EQ(cache.size(), 12u);
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 12u);
+  for (VertexId v = 0; v < 12; ++v) {
+    EXPECT_FALSE(cache.Lookup(MakeKey(v)).has_value());
+  }
+}
+
+TEST(ResultCacheTest, ConcurrentHitMissAccountingIsExact) {
+  // No evictions (capacity > key universe), so across all threads every
+  // lookup is either a hit returning the key's exact value or a miss
+  // followed by insert; the counters must balance exactly.
+  constexpr uint32_t kThreads = 4;
+  constexpr uint32_t kOpsPerThread = 500;
+  constexpr uint32_t kKeys = 32;
+  ShardedResultCache cache(/*capacity=*/2 * kKeys, /*num_shards=*/4);
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (uint32_t i = 0; i < kOpsPerThread; ++i) {
+        VertexId v = (i * 7 + t * 13) % kKeys;
+        CacheKey key = MakeKey(v);
+        if (auto hit = cache.Lookup(key)) {
+          // A hit must carry the value some thread inserted for this key.
+          ASSERT_EQ(CachedCost(*hit), static_cast<Cost>(v) * 1000);
+        } else {
+          cache.Insert(key, MakeResult(static_cast<Cost>(v) * 1000));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kOpsPerThread);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_LE(cache.size(), kKeys);
+  EXPECT_GT(stats.hits, 0u);
+  for (VertexId v = 0; v < kKeys; ++v) {
+    auto hit = cache.Lookup(MakeKey(v));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(CachedCost(*hit), static_cast<Cost>(v) * 1000);
+  }
+}
+
+}  // namespace
+}  // namespace kosr::service

@@ -1,0 +1,399 @@
+#include "src/service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "src/service/protocol.h"
+#include "tests/test_util.h"
+
+namespace kosr::service {
+namespace {
+
+/// Line graph 0 - 1 - 2 - 3 (unit weights, both directions), category 0 =
+/// {3}, category 1 = {2}. Every optimal route is computable by hand, which
+/// makes the stale-cache regressions deterministic.
+KosrEngine MakeLineEngine() {
+  Graph graph = Graph::FromEdges(
+      4, {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}, {2, 3, 1}, {3, 2, 1}});
+  CategoryTable categories(4, 3);
+  categories.Add(3, 0);
+  categories.Add(2, 1);
+  KosrEngine engine(std::move(graph), std::move(categories));
+  engine.BuildIndexes();
+  return engine;
+}
+
+ServiceRequest MakeRequest(VertexId source, VertexId target,
+                           CategorySequence sequence, uint32_t k = 1) {
+  ServiceRequest request;
+  request.query.source = source;
+  request.query.target = target;
+  request.query.sequence = std::move(sequence);
+  request.query.k = k;
+  return request;
+}
+
+TEST(ServiceTest, SubmitMatchesDirectEngineQuery) {
+  auto inst = testing::MakeRandomInstance(60, 320, 4, 4242);
+  KosrEngine reference(inst.graph, inst.categories);
+  reference.BuildIndexes();
+  KosrEngine served(inst.graph, inst.categories);
+  served.BuildIndexes();
+
+  ServiceConfig config;
+  config.num_workers = 2;
+  KosrService service(std::move(served), config);
+
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<VertexId> pick(0, 59);
+  for (int i = 0; i < 12; ++i) {
+    ServiceRequest request;
+    request.query.source = pick(rng);
+    request.query.target = pick(rng);
+    request.query.sequence =
+        RandomCategorySequence(reference.categories(), 2, rng);
+    request.query.k = 3;
+    ServiceResponse response = service.Submit(request);
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_GE(response.latency_s, 0.0);
+    KosrResult expected = reference.Query(request.query, request.options);
+    ASSERT_EQ(response.result.routes.size(), expected.routes.size());
+    for (size_t j = 0; j < expected.routes.size(); ++j) {
+      EXPECT_EQ(response.result.routes[j].cost, expected.routes[j].cost);
+      EXPECT_EQ(response.result.routes[j].witness,
+                expected.routes[j].witness);
+    }
+  }
+}
+
+TEST(ServiceTest, ConcurrentAsyncSubmissionsAllAnswerCorrectly) {
+  auto inst = testing::MakeRandomInstance(60, 320, 4, 777);
+  KosrEngine reference(inst.graph, inst.categories);
+  reference.BuildIndexes();
+  KosrEngine served(inst.graph, inst.categories);
+  served.BuildIndexes();
+
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 64;
+  KosrService service(std::move(served), config);
+
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<VertexId> pick(0, 59);
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 32; ++i) {
+    ServiceRequest request;
+    request.query.source = pick(rng);
+    request.query.target = pick(rng);
+    request.query.sequence =
+        RandomCategorySequence(reference.categories(), 2, rng);
+    request.query.k = 2;
+    requests.push_back(std::move(request));
+  }
+  std::vector<std::future<ServiceResponse>> futures;
+  for (const ServiceRequest& request : requests) {
+    futures.push_back(service.SubmitAsync(request));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ServiceResponse response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.error;
+    KosrResult expected = reference.Query(requests[i].query);
+    ASSERT_EQ(response.result.routes.size(), expected.routes.size());
+    for (size_t j = 0; j < expected.routes.size(); ++j) {
+      EXPECT_EQ(response.result.routes[j].cost, expected.routes[j].cost);
+    }
+  }
+  MetricsSnapshot snapshot = service.Metrics();
+  EXPECT_EQ(snapshot.submitted, 32u);
+  EXPECT_EQ(snapshot.completed, 32u);
+  EXPECT_EQ(snapshot.rejected, 0u);
+}
+
+TEST(ServiceTest, RepeatQueryHitsCacheWithIdenticalResult) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  ServiceRequest request = MakeRequest(0, 0, {0});
+  ServiceResponse cold = service.Submit(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.cache_hit);
+  ASSERT_EQ(cold.result.routes.size(), 1u);
+  EXPECT_EQ(cold.result.routes[0].cost, 6);  // 0 -> 3 -> 0.
+
+  ServiceResponse warm = service.Submit(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.result.routes[0].cost, 6);
+  EXPECT_EQ(warm.result.routes[0].witness, cold.result.routes[0].witness);
+  EXPECT_EQ(service.cache().stats().hits, 1u);
+}
+
+TEST(ServiceTest, AddVertexCategoryInvalidatesStaleRoute) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  ServiceRequest request = MakeRequest(0, 0, {0});
+  EXPECT_EQ(service.Submit(request).result.routes[0].cost, 6);
+  EXPECT_TRUE(service.Submit(request).cache_hit);  // Cached now.
+
+  // Vertex 1 joins category 0: the best route becomes 0 -> 1 -> 0 = 2.
+  // Without invalidation the cache would keep serving the stale cost 6.
+  service.AddVertexCategory(1, 0);
+  ServiceResponse updated = service.Submit(request);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_FALSE(updated.cache_hit);
+  EXPECT_EQ(updated.result.routes[0].cost, 2);
+}
+
+TEST(ServiceTest, RemoveVertexCategoryInvalidatesStaleRoute) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  service.AddVertexCategory(1, 0);
+  ServiceRequest request = MakeRequest(0, 0, {0});
+  EXPECT_EQ(service.Submit(request).result.routes[0].cost, 2);
+  EXPECT_TRUE(service.Submit(request).cache_hit);
+
+  // Vertex 1 leaves category 0 again: the cached cost-2 route no longer
+  // visits a category-0 vertex; the answer must fall back to cost 6.
+  service.RemoveVertexCategory(1, 0);
+  ServiceResponse updated = service.Submit(request);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_FALSE(updated.cache_hit);
+  EXPECT_EQ(updated.result.routes[0].cost, 6);
+}
+
+TEST(ServiceTest, AddOrDecreaseEdgeInvalidatesWholeCache) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  ServiceRequest request = MakeRequest(0, 3, {1});
+  EXPECT_EQ(service.Submit(request).result.routes[0].cost, 3);  // 0-1-2-3.
+  EXPECT_TRUE(service.Submit(request).cache_hit);
+
+  // Shortcut 0 -> 2 of weight 1: the optimal route drops to 1 + 1 = 2.
+  service.AddOrDecreaseEdge(0, 2, 1);
+  ServiceResponse updated = service.Submit(request);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_FALSE(updated.cache_hit);
+  EXPECT_EQ(updated.result.routes[0].cost, 2);
+  EXPECT_GT(service.cache().stats().invalidations, 0u);
+}
+
+TEST(ServiceTest, BackpressureRejectsWhenQueueFull) {
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 4;
+  config.start_workers = false;  // Fill the queue deterministically.
+  KosrService service(MakeLineEngine(), config);
+
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.SubmitAsync(MakeRequest(0, 0, {0})));
+  }
+  EXPECT_EQ(service.queue_depth(), 4u);
+  // The overflow futures resolved immediately with kRejected.
+  for (int i = 4; i < 6; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futures[i].get().status, ResponseStatus::kRejected);
+  }
+  service.Start();
+  for (int i = 0; i < 4; ++i) {
+    ServiceResponse response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.result.routes[0].cost, 6);
+  }
+  MetricsSnapshot snapshot = service.Metrics();
+  EXPECT_EQ(snapshot.submitted, 6u);
+  EXPECT_EQ(snapshot.completed, 4u);
+  EXPECT_EQ(snapshot.rejected, 2u);
+}
+
+TEST(ServiceTest, StopResolvesPendingRequestsWithShutdown) {
+  ServiceConfig config;
+  config.start_workers = false;
+  KosrService service(MakeLineEngine(), config);
+  auto f1 = service.SubmitAsync(MakeRequest(0, 0, {0}));
+  auto f2 = service.SubmitAsync(MakeRequest(0, 3, {1}));
+  service.Stop();
+  EXPECT_EQ(f1.get().status, ResponseStatus::kShutdown);
+  EXPECT_EQ(f2.get().status, ResponseStatus::kShutdown);
+  // Submissions after Stop() are refused the same way.
+  EXPECT_EQ(service.SubmitAsync(MakeRequest(0, 0, {0})).get().status,
+            ResponseStatus::kShutdown);
+}
+
+TEST(ServiceTest, DynamicUpdatesRejectOutOfRangeArguments) {
+  // The engine's update entry points index unchecked; the service fronts
+  // untrusted input (the serve protocol) and must throw instead of
+  // corrupting the long-lived process.
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  EXPECT_THROW(service.AddVertexCategory(99, 0), std::invalid_argument);
+  EXPECT_THROW(service.AddVertexCategory(0, 99), std::invalid_argument);
+  EXPECT_THROW(service.RemoveVertexCategory(99, 0), std::invalid_argument);
+  EXPECT_THROW(service.RemoveVertexCategory(0, 99), std::invalid_argument);
+  EXPECT_THROW(service.AddOrDecreaseEdge(99, 0, 1), std::invalid_argument);
+  EXPECT_THROW(service.AddOrDecreaseEdge(0, 99, 1), std::invalid_argument);
+  // The service still works afterwards.
+  EXPECT_EQ(service.Submit(MakeRequest(0, 0, {0})).result.routes[0].cost, 6);
+}
+
+TEST(ServiceTest, OutOfRangeQueryVerticesAreErrorsNotCrashes) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  ServiceResponse response = service.Submit(MakeRequest(9999, 0, {0}));
+  EXPECT_EQ(response.status, ResponseStatus::kError);
+  response = service.Submit(MakeRequest(0, 9999, {0}));
+  EXPECT_EQ(response.status, ResponseStatus::kError);
+}
+
+TEST(ServiceTest, DefaultTimeBudgetTruncatesAndSkipsCache) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.default_time_budget_s = 1e-12;  // Expires before any work.
+  KosrService service(MakeLineEngine(), config);
+  ServiceRequest request = MakeRequest(0, 0, {0});
+  ServiceResponse response = service.Submit(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.result.stats.timed_out);
+  // Truncated answers must not be cached: the repeat recomputes.
+  EXPECT_FALSE(service.Submit(request).cache_hit);
+  // An explicit per-request budget overrides the default.
+  request.options.time_budget_s = 60;
+  response = service.Submit(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response.result.stats.timed_out);
+  EXPECT_EQ(response.result.routes[0].cost, 6);
+}
+
+TEST(ServiceTest, EngineErrorBecomesErrorResponse) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  ServiceRequest bad = MakeRequest(0, 0, {0}, /*k=*/0);  // Engine throws.
+  ServiceResponse response = service.Submit(bad);
+  EXPECT_EQ(response.status, ResponseStatus::kError);
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_EQ(service.Metrics().errors, 1u);
+}
+
+TEST(ServiceTest, MetricsSnapshotReportsPerMethodHistograms) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  ServiceRequest request = MakeRequest(0, 0, {0});
+  service.Submit(request);
+  request.options.algorithm = Algorithm::kPruning;
+  service.Submit(request);
+
+  MetricsSnapshot snapshot = service.Metrics();
+  EXPECT_EQ(snapshot.completed, 2u);
+  ASSERT_TRUE(snapshot.per_method.count("SK"));
+  ASSERT_TRUE(snapshot.per_method.count("PK"));
+  EXPECT_EQ(snapshot.per_method.at("SK").count(), 1u);
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"qps\""), std::string::npos);
+  EXPECT_NE(json.find("\"SK\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\""), std::string::npos);
+
+  service.ResetMetrics();
+  EXPECT_EQ(service.Metrics().completed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Newline protocol (src/service/protocol.h).
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, ParseMethodCoversAllSixMethods) {
+  Algorithm algorithm;
+  NnMode nn_mode;
+  ASSERT_TRUE(ParseMethod("sk", &algorithm, &nn_mode));
+  EXPECT_EQ(algorithm, Algorithm::kStar);
+  EXPECT_EQ(nn_mode, NnMode::kHopLabel);
+  ASSERT_TRUE(ParseMethod("kpne-dij", &algorithm, &nn_mode));
+  EXPECT_EQ(algorithm, Algorithm::kKpne);
+  EXPECT_EQ(nn_mode, NnMode::kDijkstra);
+  ASSERT_TRUE(ParseMethod("pk-dij", &algorithm, &nn_mode));
+  EXPECT_EQ(algorithm, Algorithm::kPruning);
+  EXPECT_FALSE(ParseMethod("bfs", &algorithm, &nn_mode));
+  EXPECT_FALSE(ParseMethod("", &algorithm, &nn_mode));
+}
+
+TEST(ProtocolTest, HandleRequestLineAnswersEachCommand) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  EXPECT_EQ(HandleRequestLine(service, "PING"), "OK PONG");
+  EXPECT_EQ(HandleRequestLine(service, "QUIT"), "OK BYE");
+
+  std::string query = HandleRequestLine(service, "QUERY 0 0 0 1");
+  EXPECT_EQ(query.rfind("OK ROUTES n=1 costs=6", 0), 0u) << query;
+
+  EXPECT_EQ(HandleRequestLine(service, "ADD_CAT 1 0"), "OK UPDATED");
+  std::string updated = HandleRequestLine(service, "QUERY 0 0 0 1");
+  EXPECT_EQ(updated.rfind("OK ROUTES n=1 costs=2", 0), 0u) << updated;
+  EXPECT_EQ(HandleRequestLine(service, "REMOVE_CAT 1 0"), "OK UPDATED");
+  // Directed shortcut 0 -> 3 of weight 1: route 0 -> 3 -> 0 = 1 + 3 = 4.
+  EXPECT_EQ(HandleRequestLine(service, "ADD_EDGE 0 3 1"), "OK UPDATED");
+  std::string shortcut = HandleRequestLine(service, "QUERY 0 0 0 1");
+  EXPECT_EQ(shortcut.rfind("OK ROUTES n=1 costs=4", 0), 0u) << shortcut;
+
+  std::string metrics = HandleRequestLine(service, "METRICS");
+  EXPECT_EQ(metrics.rfind("OK METRICS {", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("\"cache\""), std::string::npos);
+}
+
+TEST(ProtocolTest, MalformedRequestsReturnErrNotThrow) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  EXPECT_EQ(HandleRequestLine(service, "FROBNICATE").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(HandleRequestLine(service, "QUERY 0 0").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(HandleRequestLine(service, "QUERY x y 0 1").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(HandleRequestLine(service, "QUERY 0 0 0 1 bfs").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(service, "ADD_CAT 1").rfind("ERR ", 0), 0u);
+  // Engine-level failure (k = 0) surfaces as ERR, and the loop survives.
+  EXPECT_EQ(HandleRequestLine(service, "QUERY 0 0 0 0").rfind("ERR ", 0), 0u);
+  // Out-of-range ids must come back as ERR, never crash the server.
+  EXPECT_EQ(HandleRequestLine(service, "QUERY 9999 0 0 1").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(service, "ADD_CAT 9999 0").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(service, "ADD_CAT 0 999").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(HandleRequestLine(service, "REMOVE_CAT 9999 0").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(service, "ADD_EDGE 9999 0 1").rfind("ERR ", 0),
+            0u);
+  // Signed tokens must be rejected, not wrapped through unsigned parsing
+  // (a weight of "-5" must not become a ~4-billion-weight edge).
+  EXPECT_EQ(HandleRequestLine(service, "ADD_EDGE 0 1 -5").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(service, "QUERY 0 0 0 -1").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(service, "QUERY 0 0 0,-1 1").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(service, "QUERY 0 0 0,, 1").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(
+      HandleRequestLine(service, "QUERY 0 0 0 99999999999").rfind("ERR ", 0),
+      0u);
+}
+
+TEST(ProtocolTest, ServeLoopAnswersLinesInOrderAndStopsAtQuit) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  std::istringstream in(
+      "# warm-up comment\n"
+      "\n"
+      "PING\n"
+      "QUERY 0 0 0 1\n"
+      "QUERY 0 0 0 1\n"
+      "QUIT\n"
+      "PING\n");  // After QUIT: must not be served.
+  std::ostringstream out;
+  uint64_t handled = RunServeLoop(service, in, out);
+  EXPECT_EQ(handled, 4u);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "OK PONG");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("OK ROUTES n=1 costs=6 cached=0", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("OK ROUTES n=1 costs=6 cached=1", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "OK BYE");
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+}  // namespace
+}  // namespace kosr::service

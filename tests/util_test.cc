@@ -131,6 +131,88 @@ TEST(WallTimerTest, MeasuresElapsedTime) {
   EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
 }
 
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanSeconds(), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(50), 0.0);
+  EXPECT_EQ(h.P99Millis(), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesUseNearestRank) {
+  LatencyHistogram h;
+  // 1..100 ms, recorded out of order.
+  for (int i = 100; i >= 1; --i) h.Record(i * 1e-3);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.MeanSeconds(), 50.5e-3, 1e-12);
+  EXPECT_NEAR(h.MinSeconds(), 1e-3, 1e-12);
+  EXPECT_NEAR(h.MaxSeconds(), 100e-3, 1e-12);
+  EXPECT_NEAR(h.P50Millis(), 50.0, 1e-9);
+  EXPECT_NEAR(h.P95Millis(), 95.0, 1e-9);
+  EXPECT_NEAR(h.P99Millis(), 99.0, 1e-9);
+  EXPECT_NEAR(h.PercentileSeconds(0), 1e-3, 1e-12);
+  EXPECT_NEAR(h.PercentileSeconds(100), 100e-3, 1e-12);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(2e-3);
+  EXPECT_NEAR(h.P50Millis(), 2.0, 1e-9);
+  EXPECT_NEAR(h.P99Millis(), 2.0, 1e-9);
+  EXPECT_NEAR(h.MeanSeconds(), 2e-3, 1e-12);
+}
+
+TEST(LatencyHistogramTest, MergeAndClear) {
+  LatencyHistogram a, b;
+  a.Record(1e-3);
+  b.Record(3e-3);
+  b.Record(5e-3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.MeanSeconds(), 3e-3, 1e-12);
+  EXPECT_NEAR(a.P50Millis(), 3.0, 1e-9);
+  a.Clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.MeanSeconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, RecordAfterPercentileReadKeepsOrder) {
+  LatencyHistogram h;
+  h.Record(5e-3);
+  h.Record(1e-3);
+  EXPECT_NEAR(h.P50Millis(), 1.0, 1e-9);  // sorts lazily
+  h.Record(0.5e-3);                       // must re-sort on next read
+  EXPECT_NEAR(h.PercentileSeconds(0), 0.5e-3, 1e-12);
+  EXPECT_NEAR(h.P50Millis(), 1.0, 1e-9);
+}
+
+TEST(LatencyHistogramTest, CappedReservoirBoundsStorageKeepsExactMoments) {
+  // 10k samples of 1..10000 ms through a 100-slot reservoir: count, mean,
+  // min, and max stay exact; percentiles become estimates that must still
+  // land in the right region of the distribution.
+  LatencyHistogram h(/*max_samples=*/100);
+  for (int i = 1; i <= 10000; ++i) h.Record(i * 1e-3);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_NEAR(h.MeanSeconds(), 5000.5e-3, 1e-9);
+  EXPECT_NEAR(h.MinSeconds(), 1e-3, 1e-12);
+  EXPECT_NEAR(h.MaxSeconds(), 10.0, 1e-12);
+  EXPECT_GT(h.PercentileSeconds(50), 3.0);
+  EXPECT_LT(h.PercentileSeconds(50), 7.0);
+  EXPECT_GT(h.PercentileSeconds(95), h.PercentileSeconds(50));
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LatencyHistogramTest, SummaryStringsContainPercentiles) {
+  LatencyHistogram h;
+  h.Record(1e-3);
+  EXPECT_NE(h.SummaryString().find("p99_ms="), std::string::npos);
+  std::string json = h.SummaryJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ms\":"), std::string::npos);
+}
+
 TEST(StopwatchAccumulatorTest, AccumulatesDisjointIntervals) {
   StopwatchAccumulator acc;
   acc.Start();

@@ -10,5 +10,5 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  return kosr::cli::RunCli(args, std::cout);
+  return kosr::cli::RunCli(args, std::cin, std::cout);
 }
