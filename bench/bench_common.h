@@ -52,17 +52,30 @@ inline double WorkloadScale() {
   return env != nullptr ? std::atof(env) : 1.0;
 }
 
-/// One benchmark graph with built indexes.
+/// One benchmark graph with built indexes (unless constructed with
+/// build_indexes = false — the preprocessing thread-sweep rebuilds the same
+/// workload at several thread counts and wants the raw materials only).
 struct Workload {
   std::string name;
   std::unique_ptr<KosrEngine> engine;
   uint64_t seed = 0;
+  /// Hub order the workload indexes with (empty = degree order).
+  std::vector<VertexId> order;
+
+  void BuildIndexes(uint32_t num_threads = 1) const {
+    if (order.empty()) {
+      engine->BuildIndexes(num_threads);
+    } else {
+      engine->BuildIndexes(order, num_threads);
+    }
+  }
 };
 
 /// Grid road-network workload with uniform categories of size
 /// `category_size` (the paper's |Ci|), indexed with the dissection order.
 inline Workload MakeGridWorkload(const std::string& name, uint32_t side,
-                                 uint32_t category_size, uint64_t seed) {
+                                 uint32_t category_size, uint64_t seed,
+                                 bool build_indexes = true) {
   double scale = std::sqrt(WorkloadScale());
   side = std::max<uint32_t>(16, static_cast<uint32_t>(side * scale));
   category_size = std::max<uint32_t>(
@@ -75,7 +88,8 @@ inline Workload MakeGridWorkload(const std::string& name, uint32_t side,
   CategoryTable cats =
       CategoryTable::Uniform(graph.num_vertices(), category_size, seed + 1);
   w.engine = std::make_unique<KosrEngine>(std::move(graph), std::move(cats));
-  w.engine->BuildIndexes(GridDissectionOrder(side, side));
+  w.order = GridDissectionOrder(side, side);
+  if (build_indexes) w.BuildIndexes();
   return w;
 }
 
@@ -93,14 +107,16 @@ inline Workload MakeZipfGridWorkload(const std::string& name, uint32_t side,
   CategoryTable cats = CategoryTable::Zipfian(graph.num_vertices(),
                                               num_categories, f, seed + 1);
   w.engine = std::make_unique<KosrEngine>(std::move(graph), std::move(cats));
-  w.engine->BuildIndexes(GridDissectionOrder(side, side));
+  w.order = GridDissectionOrder(side, side);
+  w.BuildIndexes();
   return w;
 }
 
 /// Small-world workload (G+ analog): unit weights, tiny diameter.
 inline Workload MakeSmallWorldWorkload(const std::string& name, uint32_t n,
                                        double chords_per_vertex,
-                                       uint32_t category_size, uint64_t seed) {
+                                       uint32_t category_size, uint64_t seed,
+                                       bool build_indexes = true) {
   n = std::max<uint32_t>(200, static_cast<uint32_t>(n * WorkloadScale()));
   category_size = std::max<uint32_t>(
       4, static_cast<uint32_t>(category_size * WorkloadScale()));
@@ -111,7 +127,7 @@ inline Workload MakeSmallWorldWorkload(const std::string& name, uint32_t n,
   CategoryTable cats =
       CategoryTable::Uniform(graph.num_vertices(), category_size, seed + 1);
   w.engine = std::make_unique<KosrEngine>(std::move(graph), std::move(cats));
-  w.engine->BuildIndexes();
+  if (build_indexes) w.BuildIndexes();
   return w;
 }
 

@@ -2,6 +2,14 @@
 // time, average Lin/Lout label sizes, and index size, plus the same for the
 // inverted label indexes (build time, avg |IL(Ci)| entries per category,
 // avg |IL(v)| entries per inverted list, index size).
+//
+// Thread-sweep mode: setting KOSR_BENCH_THREADS to a comma list of thread
+// counts (e.g. "1,2,4") switches the binary to measuring the parallel index
+// build instead — each (graph, threads) pair becomes one benchmark whose
+// counters report build seconds and speedup over the single-thread build,
+// so the JSON (--benchmark_out) carries the whole sweep. A count of 1 is
+// always included as the speedup baseline. BENCH_parallel_build.json is
+// recorded this way.
 
 #include <benchmark/benchmark.h>
 
@@ -81,11 +89,122 @@ std::string Fmt(double v, const char* format = "%.2f") {
   return buffer;
 }
 
+// --- Thread-sweep mode (KOSR_BENCH_THREADS) --------------------------------
+
+std::vector<uint32_t> SweepThreadCounts() {
+  const char* env = std::getenv("KOSR_BENCH_THREADS");
+  if (env == nullptr) return {};
+  std::vector<uint32_t> counts{1};  // speedup baseline always measured
+  uint32_t current = 0;
+  bool any_digit = false;
+  for (const char* p = env;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      current = current * 10 + static_cast<uint32_t>(*p - '0');
+      any_digit = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (any_digit && current > 0 &&
+          std::find(counts.begin(), counts.end(), current) == counts.end()) {
+        counts.push_back(current);
+      }
+      current = 0;
+      any_digit = false;
+      if (*p == '\0') break;
+    } else {
+      std::fprintf(stderr, "ignoring malformed KOSR_BENCH_THREADS: %s\n", env);
+      return {};
+    }
+  }
+  return counts;
+}
+
+struct SweepRow {
+  std::string graph;
+  uint32_t threads;
+  double label_seconds;
+  double inverted_seconds;
+  double speedup;  ///< single-thread total / this total
+};
+
+std::vector<SweepRow>& SweepRows() {
+  static std::vector<SweepRow> rows;
+  return rows;
+}
+
+void RunSweep() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  std::vector<Workload> workloads;
+  workloads.push_back(MakeGridWorkload("CAL", 64, 48, 101, false));
+  workloads.push_back(MakeGridWorkload("FLA", 160, 256, 104, false));
+  workloads.push_back(MakeSmallWorldWorkload("G+", 3000, 6.0, 48, 105, false));
+  for (const Workload& w : workloads) {
+    double base_seconds = 0;
+    for (uint32_t threads : SweepThreadCounts()) {
+      w.BuildIndexes(threads);
+      SweepRow row;
+      row.graph = w.name;
+      row.threads = threads;
+      row.label_seconds = w.engine->label_build_seconds();
+      row.inverted_seconds = w.engine->inverted_build_seconds();
+      double total = row.label_seconds + row.inverted_seconds;
+      if (threads == 1) base_seconds = total;
+      row.speedup = total > 0 ? base_seconds / total : 0;
+      SweepRows().push_back(row);
+    }
+  }
+}
+
+void BM_ParallelBuild(benchmark::State& state, std::string graph,
+                      uint32_t threads) {
+  RunSweep();
+  for (auto _ : state) {
+  }
+  for (const SweepRow& row : SweepRows()) {
+    if (row.graph != graph || row.threads != threads) continue;
+    state.SetIterationTime(row.label_seconds + row.inverted_seconds);
+    state.counters["threads"] = threads;
+    state.counters["label_s"] = row.label_seconds;
+    state.counters["inverted_s"] = row.inverted_seconds;
+    state.counters["speedup"] = row.speedup;
+  }
+}
+
 }  // namespace
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  using kosr::bench::Fmt;
+
+  std::vector<uint32_t> sweep = kosr::bench::SweepThreadCounts();
+  if (!sweep.empty()) {
+    for (const char* g : {"CAL", "FLA", "G+"}) {
+      for (uint32_t threads : sweep) {
+        std::string name = std::string("table9/parallel_build/") + g +
+                           "/threads:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(), kosr::bench::BM_ParallelBuild, g, threads)
+            ->Iterations(1)
+            ->UseManualTime()
+            ->Unit(benchmark::kSecond);
+      }
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    kosr::bench::PrintHeader(
+        "Parallel index build thread sweep",
+        "hub labels + inverted indexes, speedup vs 1 thread");
+    kosr::bench::PrintRowHeader(
+        "graph", {"threads", "label(s)", "inverted(s)", "speedup"});
+    for (const auto& row : kosr::bench::SweepRows()) {
+      kosr::bench::PrintRow(
+          row.graph,
+          {std::to_string(row.threads), Fmt(row.label_seconds),
+           Fmt(row.inverted_seconds), Fmt(row.speedup)});
+    }
+    return 0;
+  }
+
   for (const char* g : {"CAL", "NYC", "COL", "FLA", "G+"}) {
     benchmark::RegisterBenchmark((std::string("table9/") + g).c_str(),
                                  kosr::bench::BM_Preprocessing, g)
@@ -95,7 +214,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
 
-  using kosr::bench::Fmt;
   kosr::bench::PrintHeader("Table IX: preprocessing results",
                            "hub label indexes (top) and inverted label "
                            "indexes (bottom)");

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -29,13 +30,16 @@ Commands:
   stats        --graph graph.gr [--categories cats.txt --num-categories N]
   build-index  --graph graph.gr --categories cats.txt --num-categories N
                --out store_dir [--order degree|dissection --rows R --cols C]
+               [--threads T (parallel build; 0 = all cores, default 1)]
                [--compressed-out labels.bin] [--indexes-out snapshot.bin]
   query        --graph graph.gr --categories cats.txt --num-categories N
                --source S --target T --sequence c1,c2,... [--k K]
                [--algorithm kpne|pk|sk] [--nn hoplabel|dijkstra] [--paths 1]
+               [--threads T]
   serve        --graph graph.gr --categories cats.txt [--num-categories N]
                [--indexes snapshot.bin] [--order degree|dissection
-               --rows R --cols C] [--workers W] [--queue-capacity Q]
+               --rows R --cols C] [--threads T (index build at startup)]
+               [--workers W] [--queue-capacity Q]
                [--cache-capacity C] [--cache-shards S]
                [--time-budget S (per-query seconds, default 30, 0=unlimited)]
                then speaks the newline request/response protocol on
@@ -154,6 +158,13 @@ KosrEngine LoadEngine(const Args& args) {
 }
 
 void BuildWithRequestedOrder(const Args& args, KosrEngine& engine) {
+  // --threads 0 means "use the hardware"; negatives (and values past the
+  // 32-bit range) would otherwise wrap through the unsigned cast.
+  long long threads = args.GetIntOr("threads", 1);
+  if (threads < 0 || threads > std::numeric_limits<uint32_t>::max()) {
+    throw std::invalid_argument("--threads must be in [0, 2^32)");
+  }
+  uint32_t num_threads = static_cast<uint32_t>(threads);
   std::string order = args.GetOr("order", "degree");
   if (order == "dissection") {
     uint32_t rows = static_cast<uint32_t>(args.GetInt("rows"));
@@ -162,9 +173,9 @@ void BuildWithRequestedOrder(const Args& args, KosrEngine& engine) {
         engine.graph().num_vertices()) {
       throw std::invalid_argument("--rows * --cols must equal |V|");
     }
-    engine.BuildIndexes(GridDissectionOrder(rows, cols));
+    engine.BuildIndexes(GridDissectionOrder(rows, cols), num_threads);
   } else if (order == "degree") {
-    engine.BuildIndexes();
+    engine.BuildIndexes(num_threads);
   } else {
     throw std::invalid_argument("unknown --order " + order);
   }

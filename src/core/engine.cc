@@ -11,6 +11,7 @@
 #include "src/nn/dijkstra_nn.h"
 #include "src/nn/find_nen.h"
 #include "src/nn/find_nn.h"
+#include "src/util/parallel.h"
 #include "src/util/timer.h"
 
 namespace kosr {
@@ -103,18 +104,24 @@ KosrEngine::KosrEngine(Graph graph, CategoryTable categories)
   }
 }
 
-void KosrEngine::BuildIndexes() { BuildIndexes(HubLabeling::DegreeOrder(graph_)); }
+void KosrEngine::BuildIndexes(uint32_t num_threads) {
+  BuildIndexes(HubLabeling::DegreeOrder(graph_, num_threads), num_threads);
+}
 
-void KosrEngine::BuildIndexes(const std::vector<VertexId>& order) {
-  labeling_.Build(graph_, order);
+void KosrEngine::BuildIndexes(const std::vector<VertexId>& order,
+                              uint32_t num_threads) {
+  labeling_.Build(graph_, order, num_threads);
   label_build_seconds_ = labeling_.BuildSeconds();
   WallTimer timer;
-  inverted_.clear();
-  inverted_.reserve(categories_.num_categories());
-  for (CategoryId c = 0; c < categories_.num_categories(); ++c) {
-    inverted_.push_back(
-        InvertedLabelIndex::Build(labeling_, categories_.Members(c)));
-  }
+  // Categories are independent of one another, so each inverted index build
+  // is one parallel task (dynamic scheduling — category sizes can be very
+  // skewed under the Zipfian tables).
+  inverted_.assign(categories_.num_categories(), {});
+  ParallelForEachIndex(
+      num_threads, categories_.num_categories(), [&](uint64_t c) {
+        inverted_[c] = InvertedLabelIndex::Build(
+            labeling_, categories_.Members(static_cast<CategoryId>(c)));
+      });
   inverted_build_seconds_ = timer.ElapsedSeconds();
   indexes_built_ = true;
 }
@@ -176,10 +183,11 @@ void KosrEngine::RemoveVertexCategory(VertexId v, CategoryId c) {
   categories_.Remove(v, c);
 }
 
-void KosrEngine::AddOrDecreaseEdge(VertexId u, VertexId v, Weight w) {
-  auto edges = graph_.ToEdges();
-  edges.emplace_back(u, v, w);
-  graph_ = Graph::FromEdges(graph_.num_vertices(), edges);
+bool KosrEngine::AddOrDecreaseEdge(VertexId u, VertexId v, Weight w) {
+  // In-place arc update; a no-op (existing weight already <= w, or a self
+  // loop) leaves the graph and every index untouched, so repeated updates
+  // to the same edge can neither grow the arc lists nor trigger repairs.
+  if (!graph_.AddOrDecreaseArc(u, v, w)) return false;
   if (indexes_built_) {
     labeling_.OnEdgeDecreased(graph_, u, v, w);
     // Inverted lists hold Lin distances, which the incremental repair may
@@ -189,6 +197,7 @@ void KosrEngine::AddOrDecreaseEdge(VertexId u, VertexId v, Weight w) {
       inverted_[c] = InvertedLabelIndex::Build(labeling_, categories_.Members(c));
     }
   }
+  return true;
 }
 
 void KosrEngine::SaveIndexes(std::ostream& out) const {
@@ -203,7 +212,9 @@ void KosrEngine::SaveIndexes(std::ostream& out) const {
 }
 
 void KosrEngine::LoadIndexes(std::istream& in) {
-  labeling_ = HubLabeling::Deserialize(in);
+  // Passing the expected vertex count makes Deserialize reject an absurd
+  // claimed n before sizing anything from it.
+  labeling_ = HubLabeling::Deserialize(in, graph_.num_vertices());
   if (labeling_.num_vertices() != graph_.num_vertices()) {
     throw std::runtime_error("index snapshot is for a different graph");
   }
@@ -215,7 +226,8 @@ void KosrEngine::LoadIndexes(std::istream& in) {
   inverted_.clear();
   inverted_.reserve(num_categories);
   for (uint32_t c = 0; c < num_categories; ++c) {
-    inverted_.push_back(InvertedLabelIndex::Deserialize(in));
+    inverted_.push_back(
+        InvertedLabelIndex::Deserialize(in, graph_.num_vertices()));
   }
   indexes_built_ = true;
 }

@@ -31,10 +31,15 @@ class KosrEngine {
   KosrEngine(Graph graph, CategoryTable categories);
 
   /// Builds the hub labeling (degree order) and all inverted label indexes.
-  void BuildIndexes();
+  /// `num_threads` parallelizes the whole pipeline — the degree-order sort,
+  /// the rank-batched hub-label construction, and the per-category inverted
+  /// index builds (0 = hardware concurrency). The resulting indexes are
+  /// byte-identical for every thread count.
+  void BuildIndexes(uint32_t num_threads = 1);
   /// Same with an explicit hub order (e.g. a grid dissection order or a CH
   /// importance order — see DESIGN.md on ordering quality).
-  void BuildIndexes(const std::vector<VertexId>& order);
+  void BuildIndexes(const std::vector<VertexId>& order,
+                    uint32_t num_threads = 1);
 
   /// Answers a KOSR query. Categories referenced by the sequence must be
   /// non-empty; an unreachable query yields fewer than k (possibly zero)
@@ -58,10 +63,14 @@ class KosrEngine {
   void AddVertexCategory(VertexId v, CategoryId c);
   /// Category update: vertex loses a category.
   void RemoveVertexCategory(VertexId v, CategoryId c);
-  /// Graph update: inserts arc (u, v, w) or lowers an existing arc's weight,
-  /// and incrementally repairs the labeling (resumed pruned searches).
-  /// Weight increases/deletions require a rebuild.
-  void AddOrDecreaseEdge(VertexId u, VertexId v, Weight w);
+  /// Graph update: inserts arc (u, v, w) or lowers an existing arc's weight
+  /// in place (Graph::AddOrDecreaseArc — repeated updates to the same edge
+  /// do not grow the arc lists), and incrementally repairs the labeling
+  /// (resumed pruned searches). A no-op update (w >= the current weight)
+  /// touches nothing and returns false, so callers (the service's cache
+  /// invalidation) can skip their own reactions too. Weight increases /
+  /// deletions require a rebuild.
+  bool AddOrDecreaseEdge(VertexId u, VertexId v, Weight w);
 
   // --- Index persistence ----------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "src/util/min_heap.h"
 
@@ -46,6 +47,46 @@ Graph Graph::FromEdges(
               g.in_arcs_.begin() + g.in_begin_[v + 1], cmp);
   }
   return g;
+}
+
+bool Graph::AddOrDecreaseArc(VertexId u, VertexId v, Weight w) {
+  if (u >= num_vertices() || v >= num_vertices()) {
+    throw std::invalid_argument("arc endpoint outside the vertex universe");
+  }
+  if (u == v) return false;  // self loops are dropped, as in FromEdges
+
+  auto arc_less = [](const Arc& a, const Arc& b) {
+    return a.head != b.head ? a.head < b.head : a.weight < b.weight;
+  };
+
+  // Adjacency rows are (head, weight)-sorted, so the first arc with head v
+  // is the cheapest parallel.
+  auto out_lo = out_arcs_.begin() + out_begin_[u];
+  auto out_hi = out_arcs_.begin() + out_begin_[u + 1];
+  auto out_it = std::lower_bound(out_lo, out_hi, Arc{v, 0}, arc_less);
+  if (out_it != out_hi && out_it->head == v) {
+    if (out_it->weight <= w) return false;
+    // Lowering the cheapest parallel keeps the row sorted (it stays first
+    // in its head group). Mirror the change on the matching reverse arc.
+    Weight old = out_it->weight;
+    out_it->weight = w;
+    auto in_lo = in_arcs_.begin() + in_begin_[v];
+    auto in_hi = in_arcs_.begin() + in_begin_[v + 1];
+    auto in_it = std::lower_bound(in_lo, in_hi, Arc{u, old}, arc_less);
+    assert(in_it != in_hi && in_it->head == u && in_it->weight == old);
+    in_it->weight = w;
+    return true;
+  }
+
+  // New arc: splice into both CSR arrays and shift the row offsets after it.
+  out_arcs_.insert(out_it, Arc{v, w});
+  for (size_t i = u + 1; i < out_begin_.size(); ++i) ++out_begin_[i];
+  auto in_lo = in_arcs_.begin() + in_begin_[v];
+  auto in_hi = in_arcs_.begin() + in_begin_[v + 1];
+  auto in_it = std::lower_bound(in_lo, in_hi, Arc{u, w}, arc_less);
+  in_arcs_.insert(in_it, Arc{u, w});
+  for (size_t i = v + 1; i < in_begin_.size(); ++i) ++in_begin_[i];
+  return true;
 }
 
 Cost Graph::ArcWeight(VertexId u, VertexId v) const {

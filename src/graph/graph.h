@@ -17,8 +17,10 @@ struct Arc {
   Weight weight;   ///< Non-negative cost of traversing the arc.
 };
 
-/// Immutable directed weighted graph in compressed-sparse-row form, with a
-/// materialized reverse adjacency for backward searches.
+/// Directed weighted graph in compressed-sparse-row form, with a
+/// materialized reverse adjacency for backward searches. Bulk construction
+/// is via FromEdges; the only in-place mutation is AddOrDecreaseArc, the
+/// dynamic-update path of Sec. IV-C.
 ///
 /// This is Definition 1 of the paper minus the category function, which
 /// lives in CategoryTable so one graph can carry many category assignments.
@@ -60,6 +62,17 @@ class Graph {
 
   /// Weight of arc (u, v), or kInfCost if absent (minimum over parallels).
   Cost ArcWeight(VertexId u, VertexId v) const;
+
+  /// In-place edge insertion or weight decrease: lowers the cheapest
+  /// existing (u, v) arc to `w`, or inserts the arc once if absent — never
+  /// accumulates parallel arcs, unlike rebuilding from an edge list with an
+  /// appended triple. Both adjacencies stay (head, weight)-sorted. Returns
+  /// true iff the minimum u->v weight actually decreased (false for
+  /// self-loops and no-op updates with w >= the current weight, so callers
+  /// can skip index repairs). Throws std::invalid_argument for out-of-range
+  /// endpoints. O(degree) for a decrease; an insert additionally shifts the
+  /// arc arrays (O(n + m) worst case, still far cheaper than a rebuild).
+  bool AddOrDecreaseArc(VertexId u, VertexId v, Weight w);
 
   /// True if every arc (u, v) has a twin (v, u) of equal weight.
   bool IsSymmetric() const;

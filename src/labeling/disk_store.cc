@@ -121,7 +121,8 @@ DiskLabelStore::QueryContext DiskLabelStore::Load(
       VertexId m = ReadPod<VertexId>(cats);
       out_labels[m] = ReadLabels(cats);
     }
-    ctx.slot_indexes.push_back(InvertedLabelIndex::Deserialize(cats));
+    ctx.slot_indexes.push_back(
+        InvertedLabelIndex::Deserialize(cats, num_vertices_));
   }
 
   std::ifstream labels(dir_ + "/labels.bin", std::ios::binary);

@@ -1,12 +1,18 @@
 #include "src/labeling/hub_labeling.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <istream>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "src/util/min_heap.h"
+#include "src/util/parallel.h"
 #include "src/util/timer.h"
 
 namespace kosr {
@@ -39,48 +45,173 @@ void InsertOrUpdate(std::vector<LabelEntry>& labels, const LabelEntry& entry) {
   }
 }
 
+bool IsPermutation(const std::vector<VertexId>& order, uint32_t n) {
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (VertexId v : order) {
+    if (v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+// Snapshot validation shared by Deserialize and FromParts: every field of a
+// label entry is attacker-controlled until proven otherwise.
+void ValidateLabelVector(const std::vector<LabelEntry>& labels, uint32_t n,
+                         const char* what) {
+  uint32_t prev_rank = 0;
+  bool first = true;
+  for (const LabelEntry& e : labels) {
+    if (e.hub_rank >= n) {
+      throw std::runtime_error(std::string(what) + ": hub rank out of range");
+    }
+    if (!first && e.hub_rank <= prev_rank) {
+      throw std::runtime_error(std::string(what) +
+                               ": label vector not strictly rank-sorted");
+    }
+    if (e.parent != kInvalidVertex && e.parent >= n) {
+      throw std::runtime_error(std::string(what) + ": parent out of range");
+    }
+    prev_rank = e.hub_rank;
+    first = false;
+  }
+}
+
 }  // namespace
 
-std::vector<VertexId> HubLabeling::DegreeOrder(const Graph& graph) {
-  std::vector<VertexId> order(graph.num_vertices());
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) order[v] = v;
-  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-    uint64_t pa = static_cast<uint64_t>(graph.InDegree(a) + 1) *
-                  (graph.OutDegree(a) + 1);
-    uint64_t pb = static_cast<uint64_t>(graph.InDegree(b) + 1) *
-                  (graph.OutDegree(b) + 1);
-    return pa != pb ? pa > pb : a < b;
+// One (vertex, dist, parent) produced by a batched search, pending the
+// commit-phase prune re-check.
+struct HubLabeling::CandidateLabel {
+  VertexId vertex;
+  uint32_t dist;
+  VertexId parent;
+};
+
+// Per-thread pruned-Dijkstra scratch. dist/parent are dense arrays reset via
+// the touched list (cheap for small search spaces); scratch is the dense
+// distance table keyed by hub rank holding the current hub's opposite-side
+// labels during prune checks.
+struct HubLabeling::SearchContext {
+  std::vector<Cost> dist;
+  std::vector<VertexId> parent;
+  std::vector<VertexId> touched;
+  IndexedMinHeap heap;
+  std::vector<Cost> scratch;
+  std::vector<uint32_t> scratch_touched;
+
+  explicit SearchContext(uint32_t n)
+      : dist(n, kInfCost),
+        parent(n, kInvalidVertex),
+        heap(n),
+        scratch(n, kInfCost) {}
+};
+
+std::vector<VertexId> HubLabeling::DegreeOrder(const Graph& graph,
+                                               uint32_t num_threads) {
+  uint32_t n = graph.num_vertices();
+  // Precompute the keys once: the comparator runs O(n log n) times and the
+  // degree lookups are two indirections each.
+  std::vector<uint64_t> key(n);
+  constexpr uint32_t kChunk = 4096;
+  uint64_t chunks = (static_cast<uint64_t>(n) + kChunk - 1) / kChunk;
+  ParallelForEachIndex(num_threads, chunks, [&](uint64_t c) {
+    uint32_t lo = static_cast<uint32_t>(c * kChunk);
+    uint32_t hi = std::min(n, lo + kChunk);
+    for (VertexId v = lo; v < hi; ++v) {
+      key[v] = static_cast<uint64_t>(graph.InDegree(v) + 1) *
+               (graph.OutDegree(v) + 1);
+    }
   });
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  ParallelSort(
+      order,
+      [&](VertexId a, VertexId b) {
+        return key[a] != key[b] ? key[a] > key[b] : a < b;
+      },
+      num_threads);
   return order;
 }
 
-void HubLabeling::Build(const Graph& graph) { Build(graph, DegreeOrder(graph)); }
+void HubLabeling::Build(const Graph& graph, uint32_t num_threads) {
+  Build(graph, DegreeOrder(graph, num_threads), num_threads);
+}
 
-void HubLabeling::Build(const Graph& graph, const std::vector<VertexId>& order) {
-  if (order.size() != graph.num_vertices()) {
+void HubLabeling::Build(const Graph& graph, const std::vector<VertexId>& order,
+                        uint32_t num_threads) {
+  uint32_t n = graph.num_vertices();
+  if (!IsPermutation(order, n)) {
     throw std::invalid_argument("order must be a permutation of the vertices");
   }
   WallTimer timer;
-  uint32_t n = graph.num_vertices();
   in_labels_.assign(n, {});
   out_labels_.assign(n, {});
   order_ = order;
   rank_.assign(n, 0);
   for (uint32_t r = 0; r < n; ++r) rank_[order_[r]] = r;
-  scratch_.assign(n, kInfCost);
-  scratch_touched_.clear();
 
-  for (uint32_t r = 0; r < n; ++r) {
-    VertexId hub = order_[r];
-    PrunedSearch(graph, r, /*forward=*/true, {{hub, 0}});
-    PrunedSearch(graph, r, /*forward=*/false, {{hub, 0}});
+  num_threads = ResolveThreadCount(num_threads);
+  if (num_threads == 1) {
+    // Sequential fast path: labels commit directly during the search (the
+    // prune there already runs against the fully committed prefix), so the
+    // batched commit re-check would be pure duplicated work.
+    SearchContext ctx(n);
+    for (uint32_t r = 0; r < n; ++r) {
+      PrunedSearch(graph, r, /*forward=*/true, {{order_[r], 0}}, ctx, nullptr);
+      PrunedSearch(graph, r, /*forward=*/false, {{order_[r], 0}}, ctx,
+                   nullptr);
+    }
+    build_seconds_ = timer.ElapsedSeconds();
+    return;
+  }
+
+  std::vector<std::unique_ptr<SearchContext>> contexts;
+  contexts.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    contexts.push_back(std::make_unique<SearchContext>(n));
+  }
+
+  // Rank-batched construction. Threads run pruned searches for every hub of
+  // the batch against the labels committed by *earlier* batches only (the
+  // label vectors are never written while searches run, so sharing them is
+  // race-free); the weaker prune admits extra candidates, and the sequential
+  // commit phase below re-checks each one in rank order against the labels
+  // committed so far — including same-batch smaller ranks — so exactly the
+  // canonical (sequential) label set survives. Batches start at size 1
+  // because the top hubs have the largest searches and their labels prune
+  // everything after them; the cap keeps all threads busy on the long tail
+  // of small searches.
+  const uint32_t batch_cap = std::max<uint32_t>(8 * num_threads, 64);
+  std::vector<std::vector<CandidateLabel>> candidates;
+  uint32_t batch_size = 1;
+  for (uint32_t begin = 0; begin < n; begin += batch_size,
+                batch_size = std::min(batch_size * 2, batch_cap)) {
+    batch_size = std::min(batch_size, n - begin);
+    const uint32_t tasks = 2 * batch_size;  // (rank, direction) pairs
+    candidates.assign(tasks, {});
+    ParallelForEachIndexWithThread(
+        num_threads, tasks, [&](uint64_t task, uint32_t thread) {
+          uint32_t rank = begin + static_cast<uint32_t>(task) / 2;
+          bool forward = task % 2 == 0;
+          PrunedSearch(graph, rank, forward, {{order_[rank], 0}},
+                       *contexts[thread], &candidates[task]);
+        });
+    // Commit in rank order, forward before backward — the same order the
+    // sequential build writes labels in.
+    for (uint32_t i = 0; i < batch_size; ++i) {
+      CommitCandidates(begin + i, /*forward=*/true, candidates[2 * i],
+                       *contexts[0]);
+      CommitCandidates(begin + i, /*forward=*/false, candidates[2 * i + 1],
+                       *contexts[0]);
+    }
   }
   build_seconds_ = timer.ElapsedSeconds();
 }
 
 void HubLabeling::PrunedSearch(
     const Graph& graph, uint32_t rank, bool forward,
-    const std::vector<std::pair<VertexId, Cost>>& seeds) {
+    const std::vector<std::pair<VertexId, Cost>>& seeds, SearchContext& ctx,
+    std::vector<CandidateLabel>* candidates) {
   VertexId hub = order_[rank];
 
   // Load the hub's own opposite-side labels (ranks < `rank`) into the dense
@@ -88,21 +219,14 @@ void HubLabeling::PrunedSearch(
   const auto& hub_labels = forward ? out_labels_[hub] : in_labels_[hub];
   for (const LabelEntry& e : hub_labels) {
     if (e.hub_rank >= rank) break;
-    scratch_[e.hub_rank] = e.dist;
-    scratch_touched_.push_back(e.hub_rank);
+    ctx.scratch[e.hub_rank] = e.dist;
+    ctx.scratch_touched.push_back(e.hub_rank);
   }
 
-  // Local Dijkstra state. dist/parent are kept in hash-free dense arrays that
-  // are reset via the touched list (cheap for small search spaces).
-  static thread_local std::vector<Cost> dist;
-  static thread_local std::vector<VertexId> parent;
-  static thread_local std::vector<VertexId> touched;
-  static thread_local IndexedMinHeap heap;
-  if (dist.size() < graph.num_vertices()) {
-    dist.assign(graph.num_vertices(), kInfCost);
-    parent.assign(graph.num_vertices(), kInvalidVertex);
-    heap.Resize(graph.num_vertices());
-  }
+  auto& dist = ctx.dist;
+  auto& parent = ctx.parent;
+  auto& touched = ctx.touched;
+  auto& heap = ctx.heap;
 
   for (const auto& [v, d] : seeds) {
     if (d < dist[v]) {
@@ -110,7 +234,7 @@ void HubLabeling::PrunedSearch(
       dist[v] = d;
       // Seed parents for resumed searches are patched by the caller via the
       // existing labels; for construction the seed is the hub itself.
-      parent[v] = (v == hub) ? kInvalidVertex : kInvalidVertex;
+      parent[v] = kInvalidVertex;
       heap.InsertOrDecrease(v, d);
     }
   }
@@ -122,14 +246,18 @@ void HubLabeling::PrunedSearch(
     Cost covered = kInfCost;
     for (const LabelEntry& e : x_labels) {
       if (e.hub_rank >= rank) break;
-      Cost via = scratch_[e.hub_rank];
+      Cost via = ctx.scratch[e.hub_rank];
       if (via != kInfCost) covered = std::min(covered, via + e.dist);
     }
     if (covered <= d) continue;
 
-    auto& target_labels = forward ? in_labels_[x] : out_labels_[x];
-    InsertOrUpdate(target_labels,
-                   {rank, static_cast<uint32_t>(d), parent[x]});
+    if (candidates != nullptr) {
+      candidates->push_back({x, static_cast<uint32_t>(d), parent[x]});
+    } else {
+      auto& target_labels = forward ? in_labels_[x] : out_labels_[x];
+      InsertOrUpdate(target_labels,
+                     {rank, static_cast<uint32_t>(d), parent[x]});
+    }
 
     auto arcs = forward ? graph.OutArcs(x) : graph.InArcs(x);
     for (const Arc& a : arcs) {
@@ -139,6 +267,14 @@ void HubLabeling::PrunedSearch(
         dist[a.head] = nd;
         parent[a.head] = x;
         heap.InsertOrDecrease(a.head, nd);
+      } else if (nd == dist[a.head] && x < parent[a.head]) {
+        // Canonical tie-break: among equal-cost predecessors keep the
+        // smallest id. This makes the Dijkstra tree — and thus the stored
+        // parent pointers — independent of exploration order, which is what
+        // lets the batched parallel build reproduce the sequential labels
+        // byte for byte (batched searches explore more than sequential ones
+        // and would otherwise pick different shortest-path ties).
+        parent[a.head] = x;
       }
     }
   }
@@ -149,8 +285,36 @@ void HubLabeling::PrunedSearch(
   }
   touched.clear();
   heap.Clear();
-  for (uint32_t r : scratch_touched_) scratch_[r] = kInfCost;
-  scratch_touched_.clear();
+  for (uint32_t r : ctx.scratch_touched) ctx.scratch[r] = kInfCost;
+  ctx.scratch_touched.clear();
+}
+
+void HubLabeling::CommitCandidates(
+    uint32_t rank, bool forward, const std::vector<CandidateLabel>& candidates,
+    SearchContext& ctx) {
+  VertexId hub = order_[rank];
+  // Same scratch layout as the search-time prune, but now over the fully
+  // committed prefix: same-batch hubs of smaller rank are in by now.
+  const auto& hub_labels = forward ? out_labels_[hub] : in_labels_[hub];
+  for (const LabelEntry& e : hub_labels) {
+    if (e.hub_rank >= rank) break;
+    ctx.scratch[e.hub_rank] = e.dist;
+    ctx.scratch_touched.push_back(e.hub_rank);
+  }
+  for (const CandidateLabel& c : candidates) {
+    const auto& labels = forward ? in_labels_[c.vertex] : out_labels_[c.vertex];
+    Cost covered = kInfCost;
+    for (const LabelEntry& e : labels) {
+      if (e.hub_rank >= rank) break;
+      Cost via = ctx.scratch[e.hub_rank];
+      if (via != kInfCost) covered = std::min(covered, via + e.dist);
+    }
+    if (covered <= static_cast<Cost>(c.dist)) continue;
+    auto& target = forward ? in_labels_[c.vertex] : out_labels_[c.vertex];
+    InsertOrUpdate(target, {rank, c.dist, c.parent});
+  }
+  for (uint32_t r : ctx.scratch_touched) ctx.scratch[r] = kInfCost;
+  ctx.scratch_touched.clear();
 }
 
 Cost HubLabeling::Query(VertexId s, VertexId t) const {
@@ -191,41 +355,66 @@ std::vector<VertexId> HubLabeling::UnpackPath(VertexId s, VertexId t) const {
   uint32_t rank = q->second;
   VertexId hub = order_[rank];
 
-  // s -> hub along Lout parent chain (each step moves to the next vertex on
-  // the path toward the hub).
-  std::vector<VertexId> path;
-  VertexId cur = s;
-  while (cur != hub) {
-    path.push_back(cur);
-    const LabelEntry* e = FindRank(out_labels_[cur], rank);
-    assert(e != nullptr && e->parent != kInvalidVertex);
-    cur = e->parent;
-  }
-  path.push_back(hub);
+  // Every labeling this code builds has intact parent chains (asserted),
+  // but a labeling assembled from parts — or a hostile snapshot that slips
+  // past validation — might not: walk defensively (missing link -> empty
+  // path, like an unreachable pair) and bound each chain by n (a shortest
+  // path is simple), so malformed parents can never dereference null or
+  // spin a serve worker forever.
+  auto walk = [&](VertexId from, const std::vector<std::vector<LabelEntry>>&
+                                     labels) -> std::vector<VertexId> {
+    std::vector<VertexId> chain;
+    VertexId cur = from;
+    while (cur != hub) {
+      if (chain.size() >= num_vertices()) return {};
+      chain.push_back(cur);
+      const LabelEntry* e = FindRank(labels[cur], rank);
+      assert(e != nullptr && e->parent != kInvalidVertex);
+      if (e == nullptr || e->parent == kInvalidVertex) return {};
+      cur = e->parent;
+    }
+    chain.push_back(hub);
+    return chain;
+  };
 
-  // hub -> t along Lin parent chain, collected backward.
-  std::vector<VertexId> tail;
-  cur = t;
-  while (cur != hub) {
-    tail.push_back(cur);
-    const LabelEntry* e = FindRank(in_labels_[cur], rank);
-    assert(e != nullptr && e->parent != kInvalidVertex);
-    cur = e->parent;
-  }
-  path.insert(path.end(), tail.rbegin(), tail.rend());
+  // s -> hub along the Lout parent chain, then hub -> t along the Lin chain
+  // (walked from t, so reversed).
+  std::vector<VertexId> path = walk(s, out_labels_);
+  std::vector<VertexId> tail = walk(t, in_labels_);
+  if (path.empty() || tail.empty()) return {};
+  // tail is [t, ..., hub]; reversed it is [hub, ..., t] — skip the hub,
+  // path already ends with it.
+  path.insert(path.end(), tail.rbegin() + 1, tail.rend());
   return path;
 }
 
 void HubLabeling::OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v,
                                   Weight w) {
+  // The O(n) search scratch is built on first use and shared by every
+  // resumed search of this update — an update whose resumes are all
+  // certified away by existing labels allocates nothing.
+  std::unique_ptr<SearchContext> lazy_ctx;
+  auto ctx_ref = [&]() -> SearchContext& {
+    if (!lazy_ctx) lazy_ctx = std::make_unique<SearchContext>(num_vertices());
+    return *lazy_ctx;
+  };
   // Forward side: every hub h that reaches u may now reach v (and beyond)
   // more cheaply through the new edge. Resume h's forward search from v.
-  // Iterating in rank order keeps pruning effective.
-  auto lin_u = in_labels_[u];  // copy: PrunedSearch mutates labels
-  std::vector<LabelEntry> lin_copy(lin_u.begin(), lin_u.end());
+  // Iterating in rank order keeps pruning effective. One copy of the label
+  // vector: PrunedSearch may mutate in_labels_[u] itself.
+  std::vector<LabelEntry> lin_copy(in_labels_[u].begin(), in_labels_[u].end());
   for (const LabelEntry& e : lin_copy) {
     Cost seed = static_cast<Cost>(e.dist) + w;
-    PrunedSearch(graph, e.hub_rank, /*forward=*/true, {{v, seed}});
+    // If v's label for this hub already certifies dis(hub, v) <= seed, the
+    // resumed search cannot improve anything: any path through the new edge
+    // to some x costs >= seed + dis(v, x) >= dis(hub, v) + dis(v, x)
+    // >= dis(hub, x). Skip the search entirely.
+    const LabelEntry* existing = FindRank(in_labels_[v], e.hub_rank);
+    if (existing != nullptr && static_cast<Cost>(existing->dist) <= seed) {
+      continue;
+    }
+    PrunedSearch(graph, e.hub_rank, /*forward=*/true, {{v, seed}}, ctx_ref(),
+                 nullptr);
     // Patch the parent of the seed entry: it came through u.
     auto& labels = in_labels_[v];
     auto it = std::lower_bound(labels.begin(), labels.end(), e.hub_rank,
@@ -238,11 +427,16 @@ void HubLabeling::OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v,
     }
   }
   // Backward side symmetric.
-  auto lout_v = out_labels_[v];
-  std::vector<LabelEntry> lout_copy(lout_v.begin(), lout_v.end());
+  std::vector<LabelEntry> lout_copy(out_labels_[v].begin(),
+                                    out_labels_[v].end());
   for (const LabelEntry& e : lout_copy) {
     Cost seed = static_cast<Cost>(e.dist) + w;
-    PrunedSearch(graph, e.hub_rank, /*forward=*/false, {{u, seed}});
+    const LabelEntry* existing = FindRank(out_labels_[u], e.hub_rank);
+    if (existing != nullptr && static_cast<Cost>(existing->dist) <= seed) {
+      continue;
+    }
+    PrunedSearch(graph, e.hub_rank, /*forward=*/false, {{u, seed}}, ctx_ref(),
+                 nullptr);
     auto& labels = out_labels_[u];
     auto it = std::lower_bound(labels.begin(), labels.end(), e.hub_rank,
                                [](const LabelEntry& le, uint32_t r) {
@@ -296,8 +490,14 @@ void WriteLabelVector(std::ostream& out, const std::vector<LabelEntry>& l) {
             static_cast<std::streamsize>(l.size() * sizeof(LabelEntry)));
 }
 
-std::vector<LabelEntry> ReadLabelVector(std::istream& in) {
+// `max_size` bounds the allocation before it happens: a vertex has at most
+// one entry per hub, so any claimed size beyond the vertex count is
+// malformed, not merely big.
+std::vector<LabelEntry> ReadLabelVector(std::istream& in, uint64_t max_size) {
   uint64_t size = ReadPod<uint64_t>(in);
+  if (size > max_size) {
+    throw std::runtime_error("label vector size exceeds vertex count");
+  }
   std::vector<LabelEntry> l(size);
   in.read(reinterpret_cast<char*>(l.data()),
           static_cast<std::streamsize>(size * sizeof(LabelEntry)));
@@ -316,23 +516,64 @@ void HubLabeling::Serialize(std::ostream& out) const {
   for (const auto& l : out_labels_) WriteLabelVector(out, l);
 }
 
-HubLabeling HubLabeling::Deserialize(std::istream& in) {
+HubLabeling HubLabeling::Deserialize(std::istream& in,
+                                     uint32_t expected_vertices) {
   if (ReadPod<uint64_t>(in) != 0x4b4f53524c424c31ull) {
     throw std::runtime_error("bad hub labeling magic");
   }
   uint32_t n = ReadPod<uint32_t>(in);
+  if (expected_vertices != 0 && n != expected_vertices) {
+    throw std::runtime_error("index snapshot is for a different graph");
+  }
   HubLabeling hl;
   hl.order_.resize(n);
   in.read(reinterpret_cast<char*>(hl.order_.data()),
           static_cast<std::streamsize>(n * sizeof(VertexId)));
   if (!in) throw std::runtime_error("truncated hub labeling stream");
+  if (!IsPermutation(hl.order_, n)) {
+    // Without this check the rank_[order_[r]] scatter below would write out
+    // of bounds for order values >= n.
+    throw std::runtime_error("hub order is not a permutation of the vertices");
+  }
   hl.rank_.assign(n, 0);
   for (uint32_t r = 0; r < n; ++r) hl.rank_[hl.order_[r]] = r;
   hl.in_labels_.resize(n);
   hl.out_labels_.resize(n);
-  for (uint32_t v = 0; v < n; ++v) hl.in_labels_[v] = ReadLabelVector(in);
-  for (uint32_t v = 0; v < n; ++v) hl.out_labels_[v] = ReadLabelVector(in);
-  hl.scratch_.assign(n, kInfCost);
+  for (uint32_t v = 0; v < n; ++v) {
+    hl.in_labels_[v] = ReadLabelVector(in, n);
+    ValidateLabelVector(hl.in_labels_[v], n, "hub labeling Lin");
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    hl.out_labels_[v] = ReadLabelVector(in, n);
+    ValidateLabelVector(hl.out_labels_[v], n, "hub labeling Lout");
+  }
+  // Structural pass: parent chains must be walkable, or UnpackPath on a
+  // hostile snapshot could chase dangling or circular parents. In any real
+  // labeling a non-hub entry's parent is the next vertex on the path toward
+  // the hub, one positive-weight arc closer — so the parent carries a
+  // same-side entry for the same hub with strictly smaller distance, and a
+  // parentless entry is exactly the hub's self-entry. Full snapshots (unlike
+  // FromParts working sets) contain every chain link, so both invariants are
+  // checkable here.
+  for (uint32_t side = 0; side < 2; ++side) {
+    const auto& labels = side == 0 ? hl.in_labels_ : hl.out_labels_;
+    for (uint32_t v = 0; v < n; ++v) {
+      for (const LabelEntry& e : labels[v]) {
+        if (e.parent == kInvalidVertex) {
+          if (hl.order_[e.hub_rank] != v) {
+            throw std::runtime_error(
+                "hub labeling entry without a parent is not a hub self-entry");
+          }
+          continue;
+        }
+        const LabelEntry* p = FindRank(labels[e.parent], e.hub_rank);
+        if (p == nullptr || p->dist >= e.dist) {
+          throw std::runtime_error(
+              "hub labeling parent chain is broken or not decreasing");
+        }
+      }
+    }
+  }
   return hl;
 }
 
@@ -340,26 +581,22 @@ HubLabeling HubLabeling::FromParts(
     std::vector<VertexId> order,
     std::vector<std::vector<LabelEntry>> in_labels,
     std::vector<std::vector<LabelEntry>> out_labels) {
+  uint32_t n = static_cast<uint32_t>(order.size());
+  if (!IsPermutation(order, n)) {
+    throw std::runtime_error("hub order is not a permutation of the vertices");
+  }
+  if (in_labels.size() != n || out_labels.size() != n) {
+    throw std::runtime_error("label table size disagrees with hub order");
+  }
+  for (const auto& l : in_labels) ValidateLabelVector(l, n, "Lin part");
+  for (const auto& l : out_labels) ValidateLabelVector(l, n, "Lout part");
   HubLabeling hl;
   hl.order_ = std::move(order);
   hl.in_labels_ = std::move(in_labels);
   hl.out_labels_ = std::move(out_labels);
-  uint32_t n = static_cast<uint32_t>(hl.order_.size());
   hl.rank_.assign(n, 0);
   for (uint32_t r = 0; r < n; ++r) hl.rank_[hl.order_[r]] = r;
-  hl.scratch_.assign(n, kInfCost);
   return hl;
-}
-
-Cost HubLabeling::QueryUpTo(VertexId t, uint32_t max_rank) const {
-  Cost best = kInfCost;
-  for (const LabelEntry& e : in_labels_[t]) {
-    if (e.hub_rank >= max_rank) break;
-    if (scratch_[e.hub_rank] != kInfCost) {
-      best = std::min(best, scratch_[e.hub_rank] + e.dist);
-    }
-  }
-  return best;
 }
 
 }  // namespace kosr

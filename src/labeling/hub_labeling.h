@@ -25,6 +25,8 @@ struct LabelEntry {
   uint32_t hub_rank;
   uint32_t dist;
   VertexId parent;  ///< kInvalidVertex for the hub's own self-entry.
+
+  friend bool operator==(const LabelEntry&, const LabelEntry&) = default;
 };
 
 /// Sentinel for unreachable in 32-bit label distances.
@@ -46,14 +48,24 @@ class HubLabeling {
   /// Builds the index. `order[r]` is the vertex with rank r; it must be a
   /// permutation of [0, n). Higher-ranked (smaller r) vertices become hubs
   /// of more label entries; a good order is crucial for index size.
-  void Build(const Graph& graph, const std::vector<VertexId>& order);
+  ///
+  /// `num_threads` parallelizes construction with rank-batched pruned
+  /// searches (0 = hardware concurrency). The output is byte-identical for
+  /// every thread count: search threads only read labels committed by
+  /// earlier batches, and a sequential commit phase re-checks the prune
+  /// condition in rank order before merging, so exactly the canonical label
+  /// set survives (see DESIGN.md, "Parallel index construction").
+  void Build(const Graph& graph, const std::vector<VertexId>& order,
+             uint32_t num_threads = 1);
 
   /// Convenience: Build with the degree-product order.
-  void Build(const Graph& graph);
+  void Build(const Graph& graph, uint32_t num_threads = 1);
 
   /// Vertices sorted by (in+1)*(out+1) degree product, descending. A decent
-  /// general-purpose PLL order.
-  static std::vector<VertexId> DegreeOrder(const Graph& graph);
+  /// general-purpose PLL order. `num_threads` parallelizes the key
+  /// computation and sort (deterministic: ties broken by vertex id).
+  static std::vector<VertexId> DegreeOrder(const Graph& graph,
+                                           uint32_t num_threads = 1);
 
   /// dis(s, t), or kInfCost if t is unreachable from s.
   Cost Query(VertexId s, VertexId t) const;
@@ -94,35 +106,51 @@ class HubLabeling {
   // --- Serialization (disk-resident variant, Sec. IV-C) -------------------
 
   void Serialize(std::ostream& out) const;
-  static HubLabeling Deserialize(std::istream& in);
+  /// Reads a snapshot, rejecting malformed input with std::runtime_error:
+  /// the order must be a permutation of [0, n), label vectors are bounded by
+  /// n entries and must be strictly rank-sorted with hub_rank < n and parent
+  /// < n (or kInvalidVertex). serve --indexes feeds this untrusted files, so
+  /// no field is trusted before it is range-checked. Callers that know the
+  /// graph (LoadIndexes) pass `expected_vertices` so an absurd claimed
+  /// vertex count is rejected before the O(n) allocations, not after
+  /// (0 = accept any count).
+  static HubLabeling Deserialize(std::istream& in,
+                                 uint32_t expected_vertices = 0);
 
   /// Assembles a (possibly partial) labeling from raw parts. Vertices whose
   /// label vectors are empty simply answer "unreachable"; the disk-resident
   /// store uses this to materialize exactly the per-query working set.
+  /// Applies the same validation as Deserialize (std::runtime_error).
   static HubLabeling FromParts(std::vector<VertexId> order,
                                std::vector<std::vector<LabelEntry>> in_labels,
                                std::vector<std::vector<LabelEntry>> out_labels);
 
  private:
-  // Runs one pruned Dijkstra from hub `h` (rank `r`) in the given direction,
-  // appending labels. `seeds` is {(h, 0)} during construction, or resumed
-  // frontiers during incremental updates.
-  void PrunedSearch(const Graph& graph, uint32_t rank, bool forward,
-                    const std::vector<std::pair<VertexId, Cost>>& seeds);
+  struct SearchContext;    // Per-thread pruned-Dijkstra scratch.
+  struct CandidateLabel;   // (vertex, dist, parent) produced by a search.
 
-  // Distance query evaluated through a scratch table holding Lout(s) (for
-  // pruning during construction).
-  Cost QueryUpTo(VertexId t, uint32_t max_rank) const;
+  // Runs one pruned Dijkstra from hub of rank `rank` in the given direction.
+  // `seeds` is {(hub, 0)} during construction, or resumed frontiers during
+  // incremental updates. With `candidates` null the surviving labels are
+  // committed directly (sequential/update mode, mutates labels); otherwise
+  // the search is read-only and appends candidates for a later commit.
+  void PrunedSearch(const Graph& graph, uint32_t rank, bool forward,
+                    const std::vector<std::pair<VertexId, Cost>>& seeds,
+                    SearchContext& ctx,
+                    std::vector<CandidateLabel>* candidates);
+
+  // Commit phase of the rank-batched parallel build: re-checks every
+  // candidate of `rank` against the labels committed so far (which now
+  // include same-batch ranks < rank) and merges the survivors.
+  void CommitCandidates(uint32_t rank, bool forward,
+                        const std::vector<CandidateLabel>& candidates,
+                        SearchContext& ctx);
 
   std::vector<std::vector<LabelEntry>> in_labels_;
   std::vector<std::vector<LabelEntry>> out_labels_;
   std::vector<VertexId> order_;
   std::vector<uint32_t> rank_;
   double build_seconds_ = 0;
-
-  // Construction scratch: dense distance table keyed by hub rank.
-  std::vector<Cost> scratch_;
-  std::vector<uint32_t> scratch_touched_;
 };
 
 }  // namespace kosr

@@ -80,21 +80,39 @@ void InvertedLabelIndex::Serialize(std::ostream& out) const {
   }
 }
 
-InvertedLabelIndex InvertedLabelIndex::Deserialize(std::istream& in) {
+InvertedLabelIndex InvertedLabelIndex::Deserialize(std::istream& in,
+                                                   uint32_t num_vertices) {
   InvertedLabelIndex index;
   uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!in) throw std::runtime_error("truncated inverted label stream");
+  // One list per hub, one entry per (member, hub) Lin pair: both counts are
+  // bounded by the vertex universe, so anything larger is malformed — check
+  // before allocating from attacker-controlled sizes.
+  if (n > num_vertices) {
+    throw std::runtime_error("inverted label list count exceeds vertex count");
+  }
   for (uint64_t i = 0; i < n; ++i) {
     uint32_t rank;
     uint64_t size;
     in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
     in.read(reinterpret_cast<char*>(&size), sizeof(size));
     if (!in) throw std::runtime_error("truncated inverted label stream");
+    if (num_vertices != kInvalidVertex &&
+        (rank >= num_vertices || size > num_vertices)) {
+      throw std::runtime_error("inverted label list header out of range");
+    }
     std::vector<InvertedEntry> list(size);
     in.read(reinterpret_cast<char*>(list.data()),
             static_cast<std::streamsize>(size * sizeof(InvertedEntry)));
     if (!in) throw std::runtime_error("truncated inverted label stream");
+    if (num_vertices != kInvalidVertex) {
+      for (const InvertedEntry& e : list) {
+        if (e.member >= num_vertices) {
+          throw std::runtime_error("inverted label member out of range");
+        }
+      }
+    }
     index.lists_[rank] = std::move(list);
   }
   return index;

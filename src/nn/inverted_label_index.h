@@ -58,7 +58,12 @@ class InvertedLabelIndex {
   uint64_t IndexBytes() const;
 
   void Serialize(std::ostream& out) const;
-  static InvertedLabelIndex Deserialize(std::istream& in);
+  /// Reads an index written by Serialize. When `num_vertices` is given
+  /// (untrusted snapshots: serve --indexes), every hub rank, member id, and
+  /// claimed list size is range-checked against it before any allocation;
+  /// malformed input raises std::runtime_error.
+  static InvertedLabelIndex Deserialize(std::istream& in,
+                                        uint32_t num_vertices = kInvalidVertex);
 
  private:
   std::unordered_map<uint32_t, std::vector<InvertedEntry>> lists_;

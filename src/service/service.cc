@@ -202,10 +202,11 @@ void KosrService::AddOrDecreaseEdge(VertexId u, VertexId v, Weight w) {
   std::unique_lock<std::shared_mutex> lock(engine_mutex_);
   CheckVertex(engine_, u, "tail");
   CheckVertex(engine_, v, "head");
-  engine_.AddOrDecreaseEdge(u, v, w);
-  // Shortest-path distances may drop anywhere; every cached route is
-  // potentially no longer optimal.
-  cache_.InvalidateAll();
+  // Shortest-path distances may drop anywhere, so an effective update
+  // invalidates every cached route — but a no-op (weight not lower than the
+  // current arc) changes no distance and must not flush the cache, or a
+  // replayed idempotent edge feed would collapse the hit rate.
+  if (engine_.AddOrDecreaseEdge(u, v, w)) cache_.InvalidateAll();
 }
 
 size_t KosrService::queue_depth() const {

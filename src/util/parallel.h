@@ -1,0 +1,116 @@
+#ifndef KOSR_UTIL_PARALLEL_H_
+#define KOSR_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kosr {
+
+/// Maps the user-facing thread knob to an actual count: 0 means "use the
+/// hardware". Requests are clamped to max(64, 4 x hardware) — past that
+/// point extra threads only cost memory (the hub-label build allocates O(n)
+/// scratch per thread, so an unclamped `--threads 100000` would try to
+/// allocate terabytes and spawn until std::thread throws, instead of
+/// building). Never returns 0.
+inline uint32_t ResolveThreadCount(uint32_t requested) {
+  uint32_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (requested == 0) return hw;
+  return std::min(requested, std::max<uint32_t>(64, 4 * hw));
+}
+
+/// Runs fn(i, thread) for every i in [0, n) on up to `num_threads` threads,
+/// pulling indices from a shared atomic counter (dynamic scheduling —
+/// iterations may have very uneven cost, e.g. one hub-label search per hub).
+/// `thread` is the worker's dense index in [0, min(num_threads, n)), for
+/// indexing per-thread scratch. The calling thread participates as thread 0,
+/// so num_threads == 1 degenerates to a plain loop with no spawns. The first
+/// exception thrown by any iteration is rethrown on the caller once all
+/// threads have joined (remaining iterations still run).
+template <typename Fn>
+void ParallelForEachIndexWithThread(uint32_t num_threads, uint64_t n,
+                                    Fn&& fn) {
+  num_threads = ResolveThreadCount(num_threads);
+  if (num_threads <= 1 || n <= 1) {
+    for (uint64_t i = 0; i < n; ++i) fn(i, uint32_t{0});
+    return;
+  }
+  std::atomic<uint64_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&](uint32_t thread) {
+    for (;;) {
+      uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i, thread);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        // Keep draining indices so sibling threads are not starved into
+        // running iterations this thread would otherwise have absorbed;
+        // remaining work still runs, only the first error is reported.
+      }
+    }
+  };
+  uint32_t spawned = static_cast<uint32_t>(std::min<uint64_t>(num_threads, n)) - 1;
+  std::vector<std::thread> threads;
+  threads.reserve(spawned);
+  for (uint32_t t = 0; t < spawned; ++t) {
+    threads.emplace_back([&worker, t] { worker(t + 1); });
+  }
+  worker(0);
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+/// ParallelForEachIndexWithThread without the thread index.
+template <typename Fn>
+void ParallelForEachIndex(uint32_t num_threads, uint64_t n, Fn&& fn) {
+  ParallelForEachIndexWithThread(num_threads, n,
+                                 [&fn](uint64_t i, uint32_t) { fn(i); });
+}
+
+/// Deterministic parallel sort: the result equals std::sort with the same
+/// strict-weak-order comparator (chunk sort + pairwise inplace_merge, so ties
+/// must be broken by the comparator itself, as std::sort also requires for a
+/// unique answer). Falls back to std::sort for small inputs or 1 thread.
+template <typename T, typename Less>
+void ParallelSort(std::vector<T>& items, Less less, uint32_t num_threads) {
+  num_threads = ResolveThreadCount(num_threads);
+  constexpr size_t kMinParallelSize = 1 << 14;
+  if (num_threads <= 1 || items.size() < kMinParallelSize) {
+    std::sort(items.begin(), items.end(), less);
+    return;
+  }
+  // Chunk boundaries: one even-sized chunk per thread.
+  size_t chunks = num_threads;
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) bounds[c] = items.size() * c / chunks;
+  ParallelForEachIndex(num_threads, chunks, [&](uint64_t c) {
+    std::sort(items.begin() + bounds[c], items.begin() + bounds[c + 1], less);
+  });
+  // log2(chunks) rounds of pairwise merges, each round's merges in parallel.
+  for (size_t width = 1; width < chunks; width *= 2) {
+    std::vector<std::array<size_t, 3>> merges;
+    for (size_t c = 0; c + width < chunks; c += 2 * width) {
+      merges.push_back({bounds[c], bounds[c + width],
+                        bounds[std::min(c + 2 * width, chunks)]});
+    }
+    ParallelForEachIndex(num_threads, merges.size(), [&](uint64_t m) {
+      auto [lo, mid, hi] = merges[m];
+      std::inplace_merge(items.begin() + lo, items.begin() + mid,
+                         items.begin() + hi, less);
+    });
+  }
+}
+
+}  // namespace kosr
+
+#endif  // KOSR_UTIL_PARALLEL_H_

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 namespace kosr::cli {
@@ -130,6 +131,36 @@ TEST_F(CliTest, DijkstraModeWorks) {
                  "--sequence", "0", "--k", "1", "--nn", "dijkstra"}),
             0)
       << out_.str();
+}
+
+TEST_F(CliTest, ThreadedBuildMatchesSequentialSnapshot) {
+  ASSERT_EQ(Run({"generate", "--type", "grid", "--rows", "10", "--cols", "10",
+                 "--seed", "4", "--out", Path("g.gr"), "--categories-out",
+                 Path("c.txt"), "--category-size", "10"}),
+            0);
+  // --threads flows through build-index; the written snapshots must be
+  // byte-identical regardless of thread count.
+  ASSERT_EQ(Run({"build-index", "--graph", Path("g.gr"), "--categories",
+                 Path("c.txt"), "--indexes-out", Path("seq.bin")}),
+            0)
+      << out_.str();
+  ASSERT_EQ(Run({"build-index", "--graph", Path("g.gr"), "--categories",
+                 Path("c.txt"), "--threads", "4", "--indexes-out",
+                 Path("par.bin")}),
+            0)
+      << out_.str();
+  std::ifstream a(Path("seq.bin"), std::ios::binary);
+  std::ifstream b(Path("par.bin"), std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+
+  // Negative thread counts are rejected, not wrapped to huge unsigned.
+  EXPECT_EQ(Run({"build-index", "--graph", Path("g.gr"), "--categories",
+                 Path("c.txt"), "--threads", "-2"}),
+            1);
+  EXPECT_NE(out_.str().find("--threads"), std::string::npos);
 }
 
 TEST_F(CliTest, UsageErrorsReturnOne) {

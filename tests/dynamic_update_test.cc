@@ -1,0 +1,161 @@
+// Randomized dynamic-update equivalence: a KosrEngine that absorbed a
+// sequence of in-place edge and category updates must answer exactly like an
+// engine rebuilt from scratch on the final graph/categories — for label
+// distance queries, unpacked path costs, and full KOSR queries. Also pins
+// the in-place AddOrDecreaseArc regressions: repeated updates to the same
+// edge may not grow the arc lists.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+// Every-pair label queries + unpacked path costs must match a from-scratch
+// rebuild of the current graph.
+void ExpectMatchesRebuild(const KosrEngine& updated) {
+  Graph rebuilt_graph = Graph::FromEdges(updated.graph().num_vertices(),
+                                         updated.graph().ToEdges());
+  CategoryTable rebuilt_cats = updated.categories();
+  KosrEngine rebuilt(std::move(rebuilt_graph), std::move(rebuilt_cats));
+  rebuilt.BuildIndexes();
+
+  uint32_t n = updated.graph().num_vertices();
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      Cost expected = rebuilt.labeling().Query(s, t);
+      ASSERT_EQ(updated.labeling().Query(s, t), expected)
+          << "s=" << s << " t=" << t;
+      if (expected == kInfCost || s == t) continue;
+      // The unpacked path must exist and cost exactly the query distance on
+      // the updated graph.
+      std::vector<VertexId> path = updated.labeling().UnpackPath(s, t);
+      ASSERT_FALSE(path.empty()) << "s=" << s << " t=" << t;
+      ASSERT_EQ(path.front(), s);
+      ASSERT_EQ(path.back(), t);
+      Cost total = 0;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        Cost w = updated.graph().ArcWeight(path[i], path[i + 1]);
+        ASSERT_LT(w, kInfCost)
+            << "missing arc " << path[i] << "->" << path[i + 1];
+        total += w;
+      }
+      ASSERT_EQ(total, expected) << "s=" << s << " t=" << t;
+    }
+  }
+
+  // A few full KOSR queries through the repaired inverted indexes.
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<VertexId> pick(0, n - 1);
+  uint32_t num_categories = updated.categories().num_categories();
+  for (int q = 0; q < 8; ++q) {
+    KosrQuery query;
+    query.source = pick(rng);
+    query.target = pick(rng);
+    query.sequence = {q % num_categories, (q + 1) % num_categories};
+    query.k = 3;
+    KosrResult got = updated.Query(query);
+    KosrResult want = rebuilt.Query(query);
+    ASSERT_EQ(got.routes.size(), want.routes.size()) << "query " << q;
+    for (size_t i = 0; i < got.routes.size(); ++i) {
+      EXPECT_EQ(got.routes[i].cost, want.routes[i].cost)
+          << "query " << q << " route " << i;
+    }
+  }
+}
+
+TEST(DynamicUpdateTest, RandomizedUpdatesMatchFromScratchRebuild) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    auto inst = testing::MakeRandomInstance(36, 130, 3, seed);
+    KosrEngine engine(inst.graph, inst.categories);
+    engine.BuildIndexes(testing::TestThreads());
+
+    std::mt19937_64 rng(seed * 997);
+    std::uniform_int_distribution<VertexId> pick_vertex(0, 35);
+    std::uniform_int_distribution<uint32_t> pick_cat(0, 2);
+    std::uniform_int_distribution<Weight> pick_weight(1, 80);
+    std::uniform_int_distribution<int> pick_op(0, 3);
+    for (int step = 0; step < 24; ++step) {
+      switch (pick_op(rng)) {
+        case 0:
+        case 1: {  // edge updates dominate the mix
+          VertexId u = pick_vertex(rng), v = pick_vertex(rng);
+          if (u != v) engine.AddOrDecreaseEdge(u, v, pick_weight(rng));
+          break;
+        }
+        case 2: {
+          VertexId v = pick_vertex(rng);
+          CategoryId c = pick_cat(rng);
+          if (!engine.categories().Has(v, c)) engine.AddVertexCategory(v, c);
+          break;
+        }
+        case 3: {
+          VertexId v = pick_vertex(rng);
+          CategoryId c = pick_cat(rng);
+          // Keep every category non-empty so KOSR queries stay comparable.
+          if (engine.categories().Has(v, c) &&
+              engine.categories().CategorySize(c) > 1) {
+            engine.RemoveVertexCategory(v, c);
+          }
+          break;
+        }
+      }
+      if (step % 8 == 7) ExpectMatchesRebuild(engine);
+    }
+    ExpectMatchesRebuild(engine);
+  }
+}
+
+TEST(DynamicUpdateTest, RepeatedEdgeUpdatesDoNotGrowArcCount) {
+  auto inst = testing::MakeRandomInstance(40, 140, 3, 7);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+
+  uint64_t before = engine.graph().num_edges();
+  engine.AddOrDecreaseEdge(3, 29, 60);
+  uint64_t after_insert = engine.graph().num_edges();
+  EXPECT_LE(after_insert, before + 1);  // at most one new arc, ever
+
+  // Regression for the ToEdges/FromEdges append: 20 updates to the same
+  // edge used to add 20 parallel arcs.
+  for (Weight w = 59; w >= 40; --w) engine.AddOrDecreaseEdge(3, 29, w);
+  EXPECT_EQ(engine.graph().num_edges(), after_insert);
+  EXPECT_EQ(engine.graph().ArcWeight(3, 29), 40);
+
+  // A worse weight is a no-op: no arc growth, no weight change.
+  engine.AddOrDecreaseEdge(3, 29, 1000);
+  EXPECT_EQ(engine.graph().num_edges(), after_insert);
+  EXPECT_EQ(engine.graph().ArcWeight(3, 29), 40);
+
+  // Self loops and out-of-range endpoints are rejected without mutation.
+  engine.AddOrDecreaseEdge(5, 5, 1);
+  EXPECT_EQ(engine.graph().num_edges(), after_insert);
+  EXPECT_THROW(engine.AddOrDecreaseEdge(3, 4000, 1), std::invalid_argument);
+
+  ExpectMatchesRebuild(engine);
+}
+
+TEST(DynamicUpdateTest, NoOpEdgeUpdateLeavesAnswersIdentical) {
+  auto inst = testing::MakeRandomInstance(30, 110, 3, 9);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  // Re-adding an existing arc at its current weight must change nothing.
+  auto edges = engine.graph().ToEdges();
+  auto [u, v, w] = edges.front();
+  uint64_t arcs = engine.graph().num_edges();
+  engine.AddOrDecreaseEdge(u, v, w);
+  engine.AddOrDecreaseEdge(u, v, w + 10);
+  EXPECT_EQ(engine.graph().num_edges(), arcs);
+  EXPECT_EQ(engine.graph().ArcWeight(u, v), static_cast<Cost>(w));
+  ExpectMatchesRebuild(engine);
+}
+
+}  // namespace
+}  // namespace kosr

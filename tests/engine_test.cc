@@ -126,6 +126,63 @@ TEST(EngineTest, SaveAndLoadIndexes) {
   }
 }
 
+TEST(EngineTest, ThreadedBuildAnswersIdentically) {
+  auto inst = testing::MakeRandomInstance(40, 200, 3, 94);
+  KosrEngine sequential(inst.graph, inst.categories);
+  sequential.BuildIndexes(1);
+  KosrEngine threaded(inst.graph, inst.categories);
+  threaded.BuildIndexes(testing::TestThreads());
+
+  // Identical snapshots is the strongest equivalence the engine can state:
+  // it covers the labeling (order, every entry) and all inverted indexes.
+  std::stringstream a, b;
+  sequential.SaveIndexes(a);
+  threaded.SaveIndexes(b);
+  EXPECT_EQ(a.str(), b.str());
+
+  KosrQuery query{0, 39, {0, 1, 2}, 4};
+  auto ra = sequential.Query(query);
+  auto rb = threaded.Query(query);
+  ASSERT_EQ(ra.routes.size(), rb.routes.size());
+  for (size_t i = 0; i < ra.routes.size(); ++i) {
+    EXPECT_EQ(ra.routes[i].cost, rb.routes[i].cost);
+    EXPECT_EQ(ra.routes[i].witness, rb.routes[i].witness);
+  }
+}
+
+TEST(EngineTest, LoadIndexesRejectsCorruptSnapshot) {
+  auto inst = testing::MakeRandomInstance(30, 140, 3, 95);
+  KosrEngine built(inst.graph, inst.categories);
+  built.BuildIndexes();
+  std::stringstream snapshot;
+  built.SaveIndexes(snapshot);
+  std::string bytes = snapshot.str();
+
+  {  // Absurd claimed vertex count: rejected before the O(n) allocations.
+    std::string corrupt = bytes;
+    uint32_t huge = 0x7fffffff;
+    corrupt.replace(8, 4, reinterpret_cast<const char*>(&huge), 4);
+    KosrEngine engine(inst.graph, inst.categories);
+    std::stringstream in(corrupt);
+    EXPECT_THROW(engine.LoadIndexes(in), std::runtime_error);
+  }
+  {  // Out-of-range hub order value: used to write rank_ out of bounds.
+    std::string corrupt = bytes;
+    uint32_t bogus = 4000000;
+    corrupt.replace(12, 4, reinterpret_cast<const char*>(&bogus), 4);
+    KosrEngine engine(inst.graph, inst.categories);
+    std::stringstream in(corrupt);
+    EXPECT_THROW(engine.LoadIndexes(in), std::runtime_error);
+  }
+  {  // Truncations anywhere in the stream.
+    for (size_t len : {4ul, 40ul, bytes.size() / 2, bytes.size() - 3}) {
+      KosrEngine engine(inst.graph, inst.categories);
+      std::stringstream in(bytes.substr(0, len));
+      EXPECT_THROW(engine.LoadIndexes(in), std::runtime_error) << len;
+    }
+  }
+}
+
 TEST(EngineTest, LoadIndexesRejectsMismatch) {
   auto inst = testing::MakeRandomInstance(40, 200, 3, 92);
   KosrEngine built(inst.graph, inst.categories);

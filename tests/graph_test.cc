@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "src/graph/generators.h"
 
 namespace kosr {
@@ -112,6 +114,79 @@ TEST(DijkstraTest, PointToPointAgreesWithFullSearch) {
   for (VertexId t = 0; t < 60; ++t) {
     EXPECT_EQ(DijkstraDistance(g, 7, t), dist[t]);
   }
+}
+
+// The in-place update must leave the graph exactly as FromEdges would have
+// built it from the updated edge list (CSR offsets, sort order, reverse
+// adjacency — everything ToEdges can observe, plus degrees).
+void ExpectSameAsRebuilt(const Graph& g) {
+  Graph rebuilt = Graph::FromEdges(g.num_vertices(), g.ToEdges());
+  ASSERT_EQ(g.num_edges(), rebuilt.num_edges());
+  EXPECT_EQ(g.ToEdges(), rebuilt.ToEdges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), rebuilt.OutDegree(v)) << v;
+    EXPECT_EQ(g.InDegree(v), rebuilt.InDegree(v)) << v;
+    auto in = g.InArcs(v);
+    auto rin = rebuilt.InArcs(v);
+    ASSERT_EQ(in.size(), rin.size()) << v;
+    for (size_t i = 0; i < in.size(); ++i) {
+      EXPECT_EQ(in[i].head, rin[i].head) << v;
+      EXPECT_EQ(in[i].weight, rin[i].weight) << v;
+    }
+  }
+}
+
+TEST(GraphTest, AddOrDecreaseArcInsertsOnce) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 5}, {2, 3, 2}});
+  EXPECT_TRUE(g.AddOrDecreaseArc(1, 2, 7));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.ArcWeight(1, 2), 7);
+  ExpectSameAsRebuilt(g);
+  // Same arc again, worse or equal weight: no-op.
+  EXPECT_FALSE(g.AddOrDecreaseArc(1, 2, 7));
+  EXPECT_FALSE(g.AddOrDecreaseArc(1, 2, 100));
+  EXPECT_EQ(g.num_edges(), 3u);
+  // Better weight: updates in place, still one arc.
+  EXPECT_TRUE(g.AddOrDecreaseArc(1, 2, 3));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.ArcWeight(1, 2), 3);
+  ExpectSameAsRebuilt(g);
+}
+
+TEST(GraphTest, AddOrDecreaseArcHandlesParallelArcs) {
+  // FromEdges keeps parallel arcs; the update must lower the cheapest one
+  // and never add another parallel.
+  Graph g = Graph::FromEdges(3, {{0, 1, 4}, {0, 1, 9}, {1, 2, 1}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_FALSE(g.AddOrDecreaseArc(0, 1, 6));  // worse than the cheapest
+  EXPECT_TRUE(g.AddOrDecreaseArc(0, 1, 2));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.ArcWeight(0, 1), 2);
+  ExpectSameAsRebuilt(g);
+}
+
+TEST(GraphTest, AddOrDecreaseArcRejectsBadInput) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 4}});
+  EXPECT_FALSE(g.AddOrDecreaseArc(1, 1, 2));  // self loop: dropped
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_THROW(g.AddOrDecreaseArc(0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(g.AddOrDecreaseArc(9, 0, 1), std::invalid_argument);
+}
+
+TEST(GraphTest, AddOrDecreaseArcRandomizedAgainstRebuild) {
+  std::mt19937_64 rng(13);
+  Graph g = MakeRandomGraph(20, 60, /*seed=*/3);
+  std::uniform_int_distribution<VertexId> pick(0, 19);
+  std::uniform_int_distribution<Weight> weight(1, 50);
+  for (int step = 0; step < 200; ++step) {
+    VertexId u = pick(rng), v = pick(rng);
+    Weight w = weight(rng);
+    Cost before = u == v ? kInfCost : g.ArcWeight(u, v);
+    bool changed = g.AddOrDecreaseArc(u, v, w);
+    EXPECT_EQ(changed, u != v && static_cast<Cost>(w) < before);
+    if (step % 40 == 39) ExpectSameAsRebuilt(g);
+  }
+  ExpectSameAsRebuilt(g);
 }
 
 }  // namespace

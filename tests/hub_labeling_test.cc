@@ -170,6 +170,263 @@ TEST(HubLabelingTest, OnEdgeDecreasedRepairsDistances) {
   }
 }
 
+// --- Parallel build equivalence --------------------------------------------
+
+// Byte-for-byte equality of every label entry (rank, dist, parent) — the
+// parallel build's contract is identical output, not merely equal distances.
+void ExpectIdenticalLabels(const HubLabeling& a, const HubLabeling& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  for (uint32_t r = 0; r < a.num_vertices(); ++r) {
+    ASSERT_EQ(a.HubVertex(r), b.HubVertex(r)) << "rank " << r;
+  }
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    auto ain = a.Lin(v), bin = b.Lin(v);
+    ASSERT_EQ(ain.size(), bin.size()) << "Lin(" << v << ")";
+    for (size_t i = 0; i < ain.size(); ++i) {
+      ASSERT_EQ(ain[i], bin[i]) << "Lin(" << v << ")[" << i << "]";
+    }
+    auto aout = a.Lout(v), bout = b.Lout(v);
+    ASSERT_EQ(aout.size(), bout.size()) << "Lout(" << v << ")";
+    for (size_t i = 0; i < aout.size(); ++i) {
+      ASSERT_EQ(aout[i], bout[i]) << "Lout(" << v << ")[" << i << "]";
+    }
+  }
+}
+
+TEST(HubLabelingTest, ParallelBuildIsByteIdenticalToSequential) {
+  std::vector<Graph> graphs;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    graphs.push_back(MakeRandomGraph(60, 240, seed));
+  }
+  graphs.push_back(MakeGridRoadNetwork(9, 9, /*seed=*/17));
+  for (const Graph& g : graphs) {
+    HubLabeling sequential;
+    sequential.Build(g, /*num_threads=*/1);
+    for (uint32_t threads : {2u, 3u, 8u, testing::TestThreads()}) {
+      HubLabeling parallel;
+      parallel.Build(g, threads);
+      ExpectIdenticalLabels(sequential, parallel);
+    }
+  }
+}
+
+TEST(HubLabelingTest, ParallelBuildCustomOrderMatchesAndIsCorrect) {
+  Graph g = MakeRandomGraph(50, 200, 33);
+  // Worst-case-ish order (identity): batches pack hubs that barely prune
+  // each other, the stress case for the commit-phase re-check.
+  std::vector<VertexId> order(50);
+  for (VertexId v = 0; v < 50; ++v) order[v] = v;
+  HubLabeling sequential;
+  sequential.Build(g, order, /*num_threads=*/1);
+  HubLabeling parallel;
+  parallel.Build(g, order, testing::TestThreads());
+  ExpectIdenticalLabels(sequential, parallel);
+  ExpectAllPairsMatch(g, parallel);
+}
+
+TEST(HubLabelingTest, ParallelDegreeOrderMatchesSequential) {
+  // ParallelSort must reproduce std::sort exactly (ties broken by id), even
+  // on inputs large enough to take the parallel path.
+  Graph g = MakeGridRoadNetwork(150, 150, /*seed=*/3);
+  std::vector<VertexId> seq = HubLabeling::DegreeOrder(g, 1);
+  std::vector<VertexId> par = HubLabeling::DegreeOrder(g, 5);
+  EXPECT_EQ(seq, par);
+}
+
+TEST(HubLabelingTest, BuildRejectsNonPermutationOrder) {
+  Graph g = MakeRandomGraph(10, 20, 1);
+  HubLabeling hl;
+  std::vector<VertexId> dup(10, 0);
+  EXPECT_THROW(hl.Build(g, dup), std::invalid_argument);
+  std::vector<VertexId> oob{0, 1, 2, 3, 4, 5, 6, 7, 8, 42};
+  EXPECT_THROW(hl.Build(g, oob), std::invalid_argument);
+}
+
+// --- Corrupt snapshot rejection --------------------------------------------
+
+// Hand-crafted snapshot bytes (the Serialize wire format): magic, n, order,
+// then 2n length-prefixed label vectors. Lets each test corrupt exactly one
+// field.
+class SnapshotBuilder {
+ public:
+  SnapshotBuilder& U32(uint32_t v) { return Append(&v, sizeof(v)); }
+  SnapshotBuilder& U64(uint64_t v) { return Append(&v, sizeof(v)); }
+  SnapshotBuilder& Magic() { return U64(0x4b4f53524c424c31ull); }
+  SnapshotBuilder& Entry(uint32_t rank, uint32_t dist, uint32_t parent) {
+    return U32(rank).U32(dist).U32(parent);
+  }
+  std::string str() const { return bytes_; }
+
+ private:
+  SnapshotBuilder& Append(const void* p, size_t len) {
+    bytes_.append(static_cast<const char*>(p), len);
+    return *this;
+  }
+  std::string bytes_;
+};
+
+HubLabeling DeserializeBytes(const std::string& bytes) {
+  std::stringstream in(bytes);
+  return HubLabeling::Deserialize(in);
+}
+
+// n=2 snapshot with one self-entry per vector — the valid base the corrupt
+// variants below mutate.
+SnapshotBuilder ValidTinySnapshot() {
+  SnapshotBuilder b;
+  b.Magic().U32(2).U32(0).U32(1);
+  for (int vec = 0; vec < 4; ++vec) {
+    b.U64(1).Entry(static_cast<uint32_t>(vec % 2), 0, kInvalidVertex);
+  }
+  return b;
+}
+
+TEST(HubLabelingTest, DeserializeAcceptsValidTinySnapshot) {
+  HubLabeling hl = DeserializeBytes(ValidTinySnapshot().str());
+  EXPECT_EQ(hl.num_vertices(), 2u);
+  EXPECT_EQ(hl.Query(0, 0), 0);
+}
+
+TEST(HubLabelingTest, DeserializeRejectsTruncation) {
+  std::string valid = ValidTinySnapshot().str();
+  // Every proper prefix must be rejected, never read out of bounds (ASan
+  // guards the buffers) or loop forever.
+  for (size_t len = 0; len < valid.size(); len += 3) {
+    EXPECT_THROW(DeserializeBytes(valid.substr(0, len)), std::runtime_error)
+        << "prefix length " << len;
+  }
+}
+
+TEST(HubLabelingTest, DeserializeRejectsBadMagic) {
+  std::string bytes = ValidTinySnapshot().str();
+  bytes[0] ^= 0x5a;
+  EXPECT_THROW(DeserializeBytes(bytes), std::runtime_error);
+}
+
+TEST(HubLabelingTest, DeserializeRejectsNonPermutationOrder) {
+  // Duplicate rank: order = {1, 1}.
+  SnapshotBuilder dup;
+  dup.Magic().U32(2).U32(1).U32(1);
+  EXPECT_THROW(DeserializeBytes(dup.str()), std::runtime_error);
+  // Out of range: order = {0, 7} — would write rank_[7] out of bounds.
+  SnapshotBuilder oob;
+  oob.Magic().U32(2).U32(0).U32(7);
+  EXPECT_THROW(DeserializeBytes(oob.str()), std::runtime_error);
+}
+
+TEST(HubLabelingTest, DeserializeRejectsOversizedLabelCount) {
+  // Claims 2^60 label entries; must throw before allocating, not after.
+  SnapshotBuilder b;
+  b.Magic().U32(2).U32(0).U32(1).U64(1ull << 60);
+  EXPECT_THROW(DeserializeBytes(b.str()), std::runtime_error);
+}
+
+TEST(HubLabelingTest, DeserializeRejectsEntryFieldsOutOfRange) {
+  // hub_rank >= n.
+  SnapshotBuilder bad_rank;
+  bad_rank.Magic().U32(2).U32(0).U32(1).U64(1).Entry(9, 0, kInvalidVertex);
+  EXPECT_THROW(DeserializeBytes(bad_rank.str()), std::runtime_error);
+  // parent >= n (and not the kInvalidVertex sentinel).
+  SnapshotBuilder bad_parent;
+  bad_parent.Magic().U32(2).U32(0).U32(1).U64(1).Entry(0, 0, 9);
+  EXPECT_THROW(DeserializeBytes(bad_parent.str()), std::runtime_error);
+  // Duplicate rank within a vector (not strictly sorted).
+  SnapshotBuilder bad_sort;
+  bad_sort.Magic().U32(2).U32(0).U32(1).U64(2).Entry(0, 0, kInvalidVertex)
+      .Entry(0, 1, 1);
+  EXPECT_THROW(DeserializeBytes(bad_sort.str()), std::runtime_error);
+}
+
+TEST(HubLabelingTest, DeserializeRejectsBrokenParentChains) {
+  // Field-wise valid snapshots whose parent pointers cannot be walked: these
+  // used to pass validation and then crash (dangling) or hang (cycle)
+  // UnpackPath inside a serve worker.
+  auto base = [](SnapshotBuilder& b) { b.Magic().U32(2).U32(0).U32(1); };
+  {  // Dangling: vertex 1's parent 0 has no Lin entry for hub rank 0.
+    SnapshotBuilder b;
+    base(b);
+    b.U64(0);                                 // Lin(0) empty
+    b.U64(1).Entry(0, 3, 0);                  // Lin(1): parent 0, no entry
+    b.U64(1).Entry(0, 0, kInvalidVertex);     // Lout(0)
+    b.U64(1).Entry(1, 0, kInvalidVertex);     // Lout(1)
+    EXPECT_THROW(DeserializeBytes(b.str()), std::runtime_error);
+  }
+  {  // Non-decreasing chain (the 2-cycle shape): both claim dist 5.
+    SnapshotBuilder b;
+    base(b);
+    b.U64(2).Entry(0, 0, kInvalidVertex).Entry(1, 5, 1);  // Lin(0)
+    b.U64(2).Entry(0, 5, 0).Entry(1, 0, kInvalidVertex);  // Lin(1)
+    // Lin(0)'s rank-1 entry points at 1 whose rank-1 dist is 0 < 5 (fine),
+    // but Lin(1)'s rank-0 entry points at 0 whose rank-0 dist is 0 < 5 too —
+    // make it circular instead: 0's rank-1 parent 1 (dist 5) and 1's rank-1
+    // is the hub self-entry, so craft the cycle on rank 0 of a 3rd vertex.
+    b.U64(1).Entry(0, 0, kInvalidVertex);     // Lout(0)
+    b.U64(1).Entry(1, 0, kInvalidVertex);     // Lout(1)
+    EXPECT_NO_THROW(DeserializeBytes(b.str()));  // this one is walkable
+    SnapshotBuilder cyc;
+    cyc.Magic().U32(3).U32(0).U32(1).U32(2);
+    cyc.U64(1).Entry(0, 0, kInvalidVertex);          // Lin(0) hub self
+    cyc.U64(1).Entry(0, 5, 2);                       // Lin(1) -> 2
+    cyc.U64(1).Entry(0, 5, 1);                       // Lin(2) -> 1 (cycle)
+    cyc.U64(1).Entry(0, 0, kInvalidVertex);          // Lout(0)
+    cyc.U64(1).Entry(1, 0, kInvalidVertex);          // Lout(1)
+    cyc.U64(1).Entry(2, 0, kInvalidVertex);          // Lout(2)
+    EXPECT_THROW(DeserializeBytes(cyc.str()), std::runtime_error);
+  }
+  {  // Parentless entry that is not the hub's self-entry.
+    SnapshotBuilder b;
+    base(b);
+    b.U64(1).Entry(0, 0, kInvalidVertex);            // Lin(0)
+    b.U64(1).Entry(0, 4, kInvalidVertex);            // Lin(1): not hub 0
+    b.U64(1).Entry(0, 0, kInvalidVertex);            // Lout(0)
+    b.U64(1).Entry(1, 0, kInvalidVertex);            // Lout(1)
+    EXPECT_THROW(DeserializeBytes(b.str()), std::runtime_error);
+  }
+}
+
+TEST(HubLabelingTest, UnpackPathSurvivesBrokenParentsFromParts) {
+  // FromParts intentionally skips the parent-chain closure check (partial
+  // disk-resident working sets lack the chain links), so UnpackPath must
+  // stay defensive: a broken or circular chain yields an empty path instead
+  // of a null dereference or an unbounded walk.
+  std::vector<std::vector<LabelEntry>> in(2), out(2);
+  out[0] = {{1, 5, 0}};                 // 0's parent toward hub 1 is... 0.
+  in[1] = {{1, 0, kInvalidVertex}};     // hub 1 self-entry
+  HubLabeling hl = HubLabeling::FromParts({0, 1}, in, out);
+  EXPECT_EQ(hl.Query(0, 1), 5);         // the labels still answer queries
+  EXPECT_TRUE(hl.UnpackPath(0, 1).empty());
+}
+
+TEST(HubLabelingTest, SerializeRoundTripSurvivesValidation) {
+  // A real labeling must of course still round-trip through the hardened
+  // deserializer, including after a parallel build.
+  Graph g = MakeGridRoadNetwork(8, 8, 5);
+  HubLabeling hl;
+  hl.Build(g, testing::TestThreads());
+  std::stringstream buffer;
+  hl.Serialize(buffer);
+  HubLabeling copy = HubLabeling::Deserialize(buffer);
+  ExpectIdenticalLabels(hl, copy);
+}
+
+TEST(HubLabelingTest, FromPartsRejectsMalformedInput) {
+  std::vector<VertexId> order{0, 1, 2};
+  std::vector<std::vector<LabelEntry>> empty3(3);
+  // Non-permutation order.
+  EXPECT_THROW(HubLabeling::FromParts({0, 0, 2}, empty3, empty3),
+               std::runtime_error);
+  // Label table sized differently from the order.
+  EXPECT_THROW(
+      HubLabeling::FromParts(order, empty3,
+                             std::vector<std::vector<LabelEntry>>(2)),
+      std::runtime_error);
+  // Entry with out-of-range rank.
+  auto bad = empty3;
+  bad[1].push_back({7, 1, kInvalidVertex});
+  EXPECT_THROW(HubLabeling::FromParts(order, bad, empty3),
+               std::runtime_error);
+}
+
 TEST(HubLabelingTest, FromPartsPartialAnswersLoadedPairs) {
   Graph g = MakeRandomGraph(30, 120, 44);
   HubLabeling full;

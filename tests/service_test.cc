@@ -175,6 +175,13 @@ TEST(ServiceTest, AddOrDecreaseEdgeInvalidatesWholeCache) {
   EXPECT_FALSE(updated.cache_hit);
   EXPECT_EQ(updated.result.routes[0].cost, 2);
   EXPECT_GT(service.cache().stats().invalidations, 0u);
+
+  // A replayed no-op update (weight not lower than the current arc) changes
+  // no distance and must keep the cache warm.
+  EXPECT_TRUE(service.Submit(request).cache_hit);  // updated result cached
+  service.AddOrDecreaseEdge(0, 2, 1);
+  service.AddOrDecreaseEdge(0, 2, 50);
+  EXPECT_TRUE(service.Submit(request).cache_hit);
 }
 
 TEST(ServiceTest, BackpressureRejectsWhenQueueFull) {

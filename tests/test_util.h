@@ -2,6 +2,7 @@
 #define KOSR_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <random>
 #include <vector>
@@ -12,6 +13,18 @@
 #include "src/util/types.h"
 
 namespace kosr::testing {
+
+/// Thread count the parallel-build tests exercise. CI pins KOSR_TEST_THREADS
+/// to 4 so the batched build runs under the ASan/UBSan and TSan jobs with
+/// real concurrency; locally it defaults to 4 as well.
+inline uint32_t TestThreads() {
+  const char* env = std::getenv("KOSR_TEST_THREADS");
+  if (env != nullptr) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return static_cast<uint32_t>(parsed);
+  }
+  return 4;
+}
 
 /// A random sparse instance with one category per vertex drawn uniformly.
 struct TestInstance {
