@@ -134,6 +134,7 @@ void PrintStrategyAblation() {
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
+  kosr::bench::PrintMachineMeta("ablation");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kosr::bench::PrintOrderAblation();

@@ -28,10 +28,14 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+#include <thread>
+
 #include "src/core/engine.h"
 #include "src/core/query.h"
 #include "src/graph/generators.h"
 #include "src/labeling/disk_store.h"
+#include "src/util/parallel.h"
 #include "src/util/stats.h"
 #include "src/util/timer.h"
 
@@ -50,6 +54,27 @@ inline double PerQueryBudgetSeconds() {
 inline double WorkloadScale() {
   const char* env = std::getenv("KOSR_BENCH_SCALE");
   return env != nullptr ? std::atof(env) : 1.0;
+}
+
+/// Machine + knob block for BENCH_*.json `meta` sections. Every bench
+/// prints this so a recording is self-identifying — in particular the
+/// detected core count: BENCH_parallel_build.json was recorded on a
+/// single-core container and only a caveat note said so after the fact.
+inline std::string MachineMetaJson(const char* bench_name) {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << bench_name
+     << "\",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+     << ",\"resolved_default_threads\":" << ResolveThreadCount(0)
+     << ",\"scale\":" << WorkloadScale()
+     << ",\"queries_per_point\":" << QueriesPerPoint()
+     << ",\"budget_s\":" << PerQueryBudgetSeconds() << "}";
+  return os.str();
+}
+
+/// Prints the machine meta as the first output line (benches that emit
+/// their own JSON document embed MachineMetaJson() instead).
+inline void PrintMachineMeta(const char* bench_name) {
+  std::printf("machine_meta %s\n", MachineMetaJson(bench_name).c_str());
 }
 
 /// One benchmark graph with built indexes (unless constructed with
@@ -241,6 +266,7 @@ inline CellResult RunMethodCell(const Workload& w,
   options.time_budget_s = PerQueryBudgetSeconds();
   options.collect_phase_times = collect_phase_times;
   double total_ms = 0;
+  QueryContext ctx;  // reused across the batch, like a service worker
   for (const KosrQuery& q : queries) {
     KosrResult result;
     if (method.disk) {
@@ -250,7 +276,7 @@ inline CellResult RunMethodCell(const Workload& w,
       }
       result = KosrEngine::QueryFromDisk(*store, q, options);
     } else {
-      result = w.engine->Query(q, options);
+      result = w.engine->Query(q, options, &ctx);
     }
     if (result.stats.timed_out) {
       cell.inf = true;

@@ -59,6 +59,7 @@ void BM_Cell(benchmark::State& state, uint32_t size, std::string method) {
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
+  kosr::bench::PrintMachineMeta("fig3_catsize");
   benchmark::Initialize(&argc, argv);
   for (uint32_t size : kosr::bench::kSizes) {
     for (const auto& m : kosr::bench::PaperMethods()) {

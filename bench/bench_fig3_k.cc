@@ -74,6 +74,7 @@ void BM_Cell(benchmark::State& state, std::string graph, uint32_t k,
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
+  kosr::bench::PrintMachineMeta("fig3_k");
   benchmark::Initialize(&argc, argv);
   for (const char* g : {"FLA", "CAL"}) {
     for (uint32_t k : kosr::bench::kKs) {

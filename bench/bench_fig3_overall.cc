@@ -61,6 +61,7 @@ void BM_Cell(benchmark::State& state, std::string graph, std::string method) {
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
+  kosr::bench::PrintMachineMeta("fig3_overall");
   benchmark::Initialize(&argc, argv);
   const char* graphs[] = {"CAL", "NYC", "COL", "FLA", "G+"};
   for (const char* g : graphs) {

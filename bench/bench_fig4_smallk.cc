@@ -72,6 +72,7 @@ void BM_Cell(benchmark::State& state, std::string graph, uint32_t k,
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
+  kosr::bench::PrintMachineMeta("fig4_smallk");
   benchmark::Initialize(&argc, argv);
   for (const char* g : {"CAL", "FLA"}) {
     for (uint32_t k : kosr::bench::kKs) {

@@ -64,6 +64,7 @@ void BM_Series(benchmark::State& state, std::string graph) {
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
+  kosr::bench::PrintMachineMeta("fig5_searchspace");
   benchmark::Initialize(&argc, argv);
   for (const char* g : {"CAL", "NYC", "COL", "FLA", "G+"}) {
     benchmark::RegisterBenchmark((std::string("fig5/") + g).c_str(),

@@ -63,6 +63,7 @@ void BM_Cell(benchmark::State& state, double f, std::string method) {
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
+  kosr::bench::PrintMachineMeta("fig6_zipf");
   benchmark::Initialize(&argc, argv);
   for (double f : kosr::bench::kFactors) {
     for (const char* m : {"KPNE", "PK", "SK"}) {

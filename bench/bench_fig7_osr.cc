@@ -79,6 +79,7 @@ void BM_Cell(benchmark::State& state, std::string graph, std::string method) {
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
+  kosr::bench::PrintMachineMeta("fig7_osr");
   benchmark::Initialize(&argc, argv);
   for (const char* g : {"CAL", "NYC", "COL", "FLA", "G+"}) {
     for (const auto& m : kosr::bench::PaperMethods()) {

@@ -215,7 +215,8 @@ int Main(int argc, char** argv) {
   std::string warm_metrics = service.MetricsJson();
 
   std::ostringstream os;
-  os << "{\"bench\":\"service_throughput\",\"workload\":{\"graph\":\""
+  os << "{\"machine\":" << MachineMetaJson("service_throughput")
+     << ",\"bench\":\"service_throughput\",\"workload\":{\"graph\":\""
      << workload.name << "\",\"pool\":" << opt.pool
      << ",\"zipf_s\":" << opt.zipf_s << ",\"seq_len\":3,\"k\":4"
      << ",\"requests_per_phase\":" << opt.requests

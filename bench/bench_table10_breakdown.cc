@@ -74,6 +74,7 @@ std::string Fmt(double v) {
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
+  kosr::bench::PrintMachineMeta("table10_breakdown");
   benchmark::Initialize(&argc, argv);
   for (const char* m : {"PK", "SK"}) {
     benchmark::RegisterBenchmark((std::string("table10/") + m).c_str(),

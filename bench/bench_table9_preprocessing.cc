@@ -174,6 +174,7 @@ void BM_ParallelBuild(benchmark::State& state, std::string graph,
 }  // namespace kosr::bench
 
 int main(int argc, char** argv) {
+  kosr::bench::PrintMachineMeta("table9_preprocessing");
   benchmark::Initialize(&argc, argv);
   using kosr::bench::Fmt;
 

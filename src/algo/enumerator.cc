@@ -5,14 +5,23 @@
 namespace kosr {
 
 PruningKosrEnumerator::PruningKosrEnumerator(const AlgoConfig& config,
-                                             NnProvider* nn)
+                                             NnProvider* nn,
+                                             KosrScratch* scratch)
     : config_(config), nn_(nn), complete_depth_(config.CompleteDepth()) {
+  if (scratch != nullptr) {
+    scr_ = scratch;
+  } else {
+    owned_scratch_ = std::make_unique<KosrScratch>();
+    scr_ = owned_scratch_.get();
+  }
+  scr_->Reset();
   stats_.timing_enabled = config.collect_phase_times;
   if (config_.seeds.empty()) {
-    Push(0, pool_.Add(config_.source, 0, 0, kNoWitness, 1));
+    Push(0, scr_->pool.Add(config_.source, 0, 0, kNoWitness, 1));
   } else {
     for (const Seed& s : config_.seeds) {
-      Push(s.cost, pool_.Add(s.vertex, s.depth, s.cost, kNoWitness, kNoX));
+      Push(s.cost, scr_->pool.Add(s.vertex, s.depth, s.cost, kNoWitness,
+                                  kNoX));
     }
   }
 }
@@ -32,10 +41,10 @@ std::optional<NnResult> PruningKosrEnumerator::TimedNn(VertexId v,
 void PruningKosrEnumerator::Push(Cost priority, uint32_t id) {
   if (stats_.timing_enabled) {
     WallTimer t;
-    queue_.emplace(priority, id);
+    scr_->queue.Push({priority, id});
     stats_.queue_time_s += t.ElapsedSeconds();
   } else {
-    queue_.emplace(priority, id);
+    scr_->queue.Push({priority, id});
   }
 }
 
@@ -52,70 +61,71 @@ bool PruningKosrEnumerator::BudgetExceeded() {
 std::optional<SequencedRoute> PruningKosrEnumerator::Next() {
   WallTimer timer;
   auto charge_time = [&] { stats_.total_time_s += timer.ElapsedSeconds(); };
+  WitnessPool& pool = scr_->pool;
 
-  while (!queue_.empty()) {
+  while (!scr_->queue.Empty()) {
     stats_.total_time_s += timer.ElapsedSeconds();
     timer.Reset();
     if (BudgetExceeded()) {
       stats_.timed_out = true;
       return std::nullopt;
     }
-    auto [cost, id] = queue_.top();
-    queue_.pop();
-    const WitnessNode node = pool_[id];
+    auto [cost, id] = scr_->queue.Top();
+    scr_->queue.Pop();
+    const WitnessNode node = pool[id];
     stats_.RecordExamined(node.depth);
 
     // Sibling candidate (Algorithm 2 lines 20-22); also runs for complete
     // and dominated witnesses — a no-op with a destination slot, required
     // in the no-destination variant.
     if (node.depth > 0 && node.x != kNoX) {
-      const WitnessNode& parent = pool_[node.parent];
+      const WitnessNode& parent = pool[node.parent];
       if (auto r = TimedNn(parent.vertex, node.depth, node.x + 1)) {
-        uint32_t sibling = pool_.Add(r->vertex, node.depth,
-                                     parent.cost + r->dist, node.parent,
-                                     node.x + 1);
-        Push(pool_[sibling].cost, sibling);
+        uint32_t sibling = pool.Add(r->vertex, node.depth,
+                                    parent.cost + r->dist, node.parent,
+                                    node.x + 1);
+        Push(pool[sibling].cost, sibling);
       }
     }
 
     if (node.depth == complete_depth_) {
       // Reconsider dominated routes along this result's prefix.
       uint32_t ancestor = node.parent;
-      while (ancestor != kNoWitness && pool_[ancestor].depth >= 1) {
-        const WitnessNode& anc = pool_[ancestor];
+      while (ancestor != kNoWitness && pool[ancestor].depth >= 1) {
+        const WitnessNode& anc = pool[ancestor];
         uint64_t key = KeyOf(anc.vertex, anc.depth);
-        auto it = dominator_.find(key);
-        if (it != dominator_.end() && it->second == ancestor) {
-          auto sub = dominated_.find(key);
-          if (sub != dominated_.end() && !sub->second.empty()) {
-            auto [rcost, rid] = sub->second.top();
-            sub->second.pop();
-            pool_[rid].x = kNoX;
+        auto it = scr_->dominator.find(key);
+        if (it != scr_->dominator.end() && it->second == ancestor) {
+          auto sub = scr_->dominated.find(key);
+          if (sub != scr_->dominated.end() && !sub->second.Empty()) {
+            auto [rcost, rid] = sub->second.Top();
+            sub->second.Pop();
+            pool[rid].x = kNoX;
             Push(rcost, rid);
             ++stats_.reconsidered_routes;
           }
-          dominator_.erase(it);
+          scr_->dominator.erase(it);
         }
         ancestor = anc.parent;
       }
       ++emitted_;
       SequencedRoute route;
       route.cost = node.cost;
-      route.witness = pool_.Vertices(id);
+      route.witness = pool.Vertices(id);
       charge_time();
       return route;
     }
 
     uint64_t key = KeyOf(node.vertex, node.depth);
-    auto [it, inserted] = dominator_.try_emplace(key, id);
+    auto [it, inserted] = scr_->dominator.try_emplace(key, id);
     if (inserted) {
       if (auto r = TimedNn(node.vertex, node.depth + 1, 1)) {
-        uint32_t child = pool_.Add(r->vertex, node.depth + 1,
-                                   node.cost + r->dist, id, 1);
-        Push(pool_[child].cost, child);
+        uint32_t child = pool.Add(r->vertex, node.depth + 1,
+                                  node.cost + r->dist, id, 1);
+        Push(pool[child].cost, child);
       }
     } else {
-      dominated_[key].emplace(cost, id);
+      scr_->dominated[key].Push({cost, id});
       ++stats_.dominated_routes;
     }
   }

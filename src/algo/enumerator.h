@@ -1,10 +1,10 @@
 #ifndef KOSR_ALGO_ENUMERATOR_H_
 #define KOSR_ALGO_ENUMERATOR_H_
 
+#include <memory>
 #include <optional>
-#include <queue>
-#include <unordered_map>
 
+#include "src/algo/query_scratch.h"
 #include "src/algo/run_config.h"
 #include "src/algo/witness_pool.h"
 #include "src/core/query.h"
@@ -25,8 +25,12 @@ namespace kosr {
 /// time) still apply across the whole enumeration.
 class PruningKosrEnumerator {
  public:
-  /// `nn` must outlive the enumerator.
-  PruningKosrEnumerator(const AlgoConfig& config, NnProvider* nn);
+  /// `nn` must outlive the enumerator. `scratch` (optional) supplies the
+  /// search-state containers; it must outlive the enumerator and not be
+  /// shared with a concurrently running search. Without one, the enumerator
+  /// owns a private scratch.
+  PruningKosrEnumerator(const AlgoConfig& config, NnProvider* nn,
+                        KosrScratch* scratch = nullptr);
 
   /// Returns the next-cheapest feasible route, or nullopt when the search
   /// space is exhausted or a budget was hit (stats().timed_out tells which).
@@ -40,9 +44,7 @@ class PruningKosrEnumerator {
   uint32_t emitted() const { return emitted_; }
 
  private:
-  using QueueEntry = std::pair<Cost, uint32_t>;
-  using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                                       std::greater<>>;
+  using QueueEntry = KosrScratch::QueueEntry;
 
   uint64_t KeyOf(VertexId v, uint32_t depth) const {
     return static_cast<uint64_t>(v) * (complete_depth_ + 1) + depth;
@@ -55,10 +57,10 @@ class PruningKosrEnumerator {
   NnProvider* nn_;
   uint32_t complete_depth_;
 
-  WitnessPool pool_;
-  MinQueue queue_;
-  std::unordered_map<uint64_t, uint32_t> dominator_;
-  std::unordered_map<uint64_t, MinQueue> dominated_;
+  /// Search state (witness pool, frontier, dominance tables) — borrowed
+  /// from the caller for cross-query reuse, or privately owned.
+  std::unique_ptr<KosrScratch> owned_scratch_;
+  KosrScratch* scr_;
   QueryStats stats_;
   uint32_t emitted_ = 0;
   double start_seconds_ = 0;  // wall time consumed by earlier Next() calls

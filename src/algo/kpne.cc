@@ -1,22 +1,22 @@
 #include "src/algo/kpne.h"
 
-#include <queue>
-
 #include "src/algo/witness_pool.h"
 #include "src/util/timer.h"
 
 namespace kosr {
 
-KosrResult RunKpne(const AlgoConfig& config, NnProvider& nn) {
+KosrResult RunKpne(const AlgoConfig& config, NnProvider& nn,
+                   KosrScratch* scratch) {
   KosrResult result;
   QueryStats& stats = result.stats;
   stats.timing_enabled = config.collect_phase_times;
   WallTimer total_timer;
 
-  WitnessPool pool;
-  using QueueEntry = std::pair<Cost, uint32_t>;  // (cost, node id)
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      queue;
+  KosrScratch local;
+  KosrScratch& scr = scratch != nullptr ? *scratch : local;
+  scr.Reset();
+  WitnessPool& pool = scr.pool;
+  auto& queue = scr.queue;  // (cost, node id)
 
   auto timed_nn = [&](VertexId v, uint32_t slot, uint32_t x) {
     if (!stats.timing_enabled) return nn.FindNN(v, slot, x, &stats);
@@ -30,10 +30,10 @@ KosrResult RunKpne(const AlgoConfig& config, NnProvider& nn) {
   auto push = [&](Cost priority, uint32_t id) {
     if (stats.timing_enabled) {
       WallTimer t;
-      queue.emplace(priority, id);
+      queue.Push({priority, id});
       stats.queue_time_s += t.ElapsedSeconds();
     } else {
-      queue.emplace(priority, id);
+      queue.Push({priority, id});
     }
   };
 
@@ -46,9 +46,9 @@ KosrResult RunKpne(const AlgoConfig& config, NnProvider& nn) {
   }
 
   const uint32_t complete_depth = config.CompleteDepth();
-  std::vector<uint32_t> found;
+  std::vector<uint32_t>& found = scr.found;
 
-  while (!queue.empty() && found.size() < config.k) {
+  while (!queue.Empty() && found.size() < config.k) {
     if ((config.max_examined != 0 &&
          stats.examined_routes >= config.max_examined) ||
         ((stats.examined_routes & 1023) == 0 && config.time_budget_s != 0 &&
@@ -56,8 +56,8 @@ KosrResult RunKpne(const AlgoConfig& config, NnProvider& nn) {
       stats.timed_out = true;
       break;
     }
-    auto [cost, id] = queue.top();
-    queue.pop();
+    auto [cost, id] = queue.Top();
+    queue.Pop();
     const WitnessNode node = pool[id];
     stats.RecordExamined(node.depth);
 

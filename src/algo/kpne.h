@@ -1,6 +1,7 @@
 #ifndef KOSR_ALGO_KPNE_H_
 #define KOSR_ALGO_KPNE_H_
 
+#include "src/algo/query_scratch.h"
 #include "src/algo/run_config.h"
 #include "src/core/query.h"
 #include "src/nn/nn_provider.h"
@@ -11,7 +12,11 @@ namespace kosr {
 /// Algorithm 1 of the paper) extended to top-k (Sec. III-B). Examines every
 /// partially explored candidate whose cost is below the k-th optimal route;
 /// worst-case route count is exponential in |C|.
-KosrResult RunKpne(const AlgoConfig& config, NnProvider& nn);
+///
+/// `scratch` (optional) supplies reusable search-state containers; results
+/// are identical with or without it.
+KosrResult RunKpne(const AlgoConfig& config, NnProvider& nn,
+                   KosrScratch* scratch = nullptr);
 
 }  // namespace kosr
 

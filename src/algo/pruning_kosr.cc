@@ -4,8 +4,9 @@
 
 namespace kosr {
 
-KosrResult RunPruningKosr(const AlgoConfig& config, NnProvider& nn) {
-  PruningKosrEnumerator enumerator(config, &nn);
+KosrResult RunPruningKosr(const AlgoConfig& config, NnProvider& nn,
+                          KosrScratch* scratch) {
+  PruningKosrEnumerator enumerator(config, &nn, scratch);
   KosrResult result;
   while (enumerator.emitted() < config.k) {
     auto route = enumerator.Next();

@@ -1,6 +1,7 @@
 #ifndef KOSR_ALGO_PRUNING_KOSR_H_
 #define KOSR_ALGO_PRUNING_KOSR_H_
 
+#include "src/algo/query_scratch.h"
 #include "src/algo/run_config.h"
 #include "src/core/query.h"
 #include "src/nn/nn_provider.h"
@@ -17,7 +18,8 @@ namespace kosr {
 /// point the cheapest parked route is released with x = '-'. This reduces
 /// the examined-route bound from exponential (KPNE) to
 /// sum |Ci|*|Ci+1| + (k-1) * sum |Ci|.
-KosrResult RunPruningKosr(const AlgoConfig& config, NnProvider& nn);
+KosrResult RunPruningKosr(const AlgoConfig& config, NnProvider& nn,
+                          KosrScratch* scratch = nullptr);
 
 }  // namespace kosr
 

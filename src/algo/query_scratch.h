@@ -1,0 +1,53 @@
+#ifndef KOSR_ALGO_QUERY_SCRATCH_H_
+#define KOSR_ALGO_QUERY_SCRATCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/algo/witness_pool.h"
+#include "src/util/min_heap.h"
+#include "src/util/types.h"
+
+namespace kosr {
+
+/// Reusable search-state arena shared by the KOSR algorithms (KPNE,
+/// PruningKOSR, StarKOSR). Every container a query grows — the witness
+/// pool, the frontier heap, the dominance tables, StarKOSR's per-node
+/// estimates — lives here, so a caller that keeps one KosrScratch per
+/// thread and hands it to successive queries pays the allocations once and
+/// then runs the hot path allocation-free (Reset() clears contents but
+/// keeps vector capacity and hash-table buckets).
+///
+/// Passing nullptr everywhere a scratch is accepted falls back to a local
+/// arena with identical behavior; results never depend on reuse.
+struct KosrScratch {
+  /// (priority, witness-node id) frontier entry.
+  using QueueEntry = std::pair<Cost, uint32_t>;
+
+  WitnessPool pool;
+  MinQueue<QueueEntry> queue;
+  /// (vertex, depth) -> dominating witness id (Algorithm 2's D table).
+  std::unordered_map<uint64_t, uint32_t> dominator;
+  /// (vertex, depth) -> parked dominated witnesses, by priority.
+  std::unordered_map<uint64_t, MinQueue<QueueEntry>> dominated;
+  /// StarKOSR: estimated total cost per pool node.
+  std::vector<Cost> priority;
+  /// Completed witness ids of the current query.
+  std::vector<uint32_t> found;
+
+  /// Prepares the scratch for a fresh query. O(contents), keeps capacity.
+  void Reset() {
+    pool.Clear();
+    queue.Clear();
+    dominator.clear();
+    dominated.clear();
+    priority.clear();
+    found.clear();
+  }
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_ALGO_QUERY_SCRATCH_H_

@@ -1,40 +1,37 @@
 #include "src/algo/star_kosr.h"
 
 #include <cassert>
-#include <queue>
-#include <unordered_map>
 
 #include "src/algo/witness_pool.h"
 #include "src/util/timer.h"
 
 namespace kosr {
-namespace {
 
-using QueueEntry = std::pair<Cost, uint32_t>;  // (estimated cost, node id)
-using MinQueue =
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
-
-}  // namespace
-
-KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen) {
+KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen,
+                       KosrScratch* scratch) {
   assert(config.has_destination && "StarKOSR requires a destination");
   KosrResult result;
   QueryStats& stats = result.stats;
   stats.timing_enabled = config.collect_phase_times;
   WallTimer total_timer;
 
-  WitnessPool pool;
+  // All search state lives in the scratch (caller-provided and reused
+  // across queries, or a local one) — see KosrScratch.
+  KosrScratch local;
+  KosrScratch& scr = scratch != nullptr ? *scratch : local;
+  scr.Reset();
+  WitnessPool& pool = scr.pool;
   // Estimated total cost per pool node (w(p) + dis(last, t)); complete
   // witnesses carry their real cost.
-  std::vector<Cost> priority;
-  MinQueue queue;
+  std::vector<Cost>& priority = scr.priority;
+  auto& queue = scr.queue;
 
   const uint32_t complete_depth = config.CompleteDepth();
   auto key_of = [complete_depth](VertexId v, uint32_t depth) {
     return static_cast<uint64_t>(v) * (complete_depth + 1) + depth;
   };
-  std::unordered_map<uint64_t, uint32_t> dominator;
-  std::unordered_map<uint64_t, MinQueue> dominated;  // parked, by estimate
+  auto& dominator = scr.dominator;
+  auto& dominated = scr.dominated;  // parked, by estimate
 
   auto timed_nen = [&](VertexId v, uint32_t slot, uint32_t x) {
     if (!stats.timing_enabled) return nen.FindNEN(v, slot, x, &stats);
@@ -48,10 +45,10 @@ KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen) {
   auto push = [&](uint32_t id) {
     if (stats.timing_enabled) {
       WallTimer t;
-      queue.emplace(priority[id], id);
+      queue.Push({priority[id], id});
       stats.queue_time_s += t.ElapsedSeconds();
     } else {
-      queue.emplace(priority[id], id);
+      queue.Push({priority[id], id});
     }
   };
   auto add_node = [&](VertexId v, uint32_t depth, Cost cost, uint32_t parent,
@@ -76,9 +73,9 @@ KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen) {
     }
   }
 
-  std::vector<uint32_t> found;
+  std::vector<uint32_t>& found = scr.found;
 
-  while (!queue.empty() && found.size() < config.k) {
+  while (!queue.Empty() && found.size() < config.k) {
     if ((config.max_examined != 0 &&
          stats.examined_routes >= config.max_examined) ||
         ((stats.examined_routes & 1023) == 0 && config.time_budget_s != 0 &&
@@ -86,8 +83,8 @@ KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen) {
       stats.timed_out = true;
       break;
     }
-    auto [est, id] = queue.top();
-    queue.pop();
+    auto [est, id] = queue.Top();
+    queue.Pop();
     const WitnessNode node = pool[id];
     stats.RecordExamined(node.depth);
 
@@ -112,9 +109,9 @@ KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen) {
         auto it = dominator.find(k2);
         if (it != dominator.end() && it->second == ancestor) {
           auto sub = dominated.find(k2);
-          if (sub != dominated.end() && !sub->second.empty()) {
-            auto [rest, rid] = sub->second.top();
-            sub->second.pop();
+          if (sub != dominated.end() && !sub->second.Empty()) {
+            auto [rest, rid] = sub->second.Top();
+            sub->second.Pop();
             pool[rid].x = kNoX;
             push(rid);
             ++stats.reconsidered_routes;
@@ -136,7 +133,7 @@ KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen) {
         push(child);
       }
     } else {
-      dominated[k2].emplace(priority[id], id);
+      dominated[k2].Push({priority[id], id});
       ++stats.dominated_routes;
     }
   }

@@ -1,6 +1,7 @@
 #ifndef KOSR_ALGO_STAR_KOSR_H_
 #define KOSR_ALGO_STAR_KOSR_H_
 
+#include "src/algo/query_scratch.h"
 #include "src/algo/run_config.h"
 #include "src/core/query.h"
 #include "src/nn/nn_provider.h"
@@ -16,7 +17,8 @@ namespace kosr {
 /// destination are postponed. Requires a destination
 /// (config.has_destination) — the no-destination variant must use
 /// PruningKOSR.
-KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen);
+KosrResult RunStarKosr(const AlgoConfig& config, NenProvider& nen,
+                       KosrScratch* scratch = nullptr);
 
 }  // namespace kosr
 

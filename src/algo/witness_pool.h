@@ -42,6 +42,9 @@ class WitnessPool {
   WitnessNode& operator[](uint32_t id) { return nodes_[id]; }
   size_t size() const { return nodes_.size(); }
 
+  /// Empties the pool, retaining its arena capacity for the next query.
+  void Clear() { nodes_.clear(); }
+
   /// Materializes the vertex sequence <v0, ..., v_depth> of a node.
   std::vector<VertexId> Vertices(uint32_t id) const;
 

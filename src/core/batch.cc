@@ -22,8 +22,9 @@ BatchResult RunQueryBatch(const KosrEngine& engine,
 
   WallTimer timer;
   if (num_threads == 1) {
+    QueryContext ctx;
     for (size_t i = 0; i < queries.size(); ++i) {
-      batch.results[i] = engine.Query(queries[i], options);
+      batch.results[i] = engine.Query(queries[i], options, &ctx);
     }
   } else {
     std::atomic<size_t> next{0};
@@ -31,12 +32,13 @@ BatchResult RunQueryBatch(const KosrEngine& engine,
     std::exception_ptr first_error;
     std::mutex error_mutex;
     auto worker = [&] {
+      QueryContext ctx;  // thread-private reusable query scratch
       for (;;) {
         if (stop.load(std::memory_order_relaxed)) return;
         size_t i = next.fetch_add(1);
         if (i >= queries.size()) return;
         try {
-          batch.results[i] = engine.Query(queries[i], options);
+          batch.results[i] = engine.Query(queries[i], options, &ctx);
         } catch (...) {
           stop.store(true, std::memory_order_relaxed);
           std::lock_guard<std::mutex> lock(error_mutex);

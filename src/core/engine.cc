@@ -47,12 +47,15 @@ void ValidateQuery(const KosrQuery& query, const CategoryTable& categories) {
 
 }  // namespace
 
-/// Shared driver used by the in-memory and disk-resident paths.
+/// Shared driver used by the in-memory and disk-resident paths. `scratch`
+/// (optional) is the reusable search-state arena of the caller's
+/// QueryContext.
 KosrResult RunQueryWithIndexes(
     const Graph& graph, const CategoryTable& categories,
     const HubLabeling& labeling,
     const std::vector<const InvertedLabelIndex*>& slot_indexes,
-    const KosrQuery& query, const KosrOptions& options) {
+    const KosrQuery& query, const KosrOptions& options,
+    KosrScratch* scratch) {
   AlgoConfig config = MakeConfig(query, options);
   KosrResult result;
   switch (options.algorithm) {
@@ -60,11 +63,11 @@ KosrResult RunQueryWithIndexes(
       if (options.nn_mode == NnMode::kHopLabel) {
         HopLabelNnProvider nn(&labeling, slot_indexes, query.target,
                               options.filter);
-        result = RunKpne(config, nn);
+        result = RunKpne(config, nn, scratch);
       } else {
         DijkstraNnProvider nn(&graph, &categories, query.sequence,
                               query.target, options.filter);
-        result = RunKpne(config, nn);
+        result = RunKpne(config, nn, scratch);
       }
       break;
     }
@@ -72,11 +75,11 @@ KosrResult RunQueryWithIndexes(
       if (options.nn_mode == NnMode::kHopLabel) {
         HopLabelNnProvider nn(&labeling, slot_indexes, query.target,
                               options.filter);
-        result = RunPruningKosr(config, nn);
+        result = RunPruningKosr(config, nn, scratch);
       } else {
         DijkstraNnProvider nn(&graph, &categories, query.sequence,
                               query.target, options.filter);
-        result = RunPruningKosr(config, nn);
+        result = RunPruningKosr(config, nn, scratch);
       }
       break;
     }
@@ -84,11 +87,11 @@ KosrResult RunQueryWithIndexes(
       if (options.nn_mode == NnMode::kHopLabel) {
         HopLabelNenProvider nen(&labeling, slot_indexes, query.target,
                                 options.filter);
-        result = RunStarKosr(config, nen);
+        result = RunStarKosr(config, nen, scratch);
       } else {
         DijkstraNenProvider nen(&graph, &categories, query.sequence,
                                 query.target, options.filter);
-        result = RunStarKosr(config, nen);
+        result = RunStarKosr(config, nen, scratch);
       }
       break;
     }
@@ -127,20 +130,25 @@ void KosrEngine::BuildIndexes(const std::vector<VertexId>& order,
 }
 
 KosrResult KosrEngine::Query(const KosrQuery& query,
-                             const KosrOptions& options) const {
+                             const KosrOptions& options,
+                             QueryContext* ctx) const {
   ValidateQuery(query, categories_);
   if (options.nn_mode == NnMode::kHopLabel && !indexes_built_) {
     throw std::logic_error("BuildIndexes() must run before hop-label queries");
   }
-  std::vector<const InvertedLabelIndex*> slot_indexes;
+  std::vector<const InvertedLabelIndex*> local_slots;
+  std::vector<const InvertedLabelIndex*>& slot_indexes =
+      ctx != nullptr ? ctx->slot_indexes : local_slots;
+  slot_indexes.clear();
   if (options.nn_mode == NnMode::kHopLabel) {
     // Dijkstra-mode providers never read the slot indexes, and inverted_
     // may be empty (indexes not built) — taking &inverted_[c] there would
     // bind a reference into an empty vector.
     for (CategoryId c : query.sequence) slot_indexes.push_back(&inverted_[c]);
   }
-  KosrResult result = RunQueryWithIndexes(graph_, categories_, labeling_,
-                                          slot_indexes, query, options);
+  KosrResult result =
+      RunQueryWithIndexes(graph_, categories_, labeling_, slot_indexes, query,
+                          options, ctx != nullptr ? &ctx->scratch : nullptr);
   if (options.reconstruct_paths) {
     for (SequencedRoute& route : result.routes) {
       route.path = ReconstructPath(route.witness);

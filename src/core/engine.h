@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/core/query.h"
+#include "src/core/query_context.h"
 #include "src/graph/categories.h"
 #include "src/graph/graph.h"
 #include "src/labeling/disk_store.h"
@@ -44,8 +45,12 @@ class KosrEngine {
   /// Answers a KOSR query. Categories referenced by the sequence must be
   /// non-empty; an unreachable query yields fewer than k (possibly zero)
   /// routes. Requires BuildIndexes() unless options.nn_mode == kDijkstra.
-  KosrResult Query(const KosrQuery& query,
-                   const KosrOptions& options = {}) const;
+  ///
+  /// `ctx` (optional) supplies reusable per-thread query scratch — callers
+  /// answering many queries (service workers, benches) keep one per thread
+  /// so the search hot path stops allocating. Results do not depend on it.
+  KosrResult Query(const KosrQuery& query, const KosrOptions& options = {},
+                   QueryContext* ctx = nullptr) const;
 
   /// Answers an OSR (k = 1) query with the GSP comparator.
   std::optional<SequencedRoute> QueryGsp(VertexId source, VertexId target,
@@ -110,7 +115,8 @@ class KosrEngine {
       const Graph& graph, const CategoryTable& categories,
       const HubLabeling& labeling,
       const std::vector<const InvertedLabelIndex*>& slot_indexes,
-      const KosrQuery& query, const KosrOptions& options);
+      const KosrQuery& query, const KosrOptions& options,
+      KosrScratch* scratch);
 
   Graph graph_;
   CategoryTable categories_;

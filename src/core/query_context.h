@@ -1,0 +1,27 @@
+#ifndef KOSR_CORE_QUERY_CONTEXT_H_
+#define KOSR_CORE_QUERY_CONTEXT_H_
+
+#include <vector>
+
+#include "src/algo/query_scratch.h"
+#include "src/nn/inverted_label_index.h"
+
+namespace kosr {
+
+/// Reusable per-caller query state for KosrEngine::Query. A context is NOT
+/// thread-safe: keep one per thread (each service worker owns one; a bench
+/// loop reuses one across its batch) and hand it to successive Query calls.
+/// The engine then runs the search over warmed containers — witness pool,
+/// frontier heap, dominance tables — instead of allocating fresh ones per
+/// query. Query results are identical with and without a context.
+struct QueryContext {
+  /// Search-state arena shared by the KOSR algorithms.
+  KosrScratch scratch;
+  /// Per-sequence-slot inverted-index pointers (rebuilt cheaply per query,
+  /// reusing the vector's capacity).
+  std::vector<const InvertedLabelIndex*> slot_indexes;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_CORE_QUERY_CONTEXT_H_

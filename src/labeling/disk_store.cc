@@ -23,10 +23,20 @@ T ReadPod(std::istream& in) {
   return value;
 }
 
-void WriteLabels(std::ostream& out, std::span<const LabelEntry> labels) {
-  WritePod<uint64_t>(out, labels.size());
-  out.write(reinterpret_cast<const char*>(labels.data()),
-            static_cast<std::streamsize>(labels.size() * sizeof(LabelEntry)));
+// Re-interleaves one sealed SoA run into the AoS on-disk record. The flat
+// store is the read view the rest of the system consumes, and the disk
+// format (count + LabelEntry array) predates it — snapshots stay
+// byte-identical to pre-flat-store writers.
+void WriteLabels(std::ostream& out, const LabelRun& run,
+                 std::vector<LabelEntry>& scratch) {
+  WritePod<uint64_t>(out, run.size);
+  scratch.clear();
+  scratch.reserve(run.size);
+  for (uint32_t i = 0; i < run.size; ++i) {
+    scratch.push_back({run.RankAt(i), run.DistAt(i), run.parent[i]});
+  }
+  out.write(reinterpret_cast<const char*>(scratch.data()),
+            static_cast<std::streamsize>(scratch.size() * sizeof(LabelEntry)));
 }
 
 std::vector<LabelEntry> ReadLabels(std::istream& in) {
@@ -48,14 +58,15 @@ void DiskLabelStore::Write(const std::string& dir, const HubLabeling& labeling,
 
   // labels.bin + offset table.
   std::vector<uint64_t> label_offsets(2 * static_cast<size_t>(n));
+  std::vector<LabelEntry> scratch;
   {
     std::ofstream out(dir + "/labels.bin", std::ios::binary);
     if (!out) throw std::runtime_error("cannot write labels.bin");
     for (VertexId v = 0; v < n; ++v) {
       label_offsets[2 * v] = static_cast<uint64_t>(out.tellp());
-      WriteLabels(out, labeling.Lin(v));
+      WriteLabels(out, labeling.InRun(v), scratch);
       label_offsets[2 * v + 1] = static_cast<uint64_t>(out.tellp());
-      WriteLabels(out, labeling.Lout(v));
+      WriteLabels(out, labeling.OutRun(v), scratch);
     }
   }
 
@@ -70,7 +81,7 @@ void DiskLabelStore::Write(const std::string& dir, const HubLabeling& labeling,
       WritePod<uint64_t>(out, members.size());
       for (VertexId m : members) {
         WritePod<VertexId>(out, m);
-        WriteLabels(out, labeling.Lout(m));
+        WriteLabels(out, labeling.OutRun(m), scratch);
       }
       InvertedLabelIndex index = InvertedLabelIndex::Build(labeling, members);
       index.Serialize(out);

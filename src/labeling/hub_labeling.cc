@@ -28,21 +28,27 @@ const LabelEntry* FindRank(std::span<const LabelEntry> labels, uint32_t rank) {
   return &*it;
 }
 
-// Inserts or updates an entry, keeping the vector sorted by rank.
-void InsertOrUpdate(std::vector<LabelEntry>& labels, const LabelEntry& entry) {
+// Inserts or updates an entry, keeping the vector sorted by rank. Returns
+// whether the vector changed (callers re-seal the flat runs of changed
+// vertices only).
+bool InsertOrUpdate(std::vector<LabelEntry>& labels, const LabelEntry& entry) {
   if (labels.empty() || labels.back().hub_rank < entry.hub_rank) {
     labels.push_back(entry);
-    return;
+    return true;
   }
   auto it = std::lower_bound(labels.begin(), labels.end(), entry.hub_rank,
                              [](const LabelEntry& e, uint32_t r) {
                                return e.hub_rank < r;
                              });
   if (it != labels.end() && it->hub_rank == entry.hub_rank) {
-    if (entry.dist < it->dist) *it = entry;
-  } else {
-    labels.insert(it, entry);
+    if (entry.dist < it->dist) {
+      *it = entry;
+      return true;
+    }
+    return false;
   }
+  labels.insert(it, entry);
+  return true;
 }
 
 bool IsPermutation(const std::vector<VertexId>& order, uint32_t n) {
@@ -106,6 +112,116 @@ struct HubLabeling::SearchContext {
         scratch(n, kInfCost) {}
 };
 
+void HubLabeling::FlatSide::Seal(
+    const std::vector<std::vector<LabelEntry>>& labels) {
+  size_t n = labels.size();
+  runs.resize(n);
+  uint64_t total = kRunPadding;  // the shared empty run at slot 0
+  for (const auto& l : labels) {
+    if (!l.empty()) total += l.size() + kRunPadding;
+  }
+  key.clear();
+  parent.clear();
+  key.reserve(total);
+  parent.reserve(total);
+  // Slot 0 is one shared sentinel block that every empty run points at —
+  // a disk-store working set (FromParts) is almost entirely empty runs,
+  // and paying kRunPadding slots for each of those would triple its
+  // footprint for no information.
+  for (uint32_t p = 0; p < kRunPadding; ++p) {
+    key.push_back(kSentinelKey);
+    parent.push_back(kInvalidVertex);
+  }
+  for (size_t v = 0; v < n; ++v) {
+    runs[v].len = static_cast<uint32_t>(labels[v].size());
+    if (labels[v].empty()) {
+      runs[v].start = 0;
+      continue;
+    }
+    runs[v].start = key.size();
+    for (const LabelEntry& e : labels[v]) {
+      key.push_back(PackLabelKey(e.hub_rank, e.dist));
+      parent.push_back(e.parent);
+    }
+    for (uint32_t p = 0; p < kRunPadding; ++p) {
+      key.push_back(kSentinelKey);
+      parent.push_back(kInvalidVertex);
+    }
+  }
+  garbage = 0;
+}
+
+void HubLabeling::FlatSide::ResealRun(VertexId v,
+                                      const std::vector<LabelEntry>& labels) {
+  uint32_t old_len = runs[v].len;
+  uint32_t new_len = static_cast<uint32_t>(labels.size());
+  // Runs at slot 0 are views of the shared empty block (never owned), so
+  // they have nothing to overwrite and nothing to turn into garbage.
+  const bool shared_empty = runs[v].start == 0;
+  if (new_len == 0) {
+    // Decrease-only repairs never empty a run, but handle it: repoint at
+    // the shared block, abandoning any owned slot.
+    if (!shared_empty) {
+      garbage += old_len + kRunPadding;
+      runs[v].start = 0;
+    }
+    runs[v].len = 0;
+    return;
+  }
+  uint64_t s;
+  if (!shared_empty && new_len <= old_len) {
+    // Overwrite in place; the sentinel padding moves up and any slack
+    // between the new padding and the old slot end becomes garbage.
+    // (Decrease-only repairs never shrink a run, but handle it for
+    // generality.)
+    s = runs[v].start;
+    garbage += old_len - new_len;
+  } else {
+    // The run grew past its slot (or out of the shared empty block):
+    // append a fresh run at the tail and abandon any owned old slot.
+    if (!shared_empty) garbage += old_len + kRunPadding;
+    s = key.size();
+    runs[v].start = s;
+    key.resize(s + new_len + kRunPadding);
+    parent.resize(s + new_len + kRunPadding);
+  }
+  for (uint32_t i = 0; i < new_len; ++i) {
+    key[s + i] = PackLabelKey(labels[i].hub_rank, labels[i].dist);
+    parent[s + i] = labels[i].parent;
+  }
+  for (uint32_t p = 0; p < kRunPadding; ++p) {
+    key[s + new_len + p] = kSentinelKey;
+    parent[s + new_len + p] = kInvalidVertex;
+  }
+  runs[v].len = new_len;
+}
+
+uint64_t HubLabeling::FlatSide::Bytes() const {
+  return key.size() * (sizeof(uint64_t) + sizeof(VertexId)) +
+         runs.size() * sizeof(RunRef);
+}
+
+void HubLabeling::Seal() {
+  flat_in_.Seal(in_labels_);
+  flat_out_.Seal(out_labels_);
+}
+
+void HubLabeling::ResealTouched(
+    FlatSide& side, const std::vector<std::vector<LabelEntry>>& labels,
+    std::vector<VertexId>& touched) {
+  if (touched.empty()) return;
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (VertexId v : touched) side.ResealRun(v, labels[v]);
+  // Compact once a quarter of the slots are dead — keeps the arrays within
+  // a constant factor of the live size under sustained update streams.
+  if (side.garbage * 4 > side.key.size()) side.Seal(labels);
+}
+
+uint64_t HubLabeling::FlatBytes() const {
+  return flat_in_.Bytes() + flat_out_.Bytes();
+}
+
 std::vector<VertexId> HubLabeling::DegreeOrder(const Graph& graph,
                                                uint32_t num_threads) {
   uint32_t n = graph.num_vertices();
@@ -161,10 +277,16 @@ void HubLabeling::Build(const Graph& graph, const std::vector<VertexId>& order,
       PrunedSearch(graph, r, /*forward=*/false, {{order_[r], 0}}, ctx,
                    nullptr);
     }
+    Seal();
     build_seconds_ = timer.ElapsedSeconds();
     return;
   }
 
+  // One persistent pool for the whole build: the batch loop below issues
+  // one parallel-for per batch (hundreds per index), and respawning threads
+  // each time dominated small-batch wall time.
+  ThreadPool pool(num_threads);
+  num_threads = pool.num_threads();
   std::vector<std::unique_ptr<SearchContext>> contexts;
   contexts.reserve(num_threads);
   for (uint32_t t = 0; t < num_threads; ++t) {
@@ -189,13 +311,12 @@ void HubLabeling::Build(const Graph& graph, const std::vector<VertexId>& order,
     batch_size = std::min(batch_size, n - begin);
     const uint32_t tasks = 2 * batch_size;  // (rank, direction) pairs
     candidates.assign(tasks, {});
-    ParallelForEachIndexWithThread(
-        num_threads, tasks, [&](uint64_t task, uint32_t thread) {
-          uint32_t rank = begin + static_cast<uint32_t>(task) / 2;
-          bool forward = task % 2 == 0;
-          PrunedSearch(graph, rank, forward, {{order_[rank], 0}},
-                       *contexts[thread], &candidates[task]);
-        });
+    pool.ParallelFor(tasks, [&](uint64_t task, uint32_t thread) {
+      uint32_t rank = begin + static_cast<uint32_t>(task) / 2;
+      bool forward = task % 2 == 0;
+      PrunedSearch(graph, rank, forward, {{order_[rank], 0}},
+                   *contexts[thread], &candidates[task]);
+    });
     // Commit in rank order, forward before backward — the same order the
     // sequential build writes labels in.
     for (uint32_t i = 0; i < batch_size; ++i) {
@@ -205,13 +326,15 @@ void HubLabeling::Build(const Graph& graph, const std::vector<VertexId>& order,
                        *contexts[0]);
     }
   }
+  Seal();
   build_seconds_ = timer.ElapsedSeconds();
 }
 
 void HubLabeling::PrunedSearch(
     const Graph& graph, uint32_t rank, bool forward,
     const std::vector<std::pair<VertexId, Cost>>& seeds, SearchContext& ctx,
-    std::vector<CandidateLabel>* candidates) {
+    std::vector<CandidateLabel>* candidates,
+    std::vector<VertexId>* modified) {
   VertexId hub = order_[rank];
 
   // Load the hub's own opposite-side labels (ranks < `rank`) into the dense
@@ -255,8 +378,11 @@ void HubLabeling::PrunedSearch(
       candidates->push_back({x, static_cast<uint32_t>(d), parent[x]});
     } else {
       auto& target_labels = forward ? in_labels_[x] : out_labels_[x];
-      InsertOrUpdate(target_labels,
-                     {rank, static_cast<uint32_t>(d), parent[x]});
+      if (InsertOrUpdate(target_labels,
+                         {rank, static_cast<uint32_t>(d), parent[x]}) &&
+          modified != nullptr) {
+        modified->push_back(x);
+      }
     }
 
     auto arcs = forward ? graph.OutArcs(x) : graph.InArcs(x);
@@ -317,12 +443,62 @@ void HubLabeling::CommitCandidates(
   ctx.scratch_touched.clear();
 }
 
-Cost HubLabeling::Query(VertexId s, VertexId t) const {
-  auto r = QueryWithHub(s, t);
-  return r ? r->first : kInfCost;
+namespace {
+
+// Intersects a much shorter run against a much longer one by binary search
+// instead of stepping the long run entry by entry. Matches are visited in
+// increasing rank order with a strict improvement test, so the witnessing
+// hub is identical to the merge-join's. The `lo` cursor only moves forward:
+// both runs are rank-sorted, so earlier positions can never match again.
+inline void GallopIntersect(const LabelRun& small, const LabelRun& big,
+                            Cost& best, uint32_t& best_rank) {
+  const uint64_t* lo = big.key;
+  const uint64_t* end = big.key + big.size;
+  for (uint32_t i = 0; i < small.size; ++i) {
+    uint32_t r = small.RankAt(i);
+    // First key with rank >= r (keys are rank-major packed).
+    lo = std::lower_bound(lo, end, PackLabelKey(r, 0));
+    if (lo == end) return;
+    if (static_cast<uint32_t>(*lo >> 32) == r) {
+      Cost d = static_cast<Cost>(small.DistAt(i)) +
+               static_cast<uint32_t>(*lo);
+      if (d < best) {
+        best = d;
+        best_rank = r;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Cost HubLabeling::QueryGallop(const LabelRun& a, const LabelRun& b,
+                              uint32_t& best_rank) const {
+  Cost best = kInfCost;
+  if (a.size < b.size) {
+    GallopIntersect(a, b, best, best_rank);
+  } else {
+    GallopIntersect(b, a, best, best_rank);
+  }
+  return best;
 }
 
 std::optional<std::pair<Cost, uint32_t>> HubLabeling::QueryWithHub(
+    VertexId s, VertexId t) const {
+  LabelRun a = flat_out_.Run(s);
+  LabelRun b = flat_in_.Run(t);
+  Cost best = kInfCost;
+  uint32_t best_rank = 0;
+  if (RunsLopsided(a, b)) {
+    best = QueryGallop(a, b, best_rank);
+  } else {
+    best = MergeLabelRuns<true>(a, b, best_rank);
+  }
+  if (best == kInfCost) return std::nullopt;
+  return std::make_pair(best, best_rank);
+}
+
+std::optional<std::pair<Cost, uint32_t>> HubLabeling::QueryWithHubReference(
     VertexId s, VertexId t) const {
   const auto& a = out_labels_[s];
   const auto& b = in_labels_[t];
@@ -361,17 +537,17 @@ std::vector<VertexId> HubLabeling::UnpackPath(VertexId s, VertexId t) const {
   // path, like an unreachable pair) and bound each chain by n (a shortest
   // path is simple), so malformed parents can never dereference null or
   // spin a serve worker forever.
-  auto walk = [&](VertexId from, const std::vector<std::vector<LabelEntry>>&
-                                     labels) -> std::vector<VertexId> {
+  auto walk = [&](VertexId from, const FlatSide& side) -> std::vector<VertexId> {
     std::vector<VertexId> chain;
     VertexId cur = from;
     while (cur != hub) {
       if (chain.size() >= num_vertices()) return {};
       chain.push_back(cur);
-      const LabelEntry* e = FindRank(labels[cur], rank);
-      assert(e != nullptr && e->parent != kInvalidVertex);
-      if (e == nullptr || e->parent == kInvalidVertex) return {};
-      cur = e->parent;
+      LabelRun run = side.Run(cur);
+      uint32_t i = FindRankInRun(run, rank);
+      assert(i < run.size && run.parent[i] != kInvalidVertex);
+      if (i >= run.size || run.parent[i] == kInvalidVertex) return {};
+      cur = run.parent[i];
     }
     chain.push_back(hub);
     return chain;
@@ -379,8 +555,8 @@ std::vector<VertexId> HubLabeling::UnpackPath(VertexId s, VertexId t) const {
 
   // s -> hub along the Lout parent chain, then hub -> t along the Lin chain
   // (walked from t, so reversed).
-  std::vector<VertexId> path = walk(s, out_labels_);
-  std::vector<VertexId> tail = walk(t, in_labels_);
+  std::vector<VertexId> path = walk(s, flat_out_);
+  std::vector<VertexId> tail = walk(t, flat_in_);
   if (path.empty() || tail.empty()) return {};
   // tail is [t, ..., hub]; reversed it is [hub, ..., t] — skip the hub,
   // path already ends with it.
@@ -398,6 +574,11 @@ void HubLabeling::OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v,
     if (!lazy_ctx) lazy_ctx = std::make_unique<SearchContext>(num_vertices());
     return *lazy_ctx;
   };
+  // Vertices whose nested label vectors the resumed searches change; only
+  // their flat runs get re-sealed afterwards — an update whose resumes are
+  // all certified away touches neither.
+  std::vector<VertexId> in_touched;
+  std::vector<VertexId> out_touched;
   // Forward side: every hub h that reaches u may now reach v (and beyond)
   // more cheaply through the new edge. Resume h's forward search from v.
   // Iterating in rank order keeps pruning effective. One copy of the label
@@ -414,7 +595,7 @@ void HubLabeling::OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v,
       continue;
     }
     PrunedSearch(graph, e.hub_rank, /*forward=*/true, {{v, seed}}, ctx_ref(),
-                 nullptr);
+                 nullptr, &in_touched);
     // Patch the parent of the seed entry: it came through u.
     auto& labels = in_labels_[v];
     auto it = std::lower_bound(labels.begin(), labels.end(), e.hub_rank,
@@ -424,6 +605,7 @@ void HubLabeling::OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v,
     if (it != labels.end() && it->hub_rank == e.hub_rank &&
         it->dist == seed && it->parent == kInvalidVertex) {
       it->parent = u;
+      in_touched.push_back(v);
     }
   }
   // Backward side symmetric.
@@ -436,7 +618,7 @@ void HubLabeling::OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v,
       continue;
     }
     PrunedSearch(graph, e.hub_rank, /*forward=*/false, {{u, seed}}, ctx_ref(),
-                 nullptr);
+                 nullptr, &out_touched);
     auto& labels = out_labels_[u];
     auto it = std::lower_bound(labels.begin(), labels.end(), e.hub_rank,
                                [](const LabelEntry& le, uint32_t r) {
@@ -445,8 +627,11 @@ void HubLabeling::OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v,
     if (it != labels.end() && it->hub_rank == e.hub_rank &&
         it->dist == seed && it->parent == kInvalidVertex) {
       it->parent = v;
+      out_touched.push_back(u);
     }
   }
+  ResealTouched(flat_in_, in_labels_, in_touched);
+  ResealTouched(flat_out_, out_labels_, out_touched);
 }
 
 double HubLabeling::AvgInLabelSize() const {
@@ -574,6 +759,7 @@ HubLabeling HubLabeling::Deserialize(std::istream& in,
       }
     }
   }
+  hl.Seal();
   return hl;
 }
 
@@ -596,6 +782,7 @@ HubLabeling HubLabeling::FromParts(
   hl.out_labels_ = std::move(out_labels);
   hl.rank_.assign(n, 0);
   for (uint32_t r = 0; r < n; ++r) hl.rank_[hl.order_[r]] = r;
+  hl.Seal();
   return hl;
 }
 

@@ -1,6 +1,7 @@
 #ifndef KOSR_LABELING_HUB_LABELING_H_
 #define KOSR_LABELING_HUB_LABELING_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -31,6 +32,54 @@ struct LabelEntry {
 
 /// Sentinel for unreachable in 32-bit label distances.
 inline constexpr uint32_t kInfLabelDist = UINT32_MAX;
+
+/// Rank value terminating every sealed label run. Real ranks are < n <=
+/// UINT32_MAX, so the sentinel compares greater than any of them and a
+/// merge-join over two sealed runs needs no end-of-run checks at all.
+inline constexpr uint32_t kSentinelRank = UINT32_MAX;
+
+/// Packed hot entry of the sealed store: rank in the high 32 bits, dist in
+/// the low 32. Runs stay sorted ascending by the packed value (ranks are
+/// unique within a run, so rank-major packing preserves rank order), one
+/// 8-byte load serves both the merge comparison and the distance sum, and
+/// the sentinel packs to UINT64_MAX.
+inline constexpr uint64_t PackLabelKey(uint32_t rank, uint32_t dist) {
+  return (static_cast<uint64_t>(rank) << 32) | dist;
+}
+inline constexpr uint64_t kSentinelKey =
+    PackLabelKey(kSentinelRank, kInfLabelDist);
+
+/// Sentinel slots trailing every sealed run. The first one terminates the
+/// scalar merge; the extra slots license a merge variant that peeks up to
+/// `kRunPadding - 1` entries ahead (block skips, SIMD loads — see the
+/// ROADMAP item) to do so without bounds checks: a peek from inside a run
+/// can only land on that run's entries or its sentinels, never on the next
+/// run packed behind it.
+inline constexpr uint32_t kRunPadding = 4;
+
+/// View of one sealed label run: a hot array of packed (rank, dist) keys
+/// (terminated one slot past `size` by kSentinelKey, so consumers may
+/// iterate by `size` or until the sentinel) and a cold parallel `parent`
+/// array that only path unpacking touches.
+struct LabelRun {
+  const uint64_t* key;
+  const VertexId* parent;
+  uint32_t size;
+
+  uint32_t RankAt(uint32_t i) const {
+    return static_cast<uint32_t>(key[i] >> 32);
+  }
+  uint32_t DistAt(uint32_t i) const { return static_cast<uint32_t>(key[i]); }
+};
+
+/// Index of rank `r` within the run, or `run.size` if absent.
+inline uint32_t FindRankInRun(const LabelRun& run, uint32_t r) {
+  const uint64_t* end = run.key + run.size;
+  // The first key with rank >= r is the first key >= (r << 32).
+  const uint64_t* it = std::lower_bound(run.key, end, PackLabelKey(r, 0));
+  if (it == end || (*it >> 32) != r) return run.size;
+  return static_cast<uint32_t>(it - run.key);
+}
 
 /// 2-hop labeling (a.k.a. hub labeling) for directed weighted graphs, built
 /// with Pruned Landmark Labeling [Akiba et al., SIGMOD 2013] generalized to
@@ -67,12 +116,24 @@ class HubLabeling {
   static std::vector<VertexId> DegreeOrder(const Graph& graph,
                                            uint32_t num_threads = 1);
 
-  /// dis(s, t), or kInfCost if t is unreachable from s.
+  /// dis(s, t), or kInfCost if t is unreachable from s. Runs on the sealed
+  /// flat store: a sentinel-terminated merge-join over contiguous packed
+  /// runs (with a galloping path when one run dwarfs the other). Defined
+  /// inline below — this is the hottest entry point in the system (every
+  /// FindNEN heuristic probe lands here), and inlining the merge into the
+  /// caller's loop is measurably faster than a call into another TU.
   Cost Query(VertexId s, VertexId t) const;
 
   /// dis(s, t) together with the witnessing hub rank.
   std::optional<std::pair<Cost, uint32_t>> QueryWithHub(VertexId s,
                                                         VertexId t) const;
+
+  /// Reference implementation of QueryWithHub over the nested label
+  /// vectors, bypassing the flat store. Kept for the flat-vs-nested
+  /// equivalence property test and the bench_label_query before/after
+  /// comparison; not a production path.
+  std::optional<std::pair<Cost, uint32_t>> QueryWithHubReference(
+      VertexId s, VertexId t) const;
 
   /// Shortest s-t path as a full vertex sequence (empty if unreachable,
   /// {s} if s == t). Cost of the returned path equals Query(s, t).
@@ -80,6 +141,20 @@ class HubLabeling {
 
   std::span<const LabelEntry> Lin(VertexId v) const { return in_labels_[v]; }
   std::span<const LabelEntry> Lout(VertexId v) const { return out_labels_[v]; }
+
+  // --- Sealed flat store ----------------------------------------------------
+  // Build/Deserialize/FromParts construct into the nested vectors above (the
+  // mutable source of truth, which serialization also reads) and then seal a
+  // flat CSR/SoA read view; OnEdgeDecreased re-seals only the runs of
+  // vertices whose labels it changed. Queries and the NN machinery read the
+  // flat view exclusively. See DESIGN.md, "Label memory layout".
+
+  /// Flat run of Lin(v) / Lout(v). Valid while the labeling is unchanged.
+  LabelRun InRun(VertexId v) const { return flat_in_.Run(v); }
+  LabelRun OutRun(VertexId v) const { return flat_out_.Run(v); }
+
+  /// Bytes held by the sealed flat arrays (entries + sentinels + run table).
+  uint64_t FlatBytes() const;
 
   uint32_t num_vertices() const { return static_cast<uint32_t>(in_labels_.size()); }
   VertexId HubVertex(uint32_t rank) const { return order_[rank]; }
@@ -129,15 +204,62 @@ class HubLabeling {
   struct SearchContext;    // Per-thread pruned-Dijkstra scratch.
   struct CandidateLabel;   // (vertex, dist, parent) produced by a search.
 
+  /// One direction of the sealed flat store. Runs live back to back in the
+  /// hot `key` array (packed rank|dist, each run terminated by a
+  /// kSentinelKey slot) with parents in a cold parallel array; `start[v]`
+  /// points at v's run (not necessarily in vertex order after re-seals),
+  /// `len[v]` is its entry count. Slot 0 holds one shared sentinel block
+  /// that every empty run points at — a disk-store working set is almost
+  /// entirely empty runs. A re-sealed run that outgrew its slot is
+  /// appended at the tail and the old slots become garbage until the next
+  /// full seal.
+  struct FlatSide {
+    /// Per-vertex run locator, fused so one cache-line touch yields both
+    /// fields (start and len in separate arrays cost a second scattered
+    /// load on every probe).
+    struct RunRef {
+      uint64_t start;
+      uint32_t len;
+    };
+    std::vector<RunRef> runs;
+    std::vector<uint64_t> key;
+    std::vector<VertexId> parent;
+    uint64_t garbage = 0;  ///< Abandoned slots (entries + sentinels).
+
+    void Seal(const std::vector<std::vector<LabelEntry>>& labels);
+    void ResealRun(VertexId v, const std::vector<LabelEntry>& labels);
+    LabelRun Run(VertexId v) const {
+      const RunRef& r = runs[v];
+      return {key.data() + r.start, parent.data() + r.start, r.len};
+    }
+    uint64_t Bytes() const;
+  };
+
+  /// (Re)builds both flat sides from the nested vectors.
+  void Seal();
+  /// Query fallback for lopsided run sizes (binary-search intersection of
+  /// the shorter run in the longer). Records the witnessing hub rank of
+  /// the best match in `best_rank` (untouched if unreachable).
+  Cost QueryGallop(const LabelRun& a, const LabelRun& b,
+                   uint32_t& best_rank) const;
+  /// Re-seals the runs of the given vertices (duplicates fine); falls back
+  /// to a full seal of that side once garbage crosses the compaction bound.
+  static void ResealTouched(FlatSide& side,
+                            const std::vector<std::vector<LabelEntry>>& labels,
+                            std::vector<VertexId>& touched);
+
   // Runs one pruned Dijkstra from hub of rank `rank` in the given direction.
   // `seeds` is {(hub, 0)} during construction, or resumed frontiers during
   // incremental updates. With `candidates` null the surviving labels are
-  // committed directly (sequential/update mode, mutates labels); otherwise
-  // the search is read-only and appends candidates for a later commit.
+  // committed directly (sequential/update mode, mutates labels; `modified`,
+  // if given, records the vertices whose label vector actually changed so
+  // the caller can re-seal exactly those flat runs); otherwise the search
+  // is read-only and appends candidates for a later commit.
   void PrunedSearch(const Graph& graph, uint32_t rank, bool forward,
                     const std::vector<std::pair<VertexId, Cost>>& seeds,
                     SearchContext& ctx,
-                    std::vector<CandidateLabel>* candidates);
+                    std::vector<CandidateLabel>* candidates,
+                    std::vector<VertexId>* modified = nullptr);
 
   // Commit phase of the rank-batched parallel build: re-checks every
   // candidate of `rank` against the labels committed so far (which now
@@ -148,10 +270,67 @@ class HubLabeling {
 
   std::vector<std::vector<LabelEntry>> in_labels_;
   std::vector<std::vector<LabelEntry>> out_labels_;
+  FlatSide flat_in_;
+  FlatSide flat_out_;
   std::vector<VertexId> order_;
   std::vector<uint32_t> rank_;
   double build_seconds_ = 0;
 };
+
+/// Runs dwarfed past this size ratio take the galloping path; below it the
+/// linear sentinel merge wins (no mispredicted lower_bound branches,
+/// contiguous streaming reads).
+inline constexpr uint32_t kGallopRatio = 16;
+
+/// True when one run dwarfs the other enough for galloping to pay off.
+inline bool RunsLopsided(const LabelRun& a, const LabelRun& b) {
+  return a.size > kGallopRatio * b.size || b.size > kGallopRatio * a.size;
+}
+
+/// The sentinel-terminated merge-join over the packed (rank << 32 | dist)
+/// keys, shared by Query (TrackHub = false) and QueryWithHub (TrackHub =
+/// true, records the witnessing hub rank in `best_rank`): one 8-byte load
+/// per entry serves both the rank comparison and the distance sum, and
+/// because every run ends in kSentinelKey slots the loop needs no bounds
+/// checks — both cursors stop on their sentinels. The skip comparisons run
+/// on the full packed keys (ranks in the high half order them whenever the
+/// ranks differ, with no per-load shift); equal ranks are detected by the
+/// high halves matching, i.e. the keys xor-ing to less than 2^32.
+template <bool TrackHub>
+inline Cost MergeLabelRuns(const LabelRun& a, const LabelRun& b,
+                           uint32_t& best_rank) {
+  const uint64_t* ak = a.key;
+  const uint64_t* bk = b.key;
+  uint64_t ka = *ak;
+  uint64_t kb = *bk;
+  Cost best = kInfCost;
+  for (;;) {
+    if ((ka ^ kb) < (uint64_t{1} << 32)) {  // same rank
+      if (ka == kSentinelKey) break;
+      Cost d = static_cast<Cost>(static_cast<uint32_t>(ka)) +
+               static_cast<uint32_t>(kb);
+      if (d < best) {
+        best = d;
+        if constexpr (TrackHub) best_rank = static_cast<uint32_t>(ka >> 32);
+      }
+      ka = *++ak;
+      kb = *++bk;
+    } else if (ka < kb) {
+      ka = *++ak;
+    } else {
+      kb = *++bk;
+    }
+  }
+  return best;
+}
+
+inline Cost HubLabeling::Query(VertexId s, VertexId t) const {
+  LabelRun a = flat_out_.Run(s);
+  LabelRun b = flat_in_.Run(t);
+  uint32_t unused_rank = 0;
+  if (RunsLopsided(a, b)) return QueryGallop(a, b, unused_rank);
+  return MergeLabelRuns<false>(a, b, unused_rank);
+}
 
 }  // namespace kosr
 

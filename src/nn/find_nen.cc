@@ -17,16 +17,16 @@ std::optional<NenResult> FindNenCursor::Get(uint32_t x, QueryStats* stats) {
     // Buffer plain NNs until the cheapest buffered estimate is provably
     // final: every unpulled neighbor is at least ln away.
     while (!exhausted_ &&
-           (queue_.empty() || ln_->dist < queue_.top().est)) {
+           (queue_.Empty() || ln_->dist < queue_.Top().est)) {
       Cost h = heuristic_(ln_->vertex, stats);
       Cost est = (h >= kInfCost) ? kInfCost : ln_->dist + h;
-      queue_.push({ln_->vertex, ln_->dist, est});
+      queue_.Push({ln_->vertex, ln_->dist, est});
       ln_.reset();
       EnsureLn(stats);
     }
-    if (queue_.empty()) return std::nullopt;
-    NenResult top = queue_.top();
-    queue_.pop();
+    if (queue_.Empty()) return std::nullopt;
+    NenResult top = queue_.Top();
+    queue_.Pop();
     // A minimum estimate of infinity means no remaining member reaches the
     // destination (the frontier is exhausted by construction here).
     if (top.est >= kInfCost) return std::nullopt;

@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "src/labeling/hub_labeling.h"
 #include "src/nn/find_nn.h"
 #include "src/nn/nn_provider.h"
+#include "src/util/min_heap.h"
 
 namespace kosr {
 
@@ -52,7 +52,7 @@ class FindNenCursor {
   FetchNn fetch_;
   Heuristic heuristic_;
   std::vector<NenResult> found_;  // ENL
-  std::priority_queue<NenResult, std::vector<NenResult>, ByEst> queue_;  // ENQ
+  MinQueue<NenResult, ByEst> queue_;  // ENQ
   std::optional<NnResult> ln_;    // last fetched NN, not yet buffered
   uint32_t fetched_ = 0;
   bool exhausted_ = false;

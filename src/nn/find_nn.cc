@@ -17,7 +17,7 @@ void FindNnCursor::PushNext(Cost base, uint32_t rank, uint32_t pos) {
   while (pos < entries.size()) {
     const InvertedEntry& e = entries[pos];
     if (Eligible(e.member) && !found_set_.contains(e.member)) {
-      queue_.push({base + e.dist, base, rank, pos});
+      queue_.Push({base + e.dist, base, rank, pos});
       return;
     }
     ++pos;
@@ -29,14 +29,15 @@ std::optional<NnResult> FindNnCursor::Get(uint32_t x, QueryStats* stats) {
   if (stats != nullptr) ++stats->nn_queries;
   if (!initialized_) {
     initialized_ = true;
-    for (const LabelEntry& e : labeling_->Lout(v_)) {
-      PushNext(e.dist, e.hub_rank, 0);
+    LabelRun lout = labeling_->OutRun(v_);
+    for (uint32_t i = 0; i < lout.size; ++i) {
+      PushNext(lout.DistAt(i), lout.RankAt(i), 0);
     }
   }
   while (found_.size() < x) {
-    if (queue_.empty()) return std::nullopt;
-    Candidate top = queue_.top();
-    queue_.pop();
+    if (queue_.Empty()) return std::nullopt;
+    Candidate top = queue_.Top();
+    queue_.Pop();
     VertexId member = index_->Entries(top.rank)[top.pos].member;
     // Keep this inverted list flowing regardless of whether the popped
     // candidate is fresh.

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "src/labeling/hub_labeling.h"
 #include "src/nn/inverted_label_index.h"
 #include "src/nn/nn_provider.h"
+#include "src/util/min_heap.h"
 
 namespace kosr {
 
@@ -57,9 +57,7 @@ class FindNnCursor {
 
   std::vector<NnResult> found_;
   std::unordered_set<VertexId> found_set_;
-  std::priority_queue<Candidate, std::vector<Candidate>,
-                      std::greater<Candidate>>
-      queue_;
+  MinQueue<Candidate> queue_;
   bool initialized_ = false;
 };
 

@@ -18,8 +18,9 @@ InvertedLabelIndex InvertedLabelIndex::Build(
     const HubLabeling& labeling, std::span<const VertexId> members) {
   InvertedLabelIndex index;
   for (VertexId u : members) {
-    for (const LabelEntry& e : labeling.Lin(u)) {
-      index.lists_[e.hub_rank].push_back({u, e.dist});
+    LabelRun lin = labeling.InRun(u);
+    for (uint32_t i = 0; i < lin.size; ++i) {
+      index.lists_[lin.RankAt(i)].push_back({u, lin.DistAt(i)});
     }
   }
   for (auto& [rank, list] : index.lists_) {
@@ -29,23 +30,27 @@ InvertedLabelIndex InvertedLabelIndex::Build(
 }
 
 void InvertedLabelIndex::AddMember(const HubLabeling& labeling, VertexId v) {
-  for (const LabelEntry& e : labeling.Lin(v)) {
-    auto& list = lists_[e.hub_rank];
-    InvertedEntry entry{v, e.dist};
+  LabelRun lin = labeling.InRun(v);
+  for (uint32_t i = 0; i < lin.size; ++i) {
+    auto& list = lists_[lin.RankAt(i)];
+    InvertedEntry entry{v, lin.DistAt(i)};
     auto it = std::lower_bound(list.begin(), list.end(), entry, EntryLess);
     list.insert(it, entry);
   }
 }
 
 void InvertedLabelIndex::RemoveMember(const HubLabeling& labeling, VertexId v) {
-  for (const LabelEntry& e : labeling.Lin(v)) {
-    auto it = lists_.find(e.hub_rank);
+  LabelRun lin = labeling.InRun(v);
+  for (uint32_t i = 0; i < lin.size; ++i) {
+    auto it = lists_.find(lin.RankAt(i));
     if (it == lists_.end()) continue;
     auto& list = it->second;
-    InvertedEntry entry{v, e.dist};
+    InvertedEntry entry{v, lin.DistAt(i)};
     auto pos = std::lower_bound(list.begin(), list.end(), entry, EntryLess);
-    while (pos != list.end() && pos->dist == e.dist && pos->member != v) ++pos;
-    if (pos != list.end() && pos->member == v && pos->dist == e.dist) {
+    while (pos != list.end() && pos->dist == entry.dist && pos->member != v) {
+      ++pos;
+    }
+    if (pos != list.end() && pos->member == v && pos->dist == entry.dist) {
       list.erase(pos);
       if (list.empty()) lists_.erase(it);
     }

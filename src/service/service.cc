@@ -104,6 +104,9 @@ ServiceResponse KosrService::Submit(const ServiceRequest& request) {
 }
 
 void KosrService::WorkerLoop() {
+  // Worker-private query scratch: the hot containers of every search this
+  // worker runs live here, allocated once and reused across requests.
+  QueryContext ctx;
   for (;;) {
     Pending pending;
     {
@@ -115,7 +118,7 @@ void KosrService::WorkerLoop() {
     }
     ServiceResponse response;
     try {
-      response = Process(pending.request);
+      response = Process(pending.request, ctx);
     } catch (const std::exception& e) {
       response.status = ResponseStatus::kError;
       response.error = e.what();
@@ -152,7 +155,8 @@ CacheKey KosrService::KeyFor(const ServiceRequest& request) {
   return key;
 }
 
-ServiceResponse KosrService::Process(const ServiceRequest& request) {
+ServiceResponse KosrService::Process(const ServiceRequest& request,
+                                     QueryContext& ctx) {
   ServiceResponse response;
   const bool cacheable = cache_.enabled() && Cacheable(request);
   CacheKey key;
@@ -173,7 +177,7 @@ ServiceResponse KosrService::Process(const ServiceRequest& request) {
   if (options.time_budget_s == 0) {
     options.time_budget_s = default_time_budget_s_;
   }
-  response.result = engine_.Query(request.query, options);
+  response.result = engine_.Query(request.query, options, &ctx);
   // Budget-truncated results are incomplete; serving them from cache would
   // turn one slow query into many wrong answers.
   if (cacheable && !response.result.stats.timed_out) {

@@ -131,7 +131,8 @@ class KosrService {
   };
 
   void WorkerLoop();
-  ServiceResponse Process(const ServiceRequest& request);
+  /// `ctx` is the calling worker's private reusable query scratch.
+  ServiceResponse Process(const ServiceRequest& request, QueryContext& ctx);
   static bool Cacheable(const ServiceRequest& request);
   static CacheKey KeyFor(const ServiceRequest& request);
 

@@ -1,13 +1,53 @@
 #ifndef KOSR_UTIL_MIN_HEAP_H_
 #define KOSR_UTIL_MIN_HEAP_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/util/types.h"
 
 namespace kosr {
+
+/// Minimal binary min-heap over an owned vector, as a drop-in for
+/// std::priority_queue<T, std::vector<T>, Greater> on the query hot paths.
+/// Unlike std::priority_queue it exposes Clear(), which empties the heap
+/// while keeping the vector's capacity — a query that reuses the heap via
+/// KosrScratch/QueryContext allocates nothing once warmed up.
+///
+/// `Greater` is a strict weak order with a > b meaning "a after b"; Top()
+/// returns the minimum, exactly like the std::greater<> priority_queue
+/// idiom it replaces.
+template <typename T, typename Greater = std::greater<T>>
+class MinQueue {
+ public:
+  bool Empty() const { return items_.empty(); }
+  size_t Size() const { return items_.size(); }
+  const T& Top() const {
+    assert(!items_.empty());
+    return items_.front();
+  }
+
+  void Push(T item) {
+    items_.push_back(std::move(item));
+    std::push_heap(items_.begin(), items_.end(), Greater{});
+  }
+
+  void Pop() {
+    assert(!items_.empty());
+    std::pop_heap(items_.begin(), items_.end(), Greater{});
+    items_.pop_back();
+  }
+
+  /// Empties the heap, retaining capacity.
+  void Clear() { items_.clear(); }
+
+ private:
+  std::vector<T> items_;
+};
 
 /// Addressable 4-ary min-heap over dense uint32 keys, specialized for
 /// Dijkstra-style searches. Supports Insert, DecreaseKey (via Update) and

@@ -4,10 +4,13 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace kosr {
@@ -24,6 +27,126 @@ inline uint32_t ResolveThreadCount(uint32_t requested) {
   if (requested == 0) return hw;
   return std::min(requested, std::max<uint32_t>(64, 4 * hw));
 }
+
+/// Persistent worker pool for repeated parallel-for invocations. Spawns
+/// `ResolveThreadCount(num_threads) - 1` workers once; every ParallelFor
+/// call then reuses them (dynamic scheduling off a shared atomic counter,
+/// caller participating as thread 0) instead of paying thread creation and
+/// teardown per call — the rank-batched hub-label build issues one call per
+/// batch, hundreds per index, which is exactly the case per-call spawning
+/// was slowest for. Semantics match ParallelForEachIndexWithThread: the
+/// first exception is rethrown on the caller after the call's iterations
+/// drain, and `thread` is a dense index in [0, num_threads()).
+///
+/// ParallelFor calls must not overlap (one job at a time); issue them from
+/// a single orchestrating thread.
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t num_threads)
+      : num_threads_(ResolveThreadCount(num_threads)) {
+    workers_.reserve(num_threads_ - 1);
+    for (uint32_t t = 1; t < num_threads_; ++t) {
+      workers_.emplace_back([this, t] { WorkerMain(t); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(i, thread) for every i in [0, n); returns when all iterations
+  /// finished. The caller drains indices alongside the workers.
+  ///
+  /// Every call is a full-pool rendezvous: all workers wake and check in
+  /// even when n is smaller than the pool, so a tiny-n call pays one
+  /// pool-wide wakeup round trip. That is the accepted trade-off for a
+  /// protocol with no stale-claimer races (a worker can never touch a
+  /// later call's counters); under the hub-label build's exponential
+  /// batch schedule only O(log batch_cap) calls are tiny, and those are
+  /// the top-hub searches whose work dwarfs the wakeup latency anyway.
+  template <typename Fn>
+  void ParallelFor(uint64_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (uint64_t i = 0; i < n; ++i) fn(i, uint32_t{0});
+      return;
+    }
+    std::function<void(uint64_t, uint32_t)> job(std::forward<Fn>(fn));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      limit_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      running_ = static_cast<uint32_t>(workers_.size());
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    Drain(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void Drain(uint32_t thread) {
+    for (;;) {
+      uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= limit_) return;
+      try {
+        (*job_)(i, thread);
+      } catch (...) {
+        // First error wins; remaining iterations still run (same contract
+        // as ParallelForEachIndexWithThread).
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+
+  void WorkerMain(uint32_t thread) {
+    uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock,
+                      [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+      }
+      Drain(thread);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  const uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(uint64_t, uint32_t)>* job_ = nullptr;
+  std::atomic<uint64_t> next_{0};
+  uint64_t limit_ = 0;
+  uint32_t running_ = 0;
+  uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+};
 
 /// Runs fn(i, thread) for every i in [0, n) on up to `num_threads` threads,
 /// pulling indices from a shared atomic counter (dynamic scheduling —
