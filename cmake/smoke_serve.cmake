@@ -33,7 +33,8 @@ run_step("wrote index snapshot"
   build-index --graph graph.gr --categories cats.txt --indexes-out idx.bin)
 
 # Protocol script: two identical queries (the second must be a cache hit),
-# a different method, each dynamic-update entry point, metrics, and QUIT.
+# a different method, each dynamic-update entry point — including the full
+# SET_EDGE increase and REMOVE_EDGE repair paths — metrics, and QUIT.
 file(WRITE ${SCRATCH}/requests.txt
 "# smoke_serve protocol script
 PING
@@ -43,6 +44,10 @@ QUERY 0 255 0,1,2 3 pk
 ADD_CAT 5 0
 REMOVE_CAT 5 0
 ADD_EDGE 0 255 1
+QUERY 0 255 0,1,2 3
+SET_EDGE 0 255 9000
+QUERY 0 255 0,1,2 3
+REMOVE_EDGE 0 255
 QUERY 0 255 0,1,2 3
 METRICS
 QUIT
@@ -67,10 +72,11 @@ foreach(_marker
     "OK ROUTES n=3"
     "cached=1"
     "OK UPDATED"
+    "OK UPDATED changed=1"
     "OK METRICS {\"uptime_s\""
     "\"hits\":"
     "OK BYE"
-    "served 10 requests")
+    "served 14 requests")
   string(FIND "${_stdout}" "${_marker}" _pos)
   if(_pos EQUAL -1)
     message(FATAL_ERROR

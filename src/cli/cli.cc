@@ -35,7 +35,10 @@ Commands:
   query        --graph graph.gr --categories cats.txt --num-categories N
                --source S --target T --sequence c1,c2,... [--k K]
                [--algorithm kpne|pk|sk] [--nn hoplabel|dijkstra] [--paths 1]
-               [--threads T]
+               [--threads T] [--updates updates.txt (applied after the index
+               build, before the query; lines are ADD_EDGE u v w |
+               SET_EDGE u v w | REMOVE_EDGE u v, exercising the
+               incremental label repair)]
   serve        --graph graph.gr --categories cats.txt [--num-categories N]
                [--indexes snapshot.bin] [--order degree|dissection
                --rows R --cols C] [--threads T (index build at startup)]
@@ -43,8 +46,8 @@ Commands:
                [--cache-capacity C] [--cache-shards S]
                [--time-budget S (per-query seconds, default 30, 0=unlimited)]
                then speaks the newline request/response protocol on
-               stdin/stdout (QUERY/ADD_CAT/REMOVE_CAT/ADD_EDGE/METRICS/
-               PING/QUIT; see README.md for the grammar)
+               stdin/stdout (QUERY/ADD_CAT/REMOVE_CAT/ADD_EDGE/SET_EDGE/
+               REMOVE_EDGE/METRICS/PING/QUIT; see README.md for the grammar)
   help         this text
 )";
 
@@ -276,6 +279,48 @@ int CmdServe(const Args& args, std::istream& in, std::ostream& out) {
   return 0;
 }
 
+// Applies an update script (one ADD_EDGE / SET_EDGE / REMOVE_EDGE per line,
+// same verbs as the serve protocol; blank lines and '#' comments skipped)
+// against a built engine. Returns (updates applied, label vectors repaired).
+std::pair<uint64_t, uint64_t> ApplyUpdateScript(KosrEngine& engine,
+                                                const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  uint64_t applied = 0, repaired = 0;
+  std::string line;
+  auto parse_u32 = [](std::istringstream& ls, const char* what) {
+    long long value = -1;
+    if (!(ls >> value) || value < 0 ||
+        value > std::numeric_limits<uint32_t>::max()) {
+      throw std::invalid_argument(std::string("bad ") + what +
+                                  " in updates file");
+    }
+    return static_cast<uint32_t>(value);
+  };
+  while (std::getline(in, line)) {
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::string verb;
+    ls >> verb;
+    EdgeUpdateSummary summary;
+    if (verb == "ADD_EDGE" || verb == "SET_EDGE") {
+      VertexId u = parse_u32(ls, "u"), v = parse_u32(ls, "v");
+      Weight w = parse_u32(ls, "w");
+      summary = verb == "ADD_EDGE" ? engine.AddOrDecreaseEdge(u, v, w)
+                                   : engine.SetEdgeWeight(u, v, w);
+    } else if (verb == "REMOVE_EDGE") {
+      VertexId u = parse_u32(ls, "u"), v = parse_u32(ls, "v");
+      summary = engine.RemoveEdge(u, v);
+    } else {
+      throw std::invalid_argument("unknown update verb: " + verb);
+    }
+    ++applied;
+    repaired += summary.changed_in_labels + summary.changed_out_labels;
+  }
+  return {applied, repaired};
+}
+
 int CmdQuery(const Args& args, std::ostream& out) {
   KosrEngine engine = LoadEngine(args);
 
@@ -310,6 +355,14 @@ int CmdQuery(const Args& args, std::ostream& out) {
 
   if (options.nn_mode == NnMode::kHopLabel) {
     BuildWithRequestedOrder(args, engine);
+  }
+
+  // Dynamic updates run after the index build on purpose: they exercise the
+  // incremental label repair, not a rebuild on a pre-updated graph.
+  if (auto updates = args.Get("updates")) {
+    auto [applied, repaired] = ApplyUpdateScript(engine, *updates);
+    out << "applied " << applied << " updates (" << repaired
+        << " label vectors repaired)\n";
   }
 
   KosrResult result = engine.Query(query, options);

@@ -191,21 +191,70 @@ void KosrEngine::RemoveVertexCategory(VertexId v, CategoryId c) {
   categories_.Remove(v, c);
 }
 
-bool KosrEngine::AddOrDecreaseEdge(VertexId u, VertexId v, Weight w) {
+void KosrEngine::AbsorbLabelRepair(const LabelRepairDelta& delta,
+                                   EdgeUpdateSummary& summary) {
+  summary.labels_changed = !delta.Empty();
+  summary.changed_in_labels = static_cast<uint32_t>(delta.changed_in.size());
+  summary.changed_out_labels = static_cast<uint32_t>(delta.changed_out.size());
+  // Inverted lists mirror Lin entries of category members; patch exactly
+  // the lists of hubs whose entries for a changed member moved, instead of
+  // rebuilding every category from scratch.
+  for (size_t i = 0; i < delta.changed_in.size(); ++i) {
+    VertexId x = delta.changed_in[i];
+    for (CategoryId c : categories_.CategoriesOf(x)) {
+      inverted_[c].UpdateMember(x, delta.old_in[i], labeling_.Lin(x));
+    }
+  }
+}
+
+EdgeUpdateSummary KosrEngine::AddOrDecreaseEdge(VertexId u, VertexId v,
+                                                Weight w) {
   // In-place arc update; a no-op (existing weight already <= w, or a self
   // loop) leaves the graph and every index untouched, so repeated updates
   // to the same edge can neither grow the arc lists nor trigger repairs.
-  if (!graph_.AddOrDecreaseArc(u, v, w)) return false;
+  EdgeUpdateSummary summary;
+  if (!graph_.AddOrDecreaseArc(u, v, w)) return summary;
+  summary.graph_changed = true;
   if (indexes_built_) {
-    labeling_.OnEdgeDecreased(graph_, u, v, w);
-    // Inverted lists hold Lin distances, which the incremental repair may
-    // have lowered; rebuild the affected category lists. (Cheap relative to
-    // label construction; a production system would patch in place.)
-    for (CategoryId c = 0; c < categories_.num_categories(); ++c) {
-      inverted_[c] = InvertedLabelIndex::Build(labeling_, categories_.Members(c));
-    }
+    AbsorbLabelRepair(labeling_.OnEdgeDecreased(graph_, u, v, w), summary);
   }
-  return true;
+  return summary;
+}
+
+EdgeUpdateSummary KosrEngine::SetEdgeWeight(VertexId u, VertexId v, Weight w) {
+  EdgeUpdateSummary summary;
+  if (u >= graph_.num_vertices() || v >= graph_.num_vertices()) {
+    throw std::invalid_argument("arc endpoint outside the vertex universe");
+  }
+  if (u == v) return summary;  // self loops are dropped, as everywhere
+  Cost old = graph_.ArcWeight(u, v);
+  if (old == static_cast<Cost>(w)) return summary;  // already exactly w
+  graph_.SetArcWeight(u, v, w);
+  summary.graph_changed = true;
+  if (indexes_built_) {
+    LabelRepairDelta delta =
+        static_cast<Cost>(w) < old
+            ? labeling_.OnEdgeDecreased(graph_, u, v, w)
+            : labeling_.OnEdgeIncreased(graph_, u, v,
+                                        static_cast<Weight>(old));
+    AbsorbLabelRepair(delta, summary);
+  }
+  return summary;
+}
+
+EdgeUpdateSummary KosrEngine::RemoveEdge(VertexId u, VertexId v) {
+  EdgeUpdateSummary summary;
+  // RemoveArc range-checks (and drops self loops) itself; no preamble
+  // needed — unlike SetEdgeWeight, nothing here reads the graph first.
+  std::optional<Cost> old = graph_.RemoveArc(u, v);
+  if (!old.has_value()) return summary;  // absent arc (or self loop): no-op
+  summary.graph_changed = true;
+  if (indexes_built_) {
+    AbsorbLabelRepair(
+        labeling_.OnEdgeRemoved(graph_, u, v, static_cast<Weight>(*old)),
+        summary);
+  }
+  return summary;
 }
 
 void KosrEngine::SaveIndexes(std::ostream& out) const {

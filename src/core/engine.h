@@ -17,6 +17,21 @@
 
 namespace kosr {
 
+/// Outcome of a dynamic edge update: whether the graph mutated at all, and
+/// how much incremental label repair it triggered. `labels_changed == false`
+/// with `graph_changed == true` is common and useful — a weight increase on
+/// an arc that lay on no shortest path repairs nothing, and (because the hub
+/// order covers every vertex) certifies that no distance, unpacked path, or
+/// KOSR answer changed, so callers such as the service's result cache can
+/// skip invalidation entirely.
+struct EdgeUpdateSummary {
+  bool graph_changed = false;
+  bool labels_changed = false;
+  /// Vertices whose Lin / Lout label vectors the repair changed.
+  uint32_t changed_in_labels = 0;
+  uint32_t changed_out_labels = 0;
+};
+
 /// Facade that owns a graph, its category assignment, and the query indexes
 /// (hub labeling + one inverted label index per category), and answers KOSR
 /// queries with any of the paper's methods.
@@ -70,12 +85,27 @@ class KosrEngine {
   void RemoveVertexCategory(VertexId v, CategoryId c);
   /// Graph update: inserts arc (u, v, w) or lowers an existing arc's weight
   /// in place (Graph::AddOrDecreaseArc — repeated updates to the same edge
-  /// do not grow the arc lists), and incrementally repairs the labeling
-  /// (resumed pruned searches). A no-op update (w >= the current weight)
-  /// touches nothing and returns false, so callers (the service's cache
-  /// invalidation) can skip their own reactions too. Weight increases /
-  /// deletions require a rebuild.
-  bool AddOrDecreaseEdge(VertexId u, VertexId v, Weight w);
+  /// do not grow the arc lists), incrementally repairs the labeling
+  /// (resumed pruned searches), and patches only the inverted lists of hubs
+  /// whose labels actually changed. A no-op update (w >= the current
+  /// weight) touches nothing (`graph_changed == false`), so callers (the
+  /// service's cache invalidation) can skip their own reactions too.
+  EdgeUpdateSummary AddOrDecreaseEdge(VertexId u, VertexId v, Weight w);
+
+  /// Graph update: sets the u->v weight to exactly `w` — decrease, insert,
+  /// or *increase* — and incrementally repairs the labeling either way
+  /// (resumed searches for a decrease; affected-hub re-searches for an
+  /// increase, byte-identical to a from-scratch rebuild with the same hub
+  /// order — see DESIGN.md, "Dynamic updates"). Inverted indexes are
+  /// patched incrementally from the repair delta. Setting the current
+  /// weight again is a no-op. Throws std::invalid_argument for
+  /// out-of-range endpoints; self loops are dropped.
+  EdgeUpdateSummary SetEdgeWeight(VertexId u, VertexId v, Weight w);
+
+  /// Graph update: deletes arc (u, v) (all parallels) and incrementally
+  /// repairs the labeling and inverted indexes the same way. Removing an
+  /// absent arc is a no-op.
+  EdgeUpdateSummary RemoveEdge(VertexId u, VertexId v);
 
   // --- Index persistence ----------------------------------------------------
 
@@ -111,6 +141,12 @@ class KosrEngine {
   double inverted_build_seconds() const { return inverted_build_seconds_; }
 
  private:
+  /// Applies a label-repair delta to the per-category inverted indexes
+  /// (patching only the lists of hubs whose member labels changed) and
+  /// folds it into `summary`.
+  void AbsorbLabelRepair(const LabelRepairDelta& delta,
+                         EdgeUpdateSummary& summary);
+
   friend KosrResult RunQueryWithIndexes(
       const Graph& graph, const CategoryTable& categories,
       const HubLabeling& labeling,

@@ -89,6 +89,105 @@ bool Graph::AddOrDecreaseArc(VertexId u, VertexId v, Weight w) {
   return true;
 }
 
+namespace {
+
+bool ArcLess(const Arc& a, const Arc& b) {
+  return a.head != b.head ? a.head < b.head : a.weight < b.weight;
+}
+
+}  // namespace
+
+std::optional<Cost> Graph::SetArcWeight(VertexId u, VertexId v, Weight w) {
+  if (u >= num_vertices() || v >= num_vertices()) {
+    throw std::invalid_argument("arc endpoint outside the vertex universe");
+  }
+  if (u == v) return std::nullopt;  // self loops are dropped, as in FromEdges
+
+  auto out_lo = out_arcs_.begin() + out_begin_[u];
+  auto out_hi = out_arcs_.begin() + out_begin_[u + 1];
+  auto out_it = std::lower_bound(out_lo, out_hi, Arc{v, 0}, ArcLess);
+  if (out_it == out_hi || out_it->head != v) {
+    // Absent: splice into both CSR arrays, exactly like AddOrDecreaseArc's
+    // insert path.
+    out_arcs_.insert(out_it, Arc{v, w});
+    for (size_t i = u + 1; i < out_begin_.size(); ++i) ++out_begin_[i];
+    auto in_lo = in_arcs_.begin() + in_begin_[v];
+    auto in_hi = in_arcs_.begin() + in_begin_[v + 1];
+    in_arcs_.insert(std::lower_bound(in_lo, in_hi, Arc{u, w}, ArcLess),
+                    Arc{u, w});
+    for (size_t i = v + 1; i < in_begin_.size(); ++i) ++in_begin_[i];
+    return kInfCost;
+  }
+
+  // Present: the (head, weight) sort puts the cheapest parallel first. Keep
+  // that one at weight w and drop the rest, so the effective minimum is
+  // exactly w afterwards (a raised weight must not leave a cheaper parallel
+  // behind). A single surviving arc per head keeps the row sorted.
+  Cost old = out_it->weight;
+  out_it->weight = w;
+  auto out_last = out_it + 1;
+  while (out_last != out_hi && out_last->head == v) ++out_last;
+  size_t extra = static_cast<size_t>(out_last - (out_it + 1));
+  if (extra > 0) {
+    out_arcs_.erase(out_it + 1, out_last);
+    for (size_t i = u + 1; i < out_begin_.size(); ++i) {
+      out_begin_[i] -= static_cast<uint32_t>(extra);
+    }
+  }
+  // Mirror on the reverse adjacency: all (u, *) arcs in v's in-row are
+  // contiguous; collapse them to one arc of weight w the same way.
+  auto in_lo = in_arcs_.begin() + in_begin_[v];
+  auto in_hi = in_arcs_.begin() + in_begin_[v + 1];
+  auto in_it = std::lower_bound(in_lo, in_hi, Arc{u, 0}, ArcLess);
+  assert(in_it != in_hi && in_it->head == u);
+  in_it->weight = w;
+  auto in_last = in_it + 1;
+  while (in_last != in_hi && in_last->head == u) ++in_last;
+  if (in_last != in_it + 1) {
+    size_t in_extra = static_cast<size_t>(in_last - (in_it + 1));
+    in_arcs_.erase(in_it + 1, in_last);
+    for (size_t i = v + 1; i < in_begin_.size(); ++i) {
+      in_begin_[i] -= static_cast<uint32_t>(in_extra);
+    }
+  }
+  return old;
+}
+
+std::optional<Cost> Graph::RemoveArc(VertexId u, VertexId v) {
+  if (u >= num_vertices() || v >= num_vertices()) {
+    throw std::invalid_argument("arc endpoint outside the vertex universe");
+  }
+  if (u == v) return std::nullopt;
+
+  auto out_lo = out_arcs_.begin() + out_begin_[u];
+  auto out_hi = out_arcs_.begin() + out_begin_[u + 1];
+  auto out_it = std::lower_bound(out_lo, out_hi, Arc{v, 0}, ArcLess);
+  if (out_it == out_hi || out_it->head != v) return std::nullopt;
+  Cost old = out_it->weight;
+  auto out_last = out_it + 1;
+  while (out_last != out_hi && out_last->head == v) ++out_last;
+  size_t removed = static_cast<size_t>(out_last - out_it);
+  out_arcs_.erase(out_it, out_last);
+  for (size_t i = u + 1; i < out_begin_.size(); ++i) {
+    out_begin_[i] -= static_cast<uint32_t>(removed);
+  }
+
+  auto in_lo = in_arcs_.begin() + in_begin_[v];
+  auto in_hi = in_arcs_.begin() + in_begin_[v + 1];
+  auto in_it = std::lower_bound(in_lo, in_hi, Arc{u, 0}, ArcLess);
+  assert(in_it != in_hi && in_it->head == u);
+  auto in_last = in_it + 1;
+  while (in_last != in_hi && in_last->head == u) ++in_last;
+  size_t in_removed = static_cast<size_t>(in_last - in_it);
+  assert(in_removed == removed);
+  (void)in_removed;
+  in_arcs_.erase(in_it, in_last);
+  for (size_t i = v + 1; i < in_begin_.size(); ++i) {
+    in_begin_[i] -= static_cast<uint32_t>(removed);
+  }
+  return old;
+}
+
 Cost Graph::ArcWeight(VertexId u, VertexId v) const {
   Cost best = kInfCost;
   for (const Arc& a : OutArcs(u)) {

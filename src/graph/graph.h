@@ -2,6 +2,7 @@
 #define KOSR_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <tuple>
 #include <utility>
@@ -19,8 +20,8 @@ struct Arc {
 
 /// Directed weighted graph in compressed-sparse-row form, with a
 /// materialized reverse adjacency for backward searches. Bulk construction
-/// is via FromEdges; the only in-place mutation is AddOrDecreaseArc, the
-/// dynamic-update path of Sec. IV-C.
+/// is via FromEdges; in-place mutation is via AddOrDecreaseArc,
+/// SetArcWeight, and RemoveArc — the dynamic-update paths of Sec. IV-C.
 ///
 /// This is Definition 1 of the paper minus the category function, which
 /// lives in CategoryTable so one graph can carry many category assignments.
@@ -73,6 +74,23 @@ class Graph {
   /// endpoints. O(degree) for a decrease; an insert additionally shifts the
   /// arc arrays (O(n + m) worst case, still far cheaper than a rebuild).
   bool AddOrDecreaseArc(VertexId u, VertexId v, Weight w);
+
+  /// In-place arbitrary weight update: sets the u->v weight to exactly `w`,
+  /// raising or lowering the existing arc (collapsing any parallel (u, v)
+  /// arcs into one, so the effective minimum afterwards is exactly `w`) or
+  /// inserting the arc if absent. Both adjacencies stay (head, weight)-
+  /// sorted. Returns the previous minimum u->v weight, kInfCost inside the
+  /// optional if the arc was inserted, or std::nullopt for a self loop
+  /// (dropped, as in FromEdges — nothing changes). Throws
+  /// std::invalid_argument for out-of-range endpoints. O(degree) in place;
+  /// an insert additionally shifts the arc arrays like AddOrDecreaseArc.
+  std::optional<Cost> SetArcWeight(VertexId u, VertexId v, Weight w);
+
+  /// In-place edge deletion: removes every (u, v) arc (parallels included)
+  /// from both adjacencies. Returns the previous minimum weight, or
+  /// std::nullopt if no such arc existed (or u == v). Throws
+  /// std::invalid_argument for out-of-range endpoints.
+  std::optional<Cost> RemoveArc(VertexId u, VertexId v);
 
   /// True if every arc (u, v) has a twin (v, u) of equal weight.
   bool IsSymmetric() const;

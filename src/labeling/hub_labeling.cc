@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "src/util/min_heap.h"
 #include "src/util/parallel.h"
@@ -93,6 +95,20 @@ struct HubLabeling::CandidateLabel {
   VertexId parent;
 };
 
+// First-touch pre-repair snapshots of label vectors, captured immediately
+// before their first mutation. FinishRepair diffs them against the final
+// vectors, so the reported delta lists exactly the vertices whose labels
+// actually changed — a repair search that removes and re-inserts identical
+// entries (tight-but-unchanged hubs) contributes nothing.
+struct HubLabeling::RepairTracker {
+  std::unordered_map<VertexId, std::vector<LabelEntry>> old_in;
+  std::unordered_map<VertexId, std::vector<LabelEntry>> old_out;
+
+  void Capture(bool in_side, VertexId v, const std::vector<LabelEntry>& cur) {
+    (in_side ? old_in : old_out).try_emplace(v, cur);
+  }
+};
+
 // Per-thread pruned-Dijkstra scratch. dist/parent are dense arrays reset via
 // the touched list (cheap for small search spaces); scratch is the dense
 // distance table keyed by hub rank holding the current hub's opposite-side
@@ -159,8 +175,9 @@ void HubLabeling::FlatSide::ResealRun(VertexId v,
   // they have nothing to overwrite and nothing to turn into garbage.
   const bool shared_empty = runs[v].start == 0;
   if (new_len == 0) {
-    // Decrease-only repairs never empty a run, but handle it: repoint at
-    // the shared block, abandoning any owned slot.
+    // An emptied run (a deletion disconnected the vertex from every hub
+    // that labeled it): repoint at the shared block, abandoning any owned
+    // slot.
     if (!shared_empty) {
       garbage += old_len + kRunPadding;
       runs[v].start = 0;
@@ -171,9 +188,8 @@ void HubLabeling::FlatSide::ResealRun(VertexId v,
   uint64_t s;
   if (!shared_empty && new_len <= old_len) {
     // Overwrite in place; the sentinel padding moves up and any slack
-    // between the new padding and the old slot end becomes garbage.
-    // (Decrease-only repairs never shrink a run, but handle it for
-    // generality.)
+    // between the new padding and the old slot end becomes garbage
+    // (increase/deletion repairs shrink runs whose hubs lost coverage).
     s = runs[v].start;
     garbage += old_len - new_len;
   } else {
@@ -333,8 +349,7 @@ void HubLabeling::Build(const Graph& graph, const std::vector<VertexId>& order,
 void HubLabeling::PrunedSearch(
     const Graph& graph, uint32_t rank, bool forward,
     const std::vector<std::pair<VertexId, Cost>>& seeds, SearchContext& ctx,
-    std::vector<CandidateLabel>* candidates,
-    std::vector<VertexId>* modified) {
+    std::vector<CandidateLabel>* candidates, RepairTracker* tracker) {
   VertexId hub = order_[rank];
 
   // Load the hub's own opposite-side labels (ranks < `rank`) into the dense
@@ -378,11 +393,8 @@ void HubLabeling::PrunedSearch(
       candidates->push_back({x, static_cast<uint32_t>(d), parent[x]});
     } else {
       auto& target_labels = forward ? in_labels_[x] : out_labels_[x];
-      if (InsertOrUpdate(target_labels,
-                         {rank, static_cast<uint32_t>(d), parent[x]}) &&
-          modified != nullptr) {
-        modified->push_back(x);
-      }
+      if (tracker != nullptr) tracker->Capture(forward, x, target_labels);
+      InsertOrUpdate(target_labels, {rank, static_cast<uint32_t>(d), parent[x]});
     }
 
     auto arcs = forward ? graph.OutArcs(x) : graph.InArcs(x);
@@ -564,74 +576,150 @@ std::vector<VertexId> HubLabeling::UnpackPath(VertexId s, VertexId t) const {
   return path;
 }
 
-void HubLabeling::OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v,
-                                  Weight w) {
-  // The O(n) search scratch is built on first use and shared by every
-  // resumed search of this update — an update whose resumes are all
-  // certified away by existing labels allocates nothing.
-  std::unique_ptr<SearchContext> lazy_ctx;
-  auto ctx_ref = [&]() -> SearchContext& {
-    if (!lazy_ctx) lazy_ctx = std::make_unique<SearchContext>(num_vertices());
-    return *lazy_ctx;
-  };
-  // Vertices whose nested label vectors the resumed searches change; only
-  // their flat runs get re-sealed afterwards — an update whose resumes are
-  // all certified away touches neither.
-  std::vector<VertexId> in_touched;
-  std::vector<VertexId> out_touched;
-  // Forward side: every hub h that reaches u may now reach v (and beyond)
-  // more cheaply through the new edge. Resume h's forward search from v.
-  // Iterating in rank order keeps pruning effective. One copy of the label
-  // vector: PrunedSearch may mutate in_labels_[u] itself.
-  std::vector<LabelEntry> lin_copy(in_labels_[u].begin(), in_labels_[u].end());
-  for (const LabelEntry& e : lin_copy) {
-    Cost seed = static_cast<Cost>(e.dist) + w;
-    // If v's label for this hub already certifies dis(hub, v) <= seed, the
-    // resumed search cannot improve anything: any path through the new edge
-    // to some x costs >= seed + dis(v, x) >= dis(hub, v) + dis(v, x)
-    // >= dis(hub, x). Skip the search entirely.
-    const LabelEntry* existing = FindRank(in_labels_[v], e.hub_rank);
-    if (existing != nullptr && static_cast<Cost>(existing->dist) <= seed) {
-      continue;
+LabelRepairDelta HubLabeling::OnEdgeDecreased(const Graph& graph, VertexId u,
+                                              VertexId v, Weight w) {
+  // Short-circuit: if some existing route already beats the new weight
+  // strictly, the arc lies on no shortest path (old or new) and no label
+  // can change — one label query instead of the affected-hub sweep. An
+  // equal-cost route does NOT qualify: the new arc then ties onto shortest
+  // paths and can re-tie canonical parents and cover paths.
+  if (Query(u, v) < static_cast<Cost>(w)) return {};
+  return RepairEdgeUpdate(graph, u, v, std::nullopt, static_cast<Cost>(w));
+}
+
+LabelRepairDelta HubLabeling::OnEdgeIncreased(const Graph& graph, VertexId u,
+                                              VertexId v, Weight old_weight) {
+  // Mirror short-circuit: if another route already beat the *old* weight
+  // strictly, the arc was on no shortest path and raising it further
+  // changes nothing. Only the old-graph tightness test applies — the
+  // raised arc cannot join a shortest path it was not already on.
+  if (Query(u, v) < static_cast<Cost>(old_weight)) return {};
+  return RepairEdgeUpdate(graph, u, v, static_cast<Cost>(old_weight),
+                          std::nullopt);
+}
+
+LabelRepairDelta HubLabeling::OnEdgeRemoved(const Graph& graph, VertexId u,
+                                            VertexId v, Weight old_weight) {
+  // A deletion is a weight increase to infinity: only the old-graph
+  // tightness test applies, and the re-run searches simply no longer see
+  // the arc.
+  if (Query(u, v) < static_cast<Cost>(old_weight)) return {};
+  return RepairEdgeUpdate(graph, u, v, static_cast<Cost>(old_weight),
+                          std::nullopt);
+}
+
+LabelRepairDelta HubLabeling::RepairEdgeUpdate(const Graph& graph, VertexId u,
+                                               VertexId v,
+                                               std::optional<Cost> tight_old,
+                                               std::optional<Cost> tight_new) {
+  const uint32_t n = num_vertices();
+
+  // Phase 1 — affected hubs, read off the *pre-update* labels (nothing has
+  // been mutated yet, so Query still answers old distances exactly; note
+  // dis(h, u) and dis(v, h) cannot change through arc (u, v) itself — a
+  // shortest path never crosses its own endpoint twice — so "old" equals
+  // "new" for every distance the tests consume).
+  //
+  // A hub's forward label set can change only if the arc lies on a
+  // shortest path from it in the old graph (dis(h, u) + w_old ==
+  // dis(h, v); its loss can change distances, uncover entries of
+  // larger-ranked hubs whose cover path crossed the arc, or untie
+  // canonical parents) or in the new graph (dis(h, u) + w_new <=
+  // dis(h, v); a strict improvement changes distances, an exact tie can
+  // newly cover entries away or re-tie parents). Backward mirror: the arc
+  // on a shortest path *to* the hub. DESIGN.md ("Dynamic updates") gives
+  // the exactness argument. Because the hub order is a permutation of all
+  // vertices, empty tight sets certify that no pair's distance (and no
+  // label entry) changed at all.
+  std::vector<uint32_t> fwd_ranks, bwd_ranks;
+  std::vector<bool> fwd_affected(n, false), bwd_affected(n, false);
+  for (uint32_t r = 0; r < n; ++r) {
+    VertexId h = order_[r];
+    Cost hu = Query(h, u);
+    if (hu != kInfCost) {
+      Cost hv = Query(h, v);
+      if ((tight_old && hu + *tight_old == hv) ||
+          (tight_new && hu + *tight_new <= hv)) {
+        fwd_ranks.push_back(r);
+        fwd_affected[r] = true;
+      }
     }
-    PrunedSearch(graph, e.hub_rank, /*forward=*/true, {{v, seed}}, ctx_ref(),
-                 nullptr, &in_touched);
-    // Patch the parent of the seed entry: it came through u.
-    auto& labels = in_labels_[v];
-    auto it = std::lower_bound(labels.begin(), labels.end(), e.hub_rank,
-                               [](const LabelEntry& le, uint32_t r) {
-                                 return le.hub_rank < r;
-                               });
-    if (it != labels.end() && it->hub_rank == e.hub_rank &&
-        it->dist == seed && it->parent == kInvalidVertex) {
-      it->parent = u;
-      in_touched.push_back(v);
+    Cost vh = Query(v, h);
+    if (vh != kInfCost) {
+      Cost uh = Query(u, h);
+      if ((tight_old && *tight_old + vh == uh) ||
+          (tight_new && *tight_new + vh <= uh)) {
+        bwd_ranks.push_back(r);
+        bwd_affected[r] = true;
+      }
     }
   }
-  // Backward side symmetric.
-  std::vector<LabelEntry> lout_copy(out_labels_[v].begin(),
-                                    out_labels_[v].end());
-  for (const LabelEntry& e : lout_copy) {
-    Cost seed = static_cast<Cost>(e.dist) + w;
-    const LabelEntry* existing = FindRank(out_labels_[u], e.hub_rank);
-    if (existing != nullptr && static_cast<Cost>(existing->dist) <= seed) {
-      continue;
-    }
-    PrunedSearch(graph, e.hub_rank, /*forward=*/false, {{u, seed}}, ctx_ref(),
-                 nullptr, &out_touched);
-    auto& labels = out_labels_[u];
-    auto it = std::lower_bound(labels.begin(), labels.end(), e.hub_rank,
-                               [](const LabelEntry& le, uint32_t r) {
-                                 return le.hub_rank < r;
-                               });
-    if (it != labels.end() && it->hub_rank == e.hub_rank &&
-        it->dist == seed && it->parent == kInvalidVertex) {
-      it->parent = v;
-      out_touched.push_back(u);
-    }
+  if (fwd_ranks.empty() && bwd_ranks.empty()) return {};
+
+  // Phase 2 — drop every label entry owned by an affected hub. Entries can
+  // move to new vertices after the update (weaker coverage), so a full
+  // re-search replaces a per-entry patch; stale entries must go first or
+  // InsertOrUpdate would keep their smaller, now-wrong distances.
+  RepairTracker tracker;
+  for (VertexId x = 0; x < n; ++x) {
+    auto scrub = [&](bool in_side, std::vector<LabelEntry>& labels,
+                     const std::vector<bool>& affected) {
+      bool any = false;
+      for (const LabelEntry& e : labels) {
+        if (affected[e.hub_rank]) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return;
+      tracker.Capture(in_side, x, labels);
+      std::erase_if(labels, [&](const LabelEntry& e) {
+        return affected[e.hub_rank];
+      });
+    };
+    scrub(/*in_side=*/true, in_labels_[x], fwd_affected);
+    scrub(/*in_side=*/false, out_labels_[x], bwd_affected);
   }
+
+  // Phase 3 — re-run the affected hubs' pruned searches against the updated
+  // graph, interleaved in ascending rank order with forward before backward
+  // at equal rank: exactly the order the sequential build commits in, so
+  // every prune runs against the canonical label prefix (smaller affected
+  // ranks already repaired, unaffected ranks provably unchanged) and the
+  // committed entries are byte-identical to a from-scratch build's.
+  SearchContext ctx(n);
+  size_t fi = 0, bi = 0;
+  while (fi < fwd_ranks.size() || bi < bwd_ranks.size()) {
+    bool take_fwd = bi >= bwd_ranks.size() ||
+                    (fi < fwd_ranks.size() && fwd_ranks[fi] <= bwd_ranks[bi]);
+    uint32_t r = take_fwd ? fwd_ranks[fi++] : bwd_ranks[bi++];
+    PrunedSearch(graph, r, /*forward=*/take_fwd, {{order_[r], 0}}, ctx,
+                 nullptr, &tracker);
+  }
+  return FinishRepair(tracker);
+}
+
+LabelRepairDelta HubLabeling::FinishRepair(RepairTracker& tracker) {
+  LabelRepairDelta delta;
+  for (auto& [x, old] : tracker.old_in) {
+    if (old != in_labels_[x]) delta.changed_in.push_back(x);
+  }
+  std::sort(delta.changed_in.begin(), delta.changed_in.end());
+  delta.old_in.reserve(delta.changed_in.size());
+  for (VertexId x : delta.changed_in) {
+    delta.old_in.push_back(std::move(tracker.old_in[x]));
+  }
+  for (auto& [x, old] : tracker.old_out) {
+    if (old != out_labels_[x]) delta.changed_out.push_back(x);
+  }
+  std::sort(delta.changed_out.begin(), delta.changed_out.end());
+  // Re-seal exactly the runs that changed (ResealTouched tolerates — and
+  // here receives — an already sorted, unique list).
+  std::vector<VertexId> in_touched = delta.changed_in;
+  std::vector<VertexId> out_touched = delta.changed_out;
   ResealTouched(flat_in_, in_labels_, in_touched);
   ResealTouched(flat_out_, out_labels_, out_touched);
+  return delta;
 }
 
 double HubLabeling::AvgInLabelSize() const {

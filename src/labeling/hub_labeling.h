@@ -72,6 +72,24 @@ struct LabelRun {
   uint32_t DistAt(uint32_t i) const { return static_cast<uint32_t>(key[i]); }
 };
 
+/// Summary of an incremental label repair: exactly the vertices whose label
+/// vectors actually changed (vertices a repair search merely revisited with
+/// identical entries are filtered out). `old_in[i]` holds the pre-repair
+/// Lin(changed_in[i]) so consumers that mirror per-vertex Lin state — the
+/// per-category inverted label indexes — can diff old against current
+/// entries and patch only the affected lists instead of rebuilding. Lout has
+/// no such consumer, so only the changed-vertex list is reported for it.
+struct LabelRepairDelta {
+  std::vector<VertexId> changed_in;                 ///< Sorted, unique.
+  std::vector<std::vector<LabelEntry>> old_in;      ///< Parallel to changed_in.
+  std::vector<VertexId> changed_out;                ///< Sorted, unique.
+
+  bool Empty() const { return changed_in.empty() && changed_out.empty(); }
+  uint64_t ChangedVertices() const {
+    return changed_in.size() + changed_out.size();
+  }
+};
+
 /// Index of rank `r` within the run, or `run.size` if absent.
 inline uint32_t FindRankInRun(const LabelRun& run, uint32_t r) {
   const uint64_t* end = run.key + run.size;
@@ -145,9 +163,10 @@ class HubLabeling {
   // --- Sealed flat store ----------------------------------------------------
   // Build/Deserialize/FromParts construct into the nested vectors above (the
   // mutable source of truth, which serialization also reads) and then seal a
-  // flat CSR/SoA read view; OnEdgeDecreased re-seals only the runs of
-  // vertices whose labels it changed. Queries and the NN machinery read the
-  // flat view exclusively. See DESIGN.md, "Label memory layout".
+  // flat CSR/SoA read view; the incremental repairs (OnEdgeDecreased /
+  // OnEdgeIncreased / OnEdgeRemoved) re-seal only the runs of vertices whose
+  // labels they changed. Queries and the NN machinery read the flat view
+  // exclusively. See DESIGN.md, "Label memory layout".
 
   /// Flat run of Lin(v) / Lout(v). Valid while the labeling is unchanged.
   LabelRun InRun(VertexId v) const { return flat_in_.Run(v); }
@@ -160,16 +179,41 @@ class HubLabeling {
   VertexId HubVertex(uint32_t rank) const { return order_[rank]; }
   uint32_t RankOf(VertexId v) const { return rank_[v]; }
 
-  /// Incremental maintenance for an edge insertion or weight decrease
-  /// (u, v, w), following the resumed-search strategy of dynamic PLL
-  /// [Akiba et al., WWW 2014]. Distances can only decrease, so it suffices
-  /// to resume the pruned searches of the hubs that cover u (backward side)
-  /// and v (forward side). Edge deletions / weight increases require a
-  /// rebuild (see DESIGN.md).
-  ///
-  /// The underlying graph object must already contain the new edge when the
-  /// index is used for path unpacking afterwards.
-  void OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v, Weight w);
+  // --- Incremental maintenance (Sec. IV-C) ----------------------------------
+  // All three edge-update repairs share one canonical algorithm (DESIGN.md,
+  // "Dynamic updates"): identify the *affected hubs* — exactly those with a
+  // shortest path through the updated arc in the old or new graph, found by
+  // tightness tests on the pre-update labels — drop their label entries,
+  // and re-run their full pruned searches in rank order. Because the hub
+  // order covers every vertex, unaffected hubs' entries are provably
+  // already canonical for the new graph, so the result is byte-identical
+  // to a from-scratch Build on the updated graph with the same hub order
+  // (asserted in dynamic_update_test), after any mix of updates. An empty
+  // delta therefore certifies that *no* distance, parent chain, or label
+  // changed at all — callers use that to skip downstream invalidation.
+
+  /// Repair after an edge insertion or weight decrease of arc (u, v) to
+  /// `w`; `graph` must already contain the new weight. Affected hubs are
+  /// those with dis(h, u) + w <= dis(h, v) on the old labels (ties
+  /// included: a new equal-cost path can re-cover entries and re-tie
+  /// canonical parents); a strictly cheaper existing route short-circuits
+  /// the whole repair with one label query.
+  LabelRepairDelta OnEdgeDecreased(const Graph& graph, VertexId u, VertexId v,
+                                   Weight w);
+
+  /// Repair after a weight *increase* of arc (u, v): `old_weight` is the
+  /// minimum u->v weight before the update, `graph` already carries the
+  /// raised weight. Affected hubs are those with dis(h, u) + old_weight ==
+  /// dis(h, v) on the pre-update labels — an old shortest path used (or
+  /// tied with) the arc.
+  LabelRepairDelta OnEdgeIncreased(const Graph& graph, VertexId u, VertexId v,
+                                   Weight old_weight);
+
+  /// Repair after the deletion of arc (u, v); `old_weight` is the minimum
+  /// u->v weight before removal and `graph` must no longer contain the
+  /// arc. A deletion is a weight increase to infinity: same test.
+  LabelRepairDelta OnEdgeRemoved(const Graph& graph, VertexId u, VertexId v,
+                                 Weight old_weight);
 
   // --- Introspection (Table IX) -------------------------------------------
 
@@ -203,6 +247,7 @@ class HubLabeling {
  private:
   struct SearchContext;    // Per-thread pruned-Dijkstra scratch.
   struct CandidateLabel;   // (vertex, dist, parent) produced by a search.
+  struct RepairTracker;    // First-touch pre-repair label snapshots.
 
   /// One direction of the sealed flat store. Runs live back to back in the
   /// hot `key` array (packed rank|dist, each run terminated by a
@@ -249,17 +294,31 @@ class HubLabeling {
                             std::vector<VertexId>& touched);
 
   // Runs one pruned Dijkstra from hub of rank `rank` in the given direction.
-  // `seeds` is {(hub, 0)} during construction, or resumed frontiers during
-  // incremental updates. With `candidates` null the surviving labels are
-  // committed directly (sequential/update mode, mutates labels; `modified`,
-  // if given, records the vertices whose label vector actually changed so
-  // the caller can re-seal exactly those flat runs); otherwise the search
-  // is read-only and appends candidates for a later commit.
+  // `seeds` is {(hub, 0)} during construction and re-searches, or resumed
+  // frontiers during incremental decrease updates. With `candidates` null
+  // the surviving labels are committed directly (sequential/update mode,
+  // mutates labels; `tracker`, if given, snapshots every label vector just
+  // before its first mutation so the repair can report exactly what
+  // changed); otherwise the search is read-only and appends candidates for
+  // a later commit.
   void PrunedSearch(const Graph& graph, uint32_t rank, bool forward,
                     const std::vector<std::pair<VertexId, Cost>>& seeds,
                     SearchContext& ctx,
                     std::vector<CandidateLabel>* candidates,
-                    std::vector<VertexId>* modified = nullptr);
+                    RepairTracker* tracker = nullptr);
+
+  // Shared canonical repair for every edge-update kind. `tight_old` is the
+  // pre-update minimum u->v weight (absent for an insertion), `tight_new`
+  // the post-update one (absent for a deletion); a hub is affected when
+  // either tightness test fires. `graph` is the post-update graph, labels
+  // still pre-update.
+  LabelRepairDelta RepairEdgeUpdate(const Graph& graph, VertexId u, VertexId v,
+                                    std::optional<Cost> tight_old,
+                                    std::optional<Cost> tight_new);
+
+  // Diffs the tracker's pre-repair snapshots against the current vectors,
+  // re-seals exactly the changed flat runs, and assembles the delta.
+  LabelRepairDelta FinishRepair(RepairTracker& tracker);
 
   // Commit phase of the rank-batched parallel build: re-checks every
   // candidate of `rank` against the labels committed so far (which now

@@ -14,6 +14,27 @@ bool EntryLess(const InvertedEntry& a, const InvertedEntry& b) {
 
 }  // namespace
 
+void InvertedLabelIndex::InsertEntry(uint32_t rank, VertexId member,
+                                     uint32_t dist) {
+  auto& list = lists_[rank];
+  InvertedEntry entry{member, dist};
+  list.insert(std::lower_bound(list.begin(), list.end(), entry, EntryLess),
+              entry);
+}
+
+void InvertedLabelIndex::RemoveEntry(uint32_t rank, VertexId member,
+                                     uint32_t dist) {
+  auto it = lists_.find(rank);
+  if (it == lists_.end()) return;
+  auto& list = it->second;
+  InvertedEntry entry{member, dist};
+  auto pos = std::lower_bound(list.begin(), list.end(), entry, EntryLess);
+  if (pos != list.end() && pos->member == member && pos->dist == dist) {
+    list.erase(pos);
+    if (list.empty()) lists_.erase(it);
+  }
+}
+
 InvertedLabelIndex InvertedLabelIndex::Build(
     const HubLabeling& labeling, std::span<const VertexId> members) {
   InvertedLabelIndex index;
@@ -32,27 +53,40 @@ InvertedLabelIndex InvertedLabelIndex::Build(
 void InvertedLabelIndex::AddMember(const HubLabeling& labeling, VertexId v) {
   LabelRun lin = labeling.InRun(v);
   for (uint32_t i = 0; i < lin.size; ++i) {
-    auto& list = lists_[lin.RankAt(i)];
-    InvertedEntry entry{v, lin.DistAt(i)};
-    auto it = std::lower_bound(list.begin(), list.end(), entry, EntryLess);
-    list.insert(it, entry);
+    InsertEntry(lin.RankAt(i), v, lin.DistAt(i));
   }
 }
 
 void InvertedLabelIndex::RemoveMember(const HubLabeling& labeling, VertexId v) {
   LabelRun lin = labeling.InRun(v);
   for (uint32_t i = 0; i < lin.size; ++i) {
-    auto it = lists_.find(lin.RankAt(i));
-    if (it == lists_.end()) continue;
-    auto& list = it->second;
-    InvertedEntry entry{v, lin.DistAt(i)};
-    auto pos = std::lower_bound(list.begin(), list.end(), entry, EntryLess);
-    while (pos != list.end() && pos->dist == entry.dist && pos->member != v) {
-      ++pos;
-    }
-    if (pos != list.end() && pos->member == v && pos->dist == entry.dist) {
-      list.erase(pos);
-      if (list.empty()) lists_.erase(it);
+    RemoveEntry(lin.RankAt(i), v, lin.DistAt(i));
+  }
+}
+
+void InvertedLabelIndex::UpdateMember(VertexId v,
+                                      std::span<const LabelEntry> old_lin,
+                                      std::span<const LabelEntry> new_lin) {
+  // Lockstep merge over the rank-sorted vectors: a rank only in the old Lin
+  // lost its entry, one only in the new Lin gained one, and a rank in both
+  // moves its entry only if the distance changed.
+  size_t i = 0, j = 0;
+  while (i < old_lin.size() || j < new_lin.size()) {
+    if (j == new_lin.size() ||
+        (i < old_lin.size() && old_lin[i].hub_rank < new_lin[j].hub_rank)) {
+      RemoveEntry(old_lin[i].hub_rank, v, old_lin[i].dist);
+      ++i;
+    } else if (i == old_lin.size() ||
+               new_lin[j].hub_rank < old_lin[i].hub_rank) {
+      InsertEntry(new_lin[j].hub_rank, v, new_lin[j].dist);
+      ++j;
+    } else {
+      if (old_lin[i].dist != new_lin[j].dist) {
+        RemoveEntry(old_lin[i].hub_rank, v, old_lin[i].dist);
+        InsertEntry(new_lin[j].hub_rank, v, new_lin[j].dist);
+      }
+      ++i;
+      ++j;
     }
   }
 }

@@ -85,6 +85,16 @@ std::string HandleQuery(KosrService& service,
   return os.str();
 }
 
+// SET_EDGE / REMOVE_EDGE report the repair summary so a peer driving a
+// live edge feed can see which updates actually moved anything.
+std::string UpdateResponse(const EdgeUpdateSummary& summary) {
+  std::ostringstream os;
+  os << "OK UPDATED changed=" << (summary.graph_changed ? 1 : 0)
+     << " labels="
+     << summary.changed_in_labels + summary.changed_out_labels;
+  return os.str();
+}
+
 std::string HandleUpdate(KosrService& service,
                          const std::vector<std::string>& tokens) {
   const std::string& cmd = tokens[0];
@@ -94,6 +104,19 @@ std::string HandleUpdate(KosrService& service,
                               ParseU32(tokens[2], "v"),
                               ParseU32(tokens[3], "w"));
     return "OK UPDATED";
+  }
+  if (cmd == "SET_EDGE") {
+    if (tokens.size() != 4) return "ERR SET_EDGE wants: SET_EDGE <u> <v> <w>";
+    return UpdateResponse(service.SetEdgeWeight(ParseU32(tokens[1], "u"),
+                                                ParseU32(tokens[2], "v"),
+                                                ParseU32(tokens[3], "w")));
+  }
+  if (cmd == "REMOVE_EDGE") {
+    if (tokens.size() != 3) {
+      return "ERR REMOVE_EDGE wants: REMOVE_EDGE <u> <v>";
+    }
+    return UpdateResponse(service.RemoveEdge(ParseU32(tokens[1], "u"),
+                                             ParseU32(tokens[2], "v")));
   }
   if (tokens.size() != 3) {
     return "ERR " + cmd + " wants: " + cmd + " <vertex> <category>";
@@ -151,7 +174,8 @@ std::string HandleRequestLine(KosrService& service, const std::string& line) {
     if (tokens.empty()) return "ERR empty request";
     const std::string& cmd = tokens[0];
     if (cmd == "QUERY") return HandleQuery(service, tokens);
-    if (cmd == "ADD_CAT" || cmd == "REMOVE_CAT" || cmd == "ADD_EDGE") {
+    if (cmd == "ADD_CAT" || cmd == "REMOVE_CAT" || cmd == "ADD_EDGE" ||
+        cmd == "SET_EDGE" || cmd == "REMOVE_EDGE") {
       return HandleUpdate(service, tokens);
     }
     if (cmd == "METRICS") return "OK METRICS " + service.MetricsJson();

@@ -18,7 +18,11 @@ namespace kosr::service {
 ///   QUERY <source> <target> <c1,c2,...> <k> [<method>]
 ///   ADD_CAT <vertex> <category>
 ///   REMOVE_CAT <vertex> <category>
-///   ADD_EDGE <u> <v> <weight>
+///   ADD_EDGE <u> <v> <weight>        (insert / decrease only; worse weight
+///                                     is a no-op)
+///   SET_EDGE <u> <v> <weight>        (set exactly: insert, decrease, or
+///                                     increase with incremental repair)
+///   REMOVE_EDGE <u> <v>              (delete the arc, incremental repair)
 ///   METRICS
 ///   PING
 ///   QUIT
@@ -28,7 +32,9 @@ namespace kosr::service {
 ///
 ///   OK ROUTES n=<n> costs=<c1,c2,...> cached=<0|1> ms=<latency>
 ///             [truncated=1]                (time budget hit; partial answer)
-///   OK UPDATED
+///   OK UPDATED                            (ADD_CAT / REMOVE_CAT / ADD_EDGE)
+///   OK UPDATED changed=<0|1> labels=<n>   (SET_EDGE / REMOVE_EDGE: whether
+///             the graph changed, and how many label vectors were repaired)
 ///   OK METRICS <json>
 ///   OK PONG
 ///   OK BYE

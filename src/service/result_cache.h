@@ -56,8 +56,9 @@ struct CacheStats {
 /// evicts at `capacity / num_shards` entries. Invalidation supports the two
 /// granularities the engine's dynamic updates need (DESIGN.md, "Serving
 /// layer"): a category update only stales results whose sequence mentions
-/// that category; an edge update changes shortest-path distances and stales
-/// everything.
+/// that category; an edge update may move shortest-path distances anywhere
+/// and stales everything — though the service only calls that when the
+/// label repair certifies something actually changed.
 class ShardedResultCache {
  public:
   /// `capacity` = total entries across shards (0 disables caching);

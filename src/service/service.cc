@@ -202,15 +202,47 @@ void KosrService::RemoveVertexCategory(VertexId v, CategoryId c) {
   cache_.InvalidateCategory(c);
 }
 
-void KosrService::AddOrDecreaseEdge(VertexId u, VertexId v, Weight w) {
+EdgeUpdateSummary KosrService::AddOrDecreaseEdge(VertexId u, VertexId v,
+                                                 Weight w) {
   std::unique_lock<std::shared_mutex> lock(engine_mutex_);
   CheckVertex(engine_, u, "tail");
   CheckVertex(engine_, v, "head");
-  // Shortest-path distances may drop anywhere, so an effective update
-  // invalidates every cached route — but a no-op (weight not lower than the
-  // current arc) changes no distance and must not flush the cache, or a
-  // replayed idempotent edge feed would collapse the hit rate.
-  if (engine_.AddOrDecreaseEdge(u, v, w)) cache_.InvalidateAll();
+  EdgeUpdateSummary summary = engine_.AddOrDecreaseEdge(u, v, w);
+  InvalidateForEdgeUpdate(summary);
+  return summary;
+}
+
+EdgeUpdateSummary KosrService::SetEdgeWeight(VertexId u, VertexId v,
+                                             Weight w) {
+  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  CheckVertex(engine_, u, "tail");
+  CheckVertex(engine_, v, "head");
+  EdgeUpdateSummary summary = engine_.SetEdgeWeight(u, v, w);
+  InvalidateForEdgeUpdate(summary);
+  return summary;
+}
+
+EdgeUpdateSummary KosrService::RemoveEdge(VertexId u, VertexId v) {
+  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  CheckVertex(engine_, u, "tail");
+  CheckVertex(engine_, v, "head");
+  EdgeUpdateSummary summary = engine_.RemoveEdge(u, v);
+  InvalidateForEdgeUpdate(summary);
+  return summary;
+}
+
+void KosrService::InvalidateForEdgeUpdate(const EdgeUpdateSummary& summary) {
+  // Shortest-path distances may move anywhere, so an effective update
+  // invalidates every cached route. Targeted part: an update that repaired
+  // no label provably changed no distance, path, or KOSR answer (see
+  // EdgeUpdateSummary), so it keeps the cache warm — replayed idempotent
+  // edge feeds and weight increases on off-shortest-path arcs no longer
+  // collapse the hit rate. Without built indexes there is no repair signal
+  // and queries run Dijkstra on the raw graph, so any graph change flushes.
+  if (summary.labels_changed ||
+      (summary.graph_changed && !engine_.indexes_built())) {
+    cache_.InvalidateAll();
+  }
 }
 
 size_t KosrService::queue_depth() const {

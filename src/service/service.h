@@ -106,7 +106,18 @@ class KosrService {
 
   void AddVertexCategory(VertexId v, CategoryId c);
   void RemoveVertexCategory(VertexId v, CategoryId c);
-  void AddOrDecreaseEdge(VertexId u, VertexId v, Weight w);
+  /// Edge updates return the engine's repair summary so front-ends can
+  /// report how much the update actually changed. Cache invalidation is
+  /// targeted: the whole cache is flushed only when the update changed
+  /// labels (distances may have moved) — or changed the graph while the
+  /// engine serves Dijkstra-mode queries without indexes. An update that
+  /// repaired nothing provably changed no answer and keeps the cache warm.
+  EdgeUpdateSummary AddOrDecreaseEdge(VertexId u, VertexId v, Weight w);
+  /// SET_EDGE verb: set the u->v weight exactly (increase or decrease),
+  /// with incremental label repair either way.
+  EdgeUpdateSummary SetEdgeWeight(VertexId u, VertexId v, Weight w);
+  /// REMOVE_EDGE verb: delete the u->v arc with incremental label repair.
+  EdgeUpdateSummary RemoveEdge(VertexId u, VertexId v);
 
   // --- Introspection -------------------------------------------------------
 
@@ -133,6 +144,9 @@ class KosrService {
   void WorkerLoop();
   /// `ctx` is the calling worker's private reusable query scratch.
   ServiceResponse Process(const ServiceRequest& request, QueryContext& ctx);
+  /// Targeted cache invalidation for an applied edge update (see the public
+  /// update entry points). Caller holds the exclusive engine lock.
+  void InvalidateForEdgeUpdate(const EdgeUpdateSummary& summary);
   static bool Cacheable(const ServiceRequest& request);
   static CacheKey KeyFor(const ServiceRequest& request);
 

@@ -121,6 +121,52 @@ TEST_F(CliTest, QueryAlgorithmsAgree) {
   }
 }
 
+TEST_F(CliTest, QueryAppliesDynamicUpdateScript) {
+  ASSERT_EQ(Run({"generate", "--type", "grid", "--rows", "8", "--cols", "8",
+                 "--seed", "3", "--out", Path("g.gr"), "--categories-out",
+                 Path("c.txt"), "--category-size", "8"}),
+            0);
+  auto query = [&] {
+    return Run({"query", "--graph", Path("g.gr"), "--categories",
+                Path("c.txt"), "--source", "0", "--target", "63",
+                "--sequence", "0", "--k", "1", "--updates",
+                Path("updates.txt")});
+  };
+
+  // A shortcut straight to the target must lower the best route; removing
+  // it and raising a fresh detour must leave the baseline answer intact.
+  {
+    std::ofstream updates(Path("updates.txt"));
+    updates << "# warm the repair path\n"
+            << "SET_EDGE 0 63 1\n";
+  }
+  ASSERT_EQ(query(), 0) << out_.str();
+  EXPECT_NE(out_.str().find("applied 1 updates"), std::string::npos)
+      << out_.str();
+  std::string with_shortcut = out_.str();
+
+  {
+    std::ofstream updates(Path("updates.txt"));
+    updates << "SET_EDGE 0 63 1\n"
+            << "REMOVE_EDGE 0 63\n"
+            << "ADD_EDGE 0 63 9000\n"   // off every shortest path
+            << "SET_EDGE 0 63 9500\n";  // raise it: repairs nothing
+  }
+  ASSERT_EQ(query(), 0) << out_.str();
+  EXPECT_NE(out_.str().find("applied 4 updates"), std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str(), with_shortcut);
+
+  // Malformed scripts fail loudly, not silently.
+  {
+    std::ofstream updates(Path("updates.txt"));
+    updates << "FROBNICATE 1 2 3\n";
+  }
+  EXPECT_NE(query(), 0);
+  EXPECT_NE(out_.str().find("unknown update verb"), std::string::npos)
+      << out_.str();
+}
+
 TEST_F(CliTest, DijkstraModeWorks) {
   ASSERT_EQ(Run({"generate", "--type", "grid", "--rows", "8", "--cols", "8",
                  "--out", Path("g.gr"), "--categories-out", Path("c.txt"),

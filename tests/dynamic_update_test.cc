@@ -1,22 +1,80 @@
 // Randomized dynamic-update equivalence: a KosrEngine that absorbed a
-// sequence of in-place edge and category updates must answer exactly like an
-// engine rebuilt from scratch on the final graph/categories — for label
-// distance queries, unpacked path costs, and full KOSR queries. Also pins
-// the in-place AddOrDecreaseArc regressions: repeated updates to the same
-// edge may not grow the arc lists.
+// sequence of in-place edge and category updates — decreases, *increases*,
+// and *deletions* — must answer exactly like an engine rebuilt from scratch
+// on the final graph/categories (label distance queries, unpacked path
+// costs, full KOSR queries), and its incrementally repaired labels must be
+// *byte-identical* to a from-scratch build with the same hub order, with
+// the incrementally patched inverted indexes matching per-category
+// rebuilds. Also pins the in-place AddOrDecreaseArc regressions: repeated
+// updates to the same edge may not grow the arc lists.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <sstream>
 #include <vector>
 
 #include "src/core/engine.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
+#include "src/nn/inverted_label_index.h"
 #include "tests/test_util.h"
 
 namespace kosr {
 namespace {
+
+// The canonical-label invariant: an incrementally repaired labeling must be
+// byte-identical to a from-scratch Build on the current graph with the
+// *same hub order* (the repair never re-ranks; a rebuilt engine would pick
+// a fresh degree order, so the order is pinned explicitly). The inverted
+// indexes, patched list by list from repair deltas, must equally match
+// per-category from-scratch builds.
+void ExpectLabelsCanonical(const KosrEngine& updated) {
+  uint32_t n = updated.graph().num_vertices();
+  std::vector<VertexId> order(n);
+  for (uint32_t r = 0; r < n; ++r) order[r] = updated.labeling().HubVertex(r);
+  KosrEngine rebuilt(Graph::FromEdges(n, updated.graph().ToEdges()),
+                     updated.categories());
+  rebuilt.BuildIndexes(order);
+
+  for (VertexId v = 0; v < n; ++v) {
+    auto lin = updated.labeling().Lin(v);
+    auto want_lin = rebuilt.labeling().Lin(v);
+    ASSERT_TRUE(std::equal(lin.begin(), lin.end(), want_lin.begin(),
+                           want_lin.end()))
+        << "Lin(" << v << ") diverged from the canonical rebuild";
+    auto lout = updated.labeling().Lout(v);
+    auto want_lout = rebuilt.labeling().Lout(v);
+    ASSERT_TRUE(std::equal(lout.begin(), lout.end(), want_lout.begin(),
+                           want_lout.end()))
+        << "Lout(" << v << ") diverged from the canonical rebuild";
+  }
+  // Byte-identical, not merely entry-equal: the serialized snapshots match.
+  std::ostringstream updated_bytes, rebuilt_bytes;
+  updated.labeling().Serialize(updated_bytes);
+  rebuilt.labeling().Serialize(rebuilt_bytes);
+  ASSERT_EQ(updated_bytes.str(), rebuilt_bytes.str());
+
+  for (CategoryId c = 0; c < updated.categories().num_categories(); ++c) {
+    const InvertedLabelIndex& got = updated.inverted(c);
+    const InvertedLabelIndex& want = rebuilt.inverted(c);
+    ASSERT_EQ(got.num_lists(), want.num_lists()) << "category " << c;
+    ASSERT_EQ(got.total_entries(), want.total_entries()) << "category " << c;
+    for (uint32_t r = 0; r < n; ++r) {
+      auto got_list = got.Entries(r);
+      auto want_list = want.Entries(r);
+      ASSERT_EQ(got_list.size(), want_list.size())
+          << "category " << c << " hub rank " << r;
+      for (size_t i = 0; i < got_list.size(); ++i) {
+        ASSERT_EQ(got_list[i].member, want_list[i].member)
+            << "category " << c << " hub rank " << r << " entry " << i;
+        ASSERT_EQ(got_list[i].dist, want_list[i].dist)
+            << "category " << c << " hub rank " << r << " entry " << i;
+      }
+    }
+  }
+}
 
 // Every-pair label queries + unpacked path costs must match a from-scratch
 // rebuild of the current graph.
@@ -69,6 +127,8 @@ void ExpectMatchesRebuild(const KosrEngine& updated) {
           << "query " << q << " route " << i;
     }
   }
+
+  ExpectLabelsCanonical(updated);
 }
 
 TEST(DynamicUpdateTest, RandomizedUpdatesMatchFromScratchRebuild) {
@@ -139,6 +199,170 @@ TEST(DynamicUpdateTest, RepeatedEdgeUpdatesDoNotGrowArcCount) {
   EXPECT_EQ(engine.graph().num_edges(), after_insert);
   EXPECT_THROW(engine.AddOrDecreaseEdge(3, 4000, 1), std::invalid_argument);
 
+  ExpectMatchesRebuild(engine);
+}
+
+// The full dynamic surface in one randomized stream: weight decreases,
+// weight increases (SET_EDGE), deletions (REMOVE_EDGE), fresh inserts, and
+// category churn, interleaved — checked label-for-label against canonical
+// rebuilds along the way and at the end.
+TEST(DynamicUpdateTest, MixedIncreaseDecreaseDeleteMatchesRebuild) {
+  for (uint64_t seed : {3u, 14u, 59u}) {
+    auto inst = testing::MakeRandomInstance(30, 110, 3, seed);
+    KosrEngine engine(inst.graph, inst.categories);
+    engine.BuildIndexes(testing::TestThreads());
+
+    std::mt19937_64 rng(seed * 2654435761u);
+    std::uniform_int_distribution<VertexId> pick_vertex(0, 29);
+    std::uniform_int_distribution<Weight> pick_weight(1, 90);
+    std::uniform_int_distribution<int> pick_op(0, 5);
+    for (int step = 0; step < 30; ++step) {
+      switch (pick_op(rng)) {
+        case 0: {  // insert / decrease
+          VertexId u = pick_vertex(rng), v = pick_vertex(rng);
+          if (u != v) engine.AddOrDecreaseEdge(u, v, pick_weight(rng));
+          break;
+        }
+        case 1: {  // arbitrary set: increase or decrease of a random pair
+          VertexId u = pick_vertex(rng), v = pick_vertex(rng);
+          if (u != v) engine.SetEdgeWeight(u, v, pick_weight(rng));
+          break;
+        }
+        case 2: {  // guaranteed increase of an existing arc
+          auto edges = engine.graph().ToEdges();
+          auto [u, v, w] = edges[rng() % edges.size()];
+          EdgeUpdateSummary summary =
+              engine.SetEdgeWeight(u, v, w + 1 + pick_weight(rng));
+          EXPECT_TRUE(summary.graph_changed);
+          break;
+        }
+        case 3: {  // deletion of an existing arc
+          auto edges = engine.graph().ToEdges();
+          if (edges.size() <= 1) break;  // keep the graph non-trivial
+          auto [u, v, w] = edges[rng() % edges.size()];
+          EdgeUpdateSummary summary = engine.RemoveEdge(u, v);
+          EXPECT_TRUE(summary.graph_changed);
+          break;
+        }
+        case 4: {
+          VertexId v = pick_vertex(rng);
+          CategoryId c = static_cast<CategoryId>(rng() % 3);
+          if (!engine.categories().Has(v, c)) engine.AddVertexCategory(v, c);
+          break;
+        }
+        case 5: {
+          VertexId v = pick_vertex(rng);
+          CategoryId c = static_cast<CategoryId>(rng() % 3);
+          if (engine.categories().Has(v, c) &&
+              engine.categories().CategorySize(c) > 1) {
+            engine.RemoveVertexCategory(v, c);
+          }
+          break;
+        }
+      }
+      if (step % 10 == 9) ExpectMatchesRebuild(engine);
+    }
+    ExpectMatchesRebuild(engine);
+  }
+}
+
+// A weight increase on an arc that lies on no shortest path (tight for no
+// hub) must repair nothing — and because the hub order covers every vertex,
+// an empty repair certifies that no distance changed at all. This is the
+// signal the service uses to keep its result cache warm.
+TEST(DynamicUpdateTest, OffShortestPathIncreaseRepairsNothing) {
+  // Directed chain 0 -> 1 -> 2 -> 3 (unit weights) plus a detour arc
+  // 0 -> 3 of weight 100 that no shortest path uses.
+  Graph graph = Graph::FromEdges(
+      4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 3, 100}});
+  CategoryTable cats(4, 1);
+  cats.Add(2, 0);
+  KosrEngine engine(std::move(graph), std::move(cats));
+  engine.BuildIndexes();
+  ASSERT_EQ(engine.labeling().Query(0, 3), 3);
+
+  EdgeUpdateSummary summary = engine.SetEdgeWeight(0, 3, 200);
+  EXPECT_TRUE(summary.graph_changed);
+  EXPECT_FALSE(summary.labels_changed);
+  EXPECT_EQ(summary.changed_in_labels, 0u);
+  EXPECT_EQ(summary.changed_out_labels, 0u);
+  EXPECT_EQ(engine.labeling().Query(0, 3), 3);
+  ExpectMatchesRebuild(engine);
+
+  // Raising it onto the shortest path *down* is a decrease repair; pushing
+  // the chain's middle arc up makes the detour the new shortest path.
+  summary = engine.SetEdgeWeight(1, 2, 500);
+  EXPECT_TRUE(summary.labels_changed);
+  EXPECT_EQ(engine.labeling().Query(0, 3), 200);
+  ExpectMatchesRebuild(engine);
+}
+
+TEST(DynamicUpdateTest, RemovingBridgeDisconnectsAndMatchesRebuild) {
+  // Two directed cycles joined by a single bridge arc 2 -> 3.
+  Graph graph = Graph::FromEdges(6, {{0, 1, 2},
+                                     {1, 2, 2},
+                                     {2, 0, 2},
+                                     {3, 4, 2},
+                                     {4, 5, 2},
+                                     {5, 3, 2},
+                                     {2, 3, 7}});
+  CategoryTable cats(6, 2);
+  cats.Add(1, 0);
+  cats.Add(4, 1);
+  KosrEngine engine(std::move(graph), std::move(cats));
+  engine.BuildIndexes();
+  ASSERT_LT(engine.labeling().Query(0, 4), kInfCost);
+
+  EdgeUpdateSummary summary = engine.RemoveEdge(2, 3);
+  EXPECT_TRUE(summary.graph_changed);
+  EXPECT_TRUE(summary.labels_changed);
+  EXPECT_GE(engine.labeling().Query(0, 4), kInfCost);
+  EXPECT_TRUE(engine.labeling().UnpackPath(0, 4).empty());
+  ExpectMatchesRebuild(engine);
+
+  // Removing it again is a no-op, as is removing a never-existing arc.
+  summary = engine.RemoveEdge(2, 3);
+  EXPECT_FALSE(summary.graph_changed);
+  summary = engine.RemoveEdge(0, 5);
+  EXPECT_FALSE(summary.graph_changed);
+  EXPECT_THROW(engine.RemoveEdge(0, 4000), std::invalid_argument);
+  EXPECT_THROW(engine.SetEdgeWeight(4000, 0, 1), std::invalid_argument);
+  ExpectMatchesRebuild(engine);
+}
+
+TEST(DynamicUpdateTest, SetEdgeWeightRoundTripRestoresLabelsExactly) {
+  auto inst = testing::MakeRandomInstance(28, 100, 3, 21);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  std::ostringstream before;
+  engine.labeling().Serialize(before);
+
+  // Raise a batch of existing arcs, then restore the original weights: the
+  // repaired labels must return to the exact original bytes (canonicality
+  // is a function of the graph + order only, not of update history).
+  // SetEdgeWeight collapses parallel arcs, so operate on unique (u, v)
+  // pairs at their effective minimum weight — the only thing labels see.
+  std::vector<std::tuple<VertexId, VertexId, Weight>> targets;
+  for (auto [u, v, w] : engine.graph().ToEdges()) {
+    Cost min_w = engine.graph().ArcWeight(u, v);
+    if (static_cast<Cost>(w) == min_w &&
+        (targets.empty() || std::get<0>(targets.back()) != u ||
+         std::get<1>(targets.back()) != v)) {
+      targets.emplace_back(u, v, w);
+    }
+  }
+  for (size_t i = 0; i < targets.size(); i += 7) {
+    auto [u, v, w] = targets[i];
+    engine.SetEdgeWeight(u, v, w + 50);
+  }
+  ExpectLabelsCanonical(engine);
+  for (size_t i = 0; i < targets.size(); i += 7) {
+    auto [u, v, w] = targets[i];
+    engine.SetEdgeWeight(u, v, w);
+  }
+  std::ostringstream after;
+  engine.labeling().Serialize(after);
+  EXPECT_EQ(before.str(), after.str());
   ExpectMatchesRebuild(engine);
 }
 

@@ -1,8 +1,10 @@
 // Property tests for the sealed flat SoA label store: on randomized graphs
 // the flat view must answer Query / QueryWithHub / UnpackPath exactly like
-// the nested-vector reference path — including after a batch of dynamic
-// weight-decrease updates (incremental run re-sealing, tail growth, and the
-// garbage-triggered compaction) and after a snapshot save/load round trip.
+// the nested-vector reference path — including after batches of dynamic
+// updates in every direction (weight decreases, increases, and deletions:
+// incremental run re-sealing, tail growth, in-place shrinks, emptied runs,
+// and the garbage-triggered compaction) and after a snapshot save/load
+// round trip.
 
 #include <random>
 #include <sstream>
@@ -189,6 +191,80 @@ TEST(FlatLabelsTest, EmptyRunsGrowAfterConnectingUpdate) {
       EXPECT_EQ(hl.Query(s, t), rebuilt.Query(s, t)) << s << "->" << t;
     }
   }
+}
+
+// Mixed weakening stream (increases and deletions) exercises the re-seal
+// paths the decrease batch cannot: in-place *shrinks* (a hub lost coverage
+// of a vertex, the run got shorter) and runs emptied outright (a deletion
+// disconnected a vertex). After every repair the store must mirror the
+// nested truth, keep answering correctly, and match a canonical rebuild
+// with the same order byte for byte.
+TEST(FlatLabelsTest, EquivalentAfterIncreaseAndRemovalStream) {
+  std::mt19937_64 rng(4242);
+  Graph graph = MakeRandomGraph(45, 170, 29);
+  HubLabeling hl;
+  hl.Build(graph);
+  std::vector<VertexId> order(hl.num_vertices());
+  for (uint32_t r = 0; r < hl.num_vertices(); ++r) order[r] = hl.HubVertex(r);
+
+  uint32_t applied = 0;
+  for (uint32_t step = 0; step < 60; ++step) {
+    auto edges = graph.ToEdges();
+    if (edges.empty()) break;
+    auto [u, v, w] = edges[rng() % edges.size()];
+    if (step % 3 == 0) {
+      auto old = graph.RemoveArc(u, v);
+      ASSERT_TRUE(old.has_value());
+      LabelRepairDelta delta =
+          hl.OnEdgeRemoved(graph, u, v, static_cast<Weight>(*old));
+      applied += delta.Empty() ? 0 : 1;
+    } else {
+      Weight raised = w + 1 + static_cast<Weight>(rng() % 60);
+      auto old = graph.SetArcWeight(u, v, raised);
+      ASSERT_TRUE(old.has_value());
+      LabelRepairDelta delta =
+          hl.OnEdgeIncreased(graph, u, v, static_cast<Weight>(*old));
+      applied += delta.Empty() ? 0 : 1;
+    }
+    ExpectFlatMirrorsNested(hl);
+  }
+  ASSERT_GT(applied, 15u);  // the stream must actually trigger repairs
+  ExpectQueriesMatchReference(graph, hl);
+  ExpectUnpackedPathsValid(graph, hl);
+  HubLabeling rebuilt;
+  rebuilt.Build(graph, order);
+  std::stringstream got, want;
+  hl.Serialize(got);
+  rebuilt.Serialize(want);
+  EXPECT_EQ(got.str(), want.str());
+}
+
+// Deleting a vertex's every incident arc empties its label runs (only the
+// self-entry can survive on one side) — the re-seal must repoint shrunken
+// and emptied runs correctly and the store must stay equivalent.
+TEST(FlatLabelsTest, RunsShrinkAndEmptyAfterIsolatingAVertex) {
+  Graph graph = MakeGridRoadNetwork(5, 5, 3, 10, 100, 0);
+  HubLabeling hl;
+  hl.Build(graph);
+  VertexId isolated = 12;  // grid center
+  for (auto [u, v, w] : graph.ToEdges()) {
+    if (u != isolated && v != isolated) continue;
+    auto old = graph.RemoveArc(u, v);
+    if (!old.has_value()) continue;  // already removed as a parallel
+    hl.OnEdgeRemoved(graph, u, v, static_cast<Weight>(*old));
+    ExpectFlatMirrorsNested(hl);
+  }
+  // The isolated vertex reaches nothing and is reached by nothing; at most
+  // its own self-entries remain.
+  for (VertexId t = 0; t < hl.num_vertices(); ++t) {
+    if (t == isolated) continue;
+    EXPECT_GE(hl.Query(isolated, t), kInfCost);
+    EXPECT_GE(hl.Query(t, isolated), kInfCost);
+  }
+  EXPECT_LE(hl.Lin(isolated).size(), 1u);
+  EXPECT_LE(hl.Lout(isolated).size(), 1u);
+  ExpectQueriesMatchReference(graph, hl);
+  ExpectUnpackedPathsValid(graph, hl);
 }
 
 TEST(FlatLabelsTest, EquivalentAfterSnapshotRoundTrip) {

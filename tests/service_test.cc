@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <random>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "src/service/protocol.h"
@@ -184,6 +186,130 @@ TEST(ServiceTest, AddOrDecreaseEdgeInvalidatesWholeCache) {
   EXPECT_TRUE(service.Submit(request).cache_hit);
 }
 
+TEST(ServiceTest, SetEdgeWeightIncreaseInvalidatesStaleRoute) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  // Shortcut 0 -> 2 of weight 1 makes the best 0 -> [cat 1] -> 3 route
+  // 0-2-3 = 2; cache it.
+  service.SetEdgeWeight(0, 2, 1);
+  ServiceRequest request = MakeRequest(0, 3, {1});
+  EXPECT_EQ(service.Submit(request).result.routes[0].cost, 2);
+  EXPECT_TRUE(service.Submit(request).cache_hit);
+
+  // Raising the shortcut off the shortest path must drop the stale cost-2
+  // route; the answer reverts to 0-1-2-3 = 3.
+  EdgeUpdateSummary summary = service.SetEdgeWeight(0, 2, 50);
+  EXPECT_TRUE(summary.graph_changed);
+  EXPECT_TRUE(summary.labels_changed);
+  ServiceResponse updated = service.Submit(request);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_FALSE(updated.cache_hit);
+  EXPECT_EQ(updated.result.routes[0].cost, 3);
+}
+
+TEST(ServiceTest, RemoveEdgeInvalidatesStaleRoute) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  service.SetEdgeWeight(0, 2, 1);
+  ServiceRequest request = MakeRequest(0, 3, {1});
+  EXPECT_EQ(service.Submit(request).result.routes[0].cost, 2);
+  EXPECT_TRUE(service.Submit(request).cache_hit);
+
+  EdgeUpdateSummary summary = service.RemoveEdge(0, 2);
+  EXPECT_TRUE(summary.graph_changed);
+  EXPECT_TRUE(summary.labels_changed);
+  ServiceResponse updated = service.Submit(request);
+  EXPECT_FALSE(updated.cache_hit);
+  EXPECT_EQ(updated.result.routes[0].cost, 3);
+
+  EXPECT_THROW(service.SetEdgeWeight(99, 0, 1), std::invalid_argument);
+  EXPECT_THROW(service.RemoveEdge(0, 99), std::invalid_argument);
+}
+
+TEST(ServiceTest, TargetedInvalidationKeepsCacheWarmOnNoOpUpdates) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  ServiceRequest request = MakeRequest(0, 3, {1});
+  EXPECT_EQ(service.Submit(request).result.routes[0].cost, 3);
+  EXPECT_TRUE(service.Submit(request).cache_hit);
+
+  // Any update to an arc that lies on no shortest path — even inserting
+  // one — repairs no label, which certifies no answer changed, so the
+  // cache must stay warm throughout.
+  EdgeUpdateSummary summary = service.SetEdgeWeight(0, 2, 1000);  // detour in
+  EXPECT_TRUE(summary.graph_changed);
+  EXPECT_FALSE(summary.labels_changed);
+  EXPECT_TRUE(service.Submit(request).cache_hit);
+  summary = service.SetEdgeWeight(0, 2, 2000);  // raise it
+  EXPECT_TRUE(summary.graph_changed);
+  EXPECT_FALSE(summary.labels_changed);
+  EXPECT_TRUE(service.Submit(request).cache_hit);  // still warm
+
+  // Removing the irrelevant detour repairs nothing either.
+  summary = service.RemoveEdge(0, 2);
+  EXPECT_TRUE(summary.graph_changed);
+  EXPECT_FALSE(summary.labels_changed);
+  EXPECT_TRUE(service.Submit(request).cache_hit);
+
+  // Pure no-ops (absent arc, identical weight) never flush.
+  service.RemoveEdge(0, 2);
+  service.SetEdgeWeight(0, 1, 1);  // already weight 1
+  EXPECT_TRUE(service.Submit(request).cache_hit);
+}
+
+// Queries race a live stream of every edge-update flavor through the
+// reader/writer engine lock; run under the TSan CI job. Every response must
+// be a well-formed answer for *some* engine state the updater passed
+// through — here we only assert structural sanity and absence of errors.
+TEST(ServiceTest, ConcurrentQueriesDuringEdgeUpdatesAreSafe) {
+  auto inst = testing::MakeRandomInstance(50, 240, 3, 90);
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  auto edges = engine.graph().ToEdges();
+
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 128;
+  KosrService service(std::move(engine), config);
+
+  std::thread updater([&] {
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 60; ++i) {
+      auto [u, v, w] = edges[rng() % edges.size()];
+      switch (i % 4) {
+        case 0:
+          service.SetEdgeWeight(u, v, w + 1 + static_cast<Weight>(rng() % 40));
+          break;
+        case 1:
+          service.RemoveEdge(u, v);
+          break;
+        case 2:
+          service.AddOrDecreaseEdge(u, v, std::max<Weight>(1, w / 2));
+          break;
+        case 3:
+          service.SetEdgeWeight(u, v, w);  // restore
+          break;
+      }
+    }
+  });
+
+  std::mt19937_64 rng(13);
+  std::uniform_int_distribution<VertexId> pick(0, 49);
+  for (int i = 0; i < 120; ++i) {
+    ServiceRequest request;
+    request.query.source = pick(rng);
+    request.query.target = pick(rng);
+    request.query.sequence =
+        RandomCategorySequence(service.engine().categories(), 2, rng);
+    request.query.k = 2;
+    request.options.reconstruct_paths = true;
+    ServiceResponse response = service.Submit(request);
+    ASSERT_TRUE(response.ok()) << response.error;
+    for (const SequencedRoute& route : response.result.routes) {
+      EXPECT_GE(route.cost, 0);
+      EXPECT_EQ(route.witness.size(), request.query.sequence.size() + 2);
+    }
+  }
+  updater.join();
+}
+
 TEST(ServiceTest, BackpressureRejectsWhenQueueFull) {
   ServiceConfig config;
   config.num_workers = 2;
@@ -341,6 +467,39 @@ TEST(ProtocolTest, HandleRequestLineAnswersEachCommand) {
   EXPECT_NE(metrics.find("\"cache\""), std::string::npos);
 }
 
+TEST(ProtocolTest, SetAndRemoveEdgeVerbsReportRepairSummaries) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  // Raise the 0 -> 3 shortcut in, off, and out of the shortest path; the
+  // response reports whether the graph changed and how many label vectors
+  // the repair touched.
+  std::string set = HandleRequestLine(service, "SET_EDGE 0 3 1");
+  EXPECT_EQ(set.rfind("OK UPDATED changed=1 labels=", 0), 0u) << set;
+  std::string query = HandleRequestLine(service, "QUERY 0 0 0 1");
+  EXPECT_EQ(query.rfind("OK ROUTES n=1 costs=4", 0), 0u) << query;
+
+  // Increase: the shortcut leaves the shortest path, answers revert.
+  std::string raised = HandleRequestLine(service, "SET_EDGE 0 3 500");
+  EXPECT_EQ(raised.rfind("OK UPDATED changed=1 labels=", 0), 0u) << raised;
+  EXPECT_NE(raised, "OK UPDATED changed=1 labels=0") << raised;
+  query = HandleRequestLine(service, "QUERY 0 0 0 1");
+  EXPECT_EQ(query.rfind("OK ROUTES n=1 costs=6", 0), 0u) << query;
+
+  // Raising an off-shortest-path arc repairs nothing (labels=0), and
+  // setting the same weight again is a full no-op (changed=0).
+  EXPECT_EQ(HandleRequestLine(service, "SET_EDGE 0 3 600"),
+            "OK UPDATED changed=1 labels=0");
+  EXPECT_EQ(HandleRequestLine(service, "SET_EDGE 0 3 600"),
+            "OK UPDATED changed=0 labels=0");
+
+  // Removal; removing again is a no-op.
+  EXPECT_EQ(HandleRequestLine(service, "REMOVE_EDGE 0 3"),
+            "OK UPDATED changed=1 labels=0");
+  EXPECT_EQ(HandleRequestLine(service, "REMOVE_EDGE 0 3"),
+            "OK UPDATED changed=0 labels=0");
+  query = HandleRequestLine(service, "QUERY 0 0 0 1");
+  EXPECT_EQ(query.rfind("OK ROUTES n=1 costs=6", 0), 0u) << query;
+}
+
 TEST(ProtocolTest, MalformedRequestsReturnErrNotThrow) {
   KosrService service(MakeLineEngine(), {.num_workers = 1});
   EXPECT_EQ(HandleRequestLine(service, "FROBNICATE").rfind("ERR ", 0), 0u);
@@ -360,6 +519,14 @@ TEST(ProtocolTest, MalformedRequestsReturnErrNotThrow) {
   EXPECT_EQ(HandleRequestLine(service, "REMOVE_CAT 9999 0").rfind("ERR ", 0),
             0u);
   EXPECT_EQ(HandleRequestLine(service, "ADD_EDGE 9999 0 1").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(service, "SET_EDGE 9999 0 1").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(service, "SET_EDGE 0 1").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(HandleRequestLine(service, "SET_EDGE 0 1 -4").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(service, "REMOVE_EDGE 0").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(HandleRequestLine(service, "REMOVE_EDGE 0 9999").rfind("ERR ", 0),
             0u);
   // Signed tokens must be rejected, not wrapped through unsigned parsing
   // (a weight of "-5" must not become a ~4-billion-weight edge).
