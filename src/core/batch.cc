@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "src/util/sync.h"
 #include "src/util/timer.h"
 
 namespace kosr {
@@ -30,7 +30,7 @@ BatchResult RunQueryBatch(const KosrEngine& engine,
     std::atomic<size_t> next{0};
     std::atomic<bool> stop{false};
     std::exception_ptr first_error;
-    std::mutex error_mutex;
+    Mutex error_mutex;
     auto worker = [&] {
       QueryContext ctx;  // thread-private reusable query scratch
       for (;;) {
@@ -41,7 +41,7 @@ BatchResult RunQueryBatch(const KosrEngine& engine,
           batch.results[i] = engine.Query(queries[i], options, &ctx);
         } catch (...) {
           stop.store(true, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(error_mutex);
+          MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
           return;
         }

@@ -319,6 +319,14 @@ void HubLabeling::Build(const Graph& graph, const std::vector<VertexId>& order,
   // because the top hubs have the largest searches and their labels prune
   // everything after them; the cap keeps all threads busy on the long tail
   // of small searches.
+  //
+  // Concurrency contract (DESIGN.md, "Concurrency contract"): this build
+  // deliberately owns no lock. Each task writes only its own disjoint
+  // candidates[task] slot, the shared label vectors are read-only while
+  // searches run, and ParallelFor's internal mutex is the barrier whose
+  // release/acquire ordering publishes each batch's committed labels to
+  // the next batch's searches. Adding shared mutable state here means
+  // adding a capability-annotated Mutex, not an atomic sprinkled in.
   const uint32_t batch_cap = std::max<uint32_t>(8 * num_threads, 64);
   std::vector<std::vector<CandidateLabel>> candidates;
   uint32_t batch_size = 1;

@@ -40,7 +40,7 @@ std::string MetricsSnapshot::ToJson() const {
 void MetricsRegistry::RecordCompleted(Algorithm algorithm, NnMode nn_mode,
                                       double latency_seconds) {
   completed_.fetch_add(1, kRelaxed);
-  std::lock_guard<std::mutex> lock(histogram_mutex_);
+  MutexLock lock(histogram_mutex_);
   per_method_
       .try_emplace(MethodName(algorithm, nn_mode),
                    LatencyHistogram(kMaxSamplesPerMethod))
@@ -51,7 +51,7 @@ MetricsSnapshot MetricsRegistry::Snapshot(const CacheStats& cache) const {
   MetricsSnapshot snap;
   // The uptime clock is restarted by Reset() under the same mutex; read it
   // inside the lock so a concurrent Metrics()/Reset() pair does not race.
-  std::lock_guard<std::mutex> lock(histogram_mutex_);
+  MutexLock lock(histogram_mutex_);
   snap.uptime_s = uptime_.ElapsedSeconds();
   snap.submitted = submitted_.load(kRelaxed);
   snap.completed = completed_.load(kRelaxed);
@@ -68,7 +68,7 @@ void MetricsRegistry::Reset() {
   completed_.store(0, kRelaxed);
   rejected_.store(0, kRelaxed);
   errors_.store(0, kRelaxed);
-  std::lock_guard<std::mutex> lock(histogram_mutex_);
+  MutexLock lock(histogram_mutex_);
   per_method_.clear();
   uptime_.Reset();
 }

@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "src/core/query.h"
 #include "src/service/result_cache.h"
 #include "src/util/stats.h"
+#include "src/util/sync.h"
 #include "src/util/timer.h"
 
 namespace kosr::service {
@@ -50,15 +50,16 @@ class MetricsRegistry {
   void RecordRejected() { rejected_.fetch_add(1, kRelaxed); }
   void RecordError() { errors_.fetch_add(1, kRelaxed); }
   void RecordCompleted(Algorithm algorithm, NnMode nn_mode,
-                       double latency_seconds);
+                       double latency_seconds) KOSR_EXCLUDES(histogram_mutex_);
 
   /// Snapshot including the cache's counters (the cache lives beside the
   /// registry in the service; passing it in keeps this class standalone).
-  MetricsSnapshot Snapshot(const CacheStats& cache) const;
+  MetricsSnapshot Snapshot(const CacheStats& cache) const
+      KOSR_EXCLUDES(histogram_mutex_);
 
   /// Zeroes counters and histograms and restarts the uptime clock; the
   /// throughput bench uses this between its cold and warm phases.
-  void Reset();
+  void Reset() KOSR_EXCLUDES(histogram_mutex_);
 
  private:
   static constexpr auto kRelaxed = std::memory_order_relaxed;
@@ -67,9 +68,12 @@ class MetricsRegistry {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> errors_{0};
-  mutable std::mutex histogram_mutex_;
-  std::map<std::string, LatencyHistogram> per_method_;
-  WallTimer uptime_;
+  mutable Mutex histogram_mutex_;
+  std::map<std::string, LatencyHistogram> per_method_
+      KOSR_GUARDED_BY(histogram_mutex_);
+  /// Also guarded: Reset() restarts the clock while Snapshot() reads it, so
+  /// the pair is only coherent under the same lock.
+  WallTimer uptime_ KOSR_GUARDED_BY(histogram_mutex_);
 };
 
 }  // namespace kosr::service

@@ -40,7 +40,7 @@ ShardedResultCache::Shard& ShardedResultCache::ShardFor(const CacheKey& key) {
 std::optional<KosrResult> ShardedResultCache::Lookup(const CacheKey& key) {
   if (!enabled()) return std::nullopt;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -55,7 +55,7 @@ void ShardedResultCache::Insert(const CacheKey& key,
                                 const KosrResult& result) {
   if (!enabled()) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->result = result;
@@ -74,7 +74,7 @@ void ShardedResultCache::Insert(const CacheKey& key,
 
 void ShardedResultCache::InvalidateAll() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     invalidations_.fetch_add(shard.lru.size(), std::memory_order_relaxed);
     shard.index.clear();
     shard.lru.clear();
@@ -83,7 +83,7 @@ void ShardedResultCache::InvalidateAll() {
 
 void ShardedResultCache::InvalidateCategory(CategoryId c) {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       const CategorySequence& seq = it->key.sequence;
       if (std::find(seq.begin(), seq.end(), c) != seq.end()) {
@@ -110,7 +110,7 @@ CacheStats ShardedResultCache::stats() const {
 size_t ShardedResultCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.lru.size();
   }
   return total;

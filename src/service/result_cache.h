@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/query.h"
+#include "src/util/sync.h"
 #include "src/util/types.h"
 
 namespace kosr::service {
@@ -91,10 +91,11 @@ class ShardedResultCache {
     KosrResult result;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  ///< Front = most recent.
+    mutable Mutex mutex;
+    /// Front = most recent.
+    std::list<Entry> lru KOSR_GUARDED_BY(mutex);
     std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
-        index;
+        index KOSR_GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(const CacheKey& key);

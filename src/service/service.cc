@@ -42,10 +42,10 @@ KosrService::KosrService(KosrEngine engine, const ServiceConfig& config)
 KosrService::~KosrService() { Stop(); }
 
 void KosrService::Start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  MutexLock lifecycle(lifecycle_mutex_);
   if (!workers_.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     stopping_ = false;
   }
   workers_.reserve(num_workers_);
@@ -55,14 +55,14 @@ void KosrService::Start() {
 }
 
 void KosrService::Stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  MutexLock lifecycle(lifecycle_mutex_);
   std::deque<Pending> drained;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     stopping_ = true;
     drained.swap(queue_);
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   for (Pending& pending : drained) {
@@ -78,7 +78,7 @@ std::future<ServiceResponse> KosrService::SubmitAsync(
   std::future<ServiceResponse> future = promise.get_future();
   metrics_.RecordSubmitted();
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     if (stopping_) {
       ServiceResponse response;
       response.status = ResponseStatus::kShutdown;
@@ -95,7 +95,7 @@ std::future<ServiceResponse> KosrService::SubmitAsync(
     }
     queue_.push_back(Pending{request, std::move(promise), WallTimer()});
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return future;
 }
 
@@ -110,8 +110,11 @@ void KosrService::WorkerLoop() {
   for (;;) {
     Pending pending;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(queue_mutex_);
+      // Explicit wait loop instead of the predicate overload: the guarded
+      // reads stay in this (analyzed) scope, not inside a lambda the
+      // thread-safety analysis cannot attribute a lock to.
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(queue_mutex_);
       if (stopping_) return;
       pending = std::move(queue_.front());
       queue_.pop_front();
@@ -165,7 +168,7 @@ ServiceResponse KosrService::Process(const ServiceRequest& request,
   // Shared lock: queries run concurrently with each other but exclusively
   // with dynamic updates; cache lookup/insert stay inside the lock so an
   // update's invalidation cannot be interleaved with a stale insert.
-  std::shared_lock<std::shared_mutex> lock(engine_mutex_);
+  ReaderMutexLock lock(engine_mutex_);
   if (cacheable) {
     if (std::optional<KosrResult> cached = cache_.Lookup(key)) {
       response.result = std::move(*cached);
@@ -187,7 +190,7 @@ ServiceResponse KosrService::Process(const ServiceRequest& request,
 }
 
 void KosrService::AddVertexCategory(VertexId v, CategoryId c) {
-  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  WriterMutexLock lock(engine_mutex_);
   CheckVertex(engine_, v, "vertex");
   CheckCategory(engine_, c);
   engine_.AddVertexCategory(v, c);
@@ -195,7 +198,7 @@ void KosrService::AddVertexCategory(VertexId v, CategoryId c) {
 }
 
 void KosrService::RemoveVertexCategory(VertexId v, CategoryId c) {
-  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  WriterMutexLock lock(engine_mutex_);
   CheckVertex(engine_, v, "vertex");
   CheckCategory(engine_, c);
   engine_.RemoveVertexCategory(v, c);
@@ -204,7 +207,7 @@ void KosrService::RemoveVertexCategory(VertexId v, CategoryId c) {
 
 EdgeUpdateSummary KosrService::AddOrDecreaseEdge(VertexId u, VertexId v,
                                                  Weight w) {
-  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  WriterMutexLock lock(engine_mutex_);
   CheckVertex(engine_, u, "tail");
   CheckVertex(engine_, v, "head");
   EdgeUpdateSummary summary = engine_.AddOrDecreaseEdge(u, v, w);
@@ -214,7 +217,7 @@ EdgeUpdateSummary KosrService::AddOrDecreaseEdge(VertexId u, VertexId v,
 
 EdgeUpdateSummary KosrService::SetEdgeWeight(VertexId u, VertexId v,
                                              Weight w) {
-  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  WriterMutexLock lock(engine_mutex_);
   CheckVertex(engine_, u, "tail");
   CheckVertex(engine_, v, "head");
   EdgeUpdateSummary summary = engine_.SetEdgeWeight(u, v, w);
@@ -223,7 +226,7 @@ EdgeUpdateSummary KosrService::SetEdgeWeight(VertexId u, VertexId v,
 }
 
 EdgeUpdateSummary KosrService::RemoveEdge(VertexId u, VertexId v) {
-  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  WriterMutexLock lock(engine_mutex_);
   CheckVertex(engine_, u, "tail");
   CheckVertex(engine_, v, "head");
   EdgeUpdateSummary summary = engine_.RemoveEdge(u, v);
@@ -245,8 +248,13 @@ void KosrService::InvalidateForEdgeUpdate(const EdgeUpdateSummary& summary) {
   }
 }
 
+uint32_t KosrService::num_categories() const {
+  ReaderMutexLock lock(engine_mutex_);
+  return engine_.categories().num_categories();
+}
+
 size_t KosrService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(queue_mutex_);
   return queue_.size();
 }
 

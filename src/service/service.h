@@ -1,12 +1,9 @@
 #ifndef KOSR_SERVICE_SERVICE_H_
 #define KOSR_SERVICE_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +12,7 @@
 #include "src/core/query.h"
 #include "src/service/metrics.h"
 #include "src/service/result_cache.h"
+#include "src/util/sync.h"
 
 namespace kosr::service {
 
@@ -67,12 +65,15 @@ struct ServiceResponse {
 /// the service never buffers unboundedly). Completed results are cached in
 /// a sharded LRU keyed on (source, target, sequence, k, method).
 ///
-/// Concurrency contract: workers answer queries under a shared lock on the
-/// engine; the dynamic-update entry points take the lock exclusively, apply
-/// the engine mutation, and invalidate the affected cache entries *before*
+/// Concurrency contract (machine-checked; DESIGN.md, "Concurrency
+/// contract"): workers answer queries under a shared lock on the engine;
+/// the dynamic-update entry points take the lock exclusively, apply the
+/// engine mutation, and invalidate the affected cache entries *before*
 /// releasing it. Since cache inserts also happen under the shared lock, a
 /// result computed against the pre-update engine can never be inserted
-/// after the invalidation — no stale-entry race.
+/// after the invalidation — no stale-entry race. Each capability below
+/// names what it guards; no method ever holds two of them except
+/// Start/Stop, which take lifecycle_mutex_ strictly before queue_mutex_.
 class KosrService {
  public:
   /// Takes ownership of a built engine (BuildIndexes()/LoadIndexes() must
@@ -86,16 +87,18 @@ class KosrService {
   /// Starts the worker pool (no-op when already running). Start/Stop are
   /// serialized against each other by a lifecycle mutex, so concurrent
   /// calls (or Stop racing the destructor) are safe.
-  void Start();
+  void Start() KOSR_EXCLUDES(lifecycle_mutex_, queue_mutex_);
   /// Drains nothing: pending requests resolve with kShutdown, workers join.
   /// Idempotent; also run by the destructor.
-  void Stop();
+  void Stop() KOSR_EXCLUDES(lifecycle_mutex_, queue_mutex_);
 
   /// Enqueues a request. The future resolves when a worker answers it (or
   /// immediately with kRejected / kShutdown).
-  std::future<ServiceResponse> SubmitAsync(const ServiceRequest& request);
+  std::future<ServiceResponse> SubmitAsync(const ServiceRequest& request)
+      KOSR_EXCLUDES(queue_mutex_);
   /// Blocking convenience wrapper.
-  ServiceResponse Submit(const ServiceRequest& request);
+  ServiceResponse Submit(const ServiceRequest& request)
+      KOSR_EXCLUDES(queue_mutex_);
 
   // --- Dynamic updates (cache-invalidation hooks) --------------------------
   // Mirror KosrEngine's update entry points; each applies the engine update
@@ -104,20 +107,25 @@ class KosrService {
   // engine itself does not range-check; the service fronts untrusted
   // input, so it must).
 
-  void AddVertexCategory(VertexId v, CategoryId c);
-  void RemoveVertexCategory(VertexId v, CategoryId c);
+  void AddVertexCategory(VertexId v, CategoryId c)
+      KOSR_EXCLUDES(engine_mutex_);
+  void RemoveVertexCategory(VertexId v, CategoryId c)
+      KOSR_EXCLUDES(engine_mutex_);
   /// Edge updates return the engine's repair summary so front-ends can
   /// report how much the update actually changed. Cache invalidation is
   /// targeted: the whole cache is flushed only when the update changed
   /// labels (distances may have moved) — or changed the graph while the
   /// engine serves Dijkstra-mode queries without indexes. An update that
   /// repaired nothing provably changed no answer and keeps the cache warm.
-  EdgeUpdateSummary AddOrDecreaseEdge(VertexId u, VertexId v, Weight w);
+  EdgeUpdateSummary AddOrDecreaseEdge(VertexId u, VertexId v, Weight w)
+      KOSR_EXCLUDES(engine_mutex_);
   /// SET_EDGE verb: set the u->v weight exactly (increase or decrease),
   /// with incremental label repair either way.
-  EdgeUpdateSummary SetEdgeWeight(VertexId u, VertexId v, Weight w);
+  EdgeUpdateSummary SetEdgeWeight(VertexId u, VertexId v, Weight w)
+      KOSR_EXCLUDES(engine_mutex_);
   /// REMOVE_EDGE verb: delete the u->v arc with incremental label repair.
-  EdgeUpdateSummary RemoveEdge(VertexId u, VertexId v);
+  EdgeUpdateSummary RemoveEdge(VertexId u, VertexId v)
+      KOSR_EXCLUDES(engine_mutex_);
 
   // --- Introspection -------------------------------------------------------
 
@@ -129,9 +137,14 @@ class KosrService {
   /// throughput bench.
   void ResetMetrics() { metrics_.Reset(); }
 
-  const KosrEngine& engine() const { return engine_; }
+  /// The result cache is internally synchronized (per-shard locks), so a
+  /// reference to it is safe to hand out; the engine is guarded by
+  /// engine_mutex_ and deliberately has no reference accessor — use the
+  /// narrow locked reads below, or go through Submit like everyone else.
   const ShardedResultCache& cache() const { return cache_; }
-  size_t queue_depth() const;
+  /// Category universe size, read under the shared engine lock.
+  uint32_t num_categories() const KOSR_EXCLUDES(engine_mutex_);
+  size_t queue_depth() const KOSR_EXCLUDES(queue_mutex_);
   uint32_t num_workers() const { return num_workers_; }
 
  private:
@@ -141,32 +154,37 @@ class KosrService {
     WallTimer queued;  ///< Started at enqueue; read at completion.
   };
 
-  void WorkerLoop();
+  void WorkerLoop() KOSR_EXCLUDES(queue_mutex_, engine_mutex_);
   /// `ctx` is the calling worker's private reusable query scratch.
-  ServiceResponse Process(const ServiceRequest& request, QueryContext& ctx);
+  ServiceResponse Process(const ServiceRequest& request, QueryContext& ctx)
+      KOSR_EXCLUDES(engine_mutex_);
   /// Targeted cache invalidation for an applied edge update (see the public
   /// update entry points). Caller holds the exclusive engine lock.
-  void InvalidateForEdgeUpdate(const EdgeUpdateSummary& summary);
+  void InvalidateForEdgeUpdate(const EdgeUpdateSummary& summary)
+      KOSR_REQUIRES(engine_mutex_);
   static bool Cacheable(const ServiceRequest& request);
   static CacheKey KeyFor(const ServiceRequest& request);
 
-  KosrEngine engine_;
-  mutable std::shared_mutex engine_mutex_;
-  ShardedResultCache cache_;
-  MetricsRegistry metrics_;
+  /// Reader/writer engine lock: queries hold it shared, dynamic updates
+  /// exclusive (together with their cache invalidation).
+  mutable SharedMutex engine_mutex_;
+  KosrEngine engine_ KOSR_GUARDED_BY(engine_mutex_);
+  ShardedResultCache cache_;    // internally synchronized (per-shard locks)
+  MetricsRegistry metrics_;     // internally synchronized
 
-  uint32_t num_workers_;
-  size_t queue_capacity_;
-  double default_time_budget_s_;
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  bool stopping_ = false;
+  uint32_t num_workers_;            // const after construction
+  size_t queue_capacity_;           // const after construction
+  double default_time_budget_s_;    // const after construction
+  /// Guards the request queue and the stopping flag workers wait on.
+  mutable Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<Pending> queue_ KOSR_GUARDED_BY(queue_mutex_);
+  bool stopping_ KOSR_GUARDED_BY(queue_mutex_) = false;
   /// Serializes Start/Stop (which mutate and join workers_); never taken
-  /// by the workers themselves, so there is no ordering against
-  /// queue_mutex_ to get wrong.
-  std::mutex lifecycle_mutex_;
-  std::vector<std::thread> workers_;
+  /// by the workers themselves. Lock hierarchy: lifecycle_mutex_ strictly
+  /// before queue_mutex_ (Start/Stop take both; nothing else takes both).
+  Mutex lifecycle_mutex_;
+  std::vector<std::thread> workers_ KOSR_GUARDED_BY(lifecycle_mutex_);
 };
 
 }  // namespace kosr::service

@@ -4,14 +4,14 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace kosr {
 
@@ -52,10 +52,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       shutdown_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (std::thread& w : workers_) w.join();
   }
 
@@ -83,69 +83,83 @@ class ThreadPool {
     }
     std::function<void(uint64_t, uint32_t)> job(std::forward<Fn>(fn));
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       job_ = &job;
       limit_ = n;
       next_.store(0, std::memory_order_relaxed);
       running_ = static_cast<uint32_t>(workers_.size());
       ++generation_;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     Drain(0);
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return running_ == 0; });
-    job_ = nullptr;
-    if (error_) {
-      std::exception_ptr e = std::exchange(error_, nullptr);
-      lock.unlock();
-      std::rethrow_exception(e);
+    std::exception_ptr error;
+    {
+      MutexLock lock(mutex_);
+      while (running_ != 0) done_cv_.Wait(mutex_);
+      job_ = nullptr;
+      error = std::exchange(error_, nullptr);
     }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
-  void Drain(uint32_t thread) {
+  void Drain(uint32_t thread) KOSR_EXCLUDES(mutex_) {
+    // Snapshot the current call's job under the lock once per drain; the
+    // hot claim loop then runs lock-free off the atomic counter. The
+    // snapshot stays valid for the whole drain: ParallelFor clears job_
+    // only after running_ hits zero, which this thread delays until after
+    // its drain returns.
+    const std::function<void(uint64_t, uint32_t)>* job = nullptr;
+    uint64_t limit = 0;
+    {
+      MutexLock lock(mutex_);
+      job = job_;
+      limit = limit_;
+    }
     for (;;) {
       uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= limit_) return;
+      if (i >= limit) return;
       try {
-        (*job_)(i, thread);
+        (*job)(i, thread);
       } catch (...) {
         // First error wins; remaining iterations still run (same contract
         // as ParallelForEachIndexWithThread).
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!error_) error_ = std::current_exception();
       }
     }
   }
 
-  void WorkerMain(uint32_t thread) {
+  void WorkerMain(uint32_t thread) KOSR_EXCLUDES(mutex_) {
     uint64_t seen = 0;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock,
-                      [&] { return shutdown_ || generation_ != seen; });
+        MutexLock lock(mutex_);
+        while (!shutdown_ && generation_ == seen) work_cv_.Wait(mutex_);
         if (shutdown_) return;
         seen = generation_;
       }
       Drain(thread);
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--running_ == 0) done_cv_.notify_one();
+      MutexLock lock(mutex_);
+      if (--running_ == 0) done_cv_.NotifyOne();
     }
   }
 
   const uint32_t num_threads_;
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(uint64_t, uint32_t)>* job_ = nullptr;
+  std::vector<std::thread> workers_;  // written only by ctor/dtor's thread
+  /// One mutex guards the whole job-handoff protocol; the only unguarded
+  /// shared state is the atomic claim counter next_.
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(uint64_t, uint32_t)>* job_
+      KOSR_GUARDED_BY(mutex_) = nullptr;
   std::atomic<uint64_t> next_{0};
-  uint64_t limit_ = 0;
-  uint32_t running_ = 0;
-  uint64_t generation_ = 0;
-  std::exception_ptr error_;
-  bool shutdown_ = false;
+  uint64_t limit_ KOSR_GUARDED_BY(mutex_) = 0;
+  uint32_t running_ KOSR_GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ KOSR_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ KOSR_GUARDED_BY(mutex_);
+  bool shutdown_ KOSR_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i, thread) for every i in [0, n) on up to `num_threads` threads,
@@ -166,7 +180,7 @@ void ParallelForEachIndexWithThread(uint32_t num_threads, uint64_t n,
   }
   std::atomic<uint64_t> next{0};
   std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   auto worker = [&](uint32_t thread) {
     for (;;) {
       uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -174,7 +188,7 @@ void ParallelForEachIndexWithThread(uint32_t num_threads, uint64_t n,
       try {
         fn(i, thread);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!error) error = std::current_exception();
         // Keep draining indices so sibling threads are not starved into
         // running iterations this thread would otherwise have absorbed;

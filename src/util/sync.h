@@ -1,0 +1,197 @@
+#ifndef KOSR_UTIL_SYNC_H_
+#define KOSR_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Capability-annotated synchronization primitives (DESIGN.md, "Concurrency
+// contract").
+//
+// Every mutex in the tree is one of the wrappers below, and every piece of
+// shared state names the capability that guards it with KOSR_GUARDED_BY.
+// Under clang the annotations feed Thread Safety Analysis: forgetting a
+// lock, holding the wrong one, or re-acquiring a held mutex is a compile
+// error under -Wthread-safety -Werror (the clang CI job builds exactly
+// that configuration; tests/negative_compile/ proves the rejection cases).
+// Under other compilers the macros expand to nothing and the wrappers are
+// zero-cost forwarding shims over the std primitives.
+//
+// The macro set mirrors the attribute names in the clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed to keep
+// the global namespace clean.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define KOSR_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef KOSR_THREAD_ANNOTATION
+#define KOSR_THREAD_ANNOTATION(x)  // not clang: annotations are comments
+#endif
+
+/// Marks a type as a lockable capability; `x` names it in diagnostics.
+#define KOSR_CAPABILITY(x) KOSR_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define KOSR_SCOPED_CAPABILITY KOSR_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding `x`.
+#define KOSR_GUARDED_BY(x) KOSR_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is protected by `x`.
+#define KOSR_PT_GUARDED_BY(x) KOSR_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability held exclusively on entry (not released).
+#define KOSR_REQUIRES(...) \
+  KOSR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function requires the capability held at least shared on entry.
+#define KOSR_REQUIRES_SHARED(...) \
+  KOSR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability exclusively and does not release it.
+#define KOSR_ACQUIRE(...) \
+  KOSR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define KOSR_ACQUIRE_SHARED(...) \
+  KOSR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (generic: exclusive or shared).
+#define KOSR_RELEASE(...) \
+  KOSR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define KOSR_RELEASE_SHARED(...) \
+  KOSR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Function acquires the capability only when it returns the given value
+/// (first argument), e.g. KOSR_TRY_ACQUIRE(true).
+#define KOSR_TRY_ACQUIRE(...) \
+  KOSR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must be called *without* the capability held (anti-deadlock).
+#define KOSR_EXCLUDES(...) KOSR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Runtime claim that the capability is held (trusted by the analysis).
+#define KOSR_ASSERT_CAPABILITY(x) KOSR_THREAD_ANNOTATION(assert_capability(x))
+#define KOSR_ASSERT_SHARED_CAPABILITY(x) \
+  KOSR_THREAD_ANNOTATION(assert_shared_capability(x))
+/// Function returns a reference to the given capability.
+#define KOSR_RETURN_CAPABILITY(x) KOSR_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch. Must not appear in src/service/ or src/util/parallel.h
+/// (enforced by the hot-path lint's companion grep in the CI lint job).
+#define KOSR_NO_THREAD_SAFETY_ANALYSIS \
+  KOSR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace kosr {
+
+class CondVar;
+
+/// std::mutex with a capability the analysis can track. Prefer the scoped
+/// MutexLock; Lock/Unlock exist for the rare split acquire/release.
+class KOSR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KOSR_ACQUIRE() { mu_.lock(); }
+  void Unlock() KOSR_RELEASE() { mu_.unlock(); }
+  bool TryLock() KOSR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  /// Tells the analysis this thread holds the mutex when that fact cannot
+  /// be proven locally (e.g. a callback invoked from a locked region).
+  void AssertHeld() const KOSR_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with a capability: exclusive for writers, shared for
+/// readers. Prefer the scoped WriterMutexLock / ReaderMutexLock.
+class KOSR_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() KOSR_ACQUIRE() { mu_.lock(); }
+  void Unlock() KOSR_RELEASE() { mu_.unlock(); }
+  void LockShared() KOSR_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() KOSR_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void AssertHeld() const KOSR_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const KOSR_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex (std::lock_guard replacement).
+class KOSR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KOSR_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() KOSR_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock on a SharedMutex (std::unique_lock replacement).
+class KOSR_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) KOSR_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() KOSR_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex (std::shared_lock
+/// replacement).
+class KOSR_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) KOSR_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() KOSR_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to Mutex. There is deliberately no
+/// predicate-lambda Wait: the analysis cannot see through a lambda's
+/// capture, so call sites write the classic explicit loop —
+///
+///   MutexLock lock(mu_);
+///   while (!predicate) cv_.Wait(mu_);
+///
+/// — which keeps every guarded read inside the annotated function scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning (so the capability is held continuously from the analysis'
+  /// point of view, matching std::condition_variable::wait semantics).
+  void Wait(Mutex& mu) KOSR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    cv_.wait(inner);
+    // The lock is held again; hand ownership back to the caller's scope
+    // instead of unlocking on destruction.
+    inner.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_UTIL_SYNC_H_

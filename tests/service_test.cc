@@ -297,7 +297,7 @@ TEST(ServiceTest, ConcurrentQueriesDuringEdgeUpdatesAreSafe) {
     request.query.source = pick(rng);
     request.query.target = pick(rng);
     request.query.sequence =
-        RandomCategorySequence(service.engine().categories(), 2, rng);
+        RandomCategorySequence(inst.categories, 2, rng);
     request.query.k = 2;
     request.options.reconstruct_paths = true;
     ServiceResponse response = service.Submit(request);
