@@ -18,10 +18,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <random>
@@ -41,19 +43,44 @@
 
 namespace kosr::bench {
 
+// Env knobs parse with strtoul/strtod rather than atoi/atof (cert-err34-c:
+// the ato* family has no error reporting and undefined behavior on
+// out-of-range input); a value that does not parse falls back to the
+// default instead of silently becoming 0.
+
+inline uint32_t EnvOrDefault(const char* name, uint32_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long value = std::strtoul(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' ||
+      value > std::numeric_limits<uint32_t>::max()) {
+    return fallback;
+  }
+  return static_cast<uint32_t>(value);
+}
+
+inline double EnvOrDefault(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(env, &end);
+  if (errno != 0 || end == env || *end != '\0') return fallback;
+  return value;
+}
+
 inline uint32_t QueriesPerPoint() {
-  const char* env = std::getenv("KOSR_BENCH_QUERIES");
-  return env != nullptr ? static_cast<uint32_t>(std::atoi(env)) : 20;
+  return EnvOrDefault("KOSR_BENCH_QUERIES", uint32_t{20});
 }
 
 inline double PerQueryBudgetSeconds() {
-  const char* env = std::getenv("KOSR_BENCH_BUDGET_S");
-  return env != nullptr ? std::atof(env) : 3.0;
+  return EnvOrDefault("KOSR_BENCH_BUDGET_S", 3.0);
 }
 
 inline double WorkloadScale() {
-  const char* env = std::getenv("KOSR_BENCH_SCALE");
-  return env != nullptr ? std::atof(env) : 1.0;
+  return EnvOrDefault("KOSR_BENCH_SCALE", 1.0);
 }
 
 /// Machine + knob block for BENCH_*.json `meta` sections. Every bench
