@@ -47,8 +47,9 @@ Graph MakeGridRoadNetwork(uint32_t rows, uint32_t cols, uint64_t seed,
   std::uniform_int_distribution<Weight> w(min_weight, max_weight);
   auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
 
+  uint64_t num_chords = static_cast<uint64_t>(highway_fraction * n);
   std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
-  edges.reserve(static_cast<size_t>(n) * 4);
+  edges.reserve(static_cast<size_t>(n) * 4 + 2 * num_chords);
   for (uint32_t r = 0; r < rows; ++r) {
     for (uint32_t c = 0; c < cols; ++c) {
       VertexId u = id(r, c);
@@ -66,7 +67,6 @@ Graph MakeGridRoadNetwork(uint32_t rows, uint32_t cols, uint64_t seed,
   // Highway chords: long-range shortcuts whose weight is *less* than the sum
   // of grid hops they replace, further violating the triangle inequality in
   // interesting ways (fast ring-roads).
-  uint64_t num_chords = static_cast<uint64_t>(highway_fraction * n);
   std::uniform_int_distribution<uint32_t> pick(0, n - 1);
   for (uint64_t i = 0; i < num_chords; ++i) {
     VertexId u = pick(rng), v = pick(rng);
@@ -83,7 +83,11 @@ Graph MakeSmallWorld(uint32_t num_vertices, uint32_t ring_degree,
                      double chords_per_vertex, uint64_t seed) {
   if (num_vertices < 3) throw std::invalid_argument("graph too small");
   std::mt19937_64 rng(seed);
+  uint64_t num_chords =
+      static_cast<uint64_t>(chords_per_vertex * num_vertices);
   std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+  edges.reserve(2 * static_cast<size_t>(num_vertices) * ring_degree +
+                2 * num_chords);
   for (VertexId u = 0; u < num_vertices; ++u) {
     for (uint32_t k = 1; k <= ring_degree; ++k) {
       VertexId v = (u + k) % num_vertices;
@@ -91,8 +95,6 @@ Graph MakeSmallWorld(uint32_t num_vertices, uint32_t ring_degree,
       edges.emplace_back(v, u, 1);
     }
   }
-  uint64_t num_chords =
-      static_cast<uint64_t>(chords_per_vertex * num_vertices);
   std::uniform_int_distribution<uint32_t> pick(0, num_vertices - 1);
   for (uint64_t i = 0; i < num_chords; ++i) {
     VertexId u = pick(rng), v = pick(rng);
