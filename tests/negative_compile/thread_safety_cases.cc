@@ -1,0 +1,85 @@
+// Negative-compile cases for the thread-safety annotations in
+// src/util/sync.h. Each KOSR_NC_CASE_* macro selects one snippet that MUST
+// fail to compile under `clang -fsyntax-only -Wthread-safety -Werror`; the
+// CTest entries in tests/CMakeLists.txt compile this file once per case
+// with WILL_FAIL TRUE, so a wrapper regression that silently disables the
+// analysis (e.g. a macro expanding to nothing under clang) turns these
+// tests red. KOSR_NC_CASE_CONTROL is the positive control: correctly
+// locked code that must compile *clean* — it fails instead if the wrapper
+// annotations themselves are malformed.
+//
+// Exactly one KOSR_NC_CASE_* macro is defined per compile; the file is
+// never linked, only parsed.
+
+#include "src/util/sync.h"
+
+namespace kosr::negative_compile {
+
+class Counter {
+ public:
+  // Correct usage: scoped lock covers the guarded field.
+  void Increment() KOSR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // Declares the caller-holds-lock contract checked by CASE_MISSING_REQUIRES.
+  void IncrementLocked() KOSR_REQUIRES(mutex_) { ++value_; }
+
+#if defined(KOSR_NC_CASE_UNGUARDED_ACCESS)
+  // Touches a GUARDED_BY field with no lock held: -Wthread-safety must
+  // reject ("writing variable 'value_' requires holding mutex 'mutex_'").
+  void IncrementUnguarded() { ++value_; }
+#endif
+
+#if defined(KOSR_NC_CASE_MISSING_REQUIRES)
+  // Calls a REQUIRES(mutex_) method without holding it ("calling function
+  // 'IncrementLocked' requires holding mutex 'mutex_' exclusively").
+  void CallWithoutLock() { IncrementLocked(); }
+#endif
+
+#if defined(KOSR_NC_CASE_DOUBLE_ACQUIRE)
+  // Acquires the same mutex twice in one scope ("acquiring mutex 'mutex_'
+  // that is already held"). Mutex is non-reentrant; this would deadlock at
+  // runtime, so it must not compile.
+  void DoubleAcquire() KOSR_EXCLUDES(mutex_) {
+    MutexLock outer(mutex_);
+    MutexLock inner(mutex_);
+    ++value_;
+  }
+#endif
+
+#if defined(KOSR_NC_CASE_CONTROL)
+  // Positive control: exercises every wrapper the production code uses
+  // (exclusive, shared, condvar wait loop) with correct locking. This
+  // compile must SUCCEED under -Wthread-safety -Werror; a failure here
+  // means the wrappers in sync.h are themselves broken, which would also
+  // invalidate the negative cases above.
+  void WaitForPositive() KOSR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (value_ <= 0) cv_.Wait(mutex_);
+  }
+
+  int Read() const KOSR_EXCLUDES(shared_mutex_) {
+    ReaderMutexLock lock(shared_mutex_);
+    return shared_value_;
+  }
+
+  void Write(int v) KOSR_EXCLUDES(shared_mutex_) {
+    WriterMutexLock lock(shared_mutex_);
+    shared_value_ = v;
+  }
+
+  void Notify() { cv_.NotifyAll(); }
+#endif
+
+ private:
+  mutable Mutex mutex_;
+  CondVar cv_;
+  int value_ KOSR_GUARDED_BY(mutex_) = 0;
+
+  mutable SharedMutex shared_mutex_;
+  int shared_value_ KOSR_GUARDED_BY(shared_mutex_) = 0;
+};
+
+}  // namespace kosr::negative_compile
