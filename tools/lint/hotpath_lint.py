@@ -1,0 +1,335 @@
+#!/usr/bin/env python3
+"""Project lint: no allocation on the sealed KOSR query hot path.
+
+PR 4 sealed the query hot path (ISSUE 4): after index build, answering a
+query must not allocate — every growing container lives in the per-thread
+KosrScratch arena, and the label merge-join walks sentinel-terminated flat
+runs. That invariant is what keeps tail latency flat under the service's
+worker pool, and nothing in the type system defends it: one innocent
+`std::vector<...> tmp;` inside a cursor would silently reintroduce a malloc
+per NN step. This checker makes the invariant a build failure.
+
+What it checks, per (file, function) target in hotpath_lint.json:
+
+  * no `new` expressions and no malloc-family calls;
+  * no construction of growing standard containers (vector, deque, string,
+    map/set families, list, function, stringstream family) — declaring an
+    object or materializing a temporary is flagged; references, pointers,
+    and type-position mentions (template arguments, parameter types of
+    local lambdas) are not, since they don't allocate.
+
+Member-container *growth* (e.g. `found_.push_back(...)` on a KosrScratch
+member) is deliberately allowed: the arena's amortized growth is the design
+— the ban is on creating fresh containers per query. Constructing a
+KosrScratch itself is likewise fine (it is the arena).
+
+A finding can be waived inline with a reasoned suppression on its line:
+
+    std::vector<int> once;  // hotpath-lint: allow(built once at setup)
+
+The reason is mandatory; a bare `hotpath-lint: allow` does not suppress.
+
+The checker also enforces the annotation-escape ban from src/util/sync.h:
+KOSR_NO_THREAD_SAFETY_ANALYSIS must not appear anywhere in src/service/ or
+src/util/parallel.h (the thread-safety analysis gate is only meaningful if
+nothing opts out).
+
+Targets that no longer resolve (file missing, function renamed) are hard
+errors, so the config cannot silently rot.
+
+Usage:
+  hotpath_lint.py [--root REPO_ROOT] [--config CONFIG_JSON]
+  hotpath_lint.py --self-test   # verify the checker itself catches/allows
+
+Exit code 0 = clean, 1 = findings (or self-test failure), 2 = bad config.
+Pure standard library; runs anywhere Python 3.8+ exists.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+# Growing standard containers whose construction allocates (or will on
+# first use). Fixed-size std::array and views (span, string_view) are
+# absent on purpose: they never allocate.
+GROWING_CONTAINERS = (
+    "vector|deque|list|forward_list|string|basic_string|"
+    "map|multimap|unordered_map|unordered_multimap|"
+    "set|multiset|unordered_set|unordered_multiset|"
+    "function|stringstream|ostringstream|istringstream"
+)
+
+CONTAINER_RE = re.compile(r"\bstd\s*::\s*(" + GROWING_CONTAINERS + r")\b")
+NEW_RE = re.compile(r"\bnew\b")
+MALLOC_RE = re.compile(
+    r"\b(malloc|calloc|realloc|strdup|strndup|aligned_alloc|posix_memalign)"
+    r"\s*\("
+)
+SUPPRESS_RE = re.compile(r"hotpath-lint:\s*allow\(([^)]+)\)")
+ESCAPE_MACRO = "KOSR_NO_THREAD_SAFETY_ANALYSIS"
+# Paths where the escape hatch is banned outright (sync.h documents this).
+ESCAPE_BAN_PATHS = ("src/service/", "src/util/parallel.h")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving newlines and
+    column positions so findings report real locations. Returns (stripped,
+    suppressed) where suppressed maps 1-based line -> suppression reason."""
+    suppressed = {}
+    out = list(text)
+    i, n = 0, len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            m = SUPPRESS_RE.search(text[i:j])
+            if m:
+                suppressed[line] = m.group(1).strip()
+            for k in range(i, j):
+                out[k] = " "
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            m = SUPPRESS_RE.search(text[i : j + 2])
+            if m:
+                suppressed[line] = m.group(1).strip()
+            for k in range(i, j + 2):
+                if out[k] != "\n":
+                    out[k] = " "
+            line += text.count("\n", i, j + 2)
+            i = j + 2
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            for k in range(i + 1, min(j, n)):
+                if out[k] != "\n":
+                    out[k] = " "
+            line += text.count("\n", i, min(j + 1, n))
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out), suppressed
+
+
+def match_balanced(text, start, open_ch, close_ch):
+    """Index just past the token balancing text[start] (an open_ch)."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def skip_ws(text, i):
+    while i < len(text) and text[i].isspace():
+        i += 1
+    return i
+
+
+def find_function_bodies(stripped, name):
+    """Yield (start, end) character spans of every *definition* of `name`
+    in comment/string-stripped source. A definition is `name ( params )`
+    followed — possibly after const/noexcept/attribute-macro/trailing-return
+    tokens — by `{`; anything else (declaration `;`, plain call in an
+    expression) is skipped."""
+    for m in re.finditer(r"\b" + re.escape(name) + r"\s*\(", stripped):
+        paren_open = stripped.index("(", m.start())
+        after_params = match_balanced(stripped, paren_open, "(", ")")
+        i = skip_ws(stripped, after_params)
+        # Tolerate the tokens C++ allows between the parameter list and the
+        # body: const, noexcept(...), override/final, KOSR_* annotation
+        # macros with arguments, and a trailing return type.
+        while i < len(stripped):
+            if stripped.startswith("->", i):
+                i += 2
+                continue
+            word = re.match(r"[A-Za-z_][A-Za-z0-9_:<>,&*\s]*", stripped[i:])
+            if stripped[i] == "(":
+                i = match_balanced(stripped, i, "(", ")")
+                continue
+            if word and stripped[i] not in "{;":
+                i += word.end()
+                i = skip_ws(stripped, i)
+                continue
+            break
+        if i < len(stripped) and stripped[i] == "{":
+            yield i, match_balanced(stripped, i, "{", "}")
+
+
+def container_is_object(stripped, match_end):
+    """True when the std::container mention at match_end declares an object
+    or materializes a temporary (allocating uses); False for reference /
+    pointer declarations and pure type-position mentions."""
+    i = skip_ws(stripped, match_end)
+    if i < len(stripped) and stripped[i] == "<":
+        i = skip_ws(stripped, match_balanced(stripped, i, "<", ">"))
+    if i >= len(stripped):
+        return False
+    c = stripped[i]
+    if c in "&*":  # reference/pointer: no allocation
+        return False
+    if stripped.startswith("::", i):  # static member, e.g. string::npos
+        return False
+    if c in ">,)":  # template argument / parameter-type position
+        return False
+    # `std::vector<int> name`, `std::string s`, or a temporary
+    # `std::string(...)` / `std::vector<int>{...}` — all construct.
+    return c == "(" or c == "{" or re.match(r"[A-Za-z_]", c) is not None
+
+
+def scan_body(stripped, start, end, path, func, suppressed, findings):
+    line_of = lambda pos: stripped.count("\n", 0, pos) + 1  # noqa: E731
+
+    def note(pos, what):
+        line = line_of(pos)
+        if line in suppressed:
+            return
+        text_line = stripped.splitlines()[line - 1].strip()
+        findings.append((path, line, func, what, text_line))
+
+    body = stripped[start:end]
+    for m in NEW_RE.finditer(body):
+        note(start + m.start(), "operator new on the sealed hot path")
+    for m in MALLOC_RE.finditer(body):
+        note(start + m.start(),
+             f"{m.group(1)}() on the sealed hot path")
+    for m in CONTAINER_RE.finditer(body):
+        if container_is_object(stripped, start + m.end()):
+            note(start + m.start(),
+                 f"constructs std::{m.group(1)} on the sealed hot path "
+                 "(move it into KosrScratch)")
+
+
+def check_targets(root, config, findings, errors):
+    for target in config["targets"]:
+        path = root / target["file"]
+        if not path.is_file():
+            errors.append(f"config target missing on disk: {target['file']}")
+            continue
+        stripped, suppressed = strip_comments_and_strings(
+            path.read_text(encoding="utf-8"))
+        for func in target["functions"]:
+            spans = list(find_function_bodies(stripped, func))
+            if not spans:
+                errors.append(
+                    f"{target['file']}: no definition of '{func}' found "
+                    "(renamed or moved? update tools/lint/hotpath_lint.json)")
+            for start, end in spans:
+                scan_body(stripped, start, end, target["file"], func,
+                          suppressed, findings)
+
+
+def check_escapes(root, findings):
+    """The sync.h escape macro is banned in the annotated core."""
+    paths = []
+    for entry in ESCAPE_BAN_PATHS:
+        p = root / entry
+        if p.is_dir():
+            paths.extend(sorted(p.rglob("*.h")) + sorted(p.rglob("*.cc")))
+        elif p.is_file():
+            paths.append(p)
+    for p in paths:
+        stripped, _ = strip_comments_and_strings(
+            p.read_text(encoding="utf-8"))
+        for i, line in enumerate(stripped.splitlines(), 1):
+            if ESCAPE_MACRO in line:
+                findings.append(
+                    (str(p.relative_to(root)), i, "-",
+                     f"{ESCAPE_MACRO} is banned here: annotate properly "
+                     "instead of opting out of the analysis", line.strip()))
+
+
+def run(root, config_path):
+    try:
+        config = json.loads(config_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"hotpath-lint: cannot read config {config_path}: {e}",
+              file=sys.stderr)
+        return 2
+    findings, errors = [], []
+    check_targets(root, config, findings, errors)
+    check_escapes(root, findings)
+    for e in errors:
+        print(f"hotpath-lint: config error: {e}", file=sys.stderr)
+    for path, line, func, what, text in findings:
+        print(f"{path}:{line}: [{func}] {what}\n    {text}", file=sys.stderr)
+    if errors:
+        return 2
+    if findings:
+        print(f"hotpath-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def self_test(root):
+    """Prove the checker catches what it must and allows what it should,
+    using the seeded-violation fixture. This is the 'does the gate actually
+    close' test: if the fixture's intentional violations stop being
+    reported, CI fails here rather than silently passing bad code later."""
+    fixture = root / "tools/lint/testdata/hotpath_violation_fixture.cc"
+    stripped, suppressed = strip_comments_and_strings(
+        fixture.read_text(encoding="utf-8"))
+    findings = []
+    for func in ("SealedMergeJoin", "SealedCursorStep"):
+        spans = list(find_function_bodies(stripped, func))
+        if not spans:
+            print(f"self-test: fixture function {func} not found",
+                  file=sys.stderr)
+            return 1
+        for start, end in spans:
+            scan_body(stripped, start, end, fixture.name, func, suppressed,
+                      findings)
+    kinds = sorted(what for _, _, _, what, _ in findings)
+    expected_bits = ["constructs std::string", "constructs std::vector",
+                     "malloc() on", "operator new"]
+    missing = [bit for bit in expected_bits
+               if not any(bit in k for k in kinds)]
+    # The fixture's suppressed line and its reference/pointer/KosrScratch
+    # lines must NOT be reported: exactly the expected four findings.
+    if missing or len(findings) != len(expected_bits):
+        print("self-test FAILED:", file=sys.stderr)
+        print(f"  expected exactly {len(expected_bits)} findings "
+              f"({expected_bits}), got {len(findings)}:", file=sys.stderr)
+        for f in findings:
+            print(f"    {f}", file=sys.stderr)
+        if missing:
+            print(f"  missing: {missing}", file=sys.stderr)
+        return 1
+    print("self-test passed: fixture violations caught, allowed uses clean")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2],
+                    help="repository root (default: two dirs up)")
+    ap.add_argument("--config", type=pathlib.Path, default=None,
+                    help="targets JSON (default: hotpath_lint.json beside "
+                         "this script)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="check the checker against the seeded fixture")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test(args.root)
+    config = args.config or pathlib.Path(__file__).with_name(
+        "hotpath_lint.json")
+    return run(args.root, config)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

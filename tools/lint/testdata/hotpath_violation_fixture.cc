@@ -1,0 +1,54 @@
+// Seeded-violation fixture for hotpath_lint.py --self-test. NOT compiled,
+// NOT part of the build: this file exists so CI can prove the allocation
+// lint actually rejects what it claims to reject. The self-test requires
+// the checker to report EXACTLY the four violations marked below and none
+// of the allowed uses — if a checker regression stops catching one (or
+// starts flagging the legal patterns), the lint test itself turns red.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace kosr::lint_fixture {
+
+struct KosrScratch {
+  std::vector<int> found;  // arena member: growth is the design
+};
+
+// A declaration only: must not confuse the function finder.
+int SealedMergeJoin(const std::vector<int>& runs, KosrScratch& scratch);
+
+int SealedMergeJoin(const std::vector<int>& runs, KosrScratch& scratch) {
+  // Allowed: reference binding, pointer, member growth, arena construction.
+  const std::vector<int>& view = runs;
+  const std::vector<int>* ptr = &runs;
+  scratch.found.push_back(static_cast<int>(view.size() + (ptr != nullptr)));
+  KosrScratch local;
+
+  // VIOLATION 1: fresh container per call.
+  std::vector<int> merged;
+  merged.push_back(1);
+
+  // VIOLATION 2: operator new.
+  int* leak = new int(42);
+  int result = *leak + merged.front() + static_cast<int>(local.found.size());
+  delete leak;
+  return result;
+}
+
+int SealedCursorStep(int x) {
+  // VIOLATION 3: allocating temporary.
+  int len = static_cast<int>(std::string("step").size());
+
+  // VIOLATION 4: malloc on the hot path.
+  void* raw = std::malloc(16);
+  std::free(raw);
+
+  // Allowed: reasoned suppression (e.g. one-time setup path).
+  std::vector<int> setup;  // hotpath-lint: allow(cold setup branch, runs once)
+  setup.push_back(x);
+
+  return len + setup.front();
+}
+
+}  // namespace kosr::lint_fixture
