@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/obs/counters.h"
 #include "src/util/stats.h"
 #include "src/util/timer.h"
 
@@ -74,6 +75,9 @@ struct ScenarioResult {
   uint64_t label_vectors_changed = 0;
   uint32_t empty_repairs = 0;  ///< Updates whose repair was certified empty.
   uint32_t applied = 0;
+  /// Engine counter delta across the scenario (repair tightness tests,
+  /// phase-3 re-searches, relaxations) — the work behind the latencies.
+  obs::EngineCounters counters;
 };
 
 ScenarioResult RunScenario(KosrEngine& engine, const char* name,
@@ -82,6 +86,7 @@ ScenarioResult RunScenario(KosrEngine& engine, const char* name,
                                KosrEngine&, VertexId, VertexId, Weight)>& op) {
   ScenarioResult result;
   result.name = name;
+  const obs::EngineCounters before = obs::TlsCounters();
   // One edge-list materialization per scenario; picks are consumed (and
   // entries the scenario itself staled are discarded on contact), so each
   // scenario updates distinct arcs and the pool drains instead of looping.
@@ -109,6 +114,7 @@ ScenarioResult RunScenario(KosrEngine& engine, const char* name,
     if (!summary.labels_changed) ++result.empty_repairs;
     ++result.applied;
   }
+  result.counters = obs::Diff(obs::TlsCounters(), before);
   return result;
 }
 
@@ -156,6 +162,7 @@ int Run(int argc, char** argv) {
   {
     ScenarioResult reinsert;
     reinsert.name = "reinsert";
+    const obs::EngineCounters before = obs::TlsCounters();
     for (auto [u, v, w] : removed) {
       WallTimer timer;
       EdgeUpdateSummary summary = engine.AddOrDecreaseEdge(u, v, w);
@@ -165,6 +172,7 @@ int Run(int argc, char** argv) {
       if (!summary.labels_changed) ++reinsert.empty_repairs;
       ++reinsert.applied;
     }
+    reinsert.counters = obs::Diff(obs::TlsCounters(), before);
     results.push_back(std::move(reinsert));
   }
 
@@ -181,7 +189,9 @@ int Run(int argc, char** argv) {
         "    {\"update\": \"%s\", \"updates\": %u, \"mean_ms\": %.4f, "
         "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
         "\"avg_label_vectors_repaired\": %.2f, \"empty_repair_fraction\": "
-        "%.3f, \"speedup_vs_rebuild\": %.1f}%s\n",
+        "%.3f, \"speedup_vs_rebuild\": %.1f, "
+        "\"repair_tightness_tests\": %llu, \"repair_researches\": %llu, "
+        "\"pruned_relaxations\": %llu}%s\n",
         r.name.c_str(), r.applied, mean_ms, r.latency.P50Millis(),
         r.latency.P95Millis(), r.latency.P99Millis(),
         r.applied == 0
@@ -190,6 +200,12 @@ int Run(int argc, char** argv) {
         r.applied == 0 ? 0.0
                        : static_cast<double>(r.empty_repairs) / r.applied,
         mean_ms == 0 ? 0.0 : rebuild_s * 1e3 / mean_ms,
+        static_cast<unsigned long long>(
+            r.counters.Get(obs::Counter::kRepairTightnessTests)),
+        static_cast<unsigned long long>(
+            r.counters.Get(obs::Counter::kRepairResearches)),
+        static_cast<unsigned long long>(
+            r.counters.Get(obs::Counter::kPrunedRelaxations)),
         i + 1 < results.size() ? "," : "");
   }
   std::printf("  ]\n}\n");

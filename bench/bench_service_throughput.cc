@@ -117,6 +117,9 @@ struct PhaseReport {
   uint64_t rejected = 0;
   uint64_t errors = 0;
   uint64_t cache_hits = 0;
+  /// Deepest queue observed by the submitter (sampled at every submit, so
+  /// bursts between submissions can still slip past it).
+  size_t peak_queue_depth = 0;
   std::map<std::string, LatencyHistogram> per_method;
 
   std::string ToJson() const {
@@ -127,7 +130,8 @@ struct PhaseReport {
     os << "{\"wall_s\":" << wall_s << ",\"achieved_qps\":" << qps
        << ",\"completed\":" << completed << ",\"rejected\":" << rejected
        << ",\"errors\":" << errors << ",\"cache_hits\":" << cache_hits
-       << ",\"cache_hit_rate\":" << hit_rate << ",\"methods\":{";
+       << ",\"cache_hit_rate\":" << hit_rate
+       << ",\"peak_queue_depth\":" << peak_queue_depth << ",\"methods\":{";
     bool first = true;
     for (const auto& [name, histogram] : per_method) {
       if (!first) os << ",";
@@ -150,11 +154,13 @@ PhaseReport RunPhase(KosrService& service,
       std::chrono::duration<double>(1.0 / rate));
   WallTimer wall;
   Clock::time_point start = Clock::now();
+  PhaseReport report;
   for (size_t i = 0; i < stream.size(); ++i) {
     std::this_thread::sleep_until(start + period * i);
     futures.push_back(service.SubmitAsync(stream[i]));
+    report.peak_queue_depth =
+        std::max(report.peak_queue_depth, service.queue_depth());
   }
-  PhaseReport report;
   for (size_t i = 0; i < futures.size(); ++i) {
     ServiceResponse response = futures[i].get();
     switch (response.status) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <iomanip>
 #include <limits>
 #include <iostream>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
 #include "src/labeling/compressed_io.h"
+#include "src/obs/json_reader.h"
 #include "src/service/protocol.h"
 #include "src/service/service.h"
 #include "src/util/timer.h"
@@ -45,9 +47,16 @@ Commands:
                [--workers W] [--queue-capacity Q]
                [--cache-capacity C] [--cache-shards S]
                [--time-budget S (per-query seconds, default 30, 0=unlimited)]
+               [--slow-query-threshold S (retain traces of queries slower
+               than S seconds; 0=off, default)] [--slow-log-capacity N]
+               [--stage-sample-every N (engine-phase span sampling rate,
+               0=off, default 64)]
                then speaks the newline request/response protocol on
                stdin/stdout (QUERY/ADD_CAT/REMOVE_CAT/ADD_EDGE/SET_EDGE/
                REMOVE_EDGE/METRICS/PING/QUIT; see README.md for the grammar)
+  metrics      [--file metrics.json] pretty-prints a METRICS snapshot
+               (reads stdin when --file is absent; accepts either the raw
+               JSON or a full "OK METRICS {...}" response line)
   help         this text
 )";
 
@@ -262,12 +271,42 @@ int CmdServe(const Args& args, std::istream& in, std::ostream& out) {
         "--time-budget must be a finite number >= 0 (0 = unlimited), got " +
         budget_text);
   }
+  // Same strict-parse treatment for the slow-query threshold as for the
+  // time budget (both are untrusted doubles).
+  std::string slow_text = args.GetOr("slow-query-threshold", "0");
+  double slow_threshold = 0;
+  size_t slow_consumed = 0;
+  try {
+    slow_threshold = std::stod(slow_text, &slow_consumed);
+  } catch (const std::exception&) {
+    slow_consumed = 0;
+  }
+  if (slow_consumed != slow_text.size() || !std::isfinite(slow_threshold) ||
+      slow_threshold < 0) {
+    throw std::invalid_argument(
+        "--slow-query-threshold must be a finite number >= 0 (0 = off), "
+        "got " + slow_text);
+  }
+  long long slow_capacity = args.GetIntOr("slow-log-capacity", 32);
+  long long sample_every = args.GetIntOr("stage-sample-every", 64);
+  if (slow_capacity < 0) {
+    throw std::invalid_argument("--slow-log-capacity must be >= 0");
+  }
+  if (sample_every < 0 ||
+      sample_every > std::numeric_limits<uint32_t>::max()) {
+    throw std::invalid_argument(
+        "--stage-sample-every must be in [0, 2^32) (0 disables sampling)");
+  }
+
   service::ServiceConfig config;
   config.num_workers = static_cast<uint32_t>(workers);
   config.queue_capacity = static_cast<size_t>(queue_capacity);
   config.cache_capacity = static_cast<size_t>(cache_capacity);
   config.cache_shards = static_cast<size_t>(cache_shards);
   config.default_time_budget_s = time_budget;
+  config.slow_query_threshold_s = slow_threshold;
+  config.slow_log_capacity = static_cast<size_t>(slow_capacity);
+  config.stage_sample_every = static_cast<uint32_t>(sample_every);
 
   service::KosrService service(std::move(engine), config);
   out << "ready workers=" << service.num_workers()
@@ -382,6 +421,129 @@ int CmdQuery(const Args& args, std::ostream& out) {
   return 0;
 }
 
+// --- kosr_cli metrics ------------------------------------------------------
+
+// Number lookup with a default for optional members: old snapshots (or
+// hand-trimmed ones) simply print zeros instead of failing.
+double NumberOr(const obs::JsonValue& object, std::string_view key,
+                double fallback = 0) {
+  const obs::JsonValue* v = object.Find(key);
+  return v != nullptr && v->IsNumber() ? v->number : fallback;
+}
+
+// One histogram row: count plus the latency summary, aligned for scanning.
+void PrintHistogramRow(std::ostream& out, const std::string& name,
+                       const obs::JsonValue& h) {
+  out << "  " << std::left << std::setw(12) << name << std::right
+      << " count " << std::setw(10)
+      << static_cast<uint64_t>(NumberOr(h, "count"))
+      << "  mean " << std::setw(9) << NumberOr(h, "mean_ms")
+      << " ms  p50 " << std::setw(9) << NumberOr(h, "p50_ms")
+      << " ms  p95 " << std::setw(9) << NumberOr(h, "p95_ms")
+      << " ms  p99 " << std::setw(9) << NumberOr(h, "p99_ms") << " ms\n";
+}
+
+int CmdMetrics(const Args& args, std::istream& in, std::ostream& out) {
+  std::string text;
+  if (auto file = args.Get("file")) {
+    std::ifstream f(*file);
+    if (!f) throw std::runtime_error("cannot open " + *file);
+    std::ostringstream buffer;
+    buffer << f.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  // Accept either the raw snapshot or a full protocol response line
+  // ("OK METRICS {...}"): parse from the first '{' to the last '}'.
+  size_t open = text.find('{');
+  size_t close = text.rfind('}');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    throw std::invalid_argument(
+        "no JSON object in input (expected a METRICS snapshot)");
+  }
+  obs::JsonValue doc = obs::ParseJson(text.substr(open, close - open + 1));
+
+  out << "uptime " << NumberOr(doc, "uptime_s") << " s, "
+      << NumberOr(doc, "qps") << " qps\n";
+  out << "requests: submitted "
+      << static_cast<uint64_t>(NumberOr(doc, "submitted")) << ", completed "
+      << static_cast<uint64_t>(NumberOr(doc, "completed")) << ", rejected "
+      << static_cast<uint64_t>(NumberOr(doc, "rejected")) << ", errors "
+      << static_cast<uint64_t>(NumberOr(doc, "errors")) << "\n";
+  if (const obs::JsonValue* gauges = doc.Find("gauges")) {
+    out << "gauges: queue_depth "
+        << static_cast<uint64_t>(NumberOr(*gauges, "queue_depth"))
+        << ", in_flight "
+        << static_cast<uint64_t>(NumberOr(*gauges, "in_flight")) << "\n";
+  }
+  if (const obs::JsonValue* cache = doc.Find("cache")) {
+    out << "cache: hits " << static_cast<uint64_t>(NumberOr(*cache, "hits"))
+        << ", misses " << static_cast<uint64_t>(NumberOr(*cache, "misses"))
+        << ", hit_rate " << NumberOr(*cache, "hit_rate") * 100 << "%"
+        << ", evictions "
+        << static_cast<uint64_t>(NumberOr(*cache, "evictions"))
+        << ", invalidations "
+        << static_cast<uint64_t>(NumberOr(*cache, "invalidations")) << "\n";
+  }
+  if (const obs::JsonValue* methods = doc.Find("methods");
+      methods != nullptr && !methods->members.empty()) {
+    out << "methods:\n";
+    for (const auto& [name, h] : methods->members) {
+      PrintHistogramRow(out, name, h);
+    }
+  }
+  if (const obs::JsonValue* stages = doc.Find("stages");
+      stages != nullptr && !stages->members.empty()) {
+    out << "stages:\n";
+    for (const auto& [name, h] : stages->members) {
+      // Idle stages (count 0) are noise in a human-facing table.
+      if (NumberOr(h, "count") == 0) continue;
+      PrintHistogramRow(out, name, h);
+    }
+  }
+  if (const obs::JsonValue* counters = doc.Find("counters");
+      counters != nullptr && !counters->members.empty()) {
+    out << "engine counters:\n";
+    for (const auto& [name, v] : counters->members) {
+      out << "  " << std::left << std::setw(24) << name << std::right
+          << std::setw(16)
+          << static_cast<uint64_t>(v.IsNumber() ? v.number : 0) << "\n";
+    }
+  }
+  if (const obs::JsonValue* slow = doc.Find("slow_queries");
+      slow != nullptr && !slow->items.empty()) {
+    out << "slow queries (" << slow->items.size() << ", oldest first):\n";
+    for (const obs::JsonValue& entry : slow->items) {
+      const obs::JsonValue* method = entry.Find("method");
+      out << "  " << (method != nullptr ? method->string : "?") << " "
+          << static_cast<uint64_t>(NumberOr(entry, "source")) << "->"
+          << static_cast<uint64_t>(NumberOr(entry, "target")) << " k="
+          << static_cast<uint64_t>(NumberOr(entry, "k")) << " len="
+          << static_cast<uint64_t>(NumberOr(entry, "sequence_length"))
+          << " " << NumberOr(entry, "latency_ms") << " ms";
+      if (NumberOr(entry, "cache_hit") != 0) out << " cached";
+      if (NumberOr(entry, "timed_out") != 0) out << " truncated";
+      if (const obs::JsonValue* spans = entry.Find("stages");
+          spans != nullptr && !spans->members.empty()) {
+        out << " [";
+        bool first = true;
+        for (const auto& [name, v] : spans->members) {
+          if (!first) out << ", ";
+          first = false;
+          out << name << " " << (v.IsNumber() ? v.number : 0);
+        }
+        out << "]";
+      }
+      out << "\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::optional<std::string> Args::Get(const std::string& key) const {
@@ -460,6 +622,7 @@ int RunCli(const std::vector<std::string>& argv, std::istream& in,
     if (args.command == "build-index") return CmdBuildIndex(args, out);
     if (args.command == "query") return CmdQuery(args, out);
     if (args.command == "serve") return CmdServe(args, in, out);
+    if (args.command == "metrics") return CmdMetrics(args, in, out);
     out << "error: unknown command '" << args.command << "'\n" << kUsage;
     return 1;
   } catch (const std::invalid_argument& e) {

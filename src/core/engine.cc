@@ -11,6 +11,7 @@
 #include "src/nn/dijkstra_nn.h"
 #include "src/nn/find_nen.h"
 #include "src/nn/find_nn.h"
+#include "src/obs/counters.h"
 #include "src/util/parallel.h"
 #include "src/util/timer.h"
 
@@ -149,6 +150,11 @@ KosrResult KosrEngine::Query(const KosrQuery& query,
   KosrResult result =
       RunQueryWithIndexes(graph_, categories_, labeling_, slot_indexes, query,
                           options, ctx != nullptr ? &ctx->scratch : nullptr);
+  if (ctx != nullptr) {
+    // Arena high-water mark: the pool only grows across a context's
+    // lifetime, so its size after a query is the peak witness count so far.
+    KOSR_COUNT_MAX(kScratchPeakWitnesses, ctx->scratch.pool.size());
+  }
   if (options.reconstruct_paths) {
     for (SequencedRoute& route : result.routes) {
       route.path = ReconstructPath(route.witness);

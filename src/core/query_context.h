@@ -5,6 +5,7 @@
 
 #include "src/algo/query_scratch.h"
 #include "src/nn/inverted_label_index.h"
+#include "src/obs/trace.h"
 
 namespace kosr {
 
@@ -20,6 +21,10 @@ struct QueryContext {
   /// Per-sequence-slot inverted-index pointers (rebuilt cheaply per query,
   /// reusing the vector's capacity).
   std::vector<const InvertedLabelIndex*> slot_indexes;
+  /// Fixed-capacity per-query stage spans (queue-wait, lock-wait, NN,
+  /// enumerate, serialize), filled by the service wrapper — plain doubles,
+  /// no allocation after construction. Cleared at the start of each query.
+  obs::StageTimes stage_times;
 };
 
 }  // namespace kosr

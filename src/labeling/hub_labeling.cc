@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/obs/counters.h"
 #include "src/util/min_heap.h"
 #include "src/util/parallel.h"
 #include "src/util/timer.h"
@@ -385,6 +386,9 @@ void HubLabeling::PrunedSearch(
     }
   }
 
+  // Relaxations accumulate in a register and hit the thread-local slot once
+  // per search, after the heap drains.
+  uint64_t relaxations = 0;
   while (!heap.Empty()) {
     auto [d, x] = heap.ExtractMin();
     // Prune if hubs of strictly smaller rank already certify dis <= d.
@@ -407,6 +411,7 @@ void HubLabeling::PrunedSearch(
 
     auto arcs = forward ? graph.OutArcs(x) : graph.InArcs(x);
     for (const Arc& a : arcs) {
+      ++relaxations;
       Cost nd = d + a.weight;
       if (nd < dist[a.head]) {
         if (dist[a.head] == kInfCost) touched.push_back(a.head);
@@ -424,6 +429,8 @@ void HubLabeling::PrunedSearch(
       }
     }
   }
+
+  KOSR_COUNT(kPrunedRelaxations, relaxations);
 
   for (VertexId v : touched) {
     dist[v] = kInfCost;
@@ -474,11 +481,15 @@ inline void GallopIntersect(const LabelRun& small, const LabelRun& big,
                             Cost& best, uint32_t& best_rank) {
   const uint64_t* lo = big.key;
   const uint64_t* end = big.key + big.size;
+  // Probes accumulate in a register and hit the thread-local slot once per
+  // intersection, never inside the loop.
+  uint64_t probes = 0;
   for (uint32_t i = 0; i < small.size; ++i) {
     uint32_t r = small.RankAt(i);
     // First key with rank >= r (keys are rank-major packed).
     lo = std::lower_bound(lo, end, PackLabelKey(r, 0));
-    if (lo == end) return;
+    ++probes;
+    if (lo == end) break;
     if (static_cast<uint32_t>(*lo >> 32) == r) {
       Cost d = static_cast<Cost>(small.DistAt(i)) +
                static_cast<uint32_t>(*lo);
@@ -488,6 +499,7 @@ inline void GallopIntersect(const LabelRun& small, const LabelRun& big,
       }
     }
   }
+  KOSR_COUNT(kGallopProbes, probes);
 }
 
 }  // namespace
@@ -505,6 +517,7 @@ Cost HubLabeling::QueryGallop(const LabelRun& a, const LabelRun& b,
 
 std::optional<std::pair<Cost, uint32_t>> HubLabeling::QueryWithHub(
     VertexId s, VertexId t) const {
+  KOSR_COUNT(kLabelQueries, 1);
   LabelRun a = flat_out_.Run(s);
   LabelRun b = flat_in_.Run(t);
   Cost best = kInfCost;
@@ -662,6 +675,7 @@ LabelRepairDelta HubLabeling::RepairEdgeUpdate(const Graph& graph, VertexId u,
       }
     }
   }
+  KOSR_COUNT(kRepairTightnessTests, n);
   if (fwd_ranks.empty() && bwd_ranks.empty()) return {};
 
   // Phase 2 — drop every label entry owned by an affected hub. Entries can
@@ -695,6 +709,7 @@ LabelRepairDelta HubLabeling::RepairEdgeUpdate(const Graph& graph, VertexId u,
   // every prune runs against the canonical label prefix (smaller affected
   // ranks already repaired, unaffected ranks provably unchanged) and the
   // committed entries are byte-identical to a from-scratch build's.
+  KOSR_COUNT(kRepairResearches, fwd_ranks.size() + bwd_ranks.size());
   SearchContext ctx(n);
   size_t fi = 0, bi = 0;
   while (fi < fwd_ranks.size() || bi < bwd_ranks.size()) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/obs/counters.h"
 #include "src/util/types.h"
 
 namespace kosr {
@@ -363,7 +364,12 @@ inline Cost MergeLabelRuns(const LabelRun& a, const LabelRun& b,
   uint64_t ka = *ak;
   uint64_t kb = *bk;
   Cost best = kInfCost;
+  // Work accounting (ISSUE 7): iterations counted in a register, scanned
+  // entries recovered from the cursor positions — the thread-local flush
+  // happens once per merge, after the loop, never inside it.
+  uint64_t compares = 0;
   for (;;) {
+    ++compares;
     if ((ka ^ kb) < (uint64_t{1} << 32)) {  // same rank
       if (ka == kSentinelKey) break;
       Cost d = static_cast<Cost>(static_cast<uint32_t>(ka)) +
@@ -380,10 +386,15 @@ inline Cost MergeLabelRuns(const LabelRun& a, const LabelRun& b,
       kb = *++bk;
     }
   }
+  KOSR_COUNT(kMergeJoinCompares, compares);
+  KOSR_COUNT(kLabelEntriesScanned,
+             static_cast<uint64_t>(ak - a.key) +
+                 static_cast<uint64_t>(bk - b.key));
   return best;
 }
 
 inline Cost HubLabeling::Query(VertexId s, VertexId t) const {
+  KOSR_COUNT(kLabelQueries, 1);
   LabelRun a = flat_out_.Run(s);
   LabelRun b = flat_in_.Run(t);
   uint32_t unused_rank = 0;

@@ -1,5 +1,6 @@
 #include "src/nn/find_nen.h"
 
+#include "src/obs/counters.h"
 #include "src/util/timer.h"
 
 namespace kosr {
@@ -27,6 +28,7 @@ std::optional<NenResult> FindNenCursor::Get(uint32_t x, QueryStats* stats) {
     if (queue_.Empty()) return std::nullopt;
     NenResult top = queue_.Top();
     queue_.Pop();
+    KOSR_COUNT(kNnCursorPops, 1);
     // A minimum estimate of infinity means no remaining member reaches the
     // destination (the frontier is exhausted by construction here).
     if (top.est >= kInfCost) return std::nullopt;

@@ -1,5 +1,7 @@
 #include "src/nn/find_nn.h"
 
+#include "src/obs/counters.h"
+
 namespace kosr {
 
 FindNnCursor::FindNnCursor(const HubLabeling* labeling,
@@ -38,6 +40,7 @@ std::optional<NnResult> FindNnCursor::Get(uint32_t x, QueryStats* stats) {
     if (queue_.Empty()) return std::nullopt;
     Candidate top = queue_.Top();
     queue_.Pop();
+    KOSR_COUNT(kNnCursorPops, 1);
     VertexId member = index_->Entries(top.rank)[top.pos].member;
     // Keep this inverted list flowing regardless of whether the popped
     // candidate is fresh.

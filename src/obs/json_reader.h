@@ -1,0 +1,44 @@
+#ifndef KOSR_OBS_JSON_READER_H_
+#define KOSR_OBS_JSON_READER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kosr::obs {
+
+/// Minimal JSON document model for the observability surfaces: the
+/// `kosr_cli metrics` pretty-printer reads a METRICS snapshot through it,
+/// and the tests round-trip MetricsSnapshot::ToJson to prove the emitted
+/// JSON stays parseable. Deliberately tiny — strict RFC-8259 syntax, object
+/// keys kept in document order, no writer (emission stays with the
+/// hand-built ToJson methods, which this reader validates).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+  std::vector<JsonValue> items;                            ///< kArray
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+
+  /// First member with the given key, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+  /// Find() that throws std::runtime_error when the key is absent.
+  const JsonValue& At(std::string_view key) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). Throws std::runtime_error with an offset on malformed input.
+JsonValue ParseJson(std::string_view text);
+
+}  // namespace kosr::obs
+
+#endif  // KOSR_OBS_JSON_READER_H_

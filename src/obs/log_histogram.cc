@@ -1,0 +1,111 @@
+#include "src/obs/log_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace kosr::obs {
+
+size_t LogHistogram::BucketIndex(uint64_t ns) {
+  if (ns > kMaxTrackableNs) ns = kMaxTrackableNs;
+  if (ns < 2 * kSubBuckets) return static_cast<size_t>(ns);  // exact range
+  // Shift so the value lands in [kSubBuckets, 2*kSubBuckets): the exponent
+  // group, with the surviving low bits as the sub-bucket.
+  uint32_t exp = static_cast<uint32_t>(std::bit_width(ns)) -
+                 (kSubBucketBits + 1);
+  uint64_t sub = (ns >> exp) - kSubBuckets;
+  return static_cast<size_t>(kSubBuckets + exp * kSubBuckets + sub);
+}
+
+uint64_t LogHistogram::BucketLowerBoundNs(size_t index) {
+  if (index < 2 * kSubBuckets) return index;
+  uint32_t exp = static_cast<uint32_t>(index / kSubBuckets) - 1;
+  uint64_t sub = index % kSubBuckets;
+  return (kSubBuckets + sub) << exp;
+}
+
+uint64_t LogHistogram::BucketWidthNs(size_t index) {
+  if (index < 2 * kSubBuckets) return 1;
+  return 1ull << (static_cast<uint32_t>(index / kSubBuckets) - 1);
+}
+
+void LogHistogram::RecordNs(uint64_t ns) {
+  if (ns > kMaxTrackableNs) ns = kMaxTrackableNs;
+  if (buckets_.empty()) buckets_.resize(kNumBuckets, 0);
+  ++buckets_[BucketIndex(ns)];
+  min_ns_ = count_ == 0 ? ns : std::min(min_ns_, ns);
+  max_ns_ = count_ == 0 ? ns : std::max(max_ns_, ns);
+  ++count_;
+  sum_ns_ += static_cast<double>(ns);
+}
+
+void LogHistogram::Record(double seconds) {
+  if (!(seconds > 0)) {  // negatives and NaN clamp to zero
+    RecordNs(0);
+    return;
+  }
+  double ns = seconds * 1e9;
+  RecordNs(ns >= static_cast<double>(kMaxTrackableNs)
+               ? kMaxTrackableNs
+               : static_cast<uint64_t>(std::llround(ns)));
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.empty()) buckets_.resize(kNumBuckets, 0);
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  min_ns_ = count_ == 0 ? other.min_ns_ : std::min(min_ns_, other.min_ns_);
+  max_ns_ = count_ == 0 ? other.max_ns_ : std::max(max_ns_, other.max_ns_);
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+}
+
+void LogHistogram::Clear() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ns_ = 0;
+  min_ns_ = 0;
+  max_ns_ = 0;
+}
+
+double LogHistogram::MeanSeconds() const {
+  return count_ == 0 ? 0 : sum_ns_ / static_cast<double>(count_) * 1e-9;
+}
+
+double LogHistogram::MinSeconds() const {
+  return static_cast<double>(min_ns_) * 1e-9;
+}
+
+double LogHistogram::MaxSeconds() const {
+  return static_cast<double>(max_ns_) * 1e-9;
+}
+
+uint64_t LogHistogram::PercentileNs(double pct) const {
+  if (count_ == 0) return 0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(count_)));
+  rank = std::clamp<uint64_t>(rank, 1, count_);  // nearest-rank, 1-based
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      uint64_t mid = BucketLowerBoundNs(i) + (BucketWidthNs(i) - 1) / 2;
+      return std::clamp(mid, min_ns_, max_ns_);
+    }
+  }
+  return max_ns_;  // unreachable while count_ matches the buckets
+}
+
+std::string LogHistogram::SummaryJson() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count_ << ",\"mean_ms\":" << MeanSeconds() * 1e3
+     << ",\"p50_ms\":" << P50Millis() << ",\"p95_ms\":" << P95Millis()
+     << ",\"p99_ms\":" << P99Millis() << "}";
+  return os.str();
+}
+
+}  // namespace kosr::obs

@@ -1,0 +1,89 @@
+#ifndef KOSR_OBS_LOG_HISTOGRAM_H_
+#define KOSR_OBS_LOG_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kosr::obs {
+
+/// Exact mergeable latency histogram with fixed log-scale buckets
+/// (HdrHistogram-style), replacing the reservoir LatencyHistogram inside
+/// the service metrics registry: percentiles stay within a fixed relative
+/// error bound for *any* uptime instead of degrading into estimates once a
+/// reservoir fills.
+///
+/// Values are nanoseconds. Bucket layout:
+///   - ns < 256: one bucket per value (exact);
+///   - ns >= 256: each power-of-two range [2^(e+7), 2^(e+8)) splits into
+///     128 sub-buckets of width 2^e, so a bucket's width is at most 1/128
+///     of its lower bound. Percentiles report the bucket midpoint, bounding
+///     the relative error by 1/256 (~0.4%, comfortably under the 1% target).
+/// Values above kMaxTrackableNs (~73 minutes) clamp to the top bucket.
+///
+/// Record is O(1) (a bit-width and two shifts), Merge is an element-wise
+/// add of count arrays — per-thread or per-phase histograms fold together
+/// losslessly. count/min/max are exact; mean is exact up to double
+/// rounding. Not thread-safe: writers synchronize externally (the registry
+/// guards its instances with a mutex).
+class LogHistogram {
+ public:
+  static constexpr uint32_t kSubBucketBits = 7;           // 128 sub-buckets
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;
+  /// Exponent groups beyond the exact range; 2^42 ns ~ 73 minutes, far past
+  /// any per-request latency this service can produce (time budgets cap
+  /// queries at seconds).
+  static constexpr uint32_t kMaxExponent = 34;
+  static constexpr uint64_t kMaxTrackableNs =
+      (1ull << (kSubBucketBits + 1 + kMaxExponent)) - 1;
+  static constexpr size_t kNumBuckets =
+      2 * kSubBuckets + kMaxExponent * kSubBuckets;
+
+  /// Bucket index of a nanosecond value (clamped to kMaxTrackableNs).
+  static size_t BucketIndex(uint64_t ns);
+  /// Smallest nanosecond value mapping to `index`.
+  static uint64_t BucketLowerBoundNs(size_t index);
+  /// Width of bucket `index` in nanoseconds.
+  static uint64_t BucketWidthNs(size_t index);
+
+  void RecordNs(uint64_t ns);
+  /// Records a duration in seconds (negative values clamp to zero).
+  void Record(double seconds);
+  void Merge(const LogHistogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double MeanSeconds() const;
+  double MinSeconds() const;
+  double MaxSeconds() const;
+  /// Nearest-rank percentile, `pct` in [0, 100]; 0 when empty. Reports the
+  /// bucket midpoint clamped into [min, max] — exact for sub-256 ns values
+  /// and within 1/256 relative error beyond.
+  uint64_t PercentileNs(double pct) const;
+  double PercentileSeconds(double pct) const {
+    return static_cast<double>(PercentileNs(pct)) * 1e-9;
+  }
+
+  double P50Millis() const { return PercentileSeconds(50) * 1e3; }
+  double P95Millis() const { return PercentileSeconds(95) * 1e3; }
+  double P99Millis() const { return PercentileSeconds(99) * 1e3; }
+
+  /// Same shape as LatencyHistogram::SummaryJson, so every consumer of the
+  /// METRICS per-method objects keeps parsing:
+  /// {"count":8,"mean_ms":1.2,"p50_ms":1.0,"p95_ms":3.1,"p99_ms":3.4}
+  std::string SummaryJson() const;
+
+ private:
+  /// Lazily sized to kNumBuckets on first record: the registry holds one
+  /// histogram per method and stage, and idle ones stay empty.
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ns_ = 0;  ///< double: exact counts would overflow u64 sums.
+  uint64_t min_ns_ = 0;
+  uint64_t max_ns_ = 0;
+};
+
+}  // namespace kosr::obs
+
+#endif  // KOSR_OBS_LOG_HISTOGRAM_H_

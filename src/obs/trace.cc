@@ -1,0 +1,44 @@
+#include "src/obs/trace.h"
+
+#include <sstream>
+
+namespace kosr::obs {
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kLockWait:
+      return "lock_wait";
+    case Stage::kNn:
+      return "nn";
+    case Stage::kEnumerate:
+      return "enumerate";
+    case Stage::kSerialize:
+      return "serialize";
+  }
+  return "?";
+}
+
+std::string SlowQueryEntry::ToJson() const {
+  std::ostringstream os;
+  os << "{\"method\":\"" << method << "\",\"source\":" << source
+     << ",\"target\":" << target << ",\"k\":" << k
+     << ",\"sequence_length\":" << sequence_length
+     << ",\"latency_ms\":" << latency_s * 1e3
+     << ",\"cache_hit\":" << (cache_hit ? "true" : "false")
+     << ",\"timed_out\":" << (timed_out ? "true" : "false")
+     << ",\"stages\":{";
+  bool first = true;
+  for (size_t i = 0; i < kNumStages; ++i) {
+    Stage stage = static_cast<Stage>(i);
+    if (!stages.Recorded(stage)) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << StageName(stage) << "_ms\":" << stages.Get(stage) * 1e3;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace kosr::obs

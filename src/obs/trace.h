@@ -1,0 +1,66 @@
+#ifndef KOSR_OBS_TRACE_H_
+#define KOSR_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace kosr::obs {
+
+/// Stages of one request's life through the service, recorded as per-query
+/// spans and aggregated into per-stage LogHistograms in the registry.
+/// kQueueWait, kLockWait, and kSerialize cost two clock reads each and are
+/// recorded for every request; kNn and kEnumerate require the engine's
+/// per-phase timers and are recorded only for sampled queries
+/// (ServiceConfig::stage_sample_every).
+enum class Stage : uint32_t {
+  kQueueWait = 0,  ///< Enqueue -> dequeue by a worker.
+  kLockWait,       ///< Waiting on the shared engine lock.
+  kNn,             ///< NN/NEN probing inside the engine (sampled).
+  kEnumerate,      ///< Route enumeration = engine time minus NN (sampled).
+  kSerialize,      ///< Formatting the protocol response line.
+};
+inline constexpr size_t kNumStages = 5;
+
+/// Stable snake_case name for the JSON/METRICS surface.
+const char* StageName(Stage s);
+
+/// Fixed-capacity per-query span buffer: one duration slot per stage, no
+/// allocation, reused across queries (it lives in QueryContext beside the
+/// search scratch). A negative slot means the stage was not recorded for
+/// this query (e.g. unsampled engine phases, cache hits).
+struct StageTimes {
+  double seconds[kNumStages] = {-1, -1, -1, -1, -1};
+
+  void Clear() {
+    for (double& s : seconds) s = -1;
+  }
+  void Set(Stage stage, double value) {
+    seconds[static_cast<size_t>(stage)] = value;
+  }
+  double Get(Stage stage) const {
+    return seconds[static_cast<size_t>(stage)];
+  }
+  bool Recorded(Stage stage) const { return Get(stage) >= 0; }
+};
+
+/// One retained slow-query trace: the query descriptor plus its verbatim
+/// stage spans, kept in the registry's ring buffer when a completed
+/// request's end-to-end latency crosses the configured threshold.
+struct SlowQueryEntry {
+  std::string method;  ///< MethodName(algorithm, nn_mode).
+  uint32_t source = 0;
+  uint32_t target = 0;
+  uint32_t k = 0;
+  uint32_t sequence_length = 0;
+  double latency_s = 0;
+  bool cache_hit = false;
+  bool timed_out = false;
+  StageTimes stages;
+
+  std::string ToJson() const;
+};
+
+}  // namespace kosr::obs
+
+#endif  // KOSR_OBS_TRACE_H_

@@ -1,6 +1,7 @@
 #include "src/service/metrics.h"
 
 #include <sstream>
+#include <utility>
 
 namespace kosr::service {
 
@@ -21,7 +22,9 @@ std::string MetricsSnapshot::ToJson() const {
   std::ostringstream os;
   os << "{\"uptime_s\":" << uptime_s << ",\"submitted\":" << submitted
      << ",\"completed\":" << completed << ",\"rejected\":" << rejected
-     << ",\"errors\":" << errors << ",\"qps\":" << qps << ",\"cache\":{"
+     << ",\"errors\":" << errors << ",\"qps\":" << qps << ",\"gauges\":{"
+     << "\"queue_depth\":" << queue_depth << ",\"in_flight\":" << in_flight
+     << "},\"cache\":{"
      << "\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
      << ",\"insertions\":" << cache.insertions
      << ",\"evictions\":" << cache.evictions
@@ -33,7 +36,24 @@ std::string MetricsSnapshot::ToJson() const {
     first = false;
     os << "\"" << name << "\":" << histogram.SummaryJson();
   }
-  os << "}}";
+  os << "},\"stages\":{";
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << obs::StageName(static_cast<obs::Stage>(i))
+       << "\":" << stages[i].SummaryJson();
+  }
+  os << "},\"counters\":{";
+  for (size_t i = 0; i < obs::kNumCounters; ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << obs::CounterName(static_cast<obs::Counter>(i))
+       << "\":" << counters[i];
+  }
+  os << "},\"slow_queries\":[";
+  for (size_t i = 0; i < slow_queries.size(); ++i) {
+    if (i != 0) os << ",";
+    os << slow_queries[i].ToJson();
+  }
+  os << "]}";
   return os.str();
 }
 
@@ -41,16 +61,64 @@ void MetricsRegistry::RecordCompleted(Algorithm algorithm, NnMode nn_mode,
                                       double latency_seconds) {
   completed_.fetch_add(1, kRelaxed);
   MutexLock lock(histogram_mutex_);
-  per_method_
-      .try_emplace(MethodName(algorithm, nn_mode),
-                   LatencyHistogram(kMaxSamplesPerMethod))
-      .first->second.Record(latency_seconds);
+  per_method_[MethodName(algorithm, nn_mode)].Record(latency_seconds);
 }
 
-MetricsSnapshot MetricsRegistry::Snapshot(const CacheStats& cache) const {
+void MetricsRegistry::RecordStages(const obs::StageTimes& stages) {
+  MutexLock lock(histogram_mutex_);
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    obs::Stage stage = static_cast<obs::Stage>(i);
+    if (stages.Recorded(stage)) stages_[i].Record(stages.Get(stage));
+  }
+}
+
+void MetricsRegistry::RecordStage(obs::Stage stage, double seconds) {
+  MutexLock lock(histogram_mutex_);
+  stages_[static_cast<size_t>(stage)].Record(seconds);
+}
+
+void MetricsRegistry::AddEngineCounters(const obs::EngineCounters& delta) {
+  for (size_t i = 0; i < obs::kNumCounters; ++i) {
+    uint64_t v = delta.slots[i];
+    if (v == 0) continue;
+    std::atomic<uint64_t>& total = engine_counters_[i];
+    if (obs::IsMaxCounter(static_cast<obs::Counter>(i))) {
+      uint64_t cur = total.load(kRelaxed);
+      while (cur < v && !total.compare_exchange_weak(cur, v, kRelaxed)) {
+      }
+    } else {
+      total.fetch_add(v, kRelaxed);
+    }
+  }
+}
+
+void MetricsRegistry::RecordSlowQuery(obs::SlowQueryEntry entry) {
+  MutexLock lock(histogram_mutex_);
+  if (slow_capacity_ == 0) return;
+  if (slow_ring_.size() < slow_capacity_) {
+    slow_ring_.push_back(std::move(entry));
+  } else {
+    slow_ring_[slow_next_] = std::move(entry);
+    slow_next_ = (slow_next_ + 1) % slow_capacity_;
+  }
+}
+
+void MetricsRegistry::SetSlowLogCapacity(size_t capacity) {
+  MutexLock lock(histogram_mutex_);
+  slow_capacity_ = capacity;
+  slow_ring_.clear();
+  slow_ring_.reserve(capacity);
+  slow_next_ = 0;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(const CacheStats& cache,
+                                          uint32_t queue_depth,
+                                          uint32_t in_flight) const {
   MetricsSnapshot snap;
-  // The uptime clock is restarted by Reset() under the same mutex; read it
-  // inside the lock so a concurrent Metrics()/Reset() pair does not race.
+  // The uptime clock and the counters are reset under the same mutex; read
+  // everything inside the lock so a concurrent Metrics()/Reset() pair does
+  // not race (a snapshot straddling a reset would pair fresh counters with
+  // a stale clock and mis-report QPS).
   MutexLock lock(histogram_mutex_);
   snap.uptime_s = uptime_.ElapsedSeconds();
   snap.submitted = submitted_.load(kRelaxed);
@@ -58,18 +126,35 @@ MetricsSnapshot MetricsRegistry::Snapshot(const CacheStats& cache) const {
   snap.rejected = rejected_.load(kRelaxed);
   snap.errors = errors_.load(kRelaxed);
   snap.qps = snap.uptime_s > 0 ? snap.completed / snap.uptime_s : 0;
+  snap.queue_depth = queue_depth;
+  snap.in_flight = in_flight;
   snap.cache = cache;
   snap.per_method = per_method_;
+  snap.stages = stages_;
+  for (size_t i = 0; i < obs::kNumCounters; ++i) {
+    snap.counters[i] = engine_counters_[i].load(kRelaxed);
+  }
+  // Unroll the ring into chronological order: when full, slow_next_ points
+  // at the oldest retained entry.
+  snap.slow_queries.reserve(slow_ring_.size());
+  for (size_t i = 0; i < slow_ring_.size(); ++i) {
+    snap.slow_queries.push_back(
+        slow_ring_[(slow_next_ + i) % slow_ring_.size()]);
+  }
   return snap;
 }
 
 void MetricsRegistry::Reset() {
+  MutexLock lock(histogram_mutex_);
   submitted_.store(0, kRelaxed);
   completed_.store(0, kRelaxed);
   rejected_.store(0, kRelaxed);
   errors_.store(0, kRelaxed);
-  MutexLock lock(histogram_mutex_);
+  for (std::atomic<uint64_t>& c : engine_counters_) c.store(0, kRelaxed);
   per_method_.clear();
+  for (obs::LogHistogram& h : stages_) h.Clear();
+  slow_ring_.clear();
+  slow_next_ = 0;
   uptime_.Reset();
 }
 

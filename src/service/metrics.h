@@ -1,14 +1,18 @@
 #ifndef KOSR_SERVICE_METRICS_H_
 #define KOSR_SERVICE_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/core/query.h"
+#include "src/obs/counters.h"
+#include "src/obs/log_histogram.h"
+#include "src/obs/trace.h"
 #include "src/service/result_cache.h"
-#include "src/util/stats.h"
 #include "src/util/sync.h"
 #include "src/util/timer.h"
 
@@ -26,39 +30,75 @@ struct MetricsSnapshot {
   uint64_t rejected = 0;
   uint64_t errors = 0;
   double qps = 0;  ///< completed / uptime.
+  /// Queue/backpressure gauges, sampled by the service at snapshot time.
+  uint32_t queue_depth = 0;
+  uint32_t in_flight = 0;
   CacheStats cache;
   /// End-to-end (enqueue -> response) latency per method name. Cache hits
   /// are included: the service-level percentiles are what a client sees.
-  std::map<std::string, LatencyHistogram> per_method;
+  std::map<std::string, obs::LogHistogram> per_method;
+  /// Per-stage span histograms, indexed by obs::Stage. Queue-wait,
+  /// lock-wait, and serialize cover every request; NN and enumerate only
+  /// the sampled ones, so their counts are lower.
+  std::array<obs::LogHistogram, obs::kNumStages> stages;
+  /// Aggregated engine work counters, indexed by obs::Counter (sum
+  /// counters accumulate; max counters hold the process-wide high water).
+  std::array<uint64_t, obs::kNumCounters> counters{};
+  /// Retained slow-query traces, oldest first.
+  std::vector<obs::SlowQueryEntry> slow_queries;
 
   std::string ToJson() const;
 };
 
-/// Aggregates service-level counters and per-method latency histograms.
-/// Counter bumps are atomic; histogram writes take a mutex (they are off
-/// the query's critical path — recorded once per completed request).
-/// Memory is bounded for arbitrarily long uptimes: each per-method
-/// histogram caps its retained samples at kMaxSamplesPerMethod (uniform
-/// reservoir — count/mean stay exact, percentiles become estimates once a
-/// method exceeds the cap).
+/// Aggregates service-level counters, per-method and per-stage latency
+/// histograms, engine work counters, and a slow-query ring buffer.
+/// Counter bumps are atomic; histogram and slow-log writes take a mutex
+/// (they are off the query's critical path — recorded once per completed
+/// request). Memory is bounded for arbitrarily long uptimes: LogHistogram
+/// has a fixed bucket array and the slow log is a fixed-capacity ring.
 class MetricsRegistry {
  public:
-  /// 64Ki doubles = 512 KiB per method; also bounds the sort cost of a
-  /// METRICS snapshot.
-  static constexpr size_t kMaxSamplesPerMethod = 1 << 16;
   void RecordSubmitted() { submitted_.fetch_add(1, kRelaxed); }
   void RecordRejected() { rejected_.fetch_add(1, kRelaxed); }
   void RecordError() { errors_.fetch_add(1, kRelaxed); }
   void RecordCompleted(Algorithm algorithm, NnMode nn_mode,
                        double latency_seconds) KOSR_EXCLUDES(histogram_mutex_);
 
-  /// Snapshot including the cache's counters (the cache lives beside the
-  /// registry in the service; passing it in keeps this class standalone).
-  MetricsSnapshot Snapshot(const CacheStats& cache) const
+  /// Folds one query's recorded spans into the per-stage histograms
+  /// (unrecorded slots are skipped).
+  void RecordStages(const obs::StageTimes& stages)
+      KOSR_EXCLUDES(histogram_mutex_);
+  /// Single-stage variant for spans measured outside the worker (the
+  /// protocol layer times response serialization).
+  void RecordStage(obs::Stage stage, double seconds)
+      KOSR_EXCLUDES(histogram_mutex_);
+
+  /// Folds a per-thread counter delta into the shared totals: relaxed
+  /// fetch_add for sum counters, a CAS max-merge for high-water counters.
+  /// Lock-free — called once per completed request by every worker.
+  void AddEngineCounters(const obs::EngineCounters& delta);
+
+  /// Retains one slow-query trace in the ring (dropping the oldest once
+  /// full). No-op while the capacity is zero.
+  void RecordSlowQuery(obs::SlowQueryEntry entry)
+      KOSR_EXCLUDES(histogram_mutex_);
+  /// Sets the ring capacity and drops any retained entries. Intended for
+  /// service construction; safe (but destructive) at any time.
+  void SetSlowLogCapacity(size_t capacity) KOSR_EXCLUDES(histogram_mutex_);
+
+  /// Snapshot including the cache's counters and the service's queue
+  /// gauges (both live beside the registry in the service; passing them in
+  /// keeps this class standalone).
+  MetricsSnapshot Snapshot(const CacheStats& cache, uint32_t queue_depth,
+                           uint32_t in_flight) const
       KOSR_EXCLUDES(histogram_mutex_);
 
   /// Zeroes counters and histograms and restarts the uptime clock; the
-  /// throughput bench uses this between its cold and warm phases.
+  /// throughput bench uses this between its cold and warm phases. The
+  /// counter stores happen under the same lock Snapshot() reads under, so
+  /// a concurrent snapshot sees either the old counters with the old clock
+  /// or the zeroed counters with the fresh clock — never a mix (which
+  /// would mis-report QPS).
   void Reset() KOSR_EXCLUDES(histogram_mutex_);
 
  private:
@@ -68,9 +108,18 @@ class MetricsRegistry {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> errors_{0};
+  /// Shared engine-counter totals. Value-initialized atomics start at zero.
+  std::array<std::atomic<uint64_t>, obs::kNumCounters> engine_counters_{};
   mutable Mutex histogram_mutex_;
-  std::map<std::string, LatencyHistogram> per_method_
+  std::map<std::string, obs::LogHistogram> per_method_
       KOSR_GUARDED_BY(histogram_mutex_);
+  std::array<obs::LogHistogram, obs::kNumStages> stages_
+      KOSR_GUARDED_BY(histogram_mutex_);
+  /// Slow-query ring: grows to slow_capacity_, then slow_next_ wraps.
+  std::vector<obs::SlowQueryEntry> slow_ring_
+      KOSR_GUARDED_BY(histogram_mutex_);
+  size_t slow_capacity_ KOSR_GUARDED_BY(histogram_mutex_) = 0;
+  size_t slow_next_ KOSR_GUARDED_BY(histogram_mutex_) = 0;
   /// Also guarded: Reset() restarts the clock while Snapshot() reads it, so
   /// the pair is only coherent under the same lock.
   WallTimer uptime_ KOSR_GUARDED_BY(histogram_mutex_);

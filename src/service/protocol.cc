@@ -71,6 +71,9 @@ std::string HandleQuery(KosrService& service,
     case ResponseStatus::kOk:
       break;
   }
+  // The serialize stage span covers formatting the OK line; the worker is
+  // done with the request by now, so the protocol layer reports it.
+  WallTimer serialize;
   std::ostringstream os;
   os << "OK ROUTES n=" << response.result.routes.size() << " costs=";
   for (size_t i = 0; i < response.result.routes.size(); ++i) {
@@ -82,7 +85,9 @@ std::string HandleQuery(KosrService& service,
   // A budget-truncated answer may be partial/suboptimal; the client must
   // be able to tell it from a complete one (the cache already refuses it).
   if (response.result.stats.timed_out) os << " truncated=1";
-  return os.str();
+  std::string line = os.str();
+  service.RecordSerializeSpan(serialize.ElapsedSeconds());
+  return line;
 }
 
 // SET_EDGE / REMOVE_EDGE report the repair summary so a peer driving a

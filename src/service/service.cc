@@ -35,7 +35,11 @@ KosrService::KosrService(KosrEngine engine, const ServiceConfig& config)
                        ? config.num_workers
                        : std::max(1u, std::thread::hardware_concurrency())),
       queue_capacity_(std::max<size_t>(1, config.queue_capacity)),
-      default_time_budget_s_(config.default_time_budget_s) {
+      default_time_budget_s_(config.default_time_budget_s),
+      slow_query_threshold_s_(config.slow_query_threshold_s),
+      stage_sample_every_(config.stage_sample_every) {
+  metrics_.SetSlowLogCapacity(
+      config.slow_query_threshold_s > 0 ? config.slow_log_capacity : 0);
   if (config.start_workers) Start();
 }
 
@@ -107,6 +111,10 @@ void KosrService::WorkerLoop() {
   // Worker-private query scratch: the hot containers of every search this
   // worker runs live here, allocated once and reused across requests.
   QueryContext ctx;
+  // Worker-local request count driving the engine-phase sampling; no
+  // cross-worker coordination needed for a 1-in-N sample.
+  uint64_t processed = 0;
+  const bool obs_on = obs::Enabled();
   for (;;) {
     Pending pending;
     {
@@ -119,9 +127,17 @@ void KosrService::WorkerLoop() {
       pending = std::move(queue_.front());
       queue_.pop_front();
     }
+    const double queue_wait_s = pending.queued.ElapsedSeconds();
+    const bool sample = obs_on && stage_sample_every_ != 0 &&
+                        processed++ % stage_sample_every_ == 0;
+    // Engine counters accumulate in this thread's private slots; the delta
+    // across one request is folded into the shared registry afterwards.
+    obs::EngineCounters before;
+    if (obs_on) before = obs::TlsCounters();
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     ServiceResponse response;
     try {
-      response = Process(pending.request, ctx);
+      response = Process(pending.request, ctx, sample);
     } catch (const std::exception& e) {
       response.status = ResponseStatus::kError;
       response.error = e.what();
@@ -129,6 +145,7 @@ void KosrService::WorkerLoop() {
       response.status = ResponseStatus::kError;
       response.error = "unknown error";
     }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
     response.latency_s = pending.queued.ElapsedSeconds();
     if (response.ok()) {
       metrics_.RecordCompleted(pending.request.options.algorithm,
@@ -136,6 +153,27 @@ void KosrService::WorkerLoop() {
                                response.latency_s);
     } else {
       metrics_.RecordError();
+    }
+    if (obs_on) {
+      ctx.stage_times.Set(obs::Stage::kQueueWait, queue_wait_s);
+      metrics_.RecordStages(ctx.stage_times);
+      metrics_.AddEngineCounters(obs::Diff(obs::TlsCounters(), before));
+      if (response.ok() && slow_query_threshold_s_ > 0 &&
+          response.latency_s >= slow_query_threshold_s_) {
+        obs::SlowQueryEntry entry;
+        entry.method = MethodName(pending.request.options.algorithm,
+                                  pending.request.options.nn_mode);
+        entry.source = pending.request.query.source;
+        entry.target = pending.request.query.target;
+        entry.k = pending.request.query.k;
+        entry.sequence_length =
+            static_cast<uint32_t>(pending.request.query.sequence.size());
+        entry.latency_s = response.latency_s;
+        entry.cache_hit = response.cache_hit;
+        entry.timed_out = response.result.stats.timed_out;
+        entry.stages = ctx.stage_times;
+        metrics_.RecordSlowQuery(std::move(entry));
+      }
     }
     pending.promise.set_value(std::move(response));
   }
@@ -159,7 +197,8 @@ CacheKey KosrService::KeyFor(const ServiceRequest& request) {
 }
 
 ServiceResponse KosrService::Process(const ServiceRequest& request,
-                                     QueryContext& ctx) {
+                                     QueryContext& ctx, bool sample_stages) {
+  ctx.stage_times.Clear();
   ServiceResponse response;
   const bool cacheable = cache_.enabled() && Cacheable(request);
   CacheKey key;
@@ -168,7 +207,11 @@ ServiceResponse KosrService::Process(const ServiceRequest& request,
   // Shared lock: queries run concurrently with each other but exclusively
   // with dynamic updates; cache lookup/insert stay inside the lock so an
   // update's invalidation cannot be interleaved with a stale insert.
+  WallTimer lock_wait;
   ReaderMutexLock lock(engine_mutex_);
+  if (obs::Enabled()) {
+    ctx.stage_times.Set(obs::Stage::kLockWait, lock_wait.ElapsedSeconds());
+  }
   if (cacheable) {
     if (std::optional<KosrResult> cached = cache_.Lookup(key)) {
       response.result = std::move(*cached);
@@ -180,7 +223,19 @@ ServiceResponse KosrService::Process(const ServiceRequest& request,
   if (options.time_budget_s == 0) {
     options.time_budget_s = default_time_budget_s_;
   }
+  if (sample_stages) options.collect_phase_times = true;
+  WallTimer engine_timer;
   response.result = engine_.Query(request.query, options, &ctx);
+  if (sample_stages) {
+    // NN span = the engine's per-phase timers (cursor probing plus NEN
+    // estimation); enumeration is the rest of the engine time.
+    const double engine_s = engine_timer.ElapsedSeconds();
+    const QueryStats& stats = response.result.stats;
+    const double nn_s = stats.nn_time_s + stats.estimation_time_s;
+    ctx.stage_times.Set(obs::Stage::kNn, nn_s);
+    ctx.stage_times.Set(obs::Stage::kEnumerate,
+                        std::max(0.0, engine_s - nn_s));
+  }
   // Budget-truncated results are incomplete; serving them from cache would
   // turn one slow query into many wrong answers.
   if (cacheable && !response.result.stats.timed_out) {
@@ -246,6 +301,12 @@ void KosrService::InvalidateForEdgeUpdate(const EdgeUpdateSummary& summary) {
       (summary.graph_changed && !engine_.indexes_built())) {
     cache_.InvalidateAll();
   }
+}
+
+MetricsSnapshot KosrService::Metrics() const {
+  return metrics_.Snapshot(cache_.stats(),
+                           static_cast<uint32_t>(queue_depth()),
+                           in_flight_.load(std::memory_order_relaxed));
 }
 
 uint32_t KosrService::num_categories() const {

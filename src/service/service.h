@@ -1,6 +1,7 @@
 #ifndef KOSR_SERVICE_SERVICE_H_
 #define KOSR_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -32,6 +33,17 @@ struct ServiceConfig {
   /// Spawn workers in the constructor. Tests set false to fill the queue
   /// deterministically, then call Start().
   bool start_workers = true;
+  /// Completed requests at or above this end-to-end latency are retained
+  /// verbatim (descriptor + stage spans) in the slow-query ring buffer.
+  /// 0 disables the slow log.
+  double slow_query_threshold_s = 0;
+  /// Ring-buffer capacity of the slow-query log (oldest entries drop).
+  size_t slow_log_capacity = 32;
+  /// Sample every Nth request per worker for the engine-internal stage
+  /// spans (NN and enumerate need per-phase timers inside the search; the
+  /// cheap queue-wait/lock-wait/serialize spans are always recorded).
+  /// 0 disables engine-phase sampling entirely.
+  uint32_t stage_sample_every = 64;
 };
 
 struct ServiceRequest {
@@ -129,10 +141,21 @@ class KosrService {
 
   // --- Introspection -------------------------------------------------------
 
-  MetricsSnapshot Metrics() const {
-    return metrics_.Snapshot(cache_.stats());
+  /// Snapshot of the metrics registry plus the live queue-depth and
+  /// in-flight gauges (the former sampled under the existing queue mutex).
+  MetricsSnapshot Metrics() const KOSR_EXCLUDES(queue_mutex_);
+  std::string MetricsJson() const KOSR_EXCLUDES(queue_mutex_) {
+    return Metrics().ToJson();
   }
-  std::string MetricsJson() const { return Metrics().ToJson(); }
+  /// Lets the protocol layer fold a response-serialization span into the
+  /// per-stage histograms (the span ends after the worker has already
+  /// finished the request, so the worker cannot record it itself). No-op
+  /// when observability is off.
+  void RecordSerializeSpan(double seconds) {
+    if (obs::Enabled()) {
+      metrics_.RecordStage(obs::Stage::kSerialize, seconds);
+    }
+  }
   /// Clears counters/histograms (not the cache) — phase boundaries in the
   /// throughput bench.
   void ResetMetrics() { metrics_.Reset(); }
@@ -156,8 +179,10 @@ class KosrService {
 
   void WorkerLoop() KOSR_EXCLUDES(queue_mutex_, engine_mutex_);
   /// `ctx` is the calling worker's private reusable query scratch.
-  ServiceResponse Process(const ServiceRequest& request, QueryContext& ctx)
-      KOSR_EXCLUDES(engine_mutex_);
+  /// `sample_stages` turns on the engine's per-phase timers for this query
+  /// (the NN/enumerate spans of the stage histograms).
+  ServiceResponse Process(const ServiceRequest& request, QueryContext& ctx,
+                          bool sample_stages) KOSR_EXCLUDES(engine_mutex_);
   /// Targeted cache invalidation for an applied edge update (see the public
   /// update entry points). Caller holds the exclusive engine lock.
   void InvalidateForEdgeUpdate(const EdgeUpdateSummary& summary)
@@ -175,6 +200,10 @@ class KosrService {
   uint32_t num_workers_;            // const after construction
   size_t queue_capacity_;           // const after construction
   double default_time_budget_s_;    // const after construction
+  double slow_query_threshold_s_;   // const after construction
+  uint32_t stage_sample_every_;     // const after construction
+  /// Requests currently inside Process (between dequeue and completion).
+  std::atomic<uint32_t> in_flight_{0};
   /// Guards the request queue and the stopping flag workers wait on.
   mutable Mutex queue_mutex_;
   CondVar queue_cv_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <random>
@@ -10,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/counters.h"
+#include "src/obs/json_reader.h"
 #include "src/service/protocol.h"
 #include "tests/test_util.h"
 
@@ -426,6 +429,123 @@ TEST(ServiceTest, MetricsSnapshotReportsPerMethodHistograms) {
   EXPECT_EQ(service.Metrics().completed, 0u);
 }
 
+TEST(ServiceTest, EngineCountersAndStageSpansFlowIntoMetrics) {
+  if (!obs::Enabled()) GTEST_SKIP() << "KOSR_OBS_OFF=1 in the environment";
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.stage_sample_every = 1;  // sample the engine phases of every query
+  KosrService service(MakeLineEngine(), config);
+  service.Submit(MakeRequest(0, 0, {0}));
+  service.Submit(MakeRequest(0, 3, {1}));
+
+  MetricsSnapshot snapshot = service.Metrics();
+  // Hop-label queries ran, so the label-query counter must have moved (and
+  // with it the merge-join work it implies).
+  EXPECT_GT(snapshot.counters[static_cast<size_t>(
+                obs::Counter::kLabelQueries)],
+            0u);
+  // Queue-wait and lock-wait are recorded for every completed request;
+  // the sampled engine phases for at least the cache misses.
+  using obs::Stage;
+  EXPECT_EQ(snapshot.stages[static_cast<size_t>(Stage::kQueueWait)].count(),
+            2u);
+  EXPECT_EQ(snapshot.stages[static_cast<size_t>(Stage::kLockWait)].count(),
+            2u);
+  EXPECT_GE(snapshot.stages[static_cast<size_t>(Stage::kNn)].count(), 1u);
+  EXPECT_GE(snapshot.stages[static_cast<size_t>(Stage::kEnumerate)].count(),
+            1u);
+  // Gauges read zero at rest: nothing queued, nothing in flight.
+  EXPECT_EQ(snapshot.queue_depth, 0u);
+  EXPECT_EQ(snapshot.in_flight, 0u);
+
+  // The JSON surface carries all of it and stays parseable.
+  obs::JsonValue v = obs::ParseJson(snapshot.ToJson());
+  EXPECT_GT(v.At("counters").At("label_queries").number, 0.0);
+  EXPECT_EQ(v.At("gauges").At("queue_depth").number, 0.0);
+  EXPECT_EQ(v.At("stages").At("queue_wait").At("count").number, 2.0);
+  EXPECT_TRUE(v.At("slow_queries").IsArray());
+}
+
+TEST(ServiceTest, SlowQueryLogRetainsMostRecentTraces) {
+  if (!obs::Enabled()) GTEST_SKIP() << "KOSR_OBS_OFF=1 in the environment";
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.slow_query_threshold_s = 1e-9;  // everything is "slow"
+  config.slow_log_capacity = 4;
+  config.stage_sample_every = 1;
+  KosrService service(MakeLineEngine(), config);
+  for (VertexId source = 0; source < 4; ++source) {
+    service.Submit(MakeRequest(source, 0, {0}));
+  }
+  service.Submit(MakeRequest(0, 3, {1}));
+  service.Submit(MakeRequest(1, 3, {1}));
+
+  MetricsSnapshot snapshot = service.Metrics();
+  // Six queries tripped the threshold; the ring keeps the last four, in
+  // chronological order.
+  ASSERT_EQ(snapshot.slow_queries.size(), 4u);
+  EXPECT_EQ(snapshot.slow_queries.back().source, 1u);
+  EXPECT_EQ(snapshot.slow_queries.back().target, 3u);
+  for (const obs::SlowQueryEntry& entry : snapshot.slow_queries) {
+    EXPECT_EQ(entry.method, "SK");
+    EXPECT_GE(entry.latency_s, 0.0);
+    EXPECT_TRUE(entry.stages.Recorded(obs::Stage::kQueueWait));
+  }
+  obs::JsonValue v = obs::ParseJson(snapshot.ToJson());
+  EXPECT_EQ(v.At("slow_queries").items.size(), 4u);
+
+  // Reset drops the retained traces with everything else.
+  service.ResetMetrics();
+  EXPECT_TRUE(service.Metrics().slow_queries.empty());
+}
+
+TEST(ServiceTest, SlowQueryLogStaysEmptyWithoutAThreshold) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  service.Submit(MakeRequest(0, 0, {0}));
+  EXPECT_TRUE(service.Metrics().slow_queries.empty());
+}
+
+// Reset vs Record vs Snapshot from three threads: the regression here was
+// Reset() zeroing the request counters outside the histogram mutex, letting
+// a concurrent Snapshot pair fresh counters with a stale uptime clock.
+// TSan (the CI build-tsan job runs this binary) would flag the old layout.
+TEST(MetricsRegistryTest, ResetRacesCleanlyWithRecordAndSnapshot) {
+  MetricsRegistry registry;
+  registry.SetSlowLogCapacity(2);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> saw_incoherent{false};
+  std::thread recorder([&] {
+    obs::EngineCounters delta;
+    delta.Add(obs::Counter::kLabelQueries, 3);
+    obs::StageTimes stages;
+    stages.Set(obs::Stage::kQueueWait, 1e-6);
+    obs::SlowQueryEntry entry;
+    entry.method = "SK";
+    while (!stop.load(std::memory_order_relaxed)) {
+      registry.RecordSubmitted();
+      registry.RecordCompleted(Algorithm::kStar, NnMode::kHopLabel, 1e-4);
+      registry.AddEngineCounters(delta);
+      registry.RecordStages(stages);
+      registry.RecordSlowQuery(entry);
+    }
+  });
+  std::thread snapshotter([&] {
+    CacheStats cache;
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshot snap = registry.Snapshot(cache, 1, 1);
+      if (snap.uptime_s < 0 || snap.qps < 0 ||
+          snap.slow_queries.size() > 2) {
+        saw_incoherent.store(true);
+      }
+    }
+  });
+  for (int i = 0; i < 2000; ++i) registry.Reset();
+  stop.store(true);
+  recorder.join();
+  snapshotter.join();
+  EXPECT_FALSE(saw_incoherent.load());
+}
+
 // ---------------------------------------------------------------------------
 // Newline protocol (src/service/protocol.h).
 // ---------------------------------------------------------------------------
@@ -465,6 +585,27 @@ TEST(ProtocolTest, HandleRequestLineAnswersEachCommand) {
   std::string metrics = HandleRequestLine(service, "METRICS");
   EXPECT_EQ(metrics.rfind("OK METRICS {", 0), 0u) << metrics;
   EXPECT_NE(metrics.find("\"cache\""), std::string::npos);
+}
+
+TEST(ProtocolTest, MetricsPayloadIsParseableAndComplete) {
+  KosrService service(MakeLineEngine(), {.num_workers = 1});
+  std::string query = HandleRequestLine(service, "QUERY 0 0 0 1");
+  ASSERT_EQ(query.rfind("OK ROUTES", 0), 0u) << query;
+
+  std::string line = HandleRequestLine(service, "METRICS");
+  const std::string prefix = "OK METRICS ";
+  ASSERT_EQ(line.rfind(prefix, 0), 0u) << line;
+  obs::JsonValue v = obs::ParseJson(line.substr(prefix.size()));
+  for (const char* key :
+       {"uptime_s", "gauges", "cache", "methods", "stages", "counters",
+        "slow_queries"}) {
+    EXPECT_NE(v.Find(key), nullptr) << "missing " << key;
+  }
+  EXPECT_EQ(v.At("completed").number, 1.0);
+  if (obs::Enabled()) {
+    // The protocol layer timed the response formatting of the QUERY above.
+    EXPECT_GE(v.At("stages").At("serialize").At("count").number, 1.0);
+  }
 }
 
 TEST(ProtocolTest, SetAndRemoveEdgeVerbsReportRepairSummaries) {

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Observability overhead smoke (ISSUE 7): the instrumentation tax must
+stay within budget on the hottest query path.
+
+The engine counters are plain thread-local adds behind one predictable
+branch, so the label-query microbench with observability ON must run
+within --max-ratio (default 1.05, the <=5% budget from DESIGN.md) of the
+same binary with KOSR_OBS_OFF=1. The comparison is best-of-N in each mode,
+with the modes alternated (on, off, on, off, ...) so slow drift in machine
+load biases both sides equally instead of whichever mode ran last.
+
+Using the minimum per mode is deliberate: a microbench's floor is its
+reproducible signal — means absorb scheduler noise, and on a shared CI
+runner that noise dwarfs a 5% effect. The floor only moves when the code
+actually got slower.
+
+Usage:
+  check_obs_overhead.py --bench PATH [--filter REGEX] [--runs N]
+                        [--max-ratio R] [--min-time SECS]
+
+Exit code 0 = within budget, 1 = budget exceeded, 2 = bench run failed.
+Pure standard library; runs anywhere Python 3.8+ exists.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_bench(bench, bench_filter, min_time, obs_off):
+    env = dict(os.environ)
+    if obs_off:
+        env["KOSR_OBS_OFF"] = "1"
+    else:
+        env.pop("KOSR_OBS_OFF", None)
+    cmd = [
+        bench,
+        f"--benchmark_filter={bench_filter}",
+        f"--benchmark_min_time={min_time}s",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"bench exited {proc.returncode}")
+    # The benches print a one-line machine_meta header before the JSON
+    # document; skip to the first line that opens the document.
+    text = proc.stdout
+    if not text.startswith("{"):
+        start = text.find("\n{")
+        if start == -1:
+            raise RuntimeError("no JSON document in bench output")
+        text = text[start + 1:]
+    report = json.loads(text)
+    benchmarks = [
+        b for b in report.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    ]
+    if not benchmarks:
+        raise RuntimeError(f"filter {bench_filter!r} matched no benchmarks")
+    # One scalar per run: the summed real time of every matched benchmark.
+    return sum(b["real_time"] for b in benchmarks)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench_label_query binary")
+    ap.add_argument("--filter", default="label_query/FLA/random/flat",
+                    help="benchmark filter regex (the hot flat-store path)")
+    ap.add_argument("--runs", type=int, default=3,
+                    help="runs per mode; best (minimum) is compared")
+    ap.add_argument("--max-ratio", type=float, default=1.05,
+                    help="largest allowed on/off time ratio")
+    ap.add_argument("--min-time", type=float, default=0.1,
+                    help="--benchmark_min_time per run, in seconds")
+    args = ap.parse_args()
+
+    on_times, off_times = [], []
+    try:
+        for _ in range(args.runs):
+            on_times.append(
+                run_bench(args.bench, args.filter, args.min_time, False))
+            off_times.append(
+                run_bench(args.bench, args.filter, args.min_time, True))
+    except (RuntimeError, OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"obs-overhead: bench run failed: {e}", file=sys.stderr)
+        return 2
+
+    best_on, best_off = min(on_times), min(off_times)
+    ratio = best_on / best_off if best_off > 0 else float("inf")
+    print(f"obs-overhead: filter={args.filter} runs={args.runs}")
+    print(f"  obs on : best {best_on:.1f} ns  (all: "
+          f"{', '.join(f'{t:.1f}' for t in on_times)})")
+    print(f"  obs off: best {best_off:.1f} ns  (all: "
+          f"{', '.join(f'{t:.1f}' for t in off_times)})")
+    print(f"  ratio  : {ratio:.4f} (budget {args.max_ratio:.2f})")
+    if ratio > args.max_ratio:
+        print(f"obs-overhead: FAILED — instrumentation costs "
+              f"{(ratio - 1) * 100:.1f}% on the hot path "
+              f"(budget {(args.max_ratio - 1) * 100:.0f}%)", file=sys.stderr)
+        return 1
+    print("obs-overhead: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -284,7 +284,7 @@ def self_test(root):
     stripped, suppressed = strip_comments_and_strings(
         fixture.read_text(encoding="utf-8"))
     findings = []
-    for func in ("SealedMergeJoin", "SealedCursorStep"):
+    for func in ("SealedMergeJoin", "SealedCursorStep", "SealedCounterBump"):
         spans = list(find_function_bodies(stripped, func))
         if not spans:
             print(f"self-test: fixture function {func} not found",
@@ -294,12 +294,12 @@ def self_test(root):
             scan_body(stripped, start, end, fixture.name, func, suppressed,
                       findings)
     kinds = sorted(what for _, _, _, what, _ in findings)
-    expected_bits = ["constructs std::string", "constructs std::vector",
-                     "malloc() on", "operator new"]
+    expected_bits = ["constructs std::string", "constructs std::unordered_map",
+                     "constructs std::vector", "malloc() on", "operator new"]
     missing = [bit for bit in expected_bits
                if not any(bit in k for k in kinds)]
-    # The fixture's suppressed line and its reference/pointer/KosrScratch
-    # lines must NOT be reported: exactly the expected four findings.
+    # The fixture's suppressed line and its reference/pointer/KosrScratch/
+    # TLS-slot lines must NOT be reported: exactly the expected five findings.
     if missing or len(findings) != len(expected_bits):
         print("self-test FAILED:", file=sys.stderr)
         print(f"  expected exactly {len(expected_bits)} findings "

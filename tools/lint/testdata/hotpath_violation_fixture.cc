@@ -1,12 +1,14 @@
 // Seeded-violation fixture for hotpath_lint.py --self-test. NOT compiled,
 // NOT part of the build: this file exists so CI can prove the allocation
 // lint actually rejects what it claims to reject. The self-test requires
-// the checker to report EXACTLY the four violations marked below and none
+// the checker to report EXACTLY the five violations marked below and none
 // of the allowed uses — if a checker regression stops catching one (or
 // starts flagging the legal patterns), the lint test itself turns red.
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace kosr::lint_fixture {
@@ -49,6 +51,21 @@ int SealedCursorStep(int x) {
   setup.push_back(x);
 
   return len + setup.front();
+}
+
+// Mirrors the ISSUE-7 counter-bump discipline: an instrumented hot function
+// may only touch plain thread-local slots. A "counter" kept in a heap
+// container is exactly the regression the lint must keep out.
+uint64_t tls_slot;
+
+uint64_t SealedCounterBump(uint64_t n) {
+  // Allowed: the real pattern — a plain TLS slot add, no allocation.
+  tls_slot += n;
+
+  // VIOLATION 5: allocating counter storage on the hot path.
+  std::unordered_map<std::string, uint64_t> by_name;
+  by_name["label_queries"] += n;
+  return tls_slot + by_name.size();
 }
 
 }  // namespace kosr::lint_fixture
