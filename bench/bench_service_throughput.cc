@@ -2,24 +2,32 @@
 //
 // Replays a Zipf-skewed mix of KOSR queries against a KosrService at a
 // fixed offered rate (open loop: arrivals do not wait for completions, so
-// queue growth and backpressure are visible), twice over the same request
-// stream — a cold-cache phase and a warm-cache phase — and emits a JSON
-// report with achieved QPS, per-method p50/p95/p99, and cache hit rates.
+// queue growth and backpressure are visible), three times over the same
+// request stream — a cold-cache phase, a warm-cache phase, and a mixed
+// phase with a concurrent writer applying randomized SET_EDGE updates at a
+// fixed rate (ISSUE 8: query latency under a continuous update stream) —
+// and emits a JSON report with achieved QPS, per-method p50/p95/p99, and
+// cache hit rates.
 //
 // Standalone binary (no google-benchmark dependency): the open-loop clock
 // is the experiment, not iteration timing.
 //
 // Flags (all optional):
-//   --requests N   requests per phase      (default 600 * KOSR_BENCH_SCALE)
-//   --rate QPS     offered arrival rate    (default 200)
-//   --pool P       distinct queries        (default = --requests, so the
-//                  cold phase has a real miss stream to measure against)
-//   --zipf S       Zipf exponent over the pool (default 0.8)
-//   --workers W    service worker threads  (default 4)
-//   --queue Q      queue capacity          (default 512)
-//   --cache C      cache capacity          (default 1024; 0 disables)
-//   --seed X       workload/mix seed       (default 7)
+//   --requests N      requests per phase   (default 600 * KOSR_BENCH_SCALE)
+//   --rate QPS        offered arrival rate (default 200)
+//   --pool P          distinct queries     (default = --requests, so the
+//                     cold phase has a real miss stream to measure against)
+//   --zipf S          Zipf exponent over the pool (default 0.8)
+//   --workers W       service worker threads  (default 4)
+//   --queue Q         queue capacity          (default 512)
+//   --cache C         cache capacity          (default 1024; 0 disables)
+//   --update-rate U   writer rate in the mixed phase, updates/s
+//                     (default 50; 0 skips the mixed phase)
+//   --update-batch-window S  update batching window forwarded to the
+//                     service (seconds; default 0 = apply immediately)
+//   --seed X          workload/mix seed       (default 7)
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +37,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -54,6 +63,8 @@ struct Options {
   uint32_t workers = 4;
   size_t queue_capacity = 512;
   size_t cache_capacity = 1024;
+  double update_rate = 50;
+  double update_batch_window_s = 0;
   uint64_t seed = 7;
 };
 
@@ -96,6 +107,10 @@ Options ParseOptions(int argc, char** argv) {
       opt.queue_capacity = ParseCount(value, flag);
     } else if (flag == "--cache") {
       opt.cache_capacity = ParseCount(value, flag);
+    } else if (flag == "--update-rate") {
+      opt.update_rate = std::stod(value);
+    } else if (flag == "--update-batch-window") {
+      opt.update_batch_window_s = std::stod(value);
     } else if (flag == "--seed") {
       opt.seed = ParseCount(value, flag);
     } else {
@@ -105,6 +120,12 @@ Options ParseOptions(int argc, char** argv) {
   }
   if (opt.requests == 0 || opt.rate <= 0) {
     std::fprintf(stderr, "--requests and --rate must be positive\n");
+    std::exit(1);
+  }
+  if (opt.update_rate < 0 || opt.update_batch_window_s < 0) {
+    std::fprintf(stderr,
+                 "--update-rate and --update-batch-window must be "
+                 "non-negative\n");
     std::exit(1);
   }
   if (opt.pool == 0) opt.pool = opt.requests;
@@ -142,6 +163,48 @@ struct PhaseReport {
     return os.str();
   }
 };
+
+/// Outcome of the concurrent writer in the mixed phase.
+struct UpdaterReport {
+  uint64_t updates_applied = 0;
+  LatencyHistogram latency;  ///< Per-SET_EDGE submit-to-return latency.
+
+  std::string ToJson() const {
+    std::ostringstream os;
+    os << "{\"updates_applied\":" << updates_applied
+       << ",\"update_latency\":" << latency.SummaryJson() << "}";
+    return os.str();
+  }
+};
+
+/// Open-loop writer: picks a random existing arc and re-randomizes its
+/// weight within the workload's weight range at a fixed offered rate until
+/// stopped. SET_EDGE keeps the arc present, so connectivity (and therefore
+/// the query result shape) never collapses mid-phase.
+UpdaterReport RunUpdater(
+    KosrService& service,
+    const std::vector<std::tuple<VertexId, VertexId, Weight>>& edges,
+    double rate, uint64_t seed, const std::atomic<bool>& stop) {
+  using Clock = std::chrono::steady_clock;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> pick_edge(0, edges.size() - 1);
+  std::uniform_int_distribution<Weight> pick_weight(10, 100);
+  auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / rate));
+  Clock::time_point start = Clock::now();
+  UpdaterReport report;
+  for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+    std::this_thread::sleep_until(start + period * i);
+    if (stop.load(std::memory_order_relaxed)) break;
+    const auto& [u, v, w] = edges[pick_edge(rng)];
+    (void)w;
+    WallTimer timer;
+    service.SetEdgeWeight(u, v, pick_weight(rng));
+    report.latency.Record(timer.ElapsedSeconds());
+    ++report.updates_applied;
+  }
+  return report;
+}
 
 /// Replays the request stream open-loop: request i is submitted at
 /// start + i/rate regardless of earlier completions.
@@ -208,10 +271,16 @@ int Main(int argc, char** argv) {
     stream.push_back(std::move(request));
   }
 
+  // Edge pool for the mixed-phase writer, captured before the engine moves
+  // into the service.
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges =
+      workload.engine->graph().ToEdges();
+
   ServiceConfig config;
   config.num_workers = opt.workers;
   config.queue_capacity = opt.queue_capacity;
   config.cache_capacity = opt.cache_capacity;
+  config.update_batch_window_s = opt.update_batch_window_s;
   KosrService service(std::move(*workload.engine), config);
 
   PhaseReport cold = RunPhase(service, stream, opt.rate);
@@ -220,21 +289,45 @@ int Main(int argc, char** argv) {
   PhaseReport warm = RunPhase(service, stream, opt.rate);
   std::string warm_metrics = service.MetricsJson();
 
+  // Mixed phase: the same query stream replays while one writer thread
+  // re-randomizes edge weights at --update-rate. Query tail latency here is
+  // the ISSUE 8 acceptance metric (p99 under a continuous update stream).
+  PhaseReport mixed;
+  UpdaterReport updater;
+  std::string mixed_metrics = "{}";
+  if (opt.update_rate > 0 && !edges.empty()) {
+    service.ResetMetrics();
+    std::atomic<bool> stop_updater{false};
+    std::thread writer([&] {
+      updater = RunUpdater(service, edges, opt.update_rate, opt.seed + 9,
+                           stop_updater);
+    });
+    mixed = RunPhase(service, stream, opt.rate);
+    stop_updater.store(true, std::memory_order_relaxed);
+    writer.join();
+    mixed_metrics = service.MetricsJson();
+  }
+
   std::ostringstream os;
   os << "{\"machine\":" << MachineMetaJson("service_throughput")
      << ",\"bench\":\"service_throughput\",\"workload\":{\"graph\":\""
      << workload.name << "\",\"pool\":" << opt.pool
      << ",\"zipf_s\":" << opt.zipf_s << ",\"seq_len\":3,\"k\":4"
      << ",\"requests_per_phase\":" << opt.requests
-     << ",\"offered_qps\":" << opt.rate << "},\"service\":{\"workers\":"
+     << ",\"offered_qps\":" << opt.rate
+     << ",\"update_rate\":" << opt.update_rate
+     << ",\"update_batch_window_s\":" << opt.update_batch_window_s
+     << "},\"service\":{\"workers\":"
      << service.num_workers() << ",\"queue_capacity\":" << opt.queue_capacity
      << ",\"cache_capacity\":" << opt.cache_capacity
      << "},\"phases\":{\"cold\":" << cold.ToJson()
-     << ",\"warm\":" << warm.ToJson()
+     << ",\"warm\":" << warm.ToJson() << ",\"mixed\":" << mixed.ToJson()
+     << ",\"mixed_updater\":" << updater.ToJson()
      // Server-side view per phase (cache counters are cumulative — the
      // cache itself is deliberately not reset at the boundary).
      << "},\"service_metrics\":{\"cold\":" << cold_metrics
-     << ",\"warm\":" << warm_metrics << "}}";
+     << ",\"warm\":" << warm_metrics << ",\"mixed\":" << mixed_metrics
+     << "}}";
   std::printf("%s\n", os.str().c_str());
   return 0;
 }

@@ -51,9 +51,13 @@ Commands:
                than S seconds; 0=off, default)] [--slow-log-capacity N]
                [--stage-sample-every N (engine-phase span sampling rate,
                0=off, default 64)]
+               [--update-batch-window S (edge updates arriving within S
+               seconds batch into one label repair and one published
+               snapshot; 0=apply immediately, default)]
                then speaks the newline request/response protocol on
                stdin/stdout (QUERY/ADD_CAT/REMOVE_CAT/ADD_EDGE/SET_EDGE/
-               REMOVE_EDGE/METRICS/PING/QUIT; see README.md for the grammar)
+               REMOVE_EDGE/FLUSH_UPDATES/METRICS/PING/QUIT; see README.md
+               for the grammar)
   metrics      [--file metrics.json] pretty-prints a METRICS snapshot
                (reads stdin when --file is absent; accepts either the raw
                JSON or a full "OK METRICS {...}" response line)
@@ -287,6 +291,20 @@ int CmdServe(const Args& args, std::istream& in, std::ostream& out) {
         "--slow-query-threshold must be a finite number >= 0 (0 = off), "
         "got " + slow_text);
   }
+  std::string window_text = args.GetOr("update-batch-window", "0");
+  double batch_window = 0;
+  size_t window_consumed = 0;
+  try {
+    batch_window = std::stod(window_text, &window_consumed);
+  } catch (const std::exception&) {
+    window_consumed = 0;
+  }
+  if (window_consumed != window_text.size() || !std::isfinite(batch_window) ||
+      batch_window < 0) {
+    throw std::invalid_argument(
+        "--update-batch-window must be a finite number >= 0 (0 = apply "
+        "immediately), got " + window_text);
+  }
   long long slow_capacity = args.GetIntOr("slow-log-capacity", 32);
   long long sample_every = args.GetIntOr("stage-sample-every", 64);
   if (slow_capacity < 0) {
@@ -307,11 +325,13 @@ int CmdServe(const Args& args, std::istream& in, std::ostream& out) {
   config.slow_query_threshold_s = slow_threshold;
   config.slow_log_capacity = static_cast<size_t>(slow_capacity);
   config.stage_sample_every = static_cast<uint32_t>(sample_every);
+  config.update_batch_window_s = batch_window;
 
   service::KosrService service(std::move(engine), config);
   out << "ready workers=" << service.num_workers()
       << " queue=" << config.queue_capacity
-      << " cache=" << service.cache().capacity() << "\n"
+      << " cache=" << service.cache().capacity()
+      << " batch_window=" << config.update_batch_window_s << "\n"
       << std::flush;
   uint64_t handled = service::RunServeLoop(service, in, out);
   out << "served " << handled << " requests\n";
@@ -479,6 +499,20 @@ int CmdMetrics(const Args& args, std::istream& in, std::ostream& out) {
         << static_cast<uint64_t>(NumberOr(*gauges, "queue_depth"))
         << ", in_flight "
         << static_cast<uint64_t>(NumberOr(*gauges, "in_flight")) << "\n";
+  }
+  if (const obs::JsonValue* snapshots = doc.Find("snapshots")) {
+    out << "snapshots: version "
+        << static_cast<uint64_t>(NumberOr(*snapshots, "version")) << ", live "
+        << static_cast<uint64_t>(NumberOr(*snapshots, "live_snapshots"))
+        << ", epoch_lag "
+        << static_cast<uint64_t>(NumberOr(*snapshots, "epoch_lag"))
+        << ", pending_updates "
+        << static_cast<uint64_t>(NumberOr(*snapshots, "pending_updates"))
+        << ", updates_applied "
+        << static_cast<uint64_t>(NumberOr(*snapshots, "updates_applied"))
+        << ", batches "
+        << static_cast<uint64_t>(NumberOr(*snapshots, "batches_applied"))
+        << "\n";
   }
   if (const obs::JsonValue* cache = doc.Find("cache")) {
     out << "cache: hits " << static_cast<uint64_t>(NumberOr(*cache, "hits"))

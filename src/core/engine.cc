@@ -1,10 +1,13 @@
 #include "src/core/engine.h"
 
 #include <istream>
+#include <map>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "src/algo/gsp.h"
+#include "src/core/snapshot.h"
 #include "src/algo/kpne.h"
 #include "src/algo/pruning_kosr.h"
 #include "src/algo/star_kosr.h"
@@ -30,7 +33,10 @@ AlgoConfig MakeConfig(const KosrQuery& query, const KosrOptions& options) {
   return config;
 }
 
-void ValidateQuery(const KosrQuery& query, const CategoryTable& categories) {
+}  // namespace
+
+void ValidateKosrQuery(const KosrQuery& query,
+                       const CategoryTable& categories) {
   if (query.source == kInvalidVertex || query.target == kInvalidVertex) {
     throw std::invalid_argument("query needs a source and a target");
   }
@@ -45,8 +51,6 @@ void ValidateQuery(const KosrQuery& query, const CategoryTable& categories) {
     }
   }
 }
-
-}  // namespace
 
 /// Shared driver used by the in-memory and disk-resident paths. `scratch`
 /// (optional) is the reusable search-state arena of the caller's
@@ -101,30 +105,59 @@ KosrResult RunQueryWithIndexes(
 }
 
 KosrEngine::KosrEngine(Graph graph, CategoryTable categories)
-    : graph_(std::move(graph)), categories_(std::move(categories)) {
-  if (categories_.num_vertices() != graph_.num_vertices()) {
+    : graph_(std::make_shared<Graph>(std::move(graph))),
+      categories_(std::make_shared<CategoryTable>(std::move(categories))),
+      labeling_(std::make_shared<HubLabeling>()) {
+  if (categories_->num_vertices() != graph_->num_vertices()) {
     throw std::invalid_argument(
         "category table and graph disagree on the vertex universe");
   }
 }
 
+Graph& KosrEngine::MutableGraph() {
+  if (graph_.use_count() > 1) graph_ = std::make_shared<Graph>(*graph_);
+  return *graph_;
+}
+
+CategoryTable& KosrEngine::MutableCategories() {
+  if (categories_.use_count() > 1) {
+    categories_ = std::make_shared<CategoryTable>(*categories_);
+  }
+  return *categories_;
+}
+
+HubLabeling& KosrEngine::MutableLabeling() {
+  if (labeling_.use_count() > 1) {
+    labeling_ = std::make_shared<HubLabeling>(*labeling_);
+  }
+  return *labeling_;
+}
+
+InvertedLabelIndex& KosrEngine::MutableInverted(CategoryId c) {
+  if (inverted_[c].use_count() > 1) {
+    inverted_[c] = std::make_shared<InvertedLabelIndex>(*inverted_[c]);
+  }
+  return *inverted_[c];
+}
+
 void KosrEngine::BuildIndexes(uint32_t num_threads) {
-  BuildIndexes(HubLabeling::DegreeOrder(graph_, num_threads), num_threads);
+  BuildIndexes(HubLabeling::DegreeOrder(*graph_, num_threads), num_threads);
 }
 
 void KosrEngine::BuildIndexes(const std::vector<VertexId>& order,
                               uint32_t num_threads) {
-  labeling_.Build(graph_, order, num_threads);
-  label_build_seconds_ = labeling_.BuildSeconds();
+  MutableLabeling().Build(*graph_, order, num_threads);
+  label_build_seconds_ = labeling_->BuildSeconds();
   WallTimer timer;
   // Categories are independent of one another, so each inverted index build
   // is one parallel task (dynamic scheduling — category sizes can be very
   // skewed under the Zipfian tables).
-  inverted_.assign(categories_.num_categories(), {});
+  inverted_.assign(categories_->num_categories(), nullptr);
   ParallelForEachIndex(
-      num_threads, categories_.num_categories(), [&](uint64_t c) {
-        inverted_[c] = InvertedLabelIndex::Build(
-            labeling_, categories_.Members(static_cast<CategoryId>(c)));
+      num_threads, categories_->num_categories(), [&](uint64_t c) {
+        inverted_[c] = std::make_shared<InvertedLabelIndex>(
+            InvertedLabelIndex::Build(
+                *labeling_, categories_->Members(static_cast<CategoryId>(c))));
       });
   inverted_build_seconds_ = timer.ElapsedSeconds();
   indexes_built_ = true;
@@ -133,7 +166,7 @@ void KosrEngine::BuildIndexes(const std::vector<VertexId>& order,
 KosrResult KosrEngine::Query(const KosrQuery& query,
                              const KosrOptions& options,
                              QueryContext* ctx) const {
-  ValidateQuery(query, categories_);
+  ValidateKosrQuery(query, *categories_);
   if (options.nn_mode == NnMode::kHopLabel && !indexes_built_) {
     throw std::logic_error("BuildIndexes() must run before hop-label queries");
   }
@@ -143,13 +176,16 @@ KosrResult KosrEngine::Query(const KosrQuery& query,
   slot_indexes.clear();
   if (options.nn_mode == NnMode::kHopLabel) {
     // Dijkstra-mode providers never read the slot indexes, and inverted_
-    // may be empty (indexes not built) — taking &inverted_[c] there would
-    // bind a reference into an empty vector.
-    for (CategoryId c : query.sequence) slot_indexes.push_back(&inverted_[c]);
+    // may be empty (indexes not built) — indexing it there would read past
+    // an empty vector.
+    for (CategoryId c : query.sequence) {
+      slot_indexes.push_back(inverted_[c].get());
+    }
   }
   KosrResult result =
-      RunQueryWithIndexes(graph_, categories_, labeling_, slot_indexes, query,
-                          options, ctx != nullptr ? &ctx->scratch : nullptr);
+      RunQueryWithIndexes(*graph_, *categories_, *labeling_, slot_indexes,
+                          query, options,
+                          ctx != nullptr ? &ctx->scratch : nullptr);
   if (ctx != nullptr) {
     // Arena high-water mark: the pool only grows across a context's
     // lifetime, so its size after a query is the peak witness count so far.
@@ -166,18 +202,19 @@ KosrResult KosrEngine::Query(const KosrQuery& query,
 std::optional<SequencedRoute> KosrEngine::QueryGsp(
     VertexId source, VertexId target, const CategorySequence& sequence,
     QueryStats* stats) const {
-  return RunGsp(graph_, categories_, sequence, source, target, stats);
+  return RunGsp(*graph_, *categories_, sequence, source, target, stats);
 }
 
-std::vector<VertexId> KosrEngine::ReconstructPath(
-    const std::vector<VertexId>& witness) const {
+std::vector<VertexId> ReconstructWitnessPath(
+    const Graph& graph, const HubLabeling& labeling, bool indexes_built,
+    const std::vector<VertexId>& witness) {
   std::vector<VertexId> path;
   for (size_t i = 0; i + 1 < witness.size(); ++i) {
     std::vector<VertexId> leg;
-    if (indexes_built_) {
-      leg = labeling_.UnpackPath(witness[i], witness[i + 1]);
+    if (indexes_built) {
+      leg = labeling.UnpackPath(witness[i], witness[i + 1]);
     } else {
-      leg = DijkstraPath(graph_, witness[i], witness[i + 1]);
+      leg = DijkstraPath(graph, witness[i], witness[i + 1]);
     }
     if (leg.empty()) return {};  // disconnected witness (shouldn't happen)
     if (!path.empty()) path.pop_back();  // drop duplicated junction vertex
@@ -187,17 +224,22 @@ std::vector<VertexId> KosrEngine::ReconstructPath(
   return path;
 }
 
+std::vector<VertexId> KosrEngine::ReconstructPath(
+    const std::vector<VertexId>& witness) const {
+  return ReconstructWitnessPath(*graph_, *labeling_, indexes_built_, witness);
+}
+
 void KosrEngine::AddVertexCategory(VertexId v, CategoryId c) {
-  categories_.Add(v, c);
-  if (indexes_built_) inverted_[c].AddMember(labeling_, v);
+  MutableCategories().Add(v, c);
+  if (indexes_built_) MutableInverted(c).AddMember(*labeling_, v);
 }
 
 void KosrEngine::RemoveVertexCategory(VertexId v, CategoryId c) {
-  if (indexes_built_) inverted_[c].RemoveMember(labeling_, v);
-  categories_.Remove(v, c);
+  if (indexes_built_) MutableInverted(c).RemoveMember(*labeling_, v);
+  MutableCategories().Remove(v, c);
 }
 
-void KosrEngine::AbsorbLabelRepair(const LabelRepairDelta& delta,
+void KosrEngine::AbsorbLabelRepair(LabelRepairDelta delta,
                                    EdgeUpdateSummary& summary) {
   summary.labels_changed = !delta.Empty();
   summary.changed_in_labels = static_cast<uint32_t>(delta.changed_in.size());
@@ -207,10 +249,12 @@ void KosrEngine::AbsorbLabelRepair(const LabelRepairDelta& delta,
   // rebuilding every category from scratch.
   for (size_t i = 0; i < delta.changed_in.size(); ++i) {
     VertexId x = delta.changed_in[i];
-    for (CategoryId c : categories_.CategoriesOf(x)) {
-      inverted_[c].UpdateMember(x, delta.old_in[i], labeling_.Lin(x));
+    for (CategoryId c : categories_->CategoriesOf(x)) {
+      MutableInverted(c).UpdateMember(x, delta.old_in[i], labeling_->Lin(x));
     }
   }
+  summary.changed_in_vertices = std::move(delta.changed_in);
+  summary.changed_out_vertices = std::move(delta.changed_out);
 }
 
 EdgeUpdateSummary KosrEngine::AddOrDecreaseEdge(VertexId u, VertexId v,
@@ -219,47 +263,123 @@ EdgeUpdateSummary KosrEngine::AddOrDecreaseEdge(VertexId u, VertexId v,
   // loop) leaves the graph and every index untouched, so repeated updates
   // to the same edge can neither grow the arc lists nor trigger repairs.
   EdgeUpdateSummary summary;
-  if (!graph_.AddOrDecreaseArc(u, v, w)) return summary;
+  if (u >= graph_->num_vertices() || v >= graph_->num_vertices()) {
+    throw std::invalid_argument("arc endpoint outside the vertex universe");
+  }
+  if (u == v || graph_->ArcWeight(u, v) <= static_cast<Cost>(w)) {
+    return summary;  // no-op: leave the shared graph untouched (no clone)
+  }
+  MutableGraph().AddOrDecreaseArc(u, v, w);
   summary.graph_changed = true;
   if (indexes_built_) {
-    AbsorbLabelRepair(labeling_.OnEdgeDecreased(graph_, u, v, w), summary);
+    AbsorbLabelRepair(MutableLabeling().OnEdgeDecreased(*graph_, u, v, w),
+                      summary);
   }
   return summary;
 }
 
 EdgeUpdateSummary KosrEngine::SetEdgeWeight(VertexId u, VertexId v, Weight w) {
   EdgeUpdateSummary summary;
-  if (u >= graph_.num_vertices() || v >= graph_.num_vertices()) {
+  if (u >= graph_->num_vertices() || v >= graph_->num_vertices()) {
     throw std::invalid_argument("arc endpoint outside the vertex universe");
   }
   if (u == v) return summary;  // self loops are dropped, as everywhere
-  Cost old = graph_.ArcWeight(u, v);
+  Cost old = graph_->ArcWeight(u, v);
   if (old == static_cast<Cost>(w)) return summary;  // already exactly w
-  graph_.SetArcWeight(u, v, w);
+  MutableGraph().SetArcWeight(u, v, w);
   summary.graph_changed = true;
   if (indexes_built_) {
     LabelRepairDelta delta =
         static_cast<Cost>(w) < old
-            ? labeling_.OnEdgeDecreased(graph_, u, v, w)
-            : labeling_.OnEdgeIncreased(graph_, u, v,
-                                        static_cast<Weight>(old));
-    AbsorbLabelRepair(delta, summary);
+            ? MutableLabeling().OnEdgeDecreased(*graph_, u, v, w)
+            : MutableLabeling().OnEdgeIncreased(*graph_, u, v,
+                                                static_cast<Weight>(old));
+    AbsorbLabelRepair(std::move(delta), summary);
   }
   return summary;
 }
 
 EdgeUpdateSummary KosrEngine::RemoveEdge(VertexId u, VertexId v) {
   EdgeUpdateSummary summary;
-  // RemoveArc range-checks (and drops self loops) itself; no preamble
-  // needed — unlike SetEdgeWeight, nothing here reads the graph first.
-  std::optional<Cost> old = graph_.RemoveArc(u, v);
-  if (!old.has_value()) return summary;  // absent arc (or self loop): no-op
+  if (u >= graph_->num_vertices() || v >= graph_->num_vertices()) {
+    throw std::invalid_argument("arc endpoint outside the vertex universe");
+  }
+  // Probe before mutating so an absent arc (or self loop) never clones the
+  // shared graph; RemoveArc itself re-checks and drops self loops.
+  if (u == v || graph_->ArcWeight(u, v) == kInfCost) return summary;
+  std::optional<Cost> old = MutableGraph().RemoveArc(u, v);
+  if (!old.has_value()) return summary;
   summary.graph_changed = true;
   if (indexes_built_) {
-    AbsorbLabelRepair(
-        labeling_.OnEdgeRemoved(graph_, u, v, static_cast<Weight>(*old)),
-        summary);
+    AbsorbLabelRepair(MutableLabeling().OnEdgeRemoved(
+                          *graph_, u, v, static_cast<Weight>(*old)),
+                      summary);
   }
+  return summary;
+}
+
+EdgeUpdateSummary KosrEngine::ApplyEdgeUpdates(
+    std::span<const EdgeUpdate> updates) {
+  EdgeUpdateSummary summary;
+
+  // Pass 1 — apply every graph mutation, recording each arc's pre-batch
+  // minimum weight on first touch (kInfCost = the arc did not exist). The
+  // ordered map keeps the coalesced requests in deterministic (u, v) order.
+  std::map<std::pair<VertexId, VertexId>, Cost> first_old;
+  for (const EdgeUpdate& update : updates) {
+    VertexId u = update.u, v = update.v;
+    if (u >= graph_->num_vertices() || v >= graph_->num_vertices()) {
+      throw std::invalid_argument("arc endpoint outside the vertex universe");
+    }
+    if (u == v) continue;  // self loops are dropped, as everywhere
+    Cost old = graph_->ArcWeight(u, v);
+    switch (update.kind) {
+      case EdgeUpdate::Kind::kAddOrDecrease:
+        if (old <= static_cast<Cost>(update.w)) continue;
+        first_old.try_emplace({u, v}, old);
+        MutableGraph().AddOrDecreaseArc(u, v, update.w);
+        summary.graph_changed = true;
+        break;
+      case EdgeUpdate::Kind::kSet:
+        if (old == static_cast<Cost>(update.w)) continue;
+        first_old.try_emplace({u, v}, old);
+        MutableGraph().SetArcWeight(u, v, update.w);
+        summary.graph_changed = true;
+        break;
+      case EdgeUpdate::Kind::kRemove:
+        if (old == kInfCost) continue;
+        first_old.try_emplace({u, v}, old);
+        MutableGraph().RemoveArc(u, v);
+        summary.graph_changed = true;
+        break;
+    }
+  }
+  if (!summary.graph_changed || !indexes_built_) return summary;
+
+  // Pass 2 — coalesce per-arc to the net (pre-batch, post-batch) weight
+  // change and emit exactly the tights the single-update entry points
+  // would: a net decrease or insertion engages only the new-graph test, a
+  // net increase or deletion only the old-graph test. Arcs that ended at
+  // their pre-batch weight repair nothing.
+  std::vector<HubLabeling::EdgeRepairRequest> requests;
+  requests.reserve(first_old.size());
+  for (const auto& [arc, old] : first_old) {
+    Cost now = graph_->ArcWeight(arc.first, arc.second);
+    if (now == old) continue;  // net no-op across the batch
+    HubLabeling::EdgeRepairRequest request;
+    request.u = arc.first;
+    request.v = arc.second;
+    if (now < old) {
+      request.tight_new = now;
+    } else {
+      request.tight_old = old;
+    }
+    requests.push_back(request);
+  }
+  if (requests.empty()) return summary;
+
+  AbsorbLabelRepair(MutableLabeling().RepairEdgeUpdates(*graph_, requests),
+                    summary);
   return summary;
 }
 
@@ -267,39 +387,49 @@ void KosrEngine::SaveIndexes(std::ostream& out) const {
   if (!indexes_built_) {
     throw std::logic_error("BuildIndexes() must run before SaveIndexes()");
   }
-  labeling_.Serialize(out);
-  uint32_t num_categories = categories_.num_categories();
+  labeling_->Serialize(out);
+  uint32_t num_categories = categories_->num_categories();
   out.write(reinterpret_cast<const char*>(&num_categories),
             sizeof(num_categories));
-  for (const InvertedLabelIndex& index : inverted_) index.Serialize(out);
+  for (const auto& index : inverted_) index->Serialize(out);
 }
 
 void KosrEngine::LoadIndexes(std::istream& in) {
   // Passing the expected vertex count makes Deserialize reject an absurd
   // claimed n before sizing anything from it.
-  labeling_ = HubLabeling::Deserialize(in, graph_.num_vertices());
-  if (labeling_.num_vertices() != graph_.num_vertices()) {
+  labeling_ = std::make_shared<HubLabeling>(
+      HubLabeling::Deserialize(in, graph_->num_vertices()));
+  if (labeling_->num_vertices() != graph_->num_vertices()) {
     throw std::runtime_error("index snapshot is for a different graph");
   }
   uint32_t num_categories = 0;
   in.read(reinterpret_cast<char*>(&num_categories), sizeof(num_categories));
-  if (!in || num_categories != categories_.num_categories()) {
+  if (!in || num_categories != categories_->num_categories()) {
     throw std::runtime_error("index snapshot is for different categories");
   }
   inverted_.clear();
   inverted_.reserve(num_categories);
   for (uint32_t c = 0; c < num_categories; ++c) {
-    inverted_.push_back(
-        InvertedLabelIndex::Deserialize(in, graph_.num_vertices()));
+    inverted_.push_back(std::make_shared<InvertedLabelIndex>(
+        InvertedLabelIndex::Deserialize(in, graph_->num_vertices())));
   }
   indexes_built_ = true;
+}
+
+std::shared_ptr<const EngineSnapshot> KosrEngine::SealSnapshot(
+    uint64_t version) const {
+  std::vector<std::shared_ptr<const InvertedLabelIndex>> inverted(
+      inverted_.begin(), inverted_.end());
+  return std::make_shared<const EngineSnapshot>(
+      version, indexes_built_, graph_, categories_, labeling_,
+      std::move(inverted));
 }
 
 void KosrEngine::WriteDiskStore(const std::string& dir) const {
   if (!indexes_built_) {
     throw std::logic_error("BuildIndexes() must run before WriteDiskStore()");
   }
-  DiskLabelStore::Write(dir, labeling_, categories_);
+  DiskLabelStore::Write(dir, *labeling_, *categories_);
 }
 
 KosrResult KosrEngine::QueryFromDisk(const DiskLabelStore& store,

@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "src/nn/inverted_label_index.h"
 
 namespace kosr {
+
+class EngineSnapshot;
 
 /// Outcome of a dynamic edge update: whether the graph mutated at all, and
 /// how much incremental label repair it triggered. `labels_changed == false`
@@ -30,6 +33,21 @@ struct EdgeUpdateSummary {
   /// Vertices whose Lin / Lout label vectors the repair changed.
   uint32_t changed_in_labels = 0;
   uint32_t changed_out_labels = 0;
+  /// Vertices with a changed Lin (respectively Lout) vector, sorted — the
+  /// repair delta's changed lists, forwarded so callers can invalidate
+  /// per-vertex state (the service's result cache) without a full flush.
+  std::vector<VertexId> changed_in_vertices;
+  std::vector<VertexId> changed_out_vertices;
+};
+
+/// One buffered edge mutation for KosrEngine::ApplyEdgeUpdates — the three
+/// protocol verbs ADD_EDGE / SET_EDGE / REMOVE_EDGE as data.
+struct EdgeUpdate {
+  enum class Kind { kAddOrDecrease, kSet, kRemove };
+  Kind kind = Kind::kSet;
+  VertexId u = 0;
+  VertexId v = 0;
+  Weight w = 0;  ///< Ignored for kRemove.
 };
 
 /// Facade that owns a graph, its category assignment, and the query indexes
@@ -107,6 +125,18 @@ class KosrEngine {
   /// absent arc is a no-op.
   EdgeUpdateSummary RemoveEdge(VertexId u, VertexId v);
 
+  /// Applies a whole batch of edge updates with ONE canonical repair
+  /// (ISSUE 8): every graph mutation is applied first (recording each
+  /// arc's pre-batch weight on first touch), per-arc updates coalesce to
+  /// their net effect (arcs that end where they started repair nothing),
+  /// and the surviving net changes run one batched affected-hub repair —
+  /// the union of the per-update affected sets, each hub re-searched once.
+  /// The resulting labels are byte-identical to applying the updates one
+  /// at a time (and to a from-scratch rebuild). The summary's
+  /// graph_changed reports whether any mutation touched the graph object;
+  /// the label fields describe the single batched repair.
+  EdgeUpdateSummary ApplyEdgeUpdates(std::span<const EdgeUpdate> updates);
+
   // --- Index persistence ----------------------------------------------------
 
   /// Saves the built indexes (hub labeling + all inverted label indexes) so
@@ -128,13 +158,21 @@ class KosrEngine {
                                   const KosrQuery& query,
                                   const KosrOptions& options = {});
 
+  // --- Snapshot publication (ISSUE 8) --------------------------------------
+
+  /// Seals the engine's current query-facing state into an immutable
+  /// EngineSnapshot tagged with `version`. O(num_categories) — the parts
+  /// are shared, not copied; a later mutation of this engine copies the
+  /// affected part first (copy-on-write), so the snapshot stays frozen.
+  std::shared_ptr<const EngineSnapshot> SealSnapshot(uint64_t version) const;
+
   // --- Accessors -----------------------------------------------------------
 
-  const Graph& graph() const { return graph_; }
-  const CategoryTable& categories() const { return categories_; }
-  const HubLabeling& labeling() const { return labeling_; }
+  const Graph& graph() const { return *graph_; }
+  const CategoryTable& categories() const { return *categories_; }
+  const HubLabeling& labeling() const { return *labeling_; }
   const InvertedLabelIndex& inverted(CategoryId c) const {
-    return inverted_[c];
+    return *inverted_[c];
   }
   bool indexes_built() const { return indexes_built_; }
   double label_build_seconds() const { return label_build_seconds_; }
@@ -144,24 +182,52 @@ class KosrEngine {
   /// Applies a label-repair delta to the per-category inverted indexes
   /// (patching only the lists of hubs whose member labels changed) and
   /// folds it into `summary`.
-  void AbsorbLabelRepair(const LabelRepairDelta& delta,
-                         EdgeUpdateSummary& summary);
+  void AbsorbLabelRepair(LabelRepairDelta delta, EdgeUpdateSummary& summary);
 
-  friend KosrResult RunQueryWithIndexes(
-      const Graph& graph, const CategoryTable& categories,
-      const HubLabeling& labeling,
-      const std::vector<const InvertedLabelIndex*>& slot_indexes,
-      const KosrQuery& query, const KosrOptions& options,
-      KosrScratch* scratch);
+  // Copy-on-write accessors for the mutating entry points: each clones its
+  // part iff a sealed snapshot still shares it (use_count > 1), so frozen
+  // snapshots never observe a mutation. Safe without the snapshot domain's
+  // locks: new references to these parts are only ever created on the
+  // owning (publisher) thread via SealSnapshot / engine copies, so a
+  // use_count of 1 cannot concurrently grow — it can only shrink when a
+  // retired snapshot is destroyed, which at worst forces a harmless extra
+  // clone.
+  Graph& MutableGraph();
+  CategoryTable& MutableCategories();
+  HubLabeling& MutableLabeling();
+  InvertedLabelIndex& MutableInverted(CategoryId c);
 
-  Graph graph_;
-  CategoryTable categories_;
-  HubLabeling labeling_;
-  std::vector<InvertedLabelIndex> inverted_;
+  std::shared_ptr<Graph> graph_;
+  std::shared_ptr<CategoryTable> categories_;
+  std::shared_ptr<HubLabeling> labeling_;
+  std::vector<std::shared_ptr<InvertedLabelIndex>> inverted_;
   bool indexes_built_ = false;
   double label_build_seconds_ = 0;
   double inverted_build_seconds_ = 0;
 };
+
+/// Dispatches one KOSR query against explicit index parts (shared by the
+/// in-memory engine, sealed snapshots, and the disk-resident path).
+/// `slot_indexes` holds one inverted index per sequence slot (empty for
+/// Dijkstra-mode queries, which never read it).
+KosrResult RunQueryWithIndexes(
+    const Graph& graph, const CategoryTable& categories,
+    const HubLabeling& labeling,
+    const std::vector<const InvertedLabelIndex*>& slot_indexes,
+    const KosrQuery& query, const KosrOptions& options, KosrScratch* scratch);
+
+/// Validates a query against the category table (range checks on source,
+/// target, k, and every sequence entry; throws std::invalid_argument).
+/// Exposed so EngineSnapshot::Query applies exactly the engine's rules.
+void ValidateKosrQuery(const KosrQuery& query, const CategoryTable& categories);
+
+/// Expands a witness into a full vertex path using label parent pointers
+/// (or Dijkstra when no labeling is built). Shared by KosrEngine and
+/// EngineSnapshot.
+std::vector<VertexId> ReconstructWitnessPath(const Graph& graph,
+                                             const HubLabeling& labeling,
+                                             bool indexes_built,
+                                             const std::vector<VertexId>& witness);
 
 }  // namespace kosr
 

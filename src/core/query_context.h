@@ -21,7 +21,7 @@ struct QueryContext {
   /// Per-sequence-slot inverted-index pointers (rebuilt cheaply per query,
   /// reusing the vector's capacity).
   std::vector<const InvertedLabelIndex*> slot_indexes;
-  /// Fixed-capacity per-query stage spans (queue-wait, lock-wait, NN,
+  /// Fixed-capacity per-query stage spans (queue-wait, NN,
   /// enumerate, serialize), filled by the service wrapper — plain doubles,
   /// no allocation after construction. Cleared at the start of each query.
   obs::StageTimes stage_times;

@@ -1,0 +1,42 @@
+#include "src/core/snapshot.h"
+
+#include <stdexcept>
+
+#include "src/core/engine.h"
+#include "src/obs/counters.h"
+
+namespace kosr {
+
+KosrResult EngineSnapshot::Query(const KosrQuery& query,
+                                 const KosrOptions& options,
+                                 QueryContext* ctx) const {
+  ValidateKosrQuery(query, *categories_);
+  if (options.nn_mode == NnMode::kHopLabel && !indexes_built_) {
+    throw std::logic_error("BuildIndexes() must run before hop-label queries");
+  }
+  std::vector<const InvertedLabelIndex*> local_slots;
+  std::vector<const InvertedLabelIndex*>& slot_indexes =
+      ctx != nullptr ? ctx->slot_indexes : local_slots;
+  slot_indexes.clear();
+  if (options.nn_mode == NnMode::kHopLabel) {
+    for (CategoryId c : query.sequence) {
+      slot_indexes.push_back(inverted_[c].get());
+    }
+  }
+  KosrResult result =
+      RunQueryWithIndexes(*graph_, *categories_, *labeling_, slot_indexes,
+                          query, options,
+                          ctx != nullptr ? &ctx->scratch : nullptr);
+  if (ctx != nullptr) {
+    KOSR_COUNT_MAX(kScratchPeakWitnesses, ctx->scratch.pool.size());
+  }
+  if (options.reconstruct_paths) {
+    for (SequencedRoute& route : result.routes) {
+      route.path = ReconstructWitnessPath(*graph_, *labeling_, indexes_built_,
+                                          route.witness);
+    }
+  }
+  return result;
+}
+
+}  // namespace kosr

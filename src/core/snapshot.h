@@ -1,0 +1,76 @@
+#ifndef KOSR_CORE_SNAPSHOT_H_
+#define KOSR_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/core/query_context.h"
+#include "src/graph/categories.h"
+#include "src/graph/graph.h"
+#include "src/labeling/hub_labeling.h"
+#include "src/nn/inverted_label_index.h"
+
+namespace kosr {
+
+/// Immutable, versioned view of an engine's query-facing state (ISSUE 8):
+/// graph weights, category table, sealed hub labeling, and the per-category
+/// inverted indexes — everything a KOSR query reads. Snapshots are sealed
+/// by KosrEngine::SealSnapshot and published by the service's
+/// SnapshotDomain via one atomic pointer swap; readers run whole queries
+/// against a pinned snapshot with no locks and no per-query reference
+/// counting (reclamation is epoch-based, see DESIGN.md, "Snapshot
+/// publication").
+///
+/// The parts are shared with the engine that sealed them; the engine's
+/// copy-on-write mutators clone any part a live snapshot still references
+/// before mutating it, so everything reachable from here is frozen for the
+/// snapshot's whole lifetime. Every member function is const and
+/// thread-safe by immutability.
+class EngineSnapshot {
+ public:
+  EngineSnapshot(
+      uint64_t version, bool indexes_built,
+      std::shared_ptr<const Graph> graph,
+      std::shared_ptr<const CategoryTable> categories,
+      std::shared_ptr<const HubLabeling> labeling,
+      std::vector<std::shared_ptr<const InvertedLabelIndex>> inverted)
+      : version_(version),
+        indexes_built_(indexes_built),
+        graph_(std::move(graph)),
+        categories_(std::move(categories)),
+        labeling_(std::move(labeling)),
+        inverted_(std::move(inverted)) {}
+
+  /// Monotonically increasing publication version (1 = the initial seal).
+  uint64_t version() const { return version_; }
+  bool indexes_built() const { return indexes_built_; }
+
+  const Graph& graph() const { return *graph_; }
+  const CategoryTable& categories() const { return *categories_; }
+  const HubLabeling& labeling() const { return *labeling_; }
+  const InvertedLabelIndex& inverted(CategoryId c) const {
+    return *inverted_[c];
+  }
+  uint32_t num_categories() const { return categories_->num_categories(); }
+
+  /// Answers a KOSR query against this frozen state — identical semantics
+  /// (validation, dispatch, path reconstruction) to KosrEngine::Query on
+  /// the engine state this snapshot was sealed from.
+  KosrResult Query(const KosrQuery& query, const KosrOptions& options = {},
+                   QueryContext* ctx = nullptr) const;
+
+ private:
+  uint64_t version_;
+  bool indexes_built_;
+  std::shared_ptr<const Graph> graph_;
+  std::shared_ptr<const CategoryTable> categories_;
+  std::shared_ptr<const HubLabeling> labeling_;
+  std::vector<std::shared_ptr<const InvertedLabelIndex>> inverted_;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_CORE_SNAPSHOT_H_

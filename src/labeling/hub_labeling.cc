@@ -633,49 +633,81 @@ LabelRepairDelta HubLabeling::RepairEdgeUpdate(const Graph& graph, VertexId u,
                                                VertexId v,
                                                std::optional<Cost> tight_old,
                                                std::optional<Cost> tight_new) {
+  EdgeRepairRequest request{u, v, tight_old, tight_new};
+  return RepairEdgeUpdates(graph, {&request, 1});
+}
+
+LabelRepairDelta HubLabeling::RepairEdgeUpdates(
+    const Graph& graph, std::span<const EdgeRepairRequest> requests) {
   const uint32_t n = num_vertices();
 
-  // Phase 1 — affected hubs, read off the *pre-update* labels (nothing has
-  // been mutated yet, so Query still answers old distances exactly; note
-  // dis(h, u) and dis(v, h) cannot change through arc (u, v) itself — a
-  // shortest path never crosses its own endpoint twice — so "old" equals
-  // "new" for every distance the tests consume).
+  // Per-request short-circuit on the shared pre-batch labels: when an
+  // existing route strictly beats every engaged tight of a request,
+  // neither of its tightness tests can fire for any hub (dis(h, v) <=
+  // dis(h, u) + dis(u, v) < dis(h, u) + tight, so neither the equality
+  // nor the <= test is satisfiable) — skip the request without the
+  // affected-hub sweep. This is the batched form of the one-label-query
+  // short-circuit in OnEdgeDecreased / OnEdgeIncreased.
+  std::vector<const EdgeRepairRequest*> active;
+  active.reserve(requests.size());
+  for (const EdgeRepairRequest& request : requests) {
+    Cost existing = Query(request.u, request.v);
+    bool old_dead = !request.tight_old || existing < *request.tight_old;
+    bool new_dead = !request.tight_new || existing < *request.tight_new;
+    if (old_dead && new_dead) continue;
+    active.push_back(&request);
+  }
+  if (active.empty()) return {};
+
+  // Phase 1 — affected hubs, read off the *pre-batch* labels (nothing has
+  // been mutated yet, so Query still answers pre-batch distances exactly).
   //
-  // A hub's forward label set can change only if the arc lies on a
-  // shortest path from it in the old graph (dis(h, u) + w_old ==
+  // A hub's forward label set can change only if some batched arc lies on
+  // a shortest path from it in the old graph (dis(h, u) + w_old ==
   // dis(h, v); its loss can change distances, uncover entries of
   // larger-ranked hubs whose cover path crossed the arc, or untie
   // canonical parents) or in the new graph (dis(h, u) + w_new <=
   // dis(h, v); a strict improvement changes distances, an exact tie can
   // newly cover entries away or re-tie parents). Backward mirror: the arc
-  // on a shortest path *to* the hub. DESIGN.md ("Dynamic updates") gives
-  // the exactness argument. Because the hub order is a permutation of all
-  // vertices, empty tight sets certify that no pair's distance (and no
-  // label entry) changed at all.
+  // on a shortest path *to* the hub. The affected set of a batch is the
+  // union over its requests: any hub whose labels differ between the
+  // pre-batch and post-batch graphs owes that difference to at least one
+  // net-changed arc on an old or new shortest path, and that arc's test
+  // fires for it. DESIGN.md ("Dynamic updates" and "Snapshot
+  // publication") gives the exactness argument. Because the hub order is
+  // a permutation of all vertices, empty tight sets certify that no
+  // pair's distance (and no label entry) changed at all.
   std::vector<uint32_t> fwd_ranks, bwd_ranks;
   std::vector<bool> fwd_affected(n, false), bwd_affected(n, false);
   for (uint32_t r = 0; r < n; ++r) {
     VertexId h = order_[r];
-    Cost hu = Query(h, u);
-    if (hu != kInfCost) {
-      Cost hv = Query(h, v);
-      if ((tight_old && hu + *tight_old == hv) ||
-          (tight_new && hu + *tight_new <= hv)) {
-        fwd_ranks.push_back(r);
-        fwd_affected[r] = true;
+    for (const EdgeRepairRequest* request : active) {
+      if (!fwd_affected[r]) {
+        Cost hu = Query(h, request->u);
+        if (hu != kInfCost) {
+          Cost hv = Query(h, request->v);
+          if ((request->tight_old && hu + *request->tight_old == hv) ||
+              (request->tight_new && hu + *request->tight_new <= hv)) {
+            fwd_ranks.push_back(r);
+            fwd_affected[r] = true;
+          }
+        }
       }
-    }
-    Cost vh = Query(v, h);
-    if (vh != kInfCost) {
-      Cost uh = Query(u, h);
-      if ((tight_old && *tight_old + vh == uh) ||
-          (tight_new && *tight_new + vh <= uh)) {
-        bwd_ranks.push_back(r);
-        bwd_affected[r] = true;
+      if (!bwd_affected[r]) {
+        Cost vh = Query(request->v, h);
+        if (vh != kInfCost) {
+          Cost uh = Query(request->u, h);
+          if ((request->tight_old && *request->tight_old + vh == uh) ||
+              (request->tight_new && *request->tight_new + vh <= uh)) {
+            bwd_ranks.push_back(r);
+            bwd_affected[r] = true;
+          }
+        }
       }
+      if (fwd_affected[r] && bwd_affected[r]) break;
     }
   }
-  KOSR_COUNT(kRepairTightnessTests, n);
+  KOSR_COUNT(kRepairTightnessTests, static_cast<uint64_t>(n) * active.size());
   if (fwd_ranks.empty() && bwd_ranks.empty()) return {};
 
   // Phase 2 — drop every label entry owned by an affected hub. Entries can

@@ -216,6 +216,34 @@ class HubLabeling {
   LabelRepairDelta OnEdgeRemoved(const Graph& graph, VertexId u, VertexId v,
                                  Weight old_weight);
 
+  /// One coalesced arc change inside a batched repair: the net effect of
+  /// every update to arc (u, v) within the batch. `tight_old` is the
+  /// pre-batch minimum u->v weight (absent when the net effect is an
+  /// insertion or pure decrease), `tight_new` the post-batch one (absent
+  /// when the net effect is a deletion or pure increase) — exactly the
+  /// tights the single-update entry points pass to the canonical repair.
+  struct EdgeRepairRequest {
+    VertexId u = 0;
+    VertexId v = 0;
+    std::optional<Cost> tight_old;
+    std::optional<Cost> tight_new;
+  };
+
+  /// Batched canonical repair (ISSUE 8): unions the affected-hub sets of
+  /// all requests — each identified by the same tightness tests on the
+  /// shared pre-batch labels — scrubs the union once, and re-runs each
+  /// affected hub's pruned search once, in the canonical rank order.
+  /// `graph` must already carry every post-batch weight. Requests whose
+  /// short-circuit fires (an existing route strictly beats every engaged
+  /// tight, so neither test can fire for any hub) are skipped
+  /// individually. Equivalent to applying the requests one at a time —
+  /// and byte-identical to a from-scratch rebuild — at the cost of one
+  /// affected-hub sweep and one re-search per hub instead of one per
+  /// update (the batched direction of dynamic pruned landmark labeling,
+  /// Akiba et al., WWW'14).
+  LabelRepairDelta RepairEdgeUpdates(const Graph& graph,
+                                     std::span<const EdgeRepairRequest> requests);
+
   // --- Introspection (Table IX) -------------------------------------------
 
   double AvgInLabelSize() const;

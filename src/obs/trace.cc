@@ -8,8 +8,6 @@ const char* StageName(Stage s) {
   switch (s) {
     case Stage::kQueueWait:
       return "queue_wait";
-    case Stage::kLockWait:
-      return "lock_wait";
     case Stage::kNn:
       return "nn";
     case Stage::kEnumerate:

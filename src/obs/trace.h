@@ -9,18 +9,19 @@ namespace kosr::obs {
 
 /// Stages of one request's life through the service, recorded as per-query
 /// spans and aggregated into per-stage LogHistograms in the registry.
-/// kQueueWait, kLockWait, and kSerialize cost two clock reads each and are
-/// recorded for every request; kNn and kEnumerate require the engine's
-/// per-phase timers and are recorded only for sampled queries
-/// (ServiceConfig::stage_sample_every).
+/// kQueueWait and kSerialize cost two clock reads each and are recorded
+/// for every request; kNn and kEnumerate require the engine's per-phase
+/// timers and are recorded only for sampled queries
+/// (ServiceConfig::stage_sample_every). There is no lock-wait stage:
+/// queries resolve an immutable snapshot through an epoch pin and never
+/// block on updates (DESIGN.md, "Snapshot publication").
 enum class Stage : uint32_t {
   kQueueWait = 0,  ///< Enqueue -> dequeue by a worker.
-  kLockWait,       ///< Waiting on the shared engine lock.
   kNn,             ///< NN/NEN probing inside the engine (sampled).
   kEnumerate,      ///< Route enumeration = engine time minus NN (sampled).
   kSerialize,      ///< Formatting the protocol response line.
 };
-inline constexpr size_t kNumStages = 5;
+inline constexpr size_t kNumStages = 4;
 
 /// Stable snake_case name for the JSON/METRICS surface.
 const char* StageName(Stage s);
@@ -30,7 +31,7 @@ const char* StageName(Stage s);
 /// search scratch). A negative slot means the stage was not recorded for
 /// this query (e.g. unsampled engine phases, cache hits).
 struct StageTimes {
-  double seconds[kNumStages] = {-1, -1, -1, -1, -1};
+  double seconds[kNumStages] = {-1, -1, -1, -1};
 
   void Clear() {
     for (double& s : seconds) s = -1;

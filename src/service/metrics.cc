@@ -24,6 +24,14 @@ std::string MetricsSnapshot::ToJson() const {
      << ",\"completed\":" << completed << ",\"rejected\":" << rejected
      << ",\"errors\":" << errors << ",\"qps\":" << qps << ",\"gauges\":{"
      << "\"queue_depth\":" << queue_depth << ",\"in_flight\":" << in_flight
+     << "},\"snapshots\":{"
+     << "\"version\":" << snapshots.version
+     << ",\"live_snapshots\":" << snapshots.live_snapshots
+     << ",\"epoch_lag\":" << snapshots.epoch_lag
+     << ",\"pending_updates\":" << snapshots.pending_updates
+     << ",\"updates_enqueued\":" << snapshots.updates_enqueued
+     << ",\"updates_applied\":" << snapshots.updates_applied
+     << ",\"batches_applied\":" << snapshots.batches_applied
      << "},\"cache\":{"
      << "\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
      << ",\"insertions\":" << cache.insertions
@@ -111,9 +119,9 @@ void MetricsRegistry::SetSlowLogCapacity(size_t capacity) {
   slow_next_ = 0;
 }
 
-MetricsSnapshot MetricsRegistry::Snapshot(const CacheStats& cache,
-                                          uint32_t queue_depth,
-                                          uint32_t in_flight) const {
+MetricsSnapshot MetricsRegistry::Snapshot(
+    const CacheStats& cache, uint32_t queue_depth, uint32_t in_flight,
+    const SnapshotGauges& snapshots) const {
   MetricsSnapshot snap;
   // The uptime clock and the counters are reset under the same mutex; read
   // everything inside the lock so a concurrent Metrics()/Reset() pair does
@@ -128,6 +136,7 @@ MetricsSnapshot MetricsRegistry::Snapshot(const CacheStats& cache,
   snap.qps = snap.uptime_s > 0 ? snap.completed / snap.uptime_s : 0;
   snap.queue_depth = queue_depth;
   snap.in_flight = in_flight;
+  snap.snapshots = snapshots;
   snap.cache = cache;
   snap.per_method = per_method_;
   snap.stages = stages_;

@@ -22,6 +22,25 @@ namespace kosr::service {
 /// paper's naming used across the benches: SK, PK, KPNE, SK-Dij, ...
 const char* MethodName(Algorithm algorithm, NnMode nn_mode);
 
+/// Snapshot-publication gauges, sampled by the service from its
+/// SnapshotDomain and update-batching state at Metrics() time (ISSUE 8).
+struct SnapshotGauges {
+  /// Version of the currently published snapshot (1 = initial seal).
+  uint64_t version = 0;
+  /// Published snapshots not yet reclaimed (1 at quiescence).
+  uint64_t live_snapshots = 0;
+  /// Global epoch minus the oldest pinned reader's epoch (0 = all current).
+  uint64_t epoch_lag = 0;
+  /// Edge updates buffered, waiting for the batch window to close.
+  uint64_t pending_updates = 0;
+  /// Edge updates accepted so far (buffered or applied).
+  uint64_t updates_enqueued = 0;
+  /// Edge updates whose graph mutation has been applied.
+  uint64_t updates_applied = 0;
+  /// Update batches flushed into a repair (each at most one publication).
+  uint64_t batches_applied = 0;
+};
+
 /// Frozen view of the registry, taken under the lock.
 struct MetricsSnapshot {
   double uptime_s = 0;
@@ -33,12 +52,13 @@ struct MetricsSnapshot {
   /// Queue/backpressure gauges, sampled by the service at snapshot time.
   uint32_t queue_depth = 0;
   uint32_t in_flight = 0;
+  SnapshotGauges snapshots;
   CacheStats cache;
   /// End-to-end (enqueue -> response) latency per method name. Cache hits
   /// are included: the service-level percentiles are what a client sees.
   std::map<std::string, obs::LogHistogram> per_method;
   /// Per-stage span histograms, indexed by obs::Stage. Queue-wait,
-  /// lock-wait, and serialize cover every request; NN and enumerate only
+  /// and serialize cover every request; NN and enumerate only
   /// the sampled ones, so their counts are lower.
   std::array<obs::LogHistogram, obs::kNumStages> stages;
   /// Aggregated engine work counters, indexed by obs::Counter (sum
@@ -86,11 +106,12 @@ class MetricsRegistry {
   /// service construction; safe (but destructive) at any time.
   void SetSlowLogCapacity(size_t capacity) KOSR_EXCLUDES(histogram_mutex_);
 
-  /// Snapshot including the cache's counters and the service's queue
-  /// gauges (both live beside the registry in the service; passing them in
-  /// keeps this class standalone).
+  /// Snapshot including the cache's counters and the service's queue and
+  /// snapshot-publication gauges (all live beside the registry in the
+  /// service; passing them in keeps this class standalone).
   MetricsSnapshot Snapshot(const CacheStats& cache, uint32_t queue_depth,
-                           uint32_t in_flight) const
+                           uint32_t in_flight,
+                           const SnapshotGauges& snapshots) const
       KOSR_EXCLUDES(histogram_mutex_);
 
   /// Zeroes counters and histograms and restarts the uptime clock; the

@@ -85,18 +85,26 @@ std::string HandleQuery(KosrService& service,
   // A budget-truncated answer may be partial/suboptimal; the client must
   // be able to tell it from a complete one (the cache already refuses it).
   if (response.result.stats.timed_out) os << " truncated=1";
+  os << " version=" << response.snapshot_version;
   std::string line = os.str();
   service.RecordSerializeSpan(serialize.ElapsedSeconds());
   return line;
 }
 
-// SET_EDGE / REMOVE_EDGE report the repair summary so a peer driving a
-// live edge feed can see which updates actually moved anything.
-std::string UpdateResponse(const EdgeUpdateSummary& summary) {
+// Edge verbs report the repair summary so a peer driving a live edge feed
+// can see which updates actually moved anything; buffered updates (batch
+// window open) report BUFFERED with the still-current snapshot version.
+std::string UpdateResponse(const UpdateAck& ack) {
   std::ostringstream os;
-  os << "OK UPDATED changed=" << (summary.graph_changed ? 1 : 0)
+  if (!ack.applied) {
+    os << "OK BUFFERED pending=" << ack.pending
+       << " version=" << ack.snapshot_version;
+    return os.str();
+  }
+  os << "OK UPDATED changed=" << (ack.summary.graph_changed ? 1 : 0)
      << " labels="
-     << summary.changed_in_labels + summary.changed_out_labels;
+     << ack.summary.changed_in_labels + ack.summary.changed_out_labels
+     << " version=" << ack.snapshot_version;
   return os.str();
 }
 
@@ -105,10 +113,9 @@ std::string HandleUpdate(KosrService& service,
   const std::string& cmd = tokens[0];
   if (cmd == "ADD_EDGE") {
     if (tokens.size() != 4) return "ERR ADD_EDGE wants: ADD_EDGE <u> <v> <w>";
-    service.AddOrDecreaseEdge(ParseU32(tokens[1], "u"),
-                              ParseU32(tokens[2], "v"),
-                              ParseU32(tokens[3], "w"));
-    return "OK UPDATED";
+    return UpdateResponse(service.AddOrDecreaseEdge(ParseU32(tokens[1], "u"),
+                                                    ParseU32(tokens[2], "v"),
+                                                    ParseU32(tokens[3], "w")));
   }
   if (cmd == "SET_EDGE") {
     if (tokens.size() != 4) return "ERR SET_EDGE wants: SET_EDGE <u> <v> <w>";
@@ -128,12 +135,9 @@ std::string HandleUpdate(KosrService& service,
   }
   VertexId v = ParseU32(tokens[1], "vertex");
   CategoryId c = ParseU32(tokens[2], "category");
-  if (cmd == "ADD_CAT") {
-    service.AddVertexCategory(v, c);
-  } else {
-    service.RemoveVertexCategory(v, c);
-  }
-  return "OK UPDATED";
+  UpdateAck ack = cmd == "ADD_CAT" ? service.AddVertexCategory(v, c)
+                                   : service.RemoveVertexCategory(v, c);
+  return "OK UPDATED version=" + std::to_string(ack.snapshot_version);
 }
 
 }  // namespace
@@ -182,6 +186,15 @@ std::string HandleRequestLine(KosrService& service, const std::string& line) {
     if (cmd == "ADD_CAT" || cmd == "REMOVE_CAT" || cmd == "ADD_EDGE" ||
         cmd == "SET_EDGE" || cmd == "REMOVE_EDGE") {
       return HandleUpdate(service, tokens);
+    }
+    if (cmd == "FLUSH_UPDATES") {
+      UpdateAck ack = service.FlushUpdates();
+      std::ostringstream os;
+      os << "OK FLUSHED changed=" << (ack.summary.graph_changed ? 1 : 0)
+         << " labels="
+         << ack.summary.changed_in_labels + ack.summary.changed_out_labels
+         << " version=" << ack.snapshot_version;
+      return os.str();
     }
     if (cmd == "METRICS") return "OK METRICS " + service.MetricsJson();
     if (cmd == "PING") return "OK PONG";

@@ -23,18 +23,27 @@ namespace kosr::service {
 ///   SET_EDGE <u> <v> <weight>        (set exactly: insert, decrease, or
 ///                                     increase with incremental repair)
 ///   REMOVE_EDGE <u> <v>              (delete the arc, incremental repair)
+///   FLUSH_UPDATES                    (apply buffered edge updates now,
+///                                     without waiting for the batch window)
 ///   METRICS
 ///   PING
 ///   QUIT
 ///
 /// <method> is one of sk | pk | kpne | sk-dij | pk-dij | kpne-dij
-/// (default sk). Responses:
+/// (default sk). Every answer-bearing response carries the version of the
+/// snapshot it was computed against (`version=`), so a peer can correlate
+/// answers with the updates it has submitted. Responses:
 ///
 ///   OK ROUTES n=<n> costs=<c1,c2,...> cached=<0|1> ms=<latency>
-///             [truncated=1]                (time budget hit; partial answer)
-///   OK UPDATED                            (ADD_CAT / REMOVE_CAT / ADD_EDGE)
-///   OK UPDATED changed=<0|1> labels=<n>   (SET_EDGE / REMOVE_EDGE: whether
-///             the graph changed, and how many label vectors were repaired)
+///             [truncated=1] version=<v>    (truncated: time budget hit,
+///                                           partial answer)
+///   OK UPDATED version=<v>                (ADD_CAT / REMOVE_CAT)
+///   OK UPDATED changed=<0|1> labels=<n> version=<v>
+///             (edge verbs, applied synchronously: whether the graph
+///             changed, and how many label vectors were repaired)
+///   OK BUFFERED pending=<n> version=<v>   (edge verbs under a batch
+///             window: buffered, not yet applied; version still current)
+///   OK FLUSHED changed=<0|1> labels=<n> version=<v>
 ///   OK METRICS <json>
 ///   OK PONG
 ///   OK BYE

@@ -37,12 +37,15 @@ ShardedResultCache::Shard& ShardedResultCache::ShardFor(const CacheKey& key) {
   return shards_[CacheKeyHash{}(key) % shards_.size()];
 }
 
-std::optional<KosrResult> ShardedResultCache::Lookup(const CacheKey& key) {
+std::optional<KosrResult> ShardedResultCache::Lookup(const CacheKey& key,
+                                                     uint64_t pinned_version) {
   if (!enabled()) return std::nullopt;
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
+  if (it == shard.index.end() || it->second->version > pinned_version) {
+    // Too new for this reader's snapshot: miss without erasing — readers
+    // pinned at the current version still want it.
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -51,24 +54,44 @@ std::optional<KosrResult> ShardedResultCache::Lookup(const CacheKey& key) {
   return it->second->result;
 }
 
-void ShardedResultCache::Insert(const CacheKey& key,
-                                const KosrResult& result) {
+void ShardedResultCache::Insert(const CacheKey& key, const KosrResult& result,
+                                uint64_t version) {
   if (!enabled()) return;
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mutex);
+  // The shard-mutex handoff with the invalidation walk orders this load
+  // after BeginInvalidation's store (see the member comment), so a result
+  // computed against a pre-update snapshot can never land after the walk
+  // already scrubbed this shard.
+  if (version < latest_invalidation_version_.load(std::memory_order_relaxed)) {
+    return;
+  }
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->result = result;
+    if (version >= it->second->version) {
+      it->second->result = result;
+      it->second->version = version;
+    }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front({key, result});
+  shard.lru.push_front({key, result, version});
   shard.index[key] = shard.lru.begin();
   insertions_.fetch_add(1, std::memory_order_relaxed);
   while (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedResultCache::BeginInvalidation(uint64_t version) {
+  // Monotonic max: concurrent rounds can only tighten the gate.
+  uint64_t previous =
+      latest_invalidation_version_.load(std::memory_order_relaxed);
+  while (previous < version &&
+         !latest_invalidation_version_.compare_exchange_weak(
+             previous, version, std::memory_order_relaxed)) {
   }
 }
 
@@ -88,6 +111,36 @@ void ShardedResultCache::InvalidateCategory(CategoryId c) {
       const CategorySequence& seq = it->key.sequence;
       if (std::find(seq.begin(), seq.end(), c) != seq.end()) {
         shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ShardedResultCache::InvalidateEdgeDelta(
+    const EdgeInvalidationFilter& filter) {
+  auto flagged = [](const std::vector<bool>& flags, uint32_t id) {
+    return id < flags.size() && flags[id];
+  };
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      const CacheKey& key = it->key;
+      bool stale = key.with_paths || flagged(filter.changed_out, key.source) ||
+                   flagged(filter.changed_in, key.target);
+      if (!stale) {
+        for (CategoryId c : key.sequence) {
+          if (flagged(filter.affected_categories, c)) {
+            stale = true;
+            break;
+          }
+        }
+      }
+      if (stale) {
+        shard.index.erase(key);
         it = shard.lru.erase(it);
         invalidations_.fetch_add(1, std::memory_order_relaxed);
       } else {

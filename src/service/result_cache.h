@@ -49,35 +49,75 @@ struct CacheStats {
   }
 };
 
-/// Sharded LRU cache of completed query results.
+/// Which cached entries an applied edge update can stale (ISSUE 8:
+/// invalidation granularity). Built by the service from the repair delta's
+/// changed-label vertex lists; see KosrService::InvalidateForEdgeUpdate
+/// for the exactness argument.
+struct EdgeInvalidationFilter {
+  /// changed_out[v]: v's out-labels changed (v can reach differently).
+  std::vector<bool> changed_out;
+  /// changed_in[v]: v's in-labels changed (v is reached differently).
+  std::vector<bool> changed_in;
+  /// Categories with a member whose labels changed (intermediate route
+  /// stops are members of the key's sequence categories).
+  std::vector<bool> affected_categories;
+};
+
+/// Sharded LRU cache of completed query results, version-keyed (ISSUE 8).
 ///
 /// The key space is split over `num_shards` independently locked shards so
 /// concurrent workers rarely contend; each shard keeps its own LRU list and
-/// evicts at `capacity / num_shards` entries. Invalidation supports the two
-/// granularities the engine's dynamic updates need (DESIGN.md, "Serving
-/// layer"): a category update only stales results whose sequence mentions
-/// that category; an edge update may move shortest-path distances anywhere
-/// and stales everything — though the service only calls that when the
-/// label repair certifies something actually changed.
+/// evicts at `capacity / num_shards` entries.
+///
+/// Every entry carries the snapshot version its result was computed
+/// against. A reader pinned to snapshot version P only consumes entries
+/// with version <= P (a newer entry reflects updates the reader's snapshot
+/// has not seen — returning it would break the reader's consistent view).
+/// Invalidation is targeted: an applied edge update erases exactly the
+/// entries its repair delta can stale (InvalidateEdgeDelta) instead of
+/// flushing the whole cache, and the BeginInvalidation gate rejects
+/// straggler inserts computed against pre-update snapshots so a slow
+/// reader cannot resurrect a stale answer after the walk.
 class ShardedResultCache {
  public:
   /// `capacity` = total entries across shards (0 disables caching);
   /// `num_shards` is rounded up to at least 1.
   explicit ShardedResultCache(size_t capacity, size_t num_shards = 8);
 
-  /// Returns the cached result and promotes the entry to most-recent, or
-  /// nullopt (counting a miss).
-  std::optional<KosrResult> Lookup(const CacheKey& key);
+  /// Returns the cached result if its version is visible to a reader
+  /// pinned at `pinned_version`, promoting the entry to most-recent;
+  /// nullopt (counting a miss) otherwise. An entry newer than the pinned
+  /// snapshot stays cached for current readers.
+  std::optional<KosrResult> Lookup(const CacheKey& key,
+                                   uint64_t pinned_version);
 
-  /// Inserts or refreshes an entry, evicting the shard's least-recent
-  /// entries beyond its capacity share.
-  void Insert(const CacheKey& key, const KosrResult& result);
+  /// Inserts or refreshes an entry computed against snapshot `version`,
+  /// evicting the shard's least-recent entries beyond its capacity share.
+  /// Rejected when `version` predates the latest invalidation (the result
+  /// was computed before an update that may have staled it); a refresh
+  /// never replaces a newer result with an older one.
+  void Insert(const CacheKey& key, const KosrResult& result,
+              uint64_t version);
 
-  /// Drops every entry (edge-weight updates: all distances may change).
+  /// Opens an invalidation round for the update published as `version`:
+  /// from now on, inserts computed against any older snapshot are
+  /// rejected. Call before the invalidation walk, which must complete
+  /// before the new snapshot is published (the shard-mutex handoff then
+  /// makes the gate visible to every straggler insert).
+  void BeginInvalidation(uint64_t version);
+
+  /// Drops every entry (serving without indexes: any graph change can move
+  /// any Dijkstra answer, and there is no repair delta to target with).
   void InvalidateAll();
   /// Drops entries whose sequence contains `c` (category membership
   /// updates only affect queries that visit that category).
   void InvalidateCategory(CategoryId c);
+  /// Drops exactly the entries an edge update's repair delta can stale:
+  /// source with changed out-labels, target with changed in-labels, a
+  /// sequence category with a changed member, or any entry with
+  /// reconstructed paths (parent chains traverse arbitrary intermediate
+  /// vertices). Everything else provably kept its answer.
+  void InvalidateEdgeDelta(const EdgeInvalidationFilter& filter);
 
   CacheStats stats() const;
   size_t size() const;
@@ -89,6 +129,8 @@ class ShardedResultCache {
   struct Entry {
     CacheKey key;
     KosrResult result;
+    /// Snapshot version the result was computed against.
+    uint64_t version = 0;
   };
   struct Shard {
     mutable Mutex mutex;
@@ -103,6 +145,13 @@ class ShardedResultCache {
   size_t capacity_ = 0;
   size_t per_shard_capacity_ = 0;
   std::vector<Shard> shards_;
+
+  /// Version of the most recent invalidation round. Read under the shard
+  /// mutex in Insert: the publisher stores it before walking the shards,
+  /// and the walk locks every shard, so any insert racing the walk either
+  /// lands before the walk scrubs that shard or observes the gate through
+  /// the shard-mutex handoff — plain relaxed accesses suffice.
+  std::atomic<uint64_t> latest_invalidation_version_{0};
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

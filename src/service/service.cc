@@ -5,26 +5,40 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace kosr::service {
 namespace {
 
 // The engine's update entry points index internal tables unchecked; the
 // service fronts untrusted callers (the serve protocol), so range-check
-// here and throw — the worker/protocol layers turn this into an error
-// response instead of corrupting the long-lived process.
-void CheckVertex(const KosrEngine& engine, VertexId v, const char* what) {
-  if (v >= engine.graph().num_vertices()) {
+// here and throw — the front-end turns this into an error response
+// instead of corrupting the long-lived process. The vertex universe is
+// fixed for the service's lifetime, so the check needs no lock.
+void CheckVertexId(VertexId v, uint32_t num_vertices, const char* what) {
+  if (v >= num_vertices) {
     throw std::invalid_argument(std::string(what) + " " + std::to_string(v) +
                                 " outside the vertex universe");
   }
 }
 
-void CheckCategory(const KosrEngine& engine, CategoryId c) {
-  if (c >= engine.categories().num_categories()) {
-    throw std::invalid_argument("unknown category " + std::to_string(c));
-  }
-}
+/// Exception-safe epoch pin: unpins even when the query throws.
+class ScopedPin {
+ public:
+  ScopedPin(SnapshotDomain& domain, uint32_t slot)
+      : domain_(domain), slot_(slot), snapshot_(domain.Pin(slot)) {}
+  ~ScopedPin() { domain_.Unpin(slot_); }
+
+  ScopedPin(const ScopedPin&) = delete;
+  ScopedPin& operator=(const ScopedPin&) = delete;
+
+  const EngineSnapshot* operator->() const { return snapshot_; }
+
+ private:
+  SnapshotDomain& domain_;
+  uint32_t slot_;
+  const EngineSnapshot* snapshot_;
+};
 
 }  // namespace
 
@@ -37,7 +51,10 @@ KosrService::KosrService(KosrEngine engine, const ServiceConfig& config)
       queue_capacity_(std::max<size_t>(1, config.queue_capacity)),
       default_time_budget_s_(config.default_time_budget_s),
       slow_query_threshold_s_(config.slow_query_threshold_s),
-      stage_sample_every_(config.stage_sample_every) {
+      stage_sample_every_(config.stage_sample_every),
+      update_batch_window_s_(std::max(0.0, config.update_batch_window_s)),
+      num_vertices_(engine_.graph().num_vertices()),
+      domain_(num_workers_, engine_.SealSnapshot(1)) {
   metrics_.SetSlowLogCapacity(
       config.slow_query_threshold_s > 0 ? config.slow_log_capacity : 0);
   if (config.start_workers) Start();
@@ -52,9 +69,16 @@ void KosrService::Start() {
     MutexLock lock(queue_mutex_);
     stopping_ = false;
   }
+  {
+    MutexLock lock(batch_mutex_);
+    batch_stopping_ = false;
+  }
   workers_.reserve(num_workers_);
   for (uint32_t i = 0; i < num_workers_; ++i) {
-    workers_.emplace_back(&KosrService::WorkerLoop, this);
+    workers_.emplace_back(&KosrService::WorkerLoop, this, i);
+  }
+  if (update_batch_window_s_ > 0) {
+    flusher_ = std::thread(&KosrService::FlusherLoop, this);
   }
 }
 
@@ -69,6 +93,18 @@ void KosrService::Stop() {
   queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+  {
+    MutexLock lock(batch_mutex_);
+    batch_stopping_ = true;
+  }
+  batch_cv_.NotifyAll();
+  if (flusher_.joinable()) flusher_.join();
+  // Buffered updates are applied, never dropped: a window that had not
+  // closed yet still reaches the labels (and the next Start's readers).
+  FlushUpdates();
+  // Every reader is gone, so every retired snapshot is reclaimable and
+  // the live-snapshot gauge converges to 1.
+  domain_.Reclaim();
   for (Pending& pending : drained) {
     ServiceResponse response;
     response.status = ResponseStatus::kShutdown;
@@ -107,7 +143,7 @@ ServiceResponse KosrService::Submit(const ServiceRequest& request) {
   return SubmitAsync(request).get();
 }
 
-void KosrService::WorkerLoop() {
+void KosrService::WorkerLoop(uint32_t slot) {
   // Worker-private query scratch: the hot containers of every search this
   // worker runs live here, allocated once and reused across requests.
   QueryContext ctx;
@@ -137,7 +173,7 @@ void KosrService::WorkerLoop() {
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     ServiceResponse response;
     try {
-      response = Process(pending.request, ctx, sample);
+      response = Process(pending.request, ctx, sample, slot);
     } catch (const std::exception& e) {
       response.status = ResponseStatus::kError;
       response.error = e.what();
@@ -197,23 +233,24 @@ CacheKey KosrService::KeyFor(const ServiceRequest& request) {
 }
 
 ServiceResponse KosrService::Process(const ServiceRequest& request,
-                                     QueryContext& ctx, bool sample_stages) {
+                                     QueryContext& ctx, bool sample_stages,
+                                     uint32_t slot) {
   ctx.stage_times.Clear();
   ServiceResponse response;
   const bool cacheable = cache_.enabled() && Cacheable(request);
   CacheKey key;
   if (cacheable) key = KeyFor(request);
 
-  // Shared lock: queries run concurrently with each other but exclusively
-  // with dynamic updates; cache lookup/insert stay inside the lock so an
-  // update's invalidation cannot be interleaved with a stale insert.
-  WallTimer lock_wait;
-  ReaderMutexLock lock(engine_mutex_);
-  if (obs::Enabled()) {
-    ctx.stage_times.Set(obs::Stage::kLockWait, lock_wait.ElapsedSeconds());
-  }
+  // Epoch pin instead of a lock: resolve the current immutable snapshot
+  // and run the whole query — cache lookup and insert included — against
+  // that frozen state. Updates never block this path; they publish a new
+  // snapshot that the *next* pin resolves. The version tag keeps the
+  // cache consistent with the pinned state (see the class comment).
+  ScopedPin pin(domain_, slot);
+  response.snapshot_version = pin->version();
   if (cacheable) {
-    if (std::optional<KosrResult> cached = cache_.Lookup(key)) {
+    if (std::optional<KosrResult> cached =
+            cache_.Lookup(key, pin->version())) {
       response.result = std::move(*cached);
       response.cache_hit = true;
       return response;
@@ -225,7 +262,7 @@ ServiceResponse KosrService::Process(const ServiceRequest& request,
   }
   if (sample_stages) options.collect_phase_times = true;
   WallTimer engine_timer;
-  response.result = engine_.Query(request.query, options, &ctx);
+  response.result = pin->Query(request.query, options, &ctx);
   if (sample_stages) {
     // NN span = the engine's per-phase timers (cursor probing plus NEN
     // estimation); enumeration is the rest of the engine time.
@@ -239,79 +276,198 @@ ServiceResponse KosrService::Process(const ServiceRequest& request,
   // Budget-truncated results are incomplete; serving them from cache would
   // turn one slow query into many wrong answers.
   if (cacheable && !response.result.stats.timed_out) {
-    cache_.Insert(key, response.result);
+    cache_.Insert(key, response.result, pin->version());
   }
   return response;
 }
 
-void KosrService::AddVertexCategory(VertexId v, CategoryId c) {
-  WriterMutexLock lock(engine_mutex_);
-  CheckVertex(engine_, v, "vertex");
-  CheckCategory(engine_, c);
+UpdateAck KosrService::AddVertexCategory(VertexId v, CategoryId c) {
+  MutexLock publish(publish_mutex_);
+  CheckVertexId(v, num_vertices_, "vertex");
+  if (c >= engine_.categories().num_categories()) {
+    throw std::invalid_argument("unknown category " + std::to_string(c));
+  }
+  // Buffered edge updates precede this call in submission order; apply
+  // them first so the combined update stream replays in order.
+  FlushLocked();
   engine_.AddVertexCategory(v, c);
+  uint64_t version = ++next_version_;
+  cache_.BeginInvalidation(version);
   cache_.InvalidateCategory(c);
+  domain_.Publish(engine_.SealSnapshot(version));
+  UpdateAck ack;
+  ack.applied = true;
+  ack.snapshot_version = version;
+  return ack;
 }
 
-void KosrService::RemoveVertexCategory(VertexId v, CategoryId c) {
-  WriterMutexLock lock(engine_mutex_);
-  CheckVertex(engine_, v, "vertex");
-  CheckCategory(engine_, c);
+UpdateAck KosrService::RemoveVertexCategory(VertexId v, CategoryId c) {
+  MutexLock publish(publish_mutex_);
+  CheckVertexId(v, num_vertices_, "vertex");
+  if (c >= engine_.categories().num_categories()) {
+    throw std::invalid_argument("unknown category " + std::to_string(c));
+  }
+  FlushLocked();
   engine_.RemoveVertexCategory(v, c);
+  uint64_t version = ++next_version_;
+  cache_.BeginInvalidation(version);
   cache_.InvalidateCategory(c);
+  domain_.Publish(engine_.SealSnapshot(version));
+  UpdateAck ack;
+  ack.applied = true;
+  ack.snapshot_version = version;
+  return ack;
 }
 
-EdgeUpdateSummary KosrService::AddOrDecreaseEdge(VertexId u, VertexId v,
-                                                 Weight w) {
-  WriterMutexLock lock(engine_mutex_);
-  CheckVertex(engine_, u, "tail");
-  CheckVertex(engine_, v, "head");
-  EdgeUpdateSummary summary = engine_.AddOrDecreaseEdge(u, v, w);
-  InvalidateForEdgeUpdate(summary);
-  return summary;
+UpdateAck KosrService::AddOrDecreaseEdge(VertexId u, VertexId v, Weight w) {
+  return SubmitEdgeUpdate({EdgeUpdate::Kind::kAddOrDecrease, u, v, w});
 }
 
-EdgeUpdateSummary KosrService::SetEdgeWeight(VertexId u, VertexId v,
-                                             Weight w) {
-  WriterMutexLock lock(engine_mutex_);
-  CheckVertex(engine_, u, "tail");
-  CheckVertex(engine_, v, "head");
-  EdgeUpdateSummary summary = engine_.SetEdgeWeight(u, v, w);
-  InvalidateForEdgeUpdate(summary);
-  return summary;
+UpdateAck KosrService::SetEdgeWeight(VertexId u, VertexId v, Weight w) {
+  return SubmitEdgeUpdate({EdgeUpdate::Kind::kSet, u, v, w});
 }
 
-EdgeUpdateSummary KosrService::RemoveEdge(VertexId u, VertexId v) {
-  WriterMutexLock lock(engine_mutex_);
-  CheckVertex(engine_, u, "tail");
-  CheckVertex(engine_, v, "head");
-  EdgeUpdateSummary summary = engine_.RemoveEdge(u, v);
-  InvalidateForEdgeUpdate(summary);
-  return summary;
+UpdateAck KosrService::RemoveEdge(VertexId u, VertexId v) {
+  return SubmitEdgeUpdate({EdgeUpdate::Kind::kRemove, u, v, 0});
 }
 
-void KosrService::InvalidateForEdgeUpdate(const EdgeUpdateSummary& summary) {
-  // Shortest-path distances may move anywhere, so an effective update
-  // invalidates every cached route. Targeted part: an update that repaired
-  // no label provably changed no distance, path, or KOSR answer (see
-  // EdgeUpdateSummary), so it keeps the cache warm — replayed idempotent
-  // edge feeds and weight increases on off-shortest-path arcs no longer
-  // collapse the hit rate. Without built indexes there is no repair signal
-  // and queries run Dijkstra on the raw graph, so any graph change flushes.
-  if (summary.labels_changed ||
-      (summary.graph_changed && !engine_.indexes_built())) {
-    cache_.InvalidateAll();
+UpdateAck KosrService::SubmitEdgeUpdate(const EdgeUpdate& update) {
+  CheckVertexId(update.u, num_vertices_, "tail");
+  CheckVertexId(update.v, num_vertices_, "head");
+  updates_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  if (update_batch_window_s_ <= 0) {
+    MutexLock publish(publish_mutex_);
+    return ApplyBatchLocked({&update, 1});
+  }
+  size_t depth;
+  {
+    MutexLock lock(batch_mutex_);
+    pending_updates_.push_back(update);
+    depth = pending_updates_.size();
+  }
+  // The first buffered update opens the batch window — wake the flusher;
+  // later arrivals ride the already-open window without waking anyone.
+  if (depth == 1) batch_cv_.NotifyAll();
+  UpdateAck ack;
+  ack.applied = false;
+  ack.pending = depth;
+  ack.snapshot_version = domain_.version();
+  return ack;
+}
+
+UpdateAck KosrService::FlushUpdates() {
+  MutexLock publish(publish_mutex_);
+  return FlushLocked();
+}
+
+UpdateAck KosrService::FlushLocked() {
+  std::vector<EdgeUpdate> batch;
+  {
+    MutexLock lock(batch_mutex_);
+    batch.swap(pending_updates_);
+  }
+  return ApplyBatchLocked(batch);
+}
+
+UpdateAck KosrService::ApplyBatchLocked(std::span<const EdgeUpdate> batch) {
+  UpdateAck ack;
+  ack.applied = true;
+  if (!batch.empty()) {
+    ack.summary = engine_.ApplyEdgeUpdates(batch);
+    updates_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+    batches_applied_.fetch_add(1, std::memory_order_relaxed);
+    if (ack.summary.graph_changed) {
+      uint64_t version = ++next_version_;
+      // Invalidate before publishing: the gate plus the shard walk close
+      // the stale-insert race (a result computed against a pre-update
+      // snapshot cannot land after the walk), and new-snapshot readers
+      // find the stale entries already gone. An update that repaired no
+      // label provably changed no distance, path, or KOSR answer (see
+      // EdgeUpdateSummary), so it keeps the whole cache warm — unless the
+      // engine serves Dijkstra-mode queries without indexes, where there
+      // is no repair signal and any graph change flushes everything.
+      if (ack.summary.labels_changed) {
+        cache_.BeginInvalidation(version);
+        cache_.InvalidateEdgeDelta(FilterFor(ack.summary));
+      } else if (!engine_.indexes_built()) {
+        cache_.BeginInvalidation(version);
+        cache_.InvalidateAll();
+      }
+      domain_.Publish(engine_.SealSnapshot(version));
+    }
+  }
+  ack.snapshot_version = domain_.version();
+  return ack;
+}
+
+EdgeInvalidationFilter KosrService::FilterFor(
+    const EdgeUpdateSummary& summary) const {
+  EdgeInvalidationFilter filter;
+  filter.changed_out.assign(num_vertices_, false);
+  filter.changed_in.assign(num_vertices_, false);
+  const CategoryTable& categories = engine_.categories();
+  filter.affected_categories.assign(categories.num_categories(), false);
+  auto mark = [&](const std::vector<VertexId>& vertices,
+                  std::vector<bool>& flags) {
+    for (VertexId v : vertices) {
+      flags[v] = true;
+      for (CategoryId c : categories.CategoriesOf(v)) {
+        filter.affected_categories[c] = true;
+      }
+    }
+  };
+  mark(summary.changed_out_vertices, filter.changed_out);
+  mark(summary.changed_in_vertices, filter.changed_in);
+  return filter;
+}
+
+void KosrService::FlusherLoop() {
+  for (;;) {
+    {
+      MutexLock lock(batch_mutex_);
+      while (!batch_stopping_ && pending_updates_.empty()) {
+        batch_cv_.Wait(batch_mutex_);
+      }
+      if (batch_stopping_) return;  // Stop() applies the remainder itself
+      // The window opened with the first buffered update; let it close,
+      // re-checking the remaining time across spurious wakeups.
+      WallTimer window_open;
+      double remaining = update_batch_window_s_;
+      while (remaining > 0 && !batch_stopping_) {
+        batch_cv_.WaitFor(batch_mutex_, remaining);
+        remaining = update_batch_window_s_ - window_open.ElapsedSeconds();
+      }
+      if (batch_stopping_) return;
+    }
+    // A concurrent FlushUpdates may have beaten us to the batch; applying
+    // an empty one is a no-op.
+    FlushUpdates();
   }
 }
 
 MetricsSnapshot KosrService::Metrics() const {
+  // Deterministic reclaim pass so the live-snapshot gauge converges even
+  // when no reader traffic triggers the opportunistic path.
+  domain_.Reclaim();
+  SnapshotGauges gauges;
+  gauges.version = domain_.version();
+  gauges.live_snapshots = domain_.live_snapshots();
+  gauges.epoch_lag = domain_.epoch_lag();
+  gauges.updates_enqueued = updates_enqueued_.load(std::memory_order_relaxed);
+  gauges.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  gauges.pending_updates = gauges.updates_enqueued > gauges.updates_applied
+                               ? gauges.updates_enqueued - gauges.updates_applied
+                               : 0;
+  gauges.batches_applied = batches_applied_.load(std::memory_order_relaxed);
   return metrics_.Snapshot(cache_.stats(),
                            static_cast<uint32_t>(queue_depth()),
-                           in_flight_.load(std::memory_order_relaxed));
+                           in_flight_.load(std::memory_order_relaxed), gauges);
 }
 
 uint32_t KosrService::num_categories() const {
-  ReaderMutexLock lock(engine_mutex_);
-  return engine_.categories().num_categories();
+  // Guest epoch pin: lock-free, never blocks behind an in-flight update.
+  SnapshotDomain::GuestPin pin(domain_);
+  return pin.snapshot()->num_categories();
 }
 
 size_t KosrService::queue_depth() const {

@@ -11,8 +11,10 @@
 
 #include "src/core/engine.h"
 #include "src/core/query.h"
+#include "src/core/snapshot.h"
 #include "src/service/metrics.h"
 #include "src/service/result_cache.h"
+#include "src/service/snapshot_domain.h"
 #include "src/util/sync.h"
 
 namespace kosr::service {
@@ -41,9 +43,12 @@ struct ServiceConfig {
   size_t slow_log_capacity = 32;
   /// Sample every Nth request per worker for the engine-internal stage
   /// spans (NN and enumerate need per-phase timers inside the search; the
-  /// cheap queue-wait/lock-wait/serialize spans are always recorded).
+  /// cheap queue-wait/serialize spans are always recorded).
   /// 0 disables engine-phase sampling entirely.
   uint32_t stage_sample_every = 64;
+  /// Edge updates arriving within this window batch into one repair and one
+  /// published snapshot (seconds; 0 = apply each update immediately).
+  double update_batch_window_s = 0;
 };
 
 struct ServiceRequest {
@@ -63,29 +68,55 @@ struct ServiceResponse {
   KosrResult result;
   bool cache_hit = false;
   double latency_s = 0;  ///< Enqueue -> completion (includes queue wait).
+  /// Version of the snapshot the answer was computed against (cache hits:
+  /// the pinned version that accepted the entry). 0 for requests that
+  /// never reached a worker (rejected/shutdown).
+  uint64_t snapshot_version = 0;
   std::string error;
 
   bool ok() const { return status == ResponseStatus::kOk; }
 };
 
-/// Long-lived serving layer over a built KosrEngine (ISSUE 2 tentpole; see
-/// DESIGN.md, "Serving layer").
+/// Outcome of a dynamic-update call (ISSUE 8). With a zero batch window
+/// every update applies synchronously (`applied` = true and `summary`
+/// describes the repair); with a positive window edge updates buffer until
+/// the window closes (`applied` = false, `summary` empty) and
+/// `snapshot_version` reports the still-current snapshot.
+struct UpdateAck {
+  bool applied = false;
+  /// Buffered updates (this one included) waiting for the window to close.
+  /// 0 on the synchronous path.
+  uint64_t pending = 0;
+  /// Version of the published snapshot after this call returned.
+  uint64_t snapshot_version = 0;
+  /// Repair summary of the batch this update was applied in (sync path:
+  /// just this update). Empty while the update is still buffered.
+  EdgeUpdateSummary summary;
+};
+
+/// Long-lived serving layer over a built KosrEngine (ISSUE 2 tentpole,
+/// rebuilt on epoch-based snapshots in ISSUE 8; see DESIGN.md, "Serving
+/// layer" and "Snapshot publication").
 ///
 /// Requests enter a bounded FIFO queue and are answered by a persistent
 /// worker pool; when the queue is full SubmitAsync resolves immediately
 /// with kRejected (reject-with-status backpressure — the caller sheds load,
 /// the service never buffers unboundedly). Completed results are cached in
-/// a sharded LRU keyed on (source, target, sequence, k, method).
+/// a sharded LRU keyed on (source, target, sequence, k, method) and tagged
+/// with the snapshot version they were computed against.
 ///
-/// Concurrency contract (machine-checked; DESIGN.md, "Concurrency
-/// contract"): workers answer queries under a shared lock on the engine;
-/// the dynamic-update entry points take the lock exclusively, apply the
-/// engine mutation, and invalidate the affected cache entries *before*
-/// releasing it. Since cache inserts also happen under the shared lock, a
-/// result computed against the pre-update engine can never be inserted
-/// after the invalidation — no stale-entry race. Each capability below
-/// names what it guards; no method ever holds two of them except
-/// Start/Stop, which take lifecycle_mutex_ strictly before queue_mutex_.
+/// Concurrency contract (machine-checked where lockable; DESIGN.md,
+/// "Concurrency contract"): queries never take a lock on the engine.
+/// Each worker pins an epoch slot, resolves the current immutable
+/// EngineSnapshot, and runs the whole query — including cache lookup and
+/// insert — against that frozen state; updates run concurrently against
+/// the engine's private copy-on-write master and go live in one atomic
+/// pointer swap. publish_mutex_ serializes writers only; readers are
+/// annotation-free by construction because everything they touch is
+/// immutable. The version-tagged cache closes the stale-insert race the
+/// old exclusive lock used to close: an update opens an invalidation round
+/// before scrubbing, so a result computed against a pre-update snapshot
+/// can never be inserted afterwards.
 class KosrService {
  public:
   /// Takes ownership of a built engine (BuildIndexes()/LoadIndexes() must
@@ -96,13 +127,16 @@ class KosrService {
   KosrService(const KosrService&) = delete;
   KosrService& operator=(const KosrService&) = delete;
 
-  /// Starts the worker pool (no-op when already running). Start/Stop are
-  /// serialized against each other by a lifecycle mutex, so concurrent
-  /// calls (or Stop racing the destructor) are safe.
+  /// Starts the worker pool and (with a positive batch window) the update
+  /// flusher (no-op when already running). Start/Stop are serialized
+  /// against each other by a lifecycle mutex, so concurrent calls (or Stop
+  /// racing the destructor) are safe.
   void Start() KOSR_EXCLUDES(lifecycle_mutex_, queue_mutex_);
-  /// Drains nothing: pending requests resolve with kShutdown, workers join.
-  /// Idempotent; also run by the destructor.
-  void Stop() KOSR_EXCLUDES(lifecycle_mutex_, queue_mutex_);
+  /// Drains nothing from the queue: pending requests resolve with
+  /// kShutdown, workers join. Buffered edge updates are flushed (applied,
+  /// not dropped) after the flusher joins, and all retired snapshots are
+  /// reclaimed. Idempotent; also run by the destructor.
+  void Stop() KOSR_EXCLUDES(lifecycle_mutex_, queue_mutex_, publish_mutex_);
 
   /// Enqueues a request. The future resolves when a worker answers it (or
   /// immediately with kRejected / kShutdown).
@@ -112,37 +146,36 @@ class KosrService {
   ServiceResponse Submit(const ServiceRequest& request)
       KOSR_EXCLUDES(queue_mutex_);
 
-  // --- Dynamic updates (cache-invalidation hooks) --------------------------
-  // Mirror KosrEngine's update entry points; each applies the engine update
-  // under the exclusive lock and drops the cache entries it can stale.
-  // Out-of-range vertices/categories throw std::invalid_argument (the
-  // engine itself does not range-check; the service fronts untrusted
-  // input, so it must).
+  // --- Dynamic updates -----------------------------------------------------
+  // Mirror KosrEngine's update entry points. Out-of-range vertices and
+  // categories throw std::invalid_argument (the service fronts untrusted
+  // input, so it must range-check). Edge updates buffer when a batch
+  // window is configured; category updates always flush pending edge
+  // updates first (preserving submission order) and apply synchronously.
 
-  void AddVertexCategory(VertexId v, CategoryId c)
-      KOSR_EXCLUDES(engine_mutex_);
-  void RemoveVertexCategory(VertexId v, CategoryId c)
-      KOSR_EXCLUDES(engine_mutex_);
-  /// Edge updates return the engine's repair summary so front-ends can
-  /// report how much the update actually changed. Cache invalidation is
-  /// targeted: the whole cache is flushed only when the update changed
-  /// labels (distances may have moved) — or changed the graph while the
-  /// engine serves Dijkstra-mode queries without indexes. An update that
-  /// repaired nothing provably changed no answer and keeps the cache warm.
-  EdgeUpdateSummary AddOrDecreaseEdge(VertexId u, VertexId v, Weight w)
-      KOSR_EXCLUDES(engine_mutex_);
+  UpdateAck AddVertexCategory(VertexId v, CategoryId c)
+      KOSR_EXCLUDES(publish_mutex_);
+  UpdateAck RemoveVertexCategory(VertexId v, CategoryId c)
+      KOSR_EXCLUDES(publish_mutex_);
+  /// ADD_EDGE verb: insert u->v or decrease its weight (never increases).
+  UpdateAck AddOrDecreaseEdge(VertexId u, VertexId v, Weight w)
+      KOSR_EXCLUDES(publish_mutex_);
   /// SET_EDGE verb: set the u->v weight exactly (increase or decrease),
   /// with incremental label repair either way.
-  EdgeUpdateSummary SetEdgeWeight(VertexId u, VertexId v, Weight w)
-      KOSR_EXCLUDES(engine_mutex_);
+  UpdateAck SetEdgeWeight(VertexId u, VertexId v, Weight w)
+      KOSR_EXCLUDES(publish_mutex_);
   /// REMOVE_EDGE verb: delete the u->v arc with incremental label repair.
-  EdgeUpdateSummary RemoveEdge(VertexId u, VertexId v)
-      KOSR_EXCLUDES(engine_mutex_);
+  UpdateAck RemoveEdge(VertexId u, VertexId v) KOSR_EXCLUDES(publish_mutex_);
+  /// Applies every buffered edge update now (one repair, one snapshot)
+  /// without waiting for the window. The returned summary covers the
+  /// flushed batch; a no-op when nothing is buffered.
+  UpdateAck FlushUpdates() KOSR_EXCLUDES(publish_mutex_);
 
   // --- Introspection -------------------------------------------------------
 
-  /// Snapshot of the metrics registry plus the live queue-depth and
-  /// in-flight gauges (the former sampled under the existing queue mutex).
+  /// Snapshot of the metrics registry plus the live queue-depth,
+  /// in-flight, and snapshot-publication gauges. Runs a reclaim pass first
+  /// so the live-snapshot gauge converges even without reader traffic.
   MetricsSnapshot Metrics() const KOSR_EXCLUDES(queue_mutex_);
   std::string MetricsJson() const KOSR_EXCLUDES(queue_mutex_) {
     return Metrics().ToJson();
@@ -161,12 +194,21 @@ class KosrService {
   void ResetMetrics() { metrics_.Reset(); }
 
   /// The result cache is internally synchronized (per-shard locks), so a
-  /// reference to it is safe to hand out; the engine is guarded by
-  /// engine_mutex_ and deliberately has no reference accessor — use the
-  /// narrow locked reads below, or go through Submit like everyone else.
+  /// reference to it is safe to hand out; the engine master copy is guarded
+  /// by publish_mutex_ and deliberately has no accessor — read through a
+  /// pinned snapshot (queries) or the lock-free gauges below.
   const ShardedResultCache& cache() const { return cache_; }
-  /// Category universe size, read under the shared engine lock.
-  uint32_t num_categories() const KOSR_EXCLUDES(engine_mutex_);
+  /// Category universe size off the current snapshot — lock-free (guest
+  /// epoch pin), never blocks behind an in-flight update.
+  uint32_t num_categories() const;
+  /// Version of the currently published snapshot.
+  uint64_t snapshot_version() const { return domain_.version(); }
+  /// Shared ownership of the current snapshot for out-of-band inspection
+  /// (the byte-identity tests serialize its labeling). Can wait behind a
+  /// publisher — not for the query path, which pins instead.
+  std::shared_ptr<const EngineSnapshot> CurrentSnapshot() const {
+    return domain_.SharedCurrent();
+  }
   size_t queue_depth() const KOSR_EXCLUDES(queue_mutex_);
   uint32_t num_workers() const { return num_workers_; }
 
@@ -177,23 +219,49 @@ class KosrService {
     WallTimer queued;  ///< Started at enqueue; read at completion.
   };
 
-  void WorkerLoop() KOSR_EXCLUDES(queue_mutex_, engine_mutex_);
-  /// `ctx` is the calling worker's private reusable query scratch.
-  /// `sample_stages` turns on the engine's per-phase timers for this query
-  /// (the NN/enumerate spans of the stage histograms).
+  void WorkerLoop(uint32_t slot) KOSR_EXCLUDES(queue_mutex_);
+  /// Flusher thread (only with a positive batch window): waits for the
+  /// first buffered update, lets the window close, then applies the batch.
+  void FlusherLoop() KOSR_EXCLUDES(batch_mutex_, publish_mutex_);
+  /// `ctx` is the calling worker's private reusable query scratch;
+  /// `slot` its epoch slot. `sample_stages` turns on the engine's
+  /// per-phase timers for this query. Lock-free: runs entirely against
+  /// the snapshot pinned on `slot`.
   ServiceResponse Process(const ServiceRequest& request, QueryContext& ctx,
-                          bool sample_stages) KOSR_EXCLUDES(engine_mutex_);
-  /// Targeted cache invalidation for an applied edge update (see the public
-  /// update entry points). Caller holds the exclusive engine lock.
-  void InvalidateForEdgeUpdate(const EdgeUpdateSummary& summary)
-      KOSR_REQUIRES(engine_mutex_);
+                          bool sample_stages, uint32_t slot);
+  /// Routes one edge update: buffers it (positive window) or applies it as
+  /// a batch of one (window zero).
+  UpdateAck SubmitEdgeUpdate(const EdgeUpdate& update)
+      KOSR_EXCLUDES(publish_mutex_);
+  /// Swaps out the buffered batch and applies it. Also the tail of every
+  /// synchronous category update, which flushes to preserve order.
+  UpdateAck FlushLocked() KOSR_REQUIRES(publish_mutex_)
+      KOSR_EXCLUDES(batch_mutex_);
+  /// Applies `batch` to the master engine, invalidates exactly the cache
+  /// entries the repair delta can stale, and publishes a new snapshot when
+  /// the graph changed.
+  UpdateAck ApplyBatchLocked(std::span<const EdgeUpdate> batch)
+      KOSR_REQUIRES(publish_mutex_);
+  /// Builds the targeted invalidation filter for a repair delta: the
+  /// changed-label vertex sets plus every category with a changed member.
+  EdgeInvalidationFilter FilterFor(const EdgeUpdateSummary& summary) const
+      KOSR_REQUIRES(publish_mutex_);
   static bool Cacheable(const ServiceRequest& request);
   static CacheKey KeyFor(const ServiceRequest& request);
 
-  /// Reader/writer engine lock: queries hold it shared, dynamic updates
-  /// exclusive (together with their cache invalidation).
-  mutable SharedMutex engine_mutex_;
-  KosrEngine engine_ KOSR_GUARDED_BY(engine_mutex_);
+  // Lock hierarchy: lifecycle_mutex_ -> queue_mutex_ (Start/Stop), and
+  // publish_mutex_ -> batch_mutex_ (flush paths). No method ever holds a
+  // mutex from both families at once; queries hold none at all.
+
+  /// Serializes writers: updates mutate the copy-on-write master engine,
+  /// invalidate the cache, and publish, all under this mutex. Never taken
+  /// on the query path.
+  mutable Mutex publish_mutex_;
+  /// Master copy-on-write engine state; snapshots are sealed from it.
+  KosrEngine engine_ KOSR_GUARDED_BY(publish_mutex_);
+  /// Next snapshot version to assign (version 1 = the initial seal).
+  uint64_t next_version_ KOSR_GUARDED_BY(publish_mutex_) = 1;
+
   ShardedResultCache cache_;    // internally synchronized (per-shard locks)
   MetricsRegistry metrics_;     // internally synchronized
 
@@ -202,6 +270,23 @@ class KosrService {
   double default_time_budget_s_;    // const after construction
   double slow_query_threshold_s_;   // const after construction
   uint32_t stage_sample_every_;     // const after construction
+  double update_batch_window_s_;    // const after construction
+  uint32_t num_vertices_;           // const after construction
+  /// Epoch-based snapshot publication/reclamation; internally
+  /// synchronized. Mutable so const introspection (Metrics, category
+  /// reads) can pin and reclaim.
+  mutable SnapshotDomain domain_;
+
+  /// Guards the edge-update batch buffer.
+  Mutex batch_mutex_;
+  CondVar batch_cv_;
+  std::vector<EdgeUpdate> pending_updates_ KOSR_GUARDED_BY(batch_mutex_);
+  bool batch_stopping_ KOSR_GUARDED_BY(batch_mutex_) = false;
+  /// Monotonic update counters (gauges; pending = enqueued - applied).
+  std::atomic<uint64_t> updates_enqueued_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> batches_applied_{0};
+
   /// Requests currently inside Process (between dequeue and completion).
   std::atomic<uint32_t> in_flight_{0};
   /// Guards the request queue and the stopping flag workers wait on.
@@ -209,11 +294,11 @@ class KosrService {
   CondVar queue_cv_;
   std::deque<Pending> queue_ KOSR_GUARDED_BY(queue_mutex_);
   bool stopping_ KOSR_GUARDED_BY(queue_mutex_) = false;
-  /// Serializes Start/Stop (which mutate and join workers_); never taken
-  /// by the workers themselves. Lock hierarchy: lifecycle_mutex_ strictly
-  /// before queue_mutex_ (Start/Stop take both; nothing else takes both).
+  /// Serializes Start/Stop (which mutate and join the threads); never
+  /// taken by the workers themselves.
   Mutex lifecycle_mutex_;
   std::vector<std::thread> workers_ KOSR_GUARDED_BY(lifecycle_mutex_);
+  std::thread flusher_ KOSR_GUARDED_BY(lifecycle_mutex_);
 };
 
 }  // namespace kosr::service

@@ -1,0 +1,91 @@
+#include "src/service/snapshot_domain.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kosr::service {
+
+SnapshotDomain::SnapshotDomain(uint32_t num_workers,
+                               std::shared_ptr<const EngineSnapshot> initial)
+    : num_workers_(num_workers),
+      num_slots_(num_workers + kGuestSlots),
+      slots_(num_slots_) {
+  version_.store(initial->version(), std::memory_order_relaxed);
+  current_.store(initial.get(), std::memory_order_seq_cst);
+  MutexLock lock(retire_mutex_);
+  current_owner_ = std::move(initial);
+}
+
+SnapshotDomain::~SnapshotDomain() = default;
+
+uint32_t SnapshotDomain::ClaimGuestSlot() {
+  for (;;) {
+    for (uint32_t i = num_workers_; i < num_slots_; ++i) {
+      // Same announce-then-resolve order as Pin: the CAS publishes the
+      // epoch before the caller loads the snapshot pointer.
+      uint64_t expected = kIdle;
+      uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+      if (slots_[i].epoch.compare_exchange_strong(
+              expected, epoch, std::memory_order_seq_cst)) {
+        return i;
+      }
+    }
+  }
+}
+
+void SnapshotDomain::Publish(std::shared_ptr<const EngineSnapshot> next) {
+  MutexLock lock(retire_mutex_);
+  version_.store(next->version(), std::memory_order_relaxed);
+  const EngineSnapshot* raw = next.get();
+  std::shared_ptr<const EngineSnapshot> displaced = std::move(current_owner_);
+  current_owner_ = std::move(next);
+  current_.store(raw, std::memory_order_seq_cst);
+  // Tag the displaced snapshot with the pre-increment epoch: readers
+  // pinned at or before it may still hold the old pointer; readers who
+  // announce the post-increment epoch provably resolve the new one.
+  uint64_t retire_epoch =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  retired_.push_back({std::move(displaced), retire_epoch});
+  retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  ReclaimLocked();
+}
+
+void SnapshotDomain::Reclaim() {
+  MutexLock lock(retire_mutex_);
+  ReclaimLocked();
+}
+
+std::shared_ptr<const EngineSnapshot> SnapshotDomain::SharedCurrent() {
+  MutexLock lock(retire_mutex_);
+  return current_owner_;
+}
+
+void SnapshotDomain::TryReclaim() {
+  if (!retire_mutex_.TryLock()) return;  // a publisher/reclaimer is already in
+  ReclaimLocked();
+  retire_mutex_.Unlock();
+}
+
+void SnapshotDomain::ReclaimLocked() {
+  uint64_t min_active = global_epoch_.load(std::memory_order_seq_cst);
+  for (uint32_t i = 0; i < num_slots_; ++i) {
+    uint64_t epoch = slots_[i].epoch.load(std::memory_order_seq_cst);
+    min_active = std::min(min_active, epoch);  // kIdle = max, never the min
+  }
+  std::erase_if(retired_, [min_active](const Retired& retired) {
+    return retired.epoch < min_active;
+  });
+  retired_count_.store(retired_.size(), std::memory_order_relaxed);
+}
+
+uint64_t SnapshotDomain::epoch_lag() const {
+  uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+  uint64_t oldest = now;
+  for (uint32_t i = 0; i < num_slots_; ++i) {
+    uint64_t epoch = slots_[i].epoch.load(std::memory_order_seq_cst);
+    oldest = std::min(oldest, epoch);
+  }
+  return now - oldest;
+}
+
+}  // namespace kosr::service

@@ -1,0 +1,165 @@
+#ifndef KOSR_SERVICE_SNAPSHOT_DOMAIN_H_
+#define KOSR_SERVICE_SNAPSHOT_DOMAIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "src/core/snapshot.h"
+#include "src/util/sync.h"
+
+namespace kosr::service {
+
+/// Epoch-based snapshot publication and reclamation (ISSUE 8; the RCU
+/// scheme of ERMIA's dbcore, see DESIGN.md "Snapshot publication").
+///
+/// One atomic pointer (`current_`) names the live EngineSnapshot. Readers
+/// pin by announcing the global epoch in their own cache-line-padded slot
+/// (one plain atomic store — no shared cache line, no lock, no reference
+/// count), then load the pointer and run the whole query against it.
+/// Publishers swap the pointer, tag the displaced snapshot with the
+/// pre-increment epoch, and advance the global epoch; a retired snapshot
+/// is destroyed only once every announced epoch has moved past its tag —
+/// i.e. every reader that could possibly still hold it has unpinned.
+///
+/// Safety (all epoch/pointer accesses are seq_cst, so one total order):
+/// a reader's announce-store precedes its pointer-load, and a publisher's
+/// pointer-store precedes its epoch increment. A reader that obtained
+/// snapshot S therefore loaded the pointer before S was swapped out, so
+/// its announced epoch e satisfies e <= tag(S); and any reclaim scan that
+/// runs while the reader is still pinned sees e in its slot, keeps
+/// min_active <= tag(S), and spares S. Conversely a reader that announces
+/// after the swap can only load the *new* pointer, so it never holds S.
+///
+/// Worker slots [0, num_workers) are owned 1:1 by service workers; guest
+/// slots [num_workers, num_workers + kGuestSlots) are claimed by CAS for
+/// occasional non-worker readers (metrics, category lookups).
+class SnapshotDomain {
+ public:
+  /// Guest slots appended after the per-worker slots.
+  static constexpr uint32_t kGuestSlots = 16;
+  /// Slot value meaning "not in a read-side critical section".
+  static constexpr uint64_t kIdle = std::numeric_limits<uint64_t>::max();
+
+  SnapshotDomain(uint32_t num_workers,
+                 std::shared_ptr<const EngineSnapshot> initial);
+  ~SnapshotDomain();
+
+  SnapshotDomain(const SnapshotDomain&) = delete;
+  SnapshotDomain& operator=(const SnapshotDomain&) = delete;
+
+  /// Enters a read-side critical section on the calling worker's own slot
+  /// and resolves the current snapshot. The snapshot stays valid until the
+  /// matching Unpin. Hot path: two seq_cst atomic accesses on a private
+  /// cache line plus one shared load — no locks, no allocation.
+  const EngineSnapshot* Pin(uint32_t slot) {
+    uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+    slots_[slot].epoch.store(epoch, std::memory_order_seq_cst);
+    return current_.load(std::memory_order_seq_cst);
+  }
+
+  /// Leaves the read-side critical section. When retired snapshots are
+  /// waiting, opportunistically reclaims (try-lock; never blocks the
+  /// reader behind a publisher).
+  void Unpin(uint32_t slot) {
+    slots_[slot].epoch.store(kIdle, std::memory_order_seq_cst);
+    if (retired_count_.load(std::memory_order_relaxed) > 0) TryReclaim();
+  }
+
+  /// RAII guest pin for non-worker threads: claims a guest slot by CAS
+  /// (spinning over the guest range; guests are rare and their critical
+  /// sections short, so a free slot turns up immediately in practice).
+  class GuestPin {
+   public:
+    explicit GuestPin(SnapshotDomain& domain) : domain_(domain) {
+      slot_ = domain_.ClaimGuestSlot();
+      snapshot_ = domain_.current_.load(std::memory_order_seq_cst);
+    }
+    ~GuestPin() { domain_.Unpin(slot_); }
+
+    GuestPin(const GuestPin&) = delete;
+    GuestPin& operator=(const GuestPin&) = delete;
+
+    const EngineSnapshot* snapshot() const { return snapshot_; }
+
+   private:
+    SnapshotDomain& domain_;
+    uint32_t slot_;
+    const EngineSnapshot* snapshot_;
+  };
+
+  /// Publishes `next` as the current snapshot and retires the displaced
+  /// one. Single-publisher by contract (the service's publish mutex), but
+  /// internally serialized against reclaimers anyway.
+  void Publish(std::shared_ptr<const EngineSnapshot> next)
+      KOSR_EXCLUDES(retire_mutex_);
+
+  /// Deterministic reclaim pass (blocking lock) — quiescent shutdown and
+  /// metrics polling use this so the live-snapshot gauge converges without
+  /// depending on reader traffic.
+  void Reclaim() KOSR_EXCLUDES(retire_mutex_);
+
+  /// Shared ownership of the current snapshot, for out-of-band
+  /// introspection (tools, tests) that wants to hold state across calls.
+  /// Not the query path: takes the retire mutex, so it can wait behind a
+  /// publisher.
+  std::shared_ptr<const EngineSnapshot> SharedCurrent()
+      KOSR_EXCLUDES(retire_mutex_);
+
+  // --- Gauges (lock-free; exported through METRICS) ------------------------
+
+  /// Version of the currently published snapshot.
+  uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+  /// Published snapshots not yet destroyed (1 at quiescence).
+  uint64_t live_snapshots() const {
+    return 1 + retired_count_.load(std::memory_order_relaxed);
+  }
+  /// Distance between the global epoch and the oldest announced epoch
+  /// (0 when no reader is pinned or every reader is current).
+  uint64_t epoch_lag() const;
+
+  uint32_t num_slots() const { return num_slots_; }
+
+ private:
+  /// One reader's announced epoch, padded to a cache line so worker pins
+  /// never contend with each other.
+  struct alignas(64) EpochSlot {
+    std::atomic<uint64_t> epoch{kIdle};
+  };
+
+  struct Retired {
+    std::shared_ptr<const EngineSnapshot> snapshot;
+    uint64_t epoch;  ///< Pre-increment global epoch at retirement.
+  };
+
+  uint32_t ClaimGuestSlot();
+  void TryReclaim() KOSR_EXCLUDES(retire_mutex_);
+  /// Destroys every retired snapshot whose tag precedes the oldest
+  /// announced epoch.
+  void ReclaimLocked() KOSR_REQUIRES(retire_mutex_);
+
+  const uint32_t num_workers_;
+  const uint32_t num_slots_;
+  std::vector<EpochSlot> slots_;
+  std::atomic<uint64_t> global_epoch_{1};
+  std::atomic<uint64_t> version_{0};
+  /// Raw pointer readers resolve; owned by current_owner_ below.
+  std::atomic<const EngineSnapshot*> current_{nullptr};
+  /// Mirror of retired_.size() readable without the mutex (Unpin's cheap
+  /// "anything to do?" probe and the live-snapshot gauge).
+  std::atomic<uint64_t> retired_count_{0};
+
+  Mutex retire_mutex_;
+  /// Owner of the published snapshot (keeps current_ alive).
+  std::shared_ptr<const EngineSnapshot> current_owner_
+      KOSR_GUARDED_BY(retire_mutex_);
+  std::vector<Retired> retired_ KOSR_GUARDED_BY(retire_mutex_);
+};
+
+}  // namespace kosr::service
+
+#endif  // KOSR_SERVICE_SNAPSHOT_DOMAIN_H_

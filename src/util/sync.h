@@ -1,6 +1,7 @@
 #ifndef KOSR_UTIL_SYNC_H_
 #define KOSR_UTIL_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -183,6 +184,17 @@ class CondVar {
     // The lock is held again; hand ownership back to the caller's scope
     // instead of unlocking on destruction.
     inner.release();
+  }
+
+  /// Timed Wait: returns false on timeout, true when notified (spurious
+  /// wakeups also return true — callers loop on their predicate anyway).
+  /// Same adopt/release dance as Wait so the capability stays held.
+  bool WaitFor(Mutex& mu, double seconds) KOSR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    std::cv_status status =
+        cv_.wait_for(inner, std::chrono::duration<double>(seconds));
+    inner.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -331,7 +331,7 @@ TEST(SlowQueryEntryTest, ToJsonParsesAndOmitsUnrecordedStages) {
   entry.latency_s = 0.25;
   entry.timed_out = true;
   entry.stages.Set(Stage::kQueueWait, 0.01);
-  entry.stages.Set(Stage::kLockWait, 0.002);
+  entry.stages.Set(Stage::kSerialize, 0.002);
   JsonValue v = ParseJson(entry.ToJson());
   ASSERT_TRUE(v.IsObject());
   EXPECT_EQ(v.At("method").string, "SK");
@@ -345,7 +345,7 @@ TEST(SlowQueryEntryTest, ToJsonParsesAndOmitsUnrecordedStages) {
   const JsonValue& stages = v.At("stages");
   ASSERT_TRUE(stages.IsObject());
   EXPECT_NEAR(stages.At("queue_wait_ms").number, 10.0, 1e-6);
-  EXPECT_NEAR(stages.At("lock_wait_ms").number, 2.0, 1e-6);
+  EXPECT_NEAR(stages.At("serialize_ms").number, 2.0, 1e-6);
   // Unsampled engine stages stay out of the trace entirely.
   EXPECT_EQ(stages.Find("nn_ms"), nullptr);
   EXPECT_EQ(stages.Find("enumerate_ms"), nullptr);

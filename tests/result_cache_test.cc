@@ -28,11 +28,15 @@ KosrResult MakeResult(Cost cost) {
 
 Cost CachedCost(const KosrResult& result) { return result.routes[0].cost; }
 
+// Single-version shorthands: most structural tests (LRU, sharding,
+// invalidation by key) run entirely at snapshot version 1.
+constexpr uint64_t kV1 = 1;
+
 TEST(ResultCacheTest, LookupReturnsInsertedResult) {
   ShardedResultCache cache(/*capacity=*/8, /*num_shards=*/2);
-  EXPECT_FALSE(cache.Lookup(MakeKey(1)).has_value());
-  cache.Insert(MakeKey(1), MakeResult(42));
-  auto hit = cache.Lookup(MakeKey(1));
+  EXPECT_FALSE(cache.Lookup(MakeKey(1), kV1).has_value());
+  cache.Insert(MakeKey(1), MakeResult(42), kV1);
+  auto hit = cache.Lookup(MakeKey(1), kV1);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(CachedCost(*hit), 42);
   EXPECT_EQ(cache.stats().hits, 1u);
@@ -46,77 +50,148 @@ TEST(ResultCacheTest, DistinctMethodsAndKAreDistinctEntries) {
   pk.algorithm = Algorithm::kPruning;
   CacheKey k5 = sk;
   k5.k = 5;
-  cache.Insert(sk, MakeResult(1));
-  cache.Insert(pk, MakeResult(2));
-  cache.Insert(k5, MakeResult(3));
+  cache.Insert(sk, MakeResult(1), kV1);
+  cache.Insert(pk, MakeResult(2), kV1);
+  cache.Insert(k5, MakeResult(3), kV1);
   EXPECT_EQ(cache.size(), 3u);
-  EXPECT_EQ(CachedCost(*cache.Lookup(sk)), 1);
-  EXPECT_EQ(CachedCost(*cache.Lookup(pk)), 2);
-  EXPECT_EQ(CachedCost(*cache.Lookup(k5)), 3);
+  EXPECT_EQ(CachedCost(*cache.Lookup(sk, kV1)), 1);
+  EXPECT_EQ(CachedCost(*cache.Lookup(pk, kV1)), 2);
+  EXPECT_EQ(CachedCost(*cache.Lookup(k5, kV1)), 3);
 }
 
 TEST(ResultCacheTest, EvictsLeastRecentlyUsedInOrder) {
   // Single shard so the LRU order is global and deterministic.
   ShardedResultCache cache(/*capacity=*/3, /*num_shards=*/1);
-  cache.Insert(MakeKey(1), MakeResult(1));
-  cache.Insert(MakeKey(2), MakeResult(2));
-  cache.Insert(MakeKey(3), MakeResult(3));
+  cache.Insert(MakeKey(1), MakeResult(1), kV1);
+  cache.Insert(MakeKey(2), MakeResult(2), kV1);
+  cache.Insert(MakeKey(3), MakeResult(3), kV1);
   // Touch 1: recency order becomes 1, 3, 2.
-  EXPECT_TRUE(cache.Lookup(MakeKey(1)).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(1), kV1).has_value());
   // Inserting 4 must evict 2 (the least recent), not 1 or 3.
-  cache.Insert(MakeKey(4), MakeResult(4));
+  cache.Insert(MakeKey(4), MakeResult(4), kV1);
   EXPECT_EQ(cache.stats().evictions, 1u);
-  EXPECT_FALSE(cache.Lookup(MakeKey(2)).has_value());
-  EXPECT_TRUE(cache.Lookup(MakeKey(1)).has_value());
-  EXPECT_TRUE(cache.Lookup(MakeKey(3)).has_value());
-  EXPECT_TRUE(cache.Lookup(MakeKey(4)).has_value());
+  EXPECT_FALSE(cache.Lookup(MakeKey(2), kV1).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(1), kV1).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(3), kV1).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(4), kV1).has_value());
   // Next eviction order: 3 is now least recent after the lookups above.
-  cache.Insert(MakeKey(5), MakeResult(5));
-  EXPECT_FALSE(cache.Lookup(MakeKey(1)).has_value());
-  EXPECT_TRUE(cache.Lookup(MakeKey(3)).has_value());
+  cache.Insert(MakeKey(5), MakeResult(5), kV1);
+  EXPECT_FALSE(cache.Lookup(MakeKey(1), kV1).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(3), kV1).has_value());
 }
 
 TEST(ResultCacheTest, ReinsertRefreshesValueWithoutGrowth) {
   ShardedResultCache cache(/*capacity=*/4, /*num_shards=*/1);
-  cache.Insert(MakeKey(1), MakeResult(10));
-  cache.Insert(MakeKey(1), MakeResult(20));
+  cache.Insert(MakeKey(1), MakeResult(10), kV1);
+  cache.Insert(MakeKey(1), MakeResult(20), kV1);
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(CachedCost(*cache.Lookup(MakeKey(1))), 20);
+  EXPECT_EQ(CachedCost(*cache.Lookup(MakeKey(1), kV1)), 20);
 }
 
 TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
   ShardedResultCache cache(/*capacity=*/0);
   EXPECT_FALSE(cache.enabled());
-  cache.Insert(MakeKey(1), MakeResult(1));
-  EXPECT_FALSE(cache.Lookup(MakeKey(1)).has_value());
+  cache.Insert(MakeKey(1), MakeResult(1), kV1);
+  EXPECT_FALSE(cache.Lookup(MakeKey(1), kV1).has_value());
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().misses, 0u);  // Disabled lookups are not counted.
 }
 
 TEST(ResultCacheTest, InvalidateCategoryDropsOnlyMatchingSequences) {
   ShardedResultCache cache(/*capacity=*/16, /*num_shards=*/4);
-  cache.Insert(MakeKey(1, {0, 1}), MakeResult(1));
-  cache.Insert(MakeKey(2, {2}), MakeResult(2));
-  cache.Insert(MakeKey(3, {1}), MakeResult(3));
+  cache.Insert(MakeKey(1, {0, 1}), MakeResult(1), kV1);
+  cache.Insert(MakeKey(2, {2}), MakeResult(2), kV1);
+  cache.Insert(MakeKey(3, {1}), MakeResult(3), kV1);
   cache.InvalidateCategory(1);
-  EXPECT_FALSE(cache.Lookup(MakeKey(1, {0, 1})).has_value());
-  EXPECT_FALSE(cache.Lookup(MakeKey(3, {1})).has_value());
-  EXPECT_TRUE(cache.Lookup(MakeKey(2, {2})).has_value());
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, {0, 1}), kV1).has_value());
+  EXPECT_FALSE(cache.Lookup(MakeKey(3, {1}), kV1).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(2, {2}), kV1).has_value());
   EXPECT_EQ(cache.stats().invalidations, 2u);
 }
 
 TEST(ResultCacheTest, InvalidateAllEmptiesEveryShard) {
   ShardedResultCache cache(/*capacity=*/32, /*num_shards=*/4);
   for (VertexId v = 0; v < 12; ++v) {
-    cache.Insert(MakeKey(v), MakeResult(v));
+    cache.Insert(MakeKey(v), MakeResult(v), kV1);
   }
   EXPECT_EQ(cache.size(), 12u);
   cache.InvalidateAll();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().invalidations, 12u);
   for (VertexId v = 0; v < 12; ++v) {
-    EXPECT_FALSE(cache.Lookup(MakeKey(v)).has_value());
+    EXPECT_FALSE(cache.Lookup(MakeKey(v), kV1).has_value());
   }
+}
+
+TEST(ResultCacheTest, EntryNewerThanPinnedVersionMissesButStaysCached) {
+  ShardedResultCache cache(/*capacity=*/8, /*num_shards=*/1);
+  cache.Insert(MakeKey(1), MakeResult(42), /*version=*/3);
+  // A reader still pinned to snapshot 2 must not see a result computed
+  // against snapshot 3 (its consistent view predates the entry).
+  EXPECT_FALSE(cache.Lookup(MakeKey(1), /*pinned_version=*/2).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // A current reader still gets it: the version miss did not erase it.
+  auto hit = cache.Lookup(MakeKey(1), /*pinned_version=*/3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(CachedCost(*hit), 42);
+  // Older entries serve newer readers fine: answers only go stale through
+  // invalidation, never through the version tag alone.
+  EXPECT_TRUE(cache.Lookup(MakeKey(1), /*pinned_version=*/9).has_value());
+}
+
+TEST(ResultCacheTest, InvalidationGateRejectsStragglerInserts) {
+  ShardedResultCache cache(/*capacity=*/8, /*num_shards=*/1);
+  cache.BeginInvalidation(/*version=*/5);
+  // A result computed against a pre-invalidation snapshot arrives late
+  // (slow reader): it must not enter the cache.
+  cache.Insert(MakeKey(1), MakeResult(10), /*version=*/4);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(MakeKey(1), /*pinned_version=*/9).has_value());
+  // Results computed at or after the invalidation version are accepted.
+  cache.Insert(MakeKey(1), MakeResult(20), /*version=*/5);
+  EXPECT_EQ(CachedCost(*cache.Lookup(MakeKey(1), 5)), 20);
+  // The gate is monotonic: an older BeginInvalidation cannot loosen it.
+  cache.BeginInvalidation(/*version=*/3);
+  cache.Insert(MakeKey(2), MakeResult(30), /*version=*/4);
+  EXPECT_FALSE(cache.Lookup(MakeKey(2), /*pinned_version=*/9).has_value());
+}
+
+TEST(ResultCacheTest, RefreshNeverReplacesNewerResultWithOlder) {
+  ShardedResultCache cache(/*capacity=*/8, /*num_shards=*/1);
+  cache.Insert(MakeKey(1), MakeResult(20), /*version=*/7);
+  cache.Insert(MakeKey(1), MakeResult(10), /*version=*/2);  // stale refresh
+  EXPECT_EQ(CachedCost(*cache.Lookup(MakeKey(1), 7)), 20);
+  // The entry kept version 7, so a version-2 reader still misses.
+  EXPECT_FALSE(cache.Lookup(MakeKey(1), /*pinned_version=*/2).has_value());
+}
+
+TEST(ResultCacheTest, InvalidateEdgeDeltaDropsExactlyTheStaleableEntries) {
+  ShardedResultCache cache(/*capacity=*/32, /*num_shards=*/2);
+  // Keys: MakeKey(v) is source v -> target v+1.
+  cache.Insert(MakeKey(1, {0}), MakeResult(1), kV1);   // source 1 affected
+  cache.Insert(MakeKey(4, {0}), MakeResult(2), kV1);   // target 5 affected
+  cache.Insert(MakeKey(7, {3}), MakeResult(3), kV1);   // category 3 affected
+  cache.Insert(MakeKey(9, {0}), MakeResult(4), kV1);   // untouched
+  CacheKey with_paths = MakeKey(9, {0});
+  with_paths.with_paths = true;                        // paths: always drop
+  cache.Insert(with_paths, MakeResult(5), kV1);
+
+  EdgeInvalidationFilter filter;
+  filter.changed_out.assign(16, false);
+  filter.changed_in.assign(16, false);
+  filter.affected_categories.assign(8, false);
+  filter.changed_out[1] = true;   // out-labels of vertex 1 changed
+  filter.changed_in[5] = true;    // in-labels of vertex 5 changed
+  filter.affected_categories[3] = true;
+  cache.InvalidateEdgeDelta(filter);
+
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, {0}), kV1).has_value());
+  EXPECT_FALSE(cache.Lookup(MakeKey(4, {0}), kV1).has_value());
+  EXPECT_FALSE(cache.Lookup(MakeKey(7, {3}), kV1).has_value());
+  EXPECT_FALSE(cache.Lookup(with_paths, kV1).has_value());
+  // The unaffected pair survives — targeted invalidation keeps it warm.
+  EXPECT_TRUE(cache.Lookup(MakeKey(9, {0}), kV1).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 4u);
 }
 
 TEST(ResultCacheTest, ConcurrentHitMissAccountingIsExact) {
@@ -133,11 +208,11 @@ TEST(ResultCacheTest, ConcurrentHitMissAccountingIsExact) {
       for (uint32_t i = 0; i < kOpsPerThread; ++i) {
         VertexId v = (i * 7 + t * 13) % kKeys;
         CacheKey key = MakeKey(v);
-        if (auto hit = cache.Lookup(key)) {
+        if (auto hit = cache.Lookup(key, kV1)) {
           // A hit must carry the value some thread inserted for this key.
           ASSERT_EQ(CachedCost(*hit), static_cast<Cost>(v) * 1000);
         } else {
-          cache.Insert(key, MakeResult(static_cast<Cost>(v) * 1000));
+          cache.Insert(key, MakeResult(static_cast<Cost>(v) * 1000), kV1);
         }
       }
     });
@@ -149,7 +224,7 @@ TEST(ResultCacheTest, ConcurrentHitMissAccountingIsExact) {
   EXPECT_LE(cache.size(), kKeys);
   EXPECT_GT(stats.hits, 0u);
   for (VertexId v = 0; v < kKeys; ++v) {
-    auto hit = cache.Lookup(MakeKey(v));
+    auto hit = cache.Lookup(MakeKey(v), kV1);
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(CachedCost(*hit), static_cast<Cost>(v) * 1000);
   }

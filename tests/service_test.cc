@@ -200,7 +200,7 @@ TEST(ServiceTest, SetEdgeWeightIncreaseInvalidatesStaleRoute) {
 
   // Raising the shortcut off the shortest path must drop the stale cost-2
   // route; the answer reverts to 0-1-2-3 = 3.
-  EdgeUpdateSummary summary = service.SetEdgeWeight(0, 2, 50);
+  EdgeUpdateSummary summary = service.SetEdgeWeight(0, 2, 50).summary;
   EXPECT_TRUE(summary.graph_changed);
   EXPECT_TRUE(summary.labels_changed);
   ServiceResponse updated = service.Submit(request);
@@ -216,7 +216,7 @@ TEST(ServiceTest, RemoveEdgeInvalidatesStaleRoute) {
   EXPECT_EQ(service.Submit(request).result.routes[0].cost, 2);
   EXPECT_TRUE(service.Submit(request).cache_hit);
 
-  EdgeUpdateSummary summary = service.RemoveEdge(0, 2);
+  EdgeUpdateSummary summary = service.RemoveEdge(0, 2).summary;
   EXPECT_TRUE(summary.graph_changed);
   EXPECT_TRUE(summary.labels_changed);
   ServiceResponse updated = service.Submit(request);
@@ -236,17 +236,17 @@ TEST(ServiceTest, TargetedInvalidationKeepsCacheWarmOnNoOpUpdates) {
   // Any update to an arc that lies on no shortest path — even inserting
   // one — repairs no label, which certifies no answer changed, so the
   // cache must stay warm throughout.
-  EdgeUpdateSummary summary = service.SetEdgeWeight(0, 2, 1000);  // detour in
+  EdgeUpdateSummary summary = service.SetEdgeWeight(0, 2, 1000).summary;  // detour in
   EXPECT_TRUE(summary.graph_changed);
   EXPECT_FALSE(summary.labels_changed);
   EXPECT_TRUE(service.Submit(request).cache_hit);
-  summary = service.SetEdgeWeight(0, 2, 2000);  // raise it
+  summary = service.SetEdgeWeight(0, 2, 2000).summary;  // raise it
   EXPECT_TRUE(summary.graph_changed);
   EXPECT_FALSE(summary.labels_changed);
   EXPECT_TRUE(service.Submit(request).cache_hit);  // still warm
 
   // Removing the irrelevant detour repairs nothing either.
-  summary = service.RemoveEdge(0, 2);
+  summary = service.RemoveEdge(0, 2).summary;
   EXPECT_TRUE(summary.graph_changed);
   EXPECT_FALSE(summary.labels_changed);
   EXPECT_TRUE(service.Submit(request).cache_hit);
@@ -444,12 +444,11 @@ TEST(ServiceTest, EngineCountersAndStageSpansFlowIntoMetrics) {
   EXPECT_GT(snapshot.counters[static_cast<size_t>(
                 obs::Counter::kLabelQueries)],
             0u);
-  // Queue-wait and lock-wait are recorded for every completed request;
+  // Queue-wait is recorded for every completed request (there is no
+  // lock-wait stage: queries run against a pinned snapshot and never block);
   // the sampled engine phases for at least the cache misses.
   using obs::Stage;
   EXPECT_EQ(snapshot.stages[static_cast<size_t>(Stage::kQueueWait)].count(),
-            2u);
-  EXPECT_EQ(snapshot.stages[static_cast<size_t>(Stage::kLockWait)].count(),
             2u);
   EXPECT_GE(snapshot.stages[static_cast<size_t>(Stage::kNn)].count(), 1u);
   EXPECT_GE(snapshot.stages[static_cast<size_t>(Stage::kEnumerate)].count(),
@@ -532,7 +531,7 @@ TEST(MetricsRegistryTest, ResetRacesCleanlyWithRecordAndSnapshot) {
   std::thread snapshotter([&] {
     CacheStats cache;
     while (!stop.load(std::memory_order_relaxed)) {
-      MetricsSnapshot snap = registry.Snapshot(cache, 1, 1);
+      MetricsSnapshot snap = registry.Snapshot(cache, 1, 1, SnapshotGauges{});
       if (snap.uptime_s < 0 || snap.qps < 0 ||
           snap.slow_queries.size() > 2) {
         saw_incoherent.store(true);
@@ -573,12 +572,15 @@ TEST(ProtocolTest, HandleRequestLineAnswersEachCommand) {
   std::string query = HandleRequestLine(service, "QUERY 0 0 0 1");
   EXPECT_EQ(query.rfind("OK ROUTES n=1 costs=6", 0), 0u) << query;
 
-  EXPECT_EQ(HandleRequestLine(service, "ADD_CAT 1 0"), "OK UPDATED");
+  std::string add_cat = HandleRequestLine(service, "ADD_CAT 1 0");
+  EXPECT_EQ(add_cat.rfind("OK UPDATED version=", 0), 0u) << add_cat;
   std::string updated = HandleRequestLine(service, "QUERY 0 0 0 1");
   EXPECT_EQ(updated.rfind("OK ROUTES n=1 costs=2", 0), 0u) << updated;
-  EXPECT_EQ(HandleRequestLine(service, "REMOVE_CAT 1 0"), "OK UPDATED");
+  std::string remove_cat = HandleRequestLine(service, "REMOVE_CAT 1 0");
+  EXPECT_EQ(remove_cat.rfind("OK UPDATED version=", 0), 0u) << remove_cat;
   // Directed shortcut 0 -> 3 of weight 1: route 0 -> 3 -> 0 = 1 + 3 = 4.
-  EXPECT_EQ(HandleRequestLine(service, "ADD_EDGE 0 3 1"), "OK UPDATED");
+  std::string add_edge = HandleRequestLine(service, "ADD_EDGE 0 3 1");
+  EXPECT_EQ(add_edge.rfind("OK UPDATED changed=1", 0), 0u) << add_edge;
   std::string shortcut = HandleRequestLine(service, "QUERY 0 0 0 1");
   EXPECT_EQ(shortcut.rfind("OK ROUTES n=1 costs=4", 0), 0u) << shortcut;
 
@@ -621,22 +623,26 @@ TEST(ProtocolTest, SetAndRemoveEdgeVerbsReportRepairSummaries) {
   // Increase: the shortcut leaves the shortest path, answers revert.
   std::string raised = HandleRequestLine(service, "SET_EDGE 0 3 500");
   EXPECT_EQ(raised.rfind("OK UPDATED changed=1 labels=", 0), 0u) << raised;
-  EXPECT_NE(raised, "OK UPDATED changed=1 labels=0") << raised;
+  EXPECT_NE(raised.rfind("OK UPDATED changed=1 labels=0 ", 0), 0u) << raised;
   query = HandleRequestLine(service, "QUERY 0 0 0 1");
   EXPECT_EQ(query.rfind("OK ROUTES n=1 costs=6", 0), 0u) << query;
 
   // Raising an off-shortest-path arc repairs nothing (labels=0), and
   // setting the same weight again is a full no-op (changed=0).
-  EXPECT_EQ(HandleRequestLine(service, "SET_EDGE 0 3 600"),
-            "OK UPDATED changed=1 labels=0");
-  EXPECT_EQ(HandleRequestLine(service, "SET_EDGE 0 3 600"),
-            "OK UPDATED changed=0 labels=0");
+  std::string off_path = HandleRequestLine(service, "SET_EDGE 0 3 600");
+  EXPECT_EQ(off_path.rfind("OK UPDATED changed=1 labels=0 version=", 0), 0u)
+      << off_path;
+  std::string same = HandleRequestLine(service, "SET_EDGE 0 3 600");
+  EXPECT_EQ(same.rfind("OK UPDATED changed=0 labels=0 version=", 0), 0u)
+      << same;
 
   // Removal; removing again is a no-op.
-  EXPECT_EQ(HandleRequestLine(service, "REMOVE_EDGE 0 3"),
-            "OK UPDATED changed=1 labels=0");
-  EXPECT_EQ(HandleRequestLine(service, "REMOVE_EDGE 0 3"),
-            "OK UPDATED changed=0 labels=0");
+  std::string removed = HandleRequestLine(service, "REMOVE_EDGE 0 3");
+  EXPECT_EQ(removed.rfind("OK UPDATED changed=1 labels=0 version=", 0), 0u)
+      << removed;
+  std::string noop = HandleRequestLine(service, "REMOVE_EDGE 0 3");
+  EXPECT_EQ(noop.rfind("OK UPDATED changed=0 labels=0 version=", 0), 0u)
+      << noop;
   query = HandleRequestLine(service, "QUERY 0 0 0 1");
   EXPECT_EQ(query.rfind("OK ROUTES n=1 costs=6", 0), 0u) << query;
 }

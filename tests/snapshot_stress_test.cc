@@ -1,0 +1,360 @@
+// Epoch-based snapshot publication (ISSUE 8): readers never block on
+// updates, every answer is consistent with the snapshot version it reports,
+// batched updates coalesce into one repair + one publication, and the
+// coalesced repair leaves labels byte-identical to a from-scratch rebuild.
+// The build-tsan and build-asan CI jobs run this binary with real threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/service/protocol.h"
+#include "src/service/service.h"
+#include "tests/test_util.h"
+
+namespace kosr::service {
+namespace {
+
+ServiceRequest MakeRequest(VertexId source, VertexId target,
+                           CategorySequence sequence, uint32_t k = 1) {
+  ServiceRequest request;
+  request.query.source = source;
+  request.query.target = target;
+  request.query.sequence = std::move(sequence);
+  request.query.k = k;
+  return request;
+}
+
+/// Line graph 0 - 1 - 2 - 3 (unit weights, both directions), category 0 =
+/// {3}, category 1 = {2}: hand-computable routes for the batching tests.
+KosrEngine MakeLineEngine() {
+  Graph graph = Graph::FromEdges(
+      4, {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}, {2, 3, 1}, {3, 2, 1}});
+  CategoryTable categories(4, 3);
+  categories.Add(3, 0);
+  categories.Add(2, 1);
+  KosrEngine engine(std::move(graph), std::move(categories));
+  engine.BuildIndexes();
+  return engine;
+}
+
+// --- Satellite (c): writer vs readers under the sanitizers -----------------
+
+// One writer swaps a snapshot mid-stream while reader threads hammer the
+// service. Every response names the snapshot version it was computed
+// against, and its routes must match an oracle engine frozen at exactly
+// that version — a reader that observed half an update, or a cache entry
+// that leaked across the invalidation, would mismatch. At quiescence every
+// retired snapshot must have been reclaimed.
+TEST(SnapshotStressTest, ConcurrentReadersMatchTheOracleOfTheirVersion) {
+  auto inst = testing::MakeRandomInstance(60, 320, 4, 4242);
+  KosrEngine pre(inst.graph, inst.categories);
+  pre.BuildIndexes();
+  KosrEngine post(inst.graph, inst.categories);
+  post.BuildIndexes();
+  // The update the writer will apply: a brand-new weight-1 shortcut.
+  EdgeUpdateSummary summary = post.SetEdgeWeight(0, 59, 1);
+  ASSERT_TRUE(summary.graph_changed);
+
+  ServiceConfig config;
+  config.num_workers = 4;
+  KosrEngine served(inst.graph, inst.categories);
+  served.BuildIndexes();
+  KosrService service(std::move(served), config);
+
+  std::map<uint64_t, const KosrEngine*> oracle = {{1, &pre}, {2, &post}};
+
+  // Fixed request pool, generated up front so reader threads share no RNG.
+  std::mt19937_64 rng(77);
+  std::uniform_int_distribution<VertexId> pick(0, 59);
+  std::vector<ServiceRequest> pool;
+  for (int i = 0; i < 24; ++i) {
+    pool.push_back(MakeRequest(pick(rng), pick(rng),
+                               RandomCategorySequence(pre.categories(), 2, rng),
+                               2));
+  }
+
+  std::atomic<bool> failed{false};
+  auto reader = [&](uint32_t offset) {
+    for (int i = 0; i < 40 && !failed.load(); ++i) {
+      const ServiceRequest& request = pool[(offset + i) % pool.size()];
+      ServiceResponse response = service.Submit(request);
+      if (!response.ok()) {
+        failed.store(true);
+        ADD_FAILURE() << response.error;
+        return;
+      }
+      auto it = oracle.find(response.snapshot_version);
+      if (it == oracle.end()) {
+        failed.store(true);
+        ADD_FAILURE() << "unknown snapshot version "
+                      << response.snapshot_version;
+        return;
+      }
+      KosrResult expected = it->second->Query(request.query, request.options);
+      if (response.result.routes.size() != expected.routes.size()) {
+        failed.store(true);
+        ADD_FAILURE() << "route count diverged at version "
+                      << response.snapshot_version;
+        return;
+      }
+      for (size_t j = 0; j < expected.routes.size(); ++j) {
+        if (response.result.routes[j].cost != expected.routes[j].cost) {
+          failed.store(true);
+          ADD_FAILURE() << "cost diverged at version "
+                        << response.snapshot_version;
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (uint32_t t = 0; t < 3; ++t) readers.emplace_back(reader, t * 7);
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    UpdateAck ack = service.SetEdgeWeight(0, 59, 1);
+    EXPECT_TRUE(ack.applied);
+    EXPECT_EQ(ack.snapshot_version, 2u);
+  });
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  ASSERT_FALSE(failed.load());
+
+  // Quiescence: queries landed on the new snapshot, readers unpinned, so
+  // the metrics reclaim pass must bring the live-snapshot gauge back to 1.
+  MetricsSnapshot metrics = service.Metrics();
+  EXPECT_EQ(metrics.snapshots.version, 2u);
+  EXPECT_EQ(metrics.snapshots.live_snapshots, 1u);
+  EXPECT_EQ(metrics.snapshots.updates_applied, 1u);
+  EXPECT_EQ(metrics.snapshots.batches_applied, 1u);
+  EXPECT_EQ(metrics.snapshots.pending_updates, 0u);
+}
+
+// --- Tentpole layer 3: the batch window ------------------------------------
+
+TEST(SnapshotBatchTest, WindowBuffersUpdatesUntilFlush) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.update_batch_window_s = 3600;  // Nothing flushes by itself.
+  KosrService service(MakeLineEngine(), config);
+
+  ServiceRequest request = MakeRequest(0, 0, {0});
+  EXPECT_EQ(service.Submit(request).result.routes[0].cost, 6);
+
+  // Both updates buffer: acks report BUFFERED semantics and the snapshot
+  // version stays at the initial seal.
+  UpdateAck first = service.SetEdgeWeight(0, 3, 2);
+  EXPECT_FALSE(first.applied);
+  EXPECT_EQ(first.pending, 1u);
+  EXPECT_EQ(first.snapshot_version, 1u);
+  UpdateAck second = service.SetEdgeWeight(0, 3, 1);
+  EXPECT_FALSE(second.applied);
+  EXPECT_EQ(second.pending, 2u);
+  EXPECT_EQ(second.snapshot_version, 1u);
+
+  // Queries keep answering from the pre-update snapshot.
+  ServiceResponse stale = service.Submit(request);
+  EXPECT_EQ(stale.result.routes[0].cost, 6);
+  EXPECT_EQ(stale.snapshot_version, 1u);
+  MetricsSnapshot buffered = service.Metrics();
+  EXPECT_EQ(buffered.snapshots.pending_updates, 2u);
+  EXPECT_EQ(buffered.snapshots.batches_applied, 0u);
+
+  // One flush applies both updates as one batch behind one publication.
+  UpdateAck flushed = service.FlushUpdates();
+  EXPECT_TRUE(flushed.applied);
+  EXPECT_TRUE(flushed.summary.graph_changed);
+  EXPECT_EQ(flushed.snapshot_version, 2u);
+  ServiceResponse fresh = service.Submit(request);
+  EXPECT_EQ(fresh.result.routes[0].cost, 4);  // 0 -> 3 -> 0 = 1 + 3.
+  EXPECT_EQ(fresh.snapshot_version, 2u);
+  MetricsSnapshot applied = service.Metrics();
+  EXPECT_EQ(applied.snapshots.pending_updates, 0u);
+  EXPECT_EQ(applied.snapshots.updates_applied, 2u);
+  EXPECT_EQ(applied.snapshots.batches_applied, 1u);
+
+  // Flushing with nothing buffered is a published no-op.
+  UpdateAck noop = service.FlushUpdates();
+  EXPECT_TRUE(noop.applied);
+  EXPECT_FALSE(noop.summary.graph_changed);
+  EXPECT_EQ(noop.snapshot_version, 2u);
+}
+
+TEST(SnapshotBatchTest, FlusherAppliesTheBatchAfterTheWindowCloses) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.update_batch_window_s = 0.02;
+  KosrService service(MakeLineEngine(), config);
+
+  UpdateAck ack = service.SetEdgeWeight(0, 3, 1);
+  EXPECT_FALSE(ack.applied);
+
+  // The flusher thread owns the apply; poll until it publishes.
+  for (int i = 0; i < 500 && service.snapshot_version() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(service.snapshot_version(), 2u);
+  EXPECT_EQ(service.Submit(MakeRequest(0, 0, {0})).result.routes[0].cost, 4);
+  MetricsSnapshot metrics = service.Metrics();
+  EXPECT_EQ(metrics.snapshots.batches_applied, 1u);
+  EXPECT_EQ(metrics.snapshots.pending_updates, 0u);
+}
+
+TEST(SnapshotBatchTest, StopFlushesBufferedUpdatesInsteadOfDroppingThem) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.update_batch_window_s = 3600;
+  KosrService service(MakeLineEngine(), config);
+  EXPECT_FALSE(service.SetEdgeWeight(0, 3, 1).applied);
+  service.Stop();
+  // The update went live on shutdown; a restarted service (same object)
+  // answers from the post-update snapshot.
+  EXPECT_EQ(service.snapshot_version(), 2u);
+  service.Start();
+  EXPECT_EQ(service.Submit(MakeRequest(0, 0, {0})).result.routes[0].cost, 4);
+}
+
+TEST(SnapshotBatchTest, ProtocolReportsBufferedAndFlushed) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.update_batch_window_s = 3600;
+  KosrService service(MakeLineEngine(), config);
+
+  EXPECT_EQ(HandleRequestLine(service, "SET_EDGE 0 3 1"),
+            "OK BUFFERED pending=1 version=1");
+  EXPECT_EQ(HandleRequestLine(service, "ADD_EDGE 1 3 1"),
+            "OK BUFFERED pending=2 version=1");
+  std::string flushed = HandleRequestLine(service, "FLUSH_UPDATES");
+  EXPECT_EQ(flushed.rfind("OK FLUSHED changed=1 labels=", 0), 0u) << flushed;
+  EXPECT_NE(flushed.find(" version=2"), std::string::npos) << flushed;
+}
+
+// Category updates cannot buffer (they restructure the inverted indexes),
+// so they first flush pending edge updates — the combined stream applies
+// in submission order.
+TEST(SnapshotBatchTest, CategoryUpdateFlushesPendingEdgeUpdatesFirst) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.update_batch_window_s = 3600;
+  KosrService service(MakeLineEngine(), config);
+
+  EXPECT_FALSE(service.SetEdgeWeight(0, 3, 1).applied);
+  UpdateAck ack = service.AddVertexCategory(1, 0);
+  EXPECT_TRUE(ack.applied);
+  // Version 2 = the flushed edge batch, version 3 = the category update.
+  EXPECT_EQ(ack.snapshot_version, 3u);
+  // Both effects are live: cat 0 = {1, 3}, so 0 -> 1 -> 0 = 2 beats the
+  // shortcut route 0 -> 3 -> 0 = 4.
+  EXPECT_EQ(service.Submit(MakeRequest(0, 0, {0})).result.routes[0].cost, 2);
+  MetricsSnapshot metrics = service.Metrics();
+  EXPECT_EQ(metrics.snapshots.pending_updates, 0u);
+}
+
+// --- Acceptance: coalesced repair == from-scratch rebuild, byte for byte ---
+
+TEST(SnapshotBatchTest, BatchedStreamLeavesLabelsByteIdenticalToRebuild) {
+  auto inst = testing::MakeRandomInstance(28, 100, 3, 21);
+
+  auto apply = [](KosrService& service) {
+    service.SetEdgeWeight(1, 2, 1);
+    service.AddOrDecreaseEdge(3, 7, 2);
+    service.SetEdgeWeight(5, 9, 4);
+    service.RemoveEdge(3, 7);  // Removes the arc added two updates ago.
+    service.AddOrDecreaseEdge(0, 11, 3);
+    service.SetEdgeWeight(1, 2, 9);  // Raise what we first lowered.
+  };
+
+  // Batched: the whole stream lands as one coalesced repair.
+  ServiceConfig batched_config;
+  batched_config.num_workers = 1;
+  batched_config.update_batch_window_s = 3600;
+  KosrEngine batched_engine(inst.graph, inst.categories);
+  batched_engine.BuildIndexes();
+  KosrService batched(std::move(batched_engine), batched_config);
+  apply(batched);
+  UpdateAck ack = batched.FlushUpdates();
+  ASSERT_TRUE(ack.applied);
+  ASSERT_TRUE(ack.summary.graph_changed);
+  EXPECT_EQ(batched.Metrics().snapshots.batches_applied, 1u);
+
+  // Immediate: the same stream, one repair per update.
+  KosrEngine immediate_engine(inst.graph, inst.categories);
+  immediate_engine.BuildIndexes();
+  KosrService immediate(std::move(immediate_engine), {.num_workers = 1});
+  apply(immediate);
+
+  // From scratch: rebuild the labeling on the post-update graph with the
+  // same hub order (the repair never re-ranks; a free rebuild would pick a
+  // fresh degree order and trivially different bytes).
+  auto snapshot = batched.CurrentSnapshot();
+  uint32_t n = snapshot->graph().num_vertices();
+  std::vector<VertexId> order(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    order[r] = snapshot->labeling().HubVertex(r);
+  }
+  KosrEngine rebuilt(Graph::FromEdges(n, snapshot->graph().ToEdges()),
+                     snapshot->categories());
+  rebuilt.BuildIndexes(order);
+
+  std::ostringstream batched_bytes, immediate_bytes, rebuilt_bytes;
+  snapshot->labeling().Serialize(batched_bytes);
+  immediate.CurrentSnapshot()->labeling().Serialize(immediate_bytes);
+  rebuilt.labeling().Serialize(rebuilt_bytes);
+  EXPECT_EQ(batched_bytes.str(), rebuilt_bytes.str());
+  EXPECT_EQ(immediate_bytes.str(), rebuilt_bytes.str());
+}
+
+// --- Satellite (b): targeted invalidation spares unaffected pairs ----------
+
+// Two disconnected line components; a label-changing update in component A
+// must evict A's cached route and leave component B's entry warm.
+TEST(SnapshotBatchTest, LabelChangingUpdateKeepsUnaffectedComponentWarm) {
+  Graph graph = Graph::FromEdges(8, {{0, 1, 1},
+                                     {1, 0, 1},
+                                     {1, 2, 1},
+                                     {2, 1, 1},
+                                     {2, 3, 1},
+                                     {3, 2, 1},
+                                     {4, 5, 1},
+                                     {5, 4, 1},
+                                     {5, 6, 1},
+                                     {6, 5, 1},
+                                     {6, 7, 1},
+                                     {7, 6, 1}});
+  CategoryTable categories(8, 3);
+  categories.Add(3, 0);  // Component A.
+  categories.Add(2, 1);  // Component A.
+  categories.Add(6, 2);  // Component B.
+  KosrEngine engine(std::move(graph), std::move(categories));
+  engine.BuildIndexes();
+  KosrService service(std::move(engine), {.num_workers = 1});
+
+  ServiceRequest in_a = MakeRequest(0, 0, {0});  // 0 -> 3 -> 0 = 6.
+  ServiceRequest in_b = MakeRequest(4, 4, {2});  // 4 -> 6 -> 4 = 4.
+  EXPECT_EQ(service.Submit(in_a).result.routes[0].cost, 6);
+  EXPECT_EQ(service.Submit(in_b).result.routes[0].cost, 4);
+  EXPECT_TRUE(service.Submit(in_a).cache_hit);
+  EXPECT_TRUE(service.Submit(in_b).cache_hit);
+
+  // Raising 0 -> 1 changes distances (and labels) in component A only.
+  UpdateAck ack = service.SetEdgeWeight(0, 1, 5);
+  ASSERT_TRUE(ack.summary.labels_changed);
+
+  ServiceResponse b_again = service.Submit(in_b);
+  EXPECT_TRUE(b_again.cache_hit) << "unaffected component was evicted";
+  EXPECT_EQ(b_again.result.routes[0].cost, 4);
+  ServiceResponse a_again = service.Submit(in_a);
+  EXPECT_FALSE(a_again.cache_hit);
+  EXPECT_EQ(a_again.result.routes[0].cost, 10);  // Out 5+1+1, back 1+1+1.
+  EXPECT_GT(service.cache().stats().invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace kosr::service
