@@ -9,6 +9,13 @@
 // and emits a JSON report with achieved QPS, per-method p50/p95/p99, and
 // cache hit rates.
 //
+// With --journal-dir a fourth, journal-overhead phase runs (ISSUE 9): the
+// mixed workload replays against a second, write-ahead-journaled service
+// built from an identical engine, so the report's "durability" section
+// puts journaled and in-memory update latency side by side, plus the
+// journal counters and the cost of a full CHECKPOINT. BENCH_durability.json
+// is a recorded run.
+//
 // Standalone binary (no google-benchmark dependency): the open-loop clock
 // is the experiment, not iteration timing.
 //
@@ -25,22 +32,33 @@
 //                     (default 50; 0 skips the mixed phase)
 //   --update-batch-window S  update batching window forwarded to the
 //                     service (seconds; default 0 = apply immediately)
+//   --journal-dir D   run the journal-overhead phase against a write-ahead
+//                     journal in D (recreated; default "" skips the phase)
+//   --fsync-policy P  journal fsync policy: always|interval|never
+//                     (default always)
+//   --checkpoint-bytes B  journal size that triggers an automatic
+//                     checkpoint during the phase (default 0 = only the
+//                     final explicit one)
 //   --seed X          workload/mix seed       (default 7)
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <map>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/durability/journal.h"
 #include "src/service/metrics.h"
 #include "src/service/service.h"
 #include "src/util/stats.h"
@@ -65,6 +83,9 @@ struct Options {
   size_t cache_capacity = 1024;
   double update_rate = 50;
   double update_batch_window_s = 0;
+  std::string journal_dir;  ///< Empty = skip the journal-overhead phase.
+  std::string fsync_policy = "always";
+  uint64_t checkpoint_bytes = 0;
   uint64_t seed = 7;
 };
 
@@ -111,6 +132,12 @@ Options ParseOptions(int argc, char** argv) {
       opt.update_rate = std::stod(value);
     } else if (flag == "--update-batch-window") {
       opt.update_batch_window_s = std::stod(value);
+    } else if (flag == "--journal-dir") {
+      opt.journal_dir = value;
+    } else if (flag == "--fsync-policy") {
+      opt.fsync_policy = value;
+    } else if (flag == "--checkpoint-bytes") {
+      opt.checkpoint_bytes = ParseCount(value, flag);
     } else if (flag == "--seed") {
       opt.seed = ParseCount(value, flag);
     } else {
@@ -126,6 +153,12 @@ Options ParseOptions(int argc, char** argv) {
     std::fprintf(stderr,
                  "--update-rate and --update-batch-window must be "
                  "non-negative\n");
+    std::exit(1);
+  }
+  if (!opt.journal_dir.empty() &&
+      !durability::ParseFsyncPolicy(opt.fsync_policy).has_value()) {
+    std::fprintf(stderr, "--fsync-policy wants always|interval|never, got %s\n",
+                 opt.fsync_policy.c_str());
     std::exit(1);
   }
   if (opt.pool == 0) opt.pool = opt.requests;
@@ -281,31 +314,104 @@ int Main(int argc, char** argv) {
   config.queue_capacity = opt.queue_capacity;
   config.cache_capacity = opt.cache_capacity;
   config.update_batch_window_s = opt.update_batch_window_s;
-  KosrService service(std::move(*workload.engine), config);
 
-  PhaseReport cold = RunPhase(service, stream, opt.rate);
-  std::string cold_metrics = service.MetricsJson();
-  service.ResetMetrics();  // Phase boundary: keep the warm snapshot pure.
-  PhaseReport warm = RunPhase(service, stream, opt.rate);
-  std::string warm_metrics = service.MetricsJson();
-
-  // Mixed phase: the same query stream replays while one writer thread
-  // re-randomizes edge weights at --update-rate. Query tail latency here is
-  // the ISSUE 8 acceptance metric (p99 under a continuous update stream).
+  PhaseReport cold;
+  PhaseReport warm;
   PhaseReport mixed;
   UpdaterReport updater;
+  std::string cold_metrics;
+  std::string warm_metrics;
   std::string mixed_metrics = "{}";
-  if (opt.update_rate > 0 && !edges.empty()) {
-    service.ResetMetrics();
-    std::atomic<bool> stop_updater{false};
-    std::thread writer([&] {
-      updater = RunUpdater(service, edges, opt.update_rate, opt.seed + 9,
-                           stop_updater);
-    });
-    mixed = RunPhase(service, stream, opt.rate);
-    stop_updater.store(true, std::memory_order_relaxed);
-    writer.join();
-    mixed_metrics = service.MetricsJson();
+  uint32_t resolved_workers = 0;
+  {
+    KosrService service(std::move(*workload.engine), config);
+    resolved_workers = service.num_workers();
+
+    cold = RunPhase(service, stream, opt.rate);
+    cold_metrics = service.MetricsJson();
+    service.ResetMetrics();  // Phase boundary: keep the warm snapshot pure.
+    warm = RunPhase(service, stream, opt.rate);
+    warm_metrics = service.MetricsJson();
+
+    // Mixed phase: the same query stream replays while one writer thread
+    // re-randomizes edge weights at --update-rate. Query tail latency here
+    // is the ISSUE 8 acceptance metric (p99 under a continuous update
+    // stream).
+    if (opt.update_rate > 0 && !edges.empty()) {
+      service.ResetMetrics();
+      std::atomic<bool> stop_updater{false};
+      std::thread writer([&] {
+        updater = RunUpdater(service, edges, opt.update_rate, opt.seed + 9,
+                             stop_updater);
+      });
+      mixed = RunPhase(service, stream, opt.rate);
+      stop_updater.store(true, std::memory_order_relaxed);
+      writer.join();
+      mixed_metrics = service.MetricsJson();
+    }
+  }  // Baseline service torn down before the journaled one starts.
+
+  // Journal-overhead phase (ISSUE 9): the same mixed workload against a
+  // fresh, write-ahead-journaled service over an identically rebuilt
+  // engine. Every accepted update now pays append (+ fsync under
+  // --fsync-policy always) before it applies, so the delta between this
+  // phase's update latency and the in-memory mixed phase above IS the
+  // durability cost. Ends with one explicitly timed full checkpoint.
+  std::string durability_json = "null";
+  if (!opt.journal_dir.empty()) {
+    Workload durable_workload =
+        MakeGridWorkload("CAL", 64, 48, opt.seed + 100);
+    std::filesystem::remove_all(opt.journal_dir);
+    std::filesystem::create_directories(opt.journal_dir);
+    service::DurabilityAttachment attachment;
+    attachment.journal = std::make_unique<durability::UpdateJournal>(
+        opt.journal_dir, *durability::ParseFsyncPolicy(opt.fsync_policy),
+        /*interval_s=*/0.05, /*base_seq=*/0);
+    attachment.dir = opt.journal_dir;
+    attachment.checkpoint_bytes = opt.checkpoint_bytes;
+    KosrService durable(std::move(*durable_workload.engine), config,
+                        std::move(attachment));
+
+    PhaseReport durable_phase;
+    UpdaterReport durable_updater;
+    if (opt.update_rate > 0 && !edges.empty()) {
+      std::atomic<bool> stop_updater{false};
+      std::thread writer([&] {
+        durable_updater = RunUpdater(durable, edges, opt.update_rate,
+                                     opt.seed + 9, stop_updater);
+      });
+      durable_phase = RunPhase(durable, stream, opt.rate);
+      stop_updater.store(true, std::memory_order_relaxed);
+      writer.join();
+    } else {
+      durable_phase = RunPhase(durable, stream, opt.rate);
+    }
+    WallTimer checkpoint_timer;
+    service::CheckpointAck ack = durable.Checkpoint();
+    double checkpoint_s = checkpoint_timer.ElapsedSeconds();
+
+    // Journaled-over-in-memory update latency ratio; only meaningful when
+    // both phases actually ran the writer.
+    double overhead_p50 = 0;
+    if (updater.updates_applied > 0 && durable_updater.updates_applied > 0 &&
+        updater.latency.P50Millis() > 0) {
+      overhead_p50 =
+          durable_updater.latency.P50Millis() / updater.latency.P50Millis();
+    }
+
+    std::ostringstream ds;
+    ds << "{\"journal_dir\":\"" << opt.journal_dir << "\",\"fsync_policy\":\""
+       << opt.fsync_policy << "\",\"checkpoint_bytes\":" << opt.checkpoint_bytes
+       << ",\"phase\":" << durable_phase.ToJson()
+       << ",\"updater\":" << durable_updater.ToJson()
+       << ",\"update_latency_p50_ratio_vs_memory\":" << overhead_p50
+       << ",\"final_checkpoint\":{\"written\":"
+       << (ack.written ? "true" : "false") << ",\"seq\":" << ack.seq
+       << ",\"wall_s\":" << checkpoint_s
+       // Journal counters (appends/fsyncs/bytes/truncations) ride in the
+       // service metrics' "durability" block.
+       << "},\"service_metrics\":" << durable.MetricsJson() << "}";
+    durability_json = ds.str();
   }
 
   std::ostringstream os;
@@ -318,7 +424,7 @@ int Main(int argc, char** argv) {
      << ",\"update_rate\":" << opt.update_rate
      << ",\"update_batch_window_s\":" << opt.update_batch_window_s
      << "},\"service\":{\"workers\":"
-     << service.num_workers() << ",\"queue_capacity\":" << opt.queue_capacity
+     << resolved_workers << ",\"queue_capacity\":" << opt.queue_capacity
      << ",\"cache_capacity\":" << opt.cache_capacity
      << "},\"phases\":{\"cold\":" << cold.ToJson()
      << ",\"warm\":" << warm.ToJson() << ",\"mixed\":" << mixed.ToJson()
@@ -327,7 +433,7 @@ int Main(int argc, char** argv) {
      // cache itself is deliberately not reset at the boundary).
      << "},\"service_metrics\":{\"cold\":" << cold_metrics
      << ",\"warm\":" << warm_metrics << ",\"mixed\":" << mixed_metrics
-     << "}}";
+     << "},\"durability\":" << durability_json << "}";
   std::printf("%s\n", os.str().c_str());
   return 0;
 }

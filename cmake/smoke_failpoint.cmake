@@ -1,0 +1,74 @@
+# Failpoint self-test (ISSUE 9 satellite): proves that arming a durability
+# failpoint through the KOSR_FAILPOINTS environment variable makes a real
+# `kosr_cli serve` process die with the distinctive crash exit code (97) at
+# the injection point — the mechanism the crash-recovery harness depends on.
+# Also checks that a malformed spec is rejected loudly instead of silently
+# disabling injection.
+if(NOT DEFINED CLI OR NOT DEFINED SCRATCH)
+  message(FATAL_ERROR "smoke_failpoint.cmake needs -DCLI=... and -DSCRATCH=...")
+endif()
+
+file(REMOVE_RECURSE ${SCRATCH})
+file(MAKE_DIRECTORY ${SCRATCH})
+
+execute_process(COMMAND ${CLI}
+  generate --type grid --rows 8 --cols 8 --seed 3
+  --out graph.gr --categories-out cats.txt --category-size 8
+  WORKING_DIRECTORY ${SCRATCH}
+  RESULT_VARIABLE _exit OUTPUT_QUIET)
+if(NOT _exit EQUAL 0)
+  message(FATAL_ERROR "generate failed with ${_exit}")
+endif()
+
+file(WRITE ${SCRATCH}/requests.txt "SET_EDGE 0 1 5\nQUIT\n")
+
+# Armed: the update's journal append hits the failpoint and the process
+# _Exits(97) before responding.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env KOSR_FAILPOINTS=journal-after-append=crash
+    ${CLI} serve --graph graph.gr --categories cats.txt --journal jdir
+  WORKING_DIRECTORY ${SCRATCH}
+  INPUT_FILE ${SCRATCH}/requests.txt
+  OUTPUT_VARIABLE _stdout
+  ERROR_VARIABLE _stderr
+  RESULT_VARIABLE _exit)
+if(NOT _exit EQUAL 97)
+  message(FATAL_ERROR
+    "armed failpoint: expected exit 97, got ${_exit}\nstdout:\n${_stdout}\nstderr:\n${_stderr}")
+endif()
+string(FIND "${_stderr}" "failpoint journal-after-append" _pos)
+if(_pos EQUAL -1)
+  message(FATAL_ERROR
+    "armed failpoint fired but stderr lacks the failpoint marker\nstderr:\n${_stderr}")
+endif()
+
+# The journaled-but-unacked record must survive: restarting over the same
+# journal directory replays it.
+execute_process(
+  COMMAND ${CLI} serve --graph graph.gr --categories cats.txt --journal jdir
+  WORKING_DIRECTORY ${SCRATCH}
+  INPUT_FILE ${SCRATCH}/requests.txt
+  OUTPUT_VARIABLE _stdout
+  RESULT_VARIABLE _exit)
+if(NOT _exit EQUAL 0)
+  message(FATAL_ERROR "recovery serve exited with ${_exit}\nstdout:\n${_stdout}")
+endif()
+string(FIND "${_stdout}" "replayed=1" _pos)
+if(_pos EQUAL -1)
+  message(FATAL_ERROR
+    "recovery serve did not replay the crashed append\nstdout:\n${_stdout}")
+endif()
+
+# Malformed spec: refuse to start rather than run with injection silently off.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env KOSR_FAILPOINTS=not-a-valid-spec
+    ${CLI} serve --graph graph.gr --categories cats.txt
+  WORKING_DIRECTORY ${SCRATCH}
+  INPUT_FILE ${SCRATCH}/requests.txt
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE _exit)
+if(_exit EQUAL 0)
+  message(FATAL_ERROR "malformed KOSR_FAILPOINTS spec was silently accepted")
+endif()
+
+message(STATUS "smoke OK: env-armed failpoint crashes at 97 and recovery replays")

@@ -84,4 +84,51 @@ foreach(_marker
   endif()
 endforeach()
 
+# Graceful-shutdown leg (ISSUE 9 satellite): SIGTERM a journaled server
+# mid-session and require a clean exit — drain, final checkpoint, exit 0
+# with the "clean shutdown" marker. Driven from bash so a signal can be
+# delivered while the server blocks reading a pipe.
+find_program(_bash bash)
+if(_bash)
+  file(WRITE ${SCRATCH}/sigterm.sh
+"set -e
+cd '${SCRATCH}'
+mkfifo serve_in
+'${CLI}' serve --graph graph.gr --categories cats.txt --indexes idx.bin \\
+  --journal jdir --fsync-policy always < serve_in > serve_out 2>serve_err &
+pid=\$!
+exec 3>serve_in
+printf 'PING\\nSET_EDGE 0 255 123\\n' >&3
+for i in \$(seq 1 100); do
+  grep -q 'OK UPDATED' serve_out 2>/dev/null && break
+  sleep 0.1
+done
+kill -TERM \$pid
+wait \$pid
+")
+  execute_process(COMMAND ${_bash} ${SCRATCH}/sigterm.sh
+    RESULT_VARIABLE _exit
+    OUTPUT_VARIABLE _stdout
+    ERROR_VARIABLE _stderr)
+  file(READ ${SCRATCH}/serve_out _serve_out)
+  if(NOT _exit EQUAL 0)
+    message(FATAL_ERROR
+      "SIGTERM shutdown: server did not exit 0 (got ${_exit})\nserve_out:\n${_serve_out}\nstderr:\n${_stderr}")
+  endif()
+  foreach(_marker "OK PONG" "OK UPDATED" "clean shutdown")
+    string(FIND "${_serve_out}" "${_marker}" _pos)
+    if(_pos EQUAL -1)
+      message(FATAL_ERROR
+        "SIGTERM shutdown output lacks marker '${_marker}'\nserve_out:\n${_serve_out}")
+    endif()
+  endforeach()
+  # The shutdown checkpoint must exist and the journal must be truncated
+  # down to its header (no pending records).
+  if(NOT EXISTS ${SCRATCH}/jdir/checkpoint/MANIFEST)
+    message(FATAL_ERROR "SIGTERM shutdown left no checkpoint manifest")
+  endif()
+else()
+  message(STATUS "bash not found - skipping the SIGTERM shutdown leg")
+endif()
+
 message(STATUS "smoke OK: generate -> build-index -> serve protocol round trip")

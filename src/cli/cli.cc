@@ -1,20 +1,26 @@
 #include "src/cli/cli.h"
 
+#include <signal.h>
+
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "src/core/engine.h"
+#include "src/durability/recovery.h"
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
 #include "src/labeling/compressed_io.h"
 #include "src/obs/json_reader.h"
 #include "src/service/protocol.h"
 #include "src/service/service.h"
+#include "src/util/durable_file.h"
 #include "src/util/timer.h"
 
 namespace kosr::cli {
@@ -54,10 +60,24 @@ Commands:
                [--update-batch-window S (edge updates arriving within S
                seconds batch into one label repair and one published
                snapshot; 0=apply immediately, default)]
+               [--journal DIR (write-ahead journal + checkpoints: updates
+               are logged before they apply, and startup recovers from
+               DIR's newest checkpoint plus journal replay — when a
+               checkpoint exists it overrides --graph/--categories/
+               --indexes and skips the index build)]
+               [--fsync-policy always|interval|never (when journal appends
+               reach disk; default always = fsync before each ack, one
+               fsync per batch under a batch window)]
+               [--fsync-interval S (group-commit period for
+               --fsync-policy interval, default 0.05)]
+               [--checkpoint-bytes N (checkpoint + truncate once the
+               journal exceeds N bytes; 0=only CHECKPOINT verb and
+               shutdown, default 64MiB)]
                then speaks the newline request/response protocol on
                stdin/stdout (QUERY/ADD_CAT/REMOVE_CAT/ADD_EDGE/SET_EDGE/
-               REMOVE_EDGE/FLUSH_UPDATES/METRICS/PING/QUIT; see README.md
-               for the grammar)
+               REMOVE_EDGE/FLUSH_UPDATES/CHECKPOINT/METRICS/PING/QUIT; see
+               README.md for the grammar); SIGTERM/SIGINT shut down
+               gracefully (drain, flush, final checkpoint)
   metrics      [--file metrics.json] pretty-prints a METRICS snapshot
                (reads stdin when --file is absent; accepts either the raw
                JSON or a full "OK METRICS {...}" response line)
@@ -212,32 +232,111 @@ int CmdBuildIndex(const Args& args, std::ostream& out) {
     engine.WriteDiskStore(*dir);
     out << "wrote disk store to " << *dir << "\n";
   }
+  // Both snapshot writers go through write-temp + fsync + atomic-rename: a
+  // crash mid-write must never leave a torn file under the final name that
+  // a later `serve --indexes` would try to load.
   if (auto compressed = args.Get("compressed-out")) {
-    std::ofstream file(*compressed, std::ios::binary);
-    if (!file) throw std::runtime_error("cannot write " + *compressed);
-    SerializeCompressed(engine.labeling(), file);
+    AtomicFileWriter file(*compressed);
+    SerializeCompressed(engine.labeling(), file.stream());
+    file.Commit();
     out << "wrote compressed labeling to " << *compressed << " ("
         << CompressedSizeBytes(engine.labeling()) / 1048576.0 << " MB, "
         << "plain would be "
         << engine.labeling().IndexBytes() / 1048576.0 << " MB)\n";
   }
   if (auto snapshot = args.Get("indexes-out")) {
-    std::ofstream file(*snapshot, std::ios::binary);
-    if (!file) throw std::runtime_error("cannot write " + *snapshot);
-    engine.SaveIndexes(file);
+    AtomicFileWriter file(*snapshot);
+    engine.SaveIndexes(file.stream());
+    file.Commit();
     out << "wrote index snapshot to " << *snapshot << "\n";
   }
   return 0;
 }
 
+// Serve shutdown flag, set by SIGTERM/SIGINT. Lock-free atomics are the
+// only std synchronization a signal handler may touch.
+std::atomic<bool> g_serve_stop{false};
+
+extern "C" void HandleServeSignal(int) {
+  g_serve_stop.store(true, std::memory_order_relaxed);
+}
+
+void InstallServeSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleServeSignal;
+  sigemptyset(&action.sa_mask);
+  // Deliberately no SA_RESTART: a getline blocked in read(2) on stdin must
+  // return EINTR so the serve loop observes the flag and shuts down
+  // instead of waiting for the next request line.
+  action.sa_flags = 0;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
 int CmdServe(const Args& args, std::istream& in, std::ostream& out) {
-  KosrEngine engine = LoadEngine(args);
-  if (auto snapshot = args.Get("indexes")) {
-    std::ifstream file(*snapshot, std::ios::binary);
-    if (!file) throw std::runtime_error("cannot open " + *snapshot);
-    engine.LoadIndexes(file);
+  // Durability flags are validated before paying for an engine build.
+  auto journal_dir = args.Get("journal");
+  std::string policy_text = args.GetOr("fsync-policy", "always");
+  auto fsync_policy = durability::ParseFsyncPolicy(policy_text);
+  if (!fsync_policy) {
+    throw std::invalid_argument(
+        "--fsync-policy must be always|interval|never, got " + policy_text);
+  }
+  std::string interval_text = args.GetOr("fsync-interval", "0.05");
+  double fsync_interval = 0;
+  size_t interval_consumed = 0;
+  try {
+    fsync_interval = std::stod(interval_text, &interval_consumed);
+  } catch (const std::exception&) {
+    interval_consumed = 0;
+  }
+  if (interval_consumed != interval_text.size() ||
+      !std::isfinite(fsync_interval) || fsync_interval <= 0) {
+    throw std::invalid_argument(
+        "--fsync-interval must be a finite number > 0, got " + interval_text);
+  }
+  long long checkpoint_bytes =
+      args.GetIntOr("checkpoint-bytes", 64ll << 20);
+  if (checkpoint_bytes < 0) {
+    throw std::invalid_argument(
+        "--checkpoint-bytes must be >= 0 (0 = manual/shutdown only)");
+  }
+
+  // The normal engine path: load graph + categories, then load or build
+  // indexes. With a journal this only runs when no checkpoint exists —
+  // steady-state restarts recover from the checkpoint instead.
+  auto make_engine = [&args] {
+    auto engine = std::make_unique<KosrEngine>(LoadEngine(args));
+    if (auto snapshot = args.Get("indexes")) {
+      std::ifstream file(*snapshot, std::ios::binary);
+      if (!file) throw std::runtime_error("cannot open " + *snapshot);
+      engine->LoadIndexes(file);
+    } else {
+      BuildWithRequestedOrder(args, *engine);
+    }
+    return engine;
+  };
+
+  std::unique_ptr<KosrEngine> engine;
+  service::DurabilityAttachment attachment;
+  if (journal_dir) {
+    durability::RecoveryOptions options;
+    options.dir = *journal_dir;
+    options.fsync_policy = *fsync_policy;
+    options.fsync_interval_s = fsync_interval;
+    durability::RecoveredState recovered =
+        durability::Recover(options, make_engine);
+    engine = std::move(recovered.engine);
+    attachment.journal = std::move(recovered.journal);
+    attachment.dir = *journal_dir;
+    attachment.checkpoint_bytes = static_cast<uint64_t>(checkpoint_bytes);
+    attachment.checkpoint_loaded = recovered.stats.checkpoint_loaded;
+    attachment.checkpoint_seq = recovered.stats.checkpoint_seq;
+    attachment.replayed_records = recovered.stats.replayed_records;
+    attachment.recovery_s =
+        recovered.stats.checkpoint_load_s + recovered.stats.replay_s;
   } else {
-    BuildWithRequestedOrder(args, engine);
+    engine = make_engine();
   }
 
   // Reject negatives before the unsigned casts: --workers -1 would
@@ -327,14 +426,29 @@ int CmdServe(const Args& args, std::istream& in, std::ostream& out) {
   config.stage_sample_every = static_cast<uint32_t>(sample_every);
   config.update_batch_window_s = batch_window;
 
-  service::KosrService service(std::move(engine), config);
+  const uint64_t start_seq =
+      attachment.journal ? attachment.journal->last_sequence() : 0;
+  const uint64_t replayed = attachment.replayed_records;
+  const double recovery_s = attachment.recovery_s;
+  service::KosrService service(std::move(*engine), config,
+                               std::move(attachment));
+  g_serve_stop.store(false, std::memory_order_relaxed);
+  InstallServeSignalHandlers();
   out << "ready workers=" << service.num_workers()
       << " queue=" << config.queue_capacity
       << " cache=" << service.cache().capacity()
-      << " batch_window=" << config.update_batch_window_s << "\n"
+      << " batch_window=" << config.update_batch_window_s
+      << " journal=" << (journal_dir ? *journal_dir : std::string("off"))
+      << " seq=" << start_seq << " replayed=" << replayed
+      << " recovery_ms=" << recovery_s * 1e3 << "\n"
       << std::flush;
-  uint64_t handled = service::RunServeLoop(service, in, out);
+  uint64_t handled = service::RunServeLoop(service, in, out, &g_serve_stop);
+  // Graceful shutdown on EOF, QUIT, or SIGTERM/SIGINT: stop accepting,
+  // drain workers, flush buffered updates, final checkpoint (with a
+  // journal). Only after all of that is the exit marker printed.
+  service.Stop();
   out << "served " << handled << " requests\n";
+  out << "clean shutdown\n";
   return 0;
 }
 
@@ -513,6 +627,26 @@ int CmdMetrics(const Args& args, std::istream& in, std::ostream& out) {
         << ", batches "
         << static_cast<uint64_t>(NumberOr(*snapshots, "batches_applied"))
         << "\n";
+  }
+  if (const obs::JsonValue* durability = doc.Find("durability");
+      durability != nullptr && durability->Find("enabled") != nullptr &&
+      durability->Find("enabled")->bool_value) {
+    out << "durability: journal "
+        << static_cast<uint64_t>(NumberOr(*durability, "journal_bytes"))
+        << " B, appends "
+        << static_cast<uint64_t>(NumberOr(*durability, "journal_appends"))
+        << ", fsyncs "
+        << static_cast<uint64_t>(NumberOr(*durability, "journal_fsyncs"))
+        << ", applied_seq "
+        << static_cast<uint64_t>(NumberOr(*durability, "applied_seq"))
+        << ", checkpoint_seq "
+        << static_cast<uint64_t>(NumberOr(*durability, "checkpoint_seq"))
+        << ", checkpoints "
+        << static_cast<uint64_t>(NumberOr(*durability, "checkpoints_written"))
+        << ", replayed "
+        << static_cast<uint64_t>(NumberOr(*durability, "replayed_records"))
+        << ", recovery " << NumberOr(*durability, "recovery_s") * 1e3
+        << " ms\n";
   }
   if (const obs::JsonValue* cache = doc.Find("cache")) {
     out << "cache: hits " << static_cast<uint64_t>(NumberOr(*cache, "hits"))

@@ -1,0 +1,203 @@
+#include "src/durability/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/durability/crc32c.h"
+#include "src/graph/io.h"
+#include "src/util/durable_file.h"
+#include "src/util/failpoint.h"
+
+namespace kosr::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kManifestMagic[] = "KOSRCKPT1";
+constexpr const char* kFiles[] = {"graph.gr", "cats.txt", "indexes.bin"};
+
+struct FileDigest {
+  uint64_t size = 0;
+  uint32_t crc = 0;
+};
+
+FileDigest DigestFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("checkpoint: cannot read " + path.string());
+  }
+  FileDigest digest;
+  std::vector<char> buffer(1 << 16);
+  while (in) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const auto got = static_cast<size_t>(in.gcount());
+    digest.crc = Crc32c(buffer.data(), got, digest.crc);
+    digest.size += got;
+  }
+  return digest;
+}
+
+struct Manifest {
+  uint64_t seq = 0;
+  uint32_t num_vertices = 0;
+  uint32_t num_categories = 0;
+  std::vector<std::pair<std::string, FileDigest>> files;
+};
+
+void WriteManifest(const fs::path& dir, const Manifest& manifest) {
+  AtomicFileWriter writer((dir / "MANIFEST").string());
+  std::ostream& out = writer.stream();
+  out << kManifestMagic << "\n";
+  out << "seq " << manifest.seq << "\n";
+  out << "vertices " << manifest.num_vertices << "\n";
+  out << "categories " << manifest.num_categories << "\n";
+  for (const auto& [name, digest] : manifest.files) {
+    out << "file " << name << " " << digest.size << " " << digest.crc
+        << "\n";
+  }
+  writer.Commit();
+}
+
+Manifest ReadManifest(const fs::path& dir) {
+  const fs::path path = dir / "MANIFEST";
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("checkpoint " + dir.string() +
+                             ": missing MANIFEST");
+  }
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kManifestMagic) {
+    throw std::runtime_error("checkpoint " + dir.string() +
+                             ": bad MANIFEST magic");
+  }
+  Manifest manifest;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "seq") {
+      fields >> manifest.seq;
+    } else if (key == "vertices") {
+      fields >> manifest.num_vertices;
+    } else if (key == "categories") {
+      fields >> manifest.num_categories;
+    } else if (key == "file") {
+      std::string name;
+      FileDigest digest;
+      fields >> name >> digest.size >> digest.crc;
+      manifest.files.emplace_back(name, digest);
+    } else {
+      throw std::runtime_error("checkpoint " + dir.string() +
+                               ": unknown MANIFEST key '" + key + "'");
+    }
+    if (!fields) {
+      throw std::runtime_error("checkpoint " + dir.string() +
+                               ": malformed MANIFEST line '" + line + "'");
+    }
+  }
+  return manifest;
+}
+
+LoadedCheckpoint LoadFrom(const fs::path& dir) {
+  const Manifest manifest = ReadManifest(dir);
+  if (manifest.files.size() != std::size(kFiles)) {
+    throw std::runtime_error("checkpoint " + dir.string() +
+                             ": MANIFEST lists " +
+                             std::to_string(manifest.files.size()) +
+                             " files, expected " +
+                             std::to_string(std::size(kFiles)));
+  }
+  for (const auto& [name, expected] : manifest.files) {
+    const FileDigest actual = DigestFile(dir / name);
+    if (actual.size != expected.size || actual.crc != expected.crc) {
+      throw std::runtime_error(
+          "checkpoint " + dir.string() + ": " + name +
+          " fails validation (size " + std::to_string(actual.size) + "/" +
+          std::to_string(expected.size) + ", crc " +
+          std::to_string(actual.crc) + "/" + std::to_string(expected.crc) +
+          ")");
+    }
+  }
+
+  Graph graph = LoadDimacsGraph((dir / "graph.gr").string());
+  CategoryTable categories =
+      LoadCategories((dir / "cats.txt").string(), manifest.num_vertices,
+                     manifest.num_categories);
+  LoadedCheckpoint loaded;
+  loaded.engine =
+      std::make_unique<KosrEngine>(std::move(graph), std::move(categories));
+  std::ifstream indexes(dir / "indexes.bin", std::ios::binary);
+  if (!indexes) {
+    throw std::runtime_error("checkpoint " + dir.string() +
+                             ": cannot read indexes.bin");
+  }
+  loaded.engine->LoadIndexes(indexes);
+  loaded.seq = manifest.seq;
+  return loaded;
+}
+
+}  // namespace
+
+void WriteCheckpoint(const std::string& dir, const KosrEngine& engine,
+                     uint64_t seq) {
+  const fs::path base(dir);
+  fs::create_directories(base);
+  const fs::path tmp = base / "checkpoint.tmp";
+  const fs::path final_dir = base / "checkpoint";
+  const fs::path old_dir = base / "checkpoint.old";
+
+  fs::remove_all(tmp);  // stale leftover from an interrupted attempt
+  fs::create_directories(tmp);
+
+  SaveDimacsGraph(engine.graph(), (tmp / "graph.gr").string());
+  KOSR_FAILPOINT(kFailpointMidCheckpoint);
+  SaveCategories(engine.categories(), (tmp / "cats.txt").string());
+  {
+    std::ofstream indexes(tmp / "indexes.bin", std::ios::binary);
+    engine.SaveIndexes(indexes);
+    indexes.flush();
+    if (!indexes) {
+      throw std::runtime_error("checkpoint: cannot write " +
+                               (tmp / "indexes.bin").string());
+    }
+  }
+
+  Manifest manifest;
+  manifest.seq = seq;
+  manifest.num_vertices = engine.categories().num_vertices();
+  manifest.num_categories = engine.categories().num_categories();
+  for (const char* name : kFiles) {
+    manifest.files.emplace_back(name, DigestFile(tmp / name));
+  }
+  WriteManifest(tmp, manifest);  // atomic; written last, so its presence
+                                 // implies the data files are complete
+  for (const char* name : kFiles) FsyncPath((tmp / name).string());
+  FsyncPath(tmp.string());
+
+  // Swap into place. Window analysis: after the park below there may be no
+  // `checkpoint` until the second rename lands — LoadCheckpoint falls back
+  // to `checkpoint.old` across that window.
+  fs::remove_all(old_dir);
+  if (fs::exists(final_dir)) {
+    AtomicRename(final_dir.string(), old_dir.string());
+  }
+  AtomicRename(tmp.string(), final_dir.string());
+  fs::remove_all(old_dir);
+  FsyncPath(base.string());
+}
+
+std::optional<LoadedCheckpoint> LoadCheckpoint(const std::string& dir) {
+  const fs::path base(dir);
+  const fs::path final_dir = base / "checkpoint";
+  const fs::path old_dir = base / "checkpoint.old";
+  if (fs::exists(final_dir)) return LoadFrom(final_dir);
+  if (fs::exists(old_dir)) return LoadFrom(old_dir);
+  return std::nullopt;
+}
+
+}  // namespace kosr::durability

@@ -1,0 +1,52 @@
+#ifndef KOSR_DURABILITY_CHECKPOINT_H_
+#define KOSR_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/engine.h"
+
+namespace kosr::durability {
+
+/// Failpoint inside the checkpoint temp-dir write, after the graph file but
+/// before the manifest — a crash here must leave the previous checkpoint
+/// (and the journal) intact.
+inline constexpr char kFailpointMidCheckpoint[] = "checkpoint-mid-write";
+/// Failpoint after the checkpoint directory swap but before the journal
+/// truncation — a crash here must recover from the NEW checkpoint plus an
+/// un-truncated journal (replay is idempotent past the checkpoint seq).
+inline constexpr char kFailpointBeforeTruncate[] = "checkpoint-before-truncate";
+
+/// On-disk engine snapshot (ISSUE 9): `dir`/checkpoint/ holding the graph
+/// (DIMACS), the category table, the built indexes (SaveIndexes bytes), and
+/// a MANIFEST recording the last applied journal sequence plus the size and
+/// CRC-32C of every file. Publication is atomic: everything is written to
+/// `dir`/checkpoint.tmp/, fsynced, and renamed into place (any previous
+/// checkpoint is parked at checkpoint.old until the swap completes, so a
+/// crash at any instant leaves at least one complete checkpoint visible).
+
+/// Writes a checkpoint of `engine` whose manifest claims every journal
+/// record with sequence <= `seq` is folded in. `engine` must not mutate
+/// during the call (the service holds its publish lock). Throws
+/// std::runtime_error on I/O failure — the previous checkpoint survives.
+void WriteCheckpoint(const std::string& dir, const KosrEngine& engine,
+                     uint64_t seq);
+
+struct LoadedCheckpoint {
+  std::unique_ptr<KosrEngine> engine;  ///< Indexes already loaded.
+  uint64_t seq = 0;  ///< Journal records <= seq are already applied.
+};
+
+/// Loads the newest complete checkpoint under `dir`: checkpoint/ if its
+/// manifest validates, else checkpoint.old/ (a crash between the park and
+/// the swap). Returns nullopt when neither directory exists — a cold
+/// start. A checkpoint that is present but fails validation (bad manifest,
+/// size or CRC mismatch, unreadable file) throws std::runtime_error:
+/// serving stale or damaged state silently is worse than refusing to start.
+std::optional<LoadedCheckpoint> LoadCheckpoint(const std::string& dir);
+
+}  // namespace kosr::durability
+
+#endif  // KOSR_DURABILITY_CHECKPOINT_H_

@@ -1,0 +1,36 @@
+#include "src/durability/crc32c.h"
+
+#include <array>
+
+namespace kosr::durability {
+namespace {
+
+// Byte-wise table for the reflected Castagnoli polynomial.
+constexpr uint32_t kPolyReflected = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPolyReflected : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace kosr::durability

@@ -1,0 +1,18 @@
+#ifndef KOSR_DURABILITY_CRC32C_H_
+#define KOSR_DURABILITY_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kosr::durability {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum
+/// ext4/iSCSI/leveldb use for record framing. Software table
+/// implementation — journal records are tens of bytes, so fsync, not
+/// checksumming, dominates the append path. `seed` chains partial
+/// computations: Crc32c(b, n1+n2) == Crc32c(b + n1, n2, Crc32c(b, n1)).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace kosr::durability
+
+#endif  // KOSR_DURABILITY_CRC32C_H_

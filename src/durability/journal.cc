@@ -1,0 +1,324 @@
+#include "src/durability/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/durability/crc32c.h"
+#include "src/util/durable_file.h"
+#include "src/util/failpoint.h"
+
+namespace kosr::durability {
+namespace {
+
+constexpr char kMagic[8] = {'K', 'O', 'S', 'R', 'W', 'A', 'L', '1'};
+constexpr size_t kFrameHeaderBytes = 8;  // u32 body_len + u32 crc
+constexpr size_t kBodyBytes = 21;        // u64 seq + u8 type + 3 * u32
+// Upper bound a scanner trusts before checksumming. Far above kBodyBytes so
+// future record kinds fit, far below anything a bit flip in the length
+// field would likely produce.
+constexpr uint32_t kMaxBodyBytes = 4096;
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+std::string EncodeBody(const JournalRecord& record) {
+  std::string body;
+  body.reserve(kBodyBytes);
+  PutU64(body, record.seq);
+  body.push_back(static_cast<char>(record.type));
+  PutU32(body, record.a);
+  PutU32(body, record.b);
+  PutU32(body, record.w);
+  return body;
+}
+
+std::string EncodeFrame(const JournalRecord& record) {
+  std::string body = EncodeBody(record);
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  PutU32(frame, static_cast<uint32_t>(body.size()));
+  PutU32(frame, Crc32c(body.data(), body.size()));
+  frame += body;
+  return frame;
+}
+
+[[noreturn]] void ThrowCorrupt(const std::string& path, uint64_t offset,
+                               const std::string& what) {
+  throw std::runtime_error("journal " + path + " corrupt at offset " +
+                           std::to_string(offset) + ": " + what);
+}
+
+void WriteFull(int fd, const char* data, size_t size,
+               const std::string& path) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("journal append failed for " + path + ": " +
+                               std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::optional<FsyncPolicy> ParseFsyncPolicy(const std::string& text) {
+  if (text == "always") return FsyncPolicy::kAlways;
+  if (text == "interval") return FsyncPolicy::kInterval;
+  if (text == "never") return FsyncPolicy::kNever;
+  return std::nullopt;
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "?";
+}
+
+std::string UpdateJournal::PathFor(const std::string& dir) {
+  return (std::filesystem::path(dir) / "journal.log").string();
+}
+
+JournalScan UpdateJournal::Scan(const std::string& path) {
+  JournalScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return scan;  // missing journal == empty journal
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.empty()) return scan;
+
+  if (data.size() < sizeof(kMagic)) {
+    // A crash during the very first header write: nothing usable follows,
+    // so this is a torn tail of an empty journal.
+    scan.tail_truncated = true;
+    return scan;
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    ThrowCorrupt(path, 0, "bad magic (not a KOSR journal)");
+  }
+
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  uint64_t offset = sizeof(kMagic);
+  while (offset < data.size()) {
+    const uint64_t remaining = data.size() - offset;
+    if (remaining < kFrameHeaderBytes) {
+      scan.tail_truncated = true;  // torn mid frame header
+      break;
+    }
+    const uint32_t body_len = GetU32(bytes + offset);
+    const uint32_t crc = GetU32(bytes + offset + 4);
+    if (body_len > kMaxBodyBytes) {
+      // A length this large was never written; the length field itself is
+      // damaged. No way to resynchronise — refuse.
+      ThrowCorrupt(path, offset, "record length " + std::to_string(body_len) +
+                                     " exceeds cap");
+    }
+    if (remaining < kFrameHeaderBytes + body_len) {
+      scan.tail_truncated = true;  // torn mid body
+      break;
+    }
+    const unsigned char* body = bytes + offset + kFrameHeaderBytes;
+    const uint64_t frame_end = offset + kFrameHeaderBytes + body_len;
+    if (Crc32c(body, body_len) != crc) {
+      if (frame_end == data.size()) {
+        // Final frame, bad checksum: a crash can persist the length page
+        // but not the body page, so a complete-looking last frame with a
+        // CRC mismatch is still a torn tail.
+        scan.tail_truncated = true;
+        break;
+      }
+      ThrowCorrupt(path, offset, "checksum mismatch with records following");
+    }
+    if (body_len != kBodyBytes) {
+      ThrowCorrupt(path, offset, "unexpected body length " +
+                                     std::to_string(body_len));
+    }
+    JournalRecord record;
+    record.seq = GetU64(body);
+    const uint8_t type = body[8];
+    if (type < 1 || type > 5) {
+      ThrowCorrupt(path, offset, "unknown record type " +
+                                     std::to_string(type));
+    }
+    record.type = static_cast<JournalRecord::Type>(type);
+    record.a = GetU32(body + 9);
+    record.b = GetU32(body + 13);
+    record.w = GetU32(body + 17);
+    if (!scan.records.empty() &&
+        record.seq != scan.records.back().seq + 1) {
+      ThrowCorrupt(path, offset, "sequence " + std::to_string(record.seq) +
+                                     " after " +
+                                     std::to_string(scan.records.back().seq));
+    }
+    scan.records.push_back(record);
+    offset = frame_end;
+  }
+  scan.valid_bytes = offset;
+  return scan;
+}
+
+UpdateJournal::UpdateJournal(const std::string& dir, FsyncPolicy policy,
+                             double interval_s, uint64_t base_seq)
+    : path_(PathFor(dir)), policy_(policy), interval_s_(interval_s) {
+  std::filesystem::create_directories(dir);
+  JournalScan scan = Scan(path_);  // throws on interior corruption
+  uint64_t size = scan.valid_bytes;
+  if (scan.valid_bytes < sizeof(kMagic)) {
+    // Fresh (or torn-before-header) journal: write the header from scratch.
+    std::ofstream header(path_, std::ios::binary | std::ios::trunc);
+    header.write(kMagic, sizeof(kMagic));
+    header.flush();
+    if (!header) {
+      throw std::runtime_error("cannot create journal " + path_);
+    }
+    header.close();
+    FsyncPath(path_);
+    FsyncParentDir(path_);
+    size = sizeof(kMagic);
+  } else if (scan.tail_truncated) {
+    if (::truncate(path_.c_str(), static_cast<off_t>(scan.valid_bytes)) !=
+        0) {
+      throw std::runtime_error("cannot truncate torn journal tail of " +
+                               path_ + ": " + std::strerror(errno));
+    }
+    FsyncPath(path_);
+  }
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot open journal " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  last_seq_ = scan.records.empty() ? base_seq
+                                   : std::max(base_seq,
+                                              scan.records.back().seq);
+  last_seq_hint_.store(last_seq_, std::memory_order_relaxed);
+  size_bytes_.store(size, std::memory_order_relaxed);
+
+  if (policy_ == FsyncPolicy::kInterval && interval_s_ > 0) {
+    interval_thread_ = std::thread([this] { IntervalLoop(); });
+  }
+}
+
+UpdateJournal::~UpdateJournal() {
+  {
+    MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  interval_cv_.NotifyAll();
+  if (interval_thread_.joinable()) interval_thread_.join();
+  MutexLock lock(mutex_);
+  // Clean shutdown persists whatever the policy left unsynced — kNever
+  // opted out of durability entirely, so it alone skips the final fsync.
+  if (dirty_ && policy_ != FsyncPolicy::kNever) SyncLocked();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+uint64_t UpdateJournal::Append(JournalRecord record) {
+  MutexLock lock(mutex_);
+  record.seq = last_seq_ + 1;
+  const std::string frame = EncodeFrame(record);
+  WriteFull(fd_, frame.data(), frame.size(), path_);
+  last_seq_ = record.seq;
+  last_seq_hint_.store(last_seq_, std::memory_order_relaxed);
+  size_bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  dirty_ = true;
+  KOSR_FAILPOINT(kFailpointAfterAppend);
+  return record.seq;
+}
+
+void UpdateJournal::Sync() {
+  MutexLock lock(mutex_);
+  SyncLocked();
+}
+
+void UpdateJournal::SyncLocked() {
+  if (!dirty_) return;
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("journal fsync failed for " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  dirty_ = false;
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UpdateJournal::TruncateThrough(uint64_t seq) {
+  MutexLock lock(mutex_);
+  // All appends went through write(2) under this mutex, so a read sees
+  // every record regardless of fsync state (page cache coherence).
+  JournalScan scan = Scan(path_);
+  std::string rewritten(kMagic, sizeof(kMagic));
+  for (const JournalRecord& record : scan.records) {
+    // Keep records a concurrent buffered append slipped in after the
+    // checkpoint captured `seq`; dropping them would lose acked updates.
+    if (record.seq > seq) rewritten += EncodeFrame(record);
+  }
+  const std::string tmp = path_ + ".new";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(rewritten.data(),
+              static_cast<std::streamsize>(rewritten.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("cannot rewrite journal " + tmp);
+    }
+  }
+  FsyncPath(tmp);
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    throw std::runtime_error("journal close failed for " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  fd_ = -1;
+  AtomicRename(tmp, path_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot reopen journal " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  size_bytes_.store(rewritten.size(), std::memory_order_relaxed);
+  truncations_.fetch_add(1, std::memory_order_relaxed);
+  dirty_ = false;  // the rewrite was fsynced before the rename
+}
+
+void UpdateJournal::IntervalLoop() {
+  MutexLock lock(mutex_);
+  while (!stopping_) {
+    interval_cv_.WaitFor(mutex_, interval_s_);
+    if (stopping_) break;
+    if (dirty_) SyncLocked();
+  }
+}
+
+}  // namespace kosr::durability

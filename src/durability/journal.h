@@ -1,0 +1,156 @@
+#ifndef KOSR_DURABILITY_JOURNAL_H_
+#define KOSR_DURABILITY_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/sync.h"
+
+namespace kosr::durability {
+
+/// When journal appends reach the disk (ISSUE 9). The append itself always
+/// issues the write(2) before the caller proceeds, so a surviving kernel
+/// (process kill, OOM) loses nothing acked; the policy decides when
+/// fsync(2) makes records survive power loss too.
+enum class FsyncPolicy : uint8_t {
+  kAlways,    ///< fsync before any record's effects are acknowledged applied
+              ///< (per record when applied synchronously; one fsync per
+              ///< batch when updates ride a batch window).
+  kInterval,  ///< group commit: a background thread fsyncs every interval.
+  kNever,     ///< no fsync; the OS flushes at its leisure.
+};
+
+std::optional<FsyncPolicy> ParseFsyncPolicy(const std::string& text);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// Failpoint on the append path, between write(2) and the policy fsync.
+inline constexpr char kFailpointAfterAppend[] = "journal-after-append";
+
+/// One logged mutation — the five update protocol verbs as data.
+/// `a`/`b`/`w` are (tail, head, weight) for edge records and
+/// (vertex, category, unused) for category records.
+struct JournalRecord {
+  enum class Type : uint8_t {
+    kAddOrDecreaseEdge = 1,  // ADD_EDGE
+    kSetEdge = 2,            // SET_EDGE
+    kRemoveEdge = 3,         // REMOVE_EDGE
+    kAddCategory = 4,        // ADD_CAT
+    kRemoveCategory = 5,     // REMOVE_CAT
+  };
+  uint64_t seq = 0;  ///< Assigned by Append; contiguous within the journal.
+  Type type = Type::kSetEdge;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t w = 0;
+};
+
+/// Result of scanning a journal file.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  /// Bytes covering the header and every valid record; a torn tail (if
+  /// any) starts here.
+  uint64_t valid_bytes = 0;
+  /// True when an incomplete/corrupt FINAL record was dropped (crash mid
+  /// append). Interior corruption — a bad record with valid-looking data
+  /// after it — is never tolerated and throws instead.
+  bool tail_truncated = false;
+};
+
+/// Append-only write-ahead log of update records (ISSUE 9 tentpole).
+///
+/// File format (`journal.log`, little-endian):
+///
+///   header:  8-byte magic "KOSRWAL1"
+///   record:  u32 body_len | u32 crc32c(body) | body
+///   body:    u64 seq | u8 type | u32 a | u32 b | u32 w
+///
+/// Records carry contiguous sequence numbers; a checkpoint stores the last
+/// applied seq and TruncateThrough drops everything at or below it
+/// (atomically, via rewrite + rename, preserving any records a concurrent
+/// writer appended past the checkpoint). Torn tails are truncated on open;
+/// interior corruption refuses to open.
+///
+/// Thread-safe: appends, syncs, and truncation serialize on an internal
+/// leaf mutex (callers hold service locks above it, never the reverse).
+class UpdateJournal {
+ public:
+  /// Opens (creating if needed) `dir`/journal.log. Existing records are
+  /// validated — torn tail truncated in place, interior corruption throws
+  /// std::runtime_error. Sequence numbers continue from
+  /// max(last record in file, `base_seq`). With kInterval, `interval_s`
+  /// bounds how long an unsynced record may linger.
+  UpdateJournal(const std::string& dir, FsyncPolicy policy,
+                double interval_s, uint64_t base_seq);
+  ~UpdateJournal();
+
+  UpdateJournal(const UpdateJournal&) = delete;
+  UpdateJournal& operator=(const UpdateJournal&) = delete;
+
+  static std::string PathFor(const std::string& dir);
+  /// Validates and decodes `path`. Returns all valid records; throws
+  /// std::runtime_error on interior corruption or a bad header. A missing
+  /// file scans as empty.
+  static JournalScan Scan(const std::string& path);
+
+  /// Assigns the next sequence number, frames the record, and write(2)s it
+  /// (flushed to the kernel, not fsynced). Returns the assigned seq.
+  uint64_t Append(JournalRecord record) KOSR_EXCLUDES(mutex_);
+  /// fsyncs now, regardless of policy.
+  void Sync() KOSR_EXCLUDES(mutex_);
+  /// fsyncs iff the policy is kAlways — the ApplyBatch hook ("one fsync
+  /// covers a whole batch").
+  void SyncIfAlways() {
+    if (policy_ == FsyncPolicy::kAlways) Sync();
+  }
+  /// Atomically drops every record with seq <= `seq` (checkpoint
+  /// truncation): survivors are rewritten to a temp file which replaces
+  /// the journal by rename, so a crash leaves either the old or the new
+  /// journal, never a partial one.
+  void TruncateThrough(uint64_t seq) KOSR_EXCLUDES(mutex_);
+
+  FsyncPolicy policy() const { return policy_; }
+  const std::string& path() const { return path_; }
+  uint64_t last_sequence() const {
+    return last_seq_hint_.load(std::memory_order_relaxed);
+  }
+  // Lock-free gauges for METRICS.
+  uint64_t size_bytes() const {
+    return size_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t appends() const { return appends_.load(std::memory_order_relaxed); }
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
+  uint64_t truncations() const {
+    return truncations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void SyncLocked() KOSR_REQUIRES(mutex_);
+  void IntervalLoop() KOSR_EXCLUDES(mutex_);
+
+  const std::string path_;
+  const FsyncPolicy policy_;
+  const double interval_s_;
+
+  Mutex mutex_;
+  int fd_ KOSR_GUARDED_BY(mutex_) = -1;
+  uint64_t last_seq_ KOSR_GUARDED_BY(mutex_) = 0;
+  bool dirty_ KOSR_GUARDED_BY(mutex_) = false;
+  bool stopping_ KOSR_GUARDED_BY(mutex_) = false;
+  CondVar interval_cv_;
+  std::thread interval_thread_;
+
+  // Mirrors of guarded state for lock-free gauge reads.
+  std::atomic<uint64_t> last_seq_hint_{0};
+  std::atomic<uint64_t> size_bytes_{0};
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> truncations_{0};
+};
+
+}  // namespace kosr::durability
+
+#endif  // KOSR_DURABILITY_JOURNAL_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/util/durable_file.h"
 #include "src/util/timer.h"
 
 namespace kosr {
@@ -56,25 +57,31 @@ void DiskLabelStore::Write(const std::string& dir, const HubLabeling& labeling,
   fs::create_directories(dir);
   uint32_t n = labeling.num_vertices();
 
+  // Each file is written to a temp sibling and atomically renamed into
+  // place, meta.bin last: meta holds the offset tables, so a reader that
+  // sees the new meta also sees the matching data files, and a crash
+  // mid-write leaves the previous store intact.
+
   // labels.bin + offset table.
   std::vector<uint64_t> label_offsets(2 * static_cast<size_t>(n));
   std::vector<LabelEntry> scratch;
   {
-    std::ofstream out(dir + "/labels.bin", std::ios::binary);
-    if (!out) throw std::runtime_error("cannot write labels.bin");
+    AtomicFileWriter writer(dir + "/labels.bin");
+    std::ostream& out = writer.stream();
     for (VertexId v = 0; v < n; ++v) {
       label_offsets[2 * v] = static_cast<uint64_t>(out.tellp());
       WriteLabels(out, labeling.InRun(v), scratch);
       label_offsets[2 * v + 1] = static_cast<uint64_t>(out.tellp());
       WriteLabels(out, labeling.OutRun(v), scratch);
     }
+    writer.Commit();
   }
 
   // categories.bin: per category, members' Lout labels + inverted index.
   std::vector<uint64_t> category_offsets(categories.num_categories());
   {
-    std::ofstream out(dir + "/categories.bin", std::ios::binary);
-    if (!out) throw std::runtime_error("cannot write categories.bin");
+    AtomicFileWriter writer(dir + "/categories.bin");
+    std::ostream& out = writer.stream();
     for (CategoryId c = 0; c < categories.num_categories(); ++c) {
       category_offsets[c] = static_cast<uint64_t>(out.tellp());
       auto members = categories.Members(c);
@@ -86,11 +93,12 @@ void DiskLabelStore::Write(const std::string& dir, const HubLabeling& labeling,
       InvertedLabelIndex index = InvertedLabelIndex::Build(labeling, members);
       index.Serialize(out);
     }
+    writer.Commit();
   }
 
   // meta.bin: universe, hub order, offset tables.
-  std::ofstream out(dir + "/meta.bin", std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write meta.bin");
+  AtomicFileWriter writer(dir + "/meta.bin");
+  std::ostream& out = writer.stream();
   WritePod<uint32_t>(out, n);
   WritePod<uint32_t>(out, categories.num_categories());
   for (uint32_t r = 0; r < n; ++r) {
@@ -98,6 +106,7 @@ void DiskLabelStore::Write(const std::string& dir, const HubLabeling& labeling,
   }
   for (uint64_t off : label_offsets) WritePod<uint64_t>(out, off);
   for (uint64_t off : category_offsets) WritePod<uint64_t>(out, off);
+  writer.Commit();
 }
 
 DiskLabelStore::DiskLabelStore(const std::string& dir) : dir_(dir) {

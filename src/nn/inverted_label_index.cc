@@ -108,9 +108,20 @@ uint64_t InvertedLabelIndex::IndexBytes() const {
 }
 
 void InvertedLabelIndex::Serialize(std::ostream& out) const {
-  uint64_t n = lists_.size();
+  // Canonical order: the map's iteration order depends on its insertion
+  // history, so emitting it directly would make byte-identical indexes
+  // (fresh build vs. snapshot load vs. incremental repair) serialize
+  // differently. Sorted ranks make the serialization a pure function of the
+  // index contents — what the checkpoint/recovery equivalence checks
+  // (ISSUE 9) and the build-reproducibility tests compare.
+  std::vector<uint32_t> ranks;
+  ranks.reserve(lists_.size());
+  for (const auto& [rank, list] : lists_) ranks.push_back(rank);
+  std::sort(ranks.begin(), ranks.end());
+  uint64_t n = ranks.size();
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (const auto& [rank, list] : lists_) {
+  for (uint32_t rank : ranks) {
+    const std::vector<InvertedEntry>& list = lists_.at(rank);
     out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
     uint64_t size = list.size();
     out.write(reinterpret_cast<const char*>(&size), sizeof(size));

@@ -32,6 +32,17 @@ std::string MetricsSnapshot::ToJson() const {
      << ",\"updates_enqueued\":" << snapshots.updates_enqueued
      << ",\"updates_applied\":" << snapshots.updates_applied
      << ",\"batches_applied\":" << snapshots.batches_applied
+     << "},\"durability\":{"
+     << "\"enabled\":" << (durability.enabled ? "true" : "false")
+     << ",\"journal_bytes\":" << durability.journal_bytes
+     << ",\"journal_appends\":" << durability.journal_appends
+     << ",\"journal_fsyncs\":" << durability.journal_fsyncs
+     << ",\"journal_truncations\":" << durability.journal_truncations
+     << ",\"applied_seq\":" << durability.applied_seq
+     << ",\"checkpoint_seq\":" << durability.checkpoint_seq
+     << ",\"checkpoints_written\":" << durability.checkpoints_written
+     << ",\"replayed_records\":" << durability.replayed_records
+     << ",\"recovery_s\":" << durability.recovery_s
      << "},\"cache\":{"
      << "\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
      << ",\"insertions\":" << cache.insertions
@@ -121,7 +132,8 @@ void MetricsRegistry::SetSlowLogCapacity(size_t capacity) {
 
 MetricsSnapshot MetricsRegistry::Snapshot(
     const CacheStats& cache, uint32_t queue_depth, uint32_t in_flight,
-    const SnapshotGauges& snapshots) const {
+    const SnapshotGauges& snapshots,
+    const DurabilityGauges& durability) const {
   MetricsSnapshot snap;
   // The uptime clock and the counters are reset under the same mutex; read
   // everything inside the lock so a concurrent Metrics()/Reset() pair does
@@ -137,6 +149,7 @@ MetricsSnapshot MetricsRegistry::Snapshot(
   snap.queue_depth = queue_depth;
   snap.in_flight = in_flight;
   snap.snapshots = snapshots;
+  snap.durability = durability;
   snap.cache = cache;
   snap.per_method = per_method_;
   snap.stages = stages_;

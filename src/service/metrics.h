@@ -41,6 +41,29 @@ struct SnapshotGauges {
   uint64_t batches_applied = 0;
 };
 
+/// Durability gauges, sampled by the service from its journal and
+/// checkpoint state at Metrics() time (ISSUE 9). All zero (enabled =
+/// false) when the service runs without a journal.
+struct DurabilityGauges {
+  bool enabled = false;
+  /// Current journal file size (bytes, header included).
+  uint64_t journal_bytes = 0;
+  /// Records appended / fsync(2) calls / checkpoint truncations since the
+  /// journal was opened.
+  uint64_t journal_appends = 0;
+  uint64_t journal_fsyncs = 0;
+  uint64_t journal_truncations = 0;
+  /// Last journal sequence applied to the engine, and the last sequence
+  /// the newest on-disk checkpoint covers.
+  uint64_t applied_seq = 0;
+  uint64_t checkpoint_seq = 0;
+  /// Checkpoints written by this process.
+  uint64_t checkpoints_written = 0;
+  /// Journal records replayed at startup, and total recovery time.
+  uint64_t replayed_records = 0;
+  double recovery_s = 0;
+};
+
 /// Frozen view of the registry, taken under the lock.
 struct MetricsSnapshot {
   double uptime_s = 0;
@@ -53,6 +76,7 @@ struct MetricsSnapshot {
   uint32_t queue_depth = 0;
   uint32_t in_flight = 0;
   SnapshotGauges snapshots;
+  DurabilityGauges durability;
   CacheStats cache;
   /// End-to-end (enqueue -> response) latency per method name. Cache hits
   /// are included: the service-level percentiles are what a client sees.
@@ -111,7 +135,8 @@ class MetricsRegistry {
   /// service; passing them in keeps this class standalone).
   MetricsSnapshot Snapshot(const CacheStats& cache, uint32_t queue_depth,
                            uint32_t in_flight,
-                           const SnapshotGauges& snapshots) const
+                           const SnapshotGauges& snapshots,
+                           const DurabilityGauges& durability = {}) const
       KOSR_EXCLUDES(histogram_mutex_);
 
   /// Zeroes counters and histograms and restarts the uptime clock; the

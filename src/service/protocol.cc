@@ -196,6 +196,16 @@ std::string HandleRequestLine(KosrService& service, const std::string& line) {
          << " version=" << ack.snapshot_version;
       return os.str();
     }
+    if (cmd == "CHECKPOINT") {
+      if (!service.durable()) {
+        return "ERR CHECKPOINT requires serve --journal";
+      }
+      CheckpointAck ack = service.Checkpoint();
+      std::ostringstream os;
+      os << "OK CHECKPOINT written=" << (ack.written ? 1 : 0)
+         << " seq=" << ack.seq;
+      return os.str();
+    }
     if (cmd == "METRICS") return "OK METRICS " + service.MetricsJson();
     if (cmd == "PING") return "OK PONG";
     if (cmd == "QUIT") return "OK BYE";
@@ -206,10 +216,11 @@ std::string HandleRequestLine(KosrService& service, const std::string& line) {
 }
 
 uint64_t RunServeLoop(KosrService& service, std::istream& in,
-                      std::ostream& out) {
+                      std::ostream& out, const std::atomic<bool>* stop) {
   uint64_t handled = 0;
   std::string line;
-  while (std::getline(in, line)) {
+  while (!(stop && stop->load(std::memory_order_relaxed)) &&
+         std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     // Skip blank lines and comments so request files can be annotated.
     size_t first = line.find_first_not_of(" \t");

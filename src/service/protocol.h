@@ -1,6 +1,7 @@
 #ifndef KOSR_SERVICE_PROTOCOL_H_
 #define KOSR_SERVICE_PROTOCOL_H_
 
+#include <atomic>
 #include <iosfwd>
 #include <string>
 
@@ -25,6 +26,9 @@ namespace kosr::service {
 ///   REMOVE_EDGE <u> <v>              (delete the arc, incremental repair)
 ///   FLUSH_UPDATES                    (apply buffered edge updates now,
 ///                                     without waiting for the batch window)
+///   CHECKPOINT                       (flush, snapshot engine state to the
+///                                     journal directory, truncate the
+///                                     journal; needs serve --journal)
 ///   METRICS
 ///   PING
 ///   QUIT
@@ -44,6 +48,7 @@ namespace kosr::service {
 ///   OK BUFFERED pending=<n> version=<v>   (edge verbs under a batch
 ///             window: buffered, not yet applied; version still current)
 ///   OK FLUSHED changed=<0|1> labels=<n> version=<v>
+///   OK CHECKPOINT written=<0|1> seq=<s>  (written=0: already current)
 ///   OK METRICS <json>
 ///   OK PONG
 ///   OK BYE
@@ -58,6 +63,10 @@ std::string HandleRequestLine(KosrService& service, const std::string& line);
 /// Reads request lines from `in` until EOF or QUIT, writing one response
 /// line per request to `out` (flushed per line, so a pipe peer can
 /// request/response in lockstep). Returns the number of requests handled.
+/// `stop` (optional) makes the loop exit between requests once it reads
+/// true — the serve front-end's SIGTERM/SIGINT flag; the handler's
+/// unrestarted signal also interrupts a getline blocked in read(2), so a
+/// mid-read shutdown request is seen promptly.
 ///
 /// Deliberately one request in flight at a time: an interactive peer waits
 /// for response i before sending line i+1, so reading ahead to pipeline
@@ -66,7 +75,8 @@ std::string HandleRequestLine(KosrService& service, const std::string& line);
 /// they belong to the concurrent C++ API (Submit/SubmitAsync), which the
 /// throughput bench drives.
 uint64_t RunServeLoop(KosrService& service, std::istream& in,
-                      std::ostream& out);
+                      std::ostream& out,
+                      const std::atomic<bool>* stop = nullptr);
 
 /// Parses a method token (sk, pk-dij, ...) into options; returns false on
 /// unknown token.

@@ -1,14 +1,48 @@
 #include "src/service/service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/durability/checkpoint.h"
+#include "src/util/failpoint.h"
+
 namespace kosr::service {
 namespace {
+
+using durability::JournalRecord;
+
+JournalRecord EdgeRecord(const EdgeUpdate& update) {
+  JournalRecord record;
+  switch (update.kind) {
+    case EdgeUpdate::Kind::kAddOrDecrease:
+      record.type = JournalRecord::Type::kAddOrDecreaseEdge;
+      break;
+    case EdgeUpdate::Kind::kSet:
+      record.type = JournalRecord::Type::kSetEdge;
+      break;
+    case EdgeUpdate::Kind::kRemove:
+      record.type = JournalRecord::Type::kRemoveEdge;
+      break;
+  }
+  record.a = update.u;
+  record.b = update.v;
+  record.w = update.w;
+  return record;
+}
+
+JournalRecord CategoryRecord(bool add, VertexId v, CategoryId c) {
+  JournalRecord record;
+  record.type = add ? JournalRecord::Type::kAddCategory
+                    : JournalRecord::Type::kRemoveCategory;
+  record.a = v;
+  record.b = c;
+  return record;
+}
 
 // The engine's update entry points index internal tables unchecked; the
 // service fronts untrusted callers (the serve protocol), so range-check
@@ -42,7 +76,8 @@ class ScopedPin {
 
 }  // namespace
 
-KosrService::KosrService(KosrEngine engine, const ServiceConfig& config)
+KosrService::KosrService(KosrEngine engine, const ServiceConfig& config,
+                         DurabilityAttachment durability)
     : engine_(std::move(engine)),
       cache_(config.cache_capacity, config.cache_shards),
       num_workers_(config.num_workers != 0
@@ -54,7 +89,17 @@ KosrService::KosrService(KosrEngine engine, const ServiceConfig& config)
       stage_sample_every_(config.stage_sample_every),
       update_batch_window_s_(std::max(0.0, config.update_batch_window_s)),
       num_vertices_(engine_.graph().num_vertices()),
-      domain_(num_workers_, engine_.SealSnapshot(1)) {
+      domain_(num_workers_, engine_.SealSnapshot(1)),
+      journal_(std::move(durability.journal)),
+      journal_dir_(std::move(durability.dir)),
+      checkpoint_bytes_(durability.checkpoint_bytes),
+      applied_seq_(journal_ ? journal_->last_sequence() : 0),
+      checkpoint_seq_(durability.checkpoint_seq),
+      checkpoint_exists_(durability.checkpoint_loaded),
+      replayed_records_(durability.replayed_records),
+      recovery_s_(durability.recovery_s) {
+  applied_seq_hint_.store(applied_seq_, std::memory_order_relaxed);
+  checkpoint_seq_hint_.store(checkpoint_seq_, std::memory_order_relaxed);
   metrics_.SetSlowLogCapacity(
       config.slow_query_threshold_s > 0 ? config.slow_log_capacity : 0);
   if (config.start_workers) Start();
@@ -102,6 +147,18 @@ void KosrService::Stop() {
   // Buffered updates are applied, never dropped: a window that had not
   // closed yet still reaches the labels (and the next Start's readers).
   FlushUpdates();
+  if (journal_) {
+    // Graceful shutdown checkpoints so the next start skips replay (and
+    // the index build) entirely. Stop() must not throw — it runs from the
+    // destructor — so a failed checkpoint is reported, not propagated; the
+    // journal still holds everything and recovery replays it.
+    try {
+      MutexLock publish(publish_mutex_);
+      CheckpointLocked();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "shutdown checkpoint failed: %s\n", e.what());
+    }
+  }
   // Every reader is gone, so every retired snapshot is reclaimable and
   // the live-snapshot gauge converges to 1.
   domain_.Reclaim();
@@ -287,14 +344,24 @@ UpdateAck KosrService::AddVertexCategory(VertexId v, CategoryId c) {
   if (c >= engine_.categories().num_categories()) {
     throw std::invalid_argument("unknown category " + std::to_string(c));
   }
+  // Journal after validation (the journal must never hold a record replay
+  // would reject) and before the mutation (write-ahead).
+  uint64_t seq = 0;
+  if (journal_) seq = journal_->Append(CategoryRecord(/*add=*/true, v, c));
   // Buffered edge updates precede this call in submission order; apply
   // them first so the combined update stream replays in order.
   FlushLocked();
+  if (journal_) {
+    journal_->SyncIfAlways();  // no-op when the flush above already synced
+    applied_seq_ = std::max(applied_seq_, seq);
+    applied_seq_hint_.store(applied_seq_, std::memory_order_relaxed);
+  }
   engine_.AddVertexCategory(v, c);
   uint64_t version = ++next_version_;
   cache_.BeginInvalidation(version);
   cache_.InvalidateCategory(c);
   domain_.Publish(engine_.SealSnapshot(version));
+  MaybeCheckpointLocked();
   UpdateAck ack;
   ack.applied = true;
   ack.snapshot_version = version;
@@ -307,12 +374,20 @@ UpdateAck KosrService::RemoveVertexCategory(VertexId v, CategoryId c) {
   if (c >= engine_.categories().num_categories()) {
     throw std::invalid_argument("unknown category " + std::to_string(c));
   }
+  uint64_t seq = 0;
+  if (journal_) seq = journal_->Append(CategoryRecord(/*add=*/false, v, c));
   FlushLocked();
+  if (journal_) {
+    journal_->SyncIfAlways();
+    applied_seq_ = std::max(applied_seq_, seq);
+    applied_seq_hint_.store(applied_seq_, std::memory_order_relaxed);
+  }
   engine_.RemoveVertexCategory(v, c);
   uint64_t version = ++next_version_;
   cache_.BeginInvalidation(version);
   cache_.InvalidateCategory(c);
   domain_.Publish(engine_.SealSnapshot(version));
+  MaybeCheckpointLocked();
   UpdateAck ack;
   ack.applied = true;
   ack.snapshot_version = version;
@@ -336,12 +411,28 @@ UpdateAck KosrService::SubmitEdgeUpdate(const EdgeUpdate& update) {
   CheckVertexId(update.v, num_vertices_, "head");
   updates_enqueued_.fetch_add(1, std::memory_order_relaxed);
   if (update_batch_window_s_ <= 0) {
+    // Journal under the publish lock so sequence order equals apply order
+    // on the synchronous path — a checkpoint can then trust applied_seq_
+    // to cover a contiguous prefix.
     MutexLock publish(publish_mutex_);
-    return ApplyBatchLocked({&update, 1});
+    uint64_t seq = 0;
+    if (journal_) seq = journal_->Append(EdgeRecord(update));
+    UpdateAck ack = ApplyBatchLocked({&update, 1}, seq);
+    MaybeCheckpointLocked();
+    return ack;
   }
   size_t depth;
   {
+    // Append and buffer-push are atomic with respect to FlushLocked's
+    // swap: a journaled record is either in the batch the next flush
+    // applies, or still buffered with a sequence above applied_seq_.
+    // BUFFERED semantics: the record has reached the journal (write(2),
+    // fsynced per policy at the window close), so an acked-buffered
+    // update survives a crash once the policy fsync lands.
     MutexLock lock(batch_mutex_);
+    if (journal_) {
+      pending_last_seq_ = journal_->Append(EdgeRecord(update));
+    }
     pending_updates_.push_back(update);
     depth = pending_updates_.size();
   }
@@ -357,23 +448,39 @@ UpdateAck KosrService::SubmitEdgeUpdate(const EdgeUpdate& update) {
 
 UpdateAck KosrService::FlushUpdates() {
   MutexLock publish(publish_mutex_);
-  return FlushLocked();
+  UpdateAck ack = FlushLocked();
+  MaybeCheckpointLocked();
+  return ack;
 }
 
 UpdateAck KosrService::FlushLocked() {
   std::vector<EdgeUpdate> batch;
+  uint64_t batch_last_seq = 0;
   {
     MutexLock lock(batch_mutex_);
     batch.swap(pending_updates_);
+    batch_last_seq = pending_last_seq_;
   }
-  return ApplyBatchLocked(batch);
+  return ApplyBatchLocked(batch, batch_last_seq);
 }
 
-UpdateAck KosrService::ApplyBatchLocked(std::span<const EdgeUpdate> batch) {
+UpdateAck KosrService::ApplyBatchLocked(std::span<const EdgeUpdate> batch,
+                                        uint64_t batch_last_seq) {
   UpdateAck ack;
   ack.applied = true;
   if (!batch.empty()) {
+    if (journal_) {
+      // One fsync makes the whole batch durable before any of it is
+      // applied or acknowledged applied (write-ahead; `OK BUFFERED`
+      // acks become durable here at the latest under fsync=always).
+      journal_->SyncIfAlways();
+    }
+    KOSR_FAILPOINT(kFailpointMidBatchApply);
     ack.summary = engine_.ApplyEdgeUpdates(batch);
+    if (journal_) {
+      applied_seq_ = std::max(applied_seq_, batch_last_seq);
+      applied_seq_hint_.store(applied_seq_, std::memory_order_relaxed);
+    }
     updates_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
     batches_applied_.fetch_add(1, std::memory_order_relaxed);
     if (ack.summary.graph_changed) {
@@ -398,6 +505,42 @@ UpdateAck KosrService::ApplyBatchLocked(std::span<const EdgeUpdate> batch) {
   }
   ack.snapshot_version = domain_.version();
   return ack;
+}
+
+CheckpointAck KosrService::Checkpoint() {
+  if (!journal_) {
+    throw std::logic_error("checkpoint requires a journal (--journal)");
+  }
+  MutexLock publish(publish_mutex_);
+  return CheckpointLocked();
+}
+
+CheckpointAck KosrService::CheckpointLocked() {
+  CheckpointAck ack;
+  // Fold buffered updates in first so the checkpoint covers everything
+  // accepted so far (their journal records get truncated right after).
+  FlushLocked();
+  ack.seq = applied_seq_;
+  if (checkpoint_exists_ && checkpoint_seq_ == applied_seq_) {
+    return ack;  // nothing new since the last checkpoint
+  }
+  durability::WriteCheckpoint(journal_dir_, engine_, applied_seq_);
+  KOSR_FAILPOINT(durability::kFailpointBeforeTruncate);
+  // A crash before this truncation recovers from the new checkpoint and
+  // skips the journal's already-covered prefix (seq <= manifest seq).
+  journal_->TruncateThrough(applied_seq_);
+  checkpoint_seq_ = applied_seq_;
+  checkpoint_exists_ = true;
+  checkpoint_seq_hint_.store(checkpoint_seq_, std::memory_order_relaxed);
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  ack.written = true;
+  return ack;
+}
+
+void KosrService::MaybeCheckpointLocked() {
+  if (!journal_ || checkpoint_bytes_ == 0) return;
+  if (journal_->size_bytes() < checkpoint_bytes_) return;
+  CheckpointLocked();
 }
 
 EdgeInvalidationFilter KosrService::FilterFor(
@@ -459,9 +602,26 @@ MetricsSnapshot KosrService::Metrics() const {
                                ? gauges.updates_enqueued - gauges.updates_applied
                                : 0;
   gauges.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  DurabilityGauges durability;
+  if (journal_) {
+    durability.enabled = true;
+    durability.journal_bytes = journal_->size_bytes();
+    durability.journal_appends = journal_->appends();
+    durability.journal_fsyncs = journal_->fsyncs();
+    durability.journal_truncations = journal_->truncations();
+    durability.applied_seq =
+        applied_seq_hint_.load(std::memory_order_relaxed);
+    durability.checkpoint_seq =
+        checkpoint_seq_hint_.load(std::memory_order_relaxed);
+    durability.checkpoints_written =
+        checkpoints_written_.load(std::memory_order_relaxed);
+    durability.replayed_records = replayed_records_;
+    durability.recovery_s = recovery_s_;
+  }
   return metrics_.Snapshot(cache_.stats(),
                            static_cast<uint32_t>(queue_depth()),
-                           in_flight_.load(std::memory_order_relaxed), gauges);
+                           in_flight_.load(std::memory_order_relaxed), gauges,
+                           durability);
 }
 
 uint32_t KosrService::num_categories() const {

@@ -12,12 +12,47 @@
 #include "src/core/engine.h"
 #include "src/core/query.h"
 #include "src/core/snapshot.h"
+#include "src/durability/journal.h"
 #include "src/service/metrics.h"
 #include "src/service/result_cache.h"
 #include "src/service/snapshot_domain.h"
 #include "src/util/sync.h"
 
 namespace kosr::service {
+
+/// Failpoint between the journal fsync and the engine mutation of a batch
+/// apply — a crash here loses in-memory state the journal already holds,
+/// so recovery must replay it.
+inline constexpr char kFailpointMidBatchApply[] = "batch-mid-apply";
+
+/// Durability wiring handed to the service by the recovery path (ISSUE 9).
+/// Default-constructed (no journal) the service runs exactly as before —
+/// purely in-memory, zero overhead on the update path.
+struct DurabilityAttachment {
+  /// Open journal, sequences continuing past everything recovered.
+  std::unique_ptr<durability::UpdateJournal> journal;
+  /// Directory holding journal + checkpoints (= RecoveryOptions::dir).
+  std::string dir;
+  /// Journal size that triggers an automatic checkpoint (0 = only the
+  /// CHECKPOINT verb and graceful shutdown checkpoint).
+  uint64_t checkpoint_bytes = 0;
+  /// Whether a checkpoint already exists on disk, and its sequence —
+  /// lets the service skip redundant checkpoints when nothing changed.
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_seq = 0;
+  /// Recovery statistics, surfaced through METRICS.
+  uint64_t replayed_records = 0;
+  double recovery_s = 0;
+};
+
+/// Result of an explicit checkpoint request.
+struct CheckpointAck {
+  /// False when the service skipped the write because the newest
+  /// checkpoint already covers every applied update.
+  bool written = false;
+  /// Last journal sequence the on-disk checkpoint now covers.
+  uint64_t seq = 0;
+};
 
 struct ServiceConfig {
   /// Worker threads answering queries. 0 picks hardware concurrency.
@@ -121,7 +156,12 @@ class KosrService {
  public:
   /// Takes ownership of a built engine (BuildIndexes()/LoadIndexes() must
   /// already have run unless every query uses NnMode::kDijkstra).
-  explicit KosrService(KosrEngine engine, const ServiceConfig& config = {});
+  /// `durability` (optional) attaches a recovered write-ahead journal;
+  /// every accepted update is then journaled before it is applied, and
+  /// checkpoints truncate the journal (see DESIGN.md, "Durability &
+  /// recovery").
+  explicit KosrService(KosrEngine engine, const ServiceConfig& config = {},
+                       DurabilityAttachment durability = {});
   ~KosrService();
 
   KosrService(const KosrService&) = delete;
@@ -170,6 +210,17 @@ class KosrService {
   /// without waiting for the window. The returned summary covers the
   /// flushed batch; a no-op when nothing is buffered.
   UpdateAck FlushUpdates() KOSR_EXCLUDES(publish_mutex_);
+
+  // --- Durability ----------------------------------------------------------
+
+  /// Whether a journal is attached (the CHECKPOINT verb requires one).
+  bool durable() const { return journal_ != nullptr; }
+  /// Flushes buffered updates, writes a checkpoint covering every applied
+  /// update, and truncates the journal behind it. Skipped (written =
+  /// false) when the newest checkpoint is already current. Throws
+  /// std::logic_error without a journal, std::runtime_error on I/O
+  /// failure (the previous checkpoint and the journal survive).
+  CheckpointAck Checkpoint() KOSR_EXCLUDES(publish_mutex_);
 
   // --- Introspection -------------------------------------------------------
 
@@ -239,9 +290,18 @@ class KosrService {
       KOSR_EXCLUDES(batch_mutex_);
   /// Applies `batch` to the master engine, invalidates exactly the cache
   /// entries the repair delta can stale, and publishes a new snapshot when
-  /// the graph changed.
-  UpdateAck ApplyBatchLocked(std::span<const EdgeUpdate> batch)
+  /// the graph changed. `batch_last_seq` is the journal sequence of the
+  /// batch's last record (0 without a journal); with a kAlways journal one
+  /// fsync covering the whole batch happens before the engine mutates.
+  UpdateAck ApplyBatchLocked(std::span<const EdgeUpdate> batch,
+                             uint64_t batch_last_seq)
       KOSR_REQUIRES(publish_mutex_);
+  /// Checkpoint body: flush, skip if current, write, truncate journal.
+  CheckpointAck CheckpointLocked() KOSR_REQUIRES(publish_mutex_)
+      KOSR_EXCLUDES(batch_mutex_);
+  /// Runs CheckpointLocked when the journal outgrew checkpoint_bytes_.
+  void MaybeCheckpointLocked() KOSR_REQUIRES(publish_mutex_)
+      KOSR_EXCLUDES(batch_mutex_);
   /// Builds the targeted invalidation filter for a repair delta: the
   /// changed-label vertex sets plus every category with a changed member.
   EdgeInvalidationFilter FilterFor(const EdgeUpdateSummary& summary) const
@@ -250,8 +310,9 @@ class KosrService {
   static CacheKey KeyFor(const ServiceRequest& request);
 
   // Lock hierarchy: lifecycle_mutex_ -> queue_mutex_ (Start/Stop), and
-  // publish_mutex_ -> batch_mutex_ (flush paths). No method ever holds a
-  // mutex from both families at once; queries hold none at all.
+  // publish_mutex_ -> batch_mutex_ -> journal internal mutex (update and
+  // flush paths; the journal's mutex is a strict leaf). No method ever
+  // holds a mutex from both families at once; queries hold none at all.
 
   /// Serializes writers: updates mutate the copy-on-write master engine,
   /// invalidate the cache, and publish, all under this mutex. Never taken
@@ -277,10 +338,35 @@ class KosrService {
   /// reads) can pin and reclaim.
   mutable SnapshotDomain domain_;
 
+  // --- Durability state (ISSUE 9) -----------------------------------------
+  // The journal is internally synchronized (its own leaf mutex, below
+  // every service lock). Buffered edge updates journal under batch_mutex_
+  // so the append and the buffer push are atomic with respect to a flush;
+  // everything else journals under publish_mutex_.
+
+  /// Null when durability is off — every journal touch is gated on this.
+  std::unique_ptr<durability::UpdateJournal> journal_;
+  std::string journal_dir_;    // const after construction
+  uint64_t checkpoint_bytes_;  // const after construction
+  /// Last journal sequence applied to engine_ (what a checkpoint covers).
+  uint64_t applied_seq_ KOSR_GUARDED_BY(publish_mutex_) = 0;
+  /// Last sequence covered by the on-disk checkpoint, if one exists.
+  uint64_t checkpoint_seq_ KOSR_GUARDED_BY(publish_mutex_) = 0;
+  bool checkpoint_exists_ KOSR_GUARDED_BY(publish_mutex_) = false;
+  /// Mirrors for the lock-free METRICS gauges.
+  std::atomic<uint64_t> applied_seq_hint_{0};
+  std::atomic<uint64_t> checkpoint_seq_hint_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
+  uint64_t replayed_records_;  // const after construction (recovery stat)
+  double recovery_s_;          // const after construction (recovery stat)
+
   /// Guards the edge-update batch buffer.
   Mutex batch_mutex_;
   CondVar batch_cv_;
   std::vector<EdgeUpdate> pending_updates_ KOSR_GUARDED_BY(batch_mutex_);
+  /// Journal sequence of the newest buffered update (passed to
+  /// ApplyBatchLocked by the flush that drains it).
+  uint64_t pending_last_seq_ KOSR_GUARDED_BY(batch_mutex_) = 0;
   bool batch_stopping_ KOSR_GUARDED_BY(batch_mutex_) = false;
   /// Monotonic update counters (gauges; pending = enqueued - applied).
   std::atomic<uint64_t> updates_enqueued_{0};

@@ -1,0 +1,85 @@
+#include "src/util/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace kosr {
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what,
+                             const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void FsyncPath(const std::string& path) {
+  // O_RDONLY works for both files and directories on Linux; directories
+  // cannot be opened for writing at all.
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) ThrowErrno("cannot open for fsync", path);
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowErrno("cannot fsync", path);
+  }
+  ::close(fd);
+}
+
+void FsyncParentDir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  FsyncPath(parent.empty() ? "." : parent.string());
+}
+
+void AtomicRename(const std::string& source, const std::string& target) {
+  if (std::rename(source.c_str(), target.c_str()) != 0) {
+    ThrowErrno("cannot rename " + source + " over", target);
+  }
+  FsyncParentDir(target);
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) throw std::runtime_error("cannot write " + tmp_path_);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    out_.close();
+    std::error_code ec;  // best-effort cleanup; never throw from a dtor
+    std::filesystem::remove(tmp_path_, ec);
+  }
+}
+
+void AtomicFileWriter::Commit() {
+  if (committed_) throw std::logic_error("AtomicFileWriter: double Commit");
+  out_.flush();
+  bool ok = static_cast<bool>(out_);
+  out_.close();
+  if (!ok) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+    throw std::runtime_error("write failed for " + tmp_path_);
+  }
+  try {
+    FsyncPath(tmp_path_);
+    AtomicRename(tmp_path_, path_);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+    throw;
+  }
+  committed_ = true;
+}
+
+}  // namespace kosr

@@ -1,0 +1,56 @@
+#ifndef KOSR_UTIL_DURABLE_FILE_H_
+#define KOSR_UTIL_DURABLE_FILE_H_
+
+#include <fstream>
+#include <string>
+
+namespace kosr {
+
+/// Crash-safe file primitives (ISSUE 9): fsync wrappers and the
+/// write-temp → fsync → atomic-rename pattern every snapshot writer in the
+/// tree uses (index snapshots, disk stores, checkpoints). POSIX-only, like
+/// the rest of the serving stack.
+
+/// fsyncs `path` (a file or a directory). Throws std::runtime_error on
+/// failure. Directory fsync is what makes a just-renamed entry durable.
+void FsyncPath(const std::string& path);
+
+/// fsyncs the directory containing `path` ("." when `path` has no parent).
+void FsyncParentDir(const std::string& path);
+
+/// Atomically replaces `target` with `source` (rename(2)) and fsyncs the
+/// parent directory, so after return the swap is durable. `source` must
+/// already be fsynced by the caller.
+void AtomicRename(const std::string& source, const std::string& target);
+
+/// Stream writer with commit-or-discard semantics: bytes go to
+/// `<path>.tmp`, and only Commit() — flush, fsync, atomic rename, parent
+/// fsync — makes them visible under `path`. A crash (or an exception
+/// unwinding past the writer) before Commit() leaves any previous `path`
+/// untouched; the destructor removes the orphaned temp file.
+class AtomicFileWriter {
+ public:
+  /// Throws std::runtime_error when the temp file cannot be opened.
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  std::ostream& stream() { return out_; }
+
+  /// Flush + fsync + rename + parent fsync. Throws std::runtime_error if
+  /// any step fails (the temp file is removed; `path` keeps its old
+  /// content). At most one Commit per writer.
+  void Commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+}  // namespace kosr
+
+#endif  // KOSR_UTIL_DURABLE_FILE_H_

@@ -1,0 +1,134 @@
+#include "src/util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace kosr::failpoint {
+namespace {
+
+struct Entry {
+  Action action = Action::kOff;
+  uint64_t hits = 0;
+};
+
+// Plain std::mutex on purpose: this file is leaf infrastructure below
+// src/util/sync.h's annotated wrappers, and the slow path only runs while
+// a test has armed a point.
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, Entry>& Registry() {
+  static std::map<std::string, Entry> registry;
+  return registry;
+}
+
+void RecountArmedLocked() {
+  uint32_t armed = 0;
+  for (const auto& [name, entry] : Registry()) {
+    if (entry.action != Action::kOff) ++armed;
+  }
+  internal::g_num_armed.store(armed, std::memory_order_relaxed);
+}
+
+Action ParseAction(const std::string& text) {
+  if (text == "crash") return Action::kCrash;
+  if (text == "error") return Action::kError;
+  if (text == "off") return Action::kOff;
+  throw std::invalid_argument("KOSR_FAILPOINTS: unknown action '" + text +
+                              "' (want crash|error|off)");
+}
+
+// Parses env at process start so an armed child (the crash-recovery
+// harness spawns `kosr_cli serve` with KOSR_FAILPOINTS set) needs no
+// cooperation from main(). A malformed spec must not silently disable
+// injection — but throwing from a static initializer would only terminate();
+// print the reason and exit deterministically instead.
+const bool g_env_loaded = [] {
+  try {
+    ReloadFromEnv();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<uint32_t> g_num_armed{0};
+
+void Hit(const char* name) {
+  Action action = Action::kOff;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = Registry().find(name);
+    if (it == Registry().end() || it->second.action == Action::kOff) return;
+    ++it->second.hits;
+    action = it->second.action;
+  }
+  if (action == Action::kCrash) {
+    // Simulate a crash at exactly this point: no stream flushing, no
+    // destructors, no atexit — only what already reached the kernel
+    // survives, which is precisely what recovery must tolerate.
+    std::fprintf(stderr, "failpoint %s: crashing\n", name);
+    std::_Exit(kCrashExitCode);
+  }
+  throw std::runtime_error(std::string("failpoint ") + name);
+}
+
+}  // namespace internal
+
+void Arm(const std::string& name, Action action) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry()[name].action = action;
+  RecountArmedLocked();
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (auto& [name, entry] : Registry()) entry.action = Action::kOff;
+  RecountArmedLocked();
+}
+
+void ReloadFromEnv() {
+  const char* spec = std::getenv("KOSR_FAILPOINTS");
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (auto& [name, entry] : Registry()) entry.action = Action::kOff;
+  if (spec != nullptr && *spec != '\0') {
+    std::string text(spec);
+    size_t start = 0;
+    while (start <= text.size()) {
+      size_t comma = text.find(',', start);
+      std::string item = text.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      if (!item.empty()) {
+        size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          throw std::invalid_argument(
+              "KOSR_FAILPOINTS: want name=crash|error, got '" + item + "'");
+        }
+        Registry()[item.substr(0, eq)].action =
+            ParseAction(item.substr(eq + 1));
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  RecountArmedLocked();
+}
+
+uint64_t HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+}  // namespace kosr::failpoint

@@ -1,0 +1,64 @@
+#ifndef KOSR_UTIL_FAILPOINT_H_
+#define KOSR_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace kosr::failpoint {
+
+/// Fault-injection registry (ISSUE 9). Named points sit on the durability
+/// code paths (journal append, checkpoint write, batch apply); arming one
+/// makes the process either die on the spot — simulating a crash exactly
+/// between two persistence steps — or throw, exercising the error path.
+///
+/// Zero overhead when off: KOSR_FAILPOINT compiles to one relaxed atomic
+/// load and a never-taken branch; the name lookup (mutex + map) only runs
+/// while at least one point is armed. Production binaries keep the macro —
+/// the crash-recovery harness arms points in a real `kosr_cli serve` child
+/// via the KOSR_FAILPOINTS environment variable.
+enum class Action : uint8_t {
+  kOff,
+  kCrash,  ///< std::_Exit(kCrashExitCode): no flushing, no destructors.
+  kError,  ///< throw std::runtime_error("failpoint <name>").
+};
+
+/// Exit code of a kCrash failpoint — distinguishable from every normal
+/// exit and from sanitizer aborts in the harness's waitpid status.
+inline constexpr int kCrashExitCode = 97;
+
+namespace internal {
+/// Number of currently armed points. The macro's fast path reads only this.
+extern std::atomic<uint32_t> g_num_armed;
+/// Slow path: looks `name` up and performs its action (never returns for
+/// kCrash). Unarmed names are a no-op.
+void Hit(const char* name);
+}  // namespace internal
+
+/// Arms `name` programmatically (tests). kOff disarms.
+void Arm(const std::string& name, Action action);
+/// Disarms every point.
+void DisarmAll();
+/// Parses KOSR_FAILPOINTS ("name=crash|error[,name=...]") into the
+/// registry, replacing any programmatic arming. Called once at process
+/// start via a static initializer; tests call it after setenv. Throws
+/// std::invalid_argument on a malformed spec (unknown action, missing
+/// '='), so a typo in the variable cannot silently disable injection.
+void ReloadFromEnv();
+/// Times `name` was hit while armed (self-tests assert a point fired).
+uint64_t HitCount(const std::string& name);
+
+}  // namespace kosr::failpoint
+
+/// Marks an injection point. `name` must be a string literal. When nothing
+/// is armed this is a relaxed load + branch — cheap enough for update
+/// paths (it is deliberately not placed on the query hot path at all).
+#define KOSR_FAILPOINT(name)                                        \
+  do {                                                              \
+    if (::kosr::failpoint::internal::g_num_armed.load(              \
+            std::memory_order_relaxed) != 0) {                      \
+      ::kosr::failpoint::internal::Hit(name);                       \
+    }                                                               \
+  } while (0)
+
+#endif  // KOSR_UTIL_FAILPOINT_H_

@@ -1,0 +1,528 @@
+// Crash-recovery harness (ISSUE 9 tentpole): spawns a real `kosr_cli serve`
+// child over pipes, drives updates through the newline protocol, kills the
+// process at each durability failpoint (KOSR_FAILPOINTS=...=crash makes the
+// child std::_Exit mid-persistence-step), restarts it against the same
+// journal directory, and asserts the recovered engine state is
+// byte-identical to an oracle rebuild that applies exactly the journaled
+// records.
+//
+// Needs the CLI binary path: `crash_recovery_test --cli <path>` (CTest
+// passes $<TARGET_FILE:kosr_cli>) or the KOSR_CLI environment variable;
+// without either, every test skips.
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/durability/checkpoint.h"
+#include "src/durability/journal.h"
+#include "src/graph/io.h"
+#include "src/util/failpoint.h"
+#include "tests/test_util.h"
+
+// Set by main() from --cli or $KOSR_CLI (outside the anonymous namespace so
+// main can reach it).
+static std::string g_cli_path;  // NOLINT(runtime/string)
+
+namespace kosr {
+namespace {
+
+namespace fs = std::filesystem;
+using durability::JournalRecord;
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// One serve child on stdin/stdout pipes.
+class ServeChild {
+ public:
+  ~ServeChild() {
+    CloseStdin();
+    if (out_ != nullptr) fclose(out_);
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      int status = 0;
+      waitpid(pid_, &status, 0);
+    }
+  }
+
+  /// Launches `kosr_cli serve` in `dir` (which must hold graph.gr /
+  /// cats.txt / idx.bin). `failpoints` becomes KOSR_FAILPOINTS in the
+  /// child; `extra_args` append to the serve command line.
+  void Start(const std::string& dir, const std::string& failpoints,
+             const std::vector<std::string>& extra_args) {
+    int to_child[2];
+    int from_child[2];
+    ASSERT_EQ(pipe(to_child), 0);
+    ASSERT_EQ(pipe(from_child), 0);
+    pid_ = fork();
+    ASSERT_GE(pid_, 0) << "fork: " << std::strerror(errno);
+    if (pid_ == 0) {
+      // Child: wire the pipes, arm failpoints, exec the CLI.
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      if (chdir(dir.c_str()) != 0) _exit(120);
+      if (failpoints.empty()) {
+        unsetenv("KOSR_FAILPOINTS");
+      } else {
+        setenv("KOSR_FAILPOINTS", failpoints.c_str(), 1);
+      }
+      std::vector<std::string> args = {g_cli_path,     "serve",
+                                       "--graph",      "graph.gr",
+                                       "--categories", "cats.txt",
+                                       "--indexes",    "idx.bin"};
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      execv(g_cli_path.c_str(), argv.data());
+      _exit(121);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    stdin_fd_ = to_child[1];
+    out_ = fdopen(from_child[0], "r");
+    ASSERT_NE(out_, nullptr);
+  }
+
+  /// Reads one response line (nullopt on EOF — the child died).
+  std::optional<std::string> ReadLine() {
+    char* line = nullptr;
+    size_t cap = 0;
+    ssize_t n = getline(&line, &cap, out_);
+    if (n < 0) {
+      free(line);
+      return std::nullopt;
+    }
+    std::string result(line, static_cast<size_t>(n));
+    free(line);
+    while (!result.empty() &&
+           (result.back() == '\n' || result.back() == '\r')) {
+      result.pop_back();
+    }
+    return result;
+  }
+
+  /// Writes one request line. Returns false when the pipe is broken (the
+  /// child crashed) — SIGPIPE is ignored process-wide.
+  bool SendLine(const std::string& line) {
+    std::string framed = line + "\n";
+    size_t off = 0;
+    while (off < framed.size()) {
+      ssize_t n = write(stdin_fd_, framed.data() + off, framed.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Request/response in lockstep; nullopt when the child died first.
+  std::optional<std::string> Request(const std::string& line) {
+    if (!SendLine(line)) return std::nullopt;
+    return ReadLine();
+  }
+
+  void CloseStdin() {
+    if (stdin_fd_ >= 0) {
+      close(stdin_fd_);
+      stdin_fd_ = -1;
+    }
+  }
+
+  void Signal(int signo) { kill(pid_, signo); }
+
+  /// Waits for the child and returns its raw waitpid status.
+  int Wait() {
+    int status = 0;
+    EXPECT_EQ(waitpid(pid_, &status, 0), pid_);
+    pid_ = -1;
+    return status;
+  }
+
+  /// Waits and asserts a normal exit with `code`.
+  void ExpectExit(int code) {
+    int status = Wait();
+    ASSERT_TRUE(WIFEXITED(status))
+        << "child did not exit normally, status=" << status;
+    EXPECT_EQ(WEXITSTATUS(status), code);
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  FILE* out_ = nullptr;
+};
+
+/// Scratch dir with the serving inputs (graph.gr, cats.txt, idx.bin) and an
+/// in-process twin of the instance the child serves, used to build recovery
+/// oracles.
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (g_cli_path.empty()) {
+      GTEST_SKIP() << "no --cli path and no KOSR_CLI in the environment";
+    }
+    dir_ = (fs::temp_directory_path() /
+            ("kosr_crash_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()
+                     ->name()) +
+             "_" + std::to_string(getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    inst_ = testing::MakeRandomInstance(60, 240, 4, 1234);
+    SaveDimacsGraph(inst_.graph, dir_ + "/graph.gr");
+    SaveCategories(inst_.categories, dir_ + "/cats.txt");
+    KosrEngine engine(inst_.graph, inst_.categories);
+    engine.BuildIndexes();
+    std::ofstream out(dir_ + "/idx.bin", std::ios::binary);
+    engine.SaveIndexes(out);
+  }
+
+  void TearDown() override {
+    if (!dir_.empty()) fs::remove_all(dir_);
+  }
+
+  std::vector<std::string> JournalArgs(
+      const std::string& policy = "always") const {
+    return {"--journal", "jdir", "--fsync-policy", policy};
+  }
+
+  /// Deterministic pseudo-random update lines. `edges_only` restricts to
+  /// edge verbs (the batch-window scenario buffers edges; a category verb
+  /// would force an early flush).
+  std::vector<std::string> RandomUpdateLines(size_t count, uint64_t seed,
+                                             bool edges_only = false) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<uint32_t> vertex(0, 59);
+    std::uniform_int_distribution<uint32_t> weight(1, 100);
+    std::uniform_int_distribution<uint32_t> category(0, 3);
+    std::uniform_int_distribution<int> verb(0, edges_only ? 3 : 4);
+    std::vector<std::string> lines;
+    lines.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      std::ostringstream os;
+      uint32_t u = vertex(rng);
+      uint32_t v = vertex(rng);
+      if (u == v) v = (v + 1) % 60;
+      switch (verb(rng)) {
+        case 0:
+          os << "ADD_EDGE " << u << ' ' << v << ' ' << weight(rng);
+          break;
+        case 1:
+        case 2:  // Bias toward SET_EDGE: it exercises increase repair.
+          os << "SET_EDGE " << u << ' ' << v << ' ' << weight(rng);
+          break;
+        case 3:
+          os << "REMOVE_EDGE " << u << ' ' << v;
+          break;
+        default:
+          os << (i % 2 == 0 ? "ADD_CAT " : "REMOVE_CAT ") << u << ' '
+             << category(rng);
+          break;
+      }
+      lines.push_back(os.str());
+    }
+    return lines;
+  }
+
+  std::vector<JournalRecord> ScanJournal() const {
+    return durability::UpdateJournal::Scan(dir_ + "/jdir/journal.log")
+        .records;
+  }
+
+  /// Oracle: a fresh engine with `records` applied through the same entry
+  /// points recovery uses, serialized with SaveIndexes — what the restarted
+  /// child's state must equal byte for byte.
+  std::string OracleBytes(const std::vector<JournalRecord>& records) const {
+    KosrEngine oracle(inst_.graph, inst_.categories);
+    oracle.BuildIndexes();
+    for (const JournalRecord& r : records) {
+      switch (r.type) {
+        case JournalRecord::Type::kAddOrDecreaseEdge:
+          oracle.AddOrDecreaseEdge(r.a, r.b, r.w);
+          break;
+        case JournalRecord::Type::kSetEdge:
+          oracle.SetEdgeWeight(r.a, r.b, r.w);
+          break;
+        case JournalRecord::Type::kRemoveEdge:
+          oracle.RemoveEdge(r.a, r.b);
+          break;
+        case JournalRecord::Type::kAddCategory:
+          oracle.AddVertexCategory(r.a, r.b);
+          break;
+        case JournalRecord::Type::kRemoveCategory:
+          oracle.RemoveVertexCategory(r.a, r.b);
+          break;
+      }
+    }
+    std::ostringstream os;
+    oracle.SaveIndexes(os);
+    return os.str();
+  }
+
+  /// Restarts a child on the same journal dir, forces a checkpoint, shuts
+  /// it down cleanly, and returns the checkpointed index bytes — the
+  /// recovered engine's exact SaveIndexes serialization.
+  std::string RecoveredBytes(const std::string& policy = "always") {
+    ServeChild child;
+    child.Start(dir_, "", JournalArgs(policy));
+    EXPECT_TRUE(child.ReadLine().has_value());  // ready line
+    auto ack = child.Request("CHECKPOINT");
+    EXPECT_TRUE(ack.has_value());
+    if (ack.has_value()) {
+      EXPECT_EQ(ack->rfind("OK CHECKPOINT", 0), 0u) << *ack;
+    }
+    auto bye = child.Request("QUIT");
+    EXPECT_TRUE(bye.has_value());
+    child.CloseStdin();
+    child.ExpectExit(0);
+    return ReadFileBytes(dir_ + "/jdir/checkpoint/indexes.bin");
+  }
+
+  std::string dir_;
+  testing::TestInstance inst_;
+};
+
+TEST_F(CrashRecoveryTest, CleanShutdownRecoversEverything) {
+  std::vector<std::string> lines = RandomUpdateLines(12, 7);
+  std::vector<JournalRecord> acked;
+  {
+    ServeChild child;
+    child.Start(dir_, "", JournalArgs());
+    ASSERT_TRUE(child.ReadLine().has_value());  // ready line
+    for (const std::string& line : lines) {
+      auto response = child.Request(line);
+      ASSERT_TRUE(response.has_value());
+      EXPECT_EQ(response->rfind("OK ", 0), 0u) << *response;
+    }
+    // Every ack is on disk; capture the journal before the shutdown
+    // checkpoint folds it in and truncates.
+    acked = ScanJournal();
+    ASSERT_EQ(acked.size(), lines.size());
+    // SIGTERM: drain, final checkpoint, clean exit.
+    child.Signal(SIGTERM);
+    child.ExpectExit(0);
+  }
+  // The shutdown checkpoint covers all acked records; the journal is empty.
+  EXPECT_TRUE(ScanJournal().empty());
+  auto ckpt = durability::LoadCheckpoint(dir_ + "/jdir");
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->seq, lines.size());
+  std::string oracle = OracleBytes(acked);
+  EXPECT_EQ(RecoveredBytes(), oracle);
+}
+
+// Crash matrix: each case arms one durability failpoint as `crash`, drives
+// the child into it, asserts the distinctive exit code, then verifies the
+// restarted engine equals the oracle rebuilt from exactly the records that
+// reached the journal.
+
+TEST_F(CrashRecoveryTest, CrashAfterJournalAppend) {
+  std::vector<std::string> warmup = RandomUpdateLines(6, 11);
+  std::vector<JournalRecord> applied;
+  {
+    ServeChild child;
+    child.Start(dir_, "", JournalArgs());
+    ASSERT_TRUE(child.ReadLine().has_value());
+    for (const std::string& line : warmup) {
+      ASSERT_TRUE(child.Request(line).has_value());
+    }
+    // Capture the warmup records before the shutdown checkpoint truncates
+    // them out of the journal.
+    applied = ScanJournal();
+    ASSERT_EQ(applied.size(), warmup.size());
+    child.Signal(SIGTERM);
+    child.ExpectExit(0);
+  }
+  {
+    // Armed child: the first update's append writes the record, then dies
+    // before fsync/apply/ack.
+    ServeChild child;
+    child.Start(dir_, "journal-after-append=crash", JournalArgs());
+    ASSERT_TRUE(child.ReadLine().has_value());
+    child.SendLine("SET_EDGE 1 2 77");
+    EXPECT_FALSE(child.ReadLine().has_value());  // EOF: child crashed.
+    child.ExpectExit(failpoint::kCrashExitCode);
+  }
+  // The unacked record hit the journal (write-ahead) and is recovered —
+  // recovering MORE than was acked is allowed, losing acked data is not.
+  std::vector<JournalRecord> tail = ScanJournal();
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].seq, warmup.size() + 1);
+  EXPECT_EQ(tail[0].a, 1u);
+  EXPECT_EQ(tail[0].b, 2u);
+  EXPECT_EQ(tail[0].w, 77u);
+  applied.push_back(tail[0]);
+  std::string oracle = OracleBytes(applied);
+  EXPECT_EQ(RecoveredBytes(), oracle);
+}
+
+TEST_F(CrashRecoveryTest, CrashMidCheckpointWrite) {
+  std::vector<std::string> lines = RandomUpdateLines(8, 13);
+  {
+    ServeChild child;
+    child.Start(dir_, "checkpoint-mid-write=crash", JournalArgs());
+    ASSERT_TRUE(child.ReadLine().has_value());
+    for (const std::string& line : lines) {
+      auto response = child.Request(line);
+      ASSERT_TRUE(response.has_value());
+      EXPECT_EQ(response->rfind("OK ", 0), 0u) << *response;
+    }
+    child.SendLine("CHECKPOINT");
+    EXPECT_FALSE(child.ReadLine().has_value());
+    child.ExpectExit(failpoint::kCrashExitCode);
+  }
+  // Died half way through writing checkpoint.tmp: no checkpoint was ever
+  // published, the journal is intact, and recovery replays all of it.
+  EXPECT_FALSE(durability::LoadCheckpoint(dir_ + "/jdir").has_value());
+  std::vector<JournalRecord> records = ScanJournal();
+  EXPECT_EQ(records.size(), lines.size());
+  std::string oracle = OracleBytes(records);
+  EXPECT_EQ(RecoveredBytes(), oracle);
+}
+
+TEST_F(CrashRecoveryTest, CrashBetweenCheckpointAndTruncate) {
+  std::vector<std::string> lines = RandomUpdateLines(8, 17);
+  {
+    ServeChild child;
+    child.Start(dir_, "checkpoint-before-truncate=crash", JournalArgs());
+    ASSERT_TRUE(child.ReadLine().has_value());
+    for (const std::string& line : lines) {
+      ASSERT_TRUE(child.Request(line).has_value());
+    }
+    child.SendLine("CHECKPOINT");
+    EXPECT_FALSE(child.ReadLine().has_value());
+    child.ExpectExit(failpoint::kCrashExitCode);
+  }
+  // The checkpoint IS published but the journal was never truncated:
+  // replay must skip the already-folded records (idempotent recovery).
+  auto ckpt = durability::LoadCheckpoint(dir_ + "/jdir");
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->seq, lines.size());
+  std::vector<JournalRecord> records = ScanJournal();
+  EXPECT_EQ(records.size(), lines.size());
+  std::string oracle = OracleBytes(records);
+  EXPECT_EQ(RecoveredBytes(), oracle);
+}
+
+TEST_F(CrashRecoveryTest, CrashMidBatchApplyUnderBatchWindow) {
+  std::vector<std::string> lines =
+      RandomUpdateLines(6, 19, /*edges_only=*/true);
+  {
+    // Huge batch window: edge updates buffer (OK BUFFERED) until the
+    // explicit FLUSH_UPDATES, whose apply hits the armed failpoint after
+    // the journal sync — the acked-buffered records are already durable.
+    ServeChild child;
+    std::vector<std::string> args = JournalArgs();
+    args.push_back("--update-batch-window");
+    args.push_back("3600");
+    child.Start(dir_, "batch-mid-apply=crash", args);
+    ASSERT_TRUE(child.ReadLine().has_value());
+    for (const std::string& line : lines) {
+      auto response = child.Request(line);
+      ASSERT_TRUE(response.has_value());
+      EXPECT_EQ(response->rfind("OK BUFFERED", 0), 0u) << *response;
+    }
+    child.SendLine("FLUSH_UPDATES");
+    EXPECT_FALSE(child.ReadLine().has_value());
+    child.ExpectExit(failpoint::kCrashExitCode);
+  }
+  std::vector<JournalRecord> records = ScanJournal();
+  EXPECT_EQ(records.size(), lines.size());
+  std::string oracle = OracleBytes(records);
+  EXPECT_EQ(RecoveredBytes(), oracle);
+}
+
+TEST_F(CrashRecoveryTest, RepeatedCrashRestartCyclesConverge) {
+  // Several kill/recover rounds against one journal dir: each round adds
+  // updates and dies without ceremony; recovery must stay exact.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::string> lines =
+        RandomUpdateLines(4, 100 + static_cast<uint64_t>(round));
+    ServeChild child;
+    child.Start(dir_, "", JournalArgs());
+    ASSERT_TRUE(child.ReadLine().has_value());
+    for (const std::string& line : lines) {
+      ASSERT_TRUE(child.Request(line).has_value());
+    }
+    // Die without any checkpoint: SIGKILL, the harshest stop.
+    child.Signal(SIGKILL);
+    int status = child.Wait();
+    ASSERT_TRUE(WIFSIGNALED(status));
+  }
+  // Each restart replays the full journal (no checkpoint was ever written:
+  // RecoveredBytes below writes the first one).
+  std::vector<JournalRecord> records = ScanJournal();
+  EXPECT_EQ(records.size(), 12u);
+  std::string oracle = OracleBytes(records);
+  EXPECT_EQ(RecoveredBytes(), oracle);
+}
+
+TEST_F(CrashRecoveryTest, FsyncNeverStillRecoversAfterProcessKill) {
+  // fsync-policy=never still write(2)s before acking: a process crash (not
+  // power loss) loses nothing, because the kernel owns the pages.
+  std::vector<std::string> lines = RandomUpdateLines(6, 23);
+  {
+    ServeChild child;
+    child.Start(dir_, "", JournalArgs("never"));
+    ASSERT_TRUE(child.ReadLine().has_value());
+    for (const std::string& line : lines) {
+      ASSERT_TRUE(child.Request(line).has_value());
+    }
+    child.Signal(SIGKILL);
+    int status = child.Wait();
+    ASSERT_TRUE(WIFSIGNALED(status));
+  }
+  std::vector<JournalRecord> records = ScanJournal();
+  EXPECT_EQ(records.size(), lines.size());
+  std::string oracle = OracleBytes(records);
+  EXPECT_EQ(RecoveredBytes("never"), oracle);
+}
+
+}  // namespace
+}  // namespace kosr
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  signal(SIGPIPE, SIG_IGN);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--cli" && i + 1 < argc) {
+      g_cli_path = argv[i + 1];
+    }
+  }
+  if (g_cli_path.empty()) {
+    const char* env = std::getenv("KOSR_CLI");
+    if (env != nullptr) g_cli_path = env;
+  }
+  return RUN_ALL_TESTS();
+}
