@@ -40,6 +40,21 @@
 //                     checkpoint during the phase (default 0 = only the
 //                     final explicit one)
 //   --seed X          workload/mix seed       (default 7)
+//
+// Network mode (ISSUE 10): `--net 1` measures the framed TCP transport
+// instead of the in-process API — a connections x pipeline-depth sweep of
+// open-loop pipelined clients against a real socket server (self-hosted on
+// an ephemeral port, or an external `kosr_cli serve --listen` process via
+// --connect), producing the BENCH_network_serving.json report. Latency is
+// measured from each request's *scheduled* send time, so schedule slip
+// under a full pipeline window shows up in the tail instead of vanishing.
+//
+//   --net 1               run the network sweep (skips the in-process phases)
+//   --connect host:port   drive an external server (default: self-host)
+//   --connections LIST    comma list of connection counts  (default 1,4,8)
+//   --pipeline LIST       comma list of pipeline depths    (default 1,8,32)
+// --requests is the per-cell total across connections and --rate the
+// per-cell total offered QPS; both split evenly across the connections.
 
 #include <atomic>
 #include <chrono>
@@ -51,6 +66,7 @@
 #include <memory>
 #include <random>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -59,6 +75,8 @@
 
 #include "bench/bench_common.h"
 #include "src/durability/journal.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
 #include "src/service/metrics.h"
 #include "src/service/service.h"
 #include "src/util/stats.h"
@@ -87,6 +105,10 @@ struct Options {
   std::string fsync_policy = "always";
   uint64_t checkpoint_bytes = 0;
   uint64_t seed = 7;
+  bool net = false;              ///< Run the TCP sweep instead.
+  std::string connect;           ///< Empty = self-host on an ephemeral port.
+  std::vector<uint32_t> connections = {1, 4, 8};
+  std::vector<uint32_t> pipeline_depths = {1, 8, 32};
 };
 
 // std::stoul would silently wrap "-1" to a huge count (and --workers -1
@@ -104,6 +126,27 @@ uint64_t ParseCount(const std::string& value, const std::string& flag) {
     std::exit(1);
   }
   return static_cast<uint64_t>(parsed);
+}
+
+std::vector<uint32_t> ParseCountList(const std::string& value,
+                                     const std::string& flag) {
+  std::vector<uint32_t> list;
+  std::stringstream ss(value);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    uint64_t parsed = ParseCount(part, flag);
+    if (parsed == 0) {
+      std::fprintf(stderr, "%s wants positive integers, got %s\n",
+                   flag.c_str(), value.c_str());
+      std::exit(1);
+    }
+    list.push_back(static_cast<uint32_t>(parsed));
+  }
+  if (list.empty()) {
+    std::fprintf(stderr, "%s wants a comma list of integers\n", flag.c_str());
+    std::exit(1);
+  }
+  return list;
 }
 
 Options ParseOptions(int argc, char** argv) {
@@ -140,6 +183,14 @@ Options ParseOptions(int argc, char** argv) {
       opt.checkpoint_bytes = ParseCount(value, flag);
     } else if (flag == "--seed") {
       opt.seed = ParseCount(value, flag);
+    } else if (flag == "--net") {
+      opt.net = ParseCount(value, flag) != 0;
+    } else if (flag == "--connect") {
+      opt.connect = value;
+    } else if (flag == "--connections") {
+      opt.connections = ParseCountList(value, flag);
+    } else if (flag == "--pipeline") {
+      opt.pipeline_depths = ParseCountList(value, flag);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       std::exit(1);
@@ -281,8 +332,193 @@ PhaseReport RunPhase(KosrService& service,
   return report;
 }
 
+// --- Network mode (ISSUE 10) ----------------------------------------------
+
+/// Renders a pool query as a protocol line with an explicit method token
+/// (the same 80/20 SK/PK mix the in-process phases use).
+std::string QueryLine(const KosrQuery& query, bool star) {
+  std::ostringstream os;
+  os << "QUERY " << query.source << ' ' << query.target << ' ';
+  for (size_t i = 0; i < query.sequence.size(); ++i) {
+    if (i > 0) os << ',';
+    os << query.sequence[i];
+  }
+  os << ' ' << query.k << ' ' << (star ? "sk" : "pk");
+  return os.str();
+}
+
+/// One connection's share of a sweep cell.
+struct ConnOutcome {
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  uint64_t errors = 0;
+  LatencyHistogram latency;  ///< Scheduled send -> response received.
+  std::string failure;       ///< Non-empty: the connection died; cell is bad.
+};
+
+/// Open-loop pipelined client: request i is *due* at start + i/rate; it is
+/// sent as soon as the pipeline window has room at or after that time, and
+/// its latency is measured from the due time, so window stalls surface as
+/// tail latency (the schedule does not politely wait for the server).
+void RunNetConnection(const std::string& host, uint16_t port,
+                      const std::vector<std::string>& lines, double rate,
+                      uint32_t depth, ConnOutcome* outcome) {
+  using Clock = std::chrono::steady_clock;
+  try {
+    net::FramedClient client(host, port);
+    std::map<uint64_t, Clock::time_point> in_flight;  // id -> due time
+    auto settle = [&](const net::ClientResponse& response) {
+      auto it = in_flight.find(response.request_id);
+      if (it == in_flight.end()) {
+        throw std::runtime_error("response for unknown request id");
+      }
+      outcome->latency.Record(
+          std::chrono::duration<double>(Clock::now() - it->second).count());
+      in_flight.erase(it);
+      if (response.status == net::kStatusOk) {
+        if (response.payload.rfind("OK ", 0) == 0) {
+          ++outcome->ok;
+        } else {
+          ++outcome->errors;  // protocol-level "ERR ..."
+        }
+      } else if (response.status == net::kStatusRejected) {
+        ++outcome->rejected;
+      } else {
+        ++outcome->errors;
+      }
+    };
+    auto recv_one = [&] {
+      auto response = client.Recv();
+      if (!response.has_value()) {
+        throw std::runtime_error("server closed the connection mid-cell");
+      }
+      settle(*response);
+    };
+    auto period = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / rate));
+    Clock::time_point start = Clock::now();
+    for (size_t i = 0; i < lines.size(); ++i) {
+      Clock::time_point due = start + period * static_cast<int64_t>(i);
+      std::this_thread::sleep_until(due);
+      while (client.Poll(0)) recv_one();     // opportunistic drain
+      while (in_flight.size() >= depth) recv_one();  // window full: block
+      in_flight.emplace(client.SendLine(lines[i]), due);
+    }
+    while (!in_flight.empty()) recv_one();
+  } catch (const std::exception& e) {
+    outcome->failure = e.what();
+  }
+}
+
+int NetMain(const Options& opt) {
+  // Same CAL-analog workload and Zipf-skewed stream shape as the
+  // in-process phases, rendered as protocol lines.
+  Workload workload = MakeGridWorkload("CAL", 64, 48, opt.seed + 100);
+  std::vector<KosrQuery> pool =
+      MakeQueries(workload, /*seq_len=*/3, /*k=*/4, opt.pool, opt.seed + 1);
+
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::unique_ptr<KosrService> service;
+  std::unique_ptr<net::NetServer> server;
+  if (opt.connect.empty()) {
+    ServiceConfig config;
+    config.num_workers = opt.workers;
+    config.queue_capacity = opt.queue_capacity;
+    config.cache_capacity = opt.cache_capacity;
+    service =
+        std::make_unique<KosrService>(std::move(*workload.engine), config);
+    net::ServerOptions server_options;
+    server_options.max_pipeline = 4096;  // the client window is the cap
+    server = std::make_unique<net::NetServer>(*service, server_options);
+    server->Start();
+    port = server->port();
+  } else {
+    auto [parsed_host, parsed_port] = net::ParseHostPort(opt.connect);
+    host = parsed_host;
+    port = parsed_port;
+  }
+
+  std::ostringstream cells;
+  cells << "[";
+  bool first_cell = true;
+  for (uint32_t connections : opt.connections) {
+    for (uint32_t depth : opt.pipeline_depths) {
+      const uint32_t per_conn =
+          std::max(1u, opt.requests / std::max(1u, connections));
+      const double rate_per_conn = opt.rate / connections;
+      // Distinct streams per connection (distinct seeds) over the shared
+      // Zipf pool, so connections contend on the cache realistically.
+      std::vector<std::vector<std::string>> streams(connections);
+      for (uint32_t c = 0; c < connections; ++c) {
+        std::mt19937_64 rng(opt.seed + 17 * c + depth);
+        ZipfSampler sampler(opt.pool, opt.zipf_s);
+        std::uniform_real_distribution<double> method_pick(0.0, 1.0);
+        streams[c].reserve(per_conn);
+        for (uint32_t i = 0; i < per_conn; ++i) {
+          streams[c].push_back(
+              QueryLine(pool[sampler.Sample(rng)], method_pick(rng) < 0.8));
+        }
+      }
+      std::vector<ConnOutcome> outcomes(connections);
+      WallTimer wall;
+      std::vector<std::thread> threads;
+      threads.reserve(connections);
+      for (uint32_t c = 0; c < connections; ++c) {
+        threads.emplace_back(RunNetConnection, host, port,
+                             std::cref(streams[c]), rate_per_conn, depth,
+                             &outcomes[c]);
+      }
+      for (std::thread& t : threads) t.join();
+      const double wall_s = wall.ElapsedSeconds();
+
+      uint64_t ok = 0, rejected = 0, errors = 0;
+      LatencyHistogram latency;
+      std::string failure;
+      for (const ConnOutcome& outcome : outcomes) {
+        ok += outcome.ok;
+        rejected += outcome.rejected;
+        errors += outcome.errors;
+        latency.Merge(outcome.latency);
+        if (failure.empty()) failure = outcome.failure;
+      }
+      if (!first_cell) cells << ",";
+      first_cell = false;
+      const uint64_t answered = ok + rejected + errors;
+      cells << "{\"connections\":" << connections << ",\"pipeline\":" << depth
+            << ",\"requests\":" << uint64_t{per_conn} * connections
+            << ",\"offered_qps\":" << opt.rate << ",\"wall_s\":" << wall_s
+            << ",\"achieved_qps\":" << (wall_s > 0 ? answered / wall_s : 0)
+            << ",\"ok\":" << ok << ",\"rejected\":" << rejected
+            << ",\"errors\":" << errors
+            << ",\"latency\":" << latency.SummaryJson() << ",\"failure\":\""
+            << failure << "\"}";
+    }
+  }
+  cells << "]";
+
+  std::ostringstream os;
+  os << "{\"machine\":" << MachineMetaJson("network_serving")
+     << ",\"bench\":\"network_serving\",\"transport\":\""
+     << (opt.connect.empty() ? "self-hosted" : opt.connect)
+     << "\",\"workload\":{\"graph\":\"" << workload.name
+     << "\",\"pool\":" << opt.pool << ",\"zipf_s\":" << opt.zipf_s
+     << ",\"seq_len\":3,\"k\":4,\"requests_per_cell\":" << opt.requests
+     << ",\"offered_qps_per_cell\":" << opt.rate << "},\"cells\":" << cells.str();
+  if (server != nullptr) {
+    // Server-side totals across the sweep (frames, bytes, rejects) — read
+    // before Shutdown(), which detaches the net-gauge provider.
+    os << ",\"service_metrics\":" << service->MetricsJson();
+    server->Shutdown();
+  }
+  os << "}";
+  std::printf("%s\n", os.str().c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Options opt = ParseOptions(argc, argv);
+  if (opt.net) return NetMain(opt);
 
   // CAL-analog grid workload; pool of distinct queries replayed with
   // Zipf-skewed popularity (popular queries repeat -> cacheable traffic).

@@ -131,4 +131,64 @@ else()
   message(STATUS "bash not found - skipping the SIGTERM shutdown leg")
 endif()
 
+# TCP transport leg (ISSUE 10): the same protocol script over real sockets.
+# `serve --listen 127.0.0.1:0` binds an ephemeral port and advertises it in
+# the ready line; kosr_net_client pipelines the script through the binary
+# framing (--window 1 keeps the duplicate query a deterministic cache hit)
+# and must print the exact same markers the stdio transport produced. The
+# server is then SIGTERMed and must drain to a clean exit.
+if(_bash AND DEFINED NETCLIENT)
+  file(WRITE ${SCRATCH}/tcp.sh
+"set -e
+cd '${SCRATCH}'
+'${CLI}' serve --graph graph.gr --categories cats.txt --indexes idx.bin \\
+  --workers 2 --queue-capacity 16 --cache-capacity 64 \\
+  --listen 127.0.0.1:0 < /dev/null > serve_tcp_out 2>serve_tcp_err &
+pid=\$!
+port=''
+for i in \$(seq 1 100); do
+  port=\$(sed -n 's/.*listen=127\\.0\\.0\\.1:\\([0-9]*\\).*/\\1/p' serve_tcp_out 2>/dev/null)
+  [ -n \"\$port\" ] && break
+  sleep 0.1
+done
+[ -n \"\$port\" ] || { echo 'no listen port in ready line' >&2; exit 1; }
+'${NETCLIENT}' --connect 127.0.0.1:\$port --window 1 < requests.txt > tcp_out
+kill -TERM \$pid
+wait \$pid
+")
+  execute_process(COMMAND ${_bash} ${SCRATCH}/tcp.sh
+    RESULT_VARIABLE _exit
+    OUTPUT_VARIABLE _stdout
+    ERROR_VARIABLE _stderr)
+  file(READ ${SCRATCH}/serve_tcp_out _serve_tcp_out)
+  if(NOT _exit EQUAL 0)
+    message(FATAL_ERROR
+      "TCP leg: server did not exit 0 (got ${_exit})\nserver:\n${_serve_tcp_out}\nstderr:\n${_stderr}")
+  endif()
+  file(READ ${SCRATCH}/tcp_out _tcp_out)
+  foreach(_marker
+      "OK PONG"
+      "OK ROUTES n=3"
+      "cached=1"
+      "OK UPDATED changed=1"
+      "OK METRICS {\"uptime_s\""
+      "\"net\":{\"enabled\":true"
+      "OK BYE")
+    string(FIND "${_tcp_out}" "${_marker}" _pos)
+    if(_pos EQUAL -1)
+      message(FATAL_ERROR
+        "TCP client output lacks marker '${_marker}'\ntcp_out:\n${_tcp_out}")
+    endif()
+  endforeach()
+  foreach(_marker "listen=127.0.0.1:" "served 14 frames" "clean shutdown")
+    string(FIND "${_serve_tcp_out}" "${_marker}" _pos)
+    if(_pos EQUAL -1)
+      message(FATAL_ERROR
+        "TCP server output lacks marker '${_marker}'\nserver:\n${_serve_tcp_out}")
+    endif()
+  endforeach()
+else()
+  message(STATUS "bash or NETCLIENT missing - skipping the TCP transport leg")
+endif()
+
 message(STATUS "smoke OK: generate -> build-index -> serve protocol round trip")

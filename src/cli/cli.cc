@@ -3,6 +3,7 @@
 #include <signal.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -11,12 +12,15 @@
 #include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "src/core/engine.h"
 #include "src/durability/recovery.h"
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
 #include "src/labeling/compressed_io.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
 #include "src/obs/json_reader.h"
 #include "src/service/protocol.h"
 #include "src/service/service.h"
@@ -73,6 +77,14 @@ Commands:
                [--checkpoint-bytes N (checkpoint + truncate once the
                journal exceeds N bytes; 0=only CHECKPOINT verb and
                shutdown, default 64MiB)]
+               [--listen HOST:PORT (serve the same protocol over TCP with
+               binary framing instead of stdin/stdout; port 0 picks an
+               ephemeral port, reported on the ready line; see README.md,
+               "TCP transport")]
+               [--max-connections N (TCP: concurrent connections beyond N
+               are accepted and closed, default 1024)]
+               [--max-pipeline N (TCP: per-connection in-flight query cap;
+               excess frames get REJECTED, default 128)]
                then speaks the newline request/response protocol on
                stdin/stdout (QUERY/ADD_CAT/REMOVE_CAT/ADD_EDGE/SET_EDGE/
                REMOVE_EDGE/FLUSH_UPDATES/CHECKPOINT/METRICS/PING/QUIT; see
@@ -301,6 +313,26 @@ int CmdServe(const Args& args, std::istream& in, std::ostream& out) {
     throw std::invalid_argument(
         "--checkpoint-bytes must be >= 0 (0 = manual/shutdown only)");
   }
+  // TCP-transport flags, also validated before the engine build.
+  auto listen = args.Get("listen");
+  net::ServerOptions listen_options;
+  if (listen) {
+    auto [host, port] = net::ParseHostPort(*listen);  // throws on bad input
+    listen_options.host = host;
+    listen_options.port = port;
+    long long max_connections = args.GetIntOr("max-connections", 1024);
+    long long max_pipeline = args.GetIntOr("max-pipeline", 128);
+    if (max_connections <= 0) {
+      throw std::invalid_argument("--max-connections must be positive");
+    }
+    if (max_pipeline <= 0) {
+      throw std::invalid_argument("--max-pipeline must be positive");
+    }
+    listen_options.max_connections = static_cast<size_t>(max_connections);
+    listen_options.max_pipeline = static_cast<uint32_t>(
+        std::min<long long>(max_pipeline,
+                            std::numeric_limits<uint32_t>::max()));
+  }
 
   // The normal engine path: load graph + categories, then load or build
   // indexes. With a journal this only runs when no checkpoint exists —
@@ -434,6 +466,35 @@ int CmdServe(const Args& args, std::istream& in, std::ostream& out) {
                                std::move(attachment));
   g_serve_stop.store(false, std::memory_order_relaxed);
   InstallServeSignalHandlers();
+  if (listen) {
+    // TCP transport: the event loop owns the sockets; this thread only
+    // watches the signal flag. The ready line reports the bound port
+    // (useful with --listen host:0) and must be flushed — test harnesses
+    // parse it to learn where to connect.
+    net::NetServer server(service, listen_options);
+    server.Start();
+    out << "ready workers=" << service.num_workers()
+        << " queue=" << config.queue_capacity
+        << " cache=" << service.cache().capacity()
+        << " batch_window=" << config.update_batch_window_s
+        << " journal=" << (journal_dir ? *journal_dir : std::string("off"))
+        << " seq=" << start_seq << " replayed=" << replayed
+        << " recovery_ms=" << recovery_s * 1e3
+        << " listen=" << listen_options.host << ":" << server.port() << "\n"
+        << std::flush;
+    while (!g_serve_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    // Drain order matters: answer everything the sockets accepted first
+    // (Shutdown), then stop the service (flush buffered updates, final
+    // checkpoint), then the exit marker.
+    server.Shutdown();
+    const uint64_t handled = server.gauges().frames_in;
+    service.Stop();
+    out << "served " << handled << " frames\n";
+    out << "clean shutdown\n";
+    return 0;
+  }
   out << "ready workers=" << service.num_workers()
       << " queue=" << config.queue_capacity
       << " cache=" << service.cache().capacity()
@@ -647,6 +708,27 @@ int CmdMetrics(const Args& args, std::istream& in, std::ostream& out) {
         << static_cast<uint64_t>(NumberOr(*durability, "replayed_records"))
         << ", recovery " << NumberOr(*durability, "recovery_s") * 1e3
         << " ms\n";
+  }
+  if (const obs::JsonValue* net = doc.Find("net");
+      net != nullptr && net->Find("enabled") != nullptr &&
+      net->Find("enabled")->bool_value) {
+    out << "net: connections "
+        << static_cast<uint64_t>(NumberOr(*net, "connections_open")) << "/"
+        << static_cast<uint64_t>(NumberOr(*net, "connections_accepted"))
+        << " open/accepted, frames "
+        << static_cast<uint64_t>(NumberOr(*net, "frames_in")) << " in / "
+        << static_cast<uint64_t>(NumberOr(*net, "frames_out"))
+        << " out, bytes "
+        << static_cast<uint64_t>(NumberOr(*net, "bytes_in")) << " in / "
+        << static_cast<uint64_t>(NumberOr(*net, "bytes_out"))
+        << " out, partial_reads "
+        << static_cast<uint64_t>(NumberOr(*net, "partial_reads"))
+        << ", rejected "
+        << static_cast<uint64_t>(NumberOr(*net, "rejected_frames"))
+        << ", bad_frames "
+        << static_cast<uint64_t>(NumberOr(*net, "bad_frames"))
+        << ", in_flight "
+        << static_cast<uint64_t>(NumberOr(*net, "in_flight_queries")) << "\n";
   }
   if (const obs::JsonValue* cache = doc.Find("cache")) {
     out << "cache: hits " << static_cast<uint64_t>(NumberOr(*cache, "hits"))

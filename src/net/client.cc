@@ -1,0 +1,192 @@
+#include "src/net/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace kosr::net {
+namespace {
+
+std::string ErrnoString(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::pair<std::string, uint16_t> ParseHostPort(const std::string& text) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    throw std::invalid_argument("expected host:port, got: " + text);
+  }
+  const std::string port_str = text.substr(colon + 1);
+  size_t consumed = 0;
+  unsigned long port = 0;
+  try {
+    port = std::stoul(port_str, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != port_str.size() || port > 65535) {
+    throw std::invalid_argument("bad port in: " + text);
+  }
+  return {text.substr(0, colon), static_cast<uint16_t>(port)};
+}
+
+std::string RenderResponse(const ClientResponse& response) {
+  switch (response.status) {
+    case kStatusOk:
+      return response.payload;
+    case kStatusRejected:
+      return "REJECTED " + response.payload;
+    default:
+      return "ERR " + response.payload;
+  }
+}
+
+FramedClient::FramedClient(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result);
+  if (rc != 0) {
+    throw std::runtime_error("cannot resolve " + host + ": " +
+                             gai_strerror(rc));
+  }
+  fd_ = socket(result->ai_family, result->ai_socktype | SOCK_CLOEXEC,
+               result->ai_protocol);
+  if (fd_ < 0) {
+    freeaddrinfo(result);
+    throw std::runtime_error(ErrnoString("socket"));
+  }
+  if (connect(fd_, result->ai_addr, result->ai_addrlen) != 0) {
+    std::string error = ErrnoString("connect");
+    freeaddrinfo(result);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(error + " to " + host + ":" + port_str);
+  }
+  freeaddrinfo(result);
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+FramedClient::~FramedClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FramedClient::WriteAll(const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    // MSG_NOSIGNAL: a server that closed on us must surface as an error,
+    // not kill the test/bench process with SIGPIPE.
+    ssize_t w = send(fd_, data + written, size - written, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(ErrnoString("send"));
+    }
+    written += static_cast<size_t>(w);
+  }
+}
+
+uint64_t FramedClient::SendLine(std::string_view line) {
+  return SendFrame(kVerbLine, line);
+}
+
+uint64_t FramedClient::SendFrame(uint8_t verb, std::string_view payload) {
+  const uint64_t id = next_id_++;
+  SendFrameWithId(id, verb, payload);
+  return id;
+}
+
+void FramedClient::SendFrameWithId(uint64_t request_id, uint8_t verb,
+                                   std::string_view payload) {
+  std::string wire;
+  AppendFrame(wire, request_id, verb, payload);
+  WriteAll(wire.data(), wire.size());
+}
+
+void FramedClient::SendRaw(std::string_view bytes) {
+  WriteAll(bytes.data(), bytes.size());
+}
+
+bool FramedClient::Poll(double timeout_s) {
+  if (in_.BufferedBytes() >= kFrameHeaderBytes) return true;
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    int rc = poll(&pfd, 1, static_cast<int>(timeout_s * 1000));
+    if (rc < 0 && errno == EINTR) continue;
+    return rc > 0;
+  }
+}
+
+std::optional<ClientResponse> FramedClient::Recv() {
+  ParsedFrame frame;
+  std::string error;
+  for (;;) {
+    FrameBuffer::PopResult res = in_.Pop(&frame, &error);
+    if (res == FrameBuffer::PopResult::kFrame) {
+      return ClientResponse{frame.request_id, frame.code,
+                            std::move(frame.payload)};
+    }
+    if (res == FrameBuffer::PopResult::kBad) {
+      throw std::runtime_error("server sent an unparseable frame: " + error);
+    }
+    char buf[65536];
+    ssize_t r = recv(fd_, buf, sizeof buf, 0);
+    if (r > 0) {
+      in_.Append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) return std::nullopt;
+    if (errno == EINTR) continue;
+    throw std::runtime_error(ErrnoString("recv"));
+  }
+}
+
+void FramedClient::ShutdownWrite() { shutdown(fd_, SHUT_WR); }
+
+std::vector<ClientResponse> ExchangePipelined(
+    FramedClient& client, const std::vector<std::string>& lines,
+    size_t window) {
+  if (window == 0) window = 1;
+  std::vector<ClientResponse> responses(lines.size());
+  std::unordered_map<uint64_t, size_t> index_of;
+  index_of.reserve(lines.size());
+  size_t next_send = 0;
+  size_t answered = 0;
+  while (answered < lines.size()) {
+    while (next_send < lines.size() &&
+           next_send - answered < window) {
+      index_of[client.SendLine(lines[next_send])] = next_send;
+      ++next_send;
+    }
+    std::optional<ClientResponse> response = client.Recv();
+    if (!response) {
+      throw std::runtime_error(
+          "server closed with " + std::to_string(lines.size() - answered) +
+          " responses outstanding");
+    }
+    auto it = index_of.find(response->request_id);
+    if (it == index_of.end()) {
+      throw std::runtime_error("response for unknown request_id " +
+                               std::to_string(response->request_id));
+    }
+    responses[it->second] = std::move(*response);
+    index_of.erase(it);
+    ++answered;
+  }
+  return responses;
+}
+
+}  // namespace kosr::net

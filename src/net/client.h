@@ -1,0 +1,84 @@
+// Blocking framed TCP client for the src/net wire format: the netcat-style
+// CLI tool, the socket test suites, and the network bench all drive the
+// server through this. One FramedClient is one connection; it is not
+// thread-safe (the bench gives each connection its own thread).
+#ifndef KOSR_NET_CLIENT_H_
+#define KOSR_NET_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/net/frame.h"
+
+namespace kosr::net {
+
+/// Parses "host:port" (e.g. "127.0.0.1:7070"); throws std::invalid_argument
+/// on malformed input or a port outside [0, 65535].
+std::pair<std::string, uint16_t> ParseHostPort(const std::string& text);
+
+/// One response frame, correlated by request_id.
+struct ClientResponse {
+  uint64_t request_id = 0;
+  uint8_t status = kStatusOk;
+  std::string payload;
+};
+
+/// Renders a response the way the stdio transport would print it, so the
+/// two transports produce comparable output: kStatusOk passes the protocol
+/// line through, backpressure becomes "REJECTED ...", framing-level
+/// failures become "ERR ...".
+std::string RenderResponse(const ClientResponse& response);
+
+class FramedClient {
+ public:
+  /// Connects (blocking); throws std::runtime_error on failure.
+  FramedClient(const std::string& host, uint16_t port);
+  ~FramedClient();
+
+  FramedClient(const FramedClient&) = delete;
+  FramedClient& operator=(const FramedClient&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Frames `line` under the next request id (returned) and writes it out.
+  uint64_t SendLine(std::string_view line);
+  /// Arbitrary verb/payload under the next request id (returned).
+  uint64_t SendFrame(uint8_t verb, std::string_view payload);
+  /// Fully explicit frame — adversarial tests forge ids and verbs.
+  void SendFrameWithId(uint64_t request_id, uint8_t verb,
+                       std::string_view payload);
+  /// Raw bytes, no framing: torn frames, lying prefixes, slow-loris drips.
+  void SendRaw(std::string_view bytes);
+
+  /// True when a frame (or EOF) is ready within `timeout_s` seconds.
+  bool Poll(double timeout_s);
+  /// Blocks for the next response frame. nullopt = server closed the
+  /// connection. Throws std::runtime_error if the server emits bytes that
+  /// do not frame-decode (a server bug by contract).
+  std::optional<ClientResponse> Recv();
+
+  /// Half-close: no more sends, reads still work.
+  void ShutdownWrite();
+
+ private:
+  void WriteAll(const char* data, size_t size);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  FrameBuffer in_;
+};
+
+/// Pipelined exchange with at most `window` unanswered frames: sends every
+/// line, returns the responses ordered by send index. Throws if the server
+/// closes before answering everything.
+std::vector<ClientResponse> ExchangePipelined(
+    FramedClient& client, const std::vector<std::string>& lines,
+    size_t window);
+
+}  // namespace kosr::net
+
+#endif  // KOSR_NET_CLIENT_H_

@@ -1,0 +1,93 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+namespace kosr::net {
+namespace {
+
+void PutU32(std::string& out, std::uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out.append(b, 4);
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.append(b, 8);
+}
+
+std::uint32_t GetU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  return v;
+}
+
+std::uint64_t GetU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  return v;
+}
+
+}  // namespace
+
+void AppendFrame(std::string& out, std::uint64_t request_id, std::uint8_t code,
+                 std::string_view payload) {
+  PutU32(out, static_cast<std::uint32_t>(kMinFrameLen + payload.size()));
+  PutU64(out, request_id);
+  out.push_back(static_cast<char>(code));
+  out.append(payload);
+}
+
+void FrameBuffer::Append(const char* data, std::size_t size) {
+  if (poisoned_) return;  // stream is dead; don't grow an unbounded buffer
+  // Compact once the consumed prefix dominates, so long-lived pipelined
+  // connections don't accumulate dead bytes.
+  if (offset_ > 4096 && offset_ >= buffer_.size() / 2) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameBuffer::PopResult FrameBuffer::Pop(ParsedFrame* frame,
+                                        std::string* error) {
+  if (poisoned_) {
+    if (error) *error = "frame stream poisoned by earlier framing violation";
+    return PopResult::kBad;
+  }
+  const std::size_t avail = buffer_.size() - offset_;
+  if (avail < 4) return PopResult::kNeedMore;
+  const char* base = buffer_.data() + offset_;
+  const std::uint32_t len = GetU32(base);
+  if (len < kMinFrameLen || len > max_frame_len_) {
+    poisoned_ = true;
+    // Best-effort request id so the rejection can still be correlated.
+    frame->request_id = avail >= 12 ? GetU64(base + 4) : 0;
+    frame->code = 0;
+    frame->payload.clear();
+    if (error) {
+      *error = "bad frame length " + std::to_string(len) + " (min " +
+               std::to_string(kMinFrameLen) + ", max " +
+               std::to_string(max_frame_len_) + ")";
+    }
+    return PopResult::kBad;
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return PopResult::kNeedMore;
+  frame->request_id = GetU64(base + 4);
+  frame->code = static_cast<std::uint8_t>(base[12]);
+  frame->payload.assign(base + kFrameHeaderBytes, len - kMinFrameLen);
+  offset_ += 4 + static_cast<std::size_t>(len);
+  if (offset_ == buffer_.size()) {
+    buffer_.clear();
+    offset_ = 0;
+  }
+  return PopResult::kFrame;
+}
+
+}  // namespace kosr::net

@@ -1,0 +1,108 @@
+// Wire format for the TCP serving transport (ISSUE 10).
+//
+// Every message — request or response — is one length-prefixed frame:
+//
+//   request:   u32 len | u64 request_id | u8 verb   | payload
+//   response:  u32 len | u64 request_id | u8 status | payload
+//
+// All integers are little-endian. `len` counts every byte AFTER the length
+// field itself (request_id + verb/status + payload), so the smallest legal
+// frame is len == 9 (empty payload) and the whole header occupies 13 bytes
+// on the wire. A frame whose declared length is below 9 or above the
+// server's cap is unrecoverable — the length field cannot be trusted, so
+// there is no way to resynchronise the stream — and the connection is
+// closed after a BAD_FRAME response.
+//
+// The only request verb today is kLine: the payload is a single request
+// line in the newline protocol grammar (src/service/protocol.h) without
+// the trailing newline. Framing and the text grammar are deliberately
+// independent layers: the TCP and stdio transports share protocol.cc for
+// execution, and new verbs can be added without touching the framing.
+#ifndef KOSR_NET_FRAME_H_
+#define KOSR_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace kosr::net {
+
+/// Bytes of `u32 len | u64 request_id | u8 code` on the wire.
+inline constexpr std::size_t kFrameHeaderBytes = 13;
+/// Minimum legal value of the `len` field (request_id + code, no payload).
+inline constexpr std::uint32_t kMinFrameLen = 9;
+/// Default cap on the `len` field; a lying prefix above the cap closes the
+/// connection instead of allocating whatever the peer asked for.
+inline constexpr std::uint32_t kDefaultMaxFrameLen = 1u << 20;
+
+/// Request verbs. The payload interpretation depends on the verb.
+enum Verb : std::uint8_t {
+  /// Payload is one newline-protocol request line (no trailing '\n').
+  kVerbLine = 1,
+};
+
+/// Response status codes.
+enum Status : std::uint8_t {
+  /// Request executed; payload is the protocol response line (which may
+  /// itself report a protocol-level error as "ERR ...").
+  kStatusOk = 0,
+  /// Backpressure: the per-connection pipeline cap or the service queue
+  /// refused the request. Retry later; the connection stays open.
+  kStatusRejected = 1,
+  /// The frame was well-formed but unintelligible (unknown verb). The
+  /// connection stays open.
+  kStatusBadRequest = 2,
+  /// Framing violation (lying length prefix). The stream cannot be
+  /// resynchronised; the server flushes this response and closes.
+  kStatusBadFrame = 3,
+};
+
+/// Appends one encoded frame to `out`.
+void AppendFrame(std::string& out, std::uint64_t request_id, std::uint8_t code,
+                 std::string_view payload);
+
+/// A frame decoded off the wire.
+struct ParsedFrame {
+  std::uint64_t request_id = 0;
+  std::uint8_t code = 0;
+  std::string payload;
+};
+
+/// Incremental frame decoder over a byte stream. Feed arbitrary chunks with
+/// Append (torn frames, one byte at a time, many frames at once — anything a
+/// TCP read can produce) and Pop complete frames out.
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(std::uint32_t max_frame_len = kDefaultMaxFrameLen)
+      : max_frame_len_(max_frame_len) {}
+
+  void Append(const char* data, std::size_t size);
+
+  enum class PopResult {
+    kFrame,     // *frame filled with the next complete frame
+    kNeedMore,  // no complete frame buffered yet
+    kBad,       // unrecoverable framing violation; *error describes it
+  };
+
+  /// Pops the next frame. On kBad, `frame->request_id` is filled best-effort
+  /// (when enough of the header arrived to read it) so the server can still
+  /// correlate its BAD_FRAME response; the buffer is poisoned and every
+  /// later Pop returns kBad again.
+  PopResult Pop(ParsedFrame* frame, std::string* error);
+
+  /// True when a partial frame (or undecodable prefix) is buffered.
+  bool HasPartial() const { return buffer_.size() > offset_; }
+
+  std::size_t BufferedBytes() const { return buffer_.size() - offset_; }
+
+ private:
+  std::uint32_t max_frame_len_;
+  std::string buffer_;
+  std::size_t offset_ = 0;  // consumed prefix, compacted lazily
+  bool poisoned_ = false;
+};
+
+}  // namespace kosr::net
+
+#endif  // KOSR_NET_FRAME_H_

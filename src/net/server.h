@@ -1,0 +1,152 @@
+// TCP serving front-end (ISSUE 10 tentpole): a single-threaded
+// level-triggered epoll event loop speaking the length-prefixed binary
+// framing of src/net/frame.h, layered on KosrService.
+//
+// Threading model. One event-loop thread owns every socket, every
+// per-connection session (partial-read FrameBuffer, partial-write buffer,
+// pipeline accounting), and the epoll set — none of that state needs a
+// lock. Query frames are handed to the service's worker pool through the
+// callback SubmitAsync and complete out of order; workers push the
+// formatted response onto a mutex-guarded completion queue and poke an
+// eventfd, and the loop writes the frame back on the connection that asked
+// (matched by connection id — a connection that died mid-flight simply
+// drops its completions). Every non-query verb (updates, METRICS, PING,
+// CHECKPOINT, QUIT) executes inline on the loop thread, which makes
+// per-connection update ordering — and therefore `version=` monotonicity
+// across one connection's update acks — a structural guarantee rather
+// than a locking exercise.
+//
+// Backpressure degrades to REJECTED frames, never unbounded buffering:
+// a connection exceeding its pipeline cap gets kStatusRejected per excess
+// frame, a full service queue surfaces as kStatusRejected the same way,
+// and a peer that stops reading while responses accumulate past the
+// write-buffer cap is closed. Graceful drain (Shutdown): stop accepting,
+// take a final read pass per connection, answer everything parsed, wait
+// for in-flight completions (bounded by drain_timeout_s), flush, close.
+// See DESIGN.md, "Network serving".
+#ifndef KOSR_NET_SERVER_H_
+#define KOSR_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "src/net/frame.h"
+#include "src/service/metrics.h"
+#include "src/service/service.h"
+#include "src/util/sync.h"
+
+namespace kosr::net {
+
+struct ServerOptions {
+  /// Bind address. Port 0 asks the kernel for an ephemeral port; the bound
+  /// port is readable through port() after Start().
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Connections beyond the cap are accepted and immediately closed (the
+  /// peer sees EOF) so the backlog cannot smuggle unbounded sessions in.
+  size_t max_connections = 1024;
+  /// Cap on a frame's declared length; a prefix above it is a framing
+  /// violation (kStatusBadFrame, connection closed).
+  uint32_t max_frame_bytes = kDefaultMaxFrameLen;
+  /// Per-connection in-flight query cap; excess frames get kStatusRejected.
+  uint32_t max_pipeline = 128;
+  /// A connection whose unsent responses outgrow this is closed (the peer
+  /// is not reading; buffering more is how servers die).
+  size_t max_write_buffer_bytes = 8u << 20;
+  /// Graceful-drain deadline: how long Shutdown waits for in-flight
+  /// queries to complete and response buffers to flush before
+  /// force-closing what remains.
+  double drain_timeout_s = 10.0;
+};
+
+class CompletionSink;
+
+class NetServer {
+ public:
+  /// `service` must outlive the server. The server registers its gauges
+  /// with the service (METRICS "net" block) while running.
+  explicit NetServer(service::KosrService& service, ServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and spawns the event loop. Throws std::runtime_error
+  /// when the address cannot be bound.
+  void Start();
+  /// Graceful drain (see file comment). Idempotent; also run by the
+  /// destructor. Safe to call from any thread, including a signal-watcher.
+  void Shutdown();
+
+  /// Bound port (after Start; useful with port 0).
+  uint16_t port() const { return port_; }
+  /// Live counters, readable from any thread.
+  service::NetGauges gauges() const;
+
+ private:
+  struct Connection;
+
+  void LoopThread();
+  void AcceptNew();
+  /// Reads until EAGAIN/EOF (bounded to `max_passes` 64 KiB reads for
+  /// fairness on the normal path; drain passes are unbounded) and
+  /// processes every complete frame. Returns false when the connection
+  /// was closed.
+  bool HandleReadable(Connection& conn, int max_passes);
+  bool ProcessFrames(Connection& conn);
+  bool HandleFrame(Connection& conn, const ParsedFrame& frame);
+  /// Appends one response frame and flushes opportunistically. Returns
+  /// false when the connection was closed (flush found close_after_flush
+  /// satisfied, the peer vanished, or the write buffer blew its cap).
+  bool SendFrame(Connection& conn, uint64_t request_id, uint8_t status,
+                 std::string_view payload);
+  bool TryWrite(Connection& conn);
+  void SetEpollMask(Connection& conn);
+  void CloseConn(int fd);
+  void DrainCompletions();
+  void StartDrain();
+  void CloseIfIdle(Connection& conn);
+
+  service::KosrService& service_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+  /// Completion queue shared with worker callbacks. shared_ptr: a query
+  /// can outlive the server (drain deadline hit), so the callback keeps
+  /// the sink alive and the closed sink swallows the late completion.
+  std::shared_ptr<CompletionSink> sink_;
+  std::thread loop_;
+  std::atomic<bool> stop_{false};
+  /// Serializes Start/Shutdown; never touched by the loop thread.
+  Mutex lifecycle_mutex_;
+  bool started_ KOSR_GUARDED_BY(lifecycle_mutex_) = false;
+  bool joined_ KOSR_GUARDED_BY(lifecycle_mutex_) = false;
+
+  // --- Event-loop private state (loop thread only, no locks) --------------
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<uint64_t, int> conn_by_id_;
+  bool draining_ = false;
+
+  // --- Gauges (relaxed atomics; written by the loop, read anywhere) -------
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> open_{0};
+  std::atomic<uint64_t> frames_in_{0};
+  std::atomic<uint64_t> frames_out_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> partial_reads_{0};
+  std::atomic<uint64_t> rejected_frames_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+  std::atomic<uint64_t> in_flight_queries_{0};
+};
+
+}  // namespace kosr::net
+
+#endif  // KOSR_NET_SERVER_H_

@@ -43,6 +43,18 @@ std::string MetricsSnapshot::ToJson() const {
      << ",\"checkpoints_written\":" << durability.checkpoints_written
      << ",\"replayed_records\":" << durability.replayed_records
      << ",\"recovery_s\":" << durability.recovery_s
+     << "},\"net\":{"
+     << "\"enabled\":" << (net.enabled ? "true" : "false")
+     << ",\"connections_accepted\":" << net.connections_accepted
+     << ",\"connections_open\":" << net.connections_open
+     << ",\"frames_in\":" << net.frames_in
+     << ",\"frames_out\":" << net.frames_out
+     << ",\"bytes_in\":" << net.bytes_in
+     << ",\"bytes_out\":" << net.bytes_out
+     << ",\"partial_reads\":" << net.partial_reads
+     << ",\"rejected_frames\":" << net.rejected_frames
+     << ",\"bad_frames\":" << net.bad_frames
+     << ",\"in_flight_queries\":" << net.in_flight_queries
      << "},\"cache\":{"
      << "\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
      << ",\"insertions\":" << cache.insertions
@@ -132,8 +144,8 @@ void MetricsRegistry::SetSlowLogCapacity(size_t capacity) {
 
 MetricsSnapshot MetricsRegistry::Snapshot(
     const CacheStats& cache, uint32_t queue_depth, uint32_t in_flight,
-    const SnapshotGauges& snapshots,
-    const DurabilityGauges& durability) const {
+    const SnapshotGauges& snapshots, const DurabilityGauges& durability,
+    const NetGauges& net) const {
   MetricsSnapshot snap;
   // The uptime clock and the counters are reset under the same mutex; read
   // everything inside the lock so a concurrent Metrics()/Reset() pair does
@@ -150,6 +162,7 @@ MetricsSnapshot MetricsRegistry::Snapshot(
   snap.in_flight = in_flight;
   snap.snapshots = snapshots;
   snap.durability = durability;
+  snap.net = net;
   snap.cache = cache;
   snap.per_method = per_method_;
   snap.stages = stages_;

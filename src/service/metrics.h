@@ -64,6 +64,30 @@ struct DurabilityGauges {
   double recovery_s = 0;
 };
 
+/// Network-transport gauges, sampled from the TCP front-end's counters at
+/// Metrics() time (ISSUE 10). All zero (enabled = false) while no server
+/// is attached — the stdio transport reports nothing here.
+struct NetGauges {
+  bool enabled = false;
+  /// Connections accepted since the server started / currently open.
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  /// Complete frames decoded off / written onto the wire.
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  /// Raw socket bytes received / sent.
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  /// Read passes that left a torn frame buffered (partial-read events).
+  uint64_t partial_reads = 0;
+  /// Frames answered with REJECTED (pipeline cap or service queue full).
+  uint64_t rejected_frames = 0;
+  /// Framing violations (lying length prefixes) that poisoned a stream.
+  uint64_t bad_frames = 0;
+  /// Query frames submitted to the worker pool, not yet answered.
+  uint64_t in_flight_queries = 0;
+};
+
 /// Frozen view of the registry, taken under the lock.
 struct MetricsSnapshot {
   double uptime_s = 0;
@@ -77,6 +101,7 @@ struct MetricsSnapshot {
   uint32_t in_flight = 0;
   SnapshotGauges snapshots;
   DurabilityGauges durability;
+  NetGauges net;
   CacheStats cache;
   /// End-to-end (enqueue -> response) latency per method name. Cache hits
   /// are included: the service-level percentiles are what a client sees.
@@ -136,7 +161,8 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot(const CacheStats& cache, uint32_t queue_depth,
                            uint32_t in_flight,
                            const SnapshotGauges& snapshots,
-                           const DurabilityGauges& durability = {}) const
+                           const DurabilityGauges& durability = {},
+                           const NetGauges& net = {}) const
       KOSR_EXCLUDES(histogram_mutex_);
 
   /// Zeroes counters and histograms and restarts the uptime clock; the

@@ -43,52 +43,11 @@ uint32_t ParseU32(const std::string& token, const char* what) {
   return static_cast<uint32_t>(value);
 }
 
-std::string HandleQuery(KosrService& service,
-                        const std::vector<std::string>& tokens) {
-  if (tokens.size() < 5 || tokens.size() > 6) {
-    return "ERR QUERY wants: QUERY <source> <target> <c1,c2,...> <k> "
-           "[<method>]";
-  }
+std::string HandleQuery(KosrService& service, const std::string& line) {
   ServiceRequest request;
-  request.query.source = ParseU32(tokens[1], "source");
-  request.query.target = ParseU32(tokens[2], "target");
-  request.query.sequence = ParseCategorySequence(tokens[3]);
-  request.query.k = ParseU32(tokens[4], "k");
-  if (tokens.size() == 6 &&
-      !ParseMethod(tokens[5], &request.options.algorithm,
-                   &request.options.nn_mode)) {
-    return "ERR unknown method: " + tokens[5];
-  }
-
-  ServiceResponse response = service.Submit(request);
-  switch (response.status) {
-    case ResponseStatus::kRejected:
-      return "REJECTED " + response.error;
-    case ResponseStatus::kShutdown:
-      return "ERR service stopped";
-    case ResponseStatus::kError:
-      return "ERR " + response.error;
-    case ResponseStatus::kOk:
-      break;
-  }
-  // The serialize stage span covers formatting the OK line; the worker is
-  // done with the request by now, so the protocol layer reports it.
-  WallTimer serialize;
-  std::ostringstream os;
-  os << "OK ROUTES n=" << response.result.routes.size() << " costs=";
-  for (size_t i = 0; i < response.result.routes.size(); ++i) {
-    if (i > 0) os << ',';
-    os << response.result.routes[i].cost;
-  }
-  os << " cached=" << (response.cache_hit ? 1 : 0)
-     << " ms=" << response.latency_s * 1e3;
-  // A budget-truncated answer may be partial/suboptimal; the client must
-  // be able to tell it from a complete one (the cache already refuses it).
-  if (response.result.stats.timed_out) os << " truncated=1";
-  os << " version=" << response.snapshot_version;
-  std::string line = os.str();
-  service.RecordSerializeSpan(serialize.ElapsedSeconds());
-  return line;
+  std::string error;
+  if (!ParseQueryLine(line, &request, &error)) return error;
+  return FormatQueryResponse(service, service.Submit(request));
 }
 
 // Edge verbs report the repair summary so a peer driving a live edge feed
@@ -142,6 +101,66 @@ std::string HandleUpdate(KosrService& service,
 
 }  // namespace
 
+bool ParseQueryLine(const std::string& line, ServiceRequest* request,
+                    std::string* error) {
+  try {
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty() || tokens[0] != "QUERY" || tokens.size() < 5 ||
+        tokens.size() > 6) {
+      *error =
+          "ERR QUERY wants: QUERY <source> <target> <c1,c2,...> <k> "
+          "[<method>]";
+      return false;
+    }
+    request->query.source = ParseU32(tokens[1], "source");
+    request->query.target = ParseU32(tokens[2], "target");
+    request->query.sequence = ParseCategorySequence(tokens[3]);
+    request->query.k = ParseU32(tokens[4], "k");
+    if (tokens.size() == 6 &&
+        !ParseMethod(tokens[5], &request->options.algorithm,
+                     &request->options.nn_mode)) {
+      *error = "ERR unknown method: " + tokens[5];
+      return false;
+    }
+    return true;
+  } catch (const std::exception& e) {
+    *error = std::string("ERR ") + e.what();
+    return false;
+  }
+}
+
+std::string FormatQueryResponse(KosrService& service,
+                                const ServiceResponse& response) {
+  switch (response.status) {
+    case ResponseStatus::kRejected:
+      return "REJECTED " + response.error;
+    case ResponseStatus::kShutdown:
+      return "ERR service stopped";
+    case ResponseStatus::kError:
+      return "ERR " + response.error;
+    case ResponseStatus::kOk:
+      break;
+  }
+  // The serialize stage span covers formatting the OK line; the worker is
+  // done with the request by now, so the protocol layer reports it.
+  WallTimer serialize;
+  std::ostringstream os;
+  os << "OK ROUTES n=" << response.result.routes.size() << " costs=";
+  for (size_t i = 0; i < response.result.routes.size(); ++i) {
+    if (i > 0) os << ',';
+    os << response.result.routes[i].cost;
+  }
+  os << " cached=" << (response.cache_hit ? 1 : 0)
+     << " ms=" << response.latency_s * 1e3;
+  // A budget-truncated answer may be partial/suboptimal; the client must
+  // be able to tell it from a complete one (the cache already refuses it).
+  if (response.result.stats.timed_out) os << " truncated=1";
+  os << " version=" << response.snapshot_version;
+  std::string line = os.str();
+  service.RecordSerializeSpan(serialize.ElapsedSeconds());
+  return line;
+}
+
 CategorySequence ParseCategorySequence(const std::string& token) {
   CategorySequence sequence;
   size_t start = 0;
@@ -182,7 +201,7 @@ std::string HandleRequestLine(KosrService& service, const std::string& line) {
     std::vector<std::string> tokens = Tokenize(line);
     if (tokens.empty()) return "ERR empty request";
     const std::string& cmd = tokens[0];
-    if (cmd == "QUERY") return HandleQuery(service, tokens);
+    if (cmd == "QUERY") return HandleQuery(service, line);
     if (cmd == "ADD_CAT" || cmd == "REMOVE_CAT" || cmd == "ADD_EDGE" ||
         cmd == "SET_EDGE" || cmd == "REMOVE_EDGE") {
       return HandleUpdate(service, tokens);

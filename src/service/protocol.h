@@ -60,6 +60,21 @@ namespace kosr::service {
 /// and engine errors become "ERR ..." responses.
 std::string HandleRequestLine(KosrService& service, const std::string& line);
 
+/// Parses a QUERY request line into a service request without executing it.
+/// The TCP transport needs parse and execute split apart: it pipelines
+/// queries through the callback SubmitAsync and formats the response when
+/// the worker completes, while every other verb still goes through
+/// HandleRequestLine. Returns false with *error set on malformed input;
+/// never throws.
+bool ParseQueryLine(const std::string& line, ServiceRequest* request,
+                    std::string* error);
+
+/// Formats a completed query response exactly as HandleRequestLine would
+/// ("OK ROUTES ..." / "REJECTED ..." / "ERR ..."), recording the serialize
+/// stage span for OK responses.
+std::string FormatQueryResponse(KosrService& service,
+                                const ServiceResponse& response);
+
 /// Reads request lines from `in` until EOF or QUIT, writing one response
 /// line per request to `out` (flushed per line, so a pipe peer can
 /// request/response in lockstep). Returns the number of requests handled.

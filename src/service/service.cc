@@ -165,34 +165,44 @@ void KosrService::Stop() {
   for (Pending& pending : drained) {
     ServiceResponse response;
     response.status = ResponseStatus::kShutdown;
-    pending.promise.set_value(std::move(response));
+    pending.done(std::move(response));
   }
+}
+
+void KosrService::SubmitAsync(const ServiceRequest& request,
+                              std::function<void(ServiceResponse)> done) {
+  metrics_.RecordSubmitted();
+  // Reject/shutdown resolve inline, but outside the queue lock: the
+  // callback is caller code and must not run under queue_mutex_.
+  ServiceResponse bounced;
+  bool enqueued = false;
+  {
+    MutexLock lock(queue_mutex_);
+    if (stopping_) {
+      bounced.status = ResponseStatus::kShutdown;
+    } else if (queue_.size() >= queue_capacity_) {
+      metrics_.RecordRejected();
+      bounced.status = ResponseStatus::kRejected;
+      bounced.error = "queue full";
+    } else {
+      queue_.push_back(Pending{request, std::move(done), WallTimer()});
+      enqueued = true;
+    }
+  }
+  if (!enqueued) {
+    done(std::move(bounced));
+    return;
+  }
+  queue_cv_.NotifyOne();
 }
 
 std::future<ServiceResponse> KosrService::SubmitAsync(
     const ServiceRequest& request) {
-  std::promise<ServiceResponse> promise;
-  std::future<ServiceResponse> future = promise.get_future();
-  metrics_.RecordSubmitted();
-  {
-    MutexLock lock(queue_mutex_);
-    if (stopping_) {
-      ServiceResponse response;
-      response.status = ResponseStatus::kShutdown;
-      promise.set_value(std::move(response));
-      return future;
-    }
-    if (queue_.size() >= queue_capacity_) {
-      metrics_.RecordRejected();
-      ServiceResponse response;
-      response.status = ResponseStatus::kRejected;
-      response.error = "queue full";
-      promise.set_value(std::move(response));
-      return future;
-    }
-    queue_.push_back(Pending{request, std::move(promise), WallTimer()});
-  }
-  queue_cv_.NotifyOne();
+  auto promise = std::make_shared<std::promise<ServiceResponse>>();
+  std::future<ServiceResponse> future = promise->get_future();
+  SubmitAsync(request, [promise](ServiceResponse response) {
+    promise->set_value(std::move(response));
+  });
   return future;
 }
 
@@ -268,7 +278,7 @@ void KosrService::WorkerLoop(uint32_t slot) {
         metrics_.RecordSlowQuery(std::move(entry));
       }
     }
-    pending.promise.set_value(std::move(response));
+    pending.done(std::move(response));
   }
 }
 
@@ -618,10 +628,20 @@ MetricsSnapshot KosrService::Metrics() const {
     durability.replayed_records = replayed_records_;
     durability.recovery_s = recovery_s_;
   }
+  NetGauges net;
+  {
+    MutexLock lock(net_gauges_mutex_);
+    if (net_gauges_provider_) net = net_gauges_provider_();
+  }
   return metrics_.Snapshot(cache_.stats(),
                            static_cast<uint32_t>(queue_depth()),
                            in_flight_.load(std::memory_order_relaxed), gauges,
-                           durability);
+                           durability, net);
+}
+
+void KosrService::AttachNetGauges(std::function<NetGauges()> provider) {
+  MutexLock lock(net_gauges_mutex_);
+  net_gauges_provider_ = std::move(provider);
 }
 
 uint32_t KosrService::num_categories() const {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <string>
 #include <thread>
@@ -182,6 +183,15 @@ class KosrService {
   /// immediately with kRejected / kShutdown).
   std::future<ServiceResponse> SubmitAsync(const ServiceRequest& request)
       KOSR_EXCLUDES(queue_mutex_);
+  /// Callback flavour for transports that pipeline (the TCP front-end):
+  /// `done` is invoked exactly once — from a worker thread on completion,
+  /// inline from this call on reject, or from Stop() with kShutdown for
+  /// requests drained unanswered. The callback must be cheap and must not
+  /// block (it runs on the answering worker's thread) and must not call
+  /// back into Start/Stop.
+  void SubmitAsync(const ServiceRequest& request,
+                   std::function<void(ServiceResponse)> done)
+      KOSR_EXCLUDES(queue_mutex_);
   /// Blocking convenience wrapper.
   ServiceResponse Submit(const ServiceRequest& request)
       KOSR_EXCLUDES(queue_mutex_);
@@ -244,6 +254,14 @@ class KosrService {
   /// throughput bench.
   void ResetMetrics() { metrics_.Reset(); }
 
+  /// Lets a network front-end surface its per-connection gauges through
+  /// Metrics()/METRICS JSON (sampled at snapshot time). Pass nullptr to
+  /// detach — the front-end must detach before it is destroyed. The
+  /// provider must be thread-safe and non-blocking (it typically reads a
+  /// handful of atomics).
+  void AttachNetGauges(std::function<NetGauges()> provider)
+      KOSR_EXCLUDES(net_gauges_mutex_);
+
   /// The result cache is internally synchronized (per-shard locks), so a
   /// reference to it is safe to hand out; the engine master copy is guarded
   /// by publish_mutex_ and deliberately has no accessor — read through a
@@ -266,7 +284,9 @@ class KosrService {
  private:
   struct Pending {
     ServiceRequest request;
-    std::promise<ServiceResponse> promise;
+    /// Completion continuation: resolves a promise (future flavour) or
+    /// hands the response to the TCP session (callback flavour).
+    std::function<void(ServiceResponse)> done;
     WallTimer queued;  ///< Started at enqueue; read at completion.
   };
 
@@ -380,6 +400,13 @@ class KosrService {
   CondVar queue_cv_;
   std::deque<Pending> queue_ KOSR_GUARDED_BY(queue_mutex_);
   bool stopping_ KOSR_GUARDED_BY(queue_mutex_) = false;
+  /// Guards the optional network-gauge provider (attached by the TCP
+  /// front-end, sampled by Metrics). Leaf mutex: the provider only reads
+  /// the server's atomic counters.
+  mutable Mutex net_gauges_mutex_;
+  std::function<NetGauges()> net_gauges_provider_
+      KOSR_GUARDED_BY(net_gauges_mutex_);
+
   /// Serializes Start/Stop (which mutate and join the threads); never
   /// taken by the workers themselves.
   Mutex lifecycle_mutex_;

@@ -25,6 +25,7 @@
 #include <fstream>
 #include <optional>
 #include <random>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +34,8 @@
 #include "src/durability/checkpoint.h"
 #include "src/durability/journal.h"
 #include "src/graph/io.h"
+#include "src/net/client.h"
+#include "src/net/frame.h"
 #include "src/util/failpoint.h"
 #include "tests/test_util.h"
 
@@ -309,6 +312,16 @@ class CrashRecoveryTest : public ::testing::Test {
     return ReadFileBytes(dir_ + "/jdir/checkpoint/indexes.bin");
   }
 
+  /// Extracts the ephemeral port from a `serve --listen 127.0.0.1:0` ready
+  /// line ("... listen=127.0.0.1:<port>"). 0 when absent.
+  static uint16_t ListenPort(const std::string& ready_line) {
+    const std::string key = "listen=127.0.0.1:";
+    size_t pos = ready_line.find(key);
+    if (pos == std::string::npos) return 0;
+    return static_cast<uint16_t>(
+        std::stoul(ready_line.substr(pos + key.size())));
+  }
+
   std::string dir_;
   testing::TestInstance inst_;
 };
@@ -507,6 +520,122 @@ TEST_F(CrashRecoveryTest, FsyncNeverStillRecoversAfterProcessKill) {
   EXPECT_EQ(records.size(), lines.size());
   std::string oracle = OracleBytes(records);
   EXPECT_EQ(RecoveredBytes("never"), oracle);
+}
+
+// --- TCP serving legs (ISSUE 10 satellite): the same crash discipline must
+// hold when the child serves real sockets instead of stdio. ---------------
+
+TEST_F(CrashRecoveryTest, TcpSigtermDrainsPipelinedInFlightThenExitsClean) {
+  ServeChild child;
+  std::vector<std::string> args = JournalArgs();
+  args.push_back("--listen");
+  args.push_back("127.0.0.1:0");
+  child.Start(dir_, "", args);
+  auto ready = child.ReadLine();
+  ASSERT_TRUE(ready.has_value());
+  const uint16_t port = ListenPort(*ready);
+  ASSERT_NE(port, 0) << *ready;
+
+  // Known updates (exact oracle below) interleaved with queries, all
+  // pipelined in one burst.
+  std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> updates = {
+      {1, 2, 77}, {3, 4, 5}, {10, 11, 42}, {7, 30, 9},
+      {2, 1, 33}, {5, 9, 12}, {40, 41, 3}, {8, 20, 60},
+  };
+  std::string blob;
+  uint64_t next_id = 1;
+  size_t total = 0;
+  for (auto [u, v, w] : updates) {
+    net::AppendFrame(blob, next_id++, net::kVerbLine,
+                     "SET_EDGE " + std::to_string(u) + " " +
+                         std::to_string(v) + " " + std::to_string(w));
+    ++total;
+  }
+  for (int i = 0; i < 12; ++i) {
+    net::AppendFrame(blob, next_id++, net::kVerbLine,
+                     "QUERY " + std::to_string(i) + " 59 0,1 3");
+    ++total;
+  }
+  net::FramedClient client("127.0.0.1", port);
+  client.SendRaw(blob);
+  // One response proves the session is established and mid-burst, then
+  // SIGTERM lands with most of the pipeline still in flight.
+  auto first = client.Recv();
+  ASSERT_TRUE(first.has_value());
+  child.Signal(SIGTERM);
+  // Drain contract: every pipelined frame is answered, then EOF.
+  std::set<uint64_t> seen = {first->request_id};
+  size_t answered = 1;
+  while (auto response = client.Recv()) {
+    EXPECT_EQ(response->status, net::kStatusOk) << response->payload;
+    seen.insert(response->request_id);
+    ++answered;
+  }
+  EXPECT_EQ(answered, total);
+  EXPECT_EQ(seen.size(), total);  // every id answered exactly once
+  bool clean = false;
+  while (auto line = child.ReadLine()) {
+    if (*line == "clean shutdown") clean = true;
+  }
+  EXPECT_TRUE(clean);
+  child.ExpectExit(0);
+
+  // The shutdown checkpoint folded every acked update in; a restart equals
+  // an oracle applying the same updates in stream order.
+  EXPECT_TRUE(ScanJournal().empty());
+  auto ckpt = durability::LoadCheckpoint(dir_ + "/jdir");
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->seq, updates.size());
+  KosrEngine oracle(inst_.graph, inst_.categories);
+  oracle.BuildIndexes();
+  for (auto [u, v, w] : updates) oracle.SetEdgeWeight(u, v, w);
+  std::ostringstream os;
+  oracle.SaveIndexes(os);
+  EXPECT_EQ(RecoveredBytes(), os.str());
+}
+
+TEST_F(CrashRecoveryTest, TcpSigkillMidTrafficRecoversFromJournal) {
+  ServeChild child;
+  std::vector<std::string> args = JournalArgs();
+  args.push_back("--listen");
+  args.push_back("127.0.0.1:0");
+  child.Start(dir_, "", args);
+  auto ready = child.ReadLine();
+  ASSERT_TRUE(ready.has_value());
+  const uint16_t port = ListenPort(*ready);
+  ASSERT_NE(port, 0) << *ready;
+
+  net::FramedClient client("127.0.0.1", port);
+  // Ten acked updates: write-ahead means an acked update is journaled.
+  std::vector<std::string> acked_lines = RandomUpdateLines(10, 29);
+  for (const std::string& line : acked_lines) {
+    client.SendLine(line);
+    auto ack = client.Recv();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->payload.rfind("OK ", 0), 0u) << ack->payload;
+  }
+  // Then mid-traffic murder: more updates and queries pipelined with
+  // nothing read back, SIGKILL while they are on the wire or in flight.
+  std::string blob;
+  uint64_t next_id = 1000;
+  for (const std::string& line : RandomUpdateLines(5, 31)) {
+    net::AppendFrame(blob, next_id++, net::kVerbLine, line);
+  }
+  for (int i = 0; i < 8; ++i) {
+    net::AppendFrame(blob, next_id++, net::kVerbLine, "QUERY 0 59 0,1 3");
+  }
+  client.SendRaw(blob);
+  child.Signal(SIGKILL);
+  int status = child.Wait();
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // Recovery replays exactly what reached the journal: all ten acked
+  // records, plus whichever tail updates the child journaled before dying.
+  std::vector<JournalRecord> records = ScanJournal();
+  ASSERT_GE(records.size(), acked_lines.size());
+  ASSERT_LE(records.size(), acked_lines.size() + 5);
+  std::string oracle = OracleBytes(records);
+  EXPECT_EQ(RecoveredBytes(), oracle);
 }
 
 }  // namespace

@@ -1,0 +1,218 @@
+// Concurrent-connection oracle suite for the TCP front-end (ISSUE 10
+// satellite): N client threads pipeline interleaved QUERY / SET_EDGE /
+// FLUSH_UPDATES traffic against one server while a writer advances the
+// snapshot version over its own connection. Every response is
+// cross-checked against a direct in-process Submit oracle sampled once
+// per published version, request_id correlation is exercised by the
+// pipelining itself, and per-connection version monotonicity is asserted
+// on every ack.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/service/protocol.h"
+#include "src/service/service.h"
+#include "tests/test_util.h"
+
+namespace kosr {
+namespace {
+
+using net::ClientResponse;
+using net::FramedClient;
+using net::NetServer;
+
+std::string Token(const std::string& line, const std::string& key) {
+  size_t pos = line.find(key);
+  if (pos == std::string::npos) return "";
+  pos += key.size();
+  size_t end = line.find(' ', pos);
+  return line.substr(pos, (end == std::string::npos ? line.size() : end) -
+                              pos);
+}
+
+uint64_t VersionOf(const std::string& line) {
+  const std::string token = Token(line, "version=");
+  return token.empty() ? 0 : std::stoull(token);
+}
+
+/// One reader observation, verified against the oracle after the join.
+struct Observation {
+  size_t pool_index;
+  uint64_t version;
+  std::string costs;
+};
+
+TEST(NetOracleTest, ConcurrentPipelinedClientsMatchDirectSubmitOracle) {
+  auto inst = testing::MakeRandomInstance(60, 240, 4, 4242);
+
+  // Arcs that appear exactly once as a (u, v) pair: SET_EDGE on one of
+  // these at its current weight is a pure no-op (nothing to collapse, no
+  // weight change), so readers can issue real update verbs without
+  // perturbing the version the writer controls.
+  std::map<std::pair<VertexId, VertexId>, int> arc_count;
+  std::map<std::pair<VertexId, VertexId>, Weight> arc_weight;
+  for (auto [u, v, w] : inst.graph.ToEdges()) {
+    ++arc_count[{u, v}];
+    arc_weight[{u, v}] = w;
+  }
+  std::vector<std::tuple<VertexId, VertexId, Weight>> unique_arcs;
+  for (const auto& [uv, count] : arc_count) {
+    if (count == 1) {
+      unique_arcs.emplace_back(uv.first, uv.second, arc_weight[uv]);
+    }
+  }
+  ASSERT_GE(unique_arcs.size(), 6u);
+
+  KosrEngine engine(inst.graph, inst.categories);
+  engine.BuildIndexes();
+  service::ServiceConfig config;
+  config.num_workers = testing::TestThreads();
+  config.queue_capacity = 512;
+  config.cache_capacity = 128;
+  service::KosrService service(std::move(engine), config);
+  NetServer server(service);
+  server.Start();
+
+  const std::vector<std::string> pool = {
+      "QUERY 0 59 0,1 3",  "QUERY 5 40 1,2 2",   "QUERY 12 58 0 4",
+      "QUERY 3 47 2,3 3",  "QUERY 20 55 1 2",    "QUERY 7 33 0,2,1 2",
+      "QUERY 15 59 3 3",   "QUERY 1 29 1,0 4",
+  };
+  std::vector<service::ServiceRequest> pool_requests(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    std::string error;
+    ASSERT_TRUE(service::ParseQueryLine(pool[i], &pool_requests[i], &error))
+        << error;
+  }
+
+  // Oracle: costs per (version, pool index), sampled by direct Submit in
+  // the window where that version is current. The writer below is the only
+  // source of version bumps, and it samples before bumping again, so each
+  // sample is pinned to the version it is keyed under.
+  std::map<uint64_t, std::vector<std::string>> oracle;
+  const auto sample = [&](uint64_t version) {
+    std::vector<std::string> costs(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const std::string direct =
+          FormatQueryResponse(service, service.Submit(pool_requests[i]));
+      ASSERT_EQ(VersionOf(direct), version) << direct;
+      costs[i] = Token(direct, "costs=");
+    }
+    oracle[version] = std::move(costs);
+  };
+  sample(1);
+
+  // Readers: each connection pipelines rounds of
+  //   SET_EDGE (no-op) | FLUSH_UPDATES | pool queries
+  // and records (pool index, version, costs) plus both ack versions.
+  constexpr int kReaders = 4;
+  constexpr int kRounds = 12;
+  std::vector<std::vector<Observation>> observations(kReaders);
+  std::vector<std::string> failures(kReaders);
+  std::vector<std::thread> readers;
+  for (int tid = 0; tid < kReaders; ++tid) {
+    readers.emplace_back([&, tid] {
+      try {
+        auto [eu, ev, ew] = unique_arcs[1 + tid];  // index 0 is the writer's
+        FramedClient client("127.0.0.1", server.port());
+        std::vector<std::string> lines;
+        lines.push_back("SET_EDGE " + std::to_string(eu) + " " +
+                        std::to_string(ev) + " " + std::to_string(ew));
+        lines.push_back("FLUSH_UPDATES");
+        for (const std::string& query : pool) lines.push_back(query);
+        uint64_t last_ack_version = 0;
+        for (int round = 0; round < kRounds; ++round) {
+          const auto responses =
+              net::ExchangePipelined(client, lines, lines.size());
+          ASSERT_EQ(responses.size(), lines.size());
+          // The no-op SET_EDGE must not perturb the graph...
+          ASSERT_EQ(Token(responses[0].payload, "changed="), "0")
+              << responses[0].payload;
+          // ...and ack versions on one connection never go backwards.
+          const uint64_t ack1 = VersionOf(responses[0].payload);
+          const uint64_t ack2 = VersionOf(responses[1].payload);
+          ASSERT_GE(ack1, last_ack_version);
+          ASSERT_GE(ack2, ack1);
+          last_ack_version = ack2;
+          for (size_t i = 0; i < pool.size(); ++i) {
+            const ClientResponse& r = responses[2 + i];
+            ASSERT_EQ(r.status, net::kStatusOk) << r.payload;
+            ASSERT_EQ(r.payload.rfind("OK ROUTES", 0), 0u) << r.payload;
+            const uint64_t version = VersionOf(r.payload);
+            // A fresh computation pipelined behind an ack runs against a
+            // snapshot at least as new as the ack (frames execute in
+            // stream order). Cache hits are exempt: they report the
+            // version that admitted the entry, which may legitimately be
+            // older — the oracle check below still holds them to it.
+            if (Token(r.payload, "cached=") == "0") {
+              ASSERT_GE(version, last_ack_version);
+            }
+            observations[tid].push_back(
+                {i, version, Token(r.payload, "costs=")});
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[tid] = e.what();
+      }
+    });
+  }
+
+  // Writer: advance the snapshot version over its own socket, sampling the
+  // oracle right after each ack (and before the next bump).
+  {
+    auto [wu, wv, ww] = unique_arcs[0];
+    FramedClient writer("127.0.0.1", server.port());
+    constexpr int kUpdates = 8;
+    for (int i = 1; i <= kUpdates; ++i) {
+      writer.SendLine("SET_EDGE " + std::to_string(wu) + " " +
+                      std::to_string(wv) + " " + std::to_string(ww + 10 * i));
+      auto ack = writer.Recv();
+      ASSERT_TRUE(ack.has_value());
+      ASSERT_EQ(Token(ack->payload, "changed="), "1") << ack->payload;
+      const uint64_t version = VersionOf(ack->payload);
+      ASSERT_EQ(version, static_cast<uint64_t>(1 + i)) << ack->payload;
+      sample(version);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  for (std::thread& t : readers) t.join();
+  for (int tid = 0; tid < kReaders; ++tid) {
+    ASSERT_EQ(failures[tid], "") << "reader " << tid;
+  }
+
+  // Every observed answer must be byte-identical (costs=) to the direct
+  // Submit oracle at the version the response itself reported.
+  size_t checked = 0;
+  for (int tid = 0; tid < kReaders; ++tid) {
+    ASSERT_EQ(observations[tid].size(), size_t{kRounds} * pool.size());
+    for (const Observation& obs : observations[tid]) {
+      auto it = oracle.find(obs.version);
+      ASSERT_NE(it, oracle.end())
+          << "reader " << tid << " saw unsampled version " << obs.version;
+      EXPECT_EQ(obs.costs, it->second[obs.pool_index])
+          << "reader " << tid << " pool " << obs.pool_index << " version "
+          << obs.version;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, size_t{kReaders} * kRounds * pool.size());
+
+  server.Shutdown();
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace kosr

@@ -1,0 +1,56 @@
+// kosr_net_client — netcat-style client for the binary framed transport:
+// reads newline-protocol request lines from stdin, pipelines them to a
+// `kosr_cli serve --listen` server, and prints one response line per
+// request in request order (rendering framed statuses the way the stdio
+// transport would, so the same protocol script produces the same markers
+// over either transport — the TCP smoke leg depends on that).
+//
+//   kosr_net_client --connect <host:port> [--window <n>]
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+
+int main(int argc, char** argv) {
+  std::string connect;
+  size_t window = 64;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg == "--window" && i + 1 < argc) {
+      window = std::stoul(argv[++i]);
+    } else {
+      std::cerr << "usage: kosr_net_client --connect <host:port> "
+                   "[--window <n>]\n";
+      return 2;
+    }
+  }
+  if (connect.empty()) {
+    std::cerr << "kosr_net_client: --connect <host:port> is required\n";
+    return 2;
+  }
+  try {
+    auto [host, port] = kosr::net::ParseHostPort(connect);
+    kosr::net::FramedClient client(host, port);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      lines.push_back(line);
+    }
+    for (const kosr::net::ClientResponse& response :
+         kosr::net::ExchangePipelined(client, lines, window)) {
+      std::cout << kosr::net::RenderResponse(response) << "\n";
+    }
+    std::cout << std::flush;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "kosr_net_client: " << e.what() << "\n";
+    return 1;
+  }
+}
